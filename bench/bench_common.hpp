@@ -1,0 +1,26 @@
+// Shared helper for the bench binaries: print the reproduction tables
+// first, then hand over to google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+
+namespace axon::bench {
+
+/// Standard main body: `print_tables` emits the paper reproduction, then
+/// google-benchmark runs whatever BENCHMARK()s the TU registered.
+template <typename Fn>
+int run(int argc, char** argv, Fn&& print_tables) {
+  print_tables(std::cout);
+  std::cout << "\n-- microbenchmarks --\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace axon::bench

@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 6: the fill-latency factor — cycles for operands to
+// reach the farthest PE — for conventional SA (f1 = R + C - 2) vs Axon
+// (f2 = max(R, C) - 1), across array shapes.
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "runner/experiments.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  std::vector<ArrayShape> shapes;
+  for (int s : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) shapes.push_back({s, s});
+  // Rectangular points from Fig. 6's (R, C) plane.
+  shapes.push_back({8, 64});
+  shapes.push_back({64, 8});
+  shapes.push_back({32, 256});
+  shapes.push_back({256, 32});
+
+  Table t({"array", "f1_SA(R+C-2)", "f2_Axon(max-1)", "improvement"});
+  for (const Fig6Row& row : fig6_fill_factors(shapes)) {
+    t.row()
+        .cell(std::to_string(row.array.rows) + "x" +
+              std::to_string(row.array.cols))
+        .cell(row.f1_conventional)
+        .cell(row.f2_axon)
+        .cell(static_cast<double>(row.f1_conventional) /
+                  static_cast<double>(row.f2_axon),
+              3);
+  }
+  t.print(os, "Fig. 6 — fill-latency factor (paper: 256x256 drops 510 -> 255)");
+}
+
+// Microbenchmark: cycle-accurate fill observation on real arrays.
+void BM_AxonFill(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(r, 4, rng);
+  const Matrix b = random_matrix(4, r, rng);
+  AxonArraySim sim({r, r});
+  for (auto _ : state) {
+    auto result = sim.run(Dataflow::kOS, a, b);
+    benchmark::DoNotOptimize(result.fill_cycles);
+  }
+}
+BENCHMARK(BM_AxonFill)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 10 / §5.1: 16x16 ASAP7 implementation specs —
+// area and power of conventional SA, Axon, and Axon with im2col support.
+#include "bench/bench_common.hpp"
+#include "hw/area_power.hpp"
+#include "runner/experiments.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  Table t({"design", "area_mm2", "power_mW", "paper_area_mm2",
+           "paper_power_mW"});
+  const auto rows = fig10_hw_specs();
+  const char* paper_area[] = {"0.9992", "0.9931", "0.9951"};
+  const char* paper_power[] = {"59.88", "-", "59.98"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row()
+        .cell(rows[i].design)
+        .cell(rows[i].area_mm2, 4)
+        .cell(rows[i].power_mw, 2)
+        .cell(paper_area[i])
+        .cell(paper_power[i]);
+  }
+  t.print(os, "Fig. 10 — 16x16 implementation specs (ASAP7, FP16 MAC)");
+
+  const AreaPowerModel m(TechNode::kAsap7);
+  const ArrayShape a16{16, 16};
+  Table o({"metric", "model", "paper"});
+  o.row()
+      .cell("im2col area overhead %")
+      .cell(100.0 * (m.axon(a16, true).area_mm2 / m.axon(a16, false).area_mm2 -
+                     1.0),
+            3)
+      .cell("0.211");
+  o.row()
+      .cell("power overhead vs SA %")
+      .cell(100.0 * (m.axon(a16, true).power_mw /
+                         m.conventional_sa(a16).power_mw -
+                     1.0),
+            3)
+      .cell("1.6 (reported); 0.17 from raw mW");
+  o.print(os, "Overheads");
+}
+
+void BM_AreaPowerModel(benchmark::State& state) {
+  const AreaPowerModel m(TechNode::kAsap7);
+  for (auto _ : state) {
+    for (int s : {8, 16, 32, 64, 128, 256}) {
+      auto hw = m.axon({s, s}, true);
+      benchmark::DoNotOptimize(hw.area_mm2);
+    }
+  }
+}
+BENCHMARK(BM_AreaPowerModel);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

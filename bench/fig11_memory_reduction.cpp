@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 11: IFMAP memory-access reduction from the on-chip
+// im2col MUX chain, for IFMAP/kernel shapes drawn from SOTA networks.
+// Paper claim: "more than 60% for workloads generally used in SOTA NNs".
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/im2col_feeder.hpp"
+#include "runner/experiments.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+namespace {
+
+constexpr int kFeeders = 128;
+
+void print_tables(std::ostream& os) {
+  Table t({"layer", "ifmap", "kernel", "stride", "sw_loads", "axon_loads",
+           "reduction_%"});
+  for (const Fig11Row& r : fig11_memory_reduction(kFeeders)) {
+    t.row()
+        .cell(r.workload)
+        .cell(std::to_string(r.shape.in_h) + "x" +
+              std::to_string(r.shape.in_w) + "x" +
+              std::to_string(r.shape.in_channels))
+        .cell(std::to_string(r.shape.kernel_h) + "x" +
+              std::to_string(r.shape.kernel_w))
+        .cell(r.shape.stride_h)
+        .cell(r.software_loads)
+        .cell(r.axon_loads)
+        .cell(r.reduction_pct, 2);
+  }
+  t.print(os, "Fig. 11 — IFMAP access reduction with on-chip im2col (" +
+                  std::to_string(kFeeders) + " diagonal feeders)");
+}
+
+// Microbenchmark: streaming throughput of the cycle-accurate feeder chain.
+void BM_Im2colFeederStream(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  const ConvShape c = make_conv(3, hw, 4, 3, 1, 1);
+  Rng rng(4);
+  const Tensor4 in = random_tensor(1, 3, hw, hw, rng);
+  for (auto _ : state) {
+    Im2colFeeder feeder(in, c, 0, std::min<i64>(16, c.out_w()));
+    float sink = 0.0f;
+    for (i64 row = 0; row < feeder.num_rows(); ++row) {
+      for (i64 k = 0; k < feeder.temporal_length(); ++k) {
+        sink += feeder.value(row, k).value_or(0.0f);
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 27);
+}
+BENCHMARK(BM_Im2colFeederStream)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 12: runtime of Axon normalized to conventional SA
+// for the Table 3 GEMM/Conv workloads at array sizes 32..256 (scale-up,
+// OS dataflow, pipelined tiles — see DESIGN.md §4).
+// Paper headline: avg 1.47x at 64x64, 1.76x at 256x256, up to 2x.
+#include "bench/bench_common.hpp"
+#include "model/runtime_model.hpp"
+#include "runner/experiments.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  // Echo Table 3 first.
+  Table t3({"workload", "M", "K", "N"});
+  for (const GemmWorkload& w : table3_workloads()) {
+    t3.row().cell(w.name).cell(w.shape.M).cell(w.shape.K).cell(w.shape.N);
+  }
+  t3.print(os, "Table 3 — workload dimensions");
+  os << "\n";
+
+  const std::vector<int> sizes{32, 64, 128, 256};
+  Table t({"workload", "x32", "x64", "x128", "x256"});
+  std::vector<std::vector<SpeedupRow>> per_size;
+  per_size.reserve(sizes.size());
+  for (int s : sizes) per_size.push_back(fig12_speedups(s));
+  for (std::size_t wi = 0; wi < per_size[0].size(); ++wi) {
+    auto& row = t.row().cell(per_size[0][wi].workload);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      row.cell(per_size[si][wi].speedup, 3);
+    }
+  }
+  t.print(os, "Fig. 12 — Axon speedup over SA (runtime normalized to SA)");
+
+  Table avg({"array", "mean_speedup", "geomean", "paper_reported"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const char* paper = sizes[si] == 64    ? "1.47"
+                        : sizes[si] == 256 ? "1.76"
+                                           : "-";
+    avg.row()
+        .cell(std::to_string(sizes[si]) + "x" + std::to_string(sizes[si]))
+        .cell(mean_speedup(per_size[si]), 3)
+        .cell(geomean_speedup(per_size[si]), 3)
+        .cell(paper);
+  }
+  os << "\n";
+  avg.print(os, "Fig. 12 — average speedups");
+}
+
+void BM_Fig12Sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = fig12_speedups(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_Fig12Sweep)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 13: PE utilization-rate improvement over the
+// conventional SA for CMSA and Axon on a 128x128 array. Paper: Axon
+// outperforms CMSA by ~27% on average; GPT-3 matmul1/addmm/lmhead stay
+// small because their baseline utilization is already ~91%.
+#include "bench/bench_common.hpp"
+#include "runner/experiments.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  const auto rows = fig13_utilization(128);
+  Table t({"workload", "UR_SA_%", "UR_CMSA_%", "UR_Axon_%", "CMSA_imp_pp",
+           "Axon_imp_pp"});
+  double cmsa_sum = 0.0, axon_sum = 0.0;
+  for (const UtilizationRow& r : rows) {
+    t.row()
+        .cell(r.workload)
+        .cell(100.0 * r.ur_sa, 2)
+        .cell(100.0 * r.ur_cmsa, 2)
+        .cell(100.0 * r.ur_axon, 2)
+        .cell(r.cmsa_improvement_pct, 2)
+        .cell(r.axon_improvement_pct, 2);
+    cmsa_sum += r.cmsa_improvement_pct;
+    axon_sum += r.axon_improvement_pct;
+  }
+  t.print(os,
+          "Fig. 13 — PE utilization-rate improvement over SA (128x128, "
+          "percentage points)");
+  os << "average improvement: CMSA " << fmt_double(cmsa_sum / rows.size(), 2)
+     << " pp, Axon " << fmt_double(axon_sum / rows.size(), 2)
+     << " pp (paper: Axon outperforms CMSA by ~27% on average)\n";
+}
+
+void BM_UtilizationSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = fig13_utilization(128);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_UtilizationSweep);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 14: Axon speedup over SA for depthwise convolution
+// (MobileNet + conformer) and GEMV — the low-arithmetic-intensity,
+// fill-dominated cases. Paper: avg 1.8x, up to 2x.
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "baseline/conventional_array.hpp"
+#include "runner/experiments.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  const auto rows = fig14_dwconv_gemv(128);
+  Table t({"workload", "SA_cycles", "Axon_cycles", "speedup"});
+  double sum = 0.0;
+  for (const Fig14Row& r : rows) {
+    t.row()
+        .cell(r.workload)
+        .cell(r.sa_cycles)
+        .cell(r.axon_cycles)
+        .cell(r.speedup, 3);
+    sum += r.speedup;
+  }
+  t.print(os, "Fig. 14 — DW-Conv and GEMV speedup (128x128, pipelined tiles)");
+  os << "average speedup: " << fmt_double(sum / rows.size(), 3)
+     << " (paper: 1.8x average, up to 2x)\n";
+}
+
+// Microbenchmark: a real cycle-accurate GEMV on both arrays.
+void BM_GemvAxon(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Matrix a = random_matrix(r, r, rng);
+  const Matrix x = random_matrix(r, 1, rng);
+  AxonArraySim sim({r, r});
+  for (auto _ : state) {
+    auto result = sim.run(Dataflow::kWS, a, x);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+}
+BENCHMARK(BM_GemvAxon)->Arg(16)->Arg(32);
+
+void BM_GemvSa(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Matrix a = random_matrix(r, r, rng);
+  const Matrix x = random_matrix(r, 1, rng);
+  ConventionalArraySim sim({r, r});
+  for (auto _ : state) {
+    auto result = sim.run(Dataflow::kWS, a, x);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+}
+BENCHMARK(BM_GemvSa)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

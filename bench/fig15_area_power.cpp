@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 15: silicon area and power of Axon (with im2col
+// support) vs Sauria's on-the-fly-im2col SA across array sizes, at both
+// TSMC 45nm (a) and ASAP7 (b). Paper: Axon averages 3.93% less area and
+// 4.5% less power because a 2-to-1 MUX per diagonal PE replaces Sauria's
+// per-column feeder registers + counters.
+#include "bench/bench_common.hpp"
+#include "hw/area_power.hpp"
+#include "runner/experiments.hpp"
+
+namespace axon {
+namespace {
+
+void print_node(std::ostream& os, TechNode node) {
+  const std::vector<int> sizes{8, 16, 32, 64, 128};
+  const auto rows = fig15_area_power(node, sizes);
+  Table t({"array", "axon_area_mm2", "sauria_area_mm2", "area_delta_%",
+           "axon_power_mW", "sauria_power_mW", "power_delta_%"});
+  double area_sum = 0.0, power_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const HwRow& ax = rows[i];
+    const HwRow& sa = rows[i + 1];
+    const double da = 100.0 * (1.0 - ax.area_mm2 / sa.area_mm2);
+    const double dp = 100.0 * (1.0 - ax.power_mw / sa.power_mw);
+    area_sum += da;
+    power_sum += dp;
+    t.row()
+        .cell(std::to_string(ax.array.rows) + "x" +
+              std::to_string(ax.array.cols))
+        .cell(ax.area_mm2, 4)
+        .cell(sa.area_mm2, 4)
+        .cell(da, 2)
+        .cell(ax.power_mw, 2)
+        .cell(sa.power_mw, 2)
+        .cell(dp, 2);
+  }
+  t.print(os, "Fig. 15 — Axon vs Sauria at " + to_string(node));
+  const double n = static_cast<double>(sizes.size());
+  os << "average: Axon " << fmt_double(area_sum / n, 2) << "% less area, "
+     << fmt_double(power_sum / n, 2)
+     << "% less power (paper: 3.93% / 4.5%)\n";
+}
+
+void print_tables(std::ostream& os) {
+  print_node(os, TechNode::kTsmc45);
+  os << "\n";
+  print_node(os, TechNode::kAsap7);
+}
+
+void BM_Fig15Sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = fig15_area_power(TechNode::kAsap7, {8, 16, 32, 64, 128});
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_Fig15Sweep);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,103 @@
+// Scaling study (paper §2.2 Fig. 2 + §5.2.1 discussion): runtime of a fixed
+// workload set as the array scales up (one monolithic array) and scales out
+// (multiple partitions), for SA, CMSA and Axon. Shows where Amdahl's law
+// bites: temporal-dimension-bound workloads stop improving.
+#include "bench/bench_common.hpp"
+#include "model/runtime_model.hpp"
+#include "model/tile_scheduler.hpp"
+#include "runner/experiments.hpp"
+
+namespace axon {
+namespace {
+
+void scale_up_table(std::ostream& os) {
+  const std::vector<int> sizes{16, 32, 64, 128, 256};
+  Table t({"workload", "arch", "x16", "x32", "x64", "x128", "x256"});
+  for (const char* name : {"TF0", "NCF0", "DB0", "GEMM_1"}) {
+    const GemmWorkload w = find_workload(table3_workloads(), name);
+    for (ArchType arch : {ArchType::kConventionalSA, ArchType::kCMSA,
+                          ArchType::kAxon}) {
+      auto& row = t.row().cell(w.name).cell(to_string(arch));
+      for (int s : sizes) {
+        const i64 cycles =
+            pipelined_runtime(arch, Dataflow::kOS, w.shape, {s, s}).cycles;
+        row.cell(static_cast<double>(cycles) / 1e3, 1);
+      }
+    }
+  }
+  t.print(os, "Scale-up runtime (kcycles, pipelined OS) — DB0 is "
+              "temporal-bound and barely improves");
+}
+
+void scale_out_table(std::ostream& os) {
+  // Fixed 64x64 arrays, growing partition grids.
+  const GemmWorkload w = find_workload(table3_workloads(), "GPT3_1_matmul1");
+  Table t({"partitions", "SA_kcycles", "Axon_kcycles", "speedup"});
+  for (int p : {1, 2, 4, 8}) {
+    const i64 sa = scale_out_runtime(ArchType::kConventionalSA, Dataflow::kOS,
+                                     w.shape, {64, 64}, p, p)
+                       .cycles;
+    const i64 ax = scale_out_runtime(ArchType::kAxon, Dataflow::kOS, w.shape,
+                                     {64, 64}, p, p)
+                       .cycles;
+    t.row()
+        .cell(std::to_string(p) + "x" + std::to_string(p))
+        .cell(static_cast<double>(sa) / 1e3, 1)
+        .cell(static_cast<double>(ax) / 1e3, 1)
+        .cell(static_cast<double>(sa) / static_cast<double>(ax), 3);
+  }
+  t.print(os, "Scale-out (GPT3 matmul1 on 64x64 partitions) — the "
+              "orchestration gain carries over linearly (paper §5)");
+}
+
+void memory_system_table(std::ostream& os) {
+  // End-to-end with the SRAM tile scheduler: compute vs transfer bound.
+  const DramModel dram;
+  Table t({"sram_kwords", "order", "a_passes", "b_passes", "dram_MB",
+           "compute_kcyc", "transfer_kcyc", "total_kcyc"});
+  const GemmShape g{2048, 1024, 2048};
+  for (i64 kwords : {16, 64, 256, 1024, 4096}) {
+    SramConfig sram;
+    sram.ifmap_words = kwords * 1024;
+    sram.filter_words = kwords * 1024;
+    const TilePlan p =
+        plan_gemm(ArchType::kAxon, Dataflow::kOS, g, {128, 128}, sram, dram);
+    t.row()
+        .cell(kwords)
+        .cell(to_string(p.order))
+        .cell(p.a_passes)
+        .cell(p.b_passes)
+        .cell(static_cast<double>(p.dram_bytes()) / (1024.0 * 1024.0), 2)
+        .cell(static_cast<double>(p.compute_cycles) / 1e3, 1)
+        .cell(static_cast<double>(p.transfer_cycles) / 1e3, 1)
+        .cell(static_cast<double>(p.total_cycles) / 1e3, 1);
+  }
+  t.print(os, "SRAM capacity sweep (GEMM 2048x1024x2048 on 128x128 Axon): "
+              "small scratchpads force refetch and become transfer-bound");
+}
+
+void print_tables(std::ostream& os) {
+  scale_up_table(os);
+  os << "\n";
+  scale_out_table(os);
+  os << "\n";
+  memory_system_table(os);
+}
+
+void BM_TileScheduler(benchmark::State& state) {
+  const DramModel dram;
+  const GemmShape g{2048, 1024, 2048};
+  for (auto _ : state) {
+    auto p = plan_gemm(ArchType::kAxon, Dataflow::kOS, g, {128, 128}, {}, dram);
+    benchmark::DoNotOptimize(p.total_cycles);
+  }
+}
+BENCHMARK(BM_TileScheduler);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,63 @@
+// Reproduces the §5.2.1 sparsity result: zero gating lowers total power by
+// 5.3% at 10% operand sparsity. Sweeps sparsity and cross-checks the power
+// model's gated fraction against the cycle-accurate simulator's counters.
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "runner/experiments.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/sparsity.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  Table t({"sparsity_%", "gated_frac_model", "gated_frac_cyclesim",
+           "power_mW", "reduction_%", "paper"});
+  Rng rng(6);
+  for (double s : {0.0, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    // Cycle-accurate cross-check: sparse IFMAP x dense filter on 16x16.
+    // (random_sparse_matrix produces no incidental zeros beyond the
+    // requested fraction, so the gated count isolates the sparsity knob.)
+    Matrix a = random_sparse_matrix(16, 64, s, rng);
+    Matrix b = random_sparse_matrix(64, 16, 0.0, rng);
+    AxonArraySim sim({16, 16});
+    const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+    const double gated_sim =
+        static_cast<double>(r.macs.gated_macs) /
+        static_cast<double>(r.macs.total_macs());
+
+    const auto rows = sparsity_power_sweep({s});
+    t.row()
+        .cell(100.0 * s, 1)
+        .cell(rows[0].gated_fraction, 3)
+        .cell(gated_sim, 3)
+        .cell(rows[0].power_mw, 2)
+        .cell(rows[0].reduction_pct, 2)
+        .cell(s == 0.10 ? "5.3%" : "-");
+  }
+  t.print(os,
+          "§5.2.1 — zero-gating power reduction vs IFMAP sparsity "
+          "(16x16 Axon+im2col, ASAP7)");
+}
+
+void BM_SparseGemmGated(benchmark::State& state) {
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(7);
+  Matrix a = random_sparse_matrix(16, 64, sparsity, rng);
+  Matrix b = random_matrix(64, 16, rng);
+  AxonArraySim sim({16, 16}, {.zero_gating = true});
+  for (auto _ : state) {
+    auto r = sim.run(Dataflow::kOS, a, b);
+    benchmark::DoNotOptimize(r.macs.gated_macs);
+  }
+}
+BENCHMARK(BM_SparseGemmGated)->Arg(0)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

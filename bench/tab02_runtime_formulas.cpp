@@ -1,0 +1,83 @@
+// Reproduces paper Table 2: runtime formulas for SA vs Axon per dataflow,
+// cross-checked live against the cycle-accurate simulators.
+#include "baseline/conventional_array.hpp"
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "model/runtime_model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+namespace {
+
+void print_tables(std::ostream& os) {
+  Table t({"dataflow", "M", "K", "N", "SA_formula", "Axon_formula",
+           "SA_cyclesim", "Axon_cyclesim", "match"});
+  Rng rng(2);
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    for (const GemmShape& g :
+         {GemmShape{16, 16, 16}, GemmShape{8, 24, 12}, GemmShape{24, 8, 24},
+          GemmShape{12, 12, 30}}) {
+      const Matrix a = random_matrix(g.M, g.K, rng);
+      const Matrix b = random_matrix(g.K, g.N, rng);
+      const SpatioTemporal st = map_gemm(g, df);
+      const ArrayShape shape{static_cast<int>(st.S_R),
+                             static_cast<int>(st.S_C)};
+      ConventionalArraySim sa(shape);
+      AxonArraySim ax(shape);
+      const i64 sa_sim = sa.run(df, a, b).cycles;
+      const i64 ax_sim = ax.run(df, a, b).cycles;
+      const i64 sa_model = tile_cycles(ArchType::kConventionalSA, shape, st.T);
+      const i64 ax_model = tile_cycles(ArchType::kAxon, shape, st.T);
+      t.row()
+          .cell(to_string(df))
+          .cell(g.M)
+          .cell(g.K)
+          .cell(g.N)
+          .cell(sa_model)
+          .cell(ax_model)
+          .cell(sa_sim)
+          .cell(ax_sim)
+          .cell((sa_sim == sa_model && ax_sim == ax_model) ? "yes" : "NO");
+    }
+  }
+  t.print(os,
+          "Table 2 — runtime formulas vs cycle-accurate simulation "
+          "(SA: 2S_R+S_C+T-2, Axon: max(S_R,S_C)+S_R+T-1)");
+}
+
+void BM_SaCycleSim(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_matrix(r, 32, rng);
+  const Matrix b = random_matrix(32, r, rng);
+  ConventionalArraySim sim({r, r});
+  for (auto _ : state) {
+    auto result = sim.run(Dataflow::kOS, a, b);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * i64{r} * r * 32);
+}
+BENCHMARK(BM_SaCycleSim)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AxonCycleSim(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_matrix(r, 32, rng);
+  const Matrix b = random_matrix(32, r, rng);
+  AxonArraySim sim({r, r});
+  for (auto _ : state) {
+    auto result = sim.run(Dataflow::kOS, a, b);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * i64{r} * r * 32);
+}
+BENCHMARK(BM_AxonCycleSim)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv,
+                          [](std::ostream& os) { axon::print_tables(os); });
+}

@@ -1,0 +1,47 @@
+// Network analysis: per-layer Axon-vs-SA report for four CNNs, written as
+// both console tables and CSV files (one per network, in the working
+// directory).
+//
+//   $ ./network_report [array_size]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "runner/network_runner.hpp"
+
+using namespace axon;
+
+int main(int argc, char** argv) {
+  const int size = argc > 1 ? std::atoi(argv[1]) : 128;
+
+  const std::vector<std::pair<std::string, std::vector<ConvWorkload>>> nets = {
+      {"resnet50", resnet50_conv_layers()},
+      {"yolov3", yolov3_conv_layers()},
+      {"mobilenet_v1", mobilenet_v1_all_layers()},
+      {"efficientnet_b0", efficientnet_b0_layers()},
+  };
+
+  Table t({"network", "layers", "GMACs", "compute_speedup",
+           "traffic_reduction_%", "dram_saved_mJ", "roofline_speedup"});
+  for (const auto& [name, layers] : nets) {
+    const NetworkReport r = analyze_network(name, layers, size);
+    t.row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(r.layers.size()))
+        .cell(static_cast<double>(total_macs(layers)) / 1e9, 2)
+        .cell(r.compute_speedup, 3)
+        .cell(r.traffic_reduction_pct, 1)
+        .cell(r.dram_energy_saved_mj, 2)
+        .cell(r.roofline_speedup, 3);
+
+    const std::string path = name + "_axon_report.csv";
+    std::ofstream csv(path);
+    write_csv(r, csv);
+    std::cout << "wrote " << path << " (" << r.layers.size() << " layers)\n";
+  }
+  std::cout << "\n";
+  t.print(std::cout, "Axon vs conventional SA at " + std::to_string(size) +
+                         "x" + std::to_string(size));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one GEMM on the Axon accelerator and on the conventional
+// systolic array, cycle-accurately, and compare.
+//
+//   $ ./quickstart
+//
+// Walks through the core public API: Accelerator, RunReport, and the
+// analytical runtime model.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "runner/accelerator.hpp"
+#include "tensor/gemm_ref.hpp"
+
+using namespace axon;
+
+int main() {
+  // A 48x32 * 32x40 GEMM on a 16x16 array: 3x3 = 9 output tiles.
+  Rng rng(42);
+  const Matrix a = random_matrix(48, 32, rng);
+  const Matrix b = random_matrix(32, 40, rng);
+  const Matrix golden = gemm_ref(a, b);
+
+  Table t({"arch", "dataflow", "cycles", "model_cycles", "tiles",
+           "utilization_%", "correct"});
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+      Accelerator acc({.arch = arch, .array = {16, 16}, .dataflow = df});
+      const RunReport r = acc.run_gemm(a, b);
+      t.row()
+          .cell(to_string(arch))
+          .cell(to_string(df))
+          .cell(r.cycles)
+          .cell(r.model_cycles)
+          .cell(r.tiles)
+          .cell(100.0 * r.utilization, 1)
+          .cell(r.out.approx_equal(golden, 1e-3) ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout, "GEMM 48x32x40 on a 16x16 array, cycle-accurate");
+
+  std::cout << "\nAxon injects operands at the diagonal PEs and propagates\n"
+               "bi-directionally, cutting the fill latency from R+C-2 to\n"
+               "max(R,C)-1 — the cycle advantage you see above.\n";
+  return 0;
+}

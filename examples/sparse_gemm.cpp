@@ -1,0 +1,48 @@
+// Sparse GEMM with zero gating: sweeps IFMAP sparsity, runs the
+// cycle-accurate Axon array, and reports gated-MAC fractions and the
+// resulting power estimate (paper §5.2.1: 5.3% reduction at 10% sparsity).
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hw/area_power.hpp"
+#include "runner/accelerator.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/sparsity.hpp"
+
+using namespace axon;
+
+int main() {
+  const AreaPowerModel hw(TechNode::kAsap7);
+  const double base_power = hw.axon({16, 16}, /*with_im2col=*/true).power_mw;
+
+  Table t({"sparsity_%", "gated_MACs", "total_MACs", "gated_%", "power_mW",
+           "reduction_%", "result_ok"});
+  Rng rng(21);
+  const Matrix dense_b = random_matrix(64, 48, rng);
+  for (double s : {0.0, 0.1, 0.25, 0.5, 0.75}) {
+    Matrix a = random_sparse_matrix(48, 64, s, rng);
+    const Matrix golden = gemm_ref(a, dense_b);
+
+    Accelerator acc({.arch = ArchType::kAxon, .array = {16, 16}});
+    const RunReport r = acc.run_gemm(a, dense_b);
+
+    const double gated_frac = static_cast<double>(r.macs.gated_macs) /
+                              static_cast<double>(r.macs.total_macs());
+    const double power = hw.power_with_zero_gating(base_power, gated_frac);
+    t.row()
+        .cell(100.0 * s, 1)
+        .cell(r.macs.gated_macs)
+        .cell(r.macs.total_macs())
+        .cell(100.0 * gated_frac, 2)
+        .cell(power, 2)
+        .cell(100.0 * (1.0 - power / base_power), 2)
+        .cell(r.out.approx_equal(golden, 1e-3) ? "yes" : "NO");
+  }
+  t.print(std::cout,
+          "Sparse GEMM 48x64x48 on Axon 16x16 with zero gating "
+          "(results identical; only power changes)");
+  std::cout << "\npaper reference point: 10% sparsity -> 5.3% total power "
+               "reduction\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Visualizes per-PE activity: why the conventional SA wastes PE-cycles on
+// skewed fills and how Axon's diagonal feeding changes the picture. Prints
+// ASCII heatmaps of MAC counts per PE for a small tile, plus the
+// utilization numbers for a rectangular workload.
+#include <iostream>
+
+#include "baseline/conventional_array.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/axon_array.hpp"
+#include "model/utilization.hpp"
+
+using namespace axon;
+
+namespace {
+
+void print_heatmap(const Matrix& activity, i64 cycles, const std::string& name) {
+  std::cout << name << " (per-PE MACs over " << cycles << " cycles):\n";
+  float max_v = 0.0f;
+  for (i64 i = 0; i < activity.rows(); ++i) {
+    for (i64 j = 0; j < activity.cols(); ++j) {
+      max_v = std::max(max_v, activity.at(i, j));
+    }
+  }
+  const char* shades = " .:-=+*#%@";
+  for (i64 i = 0; i < activity.rows(); ++i) {
+    std::cout << "  ";
+    for (i64 j = 0; j < activity.cols(); ++j) {
+      const int level = max_v == 0.0f
+                            ? 0
+                            : static_cast<int>(activity.at(i, j) / max_v * 9);
+      std::cout << shades[level] << shades[level];
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(90);
+  const Matrix a = random_matrix(12, 6, rng);
+  const Matrix b = random_matrix(6, 12, rng);
+
+  const GemmRunResult sa =
+      ConventionalArraySim({12, 12}).run(Dataflow::kOS, a, b);
+  const GemmRunResult ax = AxonArraySim({12, 12}).run(Dataflow::kOS, a, b);
+  // Both architectures perform identical per-PE work on a full tile; the
+  // difference is how many *cycles* that work is spread over.
+  print_heatmap(sa.pe_activity, sa.cycles, "conventional SA (12x12, T=6)");
+  print_heatmap(ax.pe_activity, ax.cycles, "Axon (12x12, T=6)");
+  std::cout << "same MACs, " << sa.cycles << " vs " << ax.cycles
+            << " cycles -> utilization "
+            << fmt_double(100.0 * static_cast<double>(sa.macs.total_macs()) /
+                              (144.0 * static_cast<double>(sa.cycles)),
+                          1)
+            << "% vs "
+            << fmt_double(100.0 * static_cast<double>(ax.macs.total_macs()) /
+                              (144.0 * static_cast<double>(ax.cycles)),
+                          1)
+            << "%\n\n";
+
+  // Model-level utilization for the Table-3-style rectangular workload.
+  Table t({"array", "UR_SA_%", "UR_Axon_%", "improvement_pp"});
+  const GemmShape g{256, 84, 1024};
+  for (int s : {32, 64, 128, 256}) {
+    const double ur_sa =
+        best_utilization_rate(ArchType::kConventionalSA, g, {s, s});
+    const double ur_ax = best_utilization_rate(ArchType::kAxon, g, {s, s});
+    t.row()
+        .cell(std::to_string(s) + "x" + std::to_string(s))
+        .cell(100.0 * ur_sa, 2)
+        .cell(100.0 * ur_ax, 2)
+        .cell(100.0 * (ur_ax - ur_sa), 2);
+  }
+  t.print(std::cout, "utilization for GEMM(256, 84, 1024), best dataflow");
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "baseline/conventional_array.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pe/mac.hpp"
+
+namespace axon {
+
+namespace {
+
+/// A latched operand travelling through the array: value + valid bit.
+struct Slot {
+  float value = 0.0f;
+  bool valid = false;
+};
+
+}  // namespace
+
+ConventionalArraySim::ConventionalArraySim(ArrayShape shape, SimOptions options)
+    : shape_(shape), options_(options) {
+  AXON_CHECK(shape_.valid(), "invalid array shape ", shape_.rows, "x",
+             shape_.cols);
+}
+
+GemmRunResult ConventionalArraySim::run(Dataflow df, const Matrix& a,
+                                        const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
+  switch (df) {
+    case Dataflow::kOS:
+      return run_os(a, b);
+    case Dataflow::kWS: {
+      // Stationary = A^T mapped (K rows x M cols); stream = B (K x N);
+      // Out[n][m] = C[m][n] -> transpose back.
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stationary(k, m);
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stationary.at(kk, i) = a.at(i, kk);
+      }
+      GemmRunResult r = run_stationary(stationary, b, Dataflow::kWS);
+      Matrix c(m, b.cols());
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 j = 0; j < b.cols(); ++j) c.at(i, j) = r.out.at(j, i);
+      }
+      r.out = std::move(c);
+      return r;
+    }
+    case Dataflow::kIS: {
+      // Stationary = B (K x N); stream = A^T (K x M); Out[m][n] = C[m][n].
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stream(k, m);
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stream.at(kk, i) = a.at(i, kk);
+      }
+      return run_stationary(b, stream, Dataflow::kIS);
+    }
+  }
+  AXON_CHECK(false, "unreachable dataflow");
+  return {};
+}
+
+GemmRunResult ConventionalArraySim::run_os(const Matrix& a, const Matrix& b) {
+  const i64 r = a.rows();   // rows of PEs used
+  const i64 c = b.cols();   // cols of PEs used
+  const i64 t_len = a.cols();
+  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ", shape_.rows);
+  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ", shape_.cols);
+
+  GemmRunResult result;
+  result.dataflow = Dataflow::kOS;
+  result.arch = ArchType::kConventionalSA;
+
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<Slot> a_reg(n), b_reg(n), a_next(n), b_next(n);
+  std::vector<float> acc(n, 0.0f);
+  std::vector<MacUnit> mac(n, MacUnit(options_.zero_gating,
+                                      options_.fp16_numerics));
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  // Left-edge feeder for A row i: value A[i][t - i] (one-cycle skew per
+  // row, as required by the conventional orchestration).
+  auto feed_a = [&](i64 i, i64 t) -> Slot {
+    const i64 k = t - i;
+    if (k < 0 || k >= t_len) return {};
+    result.stats.add("sram.ifmap.loads");
+    return {a.at(i, k), true};
+  };
+  // Top-edge feeder for B col j: value B[t - j][j].
+  auto feed_b = [&](i64 j, i64 t) -> Slot {
+    const i64 k = t - j;
+    if (k < 0 || k >= t_len) return {};
+    result.stats.add("sram.filter.loads");
+    return {b.at(k, j), true};
+  };
+
+  // Compute phase: last MAC at the farthest PE happens at cycle index
+  // (T-1) + (r-1) + (c-1); loop runs that many + 1 cycles.
+  const i64 compute_cycles = t_len + r + c - 2;
+  bool farthest_seen = false;
+  for (i64 t = 0; t < compute_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      for (i64 j = 0; j < c; ++j) {
+        const Slot a_in = (j == 0) ? feed_a(i, t) : a_reg[idx(i, j - 1)];
+        const Slot b_in = (i == 0) ? feed_b(j, t) : b_reg[idx(i - 1, j)];
+        if (a_in.valid && b_in.valid) {
+          auto& u = mac[idx(i, j)];
+          acc[idx(i, j)] = u.mac(a_in.value, b_in.value, acc[idx(i, j)]);
+          if (!farthest_seen && i == r - 1 && j == c - 1) {
+            result.fill_cycles = t;  // == (r-1)+(c-1) by construction
+            farthest_seen = true;
+          }
+        } else {
+          mac[idx(i, j)].idle();
+        }
+        a_next[idx(i, j)] = a_in;
+        b_next[idx(i, j)] = b_in;
+      }
+    }
+    std::swap(a_reg, a_next);
+    std::swap(b_reg, b_next);
+  }
+  AXON_CHECK(farthest_seen, "farthest PE never received operands");
+
+  // Drain: accumulators shift down their column, one row per cycle.
+  result.drain_cycles = r;
+  result.cycles = compute_cycles + result.drain_cycles;
+
+  result.out = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) result.out.at(i, j) = acc[idx(i, j)];
+  }
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(mac[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& u : mac) result.macs += u.counters();
+  return result;
+}
+
+GemmRunResult ConventionalArraySim::run_stationary(const Matrix& stationary,
+                                                   const Matrix& stream,
+                                                   Dataflow df) {
+  const i64 r = stationary.rows();  // reduction dim (S_R)
+  const i64 c = stationary.cols();  // output spatial dim (S_C)
+  const i64 t_len = stream.cols();  // temporal dim
+  AXON_CHECK(stream.rows() == r, "stream rows must equal stationary rows");
+  AXON_CHECK(r <= shape_.rows, to_string(df), ": K=", r,
+             " exceeds array rows ", shape_.rows);
+  AXON_CHECK(c <= shape_.cols, to_string(df), ": spatial dim ", c,
+             " exceeds array cols ", shape_.cols);
+
+  GemmRunResult result;
+  result.dataflow = df;
+  result.arch = ArchType::kConventionalSA;
+
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<Slot> x_reg(n), x_next(n), p_reg(n), p_next(n);
+  std::vector<MacUnit> mac(n, MacUnit(options_.zero_gating,
+                                      options_.fp16_numerics));
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  // Preload: the stationary operand shifts down one row per cycle; r cycles
+  // until every row holds its values.
+  result.preload_cycles = r;
+  result.stats.add("sram.stationary.loads", r * c);
+
+  // Stream phase. X row i is skewed by i cycles; partial sums flow down and
+  // exit at the bottom row into the collectors.
+  auto feed_x = [&](i64 i, i64 t) -> Slot {
+    const i64 k = t - i;
+    if (k < 0 || k >= t_len) return {};
+    result.stats.add("sram.stream.loads");
+    return {stream.at(i, k), true};
+  };
+
+  Matrix out(t_len, c);
+  const i64 stream_cycles = t_len + r + c - 2;
+  bool farthest_seen = false;
+  for (i64 t = 0; t < stream_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      for (i64 j = 0; j < c; ++j) {
+        const Slot x_in = (j == 0) ? feed_x(i, t) : x_reg[idx(i, j - 1)];
+        const Slot p_in = (i == 0) ? Slot{0.0f, x_in.valid} : p_reg[idx(i - 1, j)];
+        Slot p_out;
+        if (x_in.valid) {
+          AXON_DCHECK(i == 0 || p_in.valid,
+                      "psum chain broken at row ", i, " col ", j);
+          auto& u = mac[idx(i, j)];
+          p_out = {u.mac(x_in.value, stationary.at(i, j), p_in.value), true};
+          if (!farthest_seen && i == r - 1 && j == c - 1) {
+            result.fill_cycles = t;
+            farthest_seen = true;
+          }
+        } else {
+          mac[idx(i, j)].idle();
+          p_out = p_in;  // bypass idle bubbles
+        }
+        x_next[idx(i, j)] = x_in;
+        p_next[idx(i, j)] = p_out;
+        if (i == r - 1 && p_out.valid) {
+          // Output for temporal index n emerges at t = n + (r-1) + j.
+          const i64 nn = t - (r - 1) - j;
+          AXON_DCHECK(nn >= 0 && nn < t_len, "bad output timing");
+          out.at(nn, j) = p_out.value;
+        }
+      }
+    }
+    std::swap(x_reg, x_next);
+    std::swap(p_reg, p_next);
+  }
+  AXON_CHECK(farthest_seen, "farthest PE never streamed");
+
+  result.cycles = result.preload_cycles + stream_cycles;
+  result.out = std::move(out);
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(mac[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& u : mac) result.macs += u.counters();
+  return result;
+}
+
+}  // namespace axon

@@ -1,0 +1,49 @@
+// Cycle-accurate simulator of the conventional (uni-directional) systolic
+// array of paper Fig. 1. Operands enter at the left column / top row with
+// the classic one-cycle-per-row (column) skew and propagate right/down
+// through pipeline latches.
+//
+// The simulator is *functional*: it computes the actual GEMM tile cycle by
+// cycle, so both the result matrix and the cycle count can be verified —
+// the cycle counts reproduce SCALE-SIM equation (1):
+//     tau = 2*S_R + S_C + T - 2.
+//
+// Dataflows:
+//  * OS — A (r x T) streams from the left (row-skewed), B (T x c) from the
+//    top (column-skewed); each PE accumulates locally; r-cycle drain.
+//  * WS/IS — the stationary operand is preloaded top-down (S_R cycles),
+//    the streaming operand enters from the left, partial sums flow down and
+//    exit at the bottom row.
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+class ConventionalArraySim {
+ public:
+  explicit ConventionalArraySim(ArrayShape shape, SimOptions options = {});
+
+  [[nodiscard]] ArrayShape shape() const { return shape_; }
+
+  /// C = A * B on one tile. Requirements depend on dataflow:
+  ///  * OS: A.rows() <= R, B.cols() <= C (T = A.cols() unbounded)
+  ///  * WS: A.cols() (=K) <= R, A.rows() (=M) <= C (T = N unbounded)
+  ///  * IS: A.cols() (=K) <= R, B.cols() (=N) <= C (T = M unbounded)
+  GemmRunResult run(Dataflow df, const Matrix& a, const Matrix& b);
+
+ private:
+  GemmRunResult run_os(const Matrix& a, const Matrix& b);
+
+  /// Shared WS/IS engine. Computes Out[t][j] = sum_i St[i][j] * X[i][t]
+  /// with St stationary (r x c) and X streaming (r x T).
+  GemmRunResult run_stationary(const Matrix& stationary, const Matrix& stream,
+                               Dataflow df);
+
+  ArrayShape shape_;
+  SimOptions options_;
+};
+
+}  // namespace axon

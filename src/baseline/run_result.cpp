@@ -1,0 +1,5 @@
+#include "baseline/run_result.hpp"
+
+// Data-only header; this TU exists so the library has a concrete object.
+
+namespace axon {}

@@ -1,0 +1,35 @@
+// Result of one cycle-accurate array run (single tile). Shared by the
+// conventional-SA baseline and the Axon core simulators so tests can compare
+// them field by field.
+#pragma once
+
+#include "common/types.hpp"
+#include "pe/mac.hpp"
+#include "sim/stats.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+struct GemmRunResult {
+  Matrix out;                    ///< the computed product tile
+  i64 cycles = 0;                ///< total cycles incl. preload/fill/drain
+  i64 fill_cycles = 0;           ///< observed cycles until the farthest used
+                                 ///< PE had both operands (SA: R+C-2,
+                                 ///< Axon: max(R,C)-1)
+  i64 preload_cycles = 0;        ///< WS/IS stationary-load cycles
+  i64 drain_cycles = 0;          ///< OS readout cycles
+  MacCounters macs;              ///< aggregated over all PEs
+  Matrix pe_activity;            ///< per-PE MAC count (active + gated) over
+                                 ///< the used region — the utilization map
+  Stats stats;                   ///< SRAM loads, forwards, ...
+  Dataflow dataflow = Dataflow::kOS;
+  ArchType arch = ArchType::kConventionalSA;
+};
+
+/// Options shared by the array simulators.
+struct SimOptions {
+  bool zero_gating = true;
+  bool fp16_numerics = false;  ///< round every MAC to binary16
+};
+
+}  // namespace axon

@@ -1,0 +1,13 @@
+#include "common/check.hpp"
+
+namespace axon::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "AXON_CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace axon::detail

@@ -1,0 +1,52 @@
+// Lightweight contract checking. AXON_CHECK is always on (simulator
+// correctness beats raw speed everywhere we use it); AXON_DCHECK compiles out
+// in NDEBUG builds and is for per-cycle hot-path invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace axon {
+
+/// Thrown by AXON_CHECK failures; carries file:line and the failed condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace axon
+
+#define AXON_CHECK(cond, ...)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::axon::detail::check_failed(#cond, __FILE__, __LINE__,            \
+                                   ::axon::detail::format_msg(__VA_ARGS__)); \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define AXON_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define AXON_DCHECK(cond, ...) AXON_CHECK(cond, __VA_ARGS__)
+#endif
+
+namespace axon::detail {
+
+inline std::string format_msg() { return {}; }
+
+template <typename... Args>
+std::string format_msg(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace axon::detail

@@ -1,0 +1,96 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace axon {
+
+namespace {
+constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+}  // namespace
+
+std::uint16_t float_to_fp16_bits(float v) {
+  const auto f = std::bit_cast<std::uint32_t>(v);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint32_t abs = f & ~kF32SignMask;
+
+  if (abs >= 0x7F80'0000u) {           // inf or NaN
+    if (abs > 0x7F80'0000u) {          // NaN: keep a quiet payload
+      return static_cast<std::uint16_t>(sign | 0x7E00u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x4780'0000u) {           // >= 65536 -> overflow to inf
+    // 65504 is the max finite fp16; values in (65504, 65536) round per RNE.
+    if (abs < 0x477F'E000u + 0x1000u && abs <= 0x477F'EFFFu) {
+      return static_cast<std::uint16_t>(sign | 0x7BFFu);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  // Normal / subnormal path via exponent rebias.
+  const int exp32 = static_cast<int>(abs >> 23);
+  std::uint32_t mant = abs & 0x007F'FFFFu;
+  int exp16 = exp32 - 127 + 15;
+
+  if (exp16 >= 0x1F) {  // overflow after rounding below is handled there
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  std::uint32_t mant16;
+  if (exp16 <= 0) {  // subnormal fp16 (or zero)
+    if (exp16 < -10) return sign;  // rounds to zero
+    mant |= 0x0080'0000u;          // restore implicit bit
+    const int shift = 14 - exp16;  // bits to drop: 23-10 + (1-exp16)
+    const std::uint32_t kept = mant >> shift;
+    const std::uint32_t dropped = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    mant16 = kept;
+    if (dropped > half || (dropped == half && (kept & 1u))) ++mant16;
+    // mant16 may carry into the exponent field, which is exactly correct
+    // (smallest normal).
+    return static_cast<std::uint16_t>(sign | mant16);
+  }
+
+  // Normal: drop 13 mantissa bits with round-to-nearest-even.
+  const std::uint32_t kept = mant >> 13;
+  const std::uint32_t dropped = mant & 0x1FFFu;
+  mant16 = kept;
+  if (dropped > 0x1000u || (dropped == 0x1000u && (kept & 1u))) ++mant16;
+  std::uint32_t out = (static_cast<std::uint32_t>(exp16) << 10) + mant16;
+  if (out >= 0x7C00u) out = 0x7C00u;  // mantissa carry overflowed to inf
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float fp16_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = (bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x3FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // +/- 0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      m &= 0x3FFu;
+      const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+      f = sign | (exp32 << 23) | (m << 13);
+    }
+  } else if (exp == 0x1F) {
+    f = sign | 0x7F80'0000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+float fp16_round(float v) { return fp16_bits_to_float(float_to_fp16_bits(v)); }
+
+}  // namespace axon

@@ -1,0 +1,33 @@
+// IEEE 754 binary16 software emulation. The paper's PEs use an FP16 MAC
+// (simplified FPnew); we emulate the storage format so functional tests run
+// with representative numerics while the simulator computes in float.
+#pragma once
+
+#include <cstdint>
+
+namespace axon {
+
+/// Round a float to the nearest binary16 value (round-to-nearest-even) and
+/// back to float. Overflow saturates to +/-inf like IEEE 754.
+float fp16_round(float v);
+
+/// Raw conversions, exposed for tests.
+std::uint16_t float_to_fp16_bits(float v);
+float fp16_bits_to_float(std::uint16_t bits);
+
+/// Value type that stores binary16 and converts transparently.
+class Fp16 {
+ public:
+  Fp16() = default;
+  explicit Fp16(float v) : bits_(float_to_fp16_bits(v)) {}
+
+  [[nodiscard]] float to_float() const { return fp16_bits_to_float(bits_); }
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+
+  friend bool operator==(const Fp16&, const Fp16&) = default;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace axon

@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+int Rng::uniform_int(int lo, int hi) {
+  AXON_CHECK(lo <= hi, "uniform_int range");
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  AXON_CHECK(lo <= hi, "uniform_i64 range");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+float Rng::small_value() {
+  return static_cast<float>(uniform_int(-4, 4));
+}
+
+std::vector<float> Rng::sparse_values(std::size_t n, double zero_fraction) {
+  AXON_CHECK(zero_fraction >= 0.0 && zero_fraction <= 1.0,
+             "zero_fraction must be in [0,1]");
+  std::vector<float> out(n);
+  for (auto& v : out) {
+    if (bernoulli(zero_fraction)) {
+      v = 0.0f;
+    } else {
+      // Never zero so the sparsity level is exactly what was asked for.
+      float s = small_value();
+      v = (s == 0.0f) ? 1.0f : s;
+    }
+  }
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,42 @@
+// Deterministic random generation for tests, workload synthesis and sparsity
+// injection. All randomness in the repo flows through Rng so every
+// experiment is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace axon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDAB1Eu) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f);
+
+  /// Standard normal.
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Small signed values in [-4, 4] that are exactly representable in FP16
+  /// products; ideal for bit-exact systolic-array functional checks.
+  float small_value();
+
+  /// Vector of n small values with a given fraction of exact zeros.
+  std::vector<float> sparse_values(std::size_t n, double zero_fraction);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace axon

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AXON_CHECK(!header_.empty(), "Table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  AXON_CHECK(!rows_.empty(), "call row() before cell()");
+  AXON_CHECK(rows_.back().size() < header_.size(), "too many cells in row");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  return cell(fmt_double(v, precision));
+}
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) print_row(r);
+  os.flush();
+}
+
+}  // namespace axon

@@ -1,0 +1,42 @@
+// Minimal fixed-width table printer used by every bench binary to emit the
+// paper's tables/figure series in a uniform, grep-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axon {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+/// Numeric helpers format with a fixed precision so bench output is stable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+
+  /// Render with a title line and column alignment.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (shared by Table and ad-hoc
+/// prints in examples).
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace axon

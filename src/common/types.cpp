@@ -1,0 +1,90 @@
+#include "common/types.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+std::string to_string(Dataflow df) {
+  switch (df) {
+    case Dataflow::kOS: return "OS";
+    case Dataflow::kWS: return "WS";
+    case Dataflow::kIS: return "IS";
+  }
+  return "?";
+}
+
+std::string to_string(ArchType arch) {
+  switch (arch) {
+    case ArchType::kConventionalSA: return "SA";
+    case ArchType::kAxon: return "Axon";
+    case ArchType::kCMSA: return "CMSA";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Dataflow df) {
+  return os << to_string(df);
+}
+
+std::ostream& operator<<(std::ostream& os, ArchType arch) {
+  return os << to_string(arch);
+}
+
+std::ostream& operator<<(std::ostream& os, const ArrayShape& s) {
+  return os << s.rows << "x" << s.cols;
+}
+
+std::ostream& operator<<(std::ostream& os, const GemmShape& s) {
+  return os << "GEMM(M=" << s.M << ",K=" << s.K << ",N=" << s.N << ")";
+}
+
+bool ConvShape::valid() const {
+  if (in_channels <= 0 || in_h <= 0 || in_w <= 0) return false;
+  if (out_channels <= 0 || kernel_h <= 0 || kernel_w <= 0) return false;
+  if (stride_h <= 0 || stride_w <= 0 || pad_h < 0 || pad_w < 0) return false;
+  if (groups <= 0) return false;
+  if (in_channels % groups != 0 || out_channels % groups != 0) return false;
+  if (in_h + 2 * pad_h < kernel_h) return false;
+  if (in_w + 2 * pad_w < kernel_w) return false;
+  return true;
+}
+
+i64 ConvShape::macs() const {
+  const i64 per_out = i64{1} * kernel_h * kernel_w * (in_channels / groups);
+  return per_out * out_channels * out_h() * out_w();
+}
+
+GemmShape ConvShape::as_gemm() const {
+  AXON_CHECK(valid(), "ConvShape::as_gemm on invalid shape");
+  GemmShape g;
+  g.M = out_channels / groups;
+  g.K = i64{1} * (in_channels / groups) * kernel_h * kernel_w;
+  g.N = i64{1} * out_h() * out_w();
+  return g;
+}
+
+std::ostream& operator<<(std::ostream& os, const ConvShape& s) {
+  os << "Conv(Cin=" << s.in_channels << "," << s.in_h << "x" << s.in_w
+     << ",Cout=" << s.out_channels << ",k=" << s.kernel_h << "x" << s.kernel_w
+     << ",s=" << s.stride_h << ",p=" << s.pad_h;
+  if (s.groups != 1) os << ",g=" << s.groups;
+  return os << ")";
+}
+
+ConvShape make_conv(int in_channels, int in_hw, int out_channels, int kernel,
+                    int stride, int pad, int groups) {
+  ConvShape c;
+  c.in_channels = in_channels;
+  c.in_h = c.in_w = in_hw;
+  c.out_channels = out_channels;
+  c.kernel_h = c.kernel_w = kernel;
+  c.stride_h = c.stride_w = stride;
+  c.pad_h = c.pad_w = pad;
+  c.groups = groups;
+  AXON_CHECK(c.valid(), "make_conv produced invalid shape");
+  return c;
+}
+
+}  // namespace axon

@@ -1,0 +1,113 @@
+// Core value types shared by every Axon subsystem: dataflows, architecture
+// ids, array / GEMM / convolution shape descriptors and their invariants.
+//
+// Terminology follows the paper (and SCALE-SIM):
+//   S_R, S_C : spatial dimensions the GEMM is mapped onto (array rows/cols)
+//   T        : temporal dimension (number of MACs each PE performs)
+//   R, C     : physical array rows / columns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace axon {
+
+using i64 = std::int64_t;
+
+/// The three classic systolic dataflows (paper §2.1, Table 1).
+enum class Dataflow { kOS, kWS, kIS };
+
+/// Architectures compared in the paper's evaluation (§5).
+enum class ArchType {
+  kConventionalSA,  ///< baseline uni-directional systolic array
+  kAxon,            ///< diagonal feed + bi-directional propagation (this paper)
+  kCMSA,            ///< configurable multi-directional SA (Xu et al., baseline)
+};
+
+/// Returns "OS" / "WS" / "IS".
+std::string to_string(Dataflow df);
+/// Returns "SA" / "Axon" / "CMSA".
+std::string to_string(ArchType arch);
+
+std::ostream& operator<<(std::ostream& os, Dataflow df);
+std::ostream& operator<<(std::ostream& os, ArchType arch);
+
+/// Physical systolic-array shape. Rows x Cols of PEs.
+struct ArrayShape {
+  int rows = 0;
+  int cols = 0;
+
+  [[nodiscard]] bool valid() const { return rows > 0 && cols > 0; }
+  [[nodiscard]] bool square() const { return rows == cols; }
+  [[nodiscard]] i64 num_pes() const { return i64{1} * rows * cols; }
+  /// Number of PEs that sit on the principal diagonal (Axon feeder PEs).
+  [[nodiscard]] int diagonal_pes() const { return rows < cols ? rows : cols; }
+
+  friend bool operator==(const ArrayShape&, const ArrayShape&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const ArrayShape& s);
+
+/// GEMM problem: (M x K) * (K x N).
+struct GemmShape {
+  i64 M = 0;
+  i64 K = 0;
+  i64 N = 0;
+
+  [[nodiscard]] bool valid() const { return M > 0 && K > 0 && N > 0; }
+  [[nodiscard]] i64 macs() const { return M * K * N; }
+  /// Operand + result element counts (useful for traffic baselines).
+  [[nodiscard]] i64 a_elems() const { return M * K; }
+  [[nodiscard]] i64 b_elems() const { return K * N; }
+  [[nodiscard]] i64 c_elems() const { return M * N; }
+
+  friend bool operator==(const GemmShape&, const GemmShape&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const GemmShape& s);
+
+/// Convolution layer descriptor (NCHW, square-friendly but fully general).
+/// `groups == in_channels` expresses a depthwise convolution.
+struct ConvShape {
+  int in_channels = 0;
+  int in_h = 0;
+  int in_w = 0;
+  int out_channels = 0;
+  int kernel_h = 0;
+  int kernel_w = 0;
+  int stride_h = 1;
+  int stride_w = 1;
+  int pad_h = 0;
+  int pad_w = 0;
+  int groups = 1;
+
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] int out_h() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  [[nodiscard]] int out_w() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  [[nodiscard]] bool depthwise() const {
+    return groups == in_channels && groups == out_channels;
+  }
+  [[nodiscard]] i64 macs() const;
+
+  /// GEMM the layer lowers to via im2col (per group):
+  ///   M = out_channels/groups, K = (in_channels/groups)*kh*kw, N = oh*ow.
+  [[nodiscard]] GemmShape as_gemm() const;
+
+  friend bool operator==(const ConvShape&, const ConvShape&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const ConvShape& s);
+
+/// Convenience factory for the common square-kernel case.
+ConvShape make_conv(int in_channels, int in_hw, int out_channels, int kernel,
+                    int stride = 1, int pad = 0, int groups = 1);
+
+/// Integer ceil-division for positive operands.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+}  // namespace axon

@@ -1,0 +1,285 @@
+#include "core/axon_array.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/geometry.hpp"
+#include "pe/mac.hpp"
+
+namespace axon {
+
+namespace {
+
+/// Travelling operand: value + valid + the temporal index it belongs to.
+/// Carrying `k` lets the simulator assert the central orchestration
+/// invariant: two operands meeting at a PE always share the same k.
+struct Slot {
+  float value = 0.0f;
+  bool valid = false;
+  i64 k = -1;
+};
+
+}  // namespace
+
+AxonArraySim::AxonArraySim(ArrayShape shape, SimOptions options)
+    : shape_(shape), options_(options) {
+  AXON_CHECK(shape_.valid(), "invalid array shape ", shape_.rows, "x",
+             shape_.cols);
+}
+
+GemmRunResult AxonArraySim::run(Dataflow df, const Matrix& a, const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
+  switch (df) {
+    case Dataflow::kOS: {
+      MatrixRowStream a_stream(a);
+      return run_os_stream(a_stream, b);
+    }
+    case Dataflow::kWS: {
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stationary(k, m);  // A^T: S[k][m]
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stationary.at(kk, i) = a.at(i, kk);
+      }
+      GemmRunResult r = run_stationary(stationary, b, Dataflow::kWS);
+      Matrix c(m, b.cols());
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 j = 0; j < b.cols(); ++j) c.at(i, j) = r.out.at(j, i);
+      }
+      r.out = std::move(c);
+      return r;
+    }
+    case Dataflow::kIS: {
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stream(k, m);  // X[k][m] = A[m][k]
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stream.at(kk, i) = a.at(i, kk);
+      }
+      return run_stationary(b, stream, Dataflow::kIS);
+    }
+  }
+  AXON_CHECK(false, "unreachable dataflow");
+  return {};
+}
+
+GemmRunResult AxonArraySim::run_os_stream(RowStream& a_stream, const Matrix& b) {
+  const i64 r = a_stream.num_rows();
+  const i64 c = b.cols();
+  const i64 t_len = a_stream.temporal_length();
+  AXON_CHECK(b.rows() == t_len, "stream length must match B rows");
+  AXON_CHECK(r > 0 && c > 0 && t_len > 0, "empty OS tile");
+  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ", shape_.rows);
+  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ", shape_.cols);
+
+  GemmRunResult result;
+  result.dataflow = Dataflow::kOS;
+  result.arch = ArchType::kAxon;
+
+  const AxonGeometry g(r, c);
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<Slot> a_reg(n), b_reg(n), a_next(n), b_next(n);
+  std::vector<float> acc(n, 0.0f);
+  std::vector<MacUnit> mac(n, MacUnit(options_.zero_gating,
+                                      options_.fp16_numerics));
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  auto feed_a = [&](i64 i, i64 t) -> Slot {
+    const i64 k = t - g.skew_a(i);
+    const auto v = a_stream.value(i, k);
+    if (!v.has_value()) return {};
+    return {*v, true, k};
+  };
+  auto feed_b = [&](i64 j, i64 t) -> Slot {
+    const i64 k = t - g.skew_b(j);
+    if (k < 0 || k >= t_len) return {};
+    result.stats.add("sram.filter.loads");
+    return {b.at(k, j), true, k};
+  };
+
+  // Farthest used PE (Chebyshev): top-right for wide tiles, bottom-left for
+  // tall ones.
+  const i64 far_i = (c >= r) ? 0 : r - 1;
+  const i64 far_j = (c >= r) ? c - 1 : 0;
+
+  const i64 compute_cycles = t_len + g.max_dist();
+  bool farthest_seen = false;
+  for (i64 t = 0; t < compute_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      const i64 sc = g.src_col(i);
+      for (i64 j = 0; j < c; ++j) {
+        Slot a_in;
+        if (j == sc) {
+          a_in = feed_a(i, t);
+        } else if (j > sc) {
+          a_in = a_reg[idx(i, j - 1)];
+        } else {
+          a_in = a_reg[idx(i, j + 1)];
+        }
+        const i64 sr = g.src_row(j);
+        Slot b_in;
+        if (i == sr) {
+          b_in = feed_b(j, t);
+        } else if (i > sr) {
+          b_in = b_reg[idx(i - 1, j)];
+        } else {
+          b_in = b_reg[idx(i + 1, j)];
+        }
+
+        if (a_in.valid && b_in.valid) {
+          // Central orchestration invariant: the two operands belong to the
+          // same temporal step.
+          AXON_DCHECK(a_in.k == b_in.k, "temporal skew at PE(", i, ",", j,
+                      "): a.k=", a_in.k, " b.k=", b_in.k);
+          auto& u = mac[idx(i, j)];
+          acc[idx(i, j)] = u.mac(a_in.value, b_in.value, acc[idx(i, j)]);
+          if (!farthest_seen && i == far_i && j == far_j) {
+            result.fill_cycles = t;  // == max(r,c) - 1 by the timing proof
+            farthest_seen = true;
+          }
+        } else {
+          mac[idx(i, j)].idle();
+        }
+        a_next[idx(i, j)] = a_in;
+        b_next[idx(i, j)] = b_in;
+      }
+    }
+    std::swap(a_reg, a_next);
+    std::swap(b_reg, b_next);
+  }
+  AXON_CHECK(farthest_seen, "farthest PE never received operands");
+
+  result.drain_cycles = r;
+  result.cycles = compute_cycles + result.drain_cycles;
+
+  result.out = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) result.out.at(i, j) = acc[idx(i, j)];
+  }
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(mac[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& u : mac) result.macs += u.counters();
+  result.stats.merge(a_stream.stats());
+  return result;
+}
+
+GemmRunResult AxonArraySim::run_stationary(const Matrix& stationary,
+                                           const Matrix& stream, Dataflow df) {
+  const i64 r = stationary.rows();  // reduction dim (S_R)
+  const i64 c = stationary.cols();  // output spatial dim (S_C)
+  const i64 t_len = stream.cols();
+  AXON_CHECK(stream.rows() == r, "stream rows must equal stationary rows");
+  AXON_CHECK(r <= shape_.rows, to_string(df), ": K=", r,
+             " exceeds array rows ", shape_.rows);
+  AXON_CHECK(c <= shape_.cols, to_string(df), ": spatial dim ", c,
+             " exceeds array cols ", shape_.cols);
+
+  GemmRunResult result;
+  result.dataflow = df;
+  result.arch = ArchType::kAxon;
+
+  const AxonGeometry g(r, c);
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<Slot> x_reg(n), x_next(n), p_reg(n), p_next(n);
+  std::vector<MacUnit> mac(n, MacUnit(options_.zero_gating,
+                                      options_.fp16_numerics));
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  // Preload via the output interconnect (paper §4.2.1): S_R cycles.
+  result.preload_cycles = r;
+  result.stats.add("sram.stationary.loads", r * c);
+
+  auto feed_x = [&](i64 i, i64 t) -> Slot {
+    const i64 k = t - g.skew_a(i);
+    if (k < 0 || k >= t_len) return {};
+    result.stats.add("sram.stream.loads");
+    return {stream.at(i, k), true, k};
+  };
+
+  // Column j splits into two bypass-and-add streams at its diagonal source
+  // row s = src_row(j): rows [0, s) flow upward and exit the top edge; rows
+  // [s, r) flow downward and exit the bottom edge. Edge collectors add the
+  // two portions of each output element (Fig. 8b).
+  Matrix out(t_len, c);
+  const i64 far_i = (c >= r) ? 0 : r - 1;
+  const i64 far_j = (c >= r) ? c - 1 : 0;
+
+  const i64 stream_cycles = t_len + g.max_dist();
+  bool farthest_seen = false;
+  for (i64 t = 0; t < stream_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      const i64 sc = g.src_col(i);
+      for (i64 j = 0; j < c; ++j) {
+        Slot x_in;
+        if (j == sc) {
+          x_in = feed_x(i, t);
+        } else if (j > sc) {
+          x_in = x_reg[idx(i, j - 1)];
+        } else {
+          x_in = x_reg[idx(i, j + 1)];
+        }
+
+        const i64 s = g.src_row(j);
+        Slot p_in;  // invalid == stream origin (psum starts at 0)
+        if (i >= s) {  // downward stream; the diagonal PE initiates it
+          if (i > s) p_in = p_reg[idx(i - 1, j)];
+        } else {  // upward stream; row s-1 initiates it
+          if (i < s - 1) p_in = p_reg[idx(i + 1, j)];
+        }
+
+        Slot p_out;
+        if (x_in.valid) {
+          AXON_DCHECK(!p_in.valid || p_in.k == x_in.k,
+                      "psum/operand temporal mismatch at PE(", i, ",", j, ")");
+          auto& u = mac[idx(i, j)];
+          p_out = {u.mac(x_in.value, stationary.at(i, j),
+                         p_in.valid ? p_in.value : 0.0f),
+                   true, x_in.k};
+          if (!farthest_seen && i == far_i && j == far_j) {
+            result.fill_cycles = t;
+            farthest_seen = true;
+          }
+        } else {
+          mac[idx(i, j)].idle();
+          p_out = p_in;  // bypass bubbles so trailing psums still exit
+        }
+        x_next[idx(i, j)] = x_in;
+        p_next[idx(i, j)] = p_out;
+
+        // Edge collectors.
+        if (p_out.valid) {
+          if (i == 0 && s > 0) {
+            // Top exit carries the upper portion (rows [0, s)).
+            out.at(p_out.k, j) += p_out.value;
+          }
+          if (i == r - 1) {
+            // Bottom exit carries the diagonal + lower portion (rows [s, r)).
+            out.at(p_out.k, j) += p_out.value;
+          }
+        }
+      }
+    }
+    std::swap(x_reg, x_next);
+    std::swap(p_reg, p_next);
+  }
+  AXON_CHECK(farthest_seen, "farthest PE never streamed");
+
+  result.cycles = result.preload_cycles + stream_cycles;
+  result.out = std::move(out);
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(mac[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& u : mac) result.macs += u.counters();
+  return result;
+}
+
+}  // namespace axon

@@ -1,0 +1,59 @@
+// Cycle-accurate simulator of the Axon systolic array (paper §3, §4).
+//
+// Orchestration (Fig. 3): operands are injected at the PEs on the principal
+// diagonal — unskewed — and propagate bi-directionally: the IFMAP-side
+// operand left+right along its row, the FILTER-side operand up+down along
+// its column. Operands for temporal step k meet at PE (i, j) at cycle
+// k + |i - j| (Chebyshev instead of Manhattan distance), so the fill term
+// of the runtime is max(R, C) - 1 instead of R + C - 2.
+//
+// Rectangular tiles (Fig. 5): rows/columns with no diagonal PE are fed from
+// the nearest edge PE with a zero-padding skew equal to their distance from
+// it; arrival times stay coherent (see the timing proof in the .cpp).
+//
+// Dataflows:
+//  * OS — both operands travel; each PE accumulates locally; R-cycle drain.
+//  * WS/IS (§4.2) — stationary operand preloaded via the output interconnect
+//    (S_R cycles); the streaming operand travels from the diagonal; partial
+//    sums form two bypass-and-add streams per column, split at the diagonal
+//    PE: the upper segment flows up and exits the top edge, the diagonal +
+//    lower segment flows down and exits the bottom edge; edge collectors add
+//    the two portions (Fig. 8b).
+//
+// The simulator is functional: it produces the actual product, checks the
+// "operands meeting at a PE share the same temporal index" invariant every
+// cycle, and its cycle counts reproduce paper Table 2 exactly.
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "core/row_stream.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+class AxonArraySim {
+ public:
+  explicit AxonArraySim(ArrayShape shape, SimOptions options = {});
+
+  [[nodiscard]] ArrayShape shape() const { return shape_; }
+
+  /// C = A * B on one tile; same shape requirements as the conventional
+  /// simulator (see ConventionalArraySim::run).
+  GemmRunResult run(Dataflow df, const Matrix& a, const Matrix& b);
+
+  /// OS run with a custom horizontal stream (e.g. the im2col feeder chain).
+  /// `b` must have b.rows() == a_stream.temporal_length() and its row order
+  /// must match the stream's k order.
+  GemmRunResult run_os_stream(RowStream& a_stream, const Matrix& b);
+
+ private:
+  /// Shared WS/IS engine: Out[t][j] = sum_i St[i][j] * X[i][t].
+  GemmRunResult run_stationary(const Matrix& stationary, const Matrix& stream,
+                               Dataflow df);
+
+  ArrayShape shape_;
+  SimOptions options_;
+};
+
+}  // namespace axon

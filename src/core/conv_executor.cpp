@@ -1,0 +1,152 @@
+#include "core/conv_executor.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "baseline/conventional_array.hpp"
+#include "common/check.hpp"
+#include "core/axon_array.hpp"
+#include "core/im2col_feeder.hpp"
+#include "tensor/conv_ref.hpp"
+#include "tensor/im2col.hpp"
+
+namespace axon {
+
+namespace {
+
+/// Flattened filters for `group` with rows permuted to the feeder's
+/// reversed stream order (step k carries flattened index K-1-k), restricted
+/// to filter columns [oc0, oc0+ocn).
+Matrix reversed_filter_tile(const Matrix& flat, i64 oc0, i64 ocn) {
+  Matrix out(flat.rows(), ocn);
+  const i64 k_len = flat.rows();
+  for (i64 p = 0; p < k_len; ++p) {
+    for (i64 j = 0; j < ocn; ++j) {
+      out.at(p, j) = flat.at(k_len - 1 - p, oc0 + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConvRunResult run_conv_axon_im2col(const Tensor4& input, const Tensor4& filters,
+                                   const ConvShape& conv, ArrayShape array,
+                                   SimOptions options) {
+  AXON_CHECK(conv.valid(), "invalid conv shape");
+  AXON_CHECK(array.valid(), "invalid array shape");
+
+  ConvRunResult result;
+  result.output =
+      Tensor4(input.n(), conv.out_channels, conv.out_h(), conv.out_w());
+
+  AxonArraySim sim(array, options);
+  const i64 og = conv.out_channels / conv.groups;
+  // Windows map to rows and every used row must be a diagonal feeder PE
+  // (the MUX chain lives on the diagonal), so window tiles hold at most
+  // min(R, C) windows. Tiles never span output-row boundaries: windows in
+  // different output rows are not horizontally adjacent, so the chain would
+  // break there anyway (this matches model/im2col_traffic's segmentation).
+  const i64 max_windows_per_tile = array.diagonal_pes();
+  std::vector<std::pair<i64, i64>> segments;  // (first_window, count)
+  for (i64 oy = 0; oy < conv.out_h(); ++oy) {
+    for (i64 ox0 = 0; ox0 < conv.out_w(); ox0 += max_windows_per_tile) {
+      const i64 wn = std::min<i64>(max_windows_per_tile, conv.out_w() - ox0);
+      segments.emplace_back(i64{1} * oy * conv.out_w() + ox0, wn);
+    }
+  }
+
+  for (i64 b = 0; b < input.n(); ++b) {
+    for (int g = 0; g < conv.groups; ++g) {
+      const Matrix flat = flatten_filters(filters, conv, g);
+      for (const auto& [w0, wn] : segments) {
+        for (i64 oc0 = 0; oc0 < og; oc0 += array.cols) {
+          const i64 ocn = std::min<i64>(array.cols, og - oc0);
+          Im2colFeeder feeder(input, conv, w0, wn, g, b);
+          const Matrix b_tile = reversed_filter_tile(flat, oc0, ocn);
+          GemmRunResult tile = sim.run_os_stream(feeder, b_tile);
+
+          ++result.tiles;
+          result.cycles += tile.cycles;
+          result.ifmap_sram_loads += feeder.sram_loads();
+          result.neighbor_forwards += feeder.neighbor_forwards();
+          result.filter_sram_loads += tile.stats.get("sram.filter.loads");
+          result.macs += tile.macs;
+
+          // Scatter the window x filter tile into the output tensor.
+          for (i64 wi = 0; wi < wn; ++wi) {
+            const i64 w = w0 + wi;
+            const i64 oy = w / conv.out_w();
+            const i64 ox = w % conv.out_w();
+            for (i64 j = 0; j < ocn; ++j) {
+              const i64 oc = i64{1} * g * og + oc0 + j;
+              result.output.at(b, oc, oy, ox) = tile.out.at(wi, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ConvRunResult run_conv_sa_software_im2col(const Tensor4& input,
+                                          const Tensor4& filters,
+                                          const ConvShape& conv,
+                                          ArrayShape array,
+                                          SimOptions options) {
+  AXON_CHECK(conv.valid(), "invalid conv shape");
+  AXON_CHECK(array.valid(), "invalid array shape");
+
+  ConvRunResult result;
+  result.output =
+      Tensor4(input.n(), conv.out_channels, conv.out_h(), conv.out_w());
+
+  ConventionalArraySim sim(array, options);
+  const i64 windows = i64{1} * conv.out_h() * conv.out_w();
+  const i64 og = conv.out_channels / conv.groups;
+
+  for (i64 b = 0; b < input.n(); ++b) {
+    for (int g = 0; g < conv.groups; ++g) {
+      const Matrix win = im2col_windows(input, conv, b, g);
+      const Matrix flat = flatten_filters(filters, conv, g);
+      for (i64 w0 = 0; w0 < windows; w0 += array.rows) {
+        const i64 wn = std::min<i64>(array.rows, windows - w0);
+        Matrix a_tile(wn, win.cols());
+        for (i64 i = 0; i < wn; ++i) {
+          for (i64 k = 0; k < win.cols(); ++k) {
+            a_tile.at(i, k) = win.at(w0 + i, k);
+          }
+        }
+        for (i64 oc0 = 0; oc0 < og; oc0 += array.cols) {
+          const i64 ocn = std::min<i64>(array.cols, og - oc0);
+          Matrix b_tile(flat.rows(), ocn);
+          for (i64 k = 0; k < flat.rows(); ++k) {
+            for (i64 j = 0; j < ocn; ++j) b_tile.at(k, j) = flat.at(k, oc0 + j);
+          }
+          GemmRunResult tile = sim.run(Dataflow::kOS, a_tile, b_tile);
+
+          ++result.tiles;
+          result.cycles += tile.cycles;
+          result.ifmap_sram_loads += tile.stats.get("sram.ifmap.loads");
+          result.filter_sram_loads += tile.stats.get("sram.filter.loads");
+          result.macs += tile.macs;
+
+          for (i64 wi = 0; wi < wn; ++wi) {
+            const i64 w = w0 + wi;
+            const i64 oy = w / conv.out_w();
+            const i64 ox = w % conv.out_w();
+            for (i64 j = 0; j < ocn; ++j) {
+              const i64 oc = i64{1} * g * og + oc0 + j;
+              result.output.at(b, oc, oy, ox) = tile.out.at(wi, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace axon

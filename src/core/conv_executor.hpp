@@ -1,0 +1,42 @@
+// Runs complete convolution layers on the cycle-accurate arrays:
+//  * Axon with the on-chip im2col feeder chain (the paper's design), and
+//  * conventional SA consuming a software-materialized im2col matrix
+// so results, cycle counts and SRAM traffic can be compared end to end.
+//
+// Mapping (paper Fig. 3b / Fig. 7): conv windows map to array rows (each
+// diagonal feeder PE streams one window), flattened filters map to array
+// columns, and the window length K = (Cin/g)*kh*kw is the temporal
+// dimension (OS dataflow). Layers larger than the array are tiled:
+// window tiles of <= R rows, filter tiles of <= C columns.
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+
+struct ConvRunResult {
+  Tensor4 output;              ///< [N][Cout][oh][ow]
+  i64 cycles = 0;              ///< summed over all tiles
+  i64 tiles = 0;
+  i64 ifmap_sram_loads = 0;    ///< IFMAP elements pulled from SRAM
+  i64 filter_sram_loads = 0;
+  i64 neighbor_forwards = 0;   ///< elements reused through the MUX chain
+  MacCounters macs;
+};
+
+/// Convolution on the Axon array with on-chip im2col (2-to-1 MUX reuse).
+ConvRunResult run_conv_axon_im2col(const Tensor4& input, const Tensor4& filters,
+                                   const ConvShape& conv, ArrayShape array,
+                                   SimOptions options = {});
+
+/// Convolution on the conventional SA fed by software im2col (every window
+/// element streamed from SRAM, with the conventional skew).
+ConvRunResult run_conv_sa_software_im2col(const Tensor4& input,
+                                          const Tensor4& filters,
+                                          const ConvShape& conv,
+                                          ArrayShape array,
+                                          SimOptions options = {});
+
+}  // namespace axon

@@ -1,0 +1,43 @@
+// Injection geometry of the Axon orchestration (paper Fig. 3 / Fig. 5) for
+// an r x c used region, shared by the behavioural and structural
+// simulators.
+//
+// Timing proof. Let D = min(r, c).
+//  * Row i < D injects at column i with no skew: A[i][k] reaches column j
+//    at k + |i - j|.
+//  * Row i >= D (tall, r > c) injects at column c-1 with skew i - (c-1):
+//    A[i][k] enters at k + i - (c-1) and reaches column j <= c-1 after
+//    (c-1-j) more hops: k + i - j = k + |i - j|.
+//  * Column j >= D (wide, c > r) injects at row r-1 with skew j - (r-1):
+//    B[k][j] reaches row i after (r-1-i) hops: k + j - i = k + |i - j|.
+// Hence operands for step k always meet at PE (i, j) at cycle k + |i - j|,
+// and the farthest PE is at Chebyshev distance max(r, c) - 1.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace axon {
+
+struct AxonGeometry {
+  i64 r = 0;
+  i64 c = 0;
+  i64 d = 0;
+
+  AxonGeometry(i64 rows, i64 cols)
+      : r(rows), c(cols), d(std::min(rows, cols)) {}
+
+  /// Column where row i's horizontal stream is injected.
+  [[nodiscard]] i64 src_col(i64 i) const { return i < d ? i : c - 1; }
+  /// Injection delay of row i (zero-padding skew of Fig. 5).
+  [[nodiscard]] i64 skew_a(i64 i) const { return i < d ? 0 : i - (c - 1); }
+  /// Row where column j's vertical stream is injected.
+  [[nodiscard]] i64 src_row(i64 j) const { return j < d ? j : r - 1; }
+  [[nodiscard]] i64 skew_b(i64 j) const { return j < d ? 0 : j - (r - 1); }
+  [[nodiscard]] i64 dist(i64 i, i64 j) const { return i > j ? i - j : j - i; }
+  /// Fill latency: Chebyshev distance of the farthest PE.
+  [[nodiscard]] i64 max_dist() const { return std::max(r, c) - 1; }
+};
+
+}  // namespace axon

@@ -1,0 +1,93 @@
+#include "core/im2col_feeder.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+Im2colFeeder::Im2colFeeder(const Tensor4& input, const ConvShape& conv,
+                           i64 first_window, i64 num_rows, int group,
+                           i64 batch)
+    : input_(input),
+      conv_(conv),
+      first_window_(first_window),
+      num_rows_(num_rows),
+      group_(group),
+      batch_(batch) {
+  AXON_CHECK(conv_.valid(), "invalid conv shape");
+  AXON_CHECK(input_.c() == conv_.in_channels && input_.h() == conv_.in_h &&
+                 input_.w() == conv_.in_w,
+             "input tensor does not match conv shape");
+  AXON_CHECK(group >= 0 && group < conv_.groups, "bad group");
+  AXON_CHECK(batch >= 0 && batch < input_.n(), "bad batch");
+  const i64 total_windows = i64{1} * conv_.out_h() * conv_.out_w();
+  AXON_CHECK(num_rows_ > 0, "feeder needs at least one window");
+  AXON_CHECK(first_window_ >= 0 && first_window_ + num_rows_ <= total_windows,
+             "window range [", first_window_, ", ", first_window_ + num_rows_,
+             ") exceeds ", total_windows, " windows");
+  window_len_ = i64{1} * (conv_.in_channels / conv_.groups) * conv_.kernel_h *
+                conv_.kernel_w;
+}
+
+i64 Im2colFeeder::temporal_length() const { return window_len_; }
+
+float Im2colFeeder::emitted(i64 row, i64 k) const {
+  AXON_DCHECK(row >= 0 && row < num_rows_ && k >= 0 && k < window_len_,
+              "emitted() out of range");
+  // Reversed flattened order: step k emits flattened index f = K-1-k, with
+  // f decomposed as ((c * kh + ky) * kw + kx).
+  const i64 f = window_len_ - 1 - k;
+  const i64 kw = conv_.kernel_w;
+  const i64 kh = conv_.kernel_h;
+  const i64 kx = f % kw;
+  const i64 ky = (f / kw) % kh;
+  const i64 c = f / (kw * kh);
+
+  const i64 w = first_window_ + row;
+  const i64 oy = w / conv_.out_w();
+  const i64 ox = w % conv_.out_w();
+  const i64 cg = conv_.in_channels / conv_.groups;
+  const i64 ic = i64{1} * group_ * cg + c;
+  const i64 iy = oy * conv_.stride_h - conv_.pad_h + ky;
+  const i64 ix = ox * conv_.stride_w - conv_.pad_w + kx;
+  return input_.at_padded(batch_, ic, iy, ix);
+}
+
+bool Im2colFeeder::needs_sram(i64 row, i64 k) const {
+  if (row == 0) return true;  // chain head always streams from SRAM
+  // Reuse requires the predecessor window to be the horizontal neighbour in
+  // the same output row.
+  const i64 w = first_window_ + row;
+  const i64 prev = w - 1;
+  if (w / conv_.out_w() != prev / conv_.out_w()) return true;
+  // Stride must leave an overlap to forward.
+  if (conv_.stride_w >= conv_.kernel_w) return true;
+  // Within each kernel-row period of kw steps, the first `stride_w` steps
+  // carry elements the neighbour never held (the columns the window slid
+  // past); they come from SRAM. (Derivation: at step k the emitted kernel
+  // column is kx = kw - 1 - (k mod kw); sharing with the previous window
+  // needs kx <= kw - 1 - s, i.e. k mod kw >= s.)
+  return (k % conv_.kernel_w) < conv_.stride_w;
+}
+
+std::optional<float> Im2colFeeder::value(i64 row, i64 k) {
+  AXON_CHECK(row >= 0 && row < num_rows_, "feeder row OOB");
+  if (k < 0 || k >= window_len_) return std::nullopt;
+
+  const float v = emitted(row, k);
+  if (needs_sram(row, k)) {
+    ++sram_loads_;
+    stats_.add("sram.ifmap.loads");
+  } else {
+    // MUX select = 1: take from the adjacent feeder PE. Verify the reuse
+    // invariant: the neighbour emitted exactly this value stride_w steps
+    // earlier.
+    const float from_neighbor = emitted(row - 1, k - conv_.stride_w);
+    AXON_CHECK(from_neighbor == v, "im2col reuse invariant violated at row ",
+               row, " step ", k, ": neighbour=", from_neighbor, " self=", v);
+    ++neighbor_forwards_;
+    stats_.add("feeder.neighbor.forwards");
+  }
+  return v;
+}
+
+}  // namespace axon

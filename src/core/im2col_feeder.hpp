@@ -1,0 +1,66 @@
+// On-chip im2col feeder (paper §3.2, Fig. 3b): each diagonal feeder PE owns
+// a 2-to-1 MUX that selects between the IFMAP SRAM buffer and the value the
+// *previous* feeder PE on the diagonal emitted one stride earlier.
+//
+// Window streams are emitted in the paper's order — the flattened
+// (channel, kernel_row, kernel_col) window *reversed* — because that makes
+// the sharing causal: for stride 1,
+//     window_d[p] == window_{d-1}[p - 1]        (p mod kw != 0)
+// so the MUX control signal is 0 (load from SRAM) for 1 cycle and 1 (take
+// from the neighbour) for the remaining kw - 1 cycles of every kernel-row
+// period, exactly as described in the paper. Stride s < kw generalizes to
+// an s-deep neighbour delay with s SRAM loads per kernel row.
+//
+// The feeder *verifies* the reuse invariant on every forwarded element
+// (forwarded value == what the neighbour emitted s cycles earlier) — this is
+// the functional proof that a 2-to-1 MUX suffices.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/row_stream.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+
+class Im2colFeeder final : public RowStream {
+ public:
+  /// Feeds `num_rows` consecutive conv windows starting at `first_window`
+  /// (row-major over the output map) for channel `group` of `input`.
+  /// `input` must outlive the feeder.
+  Im2colFeeder(const Tensor4& input, const ConvShape& conv, i64 first_window,
+               i64 num_rows, int group = 0, i64 batch = 0);
+
+  [[nodiscard]] i64 num_rows() const override { return num_rows_; }
+  [[nodiscard]] i64 temporal_length() const override;
+  std::optional<float> value(i64 row, i64 k) override;
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+
+  /// IFMAP elements pulled from the SRAM buffer (MUX select = 0 cycles).
+  [[nodiscard]] i64 sram_loads() const { return sram_loads_; }
+  /// Elements taken from the adjacent feeder PE (MUX select = 1 cycles).
+  [[nodiscard]] i64 neighbor_forwards() const { return neighbor_forwards_; }
+
+  /// The window element this feeder row emits at step k (reversed flattened
+  /// order); exposed so tests can compare against software im2col.
+  [[nodiscard]] float emitted(i64 row, i64 k) const;
+
+ private:
+  /// True when row `row`'s step-k element must come from SRAM: first window
+  /// of the chain, window not horizontally adjacent to its predecessor
+  /// (output-row boundary), or a position the stride slides past.
+  [[nodiscard]] bool needs_sram(i64 row, i64 k) const;
+
+  const Tensor4& input_;
+  ConvShape conv_;
+  i64 first_window_;
+  i64 num_rows_;
+  int group_;
+  i64 batch_;
+  i64 window_len_;  ///< K = (Cin/groups) * kh * kw
+
+  Stats stats_;
+  i64 sram_loads_ = 0;
+  i64 neighbor_forwards_ = 0;
+};
+
+}  // namespace axon

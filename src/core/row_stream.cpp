@@ -1,0 +1,21 @@
+#include "core/row_stream.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+MatrixRowStream::MatrixRowStream(const Matrix& source, std::string counter_name)
+    : source_(source), counter_name_(std::move(counter_name)) {}
+
+i64 MatrixRowStream::num_rows() const { return source_.rows(); }
+
+i64 MatrixRowStream::temporal_length() const { return source_.cols(); }
+
+std::optional<float> MatrixRowStream::value(i64 row, i64 k) {
+  AXON_CHECK(row >= 0 && row < source_.rows(), "row stream row OOB");
+  if (k < 0 || k >= source_.cols()) return std::nullopt;
+  stats_.add(counter_name_);
+  return source_.at(row, k);
+}
+
+}  // namespace axon

@@ -1,0 +1,51 @@
+// Abstraction over "where the horizontal (IFMAP-side) operand stream comes
+// from". The Axon array pulls row streams through this interface so the
+// plain SRAM feeder and the on-chip im2col MUX chain are interchangeable.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+class RowStream {
+ public:
+  virtual ~RowStream() = default;
+
+  /// Number of rows this stream feeds (= array rows used).
+  [[nodiscard]] virtual i64 num_rows() const = 0;
+
+  /// Temporal length T of every row stream.
+  [[nodiscard]] virtual i64 temporal_length() const = 0;
+
+  /// Element for `row` at temporal step `k` (called exactly once per
+  /// (row, k) by the array, in non-decreasing k order per row). nullopt
+  /// outside [0, T).
+  virtual std::optional<float> value(i64 row, i64 k) = 0;
+
+  /// Load accounting, merged into the run result.
+  [[nodiscard]] virtual const Stats& stats() const = 0;
+};
+
+/// Streams the rows of a Matrix; every element is an SRAM load.
+class MatrixRowStream final : public RowStream {
+ public:
+  /// `source` must outlive the stream.
+  explicit MatrixRowStream(const Matrix& source, std::string counter_name =
+                                                     "sram.ifmap.loads");
+
+  [[nodiscard]] i64 num_rows() const override;
+  [[nodiscard]] i64 temporal_length() const override;
+  std::optional<float> value(i64 row, i64 k) override;
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+
+ private:
+  const Matrix& source_;
+  std::string counter_name_;
+  Stats stats_;
+};
+
+}  // namespace axon

@@ -1,0 +1,266 @@
+#include "core/structural_array.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/geometry.hpp"
+#include "pe/unified_pe.hpp"
+
+namespace axon {
+
+namespace {
+
+using Port = std::optional<float>;
+
+/// Latched port planes: `cur` is what neighbours see this cycle, `next` is
+/// what the PEs drive; swap() is the clock edge.
+struct Plane {
+  std::vector<Port> cur;
+  std::vector<Port> next;
+
+  explicit Plane(std::size_t n) : cur(n), next(n) {}
+  void commit() { std::swap(cur, next); }
+};
+
+}  // namespace
+
+StructuralAxonArray::StructuralAxonArray(ArrayShape shape, SimOptions options)
+    : shape_(shape), options_(options) {
+  AXON_CHECK(shape_.valid(), "invalid array shape");
+}
+
+GemmRunResult StructuralAxonArray::run(Dataflow df, const Matrix& a,
+                                       const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
+  switch (df) {
+    case Dataflow::kOS:
+      return run_os(a, b);
+    case Dataflow::kWS: {
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stationary(k, m);
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stationary.at(kk, i) = a.at(i, kk);
+      }
+      GemmRunResult r = run_ws(stationary, b);
+      r.dataflow = Dataflow::kWS;
+      Matrix c(m, b.cols());
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 j = 0; j < b.cols(); ++j) c.at(i, j) = r.out.at(j, i);
+      }
+      r.out = std::move(c);
+      return r;
+    }
+    case Dataflow::kIS: {
+      // The physical IS datapath is the transpose of WS; execute on the WS
+      // engine with B stationary and A^T streaming.
+      const i64 m = a.rows(), k = a.cols();
+      Matrix stream(k, m);
+      for (i64 i = 0; i < m; ++i) {
+        for (i64 kk = 0; kk < k; ++kk) stream.at(kk, i) = a.at(i, kk);
+      }
+      GemmRunResult r = run_ws(b, stream);
+      r.dataflow = Dataflow::kIS;
+      return r;
+    }
+  }
+  AXON_CHECK(false, "unreachable dataflow");
+  return {};
+}
+
+GemmRunResult StructuralAxonArray::run_os(const Matrix& a, const Matrix& b) {
+  const i64 r = a.rows();
+  const i64 c = b.cols();
+  const i64 t_len = a.cols();
+  AXON_CHECK(r <= shape_.rows && c <= shape_.cols, "tile exceeds array");
+
+  GemmRunResult result;
+  result.dataflow = Dataflow::kOS;
+  result.arch = ArchType::kAxon;
+
+  const AxonGeometry g(r, c);
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<UnifiedPe> pes(
+      n, UnifiedPe(Dataflow::kOS, options_.zero_gating, options_.fp16_numerics));
+  Plane h(n), v(n);  // latched horizontal / vertical operand ports
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  auto feed_a = [&](i64 i, i64 t) -> Port {
+    const i64 k = t - g.skew_a(i);
+    if (k < 0 || k >= t_len) return std::nullopt;
+    result.stats.add("sram.ifmap.loads");
+    return a.at(i, k);
+  };
+  auto feed_b = [&](i64 j, i64 t) -> Port {
+    const i64 k = t - g.skew_b(j);
+    if (k < 0 || k >= t_len) return std::nullopt;
+    result.stats.add("sram.filter.loads");
+    return b.at(k, j);
+  };
+
+  const i64 compute_cycles = t_len + g.max_dist();
+  for (i64 t = 0; t < compute_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      const i64 sc = g.src_col(i);
+      for (i64 j = 0; j < c; ++j) {
+        PeIn in;
+        if (j == sc) {
+          in.horizontal = feed_a(i, t);
+        } else if (j > sc) {
+          in.horizontal = h.cur[idx(i, j - 1)];
+        } else {
+          in.horizontal = h.cur[idx(i, j + 1)];
+        }
+        const i64 sr = g.src_row(j);
+        if (i == sr) {
+          in.vertical = feed_b(j, t);
+        } else if (i > sr) {
+          in.vertical = v.cur[idx(i - 1, j)];
+        } else {
+          in.vertical = v.cur[idx(i + 1, j)];
+        }
+        const PeOut out = pes[idx(i, j)].step(in);
+        h.next[idx(i, j)] = out.horizontal;
+        v.next[idx(i, j)] = out.vertical;
+      }
+    }
+    h.commit();
+    v.commit();
+  }
+  result.fill_cycles = g.max_dist();
+  result.drain_cycles = r;
+  result.cycles = compute_cycles + result.drain_cycles;
+
+  result.out = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.out.at(i, j) = pes[idx(i, j)].drain_accumulator();
+    }
+  }
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(pes[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& pe : pes) result.macs += pe.counters();
+  return result;
+}
+
+GemmRunResult StructuralAxonArray::run_ws(const Matrix& stationary,
+                                          const Matrix& stream) {
+  const i64 r = stationary.rows();
+  const i64 c = stationary.cols();
+  const i64 t_len = stream.cols();
+  AXON_CHECK(stream.rows() == r, "stream rows must equal stationary rows");
+  AXON_CHECK(r <= shape_.rows && c <= shape_.cols, "tile exceeds array");
+
+  GemmRunResult result;
+  result.arch = ArchType::kAxon;
+
+  const AxonGeometry g(r, c);
+  const auto n = static_cast<std::size_t>(r * c);
+  std::vector<UnifiedPe> pes(
+      n, UnifiedPe(Dataflow::kWS, options_.zero_gating, options_.fp16_numerics));
+  auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
+
+  // --- Preload phase (paper §4.2.1): the stationary operand shifts down
+  // the output interconnect, one row per cycle, r cycles total. MUX1/MUX2
+  // in each PE steer the value into the stationary register.
+  {
+    Plane p(n);
+    for (i64 t = 0; t < r; ++t) {
+      for (i64 i = 0; i < r; ++i) {
+        for (i64 j = 0; j < c; ++j) {
+          PeIn in;
+          in.preload = true;
+          in.psum = (i == 0) ? Port(stationary.at(r - 1 - t, j))
+                             : p.cur[idx(i - 1, j)];
+          const PeOut out = pes[idx(i, j)].step(in);
+          p.next[idx(i, j)] = out.psum;
+        }
+      }
+      p.commit();
+    }
+    result.preload_cycles = r;
+    result.stats.add("sram.stationary.loads", r * c);
+    // Structural invariant: every PE now holds its stationary element.
+    for (i64 i = 0; i < r; ++i) {
+      for (i64 j = 0; j < c; ++j) {
+        AXON_DCHECK(pes[idx(i, j)].stationary() == stationary.at(i, j),
+                    "preload chain failed at PE(", i, ",", j, ")");
+      }
+    }
+  }
+
+  // --- Stream phase: X travels horizontally from the diagonal; partial
+  // sums form the two bypass-and-add streams per column (Fig. 8b) and the
+  // edge collectors add the portions.
+  Plane x(n), p(n);
+  Matrix out(t_len, c);
+
+  auto feed_x = [&](i64 i, i64 t) -> Port {
+    const i64 k = t - g.skew_a(i);
+    if (k < 0 || k >= t_len) return std::nullopt;
+    result.stats.add("sram.stream.loads");
+    return stream.at(i, k);
+  };
+
+  const i64 stream_cycles = t_len + g.max_dist();
+  for (i64 t = 0; t < stream_cycles; ++t) {
+    for (i64 i = 0; i < r; ++i) {
+      const i64 sc = g.src_col(i);
+      for (i64 j = 0; j < c; ++j) {
+        PeIn in;
+        if (j == sc) {
+          in.horizontal = feed_x(i, t);
+        } else if (j > sc) {
+          in.horizontal = x.cur[idx(i, j - 1)];
+        } else {
+          in.horizontal = x.cur[idx(i, j + 1)];
+        }
+        const i64 s = g.src_row(j);
+        if (i >= s) {  // downward stream, initiated at the diagonal PE
+          if (i > s) in.psum = p.cur[idx(i - 1, j)];
+        } else {  // upward stream, initiated just above the diagonal
+          if (i < s - 1) in.psum = p.cur[idx(i + 1, j)];
+        }
+        const PeOut pe_out = pes[idx(i, j)].step(in);
+        x.next[idx(i, j)] = pe_out.horizontal;
+        p.next[idx(i, j)] = pe_out.psum;
+
+        // Edge collectors (timing: row i of column j fires at t = k + |i-j|).
+        if (pe_out.psum.has_value()) {
+          if (i == 0 && s > 0) {
+            const i64 k = t - j;
+            AXON_DCHECK(k >= 0 && k < t_len, "top collector timing");
+            out.at(k, j) += *pe_out.psum;
+          }
+          if (i == r - 1) {
+            const i64 k = t - g.dist(r - 1, j);
+            AXON_DCHECK(k >= 0 && k < t_len, "bottom collector timing");
+            out.at(k, j) += *pe_out.psum;
+          }
+        }
+      }
+    }
+    x.commit();
+    p.commit();
+  }
+  result.fill_cycles = g.max_dist();
+  result.cycles = result.preload_cycles + stream_cycles;
+  result.out = std::move(out);
+  result.pe_activity = Matrix(r, c);
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) {
+      result.pe_activity.at(i, j) =
+          static_cast<float>(pes[idx(i, j)].counters().total_macs());
+    }
+  }
+  for (const auto& pe : pes) result.macs += pe.counters();
+  return result;
+}
+
+}  // namespace axon

@@ -1,0 +1,39 @@
+// Structural Axon array: the same orchestration as AxonArraySim but built
+// bottom-up from UnifiedPe datapaths (paper Fig. 9) wired through latched
+// ports and driven by the two-phase Clock — one step() per PE per cycle,
+// neighbour values visible only after commit, exactly like RTL.
+//
+// AxonArraySim is the fast behavioural model; this is the slow structural
+// model. Tests assert they agree cycle-for-cycle and bit-for-bit, which is
+// the repo's substitute for RTL/gate-level equivalence checking.
+//
+// Supported dataflows: OS and WS natively; IS is executed on the WS engine
+// with operands transposed (the physical IS datapath is the transpose of
+// WS — same PEs, columns and rows exchanged).
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+class StructuralAxonArray {
+ public:
+  explicit StructuralAxonArray(ArrayShape shape, SimOptions options = {});
+
+  [[nodiscard]] ArrayShape shape() const { return shape_; }
+
+  /// C = A * B on one tile; same preconditions as AxonArraySim::run.
+  GemmRunResult run(Dataflow df, const Matrix& a, const Matrix& b);
+
+ private:
+  GemmRunResult run_os(const Matrix& a, const Matrix& b);
+  /// Out[t][j] = sum_i St[i][j] * X[i][t], PEs configured kWS.
+  GemmRunResult run_ws(const Matrix& stationary, const Matrix& stream);
+
+  ArrayShape shape_;
+  SimOptions options_;
+};
+
+}  // namespace axon

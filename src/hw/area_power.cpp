@@ -1,0 +1,102 @@
+#include "hw/area_power.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+namespace {
+
+// Calibration at ASAP7 against the paper's 16x16 implementation (Fig. 10).
+constexpr double kRefPes = 256.0;        // 16x16
+constexpr double kRefDiag = 16.0;        // diagonal feeder PEs
+constexpr double kRefSaArea = 0.9992;    // mm2
+constexpr double kRefAxonArea = 0.9931;  // mm2 (buffer sharing saves area)
+constexpr double kRefAxonIm2colArea = 0.9951;  // mm2
+constexpr double kRefSaPower = 59.88;          // mW
+constexpr double kRefAxonIm2colPower = 59.98;  // mW
+
+// Sauria's feeder network costs ~4% of array area at 16x16 (paper §5.2.1)
+// and makes Axon ~3.93% smaller / ~4.5% lower power on average (§5.2.3).
+constexpr double kSauriaAreaOverhead = 0.04;
+constexpr double kSauriaPowerOverhead = 0.047;
+
+// Node scaling from ASAP7 to TSMC 45nm. Representative published factors:
+// standard-cell density ratio ~9x in area; dynamic power ~3.2x at
+// iso-frequency (CV^2 scaling). Fig. 15 only relies on relative
+// Axon-vs-Sauria deltas, which are node-independent in this model.
+constexpr double kArea45Scale = 9.0;
+constexpr double kPower45Scale = 3.2;
+
+}  // namespace
+
+std::string to_string(TechNode node) {
+  switch (node) {
+    case TechNode::kAsap7: return "ASAP7";
+    case TechNode::kTsmc45: return "TSMC45";
+  }
+  return "?";
+}
+
+AreaPowerModel::AreaPowerModel(TechNode node) : node_(node) {
+  const double area_scale = node == TechNode::kAsap7 ? 1.0 : kArea45Scale;
+  const double power_scale = node == TechNode::kAsap7 ? 1.0 : kPower45Scale;
+
+  pe_area_mm2_ = kRefSaArea / kRefPes * area_scale;
+  pe_power_mw_ = kRefSaPower / kRefPes * power_scale;
+
+  // Axon 16x16 saves (SA - Axon) via buffer sharing across the two PE pairs
+  // adjacent to each of the (D - 1) interior diagonal PEs.
+  shared_buffer_saving_mm2_ =
+      (kRefSaArea - kRefAxonArea) / (2.0 * (kRefDiag - 1.0)) * area_scale;
+
+  // im2col adds one 2-to-1 MUX + control per diagonal feeder PE.
+  mux_area_mm2_ =
+      (kRefAxonIm2colArea - kRefAxonArea) / kRefDiag * area_scale;
+  mux_power_mw_ =
+      (kRefAxonIm2colPower - kRefSaPower) / kRefDiag * power_scale;
+
+  // Sauria's per-column data feeder needs FIFOs/counters whose depth grows
+  // with the column height, so its cost scales with the PE count — the
+  // paper observes a roughly constant ~4% overhead across array sizes.
+  // Stored per-PE, calibrated at the 16x16 reference.
+  sauria_feeder_area_mm2_ = kSauriaAreaOverhead * pe_area_mm2_;
+  sauria_feeder_power_mw_ = kSauriaPowerOverhead * pe_power_mw_;
+}
+
+ArrayHw AreaPowerModel::conventional_sa(ArrayShape shape) const {
+  AXON_CHECK(shape.valid(), "invalid array shape");
+  const double n = static_cast<double>(shape.num_pes());
+  return {n * pe_area_mm2_, n * pe_power_mw_};
+}
+
+ArrayHw AreaPowerModel::axon(ArrayShape shape, bool with_im2col) const {
+  AXON_CHECK(shape.valid(), "invalid array shape");
+  const double n = static_cast<double>(shape.num_pes());
+  const double d = static_cast<double>(shape.diagonal_pes());
+  ArrayHw hw;
+  hw.area_mm2 = n * pe_area_mm2_ - 2.0 * (d - 1.0) * shared_buffer_saving_mm2_;
+  hw.power_mw = n * pe_power_mw_;
+  if (with_im2col) {
+    hw.area_mm2 += d * mux_area_mm2_;
+    hw.power_mw += d * mux_power_mw_;
+  }
+  return hw;
+}
+
+ArrayHw AreaPowerModel::sauria(ArrayShape shape) const {
+  AXON_CHECK(shape.valid(), "invalid array shape");
+  ArrayHw hw = conventional_sa(shape);
+  const double n = static_cast<double>(shape.num_pes());
+  hw.area_mm2 += n * sauria_feeder_area_mm2_;
+  hw.power_mw += n * sauria_feeder_power_mw_;
+  return hw;
+}
+
+double AreaPowerModel::power_with_zero_gating(double base_power_mw,
+                                              double gated_fraction) const {
+  AXON_CHECK(gated_fraction >= 0.0 && gated_fraction <= 1.0,
+             "gated fraction must be in [0,1]");
+  return base_power_mw * (1.0 - kMacDynamicPowerShare * gated_fraction);
+}
+
+}  // namespace axon

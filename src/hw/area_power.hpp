@@ -1,0 +1,73 @@
+// Silicon area / power models (substitution for the paper's Synopsys DC +
+// PnR flow — see DESIGN.md §5.1).
+//
+// The model is structural: an array is a grid of FP16-MAC PEs plus
+// architecture-specific additions —
+//  * conventional SA: the PE grid (edge feeders folded into the PE cost);
+//  * Axon: the grid minus the input/weight buffers shared between the two
+//    PEs adjacent to each diagonal feeder PE (paper §5.1 observed a small
+//    net *reduction*), plus, with im2col support, one 2-to-1 MUX + control
+//    per diagonal feeder PE;
+//  * Sauria: the grid plus a per-column on-the-fly im2col data feeder
+//    (feed registers, counters, FIFO) — the ~4% overhead the paper quotes.
+//
+// Per-unit constants are calibrated so the 16x16 ASAP7 design reproduces
+// the paper's Fig. 10 numbers exactly:
+//   SA 0.9992 mm2 / 59.88 mW, Axon 0.9931 mm2, Axon+im2col 0.9951 mm2 /
+//   59.98 mW. TSMC 45nm applies published node scale factors.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace axon {
+
+enum class TechNode {
+  kAsap7,   ///< ASAP 7nm FinFET predictive PDK [11]
+  kTsmc45,  ///< TSMC 45nm
+};
+
+std::string to_string(TechNode node);
+
+struct ArrayHw {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+};
+
+class AreaPowerModel {
+ public:
+  explicit AreaPowerModel(TechNode node);
+
+  [[nodiscard]] TechNode node() const { return node_; }
+
+  /// Conventional systolic array, no im2col hardware.
+  [[nodiscard]] ArrayHw conventional_sa(ArrayShape shape) const;
+
+  /// Axon array; `with_im2col` adds the per-feeder 2-to-1 MUXes.
+  [[nodiscard]] ArrayHw axon(ArrayShape shape, bool with_im2col) const;
+
+  /// Sauria-style SA with the on-the-fly im2col data feeder network.
+  [[nodiscard]] ArrayHw sauria(ArrayShape shape) const;
+
+  /// Zero-gating power model: a MAC gated on a zero operand saves its share
+  /// of the dynamic power. Calibrated so 10% gated MACs give the paper's
+  /// 5.3% total power reduction (MAC dynamic share = 0.53 of total).
+  [[nodiscard]] double power_with_zero_gating(double base_power_mw,
+                                              double gated_fraction) const;
+
+ private:
+  TechNode node_;
+  // Calibrated per-unit costs at the selected node.
+  double pe_area_mm2_;
+  double pe_power_mw_;
+  double shared_buffer_saving_mm2_;  ///< per buffer-sharing pair (Axon)
+  double mux_area_mm2_;              ///< per diagonal-feeder 2-to-1 MUX
+  double mux_power_mw_;
+  double sauria_feeder_area_mm2_;    ///< per array column
+  double sauria_feeder_power_mw_;
+};
+
+/// Fraction of total array power attributable to MAC dynamic switching;
+/// used by the zero-gating model (calibrated to §5.2.1).
+inline constexpr double kMacDynamicPowerShare = 0.53;
+
+}  // namespace axon

@@ -1,0 +1,32 @@
+#include "hw/energy.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+EnergyComparison compare_dram_energy(const DramModel& dram, i64 baseline_bytes,
+                                     i64 axon_bytes) {
+  AXON_CHECK(baseline_bytes >= 0 && axon_bytes >= 0, "negative traffic");
+  EnergyComparison c;
+  c.baseline_bytes = baseline_bytes;
+  c.axon_bytes = axon_bytes;
+  c.baseline_energy_mj = dram.energy_mj(baseline_bytes);
+  c.axon_energy_mj = dram.energy_mj(axon_bytes);
+  c.saved_energy_mj = c.baseline_energy_mj - c.axon_energy_mj;
+  c.traffic_reduction_pct =
+      baseline_bytes == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(axon_bytes) /
+                               static_cast<double>(baseline_bytes));
+  return c;
+}
+
+double roofline_speedup(const DramModel& dram, i64 compute_cycles,
+                        i64 baseline_bytes, i64 axon_bytes) {
+  const i64 t_base = dram.overlapped_cycles(compute_cycles, baseline_bytes);
+  const i64 t_axon = dram.overlapped_cycles(compute_cycles, axon_bytes);
+  AXON_CHECK(t_axon > 0, "zero runtime");
+  return static_cast<double>(t_base) / static_cast<double>(t_axon);
+}
+
+}  // namespace axon

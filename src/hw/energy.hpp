@@ -1,0 +1,30 @@
+// Inference energy model (§5.2.1): DRAM traffic x 120 pJ/byte (LPDDR3,
+// DRAMPower) plus a bandwidth roofline that converts traffic reduction into
+// end-to-end speedup.
+#pragma once
+
+#include "common/types.hpp"
+#include "memory/dram.hpp"
+#include "memory/traffic.hpp"
+
+namespace axon {
+
+struct EnergyComparison {
+  i64 baseline_bytes = 0;
+  i64 axon_bytes = 0;
+  double baseline_energy_mj = 0.0;
+  double axon_energy_mj = 0.0;
+  double saved_energy_mj = 0.0;
+  double traffic_reduction_pct = 0.0;
+};
+
+/// Compares DRAM energy of two traffic totals under the given DRAM model.
+EnergyComparison compare_dram_energy(const DramModel& dram, i64 baseline_bytes,
+                                     i64 axon_bytes);
+
+/// Roofline speedup: phase time = max(compute_cycles, transfer(bytes));
+/// returns t_baseline / t_axon for the same compute but reduced traffic.
+double roofline_speedup(const DramModel& dram, i64 compute_cycles,
+                        i64 baseline_bytes, i64 axon_bytes);
+
+}  // namespace axon

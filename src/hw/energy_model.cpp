@@ -1,0 +1,51 @@
+#include "hw/energy_model.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+namespace {
+constexpr double kPjToMj = 1e-9;
+}  // namespace
+
+EnergyModel::EnergyModel(OpEnergies ops) : ops_(ops) {
+  AXON_CHECK(ops_.mac_active_pj >= 0 && ops_.mac_gated_pj >= 0 &&
+                 ops_.sram_read_pj >= 0 && ops_.sram_write_pj >= 0 &&
+                 ops_.neighbor_hop_pj >= 0 && ops_.dram_pj_per_byte >= 0,
+             "per-op energies must be non-negative");
+  AXON_CHECK(ops_.mac_gated_pj <= ops_.mac_active_pj,
+             "gating must not cost more than the MAC it skips");
+}
+
+double EnergyModel::compute_energy_mj(const MacCounters& macs) const {
+  return (static_cast<double>(macs.active_macs) * ops_.mac_active_pj +
+          static_cast<double>(macs.gated_macs) * ops_.mac_gated_pj) *
+         kPjToMj;
+}
+
+double EnergyModel::sram_energy_mj(i64 reads, i64 writes) const {
+  AXON_CHECK(reads >= 0 && writes >= 0, "negative access counts");
+  return (static_cast<double>(reads) * ops_.sram_read_pj +
+          static_cast<double>(writes) * ops_.sram_write_pj) *
+         kPjToMj;
+}
+
+EnergyBreakdown EnergyModel::breakdown(const MacCounters& macs,
+                                       const Stats& stats,
+                                       i64 dram_bytes) const {
+  AXON_CHECK(dram_bytes >= 0, "negative DRAM bytes");
+  EnergyBreakdown b;
+  b.mac_mj = compute_energy_mj(macs);
+
+  i64 sram_reads = 0;
+  for (const auto& [name, value] : stats.all()) {
+    if (name.rfind("sram.", 0) == 0) sram_reads += value;
+  }
+  b.sram_mj = sram_energy_mj(sram_reads, /*writes=*/0);
+  b.noc_mj = static_cast<double>(stats.get("feeder.neighbor.forwards")) *
+             ops_.neighbor_hop_pj * kPjToMj;
+  b.dram_mj = static_cast<double>(dram_bytes) * ops_.dram_pj_per_byte * kPjToMj;
+  return b;
+}
+
+}  // namespace axon

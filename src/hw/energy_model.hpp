@@ -1,0 +1,62 @@
+// Per-operation energy model: combines MAC activity (from the simulators'
+// MacCounters), SRAM access counts (from the run Stats) and DRAM traffic
+// into a per-inference energy breakdown.
+//
+// Per-op constants are representative 7nm FP16 values (documented
+// estimates; the paper only quotes total array power, which hw/area_power
+// reproduces — this model adds the energy-per-op view used by the
+// examples and the ablation bench). The DRAM constant is the paper's
+// 120 pJ/byte.
+#pragma once
+
+#include "common/types.hpp"
+#include "memory/traffic.hpp"
+#include "pe/mac.hpp"
+#include "sim/stats.hpp"
+
+namespace axon {
+
+struct OpEnergies {
+  double mac_active_pj = 1.2;   ///< FP16 multiply-accumulate, 7nm
+  double mac_gated_pj = 0.06;   ///< clock/latch residue when zero-gated
+  double sram_read_pj = 2.5;    ///< per 16-bit word, multi-bank scratchpad
+  double sram_write_pj = 3.0;
+  double neighbor_hop_pj = 0.2;  ///< PE-to-PE register hop (im2col MUX path)
+  double dram_pj_per_byte = 120.0;  ///< LPDDR3 (paper [6])
+};
+
+struct EnergyBreakdown {
+  double mac_mj = 0.0;
+  double sram_mj = 0.0;
+  double noc_mj = 0.0;   ///< neighbour-forwarding hops
+  double dram_mj = 0.0;
+
+  [[nodiscard]] double total_mj() const {
+    return mac_mj + sram_mj + noc_mj + dram_mj;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(OpEnergies ops = {});
+
+  [[nodiscard]] const OpEnergies& ops() const { return ops_; }
+
+  /// Energy of the MAC activity alone.
+  [[nodiscard]] double compute_energy_mj(const MacCounters& macs) const;
+
+  /// Energy of SRAM word accesses.
+  [[nodiscard]] double sram_energy_mj(i64 reads, i64 writes) const;
+
+  /// Full breakdown from a run's counters. Reads the standard counter
+  /// names emitted by the simulators ("sram.*.loads",
+  /// "feeder.neighbor.forwards") plus explicit DRAM bytes.
+  [[nodiscard]] EnergyBreakdown breakdown(const MacCounters& macs,
+                                          const Stats& stats,
+                                          i64 dram_bytes) const;
+
+ private:
+  OpEnergies ops_;
+};
+
+}  // namespace axon

@@ -1,0 +1,37 @@
+#include "memory/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+DramModel::DramModel(DramConfig config) : config_(config) {
+  AXON_CHECK(config_.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+  AXON_CHECK(config_.energy_pj_per_byte >= 0, "energy must be non-negative");
+  AXON_CHECK(config_.accelerator_freq_hz > 0, "frequency must be positive");
+}
+
+i64 DramModel::transfer_cycles(i64 bytes) const {
+  AXON_CHECK(bytes >= 0, "negative byte count");
+  const double seconds =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  return static_cast<i64>(std::ceil(seconds * config_.accelerator_freq_hz));
+}
+
+double DramModel::energy_pj(i64 bytes) const {
+  AXON_CHECK(bytes >= 0, "negative byte count");
+  return static_cast<double>(bytes) * config_.energy_pj_per_byte;
+}
+
+double DramModel::energy_mj(i64 bytes) const {
+  return energy_pj(bytes) * 1e-9;  // 1 mJ = 1e9 pJ
+}
+
+i64 DramModel::overlapped_cycles(i64 compute_cycles, i64 bytes) const {
+  AXON_CHECK(compute_cycles >= 0, "negative compute cycles");
+  return std::max(compute_cycles, transfer_cycles(bytes));
+}
+
+}  // namespace axon

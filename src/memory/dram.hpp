@@ -1,0 +1,42 @@
+// Off-chip DRAM model matching the paper's evaluation setup (§5.2.1):
+// 32-bit-wide LPDDR3 at 800 MHz, 6.4 GB/s peak bandwidth, 120 pJ/byte
+// (DRAMPower). The model is a bandwidth/energy abstraction, not a
+// bank-timing simulator — exactly the abstraction level the paper uses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace axon {
+
+struct DramConfig {
+  double bandwidth_bytes_per_sec = 6.4e9;  ///< LPDDR3 x32 @ 800 MHz DDR
+  double energy_pj_per_byte = 120.0;       ///< from DRAMPower [6]
+  double accelerator_freq_hz = 1.0e9;      ///< core clock used to convert
+                                           ///< bytes -> core cycles
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig config = {});
+
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+  /// Core cycles needed to transfer `bytes` at peak bandwidth.
+  [[nodiscard]] i64 transfer_cycles(i64 bytes) const;
+
+  /// Energy in pJ / mJ for a given byte count.
+  [[nodiscard]] double energy_pj(i64 bytes) const;
+  [[nodiscard]] double energy_mj(i64 bytes) const;
+
+  /// Roofline combination: a phase that needs `compute_cycles` of array time
+  /// and moves `bytes` of DRAM traffic (double-buffered, overlapped) takes
+  /// max(compute, transfer) cycles.
+  [[nodiscard]] i64 overlapped_cycles(i64 compute_cycles, i64 bytes) const;
+
+ private:
+  DramConfig config_;
+};
+
+}  // namespace axon

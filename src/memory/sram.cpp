@@ -1,0 +1,38 @@
+#include "memory/sram.hpp"
+
+namespace axon {
+
+SramBuffer::SramBuffer(std::string name, i64 capacity_words, Stats* stats)
+    : name_(std::move(name)), capacity_words_(capacity_words), stats_(stats) {
+  AXON_CHECK(capacity_words_ > 0, "SRAM capacity must be positive");
+}
+
+void SramBuffer::load(const std::vector<float>& words) {
+  AXON_CHECK(static_cast<i64>(words.size()) <= capacity_words_,
+             "SRAM '", name_, "' overflow: ", words.size(), " > ",
+             capacity_words_);
+  data_ = words;
+}
+
+float SramBuffer::read(i64 addr) {
+  AXON_CHECK(addr >= 0 && addr < size(), "SRAM '", name_, "' read OOB addr ",
+             addr, " size ", size());
+  ++reads_;
+  if (stats_ != nullptr) stats_->add("sram." + name_ + ".reads");
+  return data_[static_cast<std::size_t>(addr)];
+}
+
+void SramBuffer::write(i64 addr, float value) {
+  AXON_CHECK(addr >= 0 && addr < size(), "SRAM '", name_, "' write OOB addr ",
+             addr, " size ", size());
+  ++writes_;
+  if (stats_ != nullptr) stats_->add("sram." + name_ + ".writes");
+  data_[static_cast<std::size_t>(addr)] = value;
+}
+
+void SramBuffer::reset_counters() {
+  reads_ = 0;
+  writes_ = 0;
+}
+
+}  // namespace axon

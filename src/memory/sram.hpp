@@ -1,0 +1,47 @@
+// On-chip scratchpad model. The simulators stream operands out of
+// SramBuffers; every read/write is counted so the im2col experiments can
+// compare SRAM traffic with and without the on-chip reuse chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace axon {
+
+/// Word-addressed single-port scratchpad holding float words. Capacity is
+/// tracked in words; exceeding it is a hard error (the caller must tile).
+class SramBuffer {
+ public:
+  SramBuffer(std::string name, i64 capacity_words, Stats* stats = nullptr);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] i64 capacity_words() const { return capacity_words_; }
+  [[nodiscard]] i64 size() const { return static_cast<i64>(data_.size()); }
+
+  /// Replaces the buffer contents (models a DRAM fill; counted separately).
+  void load(const std::vector<float>& words);
+
+  /// Counted word read.
+  [[nodiscard]] float read(i64 addr);
+
+  /// Counted word write.
+  void write(i64 addr, float value);
+
+  [[nodiscard]] i64 reads() const { return reads_; }
+  [[nodiscard]] i64 writes() const { return writes_; }
+  void reset_counters();
+
+ private:
+  std::string name_;
+  i64 capacity_words_;
+  Stats* stats_;
+  std::vector<float> data_;
+  i64 reads_ = 0;
+  i64 writes_ = 0;
+};
+
+}  // namespace axon

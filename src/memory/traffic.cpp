@@ -1,0 +1,13 @@
+#include "memory/traffic.hpp"
+
+#include <ostream>
+
+namespace axon {
+
+std::ostream& operator<<(std::ostream& os, const Traffic& t) {
+  return os << "Traffic(ifmap=" << t.ifmap_bytes
+            << "B, filter=" << t.filter_bytes << "B, ofmap=" << t.ofmap_bytes
+            << "B, total=" << t.total() << "B)";
+}
+
+}  // namespace axon

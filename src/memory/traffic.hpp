@@ -1,0 +1,40 @@
+// Byte-level traffic accounting shared by the analytical memory models and
+// the energy experiments.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/types.hpp"
+
+namespace axon {
+
+/// Datatype width used by the paper's implementation (FP16).
+inline constexpr i64 kBytesPerElement = 2;
+
+/// DRAM traffic breakdown for one layer / one GEMM, in bytes.
+struct Traffic {
+  i64 ifmap_bytes = 0;
+  i64 filter_bytes = 0;
+  i64 ofmap_bytes = 0;
+
+  [[nodiscard]] i64 total() const {
+    return ifmap_bytes + filter_bytes + ofmap_bytes;
+  }
+
+  Traffic& operator+=(const Traffic& other) {
+    ifmap_bytes += other.ifmap_bytes;
+    filter_bytes += other.filter_bytes;
+    ofmap_bytes += other.ofmap_bytes;
+    return *this;
+  }
+
+  friend Traffic operator+(Traffic a, const Traffic& b) { return a += b; }
+  friend bool operator==(const Traffic&, const Traffic&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Traffic& t);
+
+/// Converts element counts to bytes at the configured datatype width.
+constexpr i64 elems_to_bytes(i64 elems) { return elems * kBytesPerElement; }
+
+}  // namespace axon

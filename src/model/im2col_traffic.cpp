@@ -1,0 +1,100 @@
+#include "model/im2col_traffic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "tensor/im2col.hpp"
+
+namespace axon {
+
+i64 ifmap_sram_loads(const ConvShape& conv, Im2colMode mode, int num_feeders) {
+  AXON_CHECK(conv.valid(), "invalid conv shape");
+  AXON_CHECK(num_feeders > 0, "need at least one feeder PE");
+
+  const i64 cg = conv.in_channels / conv.groups;
+  const i64 window_elems = cg * conv.kernel_h * conv.kernel_w;
+  const i64 oh = conv.out_h();
+  const i64 ow = conv.out_w();
+
+  if (mode == Im2colMode::kSoftware) {
+    return oh * ow * window_elems * conv.groups;
+  }
+
+  // Axon on-chip: feeder groups never span output-row boundaries (windows in
+  // different rows are not horizontally adjacent). Within a group the first
+  // window loads fully; the rest load only the columns the stride slides in.
+  const i64 new_per_window =
+      cg * conv.kernel_h *
+      std::min<i64>(conv.stride_w, conv.kernel_w);
+
+  const i64 full_segments = ow / num_feeders;
+  const i64 tail = ow % num_feeders;
+  i64 per_row = 0;
+  per_row += full_segments *
+             (window_elems + (num_feeders - 1) * new_per_window);
+  if (tail > 0) per_row += window_elems + (tail - 1) * new_per_window;
+
+  if (mode == Im2colMode::kAxonOnChip) {
+    return oh * per_row * conv.groups;
+  }
+
+  // Two-level extension: a row buffer keeps the kh - stride_h kernel rows
+  // shared with the previous output row, so output rows after the first
+  // load only the newly exposed min(stride_h, kh) input rows. Loads scale
+  // by that row fraction; the first output row pays the full chain cost.
+  AXON_CHECK(mode == Im2colMode::kAxonTwoLevel, "unhandled mode");
+  const i64 new_rows = std::min<i64>(conv.stride_h, conv.kernel_h);
+  const i64 later_rows_loads =
+      (oh - 1) * ((per_row * new_rows) / conv.kernel_h);
+  return (per_row + later_rows_loads) * conv.groups;
+}
+
+double memory_access_reduction_pct(const ConvShape& conv, Im2colMode mode,
+                                   int num_feeders) {
+  const i64 sw = ifmap_sram_loads(conv, Im2colMode::kSoftware, num_feeders);
+  const i64 ax = ifmap_sram_loads(conv, mode, num_feeders);
+  AXON_CHECK(sw > 0, "software loads must be positive");
+  return 100.0 * (1.0 - static_cast<double>(ax) / static_cast<double>(sw));
+}
+
+double memory_access_reduction_pct(const ConvShape& conv, int num_feeders) {
+  return memory_access_reduction_pct(conv, Im2colMode::kAxonOnChip,
+                                     num_feeders);
+}
+
+Traffic conv_dram_traffic(const ConvShape& conv, Im2colMode mode) {
+  AXON_CHECK(conv.valid(), "invalid conv shape");
+  Traffic t;
+  const i64 filter_elems = i64{1} * conv.out_channels *
+                           (conv.in_channels / conv.groups) * conv.kernel_h *
+                           conv.kernel_w;
+  const i64 ofmap_elems =
+      i64{1} * conv.out_channels * conv.out_h() * conv.out_w();
+
+  t.filter_bytes = elems_to_bytes(filter_elems);
+  t.ofmap_bytes = elems_to_bytes(ofmap_elems);
+  const i64 unique = unique_ifmap_elements(conv);
+  const i64 expanded = im2col_element_count(conv);
+  if (mode == Im2colMode::kSoftware && expanded > unique) {
+    // Software im2col (paper §3.2): the host reads the raw IFMAP, writes
+    // the expanded window matrix, and the accelerator reads it back —
+    // "excessive memory traffic and a need for either a large on-chip
+    // memory or expensive DRAM access". Layers with no expansion (1x1,
+    // stride 1) skip the materialization.
+    t.ifmap_bytes = elems_to_bytes(unique + 2 * expanded);
+  } else {
+    t.ifmap_bytes = elems_to_bytes(unique);
+  }
+  return t;
+}
+
+Traffic gemm_dram_traffic(const GemmShape& g) {
+  AXON_CHECK(g.valid(), "invalid GEMM shape");
+  Traffic t;
+  t.ifmap_bytes = elems_to_bytes(g.a_elems());
+  t.filter_bytes = elems_to_bytes(g.b_elems());
+  t.ofmap_bytes = elems_to_bytes(g.c_elems());
+  return t;
+}
+
+}  // namespace axon

@@ -1,0 +1,52 @@
+// Closed-form traffic models for convolution lowering (paper §3.2, Fig. 11
+// and the §5.2.1 energy table).
+//
+// Software im2col (baseline): every element of every conv window is fetched
+// from the memory hierarchy — oh*ow windows of (Cin/g)*kh*kw elements each.
+//
+// Axon on-chip im2col: windows are streamed to the diagonal feeder PEs; a
+// 2-to-1 MUX per feeder forwards elements shared between horizontally
+// adjacent windows (stride < kw), so within a feeder group only the first
+// window is loaded in full and each subsequent window loads just the
+// kh * min(stride_w, kw) new elements per channel.
+//
+// These closed forms are cross-validated against the cycle-accurate
+// core/Im2colFeeder in tests.
+#pragma once
+
+#include "common/types.hpp"
+#include "memory/traffic.hpp"
+
+namespace axon {
+
+enum class Im2colMode {
+  kSoftware,      ///< windows materialized by the host / fetched expanded
+  kAxonOnChip,    ///< paper's MUX-based feeder reuse chain (horizontal)
+  kAxonTwoLevel,  ///< extension beyond the paper: adds a per-feeder row
+                  ///< buffer that also reuses the kh - stride_h IFMAP rows
+                  ///< shared between vertically adjacent windows, leaving
+                  ///< only newly exposed input rows to load
+};
+
+/// IFMAP elements loaded from SRAM into the array while executing one
+/// convolution (all groups, one batch). `num_feeders` is the number of
+/// diagonal feeder PEs, i.e. min(R, C) of the array.
+i64 ifmap_sram_loads(const ConvShape& conv, Im2colMode mode, int num_feeders);
+
+/// Fig. 11 metric: 100 * (1 - axon_loads / software_loads).
+double memory_access_reduction_pct(const ConvShape& conv, int num_feeders);
+
+/// Same metric for an arbitrary mode (used by the extension ablation).
+double memory_access_reduction_pct(const ConvShape& conv, Im2colMode mode,
+                                   int num_feeders);
+
+/// Off-chip (DRAM) traffic for one conv layer, one batch, FP16 elements.
+/// Software mode charges the expanded im2col IFMAP; Axon mode charges only
+/// the unique IFMAP elements (the feeder regenerates windows on chip).
+Traffic conv_dram_traffic(const ConvShape& conv, Im2colMode mode);
+
+/// DRAM traffic of a plain GEMM (operands + result, FP16), used by the
+/// roofline model for GEMM workloads.
+Traffic gemm_dram_traffic(const GemmShape& g);
+
+}  // namespace axon

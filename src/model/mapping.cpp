@@ -1,0 +1,23 @@
+#include "model/mapping.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+SpatioTemporal map_gemm(const GemmShape& g, Dataflow df) {
+  AXON_CHECK(g.valid(), "map_gemm on invalid GEMM shape");
+  switch (df) {
+    case Dataflow::kOS: return {g.M, g.N, g.K};
+    case Dataflow::kWS: return {g.K, g.M, g.N};
+    case Dataflow::kIS: return {g.K, g.N, g.M};
+  }
+  AXON_CHECK(false, "unreachable dataflow");
+  return {};
+}
+
+bool mapping_preserves_volume(const GemmShape& g, Dataflow df) {
+  const SpatioTemporal st = map_gemm(g, df);
+  return st.S_R * st.S_C * st.T == g.macs();
+}
+
+}  // namespace axon

@@ -1,0 +1,25 @@
+// Table 1 of the paper: projection of GEMM dimensions (M, K, N) onto the
+// spatial (S_R, S_C) and temporal (T) dimensions of the array for each
+// dataflow.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace axon {
+
+/// Spatio-temporal projection of a GEMM.
+struct SpatioTemporal {
+  i64 S_R = 0;  ///< mapped along array rows
+  i64 S_C = 0;  ///< mapped along array columns
+  i64 T = 0;    ///< temporal dimension (MACs per PE)
+
+  friend bool operator==(const SpatioTemporal&, const SpatioTemporal&) = default;
+};
+
+/// OS: (M, N, K) — WS: (K, M, N) — IS: (K, N, M).
+SpatioTemporal map_gemm(const GemmShape& g, Dataflow df);
+
+/// Inverse sanity check used by tests: S_R * S_C * T == M * K * N.
+bool mapping_preserves_volume(const GemmShape& g, Dataflow df);
+
+}  // namespace axon

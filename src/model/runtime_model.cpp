@@ -1,0 +1,133 @@
+#include "model/runtime_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+i64 fill_latency(ArchType arch, const ArrayShape& array) {
+  AXON_CHECK(array.valid(), "invalid array shape");
+  const i64 r = array.rows;
+  const i64 c = array.cols;
+  switch (arch) {
+    case ArchType::kConventionalSA:
+      return r + c - 2;  // Manhattan distance to the farthest corner PE
+    case ArchType::kAxon:
+      return std::max(r, c) - 1;  // Chebyshev distance from the diagonal
+    case ArchType::kCMSA:
+      // Substituted model: the added horizontal datapath halves the
+      // column component of the fill (DESIGN.md §5.2).
+      return r + ceil_div(c, 2) - 2;
+  }
+  AXON_CHECK(false, "unreachable arch");
+  return 0;
+}
+
+i64 tile_cycles(ArchType arch, const ArrayShape& array, i64 T) {
+  AXON_CHECK(array.valid(), "invalid array shape");
+  AXON_CHECK(T > 0, "temporal dimension must be positive");
+  // fill + T multiplications + R readout, matching eq. (1): for the
+  // conventional SA this is (R + C - 2) + T + R = 2R + C + T - 2.
+  return fill_latency(arch, array) + T + array.rows;
+}
+
+i64 tile_count(const SpatioTemporal& st, const ArrayShape& array) {
+  return ceil_div(st.S_R, array.rows) * ceil_div(st.S_C, array.cols);
+}
+
+RuntimeResult scale_up_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                               const ArrayShape& array) {
+  RuntimeResult out;
+  out.st = map_gemm(g, df);
+  out.dataflow = df;
+  out.arch = arch;
+  out.tiles = tile_count(out.st, array);
+  out.cycles = tile_cycles(arch, array, out.st.T) * out.tiles;
+  return out;
+}
+
+RuntimeResult scale_out_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                                const ArrayShape& array, int partitions_rows,
+                                int partitions_cols) {
+  AXON_CHECK(partitions_rows > 0 && partitions_cols > 0,
+             "partition counts must be positive");
+  RuntimeResult out;
+  out.st = map_gemm(g, df);
+  out.dataflow = df;
+  out.arch = arch;
+  // Eq. (3): S'_R = S_R / P_R, S'_C = S_C / P_C; each partition runs its
+  // share of tiles in parallel, so the critical path is the per-partition
+  // tile count.
+  const i64 spr = ceil_div(out.st.S_R, partitions_rows);
+  const i64 spc = ceil_div(out.st.S_C, partitions_cols);
+  out.tiles = ceil_div(spr, array.rows) * ceil_div(spc, array.cols);
+  out.cycles = tile_cycles(arch, array, out.st.T) * out.tiles;
+  return out;
+}
+
+RuntimeResult pipelined_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                                const ArrayShape& array) {
+  RuntimeResult out;
+  out.st = map_gemm(g, df);
+  out.dataflow = df;
+  out.arch = arch;
+  out.tiles = tile_count(out.st, array);
+  // Steady state: each tile costs fill + T (its drain overlaps the next
+  // tile's fill); the last tile still pays the R-cycle readout.
+  const i64 per_tile = fill_latency(arch, array) + out.st.T;
+  out.cycles = per_tile * out.tiles + array.rows;
+  return out;
+}
+
+RuntimeResult best_dataflow_runtime(ArchType arch, const GemmShape& g,
+                                    const ArrayShape& array) {
+  RuntimeResult best;
+  bool first = true;
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    const RuntimeResult r = scale_up_runtime(arch, df, g, array);
+    if (first || r.cycles < best.cycles) {
+      best = r;
+      first = false;
+    }
+  }
+  return best;
+}
+
+RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
+                             const ArrayShape& array, bool pipelined) {
+  AXON_CHECK(conv.depthwise(), "dwconv_runtime expects a depthwise layer");
+  // Each channel is GEMM(1, kh*kw, oh*ow); channels are serialized on the
+  // array (no inter-channel reduction exists to parallelize over rows).
+  GemmShape per_channel;
+  per_channel.M = 1;
+  per_channel.K = i64{1} * conv.kernel_h * conv.kernel_w;
+  per_channel.N = i64{1} * conv.out_h() * conv.out_w();
+  const RuntimeResult one = pipelined
+                                ? pipelined_runtime(arch, df, per_channel, array)
+                                : scale_up_runtime(arch, df, per_channel, array);
+  RuntimeResult out = one;
+  out.cycles = one.cycles * conv.in_channels;
+  out.tiles = one.tiles * conv.in_channels;
+  return out;
+}
+
+ShapeSearchResult best_array_shape(ArchType arch, const GemmShape& g,
+                                   i64 pe_budget) {
+  AXON_CHECK(pe_budget >= 1, "PE budget must be positive");
+  ShapeSearchResult best;
+  bool first = true;
+  for (i64 rows = 1; rows <= pe_budget; rows *= 2) {
+    for (i64 cols = 1; rows * cols <= pe_budget; cols *= 2) {
+      const ArrayShape shape{static_cast<int>(rows), static_cast<int>(cols)};
+      const RuntimeResult r = best_dataflow_runtime(arch, g, shape);
+      if (first || r.cycles < best.runtime.cycles) {
+        best = {shape, r};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace axon

@@ -1,0 +1,77 @@
+// Analytical runtime models.
+//
+//  * Conventional SA: SCALE-SIM equation (1): tau = 2*S_R + S_C + T - 2,
+//    tiled per equations (2)/(3).
+//  * Axon (paper Table 2): the fill term R + C - 2 becomes max(R, C) - 1;
+//    per tile tau = max(R, C) + R + T - 1.
+//  * CMSA (substituted model, see DESIGN.md §5.2): the extra horizontal
+//    datapath halves the column-fill component: tau = 2R + ceil(C/2) + T - 2.
+//
+// Two tiling regimes:
+//  * strict   — every tile pays fill + compute + drain (equations (2)/(3)).
+//  * pipelined — consecutive tiles overlap drain/fill (double-buffered
+//    operands), so steady-state cost per tile is fill + T; one final drain.
+//    Used for the memory-bound Fig. 14 workloads (see DESIGN.md §4).
+#pragma once
+
+#include "common/types.hpp"
+#include "model/mapping.hpp"
+
+namespace axon {
+
+/// Fig. 6 factors: cycles for operands to reach the farthest PE.
+/// f1 (conventional) = R + C - 2 ; f2 (Axon) = max(R, C) - 1.
+i64 fill_latency(ArchType arch, const ArrayShape& array);
+
+/// Per-tile runtime for a tile that occupies the full R x C array and runs
+/// T temporal steps.
+i64 tile_cycles(ArchType arch, const ArrayShape& array, i64 T);
+
+/// Tile count of the scale-up mapping: ceil(S_R/R) * ceil(S_C/C).
+i64 tile_count(const SpatioTemporal& st, const ArrayShape& array);
+
+/// Result of an analytical runtime evaluation.
+struct RuntimeResult {
+  i64 cycles = 0;
+  i64 tiles = 0;
+  SpatioTemporal st;
+  Dataflow dataflow = Dataflow::kOS;
+  ArchType arch = ArchType::kConventionalSA;
+};
+
+/// Equation (2) (conventional) and its Axon/CMSA analogues: one monolithic
+/// R x C array processes all tiles sequentially.
+RuntimeResult scale_up_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                               const ArrayShape& array);
+
+/// Equation (3): P_R x P_C independent arrays split the spatial dims.
+RuntimeResult scale_out_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                                const ArrayShape& array, int partitions_rows,
+                                int partitions_cols);
+
+/// Pipelined-tile variant: tiles overlap drain with the next fill.
+RuntimeResult pipelined_runtime(ArchType arch, Dataflow df, const GemmShape& g,
+                                const ArrayShape& array);
+
+/// Evaluates all three dataflows and returns the fastest (scale-up).
+RuntimeResult best_dataflow_runtime(ArchType arch, const GemmShape& g,
+                                    const ArrayShape& array);
+
+/// Depthwise convolution lowered channel-by-channel: each of the
+/// `channels` groups is an independent GEMM (1, k*k, oh*ow); runtimes add.
+RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
+                             const ArrayShape& array, bool pipelined);
+
+/// Design-space search: among all power-of-two R x C shapes with
+/// R * C <= pe_budget, the shape minimizing the best-dataflow scale-up
+/// runtime for the workload. Axon's max(R, C) fill term penalizes
+/// elongated arrays harder than the conventional SA's R + C, so the two
+/// architectures prefer different aspect ratios on skewed workloads.
+struct ShapeSearchResult {
+  ArrayShape shape;
+  RuntimeResult runtime;
+};
+ShapeSearchResult best_array_shape(ArchType arch, const GemmShape& g,
+                                   i64 pe_budget);
+
+}  // namespace axon

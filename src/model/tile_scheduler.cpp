@@ -1,0 +1,89 @@
+#include "model/tile_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+namespace {
+
+/// DRAM element counts for one loop-order choice. The resident operand is
+/// fetched once; the streaming operand is re-fetched once per resident
+/// pass unless it fits its scratchpad whole.
+struct Traffic2 {
+  i64 a_passes = 1;
+  i64 b_passes = 1;
+  i64 a_elems = 0;
+  i64 b_elems = 0;
+};
+
+Traffic2 traffic_for(LoopOrder order, const GemmShape& g,
+                     const SpatioTemporal& st, const ArrayShape& array,
+                     const SramConfig& sram) {
+  const i64 usable_a =
+      sram.double_buffered ? sram.ifmap_words / 2 : sram.ifmap_words;
+  const i64 usable_b =
+      sram.double_buffered ? sram.filter_words / 2 : sram.filter_words;
+  const i64 row_tiles = ceil_div(st.S_R, array.rows);
+  const i64 col_tiles = ceil_div(st.S_C, array.cols);
+
+  Traffic2 t;
+  if (order == LoopOrder::kAResident) {
+    // A tiles stay on chip across the column sweep; B streams every pass
+    // over the row tiles unless it fits whole.
+    t.a_passes = 1;
+    t.b_passes = (g.b_elems() <= usable_b) ? 1 : row_tiles;
+  } else {
+    t.b_passes = 1;
+    t.a_passes = (g.a_elems() <= usable_a) ? 1 : col_tiles;
+  }
+  t.a_elems = g.a_elems() * t.a_passes;
+  t.b_elems = g.b_elems() * t.b_passes;
+  return t;
+}
+
+}  // namespace
+
+std::string to_string(LoopOrder order) {
+  return order == LoopOrder::kAResident ? "A-resident" : "B-resident";
+}
+
+TilePlan plan_gemm(ArchType arch, Dataflow df, const GemmShape& g,
+                   const ArrayShape& array, const SramConfig& sram,
+                   const DramModel& dram) {
+  AXON_CHECK(g.valid(), "invalid GEMM");
+  AXON_CHECK(array.valid(), "invalid array");
+  AXON_CHECK(sram.ifmap_words > 0 && sram.filter_words > 0 &&
+                 sram.ofmap_words > 0,
+             "scratchpads must be non-empty");
+
+  const SpatioTemporal st = map_gemm(g, df);
+
+  const Traffic2 a_res =
+      traffic_for(LoopOrder::kAResident, g, st, array, sram);
+  const Traffic2 b_res =
+      traffic_for(LoopOrder::kBResident, g, st, array, sram);
+
+  TilePlan plan;
+  const bool pick_a =
+      a_res.a_elems + a_res.b_elems <= b_res.a_elems + b_res.b_elems;
+  const Traffic2& chosen = pick_a ? a_res : b_res;
+  plan.order = pick_a ? LoopOrder::kAResident : LoopOrder::kBResident;
+  plan.a_passes = chosen.a_passes;
+  plan.b_passes = chosen.b_passes;
+  plan.a_dram_elems = chosen.a_elems;
+  plan.b_dram_elems = chosen.b_elems;
+  plan.c_dram_elems = g.c_elems();
+
+  plan.tiles = tile_count(st, array);
+  plan.compute_cycles = pipelined_runtime(arch, df, g, array).cycles;
+  plan.transfer_cycles = dram.transfer_cycles(plan.dram_bytes());
+  plan.total_cycles =
+      sram.double_buffered
+          ? std::max(plan.compute_cycles, plan.transfer_cycles)
+          : plan.compute_cycles + plan.transfer_cycles;
+  return plan;
+}
+
+}  // namespace axon

@@ -1,0 +1,58 @@
+// SRAM-capacity-aware tiling: decides the tile loop order for a GEMM on a
+// given array, accounts DRAM refetch when an operand does not fit in its
+// scratchpad, and overlaps transfer with compute (double buffering).
+//
+// This is the substrate behind the end-to-end runtime numbers: the
+// analytical runtime models (model/runtime_model) give compute cycles; the
+// scheduler adds the memory system on top, the same decomposition
+// SCALE-SIM uses.
+#pragma once
+
+#include "common/types.hpp"
+#include "memory/dram.hpp"
+#include "memory/traffic.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+
+/// On-chip scratchpad capacities in words (FP16 elements).
+struct SramConfig {
+  i64 ifmap_words = 256 * 1024;   ///< operand A buffer
+  i64 filter_words = 256 * 1024;  ///< operand B buffer
+  i64 ofmap_words = 128 * 1024;   ///< accumulator/output buffer
+  bool double_buffered = true;    ///< halves usable capacity, overlaps DRAM
+};
+
+/// Loop orders the scheduler chooses between.
+enum class LoopOrder {
+  kAResident,  ///< keep A tiles resident, stream B per pass (B refetched)
+  kBResident,  ///< keep B tiles resident, stream A per pass (A refetched)
+};
+
+std::string to_string(LoopOrder order);
+
+struct TilePlan {
+  LoopOrder order = LoopOrder::kAResident;
+  i64 tiles = 0;
+  i64 a_passes = 1;  ///< times the A operand is read from DRAM
+  i64 b_passes = 1;
+  i64 a_dram_elems = 0;
+  i64 b_dram_elems = 0;
+  i64 c_dram_elems = 0;
+  i64 compute_cycles = 0;   ///< pipelined-tile compute
+  i64 transfer_cycles = 0;  ///< DRAM time for all traffic
+  i64 total_cycles = 0;     ///< max(compute, transfer) if double buffered,
+                            ///< sum otherwise
+
+  [[nodiscard]] i64 dram_bytes() const {
+    return elems_to_bytes(a_dram_elems + b_dram_elems + c_dram_elems);
+  }
+};
+
+/// Plans C = A(MxK) * B(KxN) on `array` under `sram`, choosing the loop
+/// order that minimizes total DRAM traffic.
+TilePlan plan_gemm(ArchType arch, Dataflow df, const GemmShape& g,
+                   const ArrayShape& array, const SramConfig& sram,
+                   const DramModel& dram);
+
+}  // namespace axon

@@ -1,0 +1,33 @@
+#include "model/utilization.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+double utilization_rate(ArchType arch, Dataflow df, const GemmShape& g,
+                        const ArrayShape& array) {
+  const RuntimeResult r = scale_up_runtime(arch, df, g, array);
+  const double pe_cycles =
+      static_cast<double>(array.num_pes()) * static_cast<double>(r.cycles);
+  AXON_CHECK(pe_cycles > 0, "zero PE-cycles");
+  return static_cast<double>(g.macs()) / pe_cycles;
+}
+
+double best_utilization_rate(ArchType arch, const GemmShape& g,
+                             const ArrayShape& array) {
+  double best = 0.0;
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    best = std::max(best, utilization_rate(arch, df, g, array));
+  }
+  return best;
+}
+
+double utilization_improvement_pct(ArchType arch, const GemmShape& g,
+                                   const ArrayShape& array) {
+  const double base =
+      best_utilization_rate(ArchType::kConventionalSA, g, array);
+  const double ours = best_utilization_rate(arch, g, array);
+  return 100.0 * (ours - base);
+}
+
+}  // namespace axon

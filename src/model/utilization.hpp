@@ -1,0 +1,24 @@
+// PE utilization-rate model (paper Fig. 13): the fraction of PE-cycles that
+// perform useful MACs, UR = (M*K*N) / (R*C*runtime).
+#pragma once
+
+#include "common/types.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+
+/// Utilization of a specific (arch, dataflow) scale-up run.
+double utilization_rate(ArchType arch, Dataflow df, const GemmShape& g,
+                        const ArrayShape& array);
+
+/// Utilization under the best dataflow for the architecture.
+double best_utilization_rate(ArchType arch, const GemmShape& g,
+                             const ArrayShape& array);
+
+/// Fig. 13 metric: percentage-point improvement of `arch` over the
+/// conventional SA, both at their best dataflows:
+///   100 * (UR_arch - UR_sa).
+double utilization_improvement_pct(ArchType arch, const GemmShape& g,
+                                   const ArrayShape& array);
+
+}  // namespace axon

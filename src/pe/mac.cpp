@@ -1,0 +1,18 @@
+#include "pe/mac.hpp"
+
+namespace axon {
+
+float MacUnit::mac(float a, float b, float acc) {
+  if (zero_gating_ && (a == 0.0f || b == 0.0f)) {
+    ++counters_.gated_macs;
+    return acc;  // datapath gated: accumulator holds its value
+  }
+  ++counters_.active_macs;
+  if (fp16_numerics_) {
+    const float prod = fp16_round(fp16_round(a) * fp16_round(b));
+    return fp16_round(acc + prod);
+  }
+  return acc + a * b;
+}
+
+}  // namespace axon

@@ -1,0 +1,54 @@
+// FP16-style multiply-accumulate unit with the zero-gating optimisation the
+// paper adopts from Sauria [15] (§4.1): if either operand is exactly zero the
+// multiply/add is skipped entirely — the accumulator is untouched and the
+// datapath does not toggle, which the power model charges as a gated
+// (cheap) cycle instead of an active MAC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fp16.hpp"
+
+namespace axon {
+
+struct MacCounters {
+  std::int64_t active_macs = 0;  ///< multiplies actually performed
+  std::int64_t gated_macs = 0;   ///< skipped by zero gating
+  std::int64_t idle_cycles = 0;  ///< cycles with no operands at all
+
+  MacCounters& operator+=(const MacCounters& o) {
+    active_macs += o.active_macs;
+    gated_macs += o.gated_macs;
+    idle_cycles += o.idle_cycles;
+    return *this;
+  }
+  [[nodiscard]] std::int64_t total_macs() const {
+    return active_macs + gated_macs;
+  }
+};
+
+class MacUnit {
+ public:
+  /// `zero_gating` toggles the optimisation (results are identical either
+  /// way; only counters differ). `fp16_numerics` rounds operand/product/sum
+  /// to binary16 like the simplified FPnew unit.
+  explicit MacUnit(bool zero_gating = true, bool fp16_numerics = false)
+      : zero_gating_(zero_gating), fp16_numerics_(fp16_numerics) {}
+
+  /// acc + a*b with gating/rounding per configuration.
+  float mac(float a, float b, float acc);
+
+  /// Call when the PE has no valid operands this cycle.
+  void idle() { ++counters_.idle_cycles; }
+
+  [[nodiscard]] const MacCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+  [[nodiscard]] bool zero_gating() const { return zero_gating_; }
+
+ private:
+  bool zero_gating_;
+  bool fp16_numerics_;
+  MacCounters counters_;
+};
+
+}  // namespace axon

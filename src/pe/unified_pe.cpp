@@ -1,0 +1,84 @@
+#include "pe/unified_pe.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+void UnifiedPe::configure(Dataflow df) {
+  dataflow_ = df;
+  reset();
+}
+
+void UnifiedPe::reset() {
+  acc_ = 0.0f;
+  stationary_ = 0.0f;
+  stationary_loaded_ = false;
+}
+
+float UnifiedPe::drain_accumulator() {
+  const float v = acc_;
+  acc_ = 0.0f;
+  return v;
+}
+
+PeOut UnifiedPe::step(const PeIn& in) {
+  PeOut out;
+
+  if (in.preload) {
+    // MUX1/MUX2 route the value arriving on the output interconnect into
+    // the stationary register and forward it (one latch per hop) to the
+    // next PE in the column. Every PE samples every passing value; after
+    // S_R cycles the value that arrived *last* at PE row i is exactly its
+    // stationary element, so the whole load takes S_R cycles (§4.2.1).
+    AXON_CHECK(dataflow_ != Dataflow::kOS, "preload is a WS/IS phase");
+    if (in.psum.has_value()) {
+      stationary_ = *in.psum;
+      stationary_loaded_ = true;
+      out.psum = in.psum;
+    }
+    return out;
+  }
+
+  switch (dataflow_) {
+    case Dataflow::kOS: {
+      // Multiply the two travelling operands, accumulate locally (MUX3
+      // selects Psum; MUX4 selects Psum only during drain).
+      if (in.horizontal.has_value() && in.vertical.has_value()) {
+        acc_ = mac_.mac(*in.horizontal, *in.vertical, acc_);
+      } else {
+        mac_.idle();
+      }
+      out.horizontal = in.horizontal;
+      out.vertical = in.vertical;
+      break;
+    }
+    case Dataflow::kWS: {
+      // Weight is stationary; IFMAP travels horizontally; partial sums ride
+      // the output interconnect (MUX3 selects the incoming psum).
+      if (in.horizontal.has_value()) {
+        const float base = in.psum.value_or(0.0f);
+        out.psum = mac_.mac(*in.horizontal, stationary_, base);
+      } else {
+        mac_.idle();
+        out.psum = in.psum;  // bypass: forward untouched partial sums
+      }
+      out.horizontal = in.horizontal;
+      break;
+    }
+    case Dataflow::kIS: {
+      // Input is stationary; FILTER travels vertically.
+      if (in.vertical.has_value()) {
+        const float base = in.psum.value_or(0.0f);
+        out.psum = mac_.mac(stationary_, *in.vertical, base);
+      } else {
+        mac_.idle();
+        out.psum = in.psum;
+      }
+      out.vertical = in.vertical;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,71 @@
+// Unified Axon PE (paper Fig. 9): one programmable datapath that supports
+// OS, WS and IS under the Axon orchestration.
+//
+//  * MUX1/MUX2 — during the WS/IS *preload* phase the stationary operand
+//    travels over the output interconnect (the yellow route in Fig. 8a) and
+//    these muxes steer it into the weight or input stationary register.
+//  * MUX3 — selects the accumulator source: the local Psum register (OS) or
+//    the partial sum arriving from a neighbour (WS/IS bypass-and-add chain).
+//  * MUX4 — selects what the output port carries: the local accumulator (OS
+//    drain) or the freshly produced partial sum (WS/IS).
+//
+// Direction of travel (up/down/left/right, bi-directional on the diagonal)
+// is the array's responsibility; the PE only sees "an operand arrived on the
+// horizontal port / vertical port / output port".
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "pe/mac.hpp"
+
+namespace axon {
+
+/// Everything a PE can receive in one cycle.
+struct PeIn {
+  std::optional<float> horizontal;  ///< IFMAP-side operand
+  std::optional<float> vertical;    ///< FILTER-side operand
+  std::optional<float> psum;        ///< partial sum on the output interconnect
+  bool preload = false;             ///< WS/IS preload phase: `psum` carries
+                                    ///< the stationary operand (via MUX1/2)
+};
+
+/// Everything a PE drives in one cycle (registered: visible next cycle).
+struct PeOut {
+  std::optional<float> horizontal;  ///< forwarded IFMAP operand
+  std::optional<float> vertical;    ///< forwarded FILTER operand
+  std::optional<float> psum;        ///< produced/forwarded partial sum
+};
+
+class UnifiedPe {
+ public:
+  explicit UnifiedPe(Dataflow df = Dataflow::kOS, bool zero_gating = true,
+                     bool fp16_numerics = false)
+      : dataflow_(df), mac_(zero_gating, fp16_numerics) {}
+
+  /// Reconfigure between tiles. Clears all state.
+  void configure(Dataflow df);
+
+  /// One cycle of the datapath. Consumes registered inputs (what arrived on
+  /// the previous clock edge) and returns the values registered for the next
+  /// edge.
+  PeOut step(const PeIn& in);
+
+  /// OS drain: reads and clears the accumulator.
+  float drain_accumulator();
+
+  [[nodiscard]] Dataflow dataflow() const { return dataflow_; }
+  [[nodiscard]] float accumulator() const { return acc_; }
+  [[nodiscard]] float stationary() const { return stationary_; }
+  [[nodiscard]] const MacCounters& counters() const { return mac_.counters(); }
+  void reset();
+
+ private:
+  Dataflow dataflow_;
+  MacUnit mac_;
+  float acc_ = 0.0f;         ///< Psum register (OS)
+  float stationary_ = 0.0f;  ///< weight (WS) or input (IS) register
+  bool stationary_loaded_ = false;
+};
+
+}  // namespace axon

@@ -1,0 +1,153 @@
+#include "runner/accelerator.hpp"
+
+#include <algorithm>
+
+#include "baseline/conventional_array.hpp"
+#include "common/check.hpp"
+#include "core/axon_array.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+
+namespace {
+
+Matrix submatrix(const Matrix& m, i64 r0, i64 rn, i64 c0, i64 cn) {
+  Matrix out(rn, cn);
+  for (i64 i = 0; i < rn; ++i) {
+    for (i64 j = 0; j < cn; ++j) out.at(i, j) = m.at(r0 + i, c0 + j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Accelerator::Accelerator(AcceleratorConfig config) : config_(config) {
+  AXON_CHECK(config_.array.valid(), "invalid array shape");
+  AXON_CHECK(config_.arch != ArchType::kCMSA,
+             "CMSA is an analytical baseline only (no cycle simulator)");
+}
+
+GemmRunResult Accelerator::run_tile(const Matrix& a, const Matrix& b) {
+  if (config_.arch == ArchType::kAxon) {
+    AxonArraySim sim(config_.array, config_.sim);
+    return sim.run(config_.dataflow, a, b);
+  }
+  ConventionalArraySim sim(config_.array, config_.sim);
+  return sim.run(config_.dataflow, a, b);
+}
+
+RunReport Accelerator::run_gemm(const Matrix& a, const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
+  const GemmShape g{a.rows(), a.cols(), b.cols()};
+  const i64 rows = config_.array.rows;
+  const i64 cols = config_.array.cols;
+
+  RunReport report;
+  report.out = Matrix(g.M, g.N);
+
+  auto add_tile = [&](const GemmRunResult& tile) {
+    report.cycles += tile.cycles;
+    ++report.tiles;
+    report.macs += tile.macs;
+    report.stats.merge(tile.stats);
+  };
+
+  switch (config_.dataflow) {
+    case Dataflow::kOS: {
+      // Tile M over rows, N over cols; K is temporal (unbounded).
+      for (i64 m0 = 0; m0 < g.M; m0 += rows) {
+        const i64 mn = std::min(rows, g.M - m0);
+        const Matrix a_tile = submatrix(a, m0, mn, 0, g.K);
+        for (i64 n0 = 0; n0 < g.N; n0 += cols) {
+          const i64 nn = std::min(cols, g.N - n0);
+          const Matrix b_tile = submatrix(b, 0, g.K, n0, nn);
+          GemmRunResult tile = run_tile(a_tile, b_tile);
+          add_tile(tile);
+          for (i64 i = 0; i < mn; ++i) {
+            for (i64 j = 0; j < nn; ++j) {
+              report.out.at(m0 + i, n0 + j) = tile.out.at(i, j);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Dataflow::kWS: {
+      // Tile K over rows, M over cols; N is temporal. Partial products over
+      // K tiles accumulate into the output.
+      for (i64 k0 = 0; k0 < g.K; k0 += rows) {
+        const i64 kn = std::min(rows, g.K - k0);
+        for (i64 m0 = 0; m0 < g.M; m0 += cols) {
+          const i64 mn = std::min(cols, g.M - m0);
+          const Matrix a_tile = submatrix(a, m0, mn, k0, kn);
+          const Matrix b_tile = submatrix(b, k0, kn, 0, g.N);
+          GemmRunResult tile = run_tile(a_tile, b_tile);
+          add_tile(tile);
+          for (i64 i = 0; i < mn; ++i) {
+            for (i64 j = 0; j < g.N; ++j) {
+              report.out.at(m0 + i, j) += tile.out.at(i, j);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Dataflow::kIS: {
+      // Tile K over rows, N over cols; M is temporal.
+      for (i64 k0 = 0; k0 < g.K; k0 += rows) {
+        const i64 kn = std::min(rows, g.K - k0);
+        for (i64 n0 = 0; n0 < g.N; n0 += cols) {
+          const i64 nn = std::min(cols, g.N - n0);
+          const Matrix a_tile = submatrix(a, 0, g.M, k0, kn);
+          const Matrix b_tile = submatrix(b, k0, kn, n0, nn);
+          GemmRunResult tile = run_tile(a_tile, b_tile);
+          add_tile(tile);
+          for (i64 i = 0; i < g.M; ++i) {
+            for (i64 j = 0; j < nn; ++j) {
+              report.out.at(i, n0 + j) += tile.out.at(i, j);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  report.model_cycles =
+      scale_up_runtime(config_.arch, config_.dataflow, g, config_.array).cycles;
+  report.utilization =
+      static_cast<double>(g.macs()) /
+      (static_cast<double>(config_.array.num_pes()) *
+       static_cast<double>(report.cycles));
+  return report;
+}
+
+RunReport Accelerator::run_conv(const Tensor4& input, const Tensor4& filters,
+                                const ConvShape& conv) {
+  RunReport report;
+  ConvRunResult r =
+      config_.arch == ArchType::kAxon
+          ? run_conv_axon_im2col(input, filters, conv, config_.array,
+                                 config_.sim)
+          : run_conv_sa_software_im2col(input, filters, conv, config_.array,
+                                        config_.sim);
+  report.conv_out = std::move(r.output);
+  report.cycles = r.cycles;
+  report.tiles = r.tiles;
+  report.macs = r.macs;
+  report.stats.add("sram.ifmap.loads", r.ifmap_sram_loads);
+  report.stats.add("sram.filter.loads", r.filter_sram_loads);
+  report.stats.add("feeder.neighbor.forwards", r.neighbor_forwards);
+  report.utilization =
+      static_cast<double>(conv.macs()) /
+      (static_cast<double>(config_.array.num_pes()) *
+       static_cast<double>(report.cycles));
+  const GemmShape g = conv.as_gemm();
+  report.model_cycles =
+      scale_up_runtime(config_.arch, config_.dataflow, g, config_.array)
+          .cycles *
+      conv.groups;
+  return report;
+}
+
+}  // namespace axon

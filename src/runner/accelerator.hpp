@@ -1,0 +1,54 @@
+// High-level entry point: run arbitrarily sized GEMMs and convolutions on a
+// configured accelerator (conventional SA or Axon), cycle-accurately, with
+// automatic tiling. This is the API the examples use.
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "core/conv_executor.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+
+struct AcceleratorConfig {
+  ArchType arch = ArchType::kAxon;
+  ArrayShape array{16, 16};
+  Dataflow dataflow = Dataflow::kOS;
+  SimOptions sim;
+};
+
+/// Aggregated result of a (possibly tiled) run.
+struct RunReport {
+  Matrix out;                ///< GEMM result (empty for conv runs)
+  Tensor4 conv_out;          ///< conv result (empty for GEMM runs)
+  i64 cycles = 0;            ///< cycle-accurate total over all tiles
+  i64 tiles = 0;
+  i64 model_cycles = 0;      ///< analytical prediction (scale-up equations)
+  double utilization = 0.0;  ///< useful MACs / (PEs * cycles)
+  MacCounters macs;
+  Stats stats;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig config);
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return config_; }
+
+  /// C = A * B, any size; tiled over the spatial dimensions of the
+  /// configured dataflow (and over K for WS/IS, accumulating partials).
+  RunReport run_gemm(const Matrix& a, const Matrix& b);
+
+  /// Full convolution layer. On Axon this uses the on-chip im2col feeder
+  /// chain; on the conventional SA it consumes software im2col.
+  RunReport run_conv(const Tensor4& input, const Tensor4& filters,
+                     const ConvShape& conv);
+
+ private:
+  GemmRunResult run_tile(const Matrix& a, const Matrix& b);
+
+  AcceleratorConfig config_;
+};
+
+}  // namespace axon

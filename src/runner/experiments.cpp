@@ -1,0 +1,227 @@
+#include "runner/experiments.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "model/runtime_model.hpp"
+#include "model/utilization.hpp"
+
+namespace axon {
+
+std::vector<Fig6Row> fig6_fill_factors(const std::vector<ArrayShape>& shapes) {
+  std::vector<Fig6Row> rows;
+  rows.reserve(shapes.size());
+  for (const ArrayShape& s : shapes) {
+    rows.push_back({s, fill_latency(ArchType::kConventionalSA, s),
+                    fill_latency(ArchType::kAxon, s)});
+  }
+  return rows;
+}
+
+std::vector<SpeedupRow> fig12_speedups(int array_size) {
+  // Modeling choice (DESIGN.md §4): OS dataflow (the paper's implemented
+  // hardware, §5.1) with pipelined tiles — each tile's drain overlaps the
+  // next tile's fill, leaving fill + T per tile. Strict Table-2 accounting
+  // caps the square-array speedup at 1.5x, below the paper's reported
+  // averages (1.47x @ 64, 1.76x @ 256, "up to 2x"), so the paper's figure
+  // necessarily overlaps the readout; this model reproduces that shape.
+  const ArrayShape array{array_size, array_size};
+  std::vector<SpeedupRow> rows;
+  for (const GemmWorkload& w : table3_workloads()) {
+    SpeedupRow row;
+    row.workload = w.name;
+    row.shape = w.shape;
+    row.sa_cycles = pipelined_runtime(ArchType::kConventionalSA, Dataflow::kOS,
+                                      w.shape, array)
+                        .cycles;
+    row.axon_cycles =
+        pipelined_runtime(ArchType::kAxon, Dataflow::kOS, w.shape, array)
+            .cycles;
+    row.speedup =
+        static_cast<double>(row.sa_cycles) / static_cast<double>(row.axon_cycles);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double geomean_speedup(const std::vector<SpeedupRow>& rows) {
+  AXON_CHECK(!rows.empty(), "no rows");
+  double log_sum = 0.0;
+  for (const auto& r : rows) log_sum += std::log(r.speedup);
+  return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+double mean_speedup(const std::vector<SpeedupRow>& rows) {
+  AXON_CHECK(!rows.empty(), "no rows");
+  double sum = 0.0;
+  for (const auto& r : rows) sum += r.speedup;
+  return sum / static_cast<double>(rows.size());
+}
+
+std::vector<UtilizationRow> fig13_utilization(int array_size) {
+  const ArrayShape array{array_size, array_size};
+  std::vector<UtilizationRow> rows;
+  for (const GemmWorkload& w : table3_workloads()) {
+    UtilizationRow row;
+    row.workload = w.name;
+    row.ur_sa = best_utilization_rate(ArchType::kConventionalSA, w.shape, array);
+    row.ur_cmsa = best_utilization_rate(ArchType::kCMSA, w.shape, array);
+    row.ur_axon = best_utilization_rate(ArchType::kAxon, w.shape, array);
+    row.cmsa_improvement_pct = 100.0 * (row.ur_cmsa - row.ur_sa);
+    row.axon_improvement_pct = 100.0 * (row.ur_axon - row.ur_sa);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig14Row> fig14_dwconv_gemv(int array_size) {
+  const ArrayShape array{array_size, array_size};
+  std::vector<Fig14Row> rows;
+
+  // GEMV runs weight-stationary (weights preloaded once, the vector
+  // streams; T = N = 1 makes the fill latency dominant), DW-conv runs OS;
+  // both memory-bound cases pipeline tiles (DESIGN.md §4). This reproduces
+  // the paper's "avg 1.8x, up to 2x due to lower feeding latency and no
+  // data skew".
+  auto add_gemm = [&](const std::string& name, const GemmShape& g) {
+    Fig14Row row;
+    row.workload = name;
+    row.sa_cycles = pipelined_runtime(ArchType::kConventionalSA, Dataflow::kWS,
+                                      g, array)
+                        .cycles;
+    row.axon_cycles =
+        pipelined_runtime(ArchType::kAxon, Dataflow::kWS, g, array).cycles;
+    row.speedup = static_cast<double>(row.sa_cycles) /
+                  static_cast<double>(row.axon_cycles);
+    rows.push_back(row);
+  };
+  for (const GemmWorkload& w : gemv_workloads()) add_gemm(w.name, w.shape);
+
+  auto add_dw = [&](const ConvWorkload& w) {
+    Fig14Row row;
+    row.workload = w.name;
+    row.sa_cycles = dwconv_runtime(ArchType::kConventionalSA, Dataflow::kOS,
+                                   w.shape, array, /*pipelined=*/true)
+                        .cycles;
+    row.axon_cycles = dwconv_runtime(ArchType::kAxon, Dataflow::kOS, w.shape,
+                                     array, /*pipelined=*/true)
+                          .cycles;
+    row.speedup = static_cast<double>(row.sa_cycles) /
+                  static_cast<double>(row.axon_cycles);
+    rows.push_back(row);
+  };
+  for (const ConvWorkload& w : mobilenet_dw_layers()) add_dw(w);
+  for (const ConvWorkload& w : conformer_dw_layers()) add_dw(w);
+  return rows;
+}
+
+std::vector<Fig11Row> fig11_memory_reduction(int num_feeders) {
+  std::vector<Fig11Row> rows;
+  for (const ConvWorkload& w : fig11_conv_shapes()) {
+    Fig11Row row;
+    row.workload = w.name;
+    row.shape = w.shape;
+    row.software_loads =
+        ifmap_sram_loads(w.shape, Im2colMode::kSoftware, num_feeders);
+    row.axon_loads =
+        ifmap_sram_loads(w.shape, Im2colMode::kAxonOnChip, num_feeders);
+    row.reduction_pct = memory_access_reduction_pct(w.shape, num_feeders);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+EnergyRow energy_row(const std::string& network,
+                     const std::vector<ConvWorkload>& layers, int array_size,
+                     double paper_baseline_mb, double paper_axon_mb,
+                     double paper_saved_mj) {
+  EnergyRow row;
+  row.network = network;
+  row.paper_baseline_mb = paper_baseline_mb;
+  row.paper_axon_mb = paper_axon_mb;
+  row.paper_saved_mj = paper_saved_mj;
+
+  const DramModel dram;  // LPDDR3 defaults from the paper
+  const ArrayShape array{array_size, array_size};
+
+  i64 base_bytes = 0, axon_bytes = 0;
+  i64 t_base = 0, t_axon = 0;
+  for (const ConvWorkload& l : layers) {
+    const Traffic sw = conv_dram_traffic(l.shape, Im2colMode::kSoftware);
+    const Traffic ax = conv_dram_traffic(l.shape, Im2colMode::kAxonOnChip);
+    base_bytes += sw.total() * l.repeats;
+    axon_bytes += ax.total() * l.repeats;
+    // Per-layer roofline: the layer takes max(compute, transfer) cycles;
+    // compute is identical for both modes (Axon scale-up runtime of the
+    // lowered GEMM), only the DRAM traffic differs.
+    const GemmShape g = l.shape.as_gemm();
+    const i64 compute =
+        scale_up_runtime(ArchType::kAxon, Dataflow::kOS, g, array).cycles *
+        l.shape.groups;
+    t_base += dram.overlapped_cycles(compute, sw.total()) * l.repeats;
+    t_axon += dram.overlapped_cycles(compute, ax.total()) * l.repeats;
+  }
+
+  const EnergyComparison e = compare_dram_energy(dram, base_bytes, axon_bytes);
+  row.baseline_mb_exact = static_cast<double>(base_bytes) / (1024.0 * 1024.0);
+  row.axon_mb_exact = static_cast<double>(axon_bytes) / (1024.0 * 1024.0);
+  row.baseline_mb = static_cast<i64>(row.baseline_mb_exact + 0.5);
+  row.axon_mb = static_cast<i64>(row.axon_mb_exact + 0.5);
+  row.saved_mj = e.saved_energy_mj;
+  row.roofline_speedup = static_cast<double>(t_base) / static_cast<double>(t_axon);
+  return row;
+}
+
+std::vector<HwRow> fig10_hw_specs() {
+  const AreaPowerModel model(TechNode::kAsap7);
+  const ArrayShape a16{16, 16};
+  std::vector<HwRow> rows;
+  {
+    const ArrayHw hw = model.conventional_sa(a16);
+    rows.push_back({"SA_16x16", a16, hw.area_mm2, hw.power_mw});
+  }
+  {
+    const ArrayHw hw = model.axon(a16, /*with_im2col=*/false);
+    rows.push_back({"Axon_16x16", a16, hw.area_mm2, hw.power_mw});
+  }
+  {
+    const ArrayHw hw = model.axon(a16, /*with_im2col=*/true);
+    rows.push_back({"Axon_im2col_16x16", a16, hw.area_mm2, hw.power_mw});
+  }
+  return rows;
+}
+
+std::vector<HwRow> fig15_area_power(TechNode node,
+                                    const std::vector<int>& sizes) {
+  const AreaPowerModel model(node);
+  std::vector<HwRow> rows;
+  for (int s : sizes) {
+    const ArrayShape a{s, s};
+    const ArrayHw ax = model.axon(a, /*with_im2col=*/true);
+    const ArrayHw sa = model.sauria(a);
+    rows.push_back({"Axon_im2col", a, ax.area_mm2, ax.power_mw});
+    rows.push_back({"Sauria", a, sa.area_mm2, sa.power_mw});
+  }
+  return rows;
+}
+
+std::vector<SparsityRow> sparsity_power_sweep(
+    const std::vector<double>& sparsities) {
+  const AreaPowerModel model(TechNode::kAsap7);
+  const double base =
+      model.axon({16, 16}, /*with_im2col=*/true).power_mw;
+  std::vector<SparsityRow> rows;
+  for (double s : sparsities) {
+    SparsityRow row;
+    row.sparsity = s;
+    // Sparsity in one operand (IFMAP); a MAC is gated when its IFMAP
+    // operand is zero.
+    row.gated_fraction = s;
+    row.power_mw = model.power_with_zero_gating(base, row.gated_fraction);
+    row.reduction_pct = 100.0 * (1.0 - row.power_mw / base);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace axon

@@ -1,0 +1,111 @@
+// Experiment drivers: one function per paper table/figure, returning plain
+// row structs. The bench binaries print these; tests assert their headline
+// properties (who wins, by roughly what factor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hw/area_power.hpp"
+#include "hw/energy.hpp"
+#include "model/im2col_traffic.hpp"
+#include "workloads/convnets.hpp"
+#include "workloads/table3.hpp"
+
+namespace axon {
+
+// ---------------------------------------------------------------- Fig. 6
+struct Fig6Row {
+  ArrayShape array;
+  i64 f1_conventional = 0;  ///< R + C - 2
+  i64 f2_axon = 0;          ///< max(R, C) - 1
+};
+std::vector<Fig6Row> fig6_fill_factors(const std::vector<ArrayShape>& shapes);
+
+// ---------------------------------------------------------------- Fig. 12
+struct SpeedupRow {
+  std::string workload;
+  GemmShape shape;
+  i64 sa_cycles = 0;
+  i64 axon_cycles = 0;
+  double speedup = 0.0;  ///< sa / axon, best dataflow each
+};
+/// Runtime speedup of Axon over the conventional SA for each Table 3
+/// workload on a square array of the given size (scale-up, best dataflow).
+std::vector<SpeedupRow> fig12_speedups(int array_size);
+double geomean_speedup(const std::vector<SpeedupRow>& rows);
+double mean_speedup(const std::vector<SpeedupRow>& rows);
+
+// ---------------------------------------------------------------- Fig. 13
+struct UtilizationRow {
+  std::string workload;
+  double ur_sa = 0.0;
+  double ur_cmsa = 0.0;
+  double ur_axon = 0.0;
+  double cmsa_improvement_pct = 0.0;  ///< percentage points over SA
+  double axon_improvement_pct = 0.0;
+};
+std::vector<UtilizationRow> fig13_utilization(int array_size);
+
+// ---------------------------------------------------------------- Fig. 14
+struct Fig14Row {
+  std::string workload;
+  i64 sa_cycles = 0;
+  i64 axon_cycles = 0;
+  double speedup = 0.0;
+};
+/// DW-Conv (MobileNet + conformer) and GEMV speedups on a square array,
+/// pipelined-tile model (see DESIGN.md §4).
+std::vector<Fig14Row> fig14_dwconv_gemv(int array_size);
+
+// ---------------------------------------------------------------- Fig. 11
+struct Fig11Row {
+  std::string workload;
+  ConvShape shape;
+  i64 software_loads = 0;
+  i64 axon_loads = 0;
+  double reduction_pct = 0.0;
+};
+std::vector<Fig11Row> fig11_memory_reduction(int num_feeders);
+
+// ------------------------------------------------------------- §5.2.1 energy
+struct EnergyRow {
+  std::string network;
+  i64 baseline_mb = 0;  ///< DRAM traffic, software im2col (rounded MB)
+  i64 axon_mb = 0;
+  double baseline_mb_exact = 0.0;
+  double axon_mb_exact = 0.0;
+  double saved_mj = 0.0;
+  double roofline_speedup = 0.0;
+  double paper_baseline_mb = 0.0;  ///< the paper's reported numbers
+  double paper_axon_mb = 0.0;
+  double paper_saved_mj = 0.0;
+};
+EnergyRow energy_row(const std::string& network,
+                     const std::vector<ConvWorkload>& layers,
+                     int array_size, double paper_baseline_mb,
+                     double paper_axon_mb, double paper_saved_mj);
+
+// ---------------------------------------------------------------- Fig. 10/15
+struct HwRow {
+  std::string design;
+  ArrayShape array;
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+};
+std::vector<HwRow> fig10_hw_specs();
+std::vector<HwRow> fig15_area_power(TechNode node,
+                                    const std::vector<int>& sizes);
+
+// ---------------------------------------------------------------- sparsity
+struct SparsityRow {
+  double sparsity = 0.0;
+  double gated_fraction = 0.0;
+  double power_mw = 0.0;
+  double reduction_pct = 0.0;
+};
+std::vector<SparsityRow> sparsity_power_sweep(
+    const std::vector<double>& sparsities);
+
+}  // namespace axon

@@ -1,0 +1,91 @@
+#include "runner/network_runner.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+#include "memory/dram.hpp"
+#include "model/im2col_traffic.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+
+NetworkReport analyze_network(const std::string& name,
+                              const std::vector<ConvWorkload>& layers,
+                              int array_size) {
+  AXON_CHECK(array_size > 0, "array size must be positive");
+  NetworkReport report;
+  report.network = name;
+  report.array = {array_size, array_size};
+  const DramModel dram;
+
+  i64 t_base = 0, t_axon = 0;
+  for (const ConvWorkload& l : layers) {
+    LayerReport lr;
+    lr.name = l.name;
+    lr.shape = l.shape;
+    lr.repeats = l.repeats;
+    lr.gemm = l.shape.as_gemm();
+
+    const i64 groups = l.shape.groups;
+    lr.sa_cycles = pipelined_runtime(ArchType::kConventionalSA, Dataflow::kOS,
+                                     lr.gemm, report.array)
+                       .cycles *
+                   groups * l.repeats;
+    lr.axon_cycles =
+        pipelined_runtime(ArchType::kAxon, Dataflow::kOS, lr.gemm, report.array)
+            .cycles *
+        groups * l.repeats;
+    lr.speedup = static_cast<double>(lr.sa_cycles) /
+                 static_cast<double>(lr.axon_cycles);
+
+    const Traffic sw = conv_dram_traffic(l.shape, Im2colMode::kSoftware);
+    const Traffic ax = conv_dram_traffic(l.shape, Im2colMode::kAxonOnChip);
+    for (int i = 0; i < l.repeats; ++i) {
+      lr.sw_traffic += sw;
+      lr.axon_traffic += ax;
+    }
+    lr.traffic_reduction_pct =
+        100.0 * (1.0 - static_cast<double>(lr.axon_traffic.total()) /
+                           static_cast<double>(lr.sw_traffic.total()));
+
+    report.total_sa_cycles += lr.sa_cycles;
+    report.total_axon_cycles += lr.axon_cycles;
+    report.total_sw_bytes += lr.sw_traffic.total();
+    report.total_axon_bytes += lr.axon_traffic.total();
+
+    // Roofline: Axon compute for both sides; only traffic differs.
+    const i64 compute = lr.axon_cycles;
+    t_base += dram.overlapped_cycles(compute, lr.sw_traffic.total());
+    t_axon += dram.overlapped_cycles(compute, lr.axon_traffic.total());
+
+    report.layers.push_back(std::move(lr));
+  }
+
+  report.compute_speedup = static_cast<double>(report.total_sa_cycles) /
+                           static_cast<double>(report.total_axon_cycles);
+  report.traffic_reduction_pct =
+      100.0 * (1.0 - static_cast<double>(report.total_axon_bytes) /
+                         static_cast<double>(report.total_sw_bytes));
+  report.dram_energy_saved_mj =
+      dram.energy_mj(report.total_sw_bytes - report.total_axon_bytes);
+  report.roofline_speedup =
+      static_cast<double>(t_base) / static_cast<double>(t_axon);
+  return report;
+}
+
+void write_csv(const NetworkReport& report, std::ostream& os) {
+  os << "layer,repeats,M,K,N,sa_cycles,axon_cycles,speedup,"
+        "sw_bytes,axon_bytes,traffic_reduction_pct\n";
+  for (const LayerReport& l : report.layers) {
+    os << l.name << ',' << l.repeats << ',' << l.gemm.M << ',' << l.gemm.K
+       << ',' << l.gemm.N << ',' << l.sa_cycles << ',' << l.axon_cycles << ','
+       << l.speedup << ',' << l.sw_traffic.total() << ','
+       << l.axon_traffic.total() << ',' << l.traffic_reduction_pct << '\n';
+  }
+  os << "TOTAL,," << ",,," << report.total_sa_cycles << ','
+     << report.total_axon_cycles << ',' << report.compute_speedup << ','
+     << report.total_sw_bytes << ',' << report.total_axon_bytes << ','
+     << report.traffic_reduction_pct << '\n';
+}
+
+}  // namespace axon

@@ -1,0 +1,52 @@
+// Network-level analysis: runs every conv layer of a network through the
+// analytical runtime + traffic + energy models and aggregates a report —
+// the per-layer view behind the §5.2.1 headline numbers, reusable for any
+// layer table (ResNet50, YOLOv3, MobileNet, EfficientNet, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "memory/traffic.hpp"
+#include "workloads/convnets.hpp"
+
+namespace axon {
+
+struct LayerReport {
+  std::string name;
+  ConvShape shape;
+  int repeats = 1;
+  GemmShape gemm;            ///< the lowered GEMM (per group)
+  i64 sa_cycles = 0;         ///< conventional SA, pipelined OS, x repeats
+  i64 axon_cycles = 0;
+  Traffic sw_traffic;        ///< software-im2col DRAM bytes, x repeats
+  Traffic axon_traffic;
+  double speedup = 0.0;
+  double traffic_reduction_pct = 0.0;
+};
+
+struct NetworkReport {
+  std::string network;
+  ArrayShape array;
+  std::vector<LayerReport> layers;
+  i64 total_sa_cycles = 0;
+  i64 total_axon_cycles = 0;
+  i64 total_sw_bytes = 0;
+  i64 total_axon_bytes = 0;
+  double compute_speedup = 0.0;         ///< SA cycles / Axon cycles
+  double traffic_reduction_pct = 0.0;
+  double dram_energy_saved_mj = 0.0;    ///< at 120 pJ/byte
+  double roofline_speedup = 0.0;        ///< per-layer max(compute, transfer)
+};
+
+/// Analyzes the network on a square array of the given size.
+NetworkReport analyze_network(const std::string& name,
+                              const std::vector<ConvWorkload>& layers,
+                              int array_size);
+
+/// Writes the per-layer rows as CSV (header + one row per layer + totals).
+void write_csv(const NetworkReport& report, std::ostream& os);
+
+}  // namespace axon

@@ -1,0 +1,64 @@
+#include "runner/scale_out.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+
+ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
+                                  const Matrix& a, const Matrix& b,
+                                  int partitions_rows, int partitions_cols) {
+  AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
+  AXON_CHECK(partitions_rows > 0 && partitions_cols > 0,
+             "partition counts must be positive");
+  AXON_CHECK(config.dataflow == Dataflow::kOS,
+             "scale-out driver implements the OS split (M x N)");
+
+  const GemmShape g{a.rows(), a.cols(), b.cols()};
+  const i64 m_chunk = ceil_div(g.M, partitions_rows);
+  const i64 n_chunk = ceil_div(g.N, partitions_cols);
+
+  ScaleOutReport report;
+  report.out = Matrix(g.M, g.N);
+
+  for (int pr = 0; pr < partitions_rows; ++pr) {
+    const i64 m0 = pr * m_chunk;
+    if (m0 >= g.M) continue;
+    const i64 mn = std::min(m_chunk, g.M - m0);
+    Matrix a_part(mn, g.K);
+    for (i64 i = 0; i < mn; ++i) {
+      for (i64 k = 0; k < g.K; ++k) a_part.at(i, k) = a.at(m0 + i, k);
+    }
+    for (int pc = 0; pc < partitions_cols; ++pc) {
+      const i64 n0 = pc * n_chunk;
+      if (n0 >= g.N) continue;
+      const i64 nn = std::min(n_chunk, g.N - n0);
+      Matrix b_part(g.K, nn);
+      for (i64 k = 0; k < g.K; ++k) {
+        for (i64 j = 0; j < nn; ++j) b_part.at(k, j) = b.at(k, n0 + j);
+      }
+
+      Accelerator acc(config);
+      const RunReport r = acc.run_gemm(a_part, b_part);
+      ++report.partitions;
+      report.total_partition_cycles += r.cycles;
+      report.critical_path_cycles =
+          std::max(report.critical_path_cycles, r.cycles);
+      for (i64 i = 0; i < mn; ++i) {
+        for (i64 j = 0; j < nn; ++j) {
+          report.out.at(m0 + i, n0 + j) = r.out.at(i, j);
+        }
+      }
+    }
+  }
+
+  report.model_cycles =
+      scale_out_runtime(config.arch, config.dataflow, g, config.array,
+                        partitions_rows, partitions_cols)
+          .cycles;
+  return report;
+}
+
+}  // namespace axon

@@ -1,0 +1,30 @@
+// Scale-out execution (paper Fig. 2b / eq. 3): a P_R x P_C grid of
+// identical arrays splits the spatial dimensions of a GEMM; partitions run
+// in parallel and the critical path is the slowest partition. This driver
+// executes every partition cycle-accurately and stitches the result, so
+// both the product and eq. (3)'s cycle count can be verified.
+#pragma once
+
+#include "baseline/run_result.hpp"
+#include "common/types.hpp"
+#include "runner/accelerator.hpp"
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+struct ScaleOutReport {
+  Matrix out;
+  i64 critical_path_cycles = 0;  ///< max over partitions
+  i64 total_partition_cycles = 0;  ///< sum (for energy-style accounting)
+  i64 partitions = 0;
+  i64 model_cycles = 0;  ///< eq. (3) prediction
+};
+
+/// Runs C = A * B on a `partitions_rows x partitions_cols` grid of
+/// `config.array` arrays (OS dataflow: M split across partition rows, N
+/// across partition columns).
+ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
+                                  const Matrix& a, const Matrix& b,
+                                  int partitions_rows, int partitions_cols);
+
+}  // namespace axon

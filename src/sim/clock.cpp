@@ -1,0 +1,9 @@
+#include "sim/clock.hpp"
+
+// Header-only logic; this TU anchors the vtable for Ticked.
+
+namespace axon {
+
+// Intentionally empty.
+
+}  // namespace axon

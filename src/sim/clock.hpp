@@ -1,0 +1,73 @@
+// Two-phase synchronous cycle engine. Components implement Ticked; each
+// cycle the engine calls compute() on every component (reads current
+// register state, produces next state) and then commit() (latches next
+// state). This models edge-triggered flip-flop semantics without needing a
+// global event queue — exactly what a systolic array wants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+using Cycle = std::int64_t;
+
+/// A synchronous component. compute() must not observe other components'
+/// *next* state; commit() must only latch.
+class Ticked {
+ public:
+  virtual ~Ticked() = default;
+  virtual void compute(Cycle cycle) = 0;
+  virtual void commit(Cycle cycle) = 0;
+};
+
+/// Drives a set of components through lock-step cycles.
+class Clock {
+ public:
+  /// Registers a component; the pointer must outlive the Clock.
+  void attach(Ticked* component) {
+    AXON_CHECK(component != nullptr, "attach(nullptr)");
+    components_.push_back(component);
+  }
+
+  /// Advances one cycle: all compute() then all commit().
+  void tick() {
+    for (auto* c : components_) c->compute(now_);
+    for (auto* c : components_) c->commit(now_);
+    ++now_;
+  }
+
+  /// Advances n cycles.
+  void run(Cycle n) {
+    AXON_CHECK(n >= 0, "negative cycle count");
+    for (Cycle i = 0; i < n; ++i) tick();
+  }
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+ private:
+  std::vector<Ticked*> components_;
+  Cycle now_ = 0;
+};
+
+/// A one-cycle-delay register: write() during compute, value visible after
+/// commit. The workhorse of the PE pipeline latches.
+template <typename T>
+class Reg {
+ public:
+  explicit Reg(T initial = T{}) : current_(initial), next_(initial) {}
+
+  [[nodiscard]] const T& get() const { return current_; }
+  void set(const T& v) { next_ = v; }
+  void commit() { current_ = next_; }
+  /// Reset both phases (used between tiles).
+  void reset(const T& v = T{}) { current_ = next_ = v; }
+
+ private:
+  T current_;
+  T next_;
+};
+
+}  // namespace axon

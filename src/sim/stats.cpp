@@ -1,0 +1,21 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace axon {
+
+void Stats::merge(const Stats& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace axon

@@ -1,0 +1,42 @@
+// Named event counters shared by the simulators (MACs issued, MACs gated,
+// SRAM reads, neighbour forwards, ...). Cheap to increment, easy to dump.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace axon {
+
+class Stats {
+ public:
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  [[nodiscard]] std::int64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+
+  void clear() { counters_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return counters_;
+  }
+
+  /// Merge another Stats into this one (used to combine per-tile runs).
+  void merge(const Stats& other);
+
+  /// Human-readable multi-line dump, sorted by name.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace axon

@@ -1,0 +1,74 @@
+#include "tensor/conv_ref.hpp"
+
+#include "tensor/gemm_ref.hpp"
+#include "tensor/im2col.hpp"
+
+namespace axon {
+
+Tensor4 conv2d_ref(const Tensor4& input, const Tensor4& filters,
+                   const ConvShape& shape) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  const int cg = shape.in_channels / shape.groups;
+  const int og = shape.out_channels / shape.groups;
+  const int oh = shape.out_h();
+  const int ow = shape.out_w();
+
+  Tensor4 out(input.n(), shape.out_channels, oh, ow);
+  for (i64 n = 0; n < input.n(); ++n) {
+    for (int oc = 0; oc < shape.out_channels; ++oc) {
+      const int g = oc / og;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (int c = 0; c < cg; ++c) {
+            const int ic = g * cg + c;
+            for (int ky = 0; ky < shape.kernel_h; ++ky) {
+              for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                const i64 iy = i64{1} * oy * shape.stride_h - shape.pad_h + ky;
+                const i64 ix = i64{1} * ox * shape.stride_w - shape.pad_w + kx;
+                acc += static_cast<double>(input.at_padded(n, ic, iy, ix)) *
+                       static_cast<double>(filters.at(oc, c, ky, kx));
+              }
+            }
+          }
+          out.at(n, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void scatter_conv_output(const Matrix& gemm_out, const ConvShape& shape,
+                         i64 batch, int group, Tensor4& out) {
+  const int og = shape.out_channels / shape.groups;
+  const int oh = shape.out_h();
+  const int ow = shape.out_w();
+  AXON_CHECK(gemm_out.rows() == i64{1} * oh * ow && gemm_out.cols() == og,
+             "scatter_conv_output shape mismatch");
+  for (int o = 0; o < og; ++o) {
+    const i64 oc = i64{1} * group * og + o;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        out.at(batch, oc, oy, ox) = gemm_out.at(i64{1} * oy * ow + ox, o);
+      }
+    }
+  }
+}
+
+Tensor4 conv2d_im2col(const Tensor4& input, const Tensor4& filters,
+                      const ConvShape& shape) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  Tensor4 out(input.n(), shape.out_channels, shape.out_h(), shape.out_w());
+  for (i64 n = 0; n < input.n(); ++n) {
+    for (int g = 0; g < shape.groups; ++g) {
+      const Matrix windows = im2col_windows(input, shape, n, g);
+      const Matrix flat = flatten_filters(filters, shape, g);
+      const Matrix product = gemm_ref(windows, flat);
+      scatter_conv_output(product, shape, n, g, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,25 @@
+// Reference direct convolution (golden) plus the im2col-lowered variant used
+// to validate both the software im2col and the on-chip feeder.
+#pragma once
+
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+
+/// Direct NCHW convolution. `input` is [N][Cin][H][W], `filters` is
+/// [Cout][Cin/groups][kh][kw]. Returns [N][Cout][oh][ow].
+Tensor4 conv2d_ref(const Tensor4& input, const Tensor4& filters,
+                   const ConvShape& shape);
+
+/// Convolution computed as im2col + GEMM per group; must equal conv2d_ref.
+Tensor4 conv2d_im2col(const Tensor4& input, const Tensor4& filters,
+                      const ConvShape& shape);
+
+/// Reshapes one batch/group GEMM result (N_win x og) back to [og][oh][ow]
+/// inside `out`.
+void scatter_conv_output(const Matrix& gemm_out, const ConvShape& shape,
+                         i64 batch, int group, Tensor4& out);
+
+}  // namespace axon

@@ -1,0 +1,45 @@
+#include "tensor/gemm_ref.hpp"
+
+#include "common/fp16.hpp"
+
+namespace axon {
+
+Matrix gemm_ref(const Matrix& a, const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "gemm_ref inner-dim mismatch: ", a.cols(),
+             " vs ", b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (i64 k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * static_cast<double>(b.at(k, j));
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix gemv_ref(const Matrix& a, const Matrix& x) {
+  AXON_CHECK(x.cols() == 1, "gemv_ref expects a column vector");
+  return gemm_ref(a, x);
+}
+
+Matrix gemm_ref_fp16(const Matrix& a, const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "gemm_ref_fp16 inner-dim mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (i64 k = 0; k < a.cols(); ++k) {
+        const float prod =
+            fp16_round(fp16_round(a.at(i, k)) * fp16_round(b.at(k, j)));
+        acc = fp16_round(acc + prod);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace axon

@@ -1,0 +1,18 @@
+// Reference (golden) dense kernels the simulators are verified against.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace axon {
+
+/// C = A(MxK) * B(KxN), accumulated in double for a stable golden result.
+Matrix gemm_ref(const Matrix& a, const Matrix& b);
+
+/// y = A(MxK) * x(Kx1). Returns an Mx1 Matrix.
+Matrix gemv_ref(const Matrix& a, const Matrix& x);
+
+/// C = A * B where every intermediate (operands and accumulations) is
+/// rounded to binary16, mimicking the FP16 MAC pipeline of the paper's PE.
+Matrix gemm_ref_fp16(const Matrix& a, const Matrix& b);
+
+}  // namespace axon

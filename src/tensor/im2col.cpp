@@ -1,0 +1,97 @@
+#include "tensor/im2col.hpp"
+
+#include <algorithm>
+
+namespace axon {
+
+Matrix im2col_windows(const Tensor4& input, const ConvShape& shape, i64 batch,
+                      int group) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  AXON_CHECK(input.c() == shape.in_channels && input.h() == shape.in_h &&
+                 input.w() == shape.in_w,
+             "input tensor does not match conv shape");
+  AXON_CHECK(group >= 0 && group < shape.groups, "bad group index");
+
+  const int cg = shape.in_channels / shape.groups;  // channels per group
+  const int oh = shape.out_h();
+  const int ow = shape.out_w();
+  const i64 k = i64{1} * cg * shape.kernel_h * shape.kernel_w;
+
+  Matrix out(i64{1} * oh * ow, k);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const i64 row = i64{1} * oy * ow + ox;
+      i64 col = 0;
+      for (int c = 0; c < cg; ++c) {
+        const i64 ic = i64{1} * group * cg + c;
+        for (int ky = 0; ky < shape.kernel_h; ++ky) {
+          for (int kx = 0; kx < shape.kernel_w; ++kx) {
+            const i64 iy = i64{1} * oy * shape.stride_h - shape.pad_h + ky;
+            const i64 ix = i64{1} * ox * shape.stride_w - shape.pad_w + kx;
+            out.at(row, col++) = input.at_padded(batch, ic, iy, ix);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix flatten_filters(const Tensor4& filters, const ConvShape& shape,
+                       int group) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  const int cg = shape.in_channels / shape.groups;
+  const int og = shape.out_channels / shape.groups;
+  AXON_CHECK(filters.n() == shape.out_channels && filters.c() == cg &&
+                 filters.h() == shape.kernel_h && filters.w() == shape.kernel_w,
+             "filter tensor does not match conv shape");
+  AXON_CHECK(group >= 0 && group < shape.groups, "bad group index");
+
+  const i64 k = i64{1} * cg * shape.kernel_h * shape.kernel_w;
+  Matrix out(k, og);
+  for (int o = 0; o < og; ++o) {
+    const i64 oc = i64{1} * group * og + o;
+    i64 row = 0;
+    for (int c = 0; c < cg; ++c) {
+      for (int ky = 0; ky < shape.kernel_h; ++ky) {
+        for (int kx = 0; kx < shape.kernel_w; ++kx) {
+          out.at(row++, o) = filters.at(oc, c, ky, kx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+i64 im2col_element_count(const ConvShape& shape) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  const i64 k =
+      i64{1} * (shape.in_channels / shape.groups) * shape.kernel_h * shape.kernel_w;
+  return i64{1} * shape.out_h() * shape.out_w() * k * shape.groups;
+}
+
+i64 unique_ifmap_elements(const ConvShape& shape) {
+  AXON_CHECK(shape.valid(), "invalid conv shape");
+  // An IFMAP element participates iff at least one window covers it. With
+  // padding, coverage can be partial on the borders; count exactly.
+  auto covered = [](int in, int kernel, int stride, int pad, int out) {
+    // Returns number of input coordinates x in [0, in) covered by some
+    // window [o*stride - pad, o*stride - pad + kernel) with o in [0, out).
+    i64 count = 0;
+    for (int x = 0; x < in; ++x) {
+      // windows covering x: o*stride <= x + pad < o*stride + kernel
+      const int hi = (x + pad) / stride;                    // largest candidate
+      const int lo_num = x + pad - kernel + 1;
+      const int lo = lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;
+      if (lo <= std::min(hi, out - 1) && hi >= 0) ++count;
+    }
+    return count;
+  };
+  const i64 rows = covered(shape.in_h, shape.kernel_h, shape.stride_h,
+                           shape.pad_h, shape.out_h());
+  const i64 cols = covered(shape.in_w, shape.kernel_w, shape.stride_w,
+                           shape.pad_w, shape.out_w());
+  return rows * cols * shape.in_channels;
+}
+
+}  // namespace axon

@@ -1,0 +1,36 @@
+// Software im2col (the baseline the paper's on-chip scheme replaces) and the
+// filter flattening that pairs with it.
+//
+// Layout convention (paper Fig. 7): each *row* of the im2col matrix is one
+// flattened convolution window, ordered (channel, kernel_row, kernel_col);
+// windows are ordered row-major over the output map. The flattened filter
+// matrix has one *column* per output channel in the same (c, kh, kw) order,
+// so   OFMAP(as MxN) = windows (N_win x K) * filters (K x Cout)  transposed
+// appropriately. We expose both orientations since OS/WS/IS mappings differ.
+#pragma once
+
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+
+/// Rows = out_h*out_w windows, cols = (in_channels/groups)*kh*kw.
+/// `group` selects which channel group to lower (0 for standard conv).
+Matrix im2col_windows(const Tensor4& input, const ConvShape& shape,
+                      i64 batch = 0, int group = 0);
+
+/// Rows = (in_channels/groups)*kh*kw, cols = out_channels/groups for `group`.
+/// `filters` is laid out [out_channels][in_channels/groups][kh][kw].
+Matrix flatten_filters(const Tensor4& filters, const ConvShape& shape,
+                       int group = 0);
+
+/// Number of elements in the full im2col matrix for one batch and all groups
+/// (== IFMAP elements fetched when im2col is materialized in software).
+i64 im2col_element_count(const ConvShape& shape);
+
+/// Number of *unique* IFMAP elements actually touched by the convolution
+/// (padding excluded) — the floor any reuse scheme can reach.
+i64 unique_ifmap_elements(const ConvShape& shape);
+
+}  // namespace axon

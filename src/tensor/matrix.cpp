@@ -1,0 +1,46 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace axon {
+
+i64 Matrix::count_zeros() const {
+  return std::count(data_.begin(), data_.end(), 0.0f);
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  AXON_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(data_[i]) -
+                                     static_cast<double>(other.data_[i])));
+  }
+  return worst;
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  return max_abs_diff(other) <= tol;
+}
+
+Matrix random_matrix(i64 rows, i64 cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (i64 r = 0; r < rows; ++r) {
+    for (i64 c = 0; c < cols; ++c) m.at(r, c) = rng.small_value();
+  }
+  return m;
+}
+
+Matrix random_sparse_matrix(i64 rows, i64 cols, double zero_fraction, Rng& rng) {
+  Matrix m(rows, cols);
+  auto vals = rng.sparse_values(static_cast<std::size_t>(rows * cols),
+                                zero_fraction);
+  std::copy(vals.begin(), vals.end(), m.data());
+  return m;
+}
+
+}  // namespace axon

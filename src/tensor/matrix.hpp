@@ -1,0 +1,65 @@
+// Dense row-major matrix used throughout the simulators and reference
+// kernels. Kept deliberately simple: value semantics, bounds-checked access
+// in debug builds, float storage (the PEs model FP16 via common/fp16).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace axon {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(i64 rows, i64 cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    AXON_CHECK(rows >= 0 && cols >= 0, "negative matrix dims");
+  }
+
+  [[nodiscard]] i64 rows() const { return rows_; }
+  [[nodiscard]] i64 cols() const { return cols_; }
+  [[nodiscard]] i64 size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  float& at(i64 r, i64 c) {
+    AXON_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index ", r,
+                ",", c, " out of ", rows_, "x", cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float at(i64 r, i64 c) const {
+    AXON_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index ", r,
+                ",", c, " out of ", rows_, "x", cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Number of exactly-zero entries (used by the sparsity experiments).
+  [[nodiscard]] i64 count_zeros() const;
+
+  /// Largest absolute element-wise difference vs `other` (same shape
+  /// required).
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  /// True if same shape and all entries within `tol`.
+  [[nodiscard]] bool approx_equal(const Matrix& other, double tol = 1e-4) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Fills a matrix with small exactly-representable random values.
+Matrix random_matrix(i64 rows, i64 cols, class Rng& rng);
+
+/// Random matrix where `zero_fraction` of entries are exactly zero.
+Matrix random_sparse_matrix(i64 rows, i64 cols, double zero_fraction,
+                            class Rng& rng);
+
+}  // namespace axon

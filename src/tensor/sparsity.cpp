@@ -1,0 +1,60 @@
+#include "tensor/sparsity.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace axon {
+
+double zero_fraction(const Matrix& m) {
+  if (m.size() == 0) return 0.0;
+  return static_cast<double>(m.count_zeros()) / static_cast<double>(m.size());
+}
+
+void sparsify(Matrix& m, double target, Rng& rng) {
+  AXON_CHECK(target >= 0.0 && target <= 1.0, "target sparsity in [0,1]");
+  const i64 want = static_cast<i64>(target * static_cast<double>(m.size()));
+  i64 have = m.count_zeros();
+  if (have >= want) return;
+
+  // Indices of non-zero entries, shuffled; zero the first (want - have).
+  std::vector<i64> nonzero;
+  nonzero.reserve(static_cast<std::size_t>(m.size() - have));
+  for (i64 i = 0; i < m.size(); ++i) {
+    if (m.data()[i] != 0.0f) nonzero.push_back(i);
+  }
+  for (i64 i = static_cast<i64>(nonzero.size()) - 1; i > 0; --i) {
+    const i64 j = rng.uniform_i64(0, i);
+    std::swap(nonzero[static_cast<std::size_t>(i)],
+              nonzero[static_cast<std::size_t>(j)]);
+  }
+  for (i64 i = 0; i < want - have && i < static_cast<i64>(nonzero.size()); ++i) {
+    m.data()[nonzero[static_cast<std::size_t>(i)]] = 0.0f;
+  }
+}
+
+double expected_gated_fraction(double sparsity_a, double sparsity_b) {
+  return 1.0 - (1.0 - sparsity_a) * (1.0 - sparsity_b);
+}
+
+i64 exact_gated_macs(const Matrix& a, const Matrix& b) {
+  AXON_CHECK(a.cols() == b.rows(), "exact_gated_macs inner-dim mismatch");
+  // Count per k: zeros in A column k (over M) and zeros in B row k (over N).
+  // gated(i,k,j) = [A(i,k)==0 or B(k,j)==0]; summed over i,j for fixed k:
+  //   za*N + zb*M - za*zb.
+  i64 total = 0;
+  for (i64 k = 0; k < a.cols(); ++k) {
+    i64 za = 0;
+    for (i64 i = 0; i < a.rows(); ++i) {
+      if (a.at(i, k) == 0.0f) ++za;
+    }
+    i64 zb = 0;
+    for (i64 j = 0; j < b.cols(); ++j) {
+      if (b.at(k, j) == 0.0f) ++zb;
+    }
+    total += za * b.cols() + zb * a.rows() - za * zb;
+  }
+  return total;
+}
+
+}  // namespace axon

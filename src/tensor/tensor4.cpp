@@ -1,0 +1,13 @@
+#include "tensor/tensor4.hpp"
+
+#include "common/rng.hpp"
+
+namespace axon {
+
+Tensor4 random_tensor(i64 n, i64 c, i64 h, i64 w, Rng& rng) {
+  Tensor4 t(n, c, h, w);
+  for (i64 i = 0; i < t.size(); ++i) t.data()[i] = rng.small_value();
+  return t;
+}
+
+}  // namespace axon

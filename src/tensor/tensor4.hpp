@@ -1,0 +1,60 @@
+// 4-D tensor in NCHW layout for convolution inputs/filters/outputs.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace axon {
+
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  Tensor4(i64 n, i64 c, i64 h, i64 w, float fill = 0.0f)
+      : n_(n), c_(c), h_(h), w_(w),
+        data_(static_cast<std::size_t>(n * c * h * w), fill) {
+    AXON_CHECK(n >= 0 && c >= 0 && h >= 0 && w >= 0, "negative tensor dims");
+  }
+
+  [[nodiscard]] i64 n() const { return n_; }
+  [[nodiscard]] i64 c() const { return c_; }
+  [[nodiscard]] i64 h() const { return h_; }
+  [[nodiscard]] i64 w() const { return w_; }
+  [[nodiscard]] i64 size() const { return n_ * c_ * h_ * w_; }
+
+  float& at(i64 n, i64 c, i64 h, i64 w) {
+    return data_[index(n, c, h, w)];
+  }
+  float at(i64 n, i64 c, i64 h, i64 w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  /// Reads with zero padding: out-of-range (h, w) return 0. This is the
+  /// access pattern convolution with padding uses.
+  [[nodiscard]] float at_padded(i64 n, i64 c, i64 h, i64 w) const {
+    if (h < 0 || h >= h_ || w < 0 || w >= w_) return 0.0f;
+    return at(n, c, h, w);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  friend bool operator==(const Tensor4&, const Tensor4&) = default;
+
+ private:
+  std::size_t index(i64 n, i64 c, i64 h, i64 w) const {
+    AXON_DCHECK(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 && h < h_ &&
+                    w >= 0 && w < w_,
+                "tensor index out of range");
+    return static_cast<std::size_t>(((n * c_ + c) * h_ + h) * w_ + w);
+  }
+
+  i64 n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+/// Random NCHW tensor with small exactly-representable values.
+Tensor4 random_tensor(i64 n, i64 c, i64 h, i64 w, class Rng& rng);
+
+}  // namespace axon

@@ -1,0 +1,254 @@
+#include "workloads/convnets.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+namespace {
+
+ConvWorkload layer(std::string name, int cin, int hw, int cout, int k,
+                   int stride, int pad, int repeats = 1, int groups = 1) {
+  ConvWorkload w;
+  w.name = std::move(name);
+  w.shape = make_conv(cin, hw, cout, k, stride, pad, groups);
+  w.repeats = repeats;
+  return w;
+}
+
+}  // namespace
+
+std::vector<ConvWorkload> resnet50_conv_layers() {
+  std::vector<ConvWorkload> layers;
+  // Stem.
+  layers.push_back(layer("conv1", 3, 224, 64, 7, 2, 3));
+  // conv2_x: 3 bottlenecks at 56x56 (64 -> 64 -> 256).
+  layers.push_back(layer("conv2_b1_red", 64, 56, 64, 1, 1, 0));
+  layers.push_back(layer("conv2_b1_3x3", 64, 56, 64, 3, 1, 1));
+  layers.push_back(layer("conv2_b1_exp", 64, 56, 256, 1, 1, 0));
+  layers.push_back(layer("conv2_b1_ds", 64, 56, 256, 1, 1, 0));
+  layers.push_back(layer("conv2_bN_red", 256, 56, 64, 1, 1, 0, 2));
+  layers.push_back(layer("conv2_bN_3x3", 64, 56, 64, 3, 1, 1, 2));
+  layers.push_back(layer("conv2_bN_exp", 64, 56, 256, 1, 1, 0, 2));
+  // conv3_x: 4 bottlenecks at 28x28 (128 -> 512); first block strides.
+  layers.push_back(layer("conv3_b1_red", 256, 56, 128, 1, 2, 0));
+  layers.push_back(layer("conv3_b1_3x3", 128, 28, 128, 3, 1, 1));
+  layers.push_back(layer("conv3_b1_exp", 128, 28, 512, 1, 1, 0));
+  layers.push_back(layer("conv3_b1_ds", 256, 56, 512, 1, 2, 0));
+  layers.push_back(layer("conv3_bN_red", 512, 28, 128, 1, 1, 0, 3));
+  layers.push_back(layer("conv3_bN_3x3", 128, 28, 128, 3, 1, 1, 3));
+  layers.push_back(layer("conv3_bN_exp", 128, 28, 512, 1, 1, 0, 3));
+  // conv4_x: 6 bottlenecks at 14x14 (256 -> 1024).
+  layers.push_back(layer("conv4_b1_red", 512, 28, 256, 1, 2, 0));
+  layers.push_back(layer("conv4_b1_3x3", 256, 14, 256, 3, 1, 1));
+  layers.push_back(layer("conv4_b1_exp", 256, 14, 1024, 1, 1, 0));
+  layers.push_back(layer("conv4_b1_ds", 512, 28, 1024, 1, 2, 0));
+  layers.push_back(layer("conv4_bN_red", 1024, 14, 256, 1, 1, 0, 5));
+  layers.push_back(layer("conv4_bN_3x3", 256, 14, 256, 3, 1, 1, 5));
+  layers.push_back(layer("conv4_bN_exp", 256, 14, 1024, 1, 1, 0, 5));
+  // conv5_x: 3 bottlenecks at 7x7 (512 -> 2048).
+  layers.push_back(layer("conv5_b1_red", 1024, 14, 512, 1, 2, 0));
+  layers.push_back(layer("conv5_b1_3x3", 512, 7, 512, 3, 1, 1));
+  layers.push_back(layer("conv5_b1_exp", 512, 7, 2048, 1, 1, 0));
+  layers.push_back(layer("conv5_b1_ds", 1024, 14, 2048, 1, 2, 0));
+  layers.push_back(layer("conv5_bN_red", 2048, 7, 512, 1, 1, 0, 2));
+  layers.push_back(layer("conv5_bN_3x3", 512, 7, 512, 3, 1, 1, 2));
+  layers.push_back(layer("conv5_bN_exp", 512, 7, 2048, 1, 1, 0, 2));
+  return layers;
+}
+
+std::vector<ConvWorkload> yolov3_conv_layers() {
+  std::vector<ConvWorkload> layers;
+  // Darknet-53 backbone (416x416 input). Residual blocks repeat
+  // (1x1 reduce, 3x3 expand).
+  layers.push_back(layer("d53_conv0", 3, 416, 32, 3, 1, 1));
+  layers.push_back(layer("d53_down1", 32, 416, 64, 3, 2, 1));
+  layers.push_back(layer("d53_res1_1x1", 64, 208, 32, 1, 1, 0, 1));
+  layers.push_back(layer("d53_res1_3x3", 32, 208, 64, 3, 1, 1, 1));
+  layers.push_back(layer("d53_down2", 64, 208, 128, 3, 2, 1));
+  layers.push_back(layer("d53_res2_1x1", 128, 104, 64, 1, 1, 0, 2));
+  layers.push_back(layer("d53_res2_3x3", 64, 104, 128, 3, 1, 1, 2));
+  layers.push_back(layer("d53_down3", 128, 104, 256, 3, 2, 1));
+  layers.push_back(layer("d53_res3_1x1", 256, 52, 128, 1, 1, 0, 8));
+  layers.push_back(layer("d53_res3_3x3", 128, 52, 256, 3, 1, 1, 8));
+  layers.push_back(layer("d53_down4", 256, 52, 512, 3, 2, 1));
+  layers.push_back(layer("d53_res4_1x1", 512, 26, 256, 1, 1, 0, 8));
+  layers.push_back(layer("d53_res4_3x3", 256, 26, 512, 3, 1, 1, 8));
+  layers.push_back(layer("d53_down5", 512, 26, 1024, 3, 2, 1));
+  layers.push_back(layer("d53_res5_1x1", 1024, 13, 512, 1, 1, 0, 4));
+  layers.push_back(layer("d53_res5_3x3", 512, 13, 1024, 3, 1, 1, 4));
+  // Detection head, scale 1 (13x13): conv set of alternating 1x1/3x3.
+  layers.push_back(layer("head1_1x1", 1024, 13, 512, 1, 1, 0, 3));
+  layers.push_back(layer("head1_3x3", 512, 13, 1024, 3, 1, 1, 3));
+  layers.push_back(layer("head1_det", 1024, 13, 255, 1, 1, 0));
+  // Scale 2 (26x26): 1x1 squeeze + upsample concat (768 ch in).
+  layers.push_back(layer("head2_squeeze", 512, 13, 256, 1, 1, 0));
+  layers.push_back(layer("head2_1x1_first", 768, 26, 256, 1, 1, 0));
+  layers.push_back(layer("head2_3x3", 256, 26, 512, 3, 1, 1, 3));
+  layers.push_back(layer("head2_1x1", 512, 26, 256, 1, 1, 0, 2));
+  layers.push_back(layer("head2_det", 512, 26, 255, 1, 1, 0));
+  // Scale 3 (52x52): 1x1 squeeze + upsample concat (384 ch in).
+  layers.push_back(layer("head3_squeeze", 256, 26, 128, 1, 1, 0));
+  layers.push_back(layer("head3_1x1_first", 384, 52, 128, 1, 1, 0));
+  layers.push_back(layer("head3_3x3", 128, 52, 256, 3, 1, 1, 3));
+  layers.push_back(layer("head3_1x1", 256, 52, 128, 1, 1, 0, 2));
+  layers.push_back(layer("head3_det", 256, 52, 255, 1, 1, 0));
+  return layers;
+}
+
+std::vector<ConvWorkload> mobilenet_dw_layers() {
+  std::vector<ConvWorkload> layers;
+  auto dw = [](std::string name, int ch, int hw, int stride, int repeats = 1) {
+    ConvWorkload w;
+    w.name = std::move(name);
+    w.shape = make_conv(ch, hw, ch, 3, stride, 1, ch);
+    w.repeats = repeats;
+    return w;
+  };
+  layers.push_back(dw("dw1_32x112", 32, 112, 1));
+  layers.push_back(dw("dw2_64x112_s2", 64, 112, 2));
+  layers.push_back(dw("dw3_128x56", 128, 56, 1));
+  layers.push_back(dw("dw4_128x56_s2", 128, 56, 2));
+  layers.push_back(dw("dw5_256x28", 256, 28, 1));
+  layers.push_back(dw("dw6_256x28_s2", 256, 28, 2));
+  layers.push_back(dw("dw7_512x14", 512, 14, 1, 5));
+  layers.push_back(dw("dw8_512x14_s2", 512, 14, 2));
+  layers.push_back(dw("dw9_1024x7", 1024, 7, 1));
+  return layers;
+}
+
+std::vector<ConvWorkload> conformer_dw_layers() {
+  // 1-D depthwise conv, kernel 31, over a 256-channel length-1500 sequence.
+  ConvWorkload w;
+  w.name = "conformer_dw31";
+  ConvShape s;
+  s.in_channels = 256;
+  s.in_h = 1;
+  s.in_w = 1500;
+  s.out_channels = 256;
+  s.kernel_h = 1;
+  s.kernel_w = 31;
+  s.stride_h = 1;
+  s.stride_w = 1;
+  s.pad_h = 0;
+  s.pad_w = 15;
+  s.groups = 256;
+  AXON_CHECK(s.valid(), "conformer dw shape invalid");
+  w.shape = s;
+  return {w};
+}
+
+std::vector<ConvWorkload> fig11_conv_shapes() {
+  // IFMAP / kernel shapes "adopted from SOTA neural networks" (Fig. 11).
+  return {
+      layer("resnet_conv1_224_7x7", 3, 224, 64, 7, 2, 3),
+      layer("resnet_56_3x3", 64, 56, 64, 3, 1, 1),
+      layer("resnet_28_3x3", 128, 28, 128, 3, 1, 1),
+      layer("resnet_14_3x3", 256, 14, 256, 3, 1, 1),
+      layer("resnet_7_3x3", 512, 7, 512, 3, 1, 1),
+      layer("yolo_416_3x3", 3, 416, 32, 3, 1, 1),
+      layer("yolo_104_3x3", 64, 104, 128, 3, 1, 1),
+      layer("yolo_52_3x3", 128, 52, 256, 3, 1, 1),
+      layer("yolo_13_3x3", 512, 13, 1024, 3, 1, 1),
+      layer("effnet_112_5x5", 16, 112, 16, 5, 1, 2),
+      layer("mobilenet_28_3x3", 256, 28, 256, 3, 1, 1),
+      layer("vgg_224_3x3", 64, 224, 64, 3, 1, 1),
+  };
+}
+
+std::vector<ConvWorkload> mobilenet_v1_all_layers() {
+  std::vector<ConvWorkload> layers;
+  auto dw = [&](int ch, int hw, int stride) {
+    ConvWorkload w;
+    w.name = "dw_" + std::to_string(ch) + "x" + std::to_string(hw) +
+             (stride == 2 ? "_s2" : "");
+    w.shape = make_conv(ch, hw, ch, 3, stride, 1, ch);
+    layers.push_back(w);
+  };
+  auto pw = [&](int cin, int hw, int cout) {
+    layers.push_back(layer("pw_" + std::to_string(cin) + "to" +
+                               std::to_string(cout) + "x" + std::to_string(hw),
+                           cin, hw, cout, 1, 1, 0));
+  };
+  layers.push_back(layer("stem_3x3_s2", 3, 224, 32, 3, 2, 1));
+  dw(32, 112, 1);  pw(32, 112, 64);
+  dw(64, 112, 2);  pw(64, 56, 128);
+  dw(128, 56, 1);  pw(128, 56, 128);
+  dw(128, 56, 2);  pw(128, 28, 256);
+  dw(256, 28, 1);  pw(256, 28, 256);
+  dw(256, 28, 2);  pw(256, 14, 512);
+  for (int i = 0; i < 5; ++i) {
+    dw(512, 14, 1);
+    pw(512, 14, 512);
+  }
+  dw(512, 14, 2);  pw(512, 7, 1024);
+  dw(1024, 7, 1);  pw(1024, 7, 1024);
+  return layers;
+}
+
+std::vector<ConvWorkload> efficientnet_b0_layers() {
+  std::vector<ConvWorkload> layers;
+  auto dw = [&](std::string name, int ch, int hw, int k, int stride) {
+    ConvWorkload w;
+    w.name = std::move(name);
+    w.shape = make_conv(ch, hw, ch, k, stride, k / 2, ch);
+    layers.push_back(w);
+  };
+  // Stem.
+  layers.push_back(layer("stem", 3, 224, 32, 3, 2, 1));
+  // MBConv1, k3, 112 -> 112, 32 -> 16 (no expansion).
+  dw("mb1_dw", 32, 112, 3, 1);
+  layers.push_back(layer("mb1_proj", 32, 112, 16, 1, 1, 0));
+  // MBConv6, k3, 112 -> 56, 16 -> 24 (x2).
+  layers.push_back(layer("mb2_exp", 16, 112, 96, 1, 1, 0));
+  dw("mb2_dw", 96, 112, 3, 2);
+  layers.push_back(layer("mb2_proj", 96, 56, 24, 1, 1, 0));
+  layers.push_back(layer("mb2b_exp", 24, 56, 144, 1, 1, 0));
+  dw("mb2b_dw", 144, 56, 3, 1);
+  layers.push_back(layer("mb2b_proj", 144, 56, 24, 1, 1, 0));
+  // MBConv6, k5, 56 -> 28, 24 -> 40 (x2).
+  layers.push_back(layer("mb3_exp", 24, 56, 144, 1, 1, 0));
+  dw("mb3_dw", 144, 56, 5, 2);
+  layers.push_back(layer("mb3_proj", 144, 28, 40, 1, 1, 0));
+  layers.push_back(layer("mb3b_exp", 40, 28, 240, 1, 1, 0));
+  dw("mb3b_dw", 240, 28, 5, 1);
+  layers.push_back(layer("mb3b_proj", 240, 28, 40, 1, 1, 0));
+  // MBConv6, k3, 28 -> 14, 40 -> 80 (x3).
+  layers.push_back(layer("mb4_exp", 40, 28, 240, 1, 1, 0));
+  dw("mb4_dw", 240, 28, 3, 2);
+  layers.push_back(layer("mb4_proj", 240, 14, 80, 1, 1, 0));
+  layers.push_back(layer("mb4b_exp", 80, 14, 480, 1, 1, 0, 2));
+  dw("mb4b_dw", 480, 14, 3, 1);
+  layers.back().repeats = 2;
+  layers.push_back(layer("mb4b_proj", 480, 14, 80, 1, 1, 0, 2));
+  // MBConv6, k5, 14 -> 14, 80 -> 112 (x3).
+  layers.push_back(layer("mb5_exp", 80, 14, 480, 1, 1, 0));
+  dw("mb5_dw", 480, 14, 5, 1);
+  layers.push_back(layer("mb5_proj", 480, 14, 112, 1, 1, 0));
+  layers.push_back(layer("mb5b_exp", 112, 14, 672, 1, 1, 0, 2));
+  dw("mb5b_dw", 672, 14, 5, 1);
+  layers.back().repeats = 2;
+  layers.push_back(layer("mb5b_proj", 672, 14, 112, 1, 1, 0, 2));
+  // MBConv6, k5, 14 -> 7, 112 -> 192 (x4).
+  layers.push_back(layer("mb6_exp", 112, 14, 672, 1, 1, 0));
+  dw("mb6_dw", 672, 14, 5, 2);
+  layers.push_back(layer("mb6_proj", 672, 7, 192, 1, 1, 0));
+  layers.push_back(layer("mb6b_exp", 192, 7, 1152, 1, 1, 0, 3));
+  dw("mb6b_dw", 1152, 7, 5, 1);
+  layers.back().repeats = 3;
+  layers.push_back(layer("mb6b_proj", 1152, 7, 192, 1, 1, 0, 3));
+  // MBConv6, k3, 7 -> 7, 192 -> 320.
+  layers.push_back(layer("mb7_exp", 192, 7, 1152, 1, 1, 0));
+  dw("mb7_dw", 1152, 7, 3, 1);
+  layers.push_back(layer("mb7_proj", 1152, 7, 320, 1, 1, 0));
+  // Head 1x1.
+  layers.push_back(layer("head", 320, 7, 1280, 1, 1, 0));
+  return layers;
+}
+
+i64 total_macs(const std::vector<ConvWorkload>& layers) {
+  i64 total = 0;
+  for (const auto& l : layers) total += l.shape.macs() * l.repeats;
+  return total;
+}
+
+}  // namespace axon

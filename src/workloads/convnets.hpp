@@ -1,0 +1,49 @@
+// Full convolution-layer tables for the CNNs the paper evaluates:
+// ResNet50 and YOLOv3 (the §5.2.1 energy experiment), MobileNetV1
+// depthwise layers (Fig. 14), EfficientNet-B0 samples, and the IFMAP/kernel
+// shape set of Fig. 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace axon {
+
+struct ConvWorkload {
+  std::string name;
+  ConvShape shape;
+  int repeats = 1;  ///< identical layers in the network (e.g. residual blocks)
+};
+
+/// Every conv layer of ResNet50 (batch 1, 224x224 input), with repeat
+/// counts for the repeated bottleneck blocks. Includes downsample 1x1s.
+std::vector<ConvWorkload> resnet50_conv_layers();
+
+/// Every conv layer of YOLOv3 (batch 1, 416x416 input): Darknet-53 backbone
+/// plus the three detection heads.
+std::vector<ConvWorkload> yolov3_conv_layers();
+
+/// MobileNetV1 depthwise 3x3 layers (the DW-Conv workloads of Fig. 14).
+std::vector<ConvWorkload> mobilenet_dw_layers();
+
+/// Conformer depthwise 1-D convolution (kernel 31) over a 256-channel,
+/// length-1500 sequence.
+std::vector<ConvWorkload> conformer_dw_layers();
+
+/// The IFMAP/kernel shape sweep of Fig. 11 (labels name the source network).
+std::vector<ConvWorkload> fig11_conv_shapes();
+
+/// Full MobileNetV1 (224x224): alternating depthwise 3x3 and pointwise 1x1
+/// layers, including the stem.
+std::vector<ConvWorkload> mobilenet_v1_all_layers();
+
+/// EfficientNet-B0 (224x224) MBConv conv layers: expansion 1x1, depthwise
+/// 3x3/5x5, squeeze-excite 1x1s omitted (negligible), projection 1x1.
+std::vector<ConvWorkload> efficientnet_b0_layers();
+
+/// Sum of macs over a layer table (repeats included).
+i64 total_macs(const std::vector<ConvWorkload>& layers);
+
+}  // namespace axon

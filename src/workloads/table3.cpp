@@ -1,0 +1,67 @@
+#include "workloads/table3.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+std::vector<GemmWorkload> table3_workloads() {
+  // Values of M, K, N exactly as listed in paper Table 3.
+  return {
+      {"TF0", {31999, 84, 1024}},
+      {"TF1", {84, 4096, 1024}},
+      {"GNMT0", {128, 4096, 2048}},
+      {"GNMT1", {2048, 32, 4096}},
+      {"GPT3_0_matmul0", {1024, 1024, 80}},
+      {"GPT3_1_matmul1", {1024, 2560, 7680}},
+      {"GPT3_2_addmm", {1024, 2560, 10240}},
+      {"GPT3_3_lmhead", {1024, 2560, 50257}},
+      {"NCF0", {2048, 128, 1}},
+      {"NCF1", {256, 2048, 256}},
+      {"DB0", {1024, 50000, 16}},
+      {"DB1", {35, 2560, 4096}},
+      {"Resnet50_0_conv2d", {64, 147, 62500}},
+      {"Resnet50_1_conv2d", {512, 4608, 676}},
+      {"YOLO_v3_0_conv2d", {64, 288, 42436}},
+      {"YOLO_v3_1_conv2d", {128, 576, 10404}},
+      {"GEMM_0", {128, 10, 128}},
+      {"GEMM_1", {2048, 10, 2048}},
+      {"GEMM_2", {1024, 1024, 128}},
+      {"GEMM_3", {64, 2560, 2560}},
+  };
+}
+
+std::vector<GemmWorkload> gemv_workloads() {
+  // Matrix-vector products (N = 1): decode-time transformer projections and
+  // recommendation-model scoring, the memory-bound cases of Fig. 14.
+  return {
+      {"GEMV_NCF0", {2048, 128, 1}},
+      {"GEMV_TF_proj", {1024, 1024, 1}},
+      {"GEMV_GPT3_ffn", {2560, 10240, 1}},
+      {"GEMV_GNMT", {2048, 4096, 1}},
+      {"GEMV_DB", {1024, 50000, 1}},
+      {"GEMV_small", {256, 256, 1}},
+  };
+}
+
+std::vector<GemmWorkload> conformer_gemm_workloads() {
+  // Conformer-S style block at sequence length 128, d_model 256:
+  // QKV projections, attention output, and the two macaron FFN halves.
+  return {
+      {"conformer_qkv", {128, 256, 768}},
+      {"conformer_attn_out", {128, 256, 256}},
+      {"conformer_ffn1", {128, 256, 1024}},
+      {"conformer_ffn2", {128, 1024, 256}},
+      {"conformer_pointwise_conv", {128, 256, 512}},
+  };
+}
+
+GemmWorkload find_workload(const std::vector<GemmWorkload>& set,
+                           const std::string& name) {
+  for (const auto& w : set) {
+    if (w.name == name) return w;
+  }
+  AXON_CHECK(false, "workload not found: ", name);
+  return {};
+}
+
+}  // namespace axon

@@ -1,0 +1,33 @@
+// Paper Table 3: the GEMM / Conv(-as-GEMM) workloads used throughout the
+// evaluation (Fig. 12, Fig. 13), plus the GEMV and conformer sets used by
+// Fig. 14.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace axon {
+
+struct GemmWorkload {
+  std::string name;
+  GemmShape shape;
+};
+
+/// All 21 rows of Table 3, in paper order.
+std::vector<GemmWorkload> table3_workloads();
+
+/// Low-arithmetic-intensity GEMV workloads (N = 1) for Fig. 14, derived
+/// from the Table 3 transformer/recommendation shapes.
+std::vector<GemmWorkload> gemv_workloads();
+
+/// Conformer-block GEMMs (attention projections + feed-forward) for the
+/// "Conv and GeMM" workload class the paper evaluates.
+std::vector<GemmWorkload> conformer_gemm_workloads();
+
+/// Looks a workload up by name; throws if missing.
+GemmWorkload find_workload(const std::vector<GemmWorkload>& set,
+                           const std::string& name);
+
+}  // namespace axon

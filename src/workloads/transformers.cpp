@@ -1,0 +1,46 @@
+#include "workloads/transformers.hpp"
+
+#include "common/check.hpp"
+
+namespace axon {
+
+std::vector<GemmWorkload> bert_base_gemms(int seq_len) {
+  AXON_CHECK(seq_len > 0, "sequence length must be positive");
+  const i64 s = seq_len;
+  const i64 h = 768;
+  const i64 head = 64;  // 12 heads x 64
+  return {
+      {"bert_qkv", {s, h, 3 * h}},
+      {"bert_attn_scores", {s, head, s}},   // per head, Q*K^T
+      {"bert_attn_context", {s, s, head}},  // per head, softmax(S)*V
+      {"bert_attn_out", {s, h, h}},
+      {"bert_ffn1", {s, h, 4 * h}},
+      {"bert_ffn2", {s, 4 * h, h}},
+  };
+}
+
+std::vector<GemmWorkload> gpt2_gemms(int seq_len) {
+  AXON_CHECK(seq_len > 0, "sequence length must be positive");
+  const i64 s = seq_len;
+  const i64 h = 1024;
+  return {
+      {"gpt2_qkv", {s, h, 3 * h}},
+      {"gpt2_attn_out", {s, h, h}},
+      {"gpt2_ffn1", {s, h, 4 * h}},
+      {"gpt2_ffn2", {s, 4 * h, h}},
+      {"gpt2_lmhead", {s, h, 50257}},
+  };
+}
+
+std::vector<GemmWorkload> decode_gemv_set() {
+  // Single-token decode: activations are 1 x H vectors; mapping the token
+  // to the temporal dimension makes these GEMV-shaped and fill-bound.
+  return {
+      {"decode_bert_qkv", {2304, 768, 1}},
+      {"decode_bert_ffn1", {3072, 768, 1}},
+      {"decode_gpt2_ffn1", {4096, 1024, 1}},
+      {"decode_gpt2_lmhead", {50257, 1024, 1}},
+  };
+}
+
+}  // namespace axon

@@ -1,0 +1,25 @@
+// Transformer GEMM workload sets beyond Table 3: BERT-base and GPT-2
+// layer GEMMs at representative sequence lengths, plus a decode-time
+// (batch 1, single token) set that is GEMV-shaped. Used by the extended
+// sweeps and examples.
+#pragma once
+
+#include <vector>
+
+#include "workloads/table3.hpp"
+
+namespace axon {
+
+/// BERT-base (L=12, H=768, heads=12) encoder GEMMs at sequence length
+/// `seq_len`: QKV projection, attention scores/context, output projection
+/// and the two FFN GEMMs.
+std::vector<GemmWorkload> bert_base_gemms(int seq_len = 384);
+
+/// GPT-2 (H=1024, 24 layers) prefill GEMMs at `seq_len`.
+std::vector<GemmWorkload> gpt2_gemms(int seq_len = 1024);
+
+/// Decode-time (one token) projections: GEMV-shaped (N = 1 after mapping
+/// the single token to the temporal dim).
+std::vector<GemmWorkload> decode_gemv_set();
+
+}  // namespace axon

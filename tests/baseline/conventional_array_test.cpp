@@ -1,0 +1,162 @@
+#include "baseline/conventional_array.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/sparsity.hpp"
+
+namespace axon {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parameterized functional + timing sweep: (dataflow, M, K, N) on an array
+// that exactly fits one tile. Verifies the result against the reference
+// GEMM and the cycle count against SCALE-SIM equation (1):
+//   tau = 2*S_R + S_C + T - 2.
+using Param = std::tuple<Dataflow, int, int, int>;
+
+class SaSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SaSweep, ResultAndCyclesMatchEquationOne) {
+  const auto [df, m, k, n] = GetParam();
+  Rng rng(1234);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+
+  // Array sized exactly to the tile's spatial needs.
+  ArrayShape shape;
+  switch (df) {
+    case Dataflow::kOS: shape = {m, n}; break;
+    case Dataflow::kWS: shape = {k, m}; break;
+    case Dataflow::kIS: shape = {k, n}; break;
+  }
+  ConventionalArraySim sim(shape);
+  const GemmRunResult r = sim.run(df, a, b);
+
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3))
+      << "max diff " << r.out.max_abs_diff(gemm_ref(a, b));
+
+  i64 s_r = 0, s_c = 0, t = 0;
+  switch (df) {
+    case Dataflow::kOS: s_r = m; s_c = n; t = k; break;
+    case Dataflow::kWS: s_r = k; s_c = m; t = n; break;
+    case Dataflow::kIS: s_r = k; s_c = n; t = m; break;
+  }
+  EXPECT_EQ(r.cycles, 2 * s_r + s_c + t - 2) << "eq. (1) violated";
+  EXPECT_EQ(r.fill_cycles, s_r + s_c - 2) << "Manhattan fill violated";
+  // Every PE performs exactly T MACs (incl. gated): total = S_R*S_C*T.
+  EXPECT_EQ(r.macs.total_macs(), s_r * s_c * t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, SaSweep,
+    ::testing::Combine(::testing::Values(Dataflow::kOS, Dataflow::kWS,
+                                         Dataflow::kIS),
+                       ::testing::Values(1, 3, 8, 16),   // M
+                       ::testing::Values(2, 5, 16),      // K
+                       ::testing::Values(1, 4, 16)),     // N
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return to_string(std::get<0>(info.param)) + "_M" +
+             std::to_string(std::get<1>(info.param)) + "_K" +
+             std::to_string(std::get<2>(info.param)) + "_N" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+
+TEST(ConventionalArrayTest, TileSmallerThanArrayStillCorrect) {
+  Rng rng(7);
+  const Matrix a = random_matrix(3, 5, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  ConventionalArraySim sim({16, 16});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  // Cycle count follows the *used* region (3x4), not the physical array.
+  EXPECT_EQ(r.cycles, 2 * 3 + 4 + 5 - 2);
+}
+
+TEST(ConventionalArrayTest, TileLargerThanArrayRejected) {
+  ConventionalArraySim sim({4, 4});
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix b = random_matrix(3, 4, rng);
+  EXPECT_THROW(sim.run(Dataflow::kOS, a, b), CheckError);
+  // WS binds K to rows: K=5 > 4 must also reject.
+  const Matrix a2 = random_matrix(4, 5, rng);
+  const Matrix b2 = random_matrix(5, 2, rng);
+  EXPECT_THROW(sim.run(Dataflow::kWS, a2, b2), CheckError);
+}
+
+TEST(ConventionalArrayTest, SramLoadCountsMatchOperandSizes) {
+  Rng rng(3);
+  const int m = 4, k = 6, n = 5;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  ConventionalArraySim sim({8, 8});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_EQ(r.stats.get("sram.ifmap.loads"), m * k);
+  EXPECT_EQ(r.stats.get("sram.filter.loads"), k * n);
+}
+
+TEST(ConventionalArrayTest, ZeroGatingPreservesResults) {
+  Rng rng(5);
+  Matrix a = random_sparse_matrix(6, 8, 0.3, rng);
+  Matrix b = random_sparse_matrix(8, 6, 0.2, rng);
+  ConventionalArraySim gated({8, 8}, {.zero_gating = true});
+  ConventionalArraySim plain({8, 8}, {.zero_gating = false});
+  const GemmRunResult rg = gated.run(Dataflow::kOS, a, b);
+  const GemmRunResult rp = plain.run(Dataflow::kOS, a, b);
+  EXPECT_EQ(rg.out, rp.out);
+  EXPECT_EQ(rg.cycles, rp.cycles);  // gating saves power, not time
+  EXPECT_EQ(rg.macs.gated_macs, exact_gated_macs(a, b));
+  EXPECT_EQ(rp.macs.gated_macs, 0);
+  EXPECT_EQ(rg.macs.total_macs(), rp.macs.total_macs());
+}
+
+TEST(ConventionalArrayTest, Fp16NumericsStillExactForSmallValues) {
+  Rng rng(6);
+  const Matrix a = random_matrix(5, 7, rng);
+  const Matrix b = random_matrix(7, 5, rng);
+  ConventionalArraySim sim({8, 8}, {.fp16_numerics = true});
+  const GemmRunResult r = sim.run(Dataflow::kWS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 0.0));
+}
+
+TEST(ConventionalArrayTest, WsPreloadCostsSrCycles) {
+  Rng rng(8);
+  const Matrix a = random_matrix(4, 6, rng);  // M=4, K=6
+  const Matrix b = random_matrix(6, 3, rng);  // N=3
+  ConventionalArraySim sim({8, 8});
+  const GemmRunResult r = sim.run(Dataflow::kWS, a, b);
+  EXPECT_EQ(r.preload_cycles, 6);  // S_R = K
+  const GemmRunResult ris = sim.run(Dataflow::kIS, a, b);
+  EXPECT_EQ(ris.preload_cycles, 6);
+  EXPECT_TRUE(ris.out.approx_equal(r.out, 1e-3));
+}
+
+TEST(ConventionalArrayTest, OsDrainEqualsUsedRows) {
+  Rng rng(9);
+  const Matrix a = random_matrix(5, 4, rng);
+  const Matrix b = random_matrix(4, 7, rng);
+  ConventionalArraySim sim({8, 8});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_EQ(r.drain_cycles, 5);
+}
+
+TEST(ConventionalArrayTest, SingleElementGemm) {
+  Matrix a(1, 1), b(1, 1);
+  a.at(0, 0) = 3.0f;
+  b.at(0, 0) = 4.0f;
+  ConventionalArraySim sim({2, 2});
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    const GemmRunResult r = sim.run(df, a, b);
+    EXPECT_EQ(r.out.at(0, 0), 12.0f) << to_string(df);
+    EXPECT_EQ(r.cycles, 2) << to_string(df);  // 2*1 + 1 + 1 - 2
+  }
+}
+
+}  // namespace
+}  // namespace axon

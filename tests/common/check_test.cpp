@@ -1,0 +1,38 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(AXON_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(AXON_CHECK(true, "message ", 42));
+}
+
+TEST(CheckTest, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(AXON_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageCarriesConditionAndLocation) {
+  try {
+    AXON_CHECK(2 > 3, "two is not more than ", 3);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not more than 3"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, DcheckActiveMatchesBuildType) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(AXON_DCHECK(false));
+#else
+  EXPECT_THROW(AXON_DCHECK(false), CheckError);
+#endif
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,89 @@
+#include "common/fp16.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(Fp16Test, KnownBitPatterns) {
+  EXPECT_EQ(float_to_fp16_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_fp16_bits(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_fp16_bits(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_fp16_bits(-1.0f), 0xBC00);
+  EXPECT_EQ(float_to_fp16_bits(2.0f), 0x4000);
+  EXPECT_EQ(float_to_fp16_bits(0.5f), 0x3800);
+  EXPECT_EQ(float_to_fp16_bits(65504.0f), 0x7BFF);  // max finite
+}
+
+TEST(Fp16Test, SmallIntegersRoundTripExactly) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float v = static_cast<float>(i);
+    EXPECT_EQ(fp16_round(v), v) << "integer " << i;
+  }
+}
+
+TEST(Fp16Test, PowersOfTwoRoundTrip) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(fp16_round(v), v) << "2^" << e;
+  }
+}
+
+TEST(Fp16Test, SubnormalsRepresentable) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, min subnormal
+  EXPECT_EQ(fp16_round(smallest), smallest);
+  EXPECT_EQ(fp16_round(smallest / 2.0f), 0.0f);  // below: rounds to zero (RNE)
+  const float sub = std::ldexp(3.0f, -24);
+  EXPECT_EQ(fp16_round(sub), sub);
+}
+
+TEST(Fp16Test, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; ties to even -> 1.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(fp16_round(halfway), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to even ->
+  // 1+2^-9 (mantissa ...10).
+  const float halfway2 = 1.0f + std::ldexp(3.0f, -11);
+  EXPECT_EQ(fp16_round(halfway2), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Fp16Test, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(std::isinf(fp16_round(1.0e6f)));
+  EXPECT_TRUE(std::isinf(fp16_round(-1.0e6f)));
+  EXPECT_LT(fp16_round(-1.0e6f), 0.0f);
+  EXPECT_TRUE(std::isinf(fp16_round(std::numeric_limits<float>::infinity())));
+}
+
+TEST(Fp16Test, NanPropagates) {
+  EXPECT_TRUE(std::isnan(fp16_round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Fp16Test, RoundingIsIdempotent) {
+  for (float v : {0.1f, 3.14159f, -2.71828f, 123.456f, 1e-5f, 65504.0f}) {
+    const float once = fp16_round(v);
+    EXPECT_EQ(fp16_round(once), once) << v;
+  }
+}
+
+TEST(Fp16Test, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite fp16 value must convert to float and back bit-exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto b16 = static_cast<std::uint16_t>(bits);
+    const std::uint32_t exp = (bits >> 10) & 0x1F;
+    if (exp == 0x1F) continue;  // inf/NaN payloads are not preserved exactly
+    const float f = fp16_bits_to_float(b16);
+    EXPECT_EQ(float_to_fp16_bits(f), b16) << "bits 0x" << std::hex << bits;
+  }
+}
+
+TEST(Fp16Test, ValueTypeComparesByBits) {
+  EXPECT_EQ(Fp16(1.5f), Fp16(1.5f));
+  EXPECT_NE(Fp16(1.5f), Fp16(-1.5f));
+  EXPECT_FLOAT_EQ(Fp16(3.0f).to_float(), 3.0f);
+}
+
+}  // namespace
+}  // namespace axon

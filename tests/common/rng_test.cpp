@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, SmallValuesAreExactFp16Operands) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.small_value();
+    EXPECT_GE(v, -4.0f);
+    EXPECT_LE(v, 4.0f);
+    EXPECT_EQ(v, static_cast<float>(static_cast<int>(v)));  // integral
+  }
+}
+
+TEST(RngTest, SparseValuesHitRequestedZeroFraction) {
+  Rng rng(7);
+  const auto vals = rng.sparse_values(20000, 0.3);
+  std::size_t zeros = 0;
+  for (float v : vals) {
+    if (v == 0.0f) ++zeros;
+  }
+  const double frac = static_cast<double>(zeros) / vals.size();
+  EXPECT_NEAR(frac, 0.3, 0.02);
+}
+
+TEST(RngTest, SparseValuesZeroFractionExtremes) {
+  Rng rng;
+  for (float v : rng.sparse_values(500, 0.0)) EXPECT_NE(v, 0.0f);
+  for (float v : rng.sparse_values(500, 1.0)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(RngTest, BernoulliProbabilityRoughlyRespected) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace axon

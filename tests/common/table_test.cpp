@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndPrintsTitle) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("b").cell(12345);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, DoubleFormattingUsesPrecision) {
+  Table t({"x"});
+  t.row().cell(3.14159, 2);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+  EXPECT_EQ(fmt_double(1.5, 3), "1.500");
+}
+
+TEST(TableTest, TooManyCellsRejected) {
+  Table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), CheckError);
+}
+
+TEST(TableTest, CellBeforeRowRejected) {
+  Table t({"c"});
+  EXPECT_THROW(t.cell("x"), CheckError);
+}
+
+TEST(TableTest, ShortRowsPrintFine) {
+  Table t({"a", "b", "c"});
+  t.row().cell("only-one");
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace axon

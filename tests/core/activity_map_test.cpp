@@ -1,0 +1,76 @@
+// Per-PE activity maps: the utilization view the simulators expose.
+#include <gtest/gtest.h>
+
+#include "baseline/conventional_array.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "core/structural_array.hpp"
+
+namespace axon {
+namespace {
+
+TEST(ActivityMapTest, FullTileEveryPeDoesTMacs) {
+  Rng rng(81);
+  const int r = 6, c = 5, t = 9;
+  const Matrix a = random_matrix(r, t, rng);
+  const Matrix b = random_matrix(t, c, rng);
+  for (int which = 0; which < 2; ++which) {
+    GemmRunResult res;
+    if (which == 0) {
+      res = ConventionalArraySim({r, c}).run(Dataflow::kOS, a, b);
+    } else {
+      res = AxonArraySim({r, c}).run(Dataflow::kOS, a, b);
+    }
+    ASSERT_EQ(res.pe_activity.rows(), r);
+    ASSERT_EQ(res.pe_activity.cols(), c);
+    for (i64 i = 0; i < r; ++i) {
+      for (i64 j = 0; j < c; ++j) {
+        EXPECT_EQ(res.pe_activity.at(i, j), static_cast<float>(t))
+            << "engine " << which << " PE(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ActivityMapTest, ActivitySumsToTotalMacs) {
+  Rng rng(82);
+  const Matrix a = random_matrix(7, 4, rng);
+  const Matrix b = random_matrix(4, 8, rng);
+  const GemmRunResult res = AxonArraySim({7, 8}).run(Dataflow::kWS, a, b);
+  double sum = 0.0;
+  for (i64 i = 0; i < res.pe_activity.rows(); ++i) {
+    for (i64 j = 0; j < res.pe_activity.cols(); ++j) {
+      sum += res.pe_activity.at(i, j);
+    }
+  }
+  EXPECT_EQ(static_cast<i64>(sum), res.macs.total_macs());
+}
+
+TEST(ActivityMapTest, StructuralMatchesBehavioural) {
+  Rng rng(83);
+  const Matrix a = random_matrix(5, 6, rng);
+  const Matrix b = random_matrix(6, 5, rng);
+  const GemmRunResult rb = AxonArraySim({5, 5}).run(Dataflow::kOS, a, b);
+  const GemmRunResult rs = StructuralAxonArray({5, 5}).run(Dataflow::kOS, a, b);
+  EXPECT_EQ(rb.pe_activity, rs.pe_activity);
+}
+
+TEST(ActivityMapTest, WsActivityMapUsesEngineAxes) {
+  // For WS the engine runs on (K x M); the activity map reflects the
+  // physical PEs, not the logical output.
+  Rng rng(84);
+  const Matrix a = random_matrix(3, 6, rng);  // M=3, K=6
+  const Matrix b = random_matrix(6, 4, rng);  // N=4
+  const GemmRunResult res =
+      ConventionalArraySim({6, 3}).run(Dataflow::kWS, a, b);
+  EXPECT_EQ(res.pe_activity.rows(), 6);  // K
+  EXPECT_EQ(res.pe_activity.cols(), 3);  // M
+  for (i64 i = 0; i < 6; ++i) {
+    for (i64 j = 0; j < 3; ++j) {
+      EXPECT_EQ(res.pe_activity.at(i, j), 4.0f);  // T = N MACs per PE
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axon

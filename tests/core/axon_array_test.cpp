@@ -1,0 +1,194 @@
+#include "core/axon_array.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/sparsity.hpp"
+
+namespace axon {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parameterized functional + timing sweep covering square, wide and tall
+// used regions for all three dataflows. Cycle counts must reproduce paper
+// Table 2:
+//   OS: max(M,N) + M + K - 1
+//   WS: max(M,K) + K + N - 1
+//   IS: max(N,K) + K + M - 1
+using Param = std::tuple<Dataflow, int, int, int>;
+
+class AxonSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AxonSweep, ResultAndCyclesMatchTable2) {
+  const auto [df, m, k, n] = GetParam();
+  Rng rng(4321);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+
+  ArrayShape shape;
+  switch (df) {
+    case Dataflow::kOS: shape = {m, n}; break;
+    case Dataflow::kWS: shape = {k, m}; break;
+    case Dataflow::kIS: shape = {k, n}; break;
+  }
+  AxonArraySim sim(shape);
+  const GemmRunResult r = sim.run(df, a, b);
+
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3))
+      << "max diff " << r.out.max_abs_diff(gemm_ref(a, b));
+
+  i64 expected = 0;
+  switch (df) {
+    case Dataflow::kOS: expected = std::max(m, n) + m + k - 1; break;
+    case Dataflow::kWS: expected = std::max(m, k) + k + n - 1; break;
+    case Dataflow::kIS: expected = std::max(n, k) + k + m - 1; break;
+  }
+  EXPECT_EQ(r.cycles, expected) << "Table 2 violated for " << to_string(df);
+
+  // Fill latency is the Chebyshev distance max(S_R, S_C) - 1.
+  EXPECT_EQ(r.fill_cycles, std::max(shape.rows, shape.cols) - 1);
+  EXPECT_EQ(r.macs.total_macs(), i64{m} * k * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, AxonSweep,
+    ::testing::Combine(::testing::Values(Dataflow::kOS, Dataflow::kWS,
+                                         Dataflow::kIS),
+                       ::testing::Values(1, 3, 8, 16),   // M
+                       ::testing::Values(2, 5, 16),      // K
+                       ::testing::Values(1, 4, 16)),     // N
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return to_string(std::get<0>(info.param)) + "_M" +
+             std::to_string(std::get<1>(info.param)) + "_K" +
+             std::to_string(std::get<2>(info.param)) + "_N" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Rectangular arrays (paper Fig. 5): columns/rows without a diagonal PE are
+// fed from the edge with a zero-padding skew. Wide and tall cases.
+
+TEST(AxonArrayTest, WideArrayEdgeFeedingCorrect) {
+  Rng rng(11);
+  const Matrix a = random_matrix(2, 6, rng);   // 2 rows used
+  const Matrix b = random_matrix(6, 9, rng);   // 9 cols used (7 edge-fed)
+  AxonArraySim sim({2, 9});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  EXPECT_EQ(r.cycles, std::max<i64>(2, 9) + 2 + 6 - 1);
+  EXPECT_EQ(r.fill_cycles, 8);
+}
+
+TEST(AxonArrayTest, TallArrayEdgeFeedingCorrect) {
+  Rng rng(12);
+  const Matrix a = random_matrix(9, 4, rng);   // 9 rows used (7 edge-fed)
+  const Matrix b = random_matrix(4, 2, rng);
+  AxonArraySim sim({9, 2});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  EXPECT_EQ(r.cycles, 9 + 9 + 4 - 1);
+}
+
+TEST(AxonArrayTest, TileSmallerThanPhysicalArray) {
+  Rng rng(13);
+  const Matrix a = random_matrix(3, 5, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  AxonArraySim sim({64, 64});
+  const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  // Used-region accounting: max(3,4) + 3 + 5 - 1.
+  EXPECT_EQ(r.cycles, 4 + 3 + 5 - 1);
+}
+
+TEST(AxonArrayTest, OversizeTileRejected) {
+  AxonArraySim sim({4, 4});
+  Rng rng(2);
+  EXPECT_THROW(
+      sim.run(Dataflow::kOS, random_matrix(5, 2, rng), random_matrix(2, 3, rng)),
+      CheckError);
+  EXPECT_THROW(
+      sim.run(Dataflow::kIS, random_matrix(3, 5, rng), random_matrix(5, 3, rng)),
+      CheckError);
+}
+
+TEST(AxonArrayTest, ZeroGatingPreservesResults) {
+  Rng rng(14);
+  Matrix a = random_sparse_matrix(8, 6, 0.25, rng);
+  Matrix b = random_sparse_matrix(6, 8, 0.25, rng);
+  AxonArraySim gated({8, 8}, {.zero_gating = true});
+  AxonArraySim plain({8, 8}, {.zero_gating = false});
+  const GemmRunResult rg = gated.run(Dataflow::kOS, a, b);
+  const GemmRunResult rp = plain.run(Dataflow::kOS, a, b);
+  EXPECT_EQ(rg.out, rp.out);
+  EXPECT_EQ(rg.macs.gated_macs, exact_gated_macs(a, b));
+  EXPECT_EQ(rp.macs.gated_macs, 0);
+}
+
+TEST(AxonArrayTest, WsPreloadCostsSrCycles) {
+  Rng rng(15);
+  const Matrix a = random_matrix(5, 7, rng);
+  const Matrix b = random_matrix(7, 4, rng);
+  AxonArraySim sim({8, 8});
+  const GemmRunResult r = sim.run(Dataflow::kWS, a, b);
+  EXPECT_EQ(r.preload_cycles, 7);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+}
+
+TEST(AxonArrayTest, WsWideColumnsNoDiagonal) {
+  // S_C (= M for WS) larger than S_R (= K): columns beyond the diagonal
+  // have only an upward psum stream. 3 reduction rows, 9 output columns.
+  Rng rng(16);
+  const Matrix a = random_matrix(9, 3, rng);  // M=9, K=3
+  const Matrix b = random_matrix(3, 4, rng);
+  AxonArraySim sim({3, 9});
+  const GemmRunResult r = sim.run(Dataflow::kWS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  EXPECT_EQ(r.cycles, std::max<i64>(9, 3) + 3 + 4 - 1);
+}
+
+TEST(AxonArrayTest, IsTallReductionDeepColumns) {
+  // K much larger than N: tall stationary region, edge-fed stream rows.
+  Rng rng(17);
+  const Matrix a = random_matrix(4, 11, rng);  // K=11
+  const Matrix b = random_matrix(11, 3, rng);  // N=3
+  AxonArraySim sim({11, 3});
+  const GemmRunResult r = sim.run(Dataflow::kIS, a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  EXPECT_EQ(r.cycles, std::max<i64>(3, 11) + 11 + 4 - 1);
+}
+
+TEST(AxonArrayTest, SingleRowAndSingleColumnArrays) {
+  Rng rng(18);
+  {
+    const Matrix a = random_matrix(1, 4, rng);
+    const Matrix b = random_matrix(4, 6, rng);
+    AxonArraySim sim({1, 6});
+    const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+    EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  }
+  {
+    const Matrix a = random_matrix(6, 4, rng);
+    const Matrix b = random_matrix(4, 1, rng);
+    AxonArraySim sim({6, 1});
+    const GemmRunResult r = sim.run(Dataflow::kOS, a, b);
+    EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+  }
+}
+
+TEST(AxonArrayTest, Fp16NumericsExactForSmallValues) {
+  Rng rng(19);
+  const Matrix a = random_matrix(6, 6, rng);
+  const Matrix b = random_matrix(6, 6, rng);
+  AxonArraySim sim({6, 6}, {.fp16_numerics = true});
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    EXPECT_TRUE(sim.run(df, a, b).out.approx_equal(gemm_ref(a, b), 0.0))
+        << to_string(df);
+  }
+}
+
+}  // namespace
+}  // namespace axon

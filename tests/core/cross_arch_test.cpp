@@ -1,0 +1,113 @@
+// Cross-architecture properties: for the same tile, Axon and the
+// conventional SA must produce identical results while Axon's fill and total
+// cycle counts are strictly better (paper §3.1).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baseline/conventional_array.hpp"
+#include "common/rng.hpp"
+#include "core/axon_array.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+namespace {
+
+using Param = std::tuple<Dataflow, int, int, int>;
+
+class CrossArch : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrossArch, SameResultsFewerCycles) {
+  const auto [df, m, k, n] = GetParam();
+  Rng rng(2024);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+
+  ArrayShape shape;
+  switch (df) {
+    case Dataflow::kOS: shape = {m, n}; break;
+    case Dataflow::kWS: shape = {k, m}; break;
+    case Dataflow::kIS: shape = {k, n}; break;
+  }
+  ConventionalArraySim sa(shape);
+  AxonArraySim ax(shape);
+  const GemmRunResult rs = sa.run(df, a, b);
+  const GemmRunResult ra = ax.run(df, a, b);
+
+  // Functional equivalence (bit-exact: same MAC order per output along K).
+  EXPECT_EQ(rs.out.rows(), ra.out.rows());
+  EXPECT_TRUE(rs.out.approx_equal(ra.out, 1e-4));
+
+  // Axon never loses; for non-degenerate shapes it strictly wins.
+  EXPECT_LE(ra.cycles, rs.cycles);
+  if (shape.rows > 1 && shape.cols > 1) {
+    EXPECT_LT(ra.cycles, rs.cycles);
+  }
+
+  // The win equals the fill-latency difference:
+  // (R + C - 2) - (max(R, C) - 1) = min(R, C) - 1.
+  const i64 expected_gain = std::min(shape.rows, shape.cols) - 1;
+  EXPECT_EQ(rs.cycles - ra.cycles, expected_gain);
+
+  // Both perform exactly the same MAC work.
+  EXPECT_EQ(rs.macs.total_macs(), ra.macs.total_macs());
+
+  // Observed fills match the closed forms used by Fig. 6.
+  EXPECT_EQ(rs.fill_cycles, fill_latency(ArchType::kConventionalSA, shape));
+  EXPECT_EQ(ra.fill_cycles, fill_latency(ArchType::kAxon, shape));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, CrossArch,
+    ::testing::Combine(::testing::Values(Dataflow::kOS, Dataflow::kWS,
+                                         Dataflow::kIS),
+                       ::testing::Values(2, 7, 12),   // M
+                       ::testing::Values(3, 9),       // K
+                       ::testing::Values(2, 6, 12)),  // N
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return to_string(std::get<0>(info.param)) + "_M" +
+             std::to_string(std::get<1>(info.param)) + "_K" +
+             std::to_string(std::get<2>(info.param)) + "_N" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(CrossArchTest, SquareTileSpeedupApproachesTable2Ratio) {
+  // For a square 16x16 OS tile with small T, the strict per-tile ratio is
+  // (2R + C + T - 2) / (max + R + T - 1) = (3R + T - 2) / (2R + T - 1).
+  Rng rng(77);
+  const int r = 16, t = 4;
+  const Matrix a = random_matrix(r, t, rng);
+  const Matrix b = random_matrix(t, r, rng);
+  ConventionalArraySim sa({r, r});
+  AxonArraySim ax({r, r});
+  const double ratio =
+      static_cast<double>(sa.run(Dataflow::kOS, a, b).cycles) /
+      static_cast<double>(ax.run(Dataflow::kOS, a, b).cycles);
+  EXPECT_NEAR(ratio, (3.0 * r + t - 2) / (2.0 * r + t - 1), 1e-9);
+}
+
+TEST(CrossArchTest, CycleSimsAgreeWithAnalyticalModel) {
+  // The analytical tile model (model/runtime_model) must equal the cycle
+  // simulators on full tiles — this is what licenses the analytical sweeps
+  // in Figs. 12-14.
+  Rng rng(88);
+  for (int r : {2, 5, 9}) {
+    for (int c : {2, 6, 11}) {
+      for (int t : {1, 7, 20}) {
+        const Matrix a = random_matrix(r, t, rng);
+        const Matrix b = random_matrix(t, c, rng);
+        ConventionalArraySim sa({r, c});
+        AxonArraySim ax({r, c});
+        EXPECT_EQ(sa.run(Dataflow::kOS, a, b).cycles,
+                  tile_cycles(ArchType::kConventionalSA, {r, c}, t))
+            << r << "x" << c << " T=" << t;
+        EXPECT_EQ(ax.run(Dataflow::kOS, a, b).cycles,
+                  tile_cycles(ArchType::kAxon, {r, c}, t))
+            << r << "x" << c << " T=" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axon

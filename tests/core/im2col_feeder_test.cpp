@@ -1,0 +1,167 @@
+#include "core/im2col_feeder.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "model/im2col_traffic.hpp"
+#include "tensor/im2col.hpp"
+
+namespace axon {
+namespace {
+
+TEST(Im2colFeederTest, EmitsReversedWindowsOfPaperExample) {
+  // Paper Fig. 7: 6x6 IFMAP, 3x3 filter. Feeder row d streams window d in
+  // reversed flattened order ("rightmost element loaded first").
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  Tensor4 in(1, 1, 6, 6);
+  for (i64 i = 0; i < 36; ++i) in.data()[i] = static_cast<float>(i);
+  const Matrix win = im2col_windows(in, c);
+
+  Im2colFeeder feeder(in, c, /*first_window=*/0, /*num_rows=*/4);
+  ASSERT_EQ(feeder.temporal_length(), 9);
+  for (i64 row = 0; row < 4; ++row) {
+    for (i64 k = 0; k < 9; ++k) {
+      const auto v = feeder.value(row, k);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, win.at(row, 8 - k)) << "row " << row << " step " << k;
+    }
+  }
+  EXPECT_FALSE(feeder.value(0, 9).has_value());
+  EXPECT_FALSE(feeder.value(0, -1).has_value());
+}
+
+TEST(Im2colFeederTest, MuxControlPatternMatchesPaper) {
+  // "Control signal is 0 for 1 cycle and 1 for the other (n-1) cycles":
+  // per 9-element stream of a 3x3 window, non-head feeders load from SRAM
+  // exactly 3 times (one per kernel row); the head feeder always loads.
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  Rng rng(1);
+  const Tensor4 in = random_tensor(1, 1, 6, 6, rng);
+  Im2colFeeder feeder(in, c, 0, 4);
+  for (i64 row = 0; row < 4; ++row) {
+    for (i64 k = 0; k < 9; ++k) (void)feeder.value(row, k);
+  }
+  // Head: 9 loads. Rows 1-3: 3 loads each.
+  EXPECT_EQ(feeder.sram_loads(), 9 + 3 * 3);
+  EXPECT_EQ(feeder.neighbor_forwards(), 3 * 6);
+  // Every element is accounted once.
+  EXPECT_EQ(feeder.sram_loads() + feeder.neighbor_forwards(), 4 * 9);
+}
+
+TEST(Im2colFeederTest, RowBoundaryBreaksChain) {
+  // Windows 3 and 4 of a 4-wide output map sit in different output rows:
+  // window 4 (feeder row 1 here) must reload fully from SRAM.
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  Rng rng(2);
+  const Tensor4 in = random_tensor(1, 1, 6, 6, rng);
+  Im2colFeeder feeder(in, c, /*first_window=*/3, /*num_rows=*/2);
+  for (i64 row = 0; row < 2; ++row) {
+    for (i64 k = 0; k < 9; ++k) (void)feeder.value(row, k);
+  }
+  EXPECT_EQ(feeder.sram_loads(), 18);  // both full
+  EXPECT_EQ(feeder.neighbor_forwards(), 0);
+}
+
+TEST(Im2colFeederTest, StrideTwoLoadsTwoColumnsPerKernelRow) {
+  const ConvShape c = make_conv(1, 9, 1, 3, 2, 0);
+  Rng rng(3);
+  const Tensor4 in = random_tensor(1, 1, 9, 9, rng);
+  ASSERT_EQ(c.out_w(), 4);
+  Im2colFeeder feeder(in, c, 0, 4);
+  for (i64 row = 0; row < 4; ++row) {
+    for (i64 k = 0; k < 9; ++k) (void)feeder.value(row, k);
+  }
+  // Head: 9. Rows 1-3: stride 2 -> 2 new columns per kernel row -> 6 each.
+  EXPECT_EQ(feeder.sram_loads(), 9 + 3 * 6);
+}
+
+TEST(Im2colFeederTest, StrideGreaterEqualKernelDisablesReuse) {
+  const ConvShape c = make_conv(1, 8, 1, 2, 3, 0);
+  Rng rng(4);
+  const Tensor4 in = random_tensor(1, 1, 8, 8, rng);
+  Im2colFeeder feeder(in, c, 0, 3);
+  for (i64 row = 0; row < 3; ++row) {
+    for (i64 k = 0; k < 4; ++k) (void)feeder.value(row, k);
+  }
+  EXPECT_EQ(feeder.neighbor_forwards(), 0);
+  EXPECT_EQ(feeder.sram_loads(), 12);
+}
+
+TEST(Im2colFeederTest, MultiChannelReusePerChannel) {
+  const ConvShape c = make_conv(3, 6, 2, 3, 1, 1);
+  Rng rng(5);
+  const Tensor4 in = random_tensor(1, 3, 6, 6, rng);
+  const i64 t_len = i64{3} * 9;
+  Im2colFeeder feeder(in, c, 0, 4);
+  ASSERT_EQ(feeder.temporal_length(), t_len);
+  for (i64 row = 0; row < 4; ++row) {
+    for (i64 k = 0; k < t_len; ++k) (void)feeder.value(row, k);
+  }
+  // Head: 27. Others: 3 kernel rows x 3 channels = 9 each.
+  EXPECT_EQ(feeder.sram_loads(), 27 + 3 * 9);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: the cycle-accurate feeder's SRAM load count must equal
+// the closed-form model in model/im2col_traffic for full-layer streaming.
+using TrafficParam = std::tuple<int, int, int, int, int, int>;
+//                      (cin, hw, k, stride, pad, feeders)
+
+class FeederVsClosedForm : public ::testing::TestWithParam<TrafficParam> {};
+
+TEST_P(FeederVsClosedForm, SramLoadsMatchModel) {
+  const auto [cin, hw, k, stride, pad, feeders] = GetParam();
+  const ConvShape c = make_conv(cin, hw, /*cout=*/4, k, stride, pad);
+  Rng rng(6);
+  const Tensor4 in = random_tensor(1, cin, hw, hw, rng);
+
+  // Stream every window, segmented per output row in groups of `feeders`
+  // (exactly the schedule run_conv_axon_im2col uses).
+  i64 total_loads = 0;
+  for (int oy = 0; oy < c.out_h(); ++oy) {
+    for (int ox0 = 0; ox0 < c.out_w(); ox0 += feeders) {
+      const i64 wn = std::min<i64>(feeders, c.out_w() - ox0);
+      Im2colFeeder feeder(in, c, i64{1} * oy * c.out_w() + ox0, wn);
+      for (i64 row = 0; row < wn; ++row) {
+        for (i64 t = 0; t < feeder.temporal_length(); ++t) {
+          (void)feeder.value(row, t);
+        }
+      }
+      total_loads += feeder.sram_loads();
+    }
+  }
+  EXPECT_EQ(total_loads, ifmap_sram_loads(c, Im2colMode::kAxonOnChip, feeders));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FeederVsClosedForm,
+    ::testing::Values(TrafficParam{1, 6, 3, 1, 0, 4},
+                      TrafficParam{2, 8, 3, 1, 1, 4},
+                      TrafficParam{1, 9, 3, 2, 0, 3},
+                      TrafficParam{3, 7, 2, 1, 0, 8},
+                      TrafficParam{1, 10, 5, 1, 2, 4},
+                      TrafficParam{2, 8, 2, 2, 0, 4},
+                      TrafficParam{1, 12, 3, 1, 0, 16},
+                      TrafficParam{1, 7, 1, 1, 0, 4}),  // 1x1: no reuse
+    [](const ::testing::TestParamInfo<TrafficParam>& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_hw" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param)) + "_p" +
+             std::to_string(std::get<4>(info.param)) + "_f" +
+             std::to_string(std::get<5>(info.param));
+    });
+
+TEST(Im2colFeederTest, InvalidRangesRejected) {
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  Tensor4 in(1, 1, 6, 6);
+  EXPECT_THROW(Im2colFeeder(in, c, 0, 17), CheckError);   // > 16 windows
+  EXPECT_THROW(Im2colFeeder(in, c, -1, 2), CheckError);
+  EXPECT_THROW(Im2colFeeder(in, c, 16, 1), CheckError);
+  EXPECT_THROW(Im2colFeeder(in, c, 0, 2, /*group=*/1), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

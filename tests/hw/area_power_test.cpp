@@ -1,0 +1,97 @@
+#include "hw/area_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(AreaPowerTest, Fig10CalibrationExact) {
+  // The ASAP7 model must reproduce the paper's 16x16 numbers exactly.
+  const AreaPowerModel m(TechNode::kAsap7);
+  const ArrayShape a16{16, 16};
+  EXPECT_NEAR(m.conventional_sa(a16).area_mm2, 0.9992, 1e-9);
+  EXPECT_NEAR(m.conventional_sa(a16).power_mw, 59.88, 1e-9);
+  EXPECT_NEAR(m.axon(a16, false).area_mm2, 0.9931, 1e-9);
+  EXPECT_NEAR(m.axon(a16, true).area_mm2, 0.9951, 1e-9);
+  EXPECT_NEAR(m.axon(a16, true).power_mw, 59.98, 1e-9);
+}
+
+TEST(AreaPowerTest, Im2colOverheadMatchesAbstract) {
+  // Abstract: 0.211% area overhead (im2col MUXes over the Axon array) and
+  // ~0.2% in §5.1.
+  const AreaPowerModel m(TechNode::kAsap7);
+  const ArrayShape a16{16, 16};
+  const double overhead = 100.0 * (m.axon(a16, true).area_mm2 /
+                                       m.axon(a16, false).area_mm2 -
+                                   1.0);
+  EXPECT_NEAR(overhead, 0.2, 0.05);
+}
+
+TEST(AreaPowerTest, AxonSmallerThanSa) {
+  // Buffer sharing gives Axon a slight net area reduction (§5.1).
+  const AreaPowerModel m(TechNode::kAsap7);
+  for (int s : {8, 16, 32, 64, 128}) {
+    EXPECT_LT(m.axon({s, s}, true).area_mm2,
+              m.conventional_sa({s, s}).area_mm2 * 1.01);
+    EXPECT_LT(m.axon({s, s}, false).area_mm2,
+              m.conventional_sa({s, s}).area_mm2);
+  }
+}
+
+TEST(AreaPowerTest, AxonBeatsSauriaByAFewPercent) {
+  // §5.2.3: Axon averages ~3.93% less area and ~4.5% less power than
+  // Sauria across array sizes, at both nodes.
+  for (TechNode node : {TechNode::kAsap7, TechNode::kTsmc45}) {
+    const AreaPowerModel m(node);
+    double area_gain = 0.0, power_gain = 0.0;
+    const std::vector<int> sizes{8, 16, 32, 64, 128};
+    for (int s : sizes) {
+      const ArrayHw ax = m.axon({s, s}, true);
+      const ArrayHw sa = m.sauria({s, s});
+      EXPECT_LT(ax.area_mm2, sa.area_mm2);
+      EXPECT_LT(ax.power_mw, sa.power_mw);
+      area_gain += 100.0 * (1.0 - ax.area_mm2 / sa.area_mm2);
+      power_gain += 100.0 * (1.0 - ax.power_mw / sa.power_mw);
+    }
+    area_gain /= sizes.size();
+    power_gain /= sizes.size();
+    EXPECT_NEAR(area_gain, 3.93, 1.5) << to_string(node);
+    EXPECT_NEAR(power_gain, 4.5, 1.5) << to_string(node);
+  }
+}
+
+TEST(AreaPowerTest, NodeScalingMonotone) {
+  const AreaPowerModel asap(TechNode::kAsap7);
+  const AreaPowerModel n45(TechNode::kTsmc45);
+  const ArrayShape a{32, 32};
+  EXPECT_GT(n45.conventional_sa(a).area_mm2, asap.conventional_sa(a).area_mm2);
+  EXPECT_GT(n45.conventional_sa(a).power_mw, asap.conventional_sa(a).power_mw);
+  // Relative Axon-vs-Sauria delta is node-independent.
+  const double d7 = asap.sauria(a).area_mm2 / asap.axon(a, true).area_mm2;
+  const double d45 = n45.sauria(a).area_mm2 / n45.axon(a, true).area_mm2;
+  EXPECT_NEAR(d7, d45, 1e-9);
+}
+
+TEST(AreaPowerTest, AreaScalesWithPeCount) {
+  const AreaPowerModel m(TechNode::kAsap7);
+  const double a16 = m.conventional_sa({16, 16}).area_mm2;
+  const double a32 = m.conventional_sa({32, 32}).area_mm2;
+  EXPECT_NEAR(a32 / a16, 4.0, 1e-9);
+}
+
+TEST(ZeroGatingPowerTest, PaperCalibrationPoint) {
+  // §5.2.1: 10% sparsity -> 5.3% total power reduction.
+  const AreaPowerModel m(TechNode::kAsap7);
+  const double base = 100.0;
+  EXPECT_NEAR(m.power_with_zero_gating(base, 0.10), 94.7, 1e-9);
+  EXPECT_DOUBLE_EQ(m.power_with_zero_gating(base, 0.0), base);
+  // Fully gated arrays still burn the non-MAC share.
+  EXPECT_NEAR(m.power_with_zero_gating(base, 1.0),
+              base * (1.0 - kMacDynamicPowerShare), 1e-9);
+  EXPECT_THROW((void)m.power_with_zero_gating(base, 1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,90 @@
+#include "hw/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/conv_executor.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace axon {
+namespace {
+
+TEST(EnergyModelTest, ComputeEnergyCountsActiveAndGated) {
+  EnergyModel m;
+  MacCounters c;
+  c.active_macs = 1'000'000;
+  c.gated_macs = 0;
+  const double dense = m.compute_energy_mj(c);
+  EXPECT_NEAR(dense, 1'000'000 * m.ops().mac_active_pj * 1e-9, 1e-12);
+  c.active_macs = 900'000;
+  c.gated_macs = 100'000;
+  const double sparse = m.compute_energy_mj(c);
+  EXPECT_LT(sparse, dense);
+  // Gating 10% of MACs saves ~10% of (active - gated residue) energy.
+  const double expected =
+      (900'000 * m.ops().mac_active_pj + 100'000 * m.ops().mac_gated_pj) * 1e-9;
+  EXPECT_NEAR(sparse, expected, 1e-12);
+}
+
+TEST(EnergyModelTest, SramEnergy) {
+  EnergyModel m;
+  EXPECT_NEAR(m.sram_energy_mj(1000, 500),
+              (1000 * m.ops().sram_read_pj + 500 * m.ops().sram_write_pj) *
+                  1e-9,
+              1e-15);
+  EXPECT_THROW((void)m.sram_energy_mj(-1, 0), CheckError);
+}
+
+TEST(EnergyModelTest, BreakdownFromConvRun) {
+  // End-to-end: energy of a conv on Axon vs SA — Axon's SRAM component
+  // must be smaller (the MUX chain replaces SRAM reads with cheap hops).
+  const ConvShape c = make_conv(2, 12, 4, 3, 1, 1);
+  Rng rng(41);
+  const Tensor4 in = random_tensor(1, 2, 12, 12, rng);
+  const Tensor4 f = random_tensor(4, 2, 3, 3, rng);
+  const ConvRunResult ax = run_conv_axon_im2col(in, f, c, {8, 8});
+  const ConvRunResult sa = run_conv_sa_software_im2col(in, f, c, {8, 8});
+
+  EnergyModel m;
+  Stats ax_stats, sa_stats;
+  ax_stats.add("sram.ifmap.loads", ax.ifmap_sram_loads);
+  ax_stats.add("sram.filter.loads", ax.filter_sram_loads);
+  ax_stats.add("feeder.neighbor.forwards", ax.neighbor_forwards);
+  sa_stats.add("sram.ifmap.loads", sa.ifmap_sram_loads);
+  sa_stats.add("sram.filter.loads", sa.filter_sram_loads);
+
+  const EnergyBreakdown eb_ax = m.breakdown(ax.macs, ax_stats, 0);
+  const EnergyBreakdown eb_sa = m.breakdown(sa.macs, sa_stats, 0);
+  EXPECT_LT(eb_ax.sram_mj, eb_sa.sram_mj);
+  EXPECT_GT(eb_ax.noc_mj, 0.0);
+  EXPECT_EQ(eb_sa.noc_mj, 0.0);
+  // The hop is cheaper than the SRAM read it replaces, so total drops too.
+  EXPECT_LT(eb_ax.total_mj(), eb_sa.total_mj());
+  // Same MAC work, same MAC energy.
+  EXPECT_NEAR(eb_ax.mac_mj, eb_sa.mac_mj, 1e-15);
+}
+
+TEST(EnergyModelTest, DramDominatesAtPaperConstants) {
+  // 120 pJ/byte makes DRAM the dominant term for memory-bound layers —
+  // the premise of the paper's energy argument.
+  EnergyModel m;
+  MacCounters macs;
+  macs.active_macs = 1'000'000;
+  Stats stats;
+  stats.add("sram.ifmap.loads", 2'000'000);
+  const i64 dram_bytes = 10 * 1024 * 1024;
+  const EnergyBreakdown b = m.breakdown(macs, stats, dram_bytes);
+  EXPECT_GT(b.dram_mj, b.mac_mj + b.sram_mj);
+}
+
+TEST(EnergyModelTest, InvalidConfigsRejected) {
+  OpEnergies bad;
+  bad.mac_gated_pj = bad.mac_active_pj + 1.0;
+  EXPECT_THROW(EnergyModel{bad}, CheckError);
+  EnergyModel m;
+  EXPECT_THROW((void)m.breakdown({}, {}, -1), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,53 @@
+#include "hw/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(EnergyTest, ComparisonFields) {
+  const DramModel dram;
+  const i64 mb = 1024 * 1024;
+  const EnergyComparison c = compare_dram_energy(dram, 200 * mb, 120 * mb);
+  EXPECT_EQ(c.baseline_bytes, 200 * mb);
+  EXPECT_EQ(c.axon_bytes, 120 * mb);
+  EXPECT_NEAR(c.traffic_reduction_pct, 40.0, 1e-9);
+  EXPECT_NEAR(c.saved_energy_mj, dram.energy_mj(80 * mb), 1e-12);
+  EXPECT_GT(c.baseline_energy_mj, c.axon_energy_mj);
+}
+
+TEST(EnergyTest, PaperResnetNumbersReproduceSavedMj) {
+  // 261.2 MB -> 153.5 MB at 120 pJ/B is ~13.5 mJ saved; the paper rounds
+  // to 12 mJ. YOLOv3: 2540 -> 1117 MB is ~179 mJ (paper: 170 mJ).
+  const DramModel dram;
+  const auto mb = [](double v) {
+    return static_cast<i64>(v * 1024 * 1024);
+  };
+  const EnergyComparison resnet =
+      compare_dram_energy(dram, mb(261.2), mb(153.5));
+  EXPECT_NEAR(resnet.saved_energy_mj, 12.0, 2.0);
+  const EnergyComparison yolo = compare_dram_energy(dram, mb(2540), mb(1117));
+  EXPECT_NEAR(yolo.saved_energy_mj, 170.0, 12.0);
+}
+
+TEST(EnergyTest, RooflineSpeedupBehaviour) {
+  const DramModel dram;  // 6.4 bytes per cycle at 1 GHz
+  // Fully memory-bound: speedup equals the traffic ratio.
+  EXPECT_NEAR(roofline_speedup(dram, 10, 64000, 32000), 2.0, 1e-9);
+  // Fully compute-bound: no speedup.
+  EXPECT_NEAR(roofline_speedup(dram, 1'000'000, 6400, 3200), 1.0, 1e-9);
+  // Mixed: between 1 and the traffic ratio.
+  const double s = roofline_speedup(dram, 7000, 64000, 32000);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(EnergyTest, ZeroTrafficEdgeCases) {
+  const DramModel dram;
+  const EnergyComparison c = compare_dram_energy(dram, 0, 0);
+  EXPECT_DOUBLE_EQ(c.traffic_reduction_pct, 0.0);
+  EXPECT_DOUBLE_EQ(c.saved_energy_mj, 0.0);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,55 @@
+#include "memory/dram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(DramTest, PaperDefaults) {
+  const DramModel dram;
+  EXPECT_DOUBLE_EQ(dram.config().bandwidth_bytes_per_sec, 6.4e9);
+  EXPECT_DOUBLE_EQ(dram.config().energy_pj_per_byte, 120.0);
+}
+
+TEST(DramTest, TransferCyclesAtPeakBandwidth) {
+  // 6.4 GB/s at a 1 GHz core: 6.4 bytes per cycle.
+  const DramModel dram;
+  EXPECT_EQ(dram.transfer_cycles(64), 10);
+  EXPECT_EQ(dram.transfer_cycles(0), 0);
+  EXPECT_EQ(dram.transfer_cycles(1), 1);  // ceil
+}
+
+TEST(DramTest, EnergyMatchesPaperExamples) {
+  // §5.2.1: saving 107.7 MB at 120 pJ/B is ~12 mJ; 1423 MB is ~170 mJ.
+  const DramModel dram;
+  const i64 resnet_saved = i64{1077} * 1024 * 1024 / 10;  // 107.7 MB
+  EXPECT_NEAR(dram.energy_mj(resnet_saved), 13.5, 1.0);
+  const i64 yolo_saved = i64{1423} * 1024 * 1024;
+  EXPECT_NEAR(dram.energy_mj(yolo_saved), 179.0, 5.0);
+}
+
+TEST(DramTest, OverlappedCyclesIsRoofline) {
+  const DramModel dram;
+  EXPECT_EQ(dram.overlapped_cycles(1000, 64), 1000);     // compute-bound
+  EXPECT_EQ(dram.overlapped_cycles(5, 6400), 1000);      // memory-bound
+  EXPECT_EQ(dram.overlapped_cycles(1000, 6400), 1000);   // balanced
+}
+
+TEST(DramTest, CustomFrequencyScalesCycles) {
+  DramConfig cfg;
+  cfg.accelerator_freq_hz = 2.0e9;  // 3.2 bytes per cycle
+  const DramModel dram(cfg);
+  EXPECT_EQ(dram.transfer_cycles(64), 20);
+}
+
+TEST(DramTest, InvalidConfigRejected) {
+  DramConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 0;
+  EXPECT_THROW(DramModel{cfg}, CheckError);
+  EXPECT_THROW((void)DramModel{}.transfer_cycles(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

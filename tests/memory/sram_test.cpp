@@ -1,0 +1,47 @@
+#include "memory/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(SramTest, LoadReadWrite) {
+  Stats stats;
+  SramBuffer buf("ifmap", 16, &stats);
+  buf.load({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(buf.size(), 3);
+  EXPECT_EQ(buf.read(1), 2.0f);
+  buf.write(1, 9.0f);
+  EXPECT_EQ(buf.read(1), 9.0f);
+  EXPECT_EQ(buf.reads(), 2);
+  EXPECT_EQ(buf.writes(), 1);
+  EXPECT_EQ(stats.get("sram.ifmap.reads"), 2);
+  EXPECT_EQ(stats.get("sram.ifmap.writes"), 1);
+}
+
+TEST(SramTest, CapacityEnforced) {
+  SramBuffer buf("w", 2);
+  EXPECT_THROW(buf.load({1, 2, 3}), CheckError);
+  EXPECT_NO_THROW(buf.load({1, 2}));
+  EXPECT_THROW(SramBuffer("bad", 0), CheckError);
+}
+
+TEST(SramTest, OutOfBoundsAccessRejected) {
+  SramBuffer buf("b", 8);
+  buf.load({1, 2});
+  EXPECT_THROW((void)buf.read(2), CheckError);
+  EXPECT_THROW((void)buf.read(-1), CheckError);
+  EXPECT_THROW(buf.write(5, 0.0f), CheckError);
+}
+
+TEST(SramTest, ResetCounters) {
+  SramBuffer buf("c", 4);
+  buf.load({1});
+  (void)buf.read(0);
+  buf.reset_counters();
+  EXPECT_EQ(buf.reads(), 0);
+  EXPECT_EQ(buf.writes(), 0);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,33 @@
+#include "memory/traffic.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(TrafficTest, TotalsAndAddition) {
+  Traffic a{10, 20, 30};
+  EXPECT_EQ(a.total(), 60);
+  Traffic b{1, 2, 3};
+  a += b;
+  EXPECT_EQ(a.ifmap_bytes, 11);
+  EXPECT_EQ(a.total(), 66);
+  const Traffic c = b + b;
+  EXPECT_EQ(c.total(), 12);
+}
+
+TEST(TrafficTest, Fp16ElementWidth) {
+  EXPECT_EQ(kBytesPerElement, 2);
+  EXPECT_EQ(elems_to_bytes(100), 200);
+}
+
+TEST(TrafficTest, Streaming) {
+  std::ostringstream os;
+  os << Traffic{2, 4, 6};
+  EXPECT_NE(os.str().find("total=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axon

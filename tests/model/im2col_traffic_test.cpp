@@ -1,0 +1,100 @@
+#include "model/im2col_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/im2col.hpp"
+
+namespace axon {
+namespace {
+
+TEST(Im2colTrafficTest, SoftwareLoadsAreExpandedMatrix) {
+  const ConvShape c = make_conv(16, 14, 32, 3, 1, 1);
+  EXPECT_EQ(ifmap_sram_loads(c, Im2colMode::kSoftware, 16),
+            im2col_element_count(c));
+}
+
+TEST(Im2colTrafficTest, PaperFig7CountsByHand) {
+  // 6x6 IFMAP, 3x3 kernel, 4 feeders: each output row is one segment of 4
+  // windows: 9 + 3*3 = 18 loads; 4 rows -> 72 of the software 144.
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  EXPECT_EQ(ifmap_sram_loads(c, Im2colMode::kSoftware, 4), 144);
+  EXPECT_EQ(ifmap_sram_loads(c, Im2colMode::kAxonOnChip, 4), 72);
+  EXPECT_DOUBLE_EQ(memory_access_reduction_pct(c, 4), 50.0);
+}
+
+TEST(Im2colTrafficTest, ManyFeedersApproachKernelFactor) {
+  // With feeders >= out_w, reduction approaches (n-1)/n for 3x3 stride 1.
+  const ConvShape c = make_conv(64, 56, 64, 3, 1, 1);
+  const double red = memory_access_reduction_pct(c, 128);
+  EXPECT_GT(red, 60.0);   // paper: "more than 60%"
+  EXPECT_LT(red, 100.0 * 2.0 / 3.0 + 1.0);
+}
+
+TEST(Im2colTrafficTest, OneByOneKernelHasNoReuse) {
+  const ConvShape c = make_conv(64, 28, 128, 1, 1, 0);
+  EXPECT_EQ(ifmap_sram_loads(c, Im2colMode::kAxonOnChip, 64),
+            ifmap_sram_loads(c, Im2colMode::kSoftware, 64));
+  EXPECT_DOUBLE_EQ(memory_access_reduction_pct(c, 64), 0.0);
+}
+
+TEST(Im2colTrafficTest, StrideAtLeastKernelHasNoReuse) {
+  const ConvShape c = make_conv(8, 16, 8, 2, 2, 0);
+  EXPECT_DOUBLE_EQ(memory_access_reduction_pct(c, 32), 0.0);
+}
+
+TEST(Im2colTrafficTest, MoreFeedersNeverIncreaseLoads) {
+  const ConvShape c = make_conv(3, 32, 8, 3, 1, 1);
+  i64 prev = ifmap_sram_loads(c, Im2colMode::kAxonOnChip, 1);
+  EXPECT_EQ(prev, ifmap_sram_loads(c, Im2colMode::kSoftware, 1));
+  for (int f : {2, 4, 8, 16, 32, 64}) {
+    const i64 cur = ifmap_sram_loads(c, Im2colMode::kAxonOnChip, f);
+    EXPECT_LE(cur, prev) << "feeders " << f;
+    prev = cur;
+  }
+}
+
+TEST(Im2colTrafficTest, DepthwiseGroupsCounted) {
+  const ConvShape dw = make_conv(32, 14, 32, 3, 1, 1, 32);
+  // 32 groups of single-channel windows.
+  EXPECT_EQ(ifmap_sram_loads(dw, Im2colMode::kSoftware, 16),
+            i64{14} * 14 * 9 * 32);
+  EXPECT_LT(ifmap_sram_loads(dw, Im2colMode::kAxonOnChip, 16),
+            ifmap_sram_loads(dw, Im2colMode::kSoftware, 16));
+}
+
+TEST(ConvDramTrafficTest, ModesDifferOnlyInIfmap) {
+  const ConvShape c = make_conv(64, 56, 64, 3, 1, 1);
+  const Traffic sw = conv_dram_traffic(c, Im2colMode::kSoftware);
+  const Traffic ax = conv_dram_traffic(c, Im2colMode::kAxonOnChip);
+  EXPECT_EQ(sw.filter_bytes, ax.filter_bytes);
+  EXPECT_EQ(sw.ofmap_bytes, ax.ofmap_bytes);
+  EXPECT_GT(sw.ifmap_bytes, ax.ifmap_bytes);
+  // Software im2col materializes the expanded matrix in DRAM: the host
+  // reads the unique IFMAP, writes the expanded windows, the accelerator
+  // reads them back.
+  EXPECT_EQ(sw.ifmap_bytes, elems_to_bytes(unique_ifmap_elements(c) +
+                                           2 * im2col_element_count(c)));
+  EXPECT_EQ(ax.ifmap_bytes, elems_to_bytes(unique_ifmap_elements(c)));
+  // 1x1 stride-1 layers skip materialization entirely: modes agree.
+  const ConvShape c1 = make_conv(64, 28, 128, 1, 1, 0);
+  EXPECT_EQ(conv_dram_traffic(c1, Im2colMode::kSoftware).ifmap_bytes,
+            conv_dram_traffic(c1, Im2colMode::kAxonOnChip).ifmap_bytes);
+}
+
+TEST(ConvDramTrafficTest, FilterAndOfmapBytes) {
+  const ConvShape c = make_conv(3, 8, 4, 3, 1, 1);
+  const Traffic t = conv_dram_traffic(c, Im2colMode::kSoftware);
+  EXPECT_EQ(t.filter_bytes, elems_to_bytes(i64{4} * 3 * 3 * 3));
+  EXPECT_EQ(t.ofmap_bytes, elems_to_bytes(i64{4} * 8 * 8));
+}
+
+TEST(GemmDramTrafficTest, OperandsPlusResult) {
+  const GemmShape g{10, 20, 30};
+  const Traffic t = gemm_dram_traffic(g);
+  EXPECT_EQ(t.ifmap_bytes, elems_to_bytes(200));
+  EXPECT_EQ(t.filter_bytes, elems_to_bytes(600));
+  EXPECT_EQ(t.ofmap_bytes, elems_to_bytes(300));
+}
+
+}  // namespace
+}  // namespace axon

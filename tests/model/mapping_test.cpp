@@ -1,0 +1,32 @@
+#include "model/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(MappingTest, Table1Projections) {
+  const GemmShape g{10, 20, 30};
+  EXPECT_EQ(map_gemm(g, Dataflow::kOS), (SpatioTemporal{10, 30, 20}));
+  EXPECT_EQ(map_gemm(g, Dataflow::kWS), (SpatioTemporal{20, 10, 30}));
+  EXPECT_EQ(map_gemm(g, Dataflow::kIS), (SpatioTemporal{20, 30, 10}));
+}
+
+TEST(MappingTest, VolumePreservedForAllDataflows) {
+  for (const GemmShape& g :
+       {GemmShape{1, 1, 1}, GemmShape{31999, 84, 1024}, GemmShape{7, 5, 3}}) {
+    for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+      EXPECT_TRUE(mapping_preserves_volume(g, df))
+          << g << " " << to_string(df);
+    }
+  }
+}
+
+TEST(MappingTest, InvalidShapeRejected) {
+  EXPECT_THROW(map_gemm(GemmShape{0, 1, 1}, Dataflow::kOS), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

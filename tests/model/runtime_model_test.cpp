@@ -1,0 +1,161 @@
+#include "model/runtime_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(FillLatencyTest, Fig6Factors) {
+  // f1 = R + C - 2, f2 = max(R, C) - 1 (paper §3.1 / Fig. 6).
+  EXPECT_EQ(fill_latency(ArchType::kConventionalSA, {256, 256}), 510);
+  EXPECT_EQ(fill_latency(ArchType::kAxon, {256, 256}), 255);
+  EXPECT_EQ(fill_latency(ArchType::kConventionalSA, {16, 16}), 30);
+  EXPECT_EQ(fill_latency(ArchType::kAxon, {16, 16}), 15);
+  // Rectangular: improvement shrinks but stays positive.
+  EXPECT_EQ(fill_latency(ArchType::kConventionalSA, {8, 64}), 70);
+  EXPECT_EQ(fill_latency(ArchType::kAxon, {8, 64}), 63);
+  // CMSA (substituted model) sits between SA and Axon on squares.
+  const i64 cmsa = fill_latency(ArchType::kCMSA, {64, 64});
+  EXPECT_LT(cmsa, fill_latency(ArchType::kConventionalSA, {64, 64}));
+  EXPECT_GT(cmsa, fill_latency(ArchType::kAxon, {64, 64}));
+}
+
+TEST(FillLatencyTest, SquareImprovementIsExactlyTwofold) {
+  for (int r : {2, 16, 64, 256, 1024}) {
+    const i64 f1 = fill_latency(ArchType::kConventionalSA, {r, r});
+    const i64 f2 = fill_latency(ArchType::kAxon, {r, r});
+    EXPECT_EQ(f1, 2 * f2);  // (2R - 2) vs (R - 1)
+  }
+}
+
+TEST(TileCyclesTest, MatchesEquationOneAndTable2) {
+  // SA: 2R + C + T - 2; Axon: max(R, C) + R + T - 1.
+  EXPECT_EQ(tile_cycles(ArchType::kConventionalSA, {16, 16}, 100),
+            2 * 16 + 16 + 100 - 2);
+  EXPECT_EQ(tile_cycles(ArchType::kAxon, {16, 16}, 100), 16 + 16 + 100 - 1);
+  EXPECT_EQ(tile_cycles(ArchType::kAxon, {8, 32}, 10), 32 + 8 + 10 - 1);
+  EXPECT_EQ(tile_cycles(ArchType::kAxon, {32, 8}, 10), 32 + 32 + 10 - 1);
+}
+
+TEST(ScaleUpTest, EquationTwoTileProduct) {
+  // 100x100 OS GEMM on 16x16: ceil(100/16)^2 = 49 tiles.
+  const GemmShape g{100, 64, 100};
+  const RuntimeResult r = scale_up_runtime(ArchType::kConventionalSA,
+                                           Dataflow::kOS, g, {16, 16});
+  EXPECT_EQ(r.tiles, 49);
+  EXPECT_EQ(r.cycles, 49 * (2 * 16 + 16 + 64 - 2));
+  EXPECT_EQ(r.st.T, 64);
+}
+
+TEST(ScaleUpTest, DataflowChangesTileAxes) {
+  const GemmShape g{100, 30, 8};
+  // WS: S_R = K = 30 (2 row-tiles), S_C = M = 100 (7 col-tiles), T = N = 8.
+  const RuntimeResult r =
+      scale_up_runtime(ArchType::kAxon, Dataflow::kWS, g, {16, 16});
+  EXPECT_EQ(r.tiles, 2 * 7);
+  EXPECT_EQ(r.cycles, 14 * (16 + 16 + 8 - 1));
+}
+
+TEST(ScaleOutTest, EquationThreePartitioning) {
+  const GemmShape g{256, 64, 256};
+  // 2x2 partitions of 64x64 arrays: S'_R = 128 -> 2 tiles, S'_C = 128 -> 2.
+  const RuntimeResult r = scale_out_runtime(ArchType::kConventionalSA,
+                                            Dataflow::kOS, g, {64, 64}, 2, 2);
+  EXPECT_EQ(r.tiles, 4);
+  EXPECT_EQ(r.cycles, 4 * (2 * 64 + 64 + 64 - 2));
+  // Scale-out with 1x1 partitions degenerates to scale-up.
+  const RuntimeResult r1 = scale_out_runtime(ArchType::kConventionalSA,
+                                             Dataflow::kOS, g, {64, 64}, 1, 1);
+  const RuntimeResult r2 =
+      scale_up_runtime(ArchType::kConventionalSA, Dataflow::kOS, g, {64, 64});
+  EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+TEST(PipelinedTest, CheaperThanStrictAndBoundedByFill) {
+  const GemmShape g{512, 32, 512};
+  const ArrayShape a{64, 64};
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    const i64 strict = scale_up_runtime(arch, Dataflow::kOS, g, a).cycles;
+    const i64 pipe = pipelined_runtime(arch, Dataflow::kOS, g, a).cycles;
+    EXPECT_LT(pipe, strict);
+    // Pipelined = tiles * (fill + T) + one drain.
+    const i64 tiles = 8 * 8;
+    EXPECT_EQ(pipe, tiles * (fill_latency(arch, a) + 32) + 64);
+  }
+}
+
+TEST(PipelinedTest, SquareSmallTSpeedupApproachesTwo) {
+  // The "up to 2x" claim: fill-dominated pipelined tiles. Needs many tiles
+  // so the one unamortized drain at the end vanishes.
+  const GemmShape g{2560, 1, 2560};
+  const ArrayShape a{256, 256};
+  const double sa = static_cast<double>(
+      pipelined_runtime(ArchType::kConventionalSA, Dataflow::kOS, g, a).cycles);
+  const double ax = static_cast<double>(
+      pipelined_runtime(ArchType::kAxon, Dataflow::kOS, g, a).cycles);
+  EXPECT_GT(sa / ax, 1.8);
+  EXPECT_LE(sa / ax, 2.0);
+}
+
+TEST(BestDataflowTest, PicksTheMinimum) {
+  const GemmShape g{2048, 128, 1};  // NCF0: IS avoids the N=1 column waste
+  const RuntimeResult best =
+      best_dataflow_runtime(ArchType::kConventionalSA, g, {256, 256});
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    EXPECT_LE(best.cycles,
+              scale_up_runtime(ArchType::kConventionalSA, df, g, {256, 256})
+                  .cycles);
+  }
+  EXPECT_EQ(best.dataflow, Dataflow::kIS);
+}
+
+TEST(DwConvTest, SerializesChannels) {
+  const ConvShape dw = make_conv(32, 14, 32, 3, 1, 1, 32);
+  const RuntimeResult r = dwconv_runtime(ArchType::kAxon, Dataflow::kOS, dw,
+                                         {16, 16}, /*pipelined=*/false);
+  // Per channel: GEMM(1, 9, 196) -> ceil(196/16) = 13 tiles.
+  const GemmShape per{1, 9, 196};
+  const RuntimeResult one =
+      scale_up_runtime(ArchType::kAxon, Dataflow::kOS, per, {16, 16});
+  EXPECT_EQ(r.cycles, one.cycles * 32);
+  EXPECT_EQ(r.tiles, one.tiles * 32);
+  EXPECT_THROW(dwconv_runtime(ArchType::kAxon, Dataflow::kOS,
+                              make_conv(4, 8, 8, 3, 1, 1), {8, 8}, false),
+               CheckError);
+}
+
+TEST(RuntimeModelTest, AxonNeverSlowerThanSa) {
+  // Property: for any shape and dataflow, the Axon runtime is <= SA.
+  for (i64 m : {1, 17, 300}) {
+    for (i64 k : {1, 33, 500}) {
+      for (i64 n : {1, 20, 257}) {
+        const GemmShape g{m, k, n};
+        for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+          for (int size : {8, 64, 128}) {
+            const ArrayShape a{size, size};
+            EXPECT_LE(
+                scale_up_runtime(ArchType::kAxon, df, g, a).cycles,
+                scale_up_runtime(ArchType::kConventionalSA, df, g, a).cycles);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RuntimeModelTest, CmsaBetweenSaAndAxonOnSquares) {
+  const GemmShape g{500, 64, 500};
+  const ArrayShape a{128, 128};
+  for (Dataflow df : {Dataflow::kOS, Dataflow::kWS, Dataflow::kIS}) {
+    const i64 sa = scale_up_runtime(ArchType::kConventionalSA, df, g, a).cycles;
+    const i64 cm = scale_up_runtime(ArchType::kCMSA, df, g, a).cycles;
+    const i64 ax = scale_up_runtime(ArchType::kAxon, df, g, a).cycles;
+    EXPECT_LE(ax, cm);
+    EXPECT_LE(cm, sa);
+  }
+}
+
+}  // namespace
+}  // namespace axon

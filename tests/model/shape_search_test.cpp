@@ -1,0 +1,60 @@
+// Aspect-ratio design-space search (extension study): Axon's max(R, C)
+// fill term penalizes elongated arrays harder than SA's R + C.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon {
+namespace {
+
+TEST(ShapeSearchTest, RespectsPeBudget) {
+  const GemmShape g{512, 512, 512};
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    const ShapeSearchResult r = best_array_shape(arch, g, 4096);
+    EXPECT_LE(r.shape.num_pes(), 4096);
+    EXPECT_GT(r.runtime.cycles, 0);
+  }
+}
+
+TEST(ShapeSearchTest, BeatsOrMatchesTheSquareDefault) {
+  for (const GemmShape& g :
+       {GemmShape{2048, 32, 64}, GemmShape{64, 4096, 64},
+        GemmShape{128, 128, 128}}) {
+    for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+      const ShapeSearchResult r = best_array_shape(arch, g, 64 * 64);
+      const i64 square = best_dataflow_runtime(arch, g, {64, 64}).cycles;
+      EXPECT_LE(r.runtime.cycles, square) << to_string(arch) << " " << g;
+    }
+  }
+}
+
+TEST(ShapeSearchTest, BalancedWorkloadPrefersNearSquareOnAxon) {
+  const GemmShape g{1024, 1024, 1024};
+  const ShapeSearchResult r = best_array_shape(ArchType::kAxon, g, 4096);
+  // max(R, C) <= 2 * min(R, C): elongation never wins here for Axon.
+  const i64 lo = std::min(r.shape.rows, r.shape.cols);
+  const i64 hi = std::max(r.shape.rows, r.shape.cols);
+  EXPECT_LE(hi, 2 * lo) << r.shape;
+}
+
+TEST(ShapeSearchTest, AxonRuntimeNeverWorseThanSaAtSameBudget) {
+  for (const GemmShape& g :
+       {GemmShape{31999, 84, 1024}, GemmShape{2048, 128, 1},
+        GemmShape{64, 147, 62500}}) {
+    const ShapeSearchResult sa =
+        best_array_shape(ArchType::kConventionalSA, g, 16384);
+    const ShapeSearchResult ax = best_array_shape(ArchType::kAxon, g, 16384);
+    EXPECT_LE(ax.runtime.cycles, sa.runtime.cycles) << g;
+  }
+}
+
+TEST(ShapeSearchTest, BudgetOneIsSinglePe) {
+  const ShapeSearchResult r =
+      best_array_shape(ArchType::kAxon, {4, 4, 4}, 1);
+  EXPECT_EQ(r.shape, (ArrayShape{1, 1}));
+  EXPECT_THROW(best_array_shape(ArchType::kAxon, {4, 4, 4}, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

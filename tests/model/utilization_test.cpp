@@ -1,0 +1,67 @@
+#include "model/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(UtilizationTest, BoundedByOne) {
+  for (const GemmShape& g :
+       {GemmShape{128, 128, 128}, GemmShape{1000, 2000, 3000},
+        GemmShape{1, 1, 1}, GemmShape{31999, 84, 1024}}) {
+    for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon,
+                          ArchType::kCMSA}) {
+      const double ur = best_utilization_rate(arch, g, {128, 128});
+      EXPECT_GT(ur, 0.0) << g;
+      EXPECT_LE(ur, 1.0) << g;
+    }
+  }
+}
+
+TEST(UtilizationTest, AxonAtLeastSaAtLeastNever) {
+  for (const GemmShape& g :
+       {GemmShape{256, 84, 1024}, GemmShape{2048, 32, 4096},
+        GemmShape{64, 147, 62500}}) {
+    const double sa =
+        best_utilization_rate(ArchType::kConventionalSA, g, {128, 128});
+    const double cmsa = best_utilization_rate(ArchType::kCMSA, g, {128, 128});
+    const double ax = best_utilization_rate(ArchType::kAxon, g, {128, 128});
+    EXPECT_GE(cmsa, sa) << g;
+    EXPECT_GE(ax, cmsa) << g;
+  }
+}
+
+TEST(UtilizationTest, ImprovementPctIsPercentagePoints) {
+  const GemmShape g{128, 16, 128};
+  const double imp = utilization_improvement_pct(ArchType::kAxon, g, {128, 128});
+  const double sa =
+      best_utilization_rate(ArchType::kConventionalSA, g, {128, 128});
+  const double ax = best_utilization_rate(ArchType::kAxon, g, {128, 128});
+  EXPECT_NEAR(imp, 100.0 * (ax - sa), 1e-12);
+  EXPECT_GT(imp, 0.0);
+}
+
+TEST(UtilizationTest, LargeGemmsAlreadyWellUtilized) {
+  // Paper §5.2.2: GPT-3 matmul1/addmm/lmhead have ~91% SA utilization, so
+  // improvements are small for both CMSA and Axon.
+  const GemmShape lmhead{1024, 2560, 50257};
+  const double sa =
+      best_utilization_rate(ArchType::kConventionalSA, lmhead, {128, 128});
+  EXPECT_GT(sa, 0.85);
+  EXPECT_LT(utilization_improvement_pct(ArchType::kAxon, lmhead, {128, 128}),
+            10.0);
+}
+
+TEST(UtilizationTest, PerDataflowRateUsesThatDataflow) {
+  const GemmShape g{64, 512, 64};
+  const double os =
+      utilization_rate(ArchType::kConventionalSA, Dataflow::kOS, g, {64, 64});
+  const double ws =
+      utilization_rate(ArchType::kConventionalSA, Dataflow::kWS, g, {64, 64});
+  EXPECT_NE(os, ws);  // different mappings, different utilization
+  EXPECT_GE(best_utilization_rate(ArchType::kConventionalSA, g, {64, 64}),
+            std::max(os, ws));
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,78 @@
+#include "pe/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(MacTest, BasicAccumulation) {
+  MacUnit u(/*zero_gating=*/false);
+  float acc = 0.0f;
+  acc = u.mac(2.0f, 3.0f, acc);
+  acc = u.mac(4.0f, 0.5f, acc);
+  EXPECT_EQ(acc, 8.0f);
+  EXPECT_EQ(u.counters().active_macs, 2);
+  EXPECT_EQ(u.counters().gated_macs, 0);
+}
+
+TEST(MacTest, ZeroGatingSkipsButPreservesResult) {
+  MacUnit gated(/*zero_gating=*/true);
+  MacUnit plain(/*zero_gating=*/false);
+  float acc_g = 1.0f, acc_p = 1.0f;
+  const float ops[][2] = {{0, 5}, {5, 0}, {2, 3}, {0, 0}, {-1, 4}};
+  for (const auto& op : ops) {
+    acc_g = gated.mac(op[0], op[1], acc_g);
+    acc_p = plain.mac(op[0], op[1], acc_p);
+  }
+  EXPECT_EQ(acc_g, acc_p);  // gating never changes the math
+  EXPECT_EQ(gated.counters().gated_macs, 3);
+  EXPECT_EQ(gated.counters().active_macs, 2);
+  EXPECT_EQ(plain.counters().gated_macs, 0);
+  EXPECT_EQ(plain.counters().active_macs, 5);
+}
+
+TEST(MacTest, WithoutGatingZeroOperandsStillCountActive) {
+  MacUnit u(/*zero_gating=*/false);
+  (void)u.mac(0.0f, 7.0f, 0.0f);
+  EXPECT_EQ(u.counters().active_macs, 1);
+}
+
+TEST(MacTest, IdleCyclesTracked) {
+  MacUnit u;
+  u.idle();
+  u.idle();
+  EXPECT_EQ(u.counters().idle_cycles, 2);
+  EXPECT_EQ(u.counters().total_macs(), 0);
+}
+
+TEST(MacTest, Fp16NumericsRoundEachStep) {
+  MacUnit u(/*zero_gating=*/false, /*fp16_numerics=*/true);
+  // 2048 + 1 rounds back to 2048 in fp16.
+  float acc = u.mac(32.0f, 64.0f, 0.0f);  // 2048, exact
+  acc = u.mac(1.0f, 1.0f, acc);
+  EXPECT_EQ(acc, 2048.0f);
+}
+
+TEST(MacTest, CountersAccumulateAcrossUnits) {
+  MacCounters total;
+  MacUnit a, b;
+  (void)a.mac(1, 1, 0);
+  (void)b.mac(0, 1, 0);
+  b.idle();
+  total += a.counters();
+  total += b.counters();
+  EXPECT_EQ(total.active_macs, 1);
+  EXPECT_EQ(total.gated_macs, 1);
+  EXPECT_EQ(total.idle_cycles, 1);
+  EXPECT_EQ(total.total_macs(), 2);
+}
+
+TEST(MacTest, ResetCounters) {
+  MacUnit u;
+  (void)u.mac(1, 2, 0);
+  u.reset_counters();
+  EXPECT_EQ(u.counters().active_macs, 0);
+}
+
+}  // namespace
+}  // namespace axon

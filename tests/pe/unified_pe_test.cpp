@@ -1,0 +1,145 @@
+#include "pe/unified_pe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(UnifiedPeTest, OsAccumulatesLocally) {
+  UnifiedPe pe(Dataflow::kOS);
+  PeIn in;
+  in.horizontal = 2.0f;
+  in.vertical = 3.0f;
+  PeOut out = pe.step(in);
+  EXPECT_EQ(pe.accumulator(), 6.0f);
+  // Operands are forwarded for the neighbours.
+  EXPECT_EQ(out.horizontal, 2.0f);
+  EXPECT_EQ(out.vertical, 3.0f);
+  EXPECT_FALSE(out.psum.has_value());
+  in.horizontal = 4.0f;
+  in.vertical = 1.0f;
+  pe.step(in);
+  EXPECT_EQ(pe.accumulator(), 10.0f);
+  EXPECT_EQ(pe.drain_accumulator(), 10.0f);
+  EXPECT_EQ(pe.accumulator(), 0.0f);
+}
+
+TEST(UnifiedPeTest, OsIdlesWithoutBothOperands) {
+  UnifiedPe pe(Dataflow::kOS);
+  PeIn in;
+  in.horizontal = 2.0f;  // vertical missing
+  pe.step(in);
+  EXPECT_EQ(pe.accumulator(), 0.0f);
+  EXPECT_EQ(pe.counters().idle_cycles, 1);
+}
+
+TEST(UnifiedPeTest, WsPreloadViaOutputInterconnect) {
+  UnifiedPe pe(Dataflow::kWS);
+  PeIn preload;
+  preload.preload = true;
+  preload.psum = 5.0f;  // MUX1/MUX2 steer this into the stationary register
+  PeOut out = pe.step(preload);
+  EXPECT_EQ(pe.stationary(), 5.0f);
+  // The value is forwarded (one latch per hop) for deeper PEs.
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 5.0f);
+  // Later values overwrite: the last value to pass is the one that stays,
+  // which is what makes the whole column load in S_R cycles.
+  preload.psum = 7.0f;
+  out = pe.step(preload);
+  EXPECT_EQ(pe.stationary(), 7.0f);
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 7.0f);
+}
+
+TEST(UnifiedPeTest, PreloadInOsRejected) {
+  UnifiedPe pe(Dataflow::kOS);
+  PeIn in;
+  in.preload = true;
+  in.psum = 1.0f;
+  EXPECT_THROW(pe.step(in), CheckError);
+}
+
+TEST(UnifiedPeTest, WsMacChainsPsum) {
+  UnifiedPe pe(Dataflow::kWS);
+  PeIn preload;
+  preload.preload = true;
+  preload.psum = 3.0f;
+  pe.step(preload);
+
+  PeIn in;
+  in.horizontal = 2.0f;  // streaming operand
+  in.psum = 10.0f;       // partial sum from the neighbour
+  PeOut out = pe.step(in);
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 16.0f);  // 10 + 2*3
+  // Forwarded horizontally for the next PE in the row.
+  EXPECT_EQ(out.horizontal, 2.0f);
+}
+
+TEST(UnifiedPeTest, WsStreamOriginStartsAtZero) {
+  UnifiedPe pe(Dataflow::kWS);
+  PeIn preload;
+  preload.preload = true;
+  preload.psum = 4.0f;
+  pe.step(preload);
+  PeIn in;
+  in.horizontal = 5.0f;  // no incoming psum: this PE originates the stream
+  PeOut out = pe.step(in);
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 20.0f);
+}
+
+TEST(UnifiedPeTest, WsBypassesPsumWhenIdle) {
+  UnifiedPe pe(Dataflow::kWS);
+  PeIn in;
+  in.psum = 42.0f;  // no streaming operand this cycle
+  PeOut out = pe.step(in);
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 42.0f);  // bypass-and-add: forwarded untouched
+  EXPECT_EQ(pe.counters().idle_cycles, 1);
+}
+
+TEST(UnifiedPeTest, IsMirrorsWsWithVerticalStream) {
+  UnifiedPe pe(Dataflow::kIS);
+  PeIn preload;
+  preload.preload = true;
+  preload.psum = 3.0f;  // stationary input
+  pe.step(preload);
+  PeIn in;
+  in.vertical = 4.0f;  // streaming filter operand
+  in.psum = 1.0f;
+  PeOut out = pe.step(in);
+  ASSERT_TRUE(out.psum.has_value());
+  EXPECT_EQ(*out.psum, 13.0f);
+  EXPECT_EQ(out.vertical, 4.0f);
+  EXPECT_FALSE(out.horizontal.has_value());
+}
+
+TEST(UnifiedPeTest, ReconfigureClearsState) {
+  UnifiedPe pe(Dataflow::kOS);
+  PeIn in;
+  in.horizontal = 2.0f;
+  in.vertical = 2.0f;
+  pe.step(in);
+  EXPECT_EQ(pe.accumulator(), 4.0f);
+  pe.configure(Dataflow::kWS);
+  EXPECT_EQ(pe.accumulator(), 0.0f);
+  EXPECT_EQ(pe.stationary(), 0.0f);
+  EXPECT_EQ(pe.dataflow(), Dataflow::kWS);
+}
+
+TEST(UnifiedPeTest, ZeroGatingCountsInOs) {
+  UnifiedPe pe(Dataflow::kOS, /*zero_gating=*/true);
+  PeIn in;
+  in.horizontal = 0.0f;
+  in.vertical = 5.0f;
+  pe.step(in);
+  EXPECT_EQ(pe.counters().gated_macs, 1);
+  EXPECT_EQ(pe.accumulator(), 0.0f);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,119 @@
+#include "runner/accelerator.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/conv_ref.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace axon {
+namespace {
+
+// Tiled GEMM sweep: every (arch, dataflow) pair must produce the reference
+// product for problems larger than the array in every dimension.
+using Param = std::tuple<ArchType, Dataflow>;
+
+class TiledGemm : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TiledGemm, LargeGemmMatchesReference) {
+  const auto [arch, df] = GetParam();
+  Rng rng(55);
+  const Matrix a = random_matrix(19, 23, rng);
+  const Matrix b = random_matrix(23, 17, rng);
+  Accelerator acc({.arch = arch, .array = {8, 8}, .dataflow = df});
+  const RunReport r = acc.run_gemm(a, b);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3))
+      << "max diff " << r.out.max_abs_diff(gemm_ref(a, b));
+  EXPECT_GT(r.tiles, 1);
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchAndDataflow, TiledGemm,
+    ::testing::Combine(::testing::Values(ArchType::kConventionalSA,
+                                         ArchType::kAxon),
+                       ::testing::Values(Dataflow::kOS, Dataflow::kWS,
+                                         Dataflow::kIS)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(AcceleratorTest, ExactTilingMatchesAnalyticalModel) {
+  // When every dimension is a multiple of the array, the cycle-accurate
+  // total equals the scale-up equation exactly.
+  Rng rng(56);
+  const Matrix a = random_matrix(16, 12, rng);
+  const Matrix b = random_matrix(12, 24, rng);
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    Accelerator acc({.arch = arch, .array = {8, 8}, .dataflow = Dataflow::kOS});
+    const RunReport r = acc.run_gemm(a, b);
+    EXPECT_EQ(r.cycles, r.model_cycles) << to_string(arch);
+    EXPECT_EQ(r.tiles, 6);
+  }
+}
+
+TEST(AcceleratorTest, AxonFasterThanSaOnSameProblem) {
+  Rng rng(57);
+  const Matrix a = random_matrix(32, 8, rng);
+  const Matrix b = random_matrix(8, 32, rng);
+  Accelerator sa({.arch = ArchType::kConventionalSA, .array = {16, 16}});
+  Accelerator ax({.arch = ArchType::kAxon, .array = {16, 16}});
+  const RunReport rs = sa.run_gemm(a, b);
+  const RunReport ra = ax.run_gemm(a, b);
+  EXPECT_TRUE(rs.out.approx_equal(ra.out, 1e-3));
+  EXPECT_LT(ra.cycles, rs.cycles);
+  EXPECT_GT(ra.utilization, rs.utilization);
+}
+
+TEST(AcceleratorTest, ConvOnBothArchitecturesMatchesReference) {
+  const ConvShape c = make_conv(3, 10, 6, 3, 1, 1);
+  Rng rng(58);
+  const Tensor4 in = random_tensor(1, 3, 10, 10, rng);
+  const Tensor4 f = random_tensor(6, 3, 3, 3, rng);
+  const Tensor4 expected = conv2d_ref(in, f, c);
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    Accelerator acc({.arch = arch, .array = {8, 8}});
+    const RunReport r = acc.run_conv(in, f, c);
+    for (i64 i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(r.conv_out.data()[i], expected.data()[i], 1e-3)
+          << to_string(arch);
+    }
+    EXPECT_GT(r.stats.get("sram.ifmap.loads"), 0);
+  }
+}
+
+TEST(AcceleratorTest, ConvAxonReportsNeighborForwards) {
+  const ConvShape c = make_conv(2, 8, 4, 3, 1, 1);
+  Rng rng(59);
+  const Tensor4 in = random_tensor(1, 2, 8, 8, rng);
+  const Tensor4 f = random_tensor(4, 2, 3, 3, rng);
+  Accelerator ax({.arch = ArchType::kAxon, .array = {8, 8}});
+  Accelerator sa({.arch = ArchType::kConventionalSA, .array = {8, 8}});
+  const RunReport ra = ax.run_conv(in, f, c);
+  const RunReport rs = sa.run_conv(in, f, c);
+  EXPECT_GT(ra.stats.get("feeder.neighbor.forwards"), 0);
+  EXPECT_EQ(rs.stats.get("feeder.neighbor.forwards"), 0);
+  EXPECT_LT(ra.stats.get("sram.ifmap.loads"), rs.stats.get("sram.ifmap.loads"));
+}
+
+TEST(AcceleratorTest, CmsaHasNoCycleSimulator) {
+  EXPECT_THROW(Accelerator({.arch = ArchType::kCMSA}), CheckError);
+}
+
+TEST(AcceleratorTest, SparseGemmGatesMacs) {
+  Rng rng(60);
+  Matrix a = random_sparse_matrix(16, 16, 0.5, rng);
+  Matrix b = random_matrix(16, 16, rng);
+  Accelerator acc({.arch = ArchType::kAxon, .array = {8, 8}});
+  const RunReport r = acc.run_gemm(a, b);
+  EXPECT_GT(r.macs.gated_macs, 0);
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,176 @@
+// Headline-property tests for every reproduced figure/table: who wins, by
+// roughly what factor, where the crossovers are.
+#include "runner/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(Fig6Test, AxonFactorAlwaysLower) {
+  const auto rows = fig6_fill_factors(
+      {{4, 4}, {16, 16}, {64, 64}, {256, 256}, {8, 64}, {64, 8}, {1024, 1024}});
+  for (const auto& r : rows) {
+    EXPECT_LT(r.f2_axon, r.f1_conventional) << r.array;
+    if (r.array.square()) {
+      EXPECT_EQ(r.f1_conventional, 2 * r.f2_axon) << r.array;
+    }
+  }
+  // Paper's example: 256x256 goes from 510 to 255.
+  EXPECT_EQ(rows[3].f1_conventional, 510);
+  EXPECT_EQ(rows[3].f2_axon, 255);
+}
+
+TEST(Fig12Test, EveryWorkloadSpeedsUp) {
+  for (int size : {32, 64, 128, 256}) {
+    for (const auto& row : fig12_speedups(size)) {
+      EXPECT_GE(row.speedup, 1.0) << row.workload << " @" << size;
+      EXPECT_LE(row.speedup, 2.0) << row.workload << " @" << size;
+    }
+  }
+}
+
+TEST(Fig12Test, AverageSpeedupGrowsWithArraySize) {
+  // Paper: 1.47x average at 64x64, 1.76x at 256x256. Our model reproduces
+  // the trend (the paper averages are dominated by fill-bound workloads;
+  // see DESIGN.md §4).
+  const double avg64 = mean_speedup(fig12_speedups(64));
+  const double avg256 = mean_speedup(fig12_speedups(256));
+  EXPECT_GT(avg64, 1.1);
+  EXPECT_GT(avg256, avg64);
+  EXPECT_LT(avg256, 2.0);
+}
+
+TEST(Fig12Test, TemporallyBoundWorkloadsBarelyImprove) {
+  // DB0 (K = 50000) is limited by the temporal dimension (paper §5.2.1).
+  for (const auto& row : fig12_speedups(256)) {
+    if (row.workload == "DB0") {
+      EXPECT_LT(row.speedup, 1.05);
+    }
+    if (row.workload == "GEMM_1") {
+      // K = 10 with many tiles: fill-dominated, approaches 2x.
+      EXPECT_GT(row.speedup, 1.8);
+    }
+  }
+}
+
+TEST(Fig13Test, AxonBeatsCmsaOnAverage) {
+  const auto rows = fig13_utilization(128);
+  ASSERT_EQ(rows.size(), 20u);
+  double axon_sum = 0.0, cmsa_sum = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.axon_improvement_pct, -1e-9) << r.workload;
+    EXPECT_GE(r.axon_improvement_pct, r.cmsa_improvement_pct - 1e-9)
+        << r.workload;
+    axon_sum += r.axon_improvement_pct;
+    cmsa_sum += r.cmsa_improvement_pct;
+  }
+  EXPECT_GT(axon_sum, cmsa_sum);  // paper: Axon outperforms CMSA by ~27%
+}
+
+TEST(Fig13Test, Gpt3WorkloadsAlreadyWellUtilized) {
+  // Paper §5.2.2: GPT3 matmul1 / addmm / lmhead improvements stay small
+  // because baseline utilization is already ~91%.
+  for (const auto& r : fig13_utilization(128)) {
+    if (r.workload == "GPT3_1_matmul1" || r.workload == "GPT3_2_addmm" ||
+        r.workload == "GPT3_3_lmhead") {
+      EXPECT_GT(r.ur_sa, 0.85) << r.workload;
+      EXPECT_LT(r.axon_improvement_pct, 10.0) << r.workload;
+    }
+  }
+}
+
+TEST(Fig14Test, MemoryBoundWorkloadsApproachTwofold) {
+  const auto rows = fig14_dwconv_gemv(128);
+  ASSERT_GE(rows.size(), 10u);
+  double sum = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GT(r.speedup, 1.0) << r.workload;
+    EXPECT_LE(r.speedup, 2.0) << r.workload;
+    sum += r.speedup;
+  }
+  const double avg = sum / static_cast<double>(rows.size());
+  // Paper: average 1.8x.
+  EXPECT_GT(avg, 1.5);
+  EXPECT_LE(avg, 2.0);
+}
+
+TEST(Fig11Test, ThreeByThreeLayersExceedSixtyPercent) {
+  const auto rows = fig11_memory_reduction(128);
+  int above60 = 0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.reduction_pct, 0.0) << r.workload;
+    EXPECT_LT(r.axon_loads, r.software_loads + 1) << r.workload;
+    // 3x3 stride-1 layers approach the (n-1)/n = 66.7% bound once the
+    // output row is wide enough to amortize the chain head (tiny 7x7 maps
+    // land just under 60%).
+    if (r.shape.kernel_h == 3 && r.shape.stride_h == 1 &&
+        r.shape.out_w() >= 13) {
+      EXPECT_GT(r.reduction_pct, 60.0) << r.workload;
+      ++above60;
+    }
+  }
+  EXPECT_GE(above60, 6);  // paper: "more than 60% for SOTA workloads"
+}
+
+TEST(EnergyTest, ResnetAndYoloRowsMatchPaperShape) {
+  // 16x16: the implemented chip the paper's §5.2.1 numbers refer to.
+  const EnergyRow resnet = energy_row("ResNet50", resnet50_conv_layers(), 16,
+                                      261.2, 153.5, 12.0);
+  const EnergyRow yolo =
+      energy_row("YOLOv3", yolov3_conv_layers(), 16, 2540.0, 1117.0, 170.0);
+  // Axon cuts traffic substantially for both. Paper ratios: ResNet
+  // 153.5/261.2 = 0.59, YOLO 1117/2540 = 0.44; ours land at ~0.60 / ~0.39.
+  EXPECT_LT(resnet.axon_mb_exact, resnet.baseline_mb_exact * 0.70);
+  EXPECT_GT(resnet.axon_mb_exact, resnet.baseline_mb_exact * 0.45);
+  EXPECT_LT(yolo.axon_mb_exact, yolo.baseline_mb_exact * 0.55);
+  // YOLOv3 moves several times more data than ResNet50 (paper: ~10x; our
+  // once-through accounting gives ~5x — see EXPERIMENTS.md).
+  EXPECT_GT(yolo.baseline_mb_exact, 4.0 * resnet.baseline_mb_exact);
+  // Energy savings are positive and YOLO saves much more than ResNet.
+  EXPECT_GT(resnet.saved_mj, 0.0);
+  EXPECT_GT(yolo.saved_mj, 5.0 * resnet.saved_mj);
+  // Roofline speedup from traffic reduction: paper reports ~1.25x; ours
+  // give 1.24x (ResNet) and 1.15x (YOLO) at 16x16.
+  EXPECT_GT(resnet.roofline_speedup, 1.1);
+  EXPECT_LT(resnet.roofline_speedup, 1.4);
+  EXPECT_GT(yolo.roofline_speedup, 1.05);
+  EXPECT_LT(yolo.roofline_speedup, 1.4);
+}
+
+TEST(Fig10Test, SpecsReproducePaper) {
+  const auto rows = fig10_hw_specs();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NEAR(rows[0].area_mm2, 0.9992, 1e-6);   // SA
+  EXPECT_NEAR(rows[1].area_mm2, 0.9931, 1e-6);   // Axon
+  EXPECT_NEAR(rows[2].area_mm2, 0.9951, 1e-6);   // Axon + im2col
+  EXPECT_NEAR(rows[0].power_mw, 59.88, 1e-6);
+  EXPECT_NEAR(rows[2].power_mw, 59.98, 1e-6);
+}
+
+TEST(Fig15Test, AxonBelowSauriaAtEveryPoint) {
+  for (TechNode node : {TechNode::kAsap7, TechNode::kTsmc45}) {
+    const auto rows = fig15_area_power(node, {8, 16, 32, 64, 128});
+    ASSERT_EQ(rows.size(), 10u);
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+      EXPECT_EQ(rows[i].design, "Axon_im2col");
+      EXPECT_EQ(rows[i + 1].design, "Sauria");
+      EXPECT_LT(rows[i].area_mm2, rows[i + 1].area_mm2);
+      EXPECT_LT(rows[i].power_mw, rows[i + 1].power_mw);
+    }
+  }
+}
+
+TEST(SparsityTest, TenPercentGivesPaperReduction) {
+  const auto rows = sparsity_power_sweep({0.0, 0.1, 0.2, 0.5});
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].reduction_pct, 0.0, 1e-9);
+  EXPECT_NEAR(rows[1].reduction_pct, 5.3, 0.01);  // paper §5.2.1
+  // Monotone in sparsity.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].reduction_pct, rows[i - 1].reduction_pct);
+  }
+}
+
+}  // namespace
+}  // namespace axon

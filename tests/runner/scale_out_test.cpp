@@ -1,0 +1,93 @@
+#include "runner/scale_out.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace axon {
+namespace {
+
+TEST(ScaleOutTest, ResultMatchesReferenceAcrossPartitionGrids) {
+  Rng rng(71);
+  const Matrix a = random_matrix(24, 10, rng);
+  const Matrix b = random_matrix(10, 24, rng);
+  const Matrix golden = gemm_ref(a, b);
+  for (int p : {1, 2, 3}) {
+    for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+      const ScaleOutReport r = run_gemm_scale_out(
+          {.arch = arch, .array = {4, 4}, .dataflow = Dataflow::kOS}, a, b, p,
+          p);
+      EXPECT_TRUE(r.out.approx_equal(golden, 1e-3))
+          << to_string(arch) << " " << p << "x" << p;
+      EXPECT_EQ(r.partitions, p * p);
+    }
+  }
+}
+
+TEST(ScaleOutTest, CriticalPathMatchesEquationThreeOnExactSplits) {
+  // 32x8x32 on a 2x2 grid of 8x8 arrays: every partition gets 16x8x16,
+  // exactly 2x2 tiles of 8x8 -> the cycle-accurate critical path equals
+  // eq. (3).
+  Rng rng(72);
+  const Matrix a = random_matrix(32, 8, rng);
+  const Matrix b = random_matrix(8, 32, rng);
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    const ScaleOutReport r = run_gemm_scale_out(
+        {.arch = arch, .array = {8, 8}, .dataflow = Dataflow::kOS}, a, b, 2,
+        2);
+    EXPECT_EQ(r.critical_path_cycles, r.model_cycles) << to_string(arch);
+  }
+}
+
+TEST(ScaleOutTest, MorePartitionsShortenCriticalPath) {
+  Rng rng(73);
+  const Matrix a = random_matrix(32, 6, rng);
+  const Matrix b = random_matrix(6, 32, rng);
+  const AcceleratorConfig cfg{.arch = ArchType::kAxon,
+                              .array = {4, 4},
+                              .dataflow = Dataflow::kOS};
+  const i64 c1 = run_gemm_scale_out(cfg, a, b, 1, 1).critical_path_cycles;
+  const i64 c2 = run_gemm_scale_out(cfg, a, b, 2, 2).critical_path_cycles;
+  const i64 c4 = run_gemm_scale_out(cfg, a, b, 4, 4).critical_path_cycles;
+  EXPECT_LT(c2, c1);
+  EXPECT_LT(c4, c2);
+}
+
+TEST(ScaleOutTest, AxonGainCarriesOverToScaleOut) {
+  // Paper §5: "the run-time improvement in scale-up will be reflected
+  // linearly in the scale-out as well."
+  Rng rng(74);
+  const Matrix a = random_matrix(24, 4, rng);
+  const Matrix b = random_matrix(4, 24, rng);
+  const ScaleOutReport sa = run_gemm_scale_out(
+      {.arch = ArchType::kConventionalSA, .array = {6, 6}}, a, b, 2, 2);
+  const ScaleOutReport ax = run_gemm_scale_out(
+      {.arch = ArchType::kAxon, .array = {6, 6}}, a, b, 2, 2);
+  EXPECT_LT(ax.critical_path_cycles, sa.critical_path_cycles);
+  EXPECT_TRUE(ax.out.approx_equal(sa.out, 1e-4));
+}
+
+TEST(ScaleOutTest, PartitionsBeyondWorkAreSkipped) {
+  Rng rng(75);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 3, rng);
+  const ScaleOutReport r = run_gemm_scale_out(
+      {.arch = ArchType::kAxon, .array = {4, 4}}, a, b, 8, 8);
+  EXPECT_LT(r.partitions, 64);  // empty partitions don't execute
+  EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
+}
+
+TEST(ScaleOutTest, NonOsDataflowRejected) {
+  Rng rng(76);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix b = random_matrix(4, 4, rng);
+  EXPECT_THROW(run_gemm_scale_out({.arch = ArchType::kAxon,
+                                   .array = {4, 4},
+                                   .dataflow = Dataflow::kWS},
+                                  a, b, 2, 2),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace axon

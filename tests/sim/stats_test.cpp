@@ -1,0 +1,49 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(StatsTest, AddAndGet) {
+  Stats s;
+  EXPECT_EQ(s.get("x"), 0);
+  EXPECT_FALSE(s.has("x"));
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5);
+  EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatsTest, MergeSumsCounters) {
+  Stats a, b;
+  a.add("shared", 2);
+  a.add("only_a", 1);
+  b.add("shared", 3);
+  b.add("only_b", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get("shared"), 5);
+  EXPECT_EQ(a.get("only_a"), 1);
+  EXPECT_EQ(a.get("only_b"), 7);
+}
+
+TEST(StatsTest, ClearAndDump) {
+  Stats s;
+  s.add("a", 1);
+  s.add("b", 2);
+  const std::string dump = s.to_string();
+  EXPECT_NE(dump.find("a = 1"), std::string::npos);
+  EXPECT_NE(dump.find("b = 2"), std::string::npos);
+  s.clear();
+  EXPECT_TRUE(s.all().empty());
+}
+
+TEST(StatsTest, NegativeDeltasAllowed) {
+  Stats s;
+  s.add("net", 10);
+  s.add("net", -3);
+  EXPECT_EQ(s.get("net"), 7);
+}
+
+}  // namespace
+}  // namespace axon

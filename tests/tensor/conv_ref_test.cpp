@@ -1,0 +1,98 @@
+#include "tensor/conv_ref.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/im2col.hpp"
+
+namespace axon {
+namespace {
+
+TEST(ConvRefTest, KnownAveragePool) {
+  // All-ones 3x3 filter over a constant input = 9 * value inside.
+  const ConvShape c = make_conv(1, 5, 1, 3);
+  Tensor4 in(1, 1, 5, 5, 2.0f);
+  Tensor4 f(1, 1, 3, 3, 1.0f);
+  const Tensor4 out = conv2d_ref(in, f, c);
+  EXPECT_EQ(out.h(), 3);
+  for (i64 y = 0; y < 3; ++y) {
+    for (i64 x = 0; x < 3; ++x) EXPECT_EQ(out.at(0, 0, y, x), 18.0f);
+  }
+}
+
+TEST(ConvRefTest, IdentityKernelReproducesInput) {
+  const ConvShape c = make_conv(1, 4, 1, 1);
+  Rng rng(1);
+  const Tensor4 in = random_tensor(1, 1, 4, 4, rng);
+  Tensor4 f(1, 1, 1, 1, 1.0f);
+  EXPECT_EQ(conv2d_ref(in, f, c), in);
+}
+
+// Property sweep: direct convolution must equal im2col + GEMM for every
+// combination of channels, kernel, stride, padding and groups.
+using ConvParam = std::tuple<int, int, int, int, int, int, int>;
+//                      (cin, hw, cout, k, stride, pad, groups)
+
+class ConvEquivalence : public ::testing::TestWithParam<ConvParam> {};
+
+TEST_P(ConvEquivalence, DirectMatchesIm2col) {
+  const auto [cin, hw, cout, k, stride, pad, groups] = GetParam();
+  const ConvShape c = make_conv(cin, hw, cout, k, stride, pad, groups);
+  Rng rng(99);
+  const Tensor4 in = random_tensor(2, cin, hw, hw, rng);
+  const Tensor4 f = random_tensor(cout, cin / groups, k, k, rng);
+  const Tensor4 direct = conv2d_ref(in, f, c);
+  const Tensor4 lowered = conv2d_im2col(in, f, c);
+  ASSERT_EQ(direct.size(), lowered.size());
+  for (i64 i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(direct.data()[i], lowered.data()[i]) << "at flat " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvEquivalence,
+    ::testing::Values(ConvParam{1, 6, 1, 3, 1, 0, 1},    // paper Fig. 7
+                      ConvParam{3, 8, 4, 3, 1, 1, 1},    // padded
+                      ConvParam{2, 9, 3, 3, 2, 1, 1},    // strided
+                      ConvParam{4, 7, 4, 3, 1, 1, 4},    // depthwise
+                      ConvParam{4, 6, 6, 2, 1, 0, 2},    // grouped
+                      ConvParam{1, 12, 2, 5, 3, 2, 1},   // big kernel+stride
+                      ConvParam{3, 5, 2, 1, 1, 0, 1},    // 1x1 conv
+                      ConvParam{2, 10, 2, 4, 2, 0, 2})); // even kernel
+
+TEST(ConvRefTest, ScatterRoundTripsGemmResult) {
+  const ConvShape c = make_conv(2, 5, 3, 3, 1, 1);
+  Rng rng(4);
+  const Tensor4 in = random_tensor(1, 2, 5, 5, rng);
+  const Tensor4 f = random_tensor(3, 2, 3, 3, rng);
+  const Matrix prod =
+      gemm_ref(im2col_windows(in, c), flatten_filters(f, c));
+  Tensor4 out(1, 3, 5, 5);
+  scatter_conv_output(prod, c, 0, 0, out);
+  EXPECT_EQ(out, conv2d_ref(in, f, c));
+}
+
+TEST(ConvRefTest, OneDimensionalDepthwise) {
+  // Conformer-style 1-D depthwise conv (kernel 1x5).
+  ConvShape c;
+  c.in_channels = c.out_channels = c.groups = 3;
+  c.in_h = 1;
+  c.in_w = 20;
+  c.kernel_h = 1;
+  c.kernel_w = 5;
+  c.pad_w = 2;
+  ASSERT_TRUE(c.valid());
+  Rng rng(8);
+  const Tensor4 in = random_tensor(1, 3, 1, 20, rng);
+  const Tensor4 f = random_tensor(3, 1, 1, 5, rng);
+  const Tensor4 a = conv2d_ref(in, f, c);
+  const Tensor4 b = conv2d_im2col(in, f, c);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.w(), 20);
+}
+
+}  // namespace
+}  // namespace axon

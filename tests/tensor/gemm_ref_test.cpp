@@ -1,0 +1,78 @@
+#include "tensor/gemm_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace axon {
+namespace {
+
+TEST(GemmRefTest, KnownSmallProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = gemm_ref(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(GemmRefTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 5, rng);
+  Matrix eye(5, 5);
+  for (i64 i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_TRUE(gemm_ref(a, eye).approx_equal(a, 0.0));
+  EXPECT_TRUE(gemm_ref(eye, a).approx_equal(a, 0.0));
+}
+
+TEST(GemmRefTest, RectangularShapes) {
+  Rng rng(2);
+  const Matrix a = random_matrix(3, 7, rng);
+  const Matrix b = random_matrix(7, 2, rng);
+  const Matrix c = gemm_ref(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+  // Spot-check one element against a manual dot product.
+  double acc = 0;
+  for (i64 k = 0; k < 7; ++k) acc += a.at(2, k) * b.at(k, 1);
+  EXPECT_FLOAT_EQ(c.at(2, 1), static_cast<float>(acc));
+}
+
+TEST(GemmRefTest, InnerDimMismatchRejected) {
+  EXPECT_THROW(gemm_ref(Matrix(2, 3), Matrix(4, 2)), CheckError);
+}
+
+TEST(GemvRefTest, MatchesGemm) {
+  Rng rng(3);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix x = random_matrix(4, 1, rng);
+  EXPECT_EQ(gemv_ref(a, x), gemm_ref(a, x));
+  EXPECT_THROW(gemv_ref(a, Matrix(4, 2)), CheckError);
+}
+
+TEST(GemmRefFp16Test, ExactForSmallIntegerOperands) {
+  // Small integer operands with short reductions are exact in fp16, so the
+  // fp16 pipeline must agree with the double-precision reference.
+  Rng rng(4);
+  const Matrix a = random_matrix(8, 10, rng);
+  const Matrix b = random_matrix(10, 8, rng);
+  EXPECT_TRUE(gemm_ref_fp16(a, b).approx_equal(gemm_ref(a, b), 0.0));
+}
+
+TEST(GemmRefFp16Test, RoundsLikeFp16) {
+  // 2048 + 1 is not representable in fp16 (needs 12 mantissa bits).
+  Matrix a(1, 2), b(2, 1);
+  a.at(0, 0) = 2048.0f;
+  a.at(0, 1) = 1.0f;
+  b.at(0, 0) = 1.0f;
+  b.at(1, 0) = 1.0f;
+  EXPECT_EQ(gemm_ref_fp16(a, b).at(0, 0), 2048.0f);  // RNE drops the +1
+  EXPECT_EQ(gemm_ref(a, b).at(0, 0), 2049.0f);
+}
+
+}  // namespace
+}  // namespace axon

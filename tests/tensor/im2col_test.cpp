@@ -1,0 +1,135 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace axon {
+namespace {
+
+TEST(Im2colTest, PaperFig7Example) {
+  // 6x6 IFMAP, 3x3 filter, no padding, stride 1 -> 4x4 = 16 windows of 9
+  // elements; 18 unique elements appear in the first output row's windows.
+  const ConvShape c = make_conv(1, 6, 1, 3);
+  Tensor4 in(1, 1, 6, 6);
+  for (i64 i = 0; i < 36; ++i) in.data()[i] = static_cast<float>(i);
+  const Matrix w = im2col_windows(in, c);
+  EXPECT_EQ(w.rows(), 16);
+  EXPECT_EQ(w.cols(), 9);
+  // Window 0 covers rows 0..2, cols 0..2.
+  const float expect0[9] = {0, 1, 2, 6, 7, 8, 12, 13, 14};
+  for (i64 k = 0; k < 9; ++k) EXPECT_EQ(w.at(0, k), expect0[k]);
+  // Window 1 slides one column right; shares 6 = n(n-1) elements with w0.
+  int shared = 0;
+  for (i64 k = 0; k < 9; ++k) {
+    for (i64 l = 0; l < 9; ++l) {
+      if (w.at(1, k) == w.at(0, l)) { ++shared; break; }
+    }
+  }
+  EXPECT_EQ(shared, 6);
+}
+
+TEST(Im2colTest, PaddingProducesZeros) {
+  const ConvShape c = make_conv(1, 4, 1, 3, 1, 1);
+  Tensor4 in(1, 1, 4, 4, 1.0f);
+  const Matrix w = im2col_windows(in, c);
+  EXPECT_EQ(w.rows(), 16);
+  // Window 0 is the top-left corner: its first row and column are padding.
+  EXPECT_EQ(w.at(0, 0), 0.0f);  // (ky=0,kx=0) out of bounds
+  EXPECT_EQ(w.at(0, 4), 1.0f);  // center in bounds
+}
+
+TEST(Im2colTest, StrideSkipsWindows) {
+  const ConvShape c = make_conv(1, 8, 1, 2, 2, 0);
+  Tensor4 in(1, 1, 8, 8);
+  for (i64 i = 0; i < 64; ++i) in.data()[i] = static_cast<float>(i);
+  const Matrix w = im2col_windows(in, c);
+  EXPECT_EQ(w.rows(), 16);  // 4x4 outputs
+  EXPECT_EQ(w.at(1, 0), 2.0f);  // second window starts at column 2
+}
+
+TEST(Im2colTest, MultiChannelOrderIsChannelMajor) {
+  const ConvShape c = make_conv(2, 3, 1, 2);
+  Tensor4 in(1, 2, 3, 3);
+  for (i64 i = 0; i < 18; ++i) in.data()[i] = static_cast<float>(i);
+  const Matrix w = im2col_windows(in, c);
+  EXPECT_EQ(w.cols(), 8);  // 2 channels x 2x2 kernel
+  // First 4 entries: channel 0 window; next 4: channel 1.
+  EXPECT_EQ(w.at(0, 0), 0.0f);
+  EXPECT_EQ(w.at(0, 3), 4.0f);
+  EXPECT_EQ(w.at(0, 4), 9.0f);   // channel 1 starts at flat index 9
+  EXPECT_EQ(w.at(0, 7), 13.0f);
+}
+
+TEST(Im2colTest, GroupsSelectChannelSlices) {
+  const ConvShape c = make_conv(4, 3, 4, 2, 1, 0, 2);
+  Rng rng(5);
+  const Tensor4 in = random_tensor(1, 4, 3, 3, rng);
+  const Matrix g0 = im2col_windows(in, c, 0, 0);
+  const Matrix g1 = im2col_windows(in, c, 0, 1);
+  EXPECT_EQ(g0.cols(), 8);  // 2 channels per group x 2x2
+  // Group 1's first element comes from channel 2.
+  EXPECT_EQ(g1.at(0, 0), in.at(0, 2, 0, 0));
+  EXPECT_EQ(g0.at(0, 0), in.at(0, 0, 0, 0));
+}
+
+TEST(FlattenFiltersTest, LayoutMatchesWindows) {
+  const ConvShape c = make_conv(2, 4, 3, 2);
+  Rng rng(6);
+  const Tensor4 f = random_tensor(3, 2, 2, 2, rng);
+  const Matrix flat = flatten_filters(f, c);
+  EXPECT_EQ(flat.rows(), 8);
+  EXPECT_EQ(flat.cols(), 3);
+  // Row order is (channel, ky, kx): row 5 = (c=1, ky=0, kx=1).
+  EXPECT_EQ(flat.at(5, 2), f.at(2, 1, 0, 1));
+}
+
+TEST(Im2colTest, ElementCountFormula) {
+  const ConvShape c = make_conv(16, 14, 32, 3, 1, 1);
+  EXPECT_EQ(im2col_element_count(c), i64{14} * 14 * 9 * 16);
+  const ConvShape dw = make_conv(8, 10, 8, 3, 1, 0, 8);
+  EXPECT_EQ(im2col_element_count(dw), i64{8} * 8 * 9 * 8);
+}
+
+TEST(Im2colTest, UniqueElementsNoPadStride1CoversAll) {
+  const ConvShape c = make_conv(3, 8, 4, 3);
+  // Every input element is touched by some window when kernel>=stride.
+  EXPECT_EQ(unique_ifmap_elements(c), i64{3} * 8 * 8);
+}
+
+TEST(Im2colTest, UniqueElementsLargeStrideSkipsInput) {
+  const ConvShape c = make_conv(1, 9, 1, 2, 4, 0);
+  // Windows at columns {0,1}, {4,5}, {8}: wait out_w = (9-2)/4+1 = 2, so
+  // columns {0,1} and {4,5} -> 4 of 9 columns covered per axis.
+  EXPECT_EQ(c.out_w(), 2);
+  EXPECT_EQ(unique_ifmap_elements(c), 16);  // 4 rows x 4 cols
+}
+
+TEST(Im2colTest, UniqueElementsMatchBruteForce) {
+  // Property: closed-form unique count equals a brute-force coverage scan.
+  for (const ConvShape& c :
+       {make_conv(2, 7, 3, 3, 2, 1), make_conv(1, 9, 1, 4, 3, 2),
+        make_conv(3, 6, 2, 3, 1, 0), make_conv(1, 8, 1, 5, 2, 0)}) {
+    std::vector<char> touched(static_cast<std::size_t>(c.in_h * c.in_w), 0);
+    for (int oy = 0; oy < c.out_h(); ++oy) {
+      for (int ox = 0; ox < c.out_w(); ++ox) {
+        for (int ky = 0; ky < c.kernel_h; ++ky) {
+          for (int kx = 0; kx < c.kernel_w; ++kx) {
+            const int iy = oy * c.stride_h - c.pad_h + ky;
+            const int ix = ox * c.stride_w - c.pad_w + kx;
+            if (iy >= 0 && iy < c.in_h && ix >= 0 && ix < c.in_w) {
+              touched[static_cast<std::size_t>(iy * c.in_w + ix)] = 1;
+            }
+          }
+        }
+      }
+    }
+    i64 count = 0;
+    for (char t : touched) count += t;
+    EXPECT_EQ(unique_ifmap_elements(c), count * c.in_channels)
+        << "shape " << c;
+  }
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,65 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace axon {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (i64 i = 0; i < 3; ++i) {
+    for (i64 j = 0; j < 4; ++j) EXPECT_EQ(m.at(i, j), 2.5f);
+  }
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 9.0f;
+  EXPECT_EQ(m.data()[5], 9.0f);
+  m.at(0, 1) = 4.0f;
+  EXPECT_EQ(m.data()[1], 4.0f);
+}
+
+TEST(MatrixTest, CountZeros) {
+  Matrix m(2, 2, 0.0f);
+  EXPECT_EQ(m.count_zeros(), 4);
+  m.at(0, 0) = 1.0f;
+  EXPECT_EQ(m.count_zeros(), 3);
+}
+
+TEST(MatrixTest, MaxAbsDiffAndApproxEqual) {
+  Matrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b.at(1, 1) = 1.5f;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  EXPECT_FALSE(a.approx_equal(b, 0.1));
+  EXPECT_TRUE(a.approx_equal(b, 0.6));
+  EXPECT_FALSE(a.approx_equal(Matrix(2, 3)));  // shape mismatch
+}
+
+TEST(MatrixTest, EqualityIsElementwise) {
+  Matrix a(2, 2, 3.0f), b(2, 2, 3.0f);
+  EXPECT_EQ(a, b);
+  b.at(0, 1) = 0.0f;
+  EXPECT_NE(a, b);
+}
+
+TEST(MatrixTest, RandomMatrixIsDeterministic) {
+  Rng r1(5), r2(5);
+  EXPECT_EQ(random_matrix(4, 4, r1), random_matrix(4, 4, r2));
+}
+
+TEST(MatrixTest, RandomSparseMatrixHitsFraction) {
+  Rng rng(3);
+  Matrix m = random_sparse_matrix(100, 100, 0.4, rng);
+  const double frac = static_cast<double>(m.count_zeros()) / 10000.0;
+  EXPECT_NEAR(frac, 0.4, 0.03);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,67 @@
+#include "tensor/sparsity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace axon {
+namespace {
+
+TEST(SparsityTest, ZeroFraction) {
+  Matrix m(2, 2, 1.0f);
+  EXPECT_DOUBLE_EQ(zero_fraction(m), 0.0);
+  m.at(0, 0) = 0.0f;
+  m.at(1, 1) = 0.0f;
+  EXPECT_DOUBLE_EQ(zero_fraction(m), 0.5);
+  EXPECT_DOUBLE_EQ(zero_fraction(Matrix()), 0.0);
+}
+
+TEST(SparsityTest, SparsifyReachesTarget) {
+  Rng rng(1);
+  Matrix m(50, 50, 1.0f);
+  sparsify(m, 0.1, rng);
+  EXPECT_NEAR(zero_fraction(m), 0.1, 0.001);
+  sparsify(m, 0.5, rng);
+  EXPECT_NEAR(zero_fraction(m), 0.5, 0.001);
+  // Already sparser than target: no-op.
+  sparsify(m, 0.2, rng);
+  EXPECT_NEAR(zero_fraction(m), 0.5, 0.001);
+}
+
+TEST(SparsityTest, ExpectedGatedFraction) {
+  EXPECT_DOUBLE_EQ(expected_gated_fraction(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_gated_fraction(1.0, 0.0), 1.0);
+  EXPECT_NEAR(expected_gated_fraction(0.1, 0.1), 0.19, 1e-12);
+  EXPECT_NEAR(expected_gated_fraction(0.1, 0.0), 0.1, 1e-12);
+}
+
+TEST(SparsityTest, ExactGatedMacsMatchesBruteForce) {
+  Rng rng(2);
+  const Matrix a = random_sparse_matrix(7, 9, 0.3, rng);
+  const Matrix b = random_sparse_matrix(9, 5, 0.2, rng);
+  i64 brute = 0;
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 k = 0; k < a.cols(); ++k) {
+      for (i64 j = 0; j < b.cols(); ++j) {
+        if (a.at(i, k) == 0.0f || b.at(k, j) == 0.0f) ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(exact_gated_macs(a, b), brute);
+}
+
+TEST(SparsityTest, DenseOperandsGateNothing) {
+  Rng rng(3);
+  const Matrix a = random_sparse_matrix(6, 6, 0.0, rng);
+  const Matrix b = random_sparse_matrix(6, 6, 0.0, rng);
+  EXPECT_EQ(exact_gated_macs(a, b), 0);
+}
+
+TEST(SparsityTest, AllZeroOperandGatesEverything) {
+  Matrix a(4, 4, 0.0f);
+  Matrix b(4, 4, 1.0f);
+  EXPECT_EQ(exact_gated_macs(a, b), 64);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,34 @@
+#include "tensor/tensor4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace axon {
+namespace {
+
+TEST(Tensor4Test, IndexingIsNchw) {
+  Tensor4 t(2, 3, 4, 5);
+  EXPECT_EQ(t.size(), 120);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t.data()[119], 7.0f);
+  t.at(0, 0, 0, 1) = 3.0f;
+  EXPECT_EQ(t.data()[1], 3.0f);
+}
+
+TEST(Tensor4Test, PaddedReadsReturnZeroOutside) {
+  Tensor4 t(1, 1, 2, 2, 5.0f);
+  EXPECT_EQ(t.at_padded(0, 0, -1, 0), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 0, 0, -1), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 0, 2, 0), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 0, 0, 2), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 0, 1, 1), 5.0f);
+}
+
+TEST(Tensor4Test, RandomTensorDeterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(random_tensor(1, 2, 3, 4, a), random_tensor(1, 2, 3, 4, b));
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,80 @@
+#include "workloads/convnets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(Resnet50Test, LayerTableShapesChain) {
+  const auto layers = resnet50_conv_layers();
+  EXPECT_GE(layers.size(), 25u);
+  for (const auto& l : layers) {
+    EXPECT_TRUE(l.shape.valid()) << l.name;
+    EXPECT_GE(l.repeats, 1) << l.name;
+  }
+  // Stem: 224 -> 112.
+  EXPECT_EQ(layers.front().shape.out_h(), 112);
+}
+
+TEST(Resnet50Test, TotalMacsNearPublishedCount) {
+  // He et al. report "3.8 billion FLOPs (multiply-adds)" for ResNet50 at
+  // 224x224; our conv-layer table sums to ~3.86 GMACs.
+  const i64 macs = total_macs(resnet50_conv_layers());
+  EXPECT_GT(macs, i64{3'400'000'000});
+  EXPECT_LT(macs, i64{4'200'000'000});
+}
+
+TEST(Yolov3Test, TotalMacsNearPublishedCount) {
+  // YOLOv3 at 416x416: ~32.8 GMACs (65.86 GFLOPs).
+  const i64 macs = total_macs(yolov3_conv_layers());
+  EXPECT_GT(macs, i64{25'000'000'000});
+  EXPECT_LT(macs, i64{40'000'000'000});
+}
+
+TEST(Yolov3Test, DetectionHeadsPresent) {
+  const auto layers = yolov3_conv_layers();
+  int det = 0;
+  for (const auto& l : layers) {
+    if (l.shape.out_channels == 255) ++det;
+  }
+  EXPECT_EQ(det, 3);  // three scales
+}
+
+TEST(MobilenetDwTest, AllDepthwise) {
+  const auto layers = mobilenet_dw_layers();
+  EXPECT_GE(layers.size(), 9u);
+  for (const auto& l : layers) {
+    EXPECT_TRUE(l.shape.depthwise()) << l.name;
+    EXPECT_EQ(l.shape.kernel_h, 3) << l.name;
+  }
+}
+
+TEST(ConformerDwTest, OneDimensionalKernel31) {
+  const auto layers = conformer_dw_layers();
+  ASSERT_EQ(layers.size(), 1u);
+  EXPECT_TRUE(layers[0].shape.depthwise());
+  EXPECT_EQ(layers[0].shape.kernel_w, 31);
+  EXPECT_EQ(layers[0].shape.out_w(), 1500);  // same-padded
+}
+
+TEST(Fig11ShapesTest, AllValidAndMostlyThreeByThree) {
+  const auto shapes = fig11_conv_shapes();
+  EXPECT_GE(shapes.size(), 8u);
+  int k3 = 0;
+  for (const auto& s : shapes) {
+    EXPECT_TRUE(s.shape.valid()) << s.name;
+    if (s.shape.kernel_h == 3) ++k3;
+  }
+  EXPECT_GE(k3, 6);
+}
+
+TEST(TotalMacsTest, RespectsRepeats) {
+  std::vector<ConvWorkload> two = {
+      {"a", make_conv(1, 4, 1, 3), 1},
+      {"b", make_conv(1, 4, 1, 3), 3},
+  };
+  EXPECT_EQ(total_macs(two), 4 * two[0].shape.macs());
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,68 @@
+#include "workloads/table3.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(Table3Test, HasAllTwentyWorkloads) {
+  const auto w = table3_workloads();
+  EXPECT_EQ(w.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& x : w) {
+    EXPECT_TRUE(x.shape.valid()) << x.name;
+    names.insert(x.name);
+  }
+  EXPECT_EQ(names.size(), w.size());  // no duplicates
+}
+
+TEST(Table3Test, SpotCheckPaperValues) {
+  const auto w = table3_workloads();
+  EXPECT_EQ(find_workload(w, "TF0").shape, (GemmShape{31999, 84, 1024}));
+  EXPECT_EQ(find_workload(w, "GPT3_3_lmhead").shape,
+            (GemmShape{1024, 2560, 50257}));
+  EXPECT_EQ(find_workload(w, "NCF0").shape, (GemmShape{2048, 128, 1}));
+  EXPECT_EQ(find_workload(w, "DB0").shape, (GemmShape{1024, 50000, 16}));
+  EXPECT_EQ(find_workload(w, "Resnet50_0_conv2d").shape,
+            (GemmShape{64, 147, 62500}));
+  EXPECT_EQ(find_workload(w, "YOLO_v3_1_conv2d").shape,
+            (GemmShape{128, 576, 10404}));
+  EXPECT_EQ(find_workload(w, "GEMM_3").shape, (GemmShape{64, 2560, 2560}));
+}
+
+TEST(Table3Test, ConvRowsMatchLoweredLayers) {
+  // Resnet50_1_conv2d: 512 filters over 512x3x3 = 4608 with 26x26 = 676
+  // output pixels; YOLO_v3_0: 64 filters over 32x3x3 = 288, 206x206 = 42436.
+  const auto w = table3_workloads();
+  const GemmShape r1 = find_workload(w, "Resnet50_1_conv2d").shape;
+  EXPECT_EQ(r1.K, 512 * 9);
+  EXPECT_EQ(r1.N, 26 * 26);
+  const GemmShape y0 = find_workload(w, "YOLO_v3_0_conv2d").shape;
+  EXPECT_EQ(y0.K, 32 * 9);
+  EXPECT_EQ(y0.N, 206 * 206);
+}
+
+TEST(Table3Test, GemvWorkloadsAreVectors) {
+  for (const auto& w : gemv_workloads()) {
+    EXPECT_EQ(w.shape.N, 1) << w.name;
+    EXPECT_TRUE(w.shape.valid());
+  }
+  EXPECT_GE(gemv_workloads().size(), 4u);
+}
+
+TEST(Table3Test, ConformerSetValid) {
+  for (const auto& w : conformer_gemm_workloads()) {
+    EXPECT_TRUE(w.shape.valid()) << w.name;
+  }
+}
+
+TEST(Table3Test, FindMissingThrows) {
+  EXPECT_THROW(find_workload(table3_workloads(), "nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace axon

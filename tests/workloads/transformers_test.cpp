@@ -1,0 +1,44 @@
+#include "workloads/transformers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace axon {
+namespace {
+
+TEST(BertGemmsTest, ShapesScaleWithSequenceLength) {
+  const auto s384 = bert_base_gemms(384);
+  const auto s128 = bert_base_gemms(128);
+  ASSERT_EQ(s384.size(), s128.size());
+  for (const auto& w : s384) EXPECT_TRUE(w.shape.valid()) << w.name;
+  // QKV projection: (S x 768) * (768 x 2304).
+  EXPECT_EQ(s384[0].shape, (GemmShape{384, 768, 3 * 768}));
+  EXPECT_EQ(s128[0].shape.M, 128);
+  // Attention scores are S x S.
+  EXPECT_EQ(s384[1].shape.N, 384);
+  EXPECT_THROW(bert_base_gemms(0), CheckError);
+}
+
+TEST(Gpt2GemmsTest, IncludesLmHead) {
+  const auto g = gpt2_gemms(1024);
+  bool found = false;
+  for (const auto& w : g) {
+    EXPECT_TRUE(w.shape.valid()) << w.name;
+    if (w.name == "gpt2_lmhead") {
+      found = true;
+      EXPECT_EQ(w.shape.N, 50257);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DecodeGemvTest, AllVectorShaped) {
+  for (const auto& w : decode_gemv_set()) {
+    EXPECT_EQ(w.shape.N, 1) << w.name;
+    EXPECT_TRUE(w.shape.valid()) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace axon
