@@ -1,0 +1,96 @@
+// Serving-subsystem throughput study: batch-size and pool-size sweeps on
+// the ResNet50 and transformer mixes (simulated cycles), plus wall-clock
+// microbenchmarks of the serving simulator itself — including the
+// multi-threaded worker pool against the single-threaded baseline.
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "serve/pool.hpp"
+#include "serve/request.hpp"
+
+using namespace axon;
+using namespace axon::serve;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 404;
+
+RequestQueue trace_for(const std::vector<GemmWorkload>& mix, int n,
+                       double gap) {
+  Rng rng(kSeed);
+  return generate_trace(mix, {n, gap}, rng);
+}
+
+PoolConfig config(int accelerators, int max_batch) {
+  PoolConfig cfg;
+  cfg.accelerator = {.arch = ArchType::kAxon, .array = {32, 32}};
+  cfg.num_accelerators = accelerators;
+  cfg.batching = {max_batch, 20000};
+  return cfg;
+}
+
+void sweep(std::ostream& os, const std::string& name,
+           const std::vector<GemmWorkload>& mix) {
+  Table t({"accelerators", "max_batch", "p50", "p95", "p99", "req/Mcycle",
+           "util_%"});
+  for (int pool : {1, 2, 4, 8}) {
+    for (int mb : {1, 8}) {
+      const ServeReport r =
+          AcceleratorPool(config(pool, mb)).serve(trace_for(mix, 192, 20000.0));
+      t.row()
+          .cell(pool)
+          .cell(mb)
+          .cell(r.latency.percentile(50))
+          .cell(r.latency.percentile(95))
+          .cell(r.latency.percentile(99))
+          .cell(r.throughput_per_mcycle(), 2)
+          .cell(100.0 * r.fleet_utilization(), 1);
+    }
+  }
+  t.print(os, name + " serving sweep (192 requests, FIFO)");
+  os << "\n";
+}
+
+void print_tables(std::ostream& os) {
+  sweep(os, "ResNet50", resnet50_serve_mix());
+  sweep(os, "BERT-base", transformer_serve_mix());
+}
+
+void bench_serve_analytical(benchmark::State& state) {
+  PoolConfig cfg = config(4, 8);
+  for (auto _ : state) {
+    const ServeReport r = AcceleratorPool(cfg).serve(
+        trace_for(mixed_serve_mix(), 128, 20000.0));
+    benchmark::DoNotOptimize(r.makespan_cycles);
+  }
+}
+BENCHMARK(bench_serve_analytical)->Unit(benchmark::kMillisecond);
+
+void bench_serve_cycle_accurate(benchmark::State& state) {
+  // Wall-clock scaling of the worker pool on the cycle-accurate simulator;
+  // arg is the thread count. Simulated cycles are identical across args —
+  // only wall time changes.
+  const std::vector<GemmWorkload> mix = {{"s", {8, 16, 16}},
+                                         {"m", {16, 16, 16}}};
+  PoolConfig cfg = config(4, 4);
+  cfg.accelerator.array = {8, 8};
+  cfg.exec = ExecMode::kCycleAccurate;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const ServeReport r =
+        AcceleratorPool(cfg).serve(trace_for(mix, 48, 200.0));
+    benchmark::DoNotOptimize(r.makespan_cycles);
+  }
+}
+BENCHMARK(bench_serve_cycle_accurate)
+    ->Arg(1)
+    ->Arg(static_cast<long>(
+        std::max(1u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axon::bench::run(argc, argv, print_tables);
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure, build, test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+# An explicit job count keeps this working on ctest < 3.29, where -j
+# requires a value.
+cd build && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"

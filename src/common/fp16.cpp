@@ -1,16 +1,28 @@
 #include "common/fp16.hpp"
 
-#include <bit>
 #include <cstring>
 
 namespace axon {
 
 namespace {
 constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+
+// C++17 stand-in for std::bit_cast (memcpy compiles to a register move).
+std::uint32_t float_bits(float v) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
 }  // namespace
 
 std::uint16_t float_to_fp16_bits(float v) {
-  const auto f = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t f = float_bits(v);
   const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
   const std::uint32_t abs = f & ~kF32SignMask;
 
@@ -88,7 +100,7 @@ float fp16_bits_to_float(std::uint16_t bits) {
   } else {
     f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
   }
-  return std::bit_cast<float>(f);
+  return bits_float(f);
 }
 
 float fp16_round(float v) { return fp16_bits_to_float(float_to_fp16_bits(v)); }

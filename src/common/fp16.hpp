@@ -24,7 +24,10 @@ class Fp16 {
   [[nodiscard]] float to_float() const { return fp16_bits_to_float(bits_); }
   [[nodiscard]] std::uint16_t bits() const { return bits_; }
 
-  friend bool operator==(const Fp16&, const Fp16&) = default;
+  friend bool operator==(const Fp16& a, const Fp16& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const Fp16& a, const Fp16& b) { return !(a == b); }
 
  private:
   std::uint16_t bits_ = 0;

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for coarse-grained simulation jobs (whole tiles,
+// partitions, or serve-layer batches). Results come back through
+// std::future, so callers decide exactly when to synchronize — the serving
+// simulator exploits that to keep its simulated timeline deterministic
+// while the cycle-accurate work runs on however many cores are available.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace axon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface at future.get().
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      AXON_CHECK(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace axon

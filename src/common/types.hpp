@@ -44,7 +44,12 @@ struct ArrayShape {
   /// Number of PEs that sit on the principal diagonal (Axon feeder PEs).
   [[nodiscard]] int diagonal_pes() const { return rows < cols ? rows : cols; }
 
-  friend bool operator==(const ArrayShape&, const ArrayShape&) = default;
+  friend bool operator==(const ArrayShape& a, const ArrayShape& b) {
+    return a.rows == b.rows && a.cols == b.cols;
+  }
+  friend bool operator!=(const ArrayShape& a, const ArrayShape& b) {
+    return !(a == b);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const ArrayShape& s);
@@ -62,7 +67,12 @@ struct GemmShape {
   [[nodiscard]] i64 b_elems() const { return K * N; }
   [[nodiscard]] i64 c_elems() const { return M * N; }
 
-  friend bool operator==(const GemmShape&, const GemmShape&) = default;
+  friend bool operator==(const GemmShape& a, const GemmShape& b) {
+    return a.M == b.M && a.K == b.K && a.N == b.N;
+  }
+  friend bool operator!=(const GemmShape& a, const GemmShape& b) {
+    return !(a == b);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const GemmShape& s);
@@ -98,7 +108,16 @@ struct ConvShape {
   ///   M = out_channels/groups, K = (in_channels/groups)*kh*kw, N = oh*ow.
   [[nodiscard]] GemmShape as_gemm() const;
 
-  friend bool operator==(const ConvShape&, const ConvShape&) = default;
+  friend bool operator==(const ConvShape& a, const ConvShape& b) {
+    return a.in_channels == b.in_channels && a.in_h == b.in_h &&
+           a.in_w == b.in_w && a.out_channels == b.out_channels &&
+           a.kernel_h == b.kernel_h && a.kernel_w == b.kernel_w &&
+           a.stride_h == b.stride_h && a.stride_w == b.stride_w &&
+           a.pad_h == b.pad_h && a.pad_w == b.pad_w && a.groups == b.groups;
+  }
+  friend bool operator!=(const ConvShape& a, const ConvShape& b) {
+    return !(a == b);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const ConvShape& s);

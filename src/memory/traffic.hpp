@@ -29,7 +29,13 @@ struct Traffic {
   }
 
   friend Traffic operator+(Traffic a, const Traffic& b) { return a += b; }
-  friend bool operator==(const Traffic&, const Traffic&) = default;
+  friend bool operator==(const Traffic& a, const Traffic& b) {
+    return a.ifmap_bytes == b.ifmap_bytes && a.filter_bytes == b.filter_bytes &&
+           a.ofmap_bytes == b.ofmap_bytes;
+  }
+  friend bool operator!=(const Traffic& a, const Traffic& b) {
+    return !(a == b);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const Traffic& t);

@@ -13,7 +13,12 @@ struct SpatioTemporal {
   i64 S_C = 0;  ///< mapped along array columns
   i64 T = 0;    ///< temporal dimension (MACs per PE)
 
-  friend bool operator==(const SpatioTemporal&, const SpatioTemporal&) = default;
+  friend bool operator==(const SpatioTemporal& a, const SpatioTemporal& b) {
+    return a.S_R == b.S_R && a.S_C == b.S_C && a.T == b.T;
+  }
+  friend bool operator!=(const SpatioTemporal& a, const SpatioTemporal& b) {
+    return !(a == b);
+  }
 };
 
 /// OS: (M, N, K) — WS: (K, M, N) — IS: (K, N, M).

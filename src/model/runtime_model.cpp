@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "model/im2col_traffic.hpp"
 
 namespace axon {
 
@@ -110,6 +111,19 @@ RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
   out.cycles = one.cycles * conv.in_channels;
   out.tiles = one.tiles * conv.in_channels;
   return out;
+}
+
+i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle) {
+  if (dram_bytes_per_cycle <= 0) return 0;
+  return ceil_div(gemm_dram_traffic(g).total(), dram_bytes_per_cycle);
+}
+
+i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,
+                        const ArrayShape& array, i64 dram_bytes_per_cycle) {
+  AXON_CHECK(merged.valid(), "batched GEMM shape invalid: ", merged);
+  const i64 compute = scale_up_runtime(arch, df, merged, array).cycles;
+  const i64 transfer = gemm_transfer_cycles(merged, dram_bytes_per_cycle);
+  return compute > transfer ? compute : transfer;
 }
 
 ShapeSearchResult best_array_shape(ArchType arch, const GemmShape& g,

@@ -62,6 +62,31 @@ RuntimeResult best_dataflow_runtime(ArchType arch, const GemmShape& g,
 RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
                              const ArrayShape& array, bool pipelined);
 
+/// Serving-layer cost entry point: cycles for one (possibly batched) GEMM
+/// dispatch on a single array with a fixed dataflow. Dynamic batching
+/// concatenates requests that share (K, N) — same weights, different
+/// inputs — along M, so the batch runs as one scale-up GEMM (merged.M =
+/// sum of member Ms).
+///
+/// The cost is a roofline: max(compute, DRAM transfer). Compute is the
+/// scale-up equation; transfer streams A (M*K activations), B (K*N
+/// weights, once per dispatch) and C (M*N results) at
+/// `dram_bytes_per_cycle`. The weight term is why batching pays: a
+/// single small-M request (e.g. one-token transformer decode, M = 1) is
+/// transfer-bound on its K*N weight matrix, and M-concatenation amortizes
+/// that one stream over every member. `dram_bytes_per_cycle <= 0` models
+/// infinite bandwidth (compute-only, the pre-serving behaviour).
+i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,
+                        const ArrayShape& array,
+                        i64 dram_bytes_per_cycle = 0);
+
+/// The transfer leg of that roofline on its own: cycles to stream A, B and
+/// C once at `dram_bytes_per_cycle`; 0 when bandwidth is <= 0 (infinite).
+/// Exposed so execution modes that obtain compute cycles elsewhere (the
+/// cycle-accurate simulator) price memory identically to the analytical
+/// mode.
+i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle);
+
 /// Design-space search: among all power-of-two R x C shapes with
 /// R * C <= pe_budget, the shape minimizing the best-dataflow scale-up
 /// runtime for the workload. Axon's max(R, C) fill term penalizes

@@ -1,18 +1,51 @@
 #include "runner/scale_out.hpp"
 
 #include <algorithm>
+#include <future>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "model/runtime_model.hpp"
 
 namespace axon {
 
+namespace {
+
+struct PartitionJob {
+  i64 m0 = 0, mn = 0;       ///< row offset / count of the output block
+  i64 n0 = 0, nn = 0;       ///< col offset / count
+  std::size_t a_slice = 0;  ///< index into the shared per-row A slices
+};
+
+struct PartitionResult {
+  Matrix out;
+  i64 cycles = 0;
+};
+
+PartitionResult run_partition(const AcceleratorConfig& config,
+                              const Matrix& a_part, const Matrix& b,
+                              const PartitionJob& job) {
+  const i64 K = b.rows();
+  Matrix b_part(K, job.nn);
+  for (i64 k = 0; k < K; ++k) {
+    for (i64 j = 0; j < job.nn; ++j) b_part.at(k, j) = b.at(k, job.n0 + j);
+  }
+  Accelerator acc(config);
+  RunReport r = acc.run_gemm(a_part, b_part);
+  return {std::move(r.out), r.cycles};
+}
+
+}  // namespace
+
 ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
                                   const Matrix& a, const Matrix& b,
-                                  int partitions_rows, int partitions_cols) {
+                                  int partitions_rows, int partitions_cols,
+                                  int num_threads) {
   AXON_CHECK(a.cols() == b.rows(), "GEMM inner-dim mismatch");
   AXON_CHECK(partitions_rows > 0 && partitions_cols > 0,
              "partition counts must be positive");
+  AXON_CHECK(num_threads > 0, "thread count must be positive");
   AXON_CHECK(config.dataflow == Dataflow::kOS,
              "scale-out driver implements the OS split (M x N)");
 
@@ -20,9 +53,12 @@ ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
   const i64 m_chunk = ceil_div(g.M, partitions_rows);
   const i64 n_chunk = ceil_div(g.N, partitions_cols);
 
-  ScaleOutReport report;
-  report.out = Matrix(g.M, g.N);
-
+  // Enumerate the non-empty partitions up front; each is an independent
+  // pure job, so execution order never affects the stitched result. The A
+  // row-slice is shared (read-only) across a whole partition row instead
+  // of being re-copied per column partition.
+  std::vector<Matrix> a_slices;
+  std::vector<PartitionJob> jobs;
   for (int pr = 0; pr < partitions_rows; ++pr) {
     const i64 m0 = pr * m_chunk;
     if (m0 >= g.M) continue;
@@ -31,25 +67,47 @@ ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
     for (i64 i = 0; i < mn; ++i) {
       for (i64 k = 0; k < g.K; ++k) a_part.at(i, k) = a.at(m0 + i, k);
     }
+    a_slices.push_back(std::move(a_part));
     for (int pc = 0; pc < partitions_cols; ++pc) {
       const i64 n0 = pc * n_chunk;
       if (n0 >= g.N) continue;
       const i64 nn = std::min(n_chunk, g.N - n0);
-      Matrix b_part(g.K, nn);
-      for (i64 k = 0; k < g.K; ++k) {
-        for (i64 j = 0; j < nn; ++j) b_part.at(k, j) = b.at(k, n0 + j);
-      }
+      jobs.push_back({m0, mn, n0, nn, a_slices.size() - 1});
+    }
+  }
 
-      Accelerator acc(config);
-      const RunReport r = acc.run_gemm(a_part, b_part);
-      ++report.partitions;
-      report.total_partition_cycles += r.cycles;
-      report.critical_path_cycles =
-          std::max(report.critical_path_cycles, r.cycles);
-      for (i64 i = 0; i < mn; ++i) {
-        for (i64 j = 0; j < nn; ++j) {
-          report.out.at(m0 + i, n0 + j) = r.out.at(i, j);
-        }
+  std::vector<PartitionResult> results(jobs.size());
+  if (num_threads == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_partition(config, a_slices[jobs[i].a_slice], b, jobs[i]);
+    }
+  } else {
+    ThreadPool pool(num_threads);
+    std::vector<std::future<PartitionResult>> futures;
+    futures.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      const Matrix& a_part = a_slices[job.a_slice];
+      futures.push_back(pool.submit([&config, &a_part, &b, job] {
+        return run_partition(config, a_part, b, job);
+      }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      results[i] = futures[i].get();
+    }
+  }
+
+  ScaleOutReport report;
+  report.out = Matrix(g.M, g.N);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PartitionJob& job = jobs[i];
+    const PartitionResult& r = results[i];
+    ++report.partitions;
+    report.total_partition_cycles += r.cycles;
+    report.critical_path_cycles =
+        std::max(report.critical_path_cycles, r.cycles);
+    for (i64 row = 0; row < job.mn; ++row) {
+      for (i64 col = 0; col < job.nn; ++col) {
+        report.out.at(job.m0 + row, job.n0 + col) = r.out.at(row, col);
       }
     }
   }

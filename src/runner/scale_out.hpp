@@ -22,9 +22,13 @@ struct ScaleOutReport {
 
 /// Runs C = A * B on a `partitions_rows x partitions_cols` grid of
 /// `config.array` arrays (OS dataflow: M split across partition rows, N
-/// across partition columns).
+/// across partition columns). Partitions are independent, so with
+/// `num_threads > 1` they simulate concurrently on a worker pool; results
+/// (stitched product and all cycle counts) are identical for any thread
+/// count because each partition is a pure function of its operand slices.
 ScaleOutReport run_gemm_scale_out(const AcceleratorConfig& config,
                                   const Matrix& a, const Matrix& b,
-                                  int partitions_rows, int partitions_cols);
+                                  int partitions_rows, int partitions_cols,
+                                  int num_threads = 1);
 
 }  // namespace axon

@@ -1,0 +1,80 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace axon::serve {
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
+  AXON_CHECK(policy_.max_batch >= 1, "max_batch must be >= 1");
+  AXON_CHECK(policy_.max_wait_cycles >= 0, "max_wait_cycles must be >= 0");
+}
+
+void DynamicBatcher::close_group(Group&& group, i64 ready_cycle) {
+  Batch b;
+  b.gemm = group.members.front().gemm;
+  b.gemm.M = 0;
+  for (const auto& r : group.members) b.gemm.M += r.gemm.M;
+  b.requests = std::move(group.members);
+  b.ready_cycle = ready_cycle;
+  ready_.push_back(std::move(b));
+}
+
+void DynamicBatcher::admit(Request r, i64 now) {
+  AXON_CHECK(r.gemm.valid(), "request GEMM invalid: ", r.gemm);
+  AXON_CHECK(now >= r.arrival_cycle, "admit before arrival");
+  const Key key{r.gemm.K, r.gemm.N};
+  Group& group = open_[key];
+  if (group.members.empty()) group.oldest_admit = now;
+  group.members.push_back(std::move(r));
+  if (static_cast<int>(group.members.size()) >= policy_.max_batch) {
+    close_group(std::move(group), now);
+    open_.erase(key);
+  }
+}
+
+std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    const i64 deadline = it->second.oldest_admit + policy_.max_wait_cycles;
+    if (deadline <= now) {
+      close_group(std::move(it->second), deadline);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<Batch> out(std::make_move_iterator(ready_.begin()),
+                         std::make_move_iterator(ready_.end()));
+  ready_.clear();
+  std::sort(out.begin(), out.end(), [](const Batch& a, const Batch& b) {
+    if (a.ready_cycle != b.ready_cycle) return a.ready_cycle < b.ready_cycle;
+    return a.requests.front().id < b.requests.front().id;
+  });
+  return out;
+}
+
+std::vector<Batch> DynamicBatcher::flush(i64 now) {
+  for (auto& [key, group] : open_) {
+    close_group(std::move(group), now);
+  }
+  open_.clear();
+  return pop_ready(now);
+}
+
+i64 DynamicBatcher::next_timeout() const {
+  i64 earliest = -1;
+  for (const auto& [key, group] : open_) {
+    const i64 deadline = group.oldest_admit + policy_.max_wait_cycles;
+    if (earliest < 0 || deadline < earliest) earliest = deadline;
+  }
+  return earliest;
+}
+
+std::size_t DynamicBatcher::open_requests() const {
+  std::size_t n = 0;
+  for (const auto& [key, group] : open_) n += group.members.size();
+  return n;
+}
+
+}  // namespace axon::serve

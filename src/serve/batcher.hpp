@@ -1,0 +1,75 @@
+// Inference serving, layer 2: dynamic batching. Requests whose GEMMs share
+// (K, N) — same weights, different inputs — coalesce into one batched GEMM
+// by concatenating along M, the classic serving trick: the batch runs as a
+// single scale-up GEMM, amortizing array fill/drain and ragged edge tiles
+// across the members (model/runtime_model batched_gemm_cycles prices it).
+//
+// A batch closes when it reaches `max_batch` members or when its oldest
+// member has waited `max_wait_cycles` — the standard throughput/latency
+// knob pair. The batcher is a pure simulated-time state machine: admit()
+// and pop_ready() take the current cycle, nothing here knows about threads.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/request.hpp"
+
+namespace axon::serve {
+
+struct BatchPolicy {
+  int max_batch = 8;           ///< close when this many requests coalesce
+  i64 max_wait_cycles = 4096;  ///< close when the oldest member waited this
+};
+
+/// A closed batch: members share (K, N); the merged GEMM concatenates
+/// their Ms.
+struct Batch {
+  std::vector<Request> requests;
+  GemmShape gemm;       ///< M = sum of member Ms
+  i64 ready_cycle = 0;  ///< simulated cycle the batch closed
+  [[nodiscard]] int size() const { return static_cast<int>(requests.size()); }
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchPolicy policy);
+
+  /// Admits a request at simulated cycle `now` (>= r.arrival_cycle; the
+  /// serving loop admits on arrival). May close a batch (max_batch hit).
+  void admit(Request r, i64 now);
+
+  /// Closes every open group whose deadline (oldest admit + max_wait) has
+  /// passed, then returns all closed batches in deterministic FIFO order
+  /// (ready cycle, then first member id).
+  std::vector<Batch> pop_ready(i64 now);
+
+  /// Closes and returns everything still open — used when the trace ends
+  /// and no further arrivals can fill the groups.
+  std::vector<Batch> flush(i64 now);
+
+  /// Earliest future cycle at which an open group times out, or -1 when no
+  /// group is open. The serving loop uses this as a DES event source.
+  [[nodiscard]] i64 next_timeout() const;
+
+  [[nodiscard]] std::size_t open_requests() const;
+  [[nodiscard]] bool idle() const { return open_.empty() && ready_.empty(); }
+
+ private:
+  struct Group {
+    std::vector<Request> members;
+    i64 oldest_admit = 0;
+  };
+  using Key = std::pair<i64, i64>;  ///< (K, N)
+
+  void close_group(Group&& group, i64 ready_cycle);
+
+  BatchPolicy policy_;
+  std::map<Key, Group> open_;  ///< ordered => deterministic iteration
+  std::deque<Batch> ready_;
+};
+
+}  // namespace axon::serve

@@ -1,0 +1,231 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "model/runtime_model.hpp"
+
+namespace axon::serve {
+
+std::string to_string(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo:
+      return "FIFO";
+    case SchedulePolicy::kShortestJobFirst:
+      return "SJF";
+  }
+  return "?";
+}
+
+namespace {
+
+/// What a worker thread reports back for one executed batch.
+struct ExecOutcome {
+  i64 cycles = 0;
+};
+
+/// Pure function of (batch, config): the worker-side batch evaluation.
+ExecOutcome execute_batch(const Batch& batch, const PoolConfig& cfg) {
+  if (cfg.exec == ExecMode::kAnalytical) {
+    return {batched_gemm_cycles(cfg.accelerator.arch, cfg.accelerator.dataflow,
+                                batch.gemm, cfg.accelerator.array,
+                                cfg.dram_bytes_per_cycle)};
+  }
+  // Cycle-accurate: synthesize operands from a seed derived only from the
+  // batch identity, then run the full simulator. The roofline transfer
+  // floor applies here too so both modes price weight streaming alike.
+  const auto first_id =
+      static_cast<std::uint64_t>(batch.requests.front().id + 1);
+  Rng rng(cfg.data_seed ^ (0x9E3779B97F4A7C15ull * first_id));
+  const Matrix a = random_matrix(batch.gemm.M, batch.gemm.K, rng);
+  const Matrix b = random_matrix(batch.gemm.K, batch.gemm.N, rng);
+  Accelerator acc(cfg.accelerator);
+  const RunReport r = acc.run_gemm(a, b);
+  const i64 transfer =
+      gemm_transfer_cycles(batch.gemm, cfg.dram_bytes_per_cycle);
+  return {r.cycles > transfer ? r.cycles : transfer};
+}
+
+struct InFlight {
+  int accelerator = -1;
+  Batch batch;
+  i64 dispatch_cycle = 0;
+  std::future<ExecOutcome> future;
+  bool resolved = false;
+  i64 completion_cycle = 0;
+};
+
+}  // namespace
+
+AcceleratorPool::AcceleratorPool(PoolConfig config)
+    : config_(std::move(config)) {
+  AXON_CHECK(config_.num_accelerators >= 1, "pool needs >= 1 accelerator");
+  AXON_CHECK(config_.num_threads >= 1, "pool needs >= 1 worker thread");
+  AXON_CHECK(config_.accelerator.array.valid(), "invalid array shape");
+}
+
+i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
+  return batched_gemm_cycles(config_.accelerator.arch,
+                             config_.accelerator.dataflow, batch.gemm,
+                             config_.accelerator.array,
+                             config_.dram_bytes_per_cycle);
+}
+
+ServeReport AcceleratorPool::serve(RequestQueue requests) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  DynamicBatcher batcher(config_.batching);
+  ThreadPool workers(config_.num_threads);
+
+  std::vector<bool> busy(static_cast<std::size_t>(config_.num_accelerators),
+                         false);
+  std::vector<InFlight> inflight;
+  // Ready batches with their analytic cost, computed once on entry —
+  // SJF compares these cached values instead of re-running the model.
+  struct ReadyBatch {
+    Batch batch;
+    i64 estimate = 0;
+  };
+  std::vector<ReadyBatch> ready;
+  ServeReport report;
+  report.num_accelerators = config_.num_accelerators;
+  report.num_threads = config_.num_threads;
+
+  i64 now = 0;
+
+  const auto admit_and_collect = [&] {
+    while (!requests.empty() && requests.next_arrival() <= now) {
+      Request r = requests.pop();
+      const i64 arrival = r.arrival_cycle;
+      batcher.admit(std::move(r), arrival);
+    }
+    // Once the trace is exhausted nothing can fill an open group, so close
+    // them at the current cycle instead of waiting out max_wait.
+    std::vector<Batch> closed =
+        requests.empty() ? batcher.flush(now) : batcher.pop_ready(now);
+    for (auto& b : closed) {
+      const i64 estimate = estimate_cycles(b);
+      ready.push_back({std::move(b), estimate});
+    }
+  };
+
+  const auto pick_next_batch = [&]() -> std::size_t {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const ReadyBatch& a = ready[i];
+      const ReadyBatch& b = ready[best];
+      bool better = false;
+      if (config_.policy == SchedulePolicy::kShortestJobFirst &&
+          a.estimate != b.estimate) {
+        better = a.estimate < b.estimate;
+      } else if (a.batch.ready_cycle != b.batch.ready_cycle) {
+        better = a.batch.ready_cycle < b.batch.ready_cycle;
+      } else {
+        better =
+            a.batch.requests.front().id < b.batch.requests.front().id;
+      }
+      if (better) best = i;
+    }
+    return best;
+  };
+
+  const auto dispatch = [&] {
+    for (;;) {
+      if (ready.empty()) return;
+      int acc = -1;
+      for (int i = 0; i < config_.num_accelerators; ++i) {
+        if (!busy[static_cast<std::size_t>(i)]) {
+          acc = i;
+          break;
+        }
+      }
+      if (acc < 0) return;
+      const std::size_t chosen = pick_next_batch();
+      InFlight f;
+      f.accelerator = acc;
+      f.batch = std::move(ready[chosen].batch);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
+      f.dispatch_cycle = now;
+      f.future = workers.submit(
+          [batch = f.batch, cfg = config_] { return execute_batch(batch, cfg); });
+      busy[static_cast<std::size_t>(acc)] = true;
+      inflight.push_back(std::move(f));
+    }
+  };
+
+  for (;;) {
+    admit_and_collect();
+    dispatch();
+
+    // Next simulated event: an arrival, a batching timeout, or a batch
+    // completion. Completion times require the batch costs — harvest every
+    // outstanding future here (they have been running concurrently since
+    // dispatch; this is the only synchronization point).
+    i64 next = -1;
+    const auto consider = [&next](i64 t) {
+      if (t >= 0 && (next < 0 || t < next)) next = t;
+    };
+    if (!requests.empty()) consider(requests.next_arrival());
+    consider(batcher.next_timeout());
+    for (auto& f : inflight) {
+      if (!f.resolved) {
+        const ExecOutcome outcome = f.future.get();
+        f.resolved = true;
+        f.completion_cycle = f.dispatch_cycle + outcome.cycles;
+      }
+      consider(f.completion_cycle);
+    }
+    if (next < 0) break;  // fully drained
+    AXON_CHECK(next >= now, "simulated time went backwards");
+    now = next;
+
+    // Retire completions due at `now` in deterministic order.
+    std::sort(inflight.begin(), inflight.end(),
+              [](const InFlight& a, const InFlight& b) {
+                if (a.completion_cycle != b.completion_cycle)
+                  return a.completion_cycle < b.completion_cycle;
+                return a.accelerator < b.accelerator;
+              });
+    std::size_t retired = 0;
+    for (auto& f : inflight) {
+      if (!f.resolved || f.completion_cycle > now) break;
+      for (const auto& r : f.batch.requests) {
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.workload = r.workload;
+        rec.gemm = r.gemm;
+        rec.arrival_cycle = r.arrival_cycle;
+        rec.dispatch_cycle = f.dispatch_cycle;
+        rec.completion_cycle = f.completion_cycle;
+        rec.batch_size = f.batch.size();
+        rec.accelerator = f.accelerator;
+        report.records.push_back(std::move(rec));
+      }
+      report.total_busy_cycles += f.completion_cycle - f.dispatch_cycle;
+      ++report.total_batches;
+      busy[static_cast<std::size_t>(f.accelerator)] = false;
+      ++retired;
+    }
+    inflight.erase(inflight.begin(),
+                   inflight.begin() + static_cast<std::ptrdiff_t>(retired));
+  }
+
+  AXON_CHECK(requests.empty() && batcher.idle() && ready.empty() &&
+                 inflight.empty(),
+             "serve loop exited with work outstanding");
+
+  report.finalize();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace axon::serve

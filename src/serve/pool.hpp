@@ -1,0 +1,80 @@
+// Inference serving, layer 3: the fleet. A pool of N simulated
+// accelerators drains a request trace through the dynamic batcher under a
+// scheduling policy (FIFO or shortest-job-first). The simulation is a
+// discrete-event loop over simulated cycles; the *evaluation* of each
+// dispatched batch (its cycle cost) runs on a real std::thread worker
+// pool. Batches dispatched at the same simulated event — the backlog case
+// that dominates heavy load, up to num_accelerators at once — evaluate
+// concurrently on multicore hosts; advancing simulated time then requires
+// every outstanding completion time, so the loop synchronizes on the
+// worker pool before each advance (overlapping across *different* dispatch
+// events would need speculative execution; see ROADMAP).
+//
+// Determinism contract: a batch's cost is a pure function of the batch
+// contents and the pool config — never of wall-clock, thread id, or
+// execution order — so the simulated timeline (every dispatch, completion
+// and percentile) is identical for any num_threads. Tests pin this down by
+// diffing 1-thread vs 8-thread reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runner/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/report.hpp"
+#include "serve/request.hpp"
+
+namespace axon::serve {
+
+/// Order in which ready batches grab free accelerators.
+enum class SchedulePolicy {
+  kFifo,              ///< by batch ready cycle (then first request id)
+  kShortestJobFirst,  ///< by analytically estimated batch cycles
+};
+
+std::string to_string(SchedulePolicy policy);
+
+/// How a worker prices a dispatched batch in simulated cycles.
+enum class ExecMode {
+  kAnalytical,     ///< Table-2 scale-up equations — fast, any shape
+  kCycleAccurate,  ///< full cycle-accurate run on synthesized operands
+};
+
+struct PoolConfig {
+  AcceleratorConfig accelerator;  ///< every pool member is identical
+  int num_accelerators = 4;
+  int num_threads = 1;  ///< wall-clock workers; no effect on cycle results
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  ExecMode exec = ExecMode::kAnalytical;
+  BatchPolicy batching;
+  /// DRAM bandwidth for the roofline batch cost (see
+  /// model/runtime_model batched_gemm_cycles); <= 0 models infinite
+  /// bandwidth. Weights stream once per dispatch, so this is the term
+  /// dynamic batching amortizes.
+  i64 dram_bytes_per_cycle = 64;
+  /// Operand synthesis seed for cycle-accurate execution; combined with the
+  /// batch's first request id so every batch sees fixed, thread-independent
+  /// data.
+  std::uint64_t data_seed = 0x5EEDAB1Eu;
+};
+
+class AcceleratorPool {
+ public:
+  explicit AcceleratorPool(PoolConfig config);
+
+  [[nodiscard]] const PoolConfig& config() const { return config_; }
+
+  /// Serves the whole trace to completion and returns the finalized
+  /// report. Consumes the queue.
+  ServeReport serve(RequestQueue requests);
+
+  /// Analytical cycle estimate for one batch under this pool's config —
+  /// the quantity shortest-job-first sorts by.
+  [[nodiscard]] i64 estimate_cycles(const Batch& batch) const;
+
+ private:
+  PoolConfig config_;
+};
+
+}  // namespace axon::serve

@@ -1,0 +1,58 @@
+#include "serve/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace axon::serve {
+
+void ServeReport::finalize() {
+  std::sort(records.begin(), records.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+  latency = Histogram();
+  queueing = Histogram();
+  makespan_cycles = 0;
+  for (const auto& r : records) {
+    latency.add(r.latency_cycles());
+    queueing.add(r.queue_cycles());
+    makespan_cycles = std::max(makespan_cycles, r.completion_cycle);
+  }
+}
+
+double ServeReport::mean_batch_size() const {
+  if (total_batches == 0) return 0.0;
+  return static_cast<double>(records.size()) /
+         static_cast<double>(total_batches);
+}
+
+double ServeReport::throughput_per_mcycle() const {
+  if (makespan_cycles == 0) return 0.0;
+  return static_cast<double>(records.size()) * 1e6 /
+         static_cast<double>(makespan_cycles);
+}
+
+double ServeReport::fleet_utilization() const {
+  if (makespan_cycles == 0 || num_accelerators == 0) return 0.0;
+  return static_cast<double>(total_busy_cycles) /
+         (static_cast<double>(num_accelerators) *
+          static_cast<double>(makespan_cycles));
+}
+
+std::string ServeReport::summary() const {
+  std::ostringstream os;
+  os << "requests: " << num_requests() << "  batches: " << total_batches
+     << "  mean batch: " << fmt_double(mean_batch_size(), 2) << "\n"
+     << "accelerators: " << num_accelerators << "  threads: " << num_threads
+     << "  makespan: " << makespan_cycles << " cycles\n"
+     << "latency  " << latency.summary() << "\n"
+     << "queueing " << queueing.summary() << "\n"
+     << "throughput: " << fmt_double(throughput_per_mcycle(), 2)
+     << " req/Mcycle  utilization: "
+     << fmt_double(100.0 * fleet_utilization(), 1) << "%\n";
+  return os.str();
+}
+
+}  // namespace axon::serve

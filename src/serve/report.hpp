@@ -1,0 +1,68 @@
+// Inference serving, layer 4: results. Per-request queueing/compute
+// latency records plus fleet-level aggregates — percentile latencies
+// (sim/stats Histogram), throughput, accelerator utilization, batching
+// effectiveness. Everything is in simulated cycles; wall-clock fields are
+// reported separately so the "N threads give the same simulated answer"
+// determinism contract stays visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace axon::serve {
+
+/// Per-request timeline, filled when the batch containing the request
+/// completes.
+struct RequestRecord {
+  i64 id = 0;
+  std::string workload;
+  GemmShape gemm;
+  i64 arrival_cycle = 0;
+  i64 dispatch_cycle = 0;    ///< batch handed to an accelerator
+  i64 completion_cycle = 0;  ///< batch finished
+  int batch_size = 0;        ///< members of the batch it rode in
+  int accelerator = -1;      ///< pool member that executed it
+
+  [[nodiscard]] i64 queue_cycles() const {
+    return dispatch_cycle - arrival_cycle;
+  }
+  [[nodiscard]] i64 compute_cycles() const {
+    return completion_cycle - dispatch_cycle;
+  }
+  [[nodiscard]] i64 latency_cycles() const {
+    return completion_cycle - arrival_cycle;
+  }
+};
+
+struct ServeReport {
+  std::vector<RequestRecord> records;  ///< sorted by request id
+
+  int num_accelerators = 0;
+  int num_threads = 0;  ///< wall-clock workers used (no effect on cycles)
+  i64 makespan_cycles = 0;      ///< last completion cycle
+  i64 total_busy_cycles = 0;    ///< sum of per-accelerator busy cycles
+  i64 total_batches = 0;
+  double wall_seconds = 0.0;    ///< host time spent simulating
+
+  Histogram latency;  ///< end-to-end latency samples (cycles)
+  Histogram queueing; ///< queueing-delay samples (cycles)
+
+  /// Recomputes histograms and aggregate cycles from `records`; the pool
+  /// calls this once after the simulation drains.
+  void finalize();
+
+  [[nodiscard]] std::size_t num_requests() const { return records.size(); }
+  [[nodiscard]] double mean_batch_size() const;
+  /// Completed requests per million simulated cycles.
+  [[nodiscard]] double throughput_per_mcycle() const;
+  /// Busy cycles / (accelerators * makespan).
+  [[nodiscard]] double fleet_utilization() const;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace axon::serve

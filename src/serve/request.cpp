@@ -1,0 +1,91 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "workloads/convnets.hpp"
+#include "workloads/transformers.hpp"
+
+namespace axon::serve {
+
+void RequestQueue::push(Request r) {
+  AXON_CHECK(r.arrival_cycle >= 0, "negative arrival cycle");
+  AXON_CHECK(requests_.empty() ||
+                 r.arrival_cycle >= requests_.back().arrival_cycle,
+             "requests must be pushed in arrival order (got cycle ",
+             r.arrival_cycle, " after ", requests_.back().arrival_cycle, ")");
+  requests_.push_back(std::move(r));
+}
+
+const Request& RequestQueue::front() const {
+  AXON_CHECK(!requests_.empty(), "front() on empty RequestQueue");
+  return requests_.front();
+}
+
+i64 RequestQueue::next_arrival() const { return front().arrival_cycle; }
+
+Request RequestQueue::pop() {
+  AXON_CHECK(!requests_.empty(), "pop() on empty RequestQueue");
+  Request r = std::move(requests_.front());
+  requests_.pop_front();
+  return r;
+}
+
+RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
+                            const TraceConfig& config, Rng& rng) {
+  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
+  AXON_CHECK(config.num_requests >= 0, "negative request count");
+  AXON_CHECK(config.mean_interarrival_cycles >= 0.0,
+             "negative mean inter-arrival");
+
+  RequestQueue queue;
+  i64 now = 0;
+  for (int i = 0; i < config.num_requests; ++i) {
+    // Exponential gap: -mean * ln(1 - u). uniform_real_distribution can
+    // round up to exactly 1.0f (LWG 2524), which would make the gap
+    // infinite — clamp below 1 so the cast to cycles stays defined.
+    const double u =
+        std::min(static_cast<double>(rng.uniform(0.0f, 1.0f)), 1.0 - 1e-7);
+    const double gap = -config.mean_interarrival_cycles * std::log(1.0 - u);
+    now += static_cast<i64>(gap);
+    const auto& w =
+        mix[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(mix.size()) - 1))];
+    Request r;
+    r.id = i;
+    r.workload = w.name;
+    r.gemm = w.shape;
+    r.arrival_cycle = now;
+    queue.push(std::move(r));
+  }
+  return queue;
+}
+
+std::vector<GemmWorkload> resnet50_serve_mix() {
+  return lowered_gemms(resnet50_conv_layers());
+}
+
+std::vector<GemmWorkload> transformer_serve_mix() {
+  return bert_base_gemms(384);
+}
+
+std::vector<GemmWorkload> decode_serve_mix() {
+  // bert_base_gemms(1) / gpt2_gemms(1) shapes: the per-token projection
+  // and FFN GEMMs with the single token on M.
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_attn_out", {1, 768, 768}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn2", {1, 3072, 768}},
+      {"decode_gpt2_ffn1", {1, 1024, 4096}},
+  };
+}
+
+std::vector<GemmWorkload> mixed_serve_mix() {
+  std::vector<GemmWorkload> mix = resnet50_serve_mix();
+  const std::vector<GemmWorkload> t = transformer_serve_mix();
+  mix.insert(mix.end(), t.begin(), t.end());
+  return mix;
+}
+
+}  // namespace axon::serve

@@ -1,0 +1,71 @@
+// Inference serving, layer 1: timestamped requests and synthetic arrival
+// traces. A Request is one inference call — a named GEMM, which is either a
+// native GEMM workload (transformer projections, recommendation layers) or
+// a conv layer lowered via im2col (workloads/convnets lowered_gemms). All
+// trace randomness flows through common/rng, so a trace is reproducible
+// from its seed and the whole serving simulation is deterministic.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workloads/table3.hpp"
+
+namespace axon::serve {
+
+/// One inference request entering the system at a simulated cycle.
+struct Request {
+  i64 id = 0;            ///< unique, increasing in arrival order
+  std::string workload;  ///< workload name, for reports
+  GemmShape gemm;        ///< the GEMM this request executes
+  i64 arrival_cycle = 0;
+};
+
+/// Arrival-ordered FIFO of requests. push() enforces non-decreasing
+/// arrival cycles so the serving simulator can treat the queue as a
+/// pre-sorted event stream.
+class RequestQueue {
+ public:
+  void push(Request r);
+
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  [[nodiscard]] const Request& front() const;
+  /// Cycle the next request arrives; only valid when !empty().
+  [[nodiscard]] i64 next_arrival() const;
+  Request pop();
+
+ private:
+  std::deque<Request> requests_;
+};
+
+/// Synthetic open-loop traffic: request count, Poisson-style arrivals
+/// (exponential inter-arrival gaps with the given mean), and a uniform
+/// draw over the workload mix per request.
+struct TraceConfig {
+  int num_requests = 64;
+  double mean_interarrival_cycles = 2000.0;
+};
+
+/// Generates a deterministic trace: same mix + config + rng seed => the
+/// same requests, ids, and arrival cycles.
+RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
+                            const TraceConfig& config, Rng& rng);
+
+/// Serving mixes used by the examples/bench sweeps.
+/// ResNet50 conv layers lowered to their im2col GEMMs.
+std::vector<GemmWorkload> resnet50_serve_mix();
+/// BERT-base encoder GEMMs at sequence length 384.
+std::vector<GemmWorkload> transformer_serve_mix();
+/// One-token transformer decode projections in activations-as-A form
+/// (M = 1 token, N = output features): every request is transfer-bound on
+/// its K*N weight matrix, the canonical dynamic-batching workload —
+/// M-concatenation amortizes the weight stream across users.
+std::vector<GemmWorkload> decode_serve_mix();
+/// Union of ResNet50 and BERT: the heterogeneous-fleet scenario.
+std::vector<GemmWorkload> mixed_serve_mix();
+
+}  // namespace axon::serve

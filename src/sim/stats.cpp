@@ -1,6 +1,11 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <sstream>
+
+#include "common/check.hpp"
 
 namespace axon {
 
@@ -14,6 +19,69 @@ std::string Stats::to_string() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  if (&other == this) {
+    // Self-merge doubles the samples; copy first so the insert's source
+    // iterators don't dangle when the vector reallocates.
+    const std::vector<std::int64_t> copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t Histogram::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::int64_t Histogram::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::int64_t Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), std::int64_t{0});
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return static_cast<double>(sum()) / static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  AXON_CHECK(!samples_.empty(), "percentile() on empty histogram");
+  AXON_CHECK(p > 0.0 && p <= 100.0, "percentile p out of (0, 100]: ", p);
+  ensure_sorted();
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count();
+  if (!empty()) {
+    os << " min=" << min() << " p50=" << percentile(50)
+       << " p95=" << percentile(95) << " p99=" << percentile(99)
+       << " max=" << max();
   }
   return os.str();
 }

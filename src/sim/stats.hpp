@@ -1,10 +1,13 @@
 // Named event counters shared by the simulators (MACs issued, MACs gated,
-// SRAM reads, neighbour forwards, ...). Cheap to increment, easy to dump.
+// SRAM reads, neighbour forwards, ...) plus an exact-sample percentile
+// histogram for the serving-layer latency distributions. Cheap to
+// increment, easy to dump.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace axon {
 
@@ -37,6 +40,43 @@ class Stats {
 
  private:
   std::map<std::string, std::int64_t> counters_;
+};
+
+/// Exact-sample latency/size histogram. Stores every sample and answers
+/// nearest-rank percentile queries; sorting is deferred until the first
+/// query so add() stays O(1). Sized for serving traces (thousands to
+/// millions of samples), not per-cycle events.
+class Histogram {
+ public:
+  void add(std::int64_t v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Smallest / largest sample; 0 on an empty histogram.
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::int64_t sum() const;
+
+  /// Nearest-rank percentile: the smallest sample such that at least p% of
+  /// all samples are <= it. p must be in (0, 100]; throws CheckError when
+  /// the histogram is empty.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  /// "n=... min=... p50=... p95=... p99=... max=..." one-liner.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace axon

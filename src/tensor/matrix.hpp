@@ -47,7 +47,12 @@ class Matrix {
   /// True if same shape and all entries within `tol`.
   [[nodiscard]] bool approx_equal(const Matrix& other, double tol = 1e-4) const;
 
-  friend bool operator==(const Matrix&, const Matrix&) = default;
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+  friend bool operator!=(const Matrix& a, const Matrix& b) {
+    return !(a == b);
+  }
 
  private:
   i64 rows_ = 0;

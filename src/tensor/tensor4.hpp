@@ -40,7 +40,13 @@ class Tensor4 {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  friend bool operator==(const Tensor4&, const Tensor4&) = default;
+  friend bool operator==(const Tensor4& a, const Tensor4& b) {
+    return a.n_ == b.n_ && a.c_ == b.c_ && a.h_ == b.h_ && a.w_ == b.w_ &&
+           a.data_ == b.data_;
+  }
+  friend bool operator!=(const Tensor4& a, const Tensor4& b) {
+    return !(a == b);
+  }
 
  private:
   std::size_t index(i64 n, i64 c, i64 h, i64 w) const {

@@ -251,4 +251,13 @@ i64 total_macs(const std::vector<ConvWorkload>& layers) {
   return total;
 }
 
+std::vector<GemmWorkload> lowered_gemms(const std::vector<ConvWorkload>& layers) {
+  std::vector<GemmWorkload> gemms;
+  gemms.reserve(layers.size());
+  for (const auto& l : layers) {
+    gemms.push_back({l.name, l.shape.as_gemm()});
+  }
+  return gemms;
+}
+
 }  // namespace axon

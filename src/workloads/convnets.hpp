@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "workloads/table3.hpp"
 
 namespace axon {
 
@@ -45,5 +46,11 @@ std::vector<ConvWorkload> efficientnet_b0_layers();
 
 /// Sum of macs over a layer table (repeats included).
 i64 total_macs(const std::vector<ConvWorkload>& layers);
+
+/// Lowers a conv-layer table to the im2col GEMM each layer executes as
+/// (one entry per table row; repeats are not expanded). Grouped/depthwise
+/// layers lower to their per-group GEMM. This is how conv workloads enter
+/// the GEMM-oriented serving layer.
+std::vector<GemmWorkload> lowered_gemms(const std::vector<ConvWorkload>& layers);
 
 }  // namespace axon

@@ -157,5 +157,39 @@ TEST(RuntimeModelTest, CmsaBetweenSaAndAxonOnSquares) {
   }
 }
 
+TEST(BatchedGemmCyclesTest, InfiniteBandwidthIsScaleUpCompute) {
+  const GemmShape g{48, 32, 40};
+  const ArrayShape array{16, 16};
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    EXPECT_EQ(batched_gemm_cycles(arch, Dataflow::kOS, g, array, 0),
+              scale_up_runtime(arch, Dataflow::kOS, g, array).cycles);
+  }
+}
+
+TEST(BatchedGemmCyclesTest, BatchingAmortizesWeightStream) {
+  // One-token decode: (1, 768, 3072) is transfer-bound on its 768x3072
+  // weight matrix at 64 B/cycle. Concatenating 8 such requests along M
+  // streams the weights once, so the batch costs far less than 8 singles.
+  const ArrayShape array{32, 32};
+  const i64 bw = 64;
+  const GemmShape single{1, 768, 3072};
+  const GemmShape batch8{8, 768, 3072};
+  const i64 one = batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, single,
+                                      array, bw);
+  const i64 eight = batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS,
+                                        batch8, array, bw);
+  EXPECT_LT(eight, 8 * one);
+  EXPECT_LT(eight, 2 * one);  // still dominated by the shared weight stream
+}
+
+TEST(BatchedGemmCyclesTest, TransferFloorOnlyBindsWhenMemoryBound) {
+  // A compute-heavy shape is unaffected by a generous bandwidth.
+  const GemmShape g{512, 512, 512};
+  const ArrayShape array{16, 16};
+  EXPECT_EQ(
+      batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, g, array, 1 << 20),
+      batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, g, array, 0));
+}
+
 }  // namespace
 }  // namespace axon

@@ -78,6 +78,40 @@ TEST(ScaleOutTest, PartitionsBeyondWorkAreSkipped) {
   EXPECT_TRUE(r.out.approx_equal(gemm_ref(a, b), 1e-3));
 }
 
+TEST(ScaleOutTest, NonDivisiblePartitionCountsMatchReference) {
+  // 23x9x17 on a 3x5 grid: M chunks (8, 8, 7), N chunks (4, 4, 4, 4, 1) —
+  // every ragged edge case at once.
+  Rng rng(77);
+  const Matrix a = random_matrix(23, 9, rng);
+  const Matrix b = random_matrix(9, 17, rng);
+  const Matrix golden = gemm_ref(a, b);
+  for (ArchType arch : {ArchType::kConventionalSA, ArchType::kAxon}) {
+    const ScaleOutReport r = run_gemm_scale_out(
+        {.arch = arch, .array = {4, 4}, .dataflow = Dataflow::kOS}, a, b, 3,
+        5);
+    EXPECT_TRUE(r.out.approx_equal(golden, 1e-3)) << to_string(arch);
+    EXPECT_EQ(r.partitions, 15);
+    EXPECT_GT(r.critical_path_cycles, 0);
+    EXPECT_GE(r.total_partition_cycles,
+              r.critical_path_cycles * 1);  // sum >= max
+  }
+}
+
+TEST(ScaleOutTest, ThreadedPartitionsIdenticalToSerial) {
+  Rng rng(78);
+  const Matrix a = random_matrix(21, 7, rng);
+  const Matrix b = random_matrix(7, 19, rng);
+  const AcceleratorConfig cfg{.arch = ArchType::kAxon,
+                              .array = {4, 4},
+                              .dataflow = Dataflow::kOS};
+  const ScaleOutReport serial = run_gemm_scale_out(cfg, a, b, 2, 3, 1);
+  const ScaleOutReport threaded = run_gemm_scale_out(cfg, a, b, 2, 3, 4);
+  EXPECT_EQ(serial.out, threaded.out);  // bit-identical stitching
+  EXPECT_EQ(serial.critical_path_cycles, threaded.critical_path_cycles);
+  EXPECT_EQ(serial.total_partition_cycles, threaded.total_partition_cycles);
+  EXPECT_EQ(serial.partitions, threaded.partitions);
+}
+
 TEST(ScaleOutTest, NonOsDataflowRejected) {
   Rng rng(76);
   const Matrix a = random_matrix(4, 4, rng);

@@ -1,0 +1,98 @@
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "serve/request.hpp"
+
+namespace axon::serve {
+namespace {
+
+Request req(i64 id, i64 m, i64 k, i64 n, i64 arrival) {
+  Request r;
+  r.id = id;
+  r.workload = "w" + std::to_string(id);
+  r.gemm = {m, k, n};
+  r.arrival_cycle = arrival;
+  return r;
+}
+
+TEST(DynamicBatcherTest, NeverExceedsMaxBatch) {
+  DynamicBatcher b({/*max_batch=*/3, /*max_wait_cycles=*/1000000});
+  for (i64 i = 0; i < 10; ++i) b.admit(req(i, 4, 64, 64, i), i);
+  auto ready = b.pop_ready(10);
+  ASSERT_EQ(ready.size(), 3u);  // 10 requests -> three full batches + 1 open
+  for (const auto& batch : ready) {
+    EXPECT_EQ(batch.size(), 3);
+    EXPECT_EQ(batch.gemm.M, 12);  // 3 * M=4 concatenated
+    EXPECT_EQ(batch.gemm.K, 64);
+    EXPECT_EQ(batch.gemm.N, 64);
+  }
+  EXPECT_EQ(b.open_requests(), 1u);
+}
+
+TEST(DynamicBatcherTest, RespectsMaxWait) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/100});
+  b.admit(req(0, 4, 32, 32, 10), 10);
+  b.admit(req(1, 4, 32, 32, 50), 50);
+  EXPECT_TRUE(b.pop_ready(109).empty());  // deadline is 10 + 100 = 110
+  auto ready = b.pop_ready(110);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].size(), 2);
+  EXPECT_EQ(ready[0].ready_cycle, 110);  // closed at the deadline, not later
+  EXPECT_TRUE(b.idle());
+}
+
+TEST(DynamicBatcherTest, TimeoutCloseUsesDeadlineEvenWhenPolledLate) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/100});
+  b.admit(req(0, 2, 16, 16, 0), 0);
+  auto ready = b.pop_ready(5000);  // poll long after the deadline
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].ready_cycle, 100);
+}
+
+TEST(DynamicBatcherTest, OnlyCompatibleShapesCoalesce) {
+  DynamicBatcher b({/*max_batch=*/4, /*max_wait_cycles=*/0});
+  b.admit(req(0, 4, 64, 64, 0), 0);
+  b.admit(req(1, 8, 64, 64, 0), 0);   // same (K, N), different M: coalesces
+  b.admit(req(2, 4, 64, 128, 0), 0);  // different N: separate batch
+  auto ready = b.pop_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  // Deterministic order: both closed at cycle 0, tie-broken by first id.
+  EXPECT_EQ(ready[0].requests.front().id, 0);
+  EXPECT_EQ(ready[0].size(), 2);
+  EXPECT_EQ(ready[0].gemm.M, 12);
+  EXPECT_EQ(ready[1].requests.front().id, 2);
+  EXPECT_EQ(ready[1].size(), 1);
+}
+
+TEST(DynamicBatcherTest, MaxBatchOneDegeneratesToPassThrough) {
+  DynamicBatcher b({/*max_batch=*/1, /*max_wait_cycles=*/999});
+  b.admit(req(0, 4, 8, 8, 0), 0);
+  b.admit(req(1, 4, 8, 8, 0), 0);
+  auto ready = b.pop_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].size(), 1);
+  EXPECT_EQ(ready[1].size(), 1);
+}
+
+TEST(DynamicBatcherTest, FlushClosesEverythingOpen) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/1000000});
+  b.admit(req(0, 4, 16, 16, 0), 0);
+  b.admit(req(1, 4, 32, 32, 0), 0);
+  auto ready = b.flush(7);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].ready_cycle, 7);
+  EXPECT_EQ(ready[1].ready_cycle, 7);
+  EXPECT_TRUE(b.idle());
+}
+
+TEST(DynamicBatcherTest, NextTimeoutTracksOldestOpenGroup) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/100});
+  EXPECT_EQ(b.next_timeout(), -1);
+  b.admit(req(0, 4, 16, 16, 40), 40);
+  b.admit(req(1, 4, 32, 32, 10), 10);
+  EXPECT_EQ(b.next_timeout(), 110);  // oldest admit 10 + 100
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -1,0 +1,188 @@
+#include "serve/pool.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "serve/request.hpp"
+#include "workloads/table3.hpp"
+
+namespace axon::serve {
+namespace {
+
+// Small GEMM mix so cycle-accurate runs stay fast.
+std::vector<GemmWorkload> tiny_mix() {
+  return {{"t_a", {4, 8, 8}}, {"t_b", {8, 8, 8}}, {"t_c", {4, 8, 16}}};
+}
+
+RequestQueue make_trace(int n, double mean_gap, std::uint64_t seed,
+                        const std::vector<GemmWorkload>& mix) {
+  Rng rng(seed);
+  return generate_trace(mix, {n, mean_gap}, rng);
+}
+
+PoolConfig base_config() {
+  PoolConfig cfg;
+  cfg.accelerator = {.arch = ArchType::kAxon, .array = {8, 8}};
+  cfg.num_accelerators = 3;
+  cfg.batching = {/*max_batch=*/4, /*max_wait_cycles=*/200};
+  return cfg;
+}
+
+void expect_same_simulated_results(const ServeReport& a,
+                                   const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord& ra = a.records[i];
+    const RequestRecord& rb = b.records[i];
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.dispatch_cycle, rb.dispatch_cycle) << "request " << ra.id;
+    EXPECT_EQ(ra.completion_cycle, rb.completion_cycle) << "request " << ra.id;
+    EXPECT_EQ(ra.accelerator, rb.accelerator) << "request " << ra.id;
+    EXPECT_EQ(ra.batch_size, rb.batch_size) << "request " << ra.id;
+  }
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles);
+  EXPECT_EQ(a.total_batches, b.total_batches);
+  EXPECT_EQ(a.latency.percentile(50), b.latency.percentile(50));
+  EXPECT_EQ(a.latency.percentile(95), b.latency.percentile(95));
+  EXPECT_EQ(a.latency.percentile(99), b.latency.percentile(99));
+}
+
+TEST(AcceleratorPoolTest, SimulatedCyclesDeterministicAcrossThreadCounts) {
+  // The acceptance-criterion test: identical simulated timeline and
+  // percentiles for 1 vs 8 worker threads, same seed.
+  PoolConfig one = base_config();
+  one.num_threads = 1;
+  PoolConfig eight = base_config();
+  eight.num_threads = 8;
+  const auto trace = [] { return make_trace(48, 120.0, 99, tiny_mix()); };
+  const ServeReport a = AcceleratorPool(one).serve(trace());
+  const ServeReport b = AcceleratorPool(eight).serve(trace());
+  expect_same_simulated_results(a, b);
+}
+
+TEST(AcceleratorPoolTest, CycleAccurateModeAlsoDeterministic) {
+  PoolConfig one = base_config();
+  one.exec = ExecMode::kCycleAccurate;
+  one.num_threads = 1;
+  PoolConfig four = one;
+  four.num_threads = 4;
+  const auto trace = [] { return make_trace(16, 200.0, 5, tiny_mix()); };
+  const ServeReport a = AcceleratorPool(one).serve(trace());
+  const ServeReport b = AcceleratorPool(four).serve(trace());
+  expect_same_simulated_results(a, b);
+}
+
+TEST(AcceleratorPoolTest, EveryRequestServedExactlyOnce) {
+  PoolConfig cfg = base_config();
+  const int n = 40;
+  const ServeReport rep =
+      AcceleratorPool(cfg).serve(make_trace(n, 80.0, 11, tiny_mix()));
+  ASSERT_EQ(rep.records.size(), static_cast<std::size_t>(n));
+  std::set<i64> ids;
+  for (const auto& r : rep.records) {
+    ids.insert(r.id);
+    EXPECT_GE(r.dispatch_cycle, r.arrival_cycle);
+    EXPECT_GT(r.completion_cycle, r.dispatch_cycle);
+    EXPECT_GE(r.accelerator, 0);
+    EXPECT_LT(r.accelerator, cfg.num_accelerators);
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, cfg.batching.max_batch);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(rep.fleet_utilization(), 0.0);
+  EXPECT_LE(rep.fleet_utilization(), 1.0);
+}
+
+TEST(AcceleratorPoolTest, BatchingShortensMakespanUnderHeavyLoad) {
+  // One shape arriving back-to-back: coalescing amortizes array fill and
+  // ragged tiles, so max_batch=8 must beat max_batch=1 end-to-end.
+  const std::vector<GemmWorkload> mix = {{"w", {4, 32, 32}}};
+  PoolConfig unbatched = base_config();
+  unbatched.num_accelerators = 1;
+  unbatched.batching = {1, 0};
+  PoolConfig batched = unbatched;
+  batched.batching = {8, 500};
+  const auto trace = [&] { return make_trace(64, 10.0, 21, mix); };
+  const ServeReport u = AcceleratorPool(unbatched).serve(trace());
+  const ServeReport b = AcceleratorPool(batched).serve(trace());
+  EXPECT_LT(b.makespan_cycles, u.makespan_cycles);
+  EXPECT_GT(b.mean_batch_size(), 1.5);
+  EXPECT_EQ(u.total_batches, 64);
+}
+
+TEST(AcceleratorPoolTest, MoreAcceleratorsShortenMakespan) {
+  PoolConfig small = base_config();
+  small.num_accelerators = 1;
+  PoolConfig big = base_config();
+  big.num_accelerators = 4;
+  const auto trace = [] { return make_trace(48, 20.0, 31, tiny_mix()); };
+  const ServeReport s = AcceleratorPool(small).serve(trace());
+  const ServeReport l = AcceleratorPool(big).serve(trace());
+  EXPECT_LT(l.makespan_cycles, s.makespan_cycles);
+}
+
+TEST(AcceleratorPoolTest, SjfBeatsFifoMeanLatencyOnBimodalBurst) {
+  // A burst of one huge job followed by many tiny jobs, one accelerator,
+  // no batching: FIFO serves the huge job first and delays everything;
+  // SJF drains the tiny jobs first, cutting mean (and p50) latency.
+  RequestQueue fifo_q;
+  RequestQueue sjf_q;
+  for (auto* q : {&fifo_q, &sjf_q}) {
+    Request huge;
+    huge.id = 0;
+    huge.workload = "huge";
+    huge.gemm = {256, 64, 64};
+    huge.arrival_cycle = 0;
+    q->push(huge);
+    for (i64 i = 1; i <= 12; ++i) {
+      Request tiny;
+      tiny.id = i;
+      tiny.workload = "tiny";
+      tiny.gemm = {4, 8, 8};
+      tiny.arrival_cycle = 0;
+      q->push(tiny);
+    }
+  }
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {1, 0};
+  cfg.policy = SchedulePolicy::kFifo;
+  const ServeReport fifo = AcceleratorPool(cfg).serve(std::move(fifo_q));
+  cfg.policy = SchedulePolicy::kShortestJobFirst;
+  const ServeReport sjf = AcceleratorPool(cfg).serve(std::move(sjf_q));
+  EXPECT_LT(sjf.latency.mean(), fifo.latency.mean());
+  EXPECT_LT(sjf.latency.percentile(50), fifo.latency.percentile(50));
+  // Same total work either way.
+  EXPECT_EQ(sjf.total_busy_cycles, fifo.total_busy_cycles);
+}
+
+TEST(AcceleratorPoolTest, CycleAccurateAgreesWithAccelerator) {
+  // One request, no batching: the serve-layer compute cycles must equal a
+  // direct Accelerator::run_gemm of the same synthesized operands.
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.exec = ExecMode::kCycleAccurate;
+  cfg.batching = {1, 0};
+  cfg.dram_bytes_per_cycle = 0;  // infinite bandwidth: pure compute cycles
+  RequestQueue q;
+  Request r;
+  r.id = 0;
+  r.workload = "w";
+  r.gemm = {8, 8, 8};
+  r.arrival_cycle = 0;
+  q.push(r);
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  ASSERT_EQ(rep.records.size(), 1u);
+
+  Rng rng(cfg.data_seed ^ (0x9E3779B97F4A7C15ull * 1));
+  const Matrix a = random_matrix(8, 8, rng);
+  const Matrix b = random_matrix(8, 8, rng);
+  Accelerator acc(cfg.accelerator);
+  EXPECT_EQ(rep.records[0].compute_cycles(), acc.run_gemm(a, b).cycles);
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -1,0 +1,91 @@
+#include "serve/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/stats.hpp"
+
+namespace axon::serve {
+namespace {
+
+TEST(HistogramTest, NearestRankPercentilesOnKnownDistribution) {
+  Histogram h;
+  // 1..100 inserted out of order: percentile p must return exactly p.
+  for (int v = 100; v >= 1; --v) h.add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 50);
+  EXPECT_EQ(h.percentile(95), 95);
+  EXPECT_EQ(h.percentile(99), 99);
+  EXPECT_EQ(h.percentile(100), 100);
+  EXPECT_EQ(h.percentile(1), 1);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, SmallSampleNearestRank) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  h.add(40);
+  // ceil(p/100 * 4)-th smallest.
+  EXPECT_EQ(h.percentile(25), 10);
+  EXPECT_EQ(h.percentile(26), 20);
+  EXPECT_EQ(h.percentile(50), 20);
+  EXPECT_EQ(h.percentile(75), 30);
+  EXPECT_EQ(h.percentile(99), 40);
+}
+
+TEST(HistogramTest, MergeAndEmptyBehaviour) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  b.add(3);
+  b.add(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.percentile(100), 3);
+  a.merge(a);  // self-merge doubles the samples
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_EQ(a.percentile(50), 2);
+  Histogram empty;
+  EXPECT_EQ(empty.min(), 0);
+  EXPECT_EQ(empty.max(), 0);
+  EXPECT_THROW((void)empty.percentile(50), CheckError);
+  EXPECT_THROW((void)a.percentile(0.0), CheckError);
+  EXPECT_THROW((void)a.percentile(100.5), CheckError);
+}
+
+TEST(ServeReportTest, FinalizeAggregatesRecords) {
+  ServeReport rep;
+  rep.num_accelerators = 2;
+  rep.total_batches = 2;
+  for (i64 i = 0; i < 4; ++i) {
+    RequestRecord r;
+    r.id = 3 - i;  // reversed: finalize must sort by id
+    r.workload = "w";
+    r.gemm = {4, 8, 8};
+    r.arrival_cycle = 10 * r.id;
+    r.dispatch_cycle = r.arrival_cycle + 5;
+    r.completion_cycle = r.dispatch_cycle + 100;
+    r.batch_size = 2;
+    rep.records.push_back(r);
+  }
+  rep.total_busy_cycles = 200;
+  rep.finalize();
+  EXPECT_EQ(rep.records.front().id, 0);
+  EXPECT_EQ(rep.records.back().id, 3);
+  EXPECT_EQ(rep.makespan_cycles, 135);  // id 3: 30 + 5 + 100
+  EXPECT_EQ(rep.latency.count(), 4u);
+  EXPECT_EQ(rep.latency.percentile(50), 105);
+  EXPECT_EQ(rep.queueing.percentile(99), 5);
+  EXPECT_EQ(rep.records[0].compute_cycles(), 100);
+  EXPECT_DOUBLE_EQ(rep.mean_batch_size(), 2.0);
+  EXPECT_GT(rep.throughput_per_mcycle(), 0.0);
+  EXPECT_GT(rep.fleet_utilization(), 0.0);
+  EXPECT_FALSE(rep.summary().empty());
+}
+
+}  // namespace
+}  // namespace axon::serve

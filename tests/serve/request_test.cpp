@@ -1,0 +1,78 @@
+#include "serve/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace axon::serve {
+namespace {
+
+TEST(RequestQueueTest, FifoAndArrivalOrderEnforced) {
+  RequestQueue q;
+  Request a;
+  a.id = 0;
+  a.gemm = {1, 2, 3};
+  a.arrival_cycle = 10;
+  Request b = a;
+  b.id = 1;
+  b.arrival_cycle = 20;
+  q.push(a);
+  q.push(b);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_arrival(), 10);
+  EXPECT_EQ(q.pop().id, 0);
+  EXPECT_EQ(q.pop().id, 1);
+  EXPECT_TRUE(q.empty());
+
+  Request late = a;
+  late.arrival_cycle = 30;
+  q.push(late);
+  Request early = a;
+  early.arrival_cycle = 5;
+  EXPECT_THROW(q.push(early), CheckError);
+}
+
+TEST(TraceGeneratorTest, DeterministicForFixedSeed) {
+  const auto mix = transformer_serve_mix();
+  const TraceConfig cfg{/*num_requests=*/32, /*mean_interarrival=*/500.0};
+  Rng rng1(123);
+  Rng rng2(123);
+  RequestQueue q1 = generate_trace(mix, cfg, rng1);
+  RequestQueue q2 = generate_trace(mix, cfg, rng2);
+  ASSERT_EQ(q1.size(), 32u);
+  while (!q1.empty()) {
+    const Request a = q1.pop();
+    const Request b = q2.pop();
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.gemm, b.gemm);
+    EXPECT_EQ(a.arrival_cycle, b.arrival_cycle);
+  }
+}
+
+TEST(TraceGeneratorTest, ArrivalsNonDecreasingAndMixRespected) {
+  const auto mix = mixed_serve_mix();
+  ASSERT_FALSE(mix.empty());
+  Rng rng(7);
+  RequestQueue q = generate_trace(mix, {64, 1000.0}, rng);
+  i64 prev = 0;
+  i64 next_id = 0;
+  while (!q.empty()) {
+    const Request r = q.pop();
+    EXPECT_EQ(r.id, next_id++);
+    EXPECT_GE(r.arrival_cycle, prev);
+    prev = r.arrival_cycle;
+    EXPECT_TRUE(r.gemm.valid());
+    EXPECT_FALSE(r.workload.empty());
+  }
+}
+
+TEST(ServeMixTest, ResNetMixIsLoweredConvs) {
+  const auto mix = resnet50_serve_mix();
+  ASSERT_FALSE(mix.empty());
+  for (const auto& w : mix) EXPECT_TRUE(w.shape.valid()) << w.name;
+}
+
+}  // namespace
+}  // namespace axon::serve
