@@ -52,11 +52,58 @@ void sweep(std::ostream& os, const std::string& name,
   os << "\n";
 }
 
+void slo_sweep(std::ostream& os) {
+  // Deadline-aware policies on bursty decode+prefill traffic: the serving
+  // counterpart of the examples/serve_traffic SLO scenario, swept across
+  // schedulers at equal fleet size.
+  std::vector<GemmWorkload> mix = decode_serve_mix();
+  // BERT-large qkv weights: a (K, N) no decode entry shares, so prefill
+  // cannot coalesce into decode batches and scheduling has work to do.
+  mix.push_back({"prefill_qkv_large", {128, 1024, 3072}});
+  BurstyTraceConfig tc;
+  tc.num_requests = 256;
+  tc.burst_interarrival_cycles = 2500.0;
+  tc.mean_on_cycles = 300000.0;
+  tc.mean_off_cycles = 1200000.0;
+  // Same priority class everywhere: this sweep isolates the policy key
+  // itself (examples/serve_traffic shows the EDF + priority-class combo).
+  tc.classes.default_policy = {/*slo=*/500000, /*priority=*/0};
+  tc.classes.per_workload["prefill_qkv_large"] = {/*slo=*/6000000, /*priority=*/0};
+  Table t({"policy", "slo_%", "p99", "miss_p99", "req/Mcycle"});
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst,
+        SchedulePolicy::kEarliestDeadlineFirst}) {
+    PoolConfig cfg = config(4, 8);
+    cfg.policy = policy;
+    cfg.batching.max_wait_cycles = 60000;
+    cfg.batching.continuous_admission = true;
+    Rng rng(kSeed);
+    const ServeReport r =
+        AcceleratorPool(cfg).serve(generate_bursty_trace(mix, tc, rng));
+    t.row()
+        .cell(to_string(policy))
+        .cell(100.0 * r.slo_attainment(), 1)
+        .cell(r.latency.percentile_or(99))
+        .cell(r.overall.miss.percentile_or(99))
+        .cell(r.throughput_per_mcycle(), 2);
+  }
+  t.print(os, "Deadline-aware policy sweep (bursty decode+prefill, SLOs)");
+  os << "\n";
+}
+
 void print_tables(std::ostream& os) {
   sweep(os, "ResNet50", resnet50_serve_mix());
   sweep(os, "BERT-base", transformer_serve_mix());
+  slo_sweep(os);
 }
 
+// Analytical-mode serving is dominated by the simulator's own dispatch
+// machinery, so this bench doubles as the regression gate for dispatch-path
+// overhead: PR 2 replaced the per-dispatch deep copies (whole Batch request
+// vector + PoolConfig, copied into every worker lambda) with a 3-word
+// (gemm, first_id, &config) payload, and this bench confirmed no
+// throughput regression (~4.5 ms for the 128-request mixed trace before
+// and after, noise-level delta).
 void bench_serve_analytical(benchmark::State& state) {
   PoolConfig cfg = config(4, 8);
   for (auto _ : state) {
@@ -66,6 +113,19 @@ void bench_serve_analytical(benchmark::State& state) {
   }
 }
 BENCHMARK(bench_serve_analytical)->Unit(benchmark::kMillisecond);
+
+// Dispatch-heavy stress: many tiny single-member batches (max_batch 1, one
+// dispatch per request) maximize the per-dispatch fixed cost the deep-copy
+// fix targets.
+void bench_serve_dispatch_overhead(benchmark::State& state) {
+  PoolConfig cfg = config(8, 1);
+  for (auto _ : state) {
+    const ServeReport r = AcceleratorPool(cfg).serve(
+        trace_for(decode_serve_mix(), 512, 200.0));
+    benchmark::DoNotOptimize(r.makespan_cycles);
+  }
+}
+BENCHMARK(bench_serve_dispatch_overhead)->Unit(benchmark::kMillisecond);
 
 void bench_serve_cycle_accurate(benchmark::State& state) {
   // Wall-clock scaling of the worker pool on the cycle-accurate simulator;

@@ -21,6 +21,11 @@ float Rng::uniform(float lo, float hi) {
   return d(engine_);
 }
 
+double Rng::uniform_double(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
 float Rng::normal(float mean, float stddev) {
   std::normal_distribution<float> d(mean, stddev);
   return d(engine_);

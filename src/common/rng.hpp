@@ -20,6 +20,11 @@ class Rng {
   /// Uniform float in [lo, hi).
   float uniform(float lo = 0.0f, float hi = 1.0f);
 
+  /// Uniform double in [lo, hi) — full 53-bit mantissa draws, for
+  /// distribution-sensitive consumers (e.g. exponential inter-arrival
+  /// sampling) where float's ~24 bits visibly quantize the tail.
+  double uniform_double(double lo = 0.0, double hi = 1.0);
+
   /// Standard normal.
   float normal(float mean = 0.0f, float stddev = 1.0f);
 

@@ -11,14 +11,46 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
   AXON_CHECK(policy_.max_wait_cycles >= 0, "max_wait_cycles must be >= 0");
 }
 
-void DynamicBatcher::close_group(Group&& group, i64 ready_cycle) {
+namespace {
+
+/// Folds one member into the scheduler-visible aggregates. The single
+/// implementation shared by batch closes, continuous-admission joins, and
+/// open-group views — these must never disagree on scheduling keys.
+void tighten_aggregates(const Request& r, i64& earliest_deadline,
+                        int& top_priority) {
+  if (r.has_deadline() &&
+      (earliest_deadline < 0 || r.deadline_cycle < earliest_deadline)) {
+    earliest_deadline = r.deadline_cycle;
+  }
+  top_priority = std::min(top_priority, r.priority);
+}
+
+}  // namespace
+
+void Batch::absorb(Request r) {
+  AXON_CHECK(!requests.empty(), "absorb into an empty batch");
+  AXON_CHECK(r.gemm.K == gemm.K && r.gemm.N == gemm.N,
+             "absorb requires matching (K, N)");
+  gemm.M += r.gemm.M;
+  tighten_aggregates(r, earliest_deadline, top_priority);
+  requests.push_back(std::move(r));
+}
+
+Batch DynamicBatcher::close_group(Group&& group, i64 ready_cycle) {
+  // Seed the batch from the first member, then absorb() the rest so batch
+  // aggregates (merged M, earliest deadline, top priority) have a single
+  // maintenance path shared with late continuous-admission joins.
   Batch b;
-  b.gemm = group.members.front().gemm;
-  b.gemm.M = 0;
-  for (const auto& r : group.members) b.gemm.M += r.gemm.M;
-  b.requests = std::move(group.members);
+  Request first = std::move(group.members.front());
+  b.gemm = first.gemm;
+  b.top_priority = first.priority;
+  tighten_aggregates(first, b.earliest_deadline, b.top_priority);
+  b.requests.push_back(std::move(first));
+  for (std::size_t i = 1; i < group.members.size(); ++i) {
+    b.absorb(std::move(group.members[i]));
+  }
   b.ready_cycle = ready_cycle;
-  ready_.push_back(std::move(b));
+  return b;
 }
 
 void DynamicBatcher::admit(Request r, i64 now) {
@@ -29,7 +61,7 @@ void DynamicBatcher::admit(Request r, i64 now) {
   if (group.members.empty()) group.oldest_admit = now;
   group.members.push_back(std::move(r));
   if (static_cast<int>(group.members.size()) >= policy_.max_batch) {
-    close_group(std::move(group), now);
+    ready_.push_back(close_group(std::move(group), now));
     open_.erase(key);
   }
 }
@@ -38,7 +70,7 @@ std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
   for (auto it = open_.begin(); it != open_.end();) {
     const i64 deadline = it->second.oldest_admit + policy_.max_wait_cycles;
     if (deadline <= now) {
-      close_group(std::move(it->second), deadline);
+      ready_.push_back(close_group(std::move(it->second), deadline));
       it = open_.erase(it);
     } else {
       ++it;
@@ -56,10 +88,39 @@ std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
 
 std::vector<Batch> DynamicBatcher::flush(i64 now) {
   for (auto& [key, group] : open_) {
-    close_group(std::move(group), now);
+    ready_.push_back(close_group(std::move(group), now));
   }
   open_.clear();
   return pop_ready(now);
+}
+
+std::vector<DynamicBatcher::OpenGroupView> DynamicBatcher::open_views()
+    const {
+  std::vector<OpenGroupView> views;
+  views.reserve(open_.size());
+  for (const auto& [key, group] : open_) {
+    OpenGroupView v;
+    v.K = key.first;
+    v.N = key.second;
+    v.oldest_admit = group.oldest_admit;
+    v.size = static_cast<int>(group.members.size());
+    v.top_priority = group.members.front().priority;
+    for (const auto& r : group.members) {
+      v.merged_m += r.gemm.M;
+      tighten_aggregates(r, v.earliest_deadline, v.top_priority);
+    }
+    views.push_back(v);
+  }
+  return views;
+}
+
+Batch DynamicBatcher::close_open(i64 K, i64 N, i64 now) {
+  const auto it = open_.find(Key{K, N});
+  AXON_CHECK(it != open_.end(), "close_open(): no open group for (", K, ", ",
+             N, ")");
+  Batch b = close_group(std::move(it->second), now);
+  open_.erase(it);
+  return b;
 }
 
 i64 DynamicBatcher::next_timeout() const {

@@ -23,6 +23,13 @@ namespace axon::serve {
 struct BatchPolicy {
   int max_batch = 8;           ///< close when this many requests coalesce
   i64 max_wait_cycles = 4096;  ///< close when the oldest member waited this
+  /// Continuous admission: the pool may close a partially filled group
+  /// early when an accelerator would otherwise idle (it ranks open groups
+  /// against ready batches via open_views()/close_open), and late
+  /// same-(K, N) arrivals join a closed-but-undispatched batch
+  /// (Batch::absorb) instead of starting a fresh group. Decode-style
+  /// one-token requests stop waiting out max_wait when capacity is free.
+  bool continuous_admission = false;
 };
 
 /// A closed batch: members share (K, N); the merged GEMM concatenates
@@ -31,7 +38,17 @@ struct Batch {
   std::vector<Request> requests;
   GemmShape gemm;       ///< M = sum of member Ms
   i64 ready_cycle = 0;  ///< simulated cycle the batch closed
+  /// Earliest member deadline, or -1 when no member has an SLO — the key
+  /// earliest-deadline-first scheduling sorts by.
+  i64 earliest_deadline = -1;
+  /// Most urgent (numerically lowest) member priority class.
+  int top_priority = 0;
+
   [[nodiscard]] int size() const { return static_cast<int>(requests.size()); }
+
+  /// Adds a late same-(K, N) arrival to a not-yet-dispatched batch,
+  /// extending the merged M and tightening deadline/priority aggregates.
+  void absorb(Request r);
 };
 
 class DynamicBatcher {
@@ -51,6 +68,29 @@ class DynamicBatcher {
   /// and no further arrivals can fill the groups.
   std::vector<Batch> flush(i64 now);
 
+  /// Scheduler-visible aggregates of one still-open group, so the pool can
+  /// apply its policy (priority classes, EDF, SJF) when deciding which
+  /// partial group an idle accelerator should take under continuous
+  /// admission.
+  struct OpenGroupView {
+    i64 K = 0;                   ///< group key
+    i64 N = 0;
+    i64 merged_m = 0;            ///< sum of member Ms (for cost estimates)
+    i64 oldest_admit = 0;
+    i64 earliest_deadline = -1;  ///< min member deadline, -1 when none
+    int top_priority = 0;        ///< most urgent member class
+    int size = 0;
+  };
+
+  /// Views of every open group, in (K, N) key order (deterministic).
+  [[nodiscard]] std::vector<OpenGroupView> open_views() const;
+
+  /// Closes and returns the open group with the given key; requires that
+  /// such a group exists (take the key from open_views()).
+  Batch close_open(i64 K, i64 N, i64 now);
+
+  [[nodiscard]] bool has_open() const { return !open_.empty(); }
+
   /// Earliest future cycle at which an open group times out, or -1 when no
   /// group is open. The serving loop uses this as a DES event source.
   [[nodiscard]] i64 next_timeout() const;
@@ -65,7 +105,10 @@ class DynamicBatcher {
   };
   using Key = std::pair<i64, i64>;  ///< (K, N)
 
-  void close_group(Group&& group, i64 ready_cycle);
+  /// Builds the closed Batch for a group; callers decide where it goes
+  /// (ready_ for timeout/max-batch closes, straight to the pool for
+  /// continuous-admission closes).
+  static Batch close_group(Group&& group, i64 ready_cycle);
 
   BatchPolicy policy_;
   std::map<Key, Group> open_;  ///< ordered => deterministic iteration

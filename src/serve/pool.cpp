@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,8 @@ std::string to_string(SchedulePolicy policy) {
       return "FIFO";
     case SchedulePolicy::kShortestJobFirst:
       return "SJF";
+    case SchedulePolicy::kEarliestDeadlineFirst:
+      return "EDF";
   }
   return "?";
 }
@@ -30,25 +33,27 @@ struct ExecOutcome {
   i64 cycles = 0;
 };
 
-/// Pure function of (batch, config): the worker-side batch evaluation.
-ExecOutcome execute_batch(const Batch& batch, const PoolConfig& cfg) {
+/// Pure function of (merged shape, first member id, config): the
+/// worker-side batch evaluation. Takes only the batch's identity — not the
+/// Batch itself — so dispatch ships a 3-word payload to the worker instead
+/// of deep-copying the member request vector and the pool config.
+ExecOutcome execute_batch(const GemmShape& gemm, i64 batch_first_id,
+                          const PoolConfig& cfg) {
   if (cfg.exec == ExecMode::kAnalytical) {
     return {batched_gemm_cycles(cfg.accelerator.arch, cfg.accelerator.dataflow,
-                                batch.gemm, cfg.accelerator.array,
+                                gemm, cfg.accelerator.array,
                                 cfg.dram_bytes_per_cycle)};
   }
   // Cycle-accurate: synthesize operands from a seed derived only from the
   // batch identity, then run the full simulator. The roofline transfer
   // floor applies here too so both modes price weight streaming alike.
-  const auto first_id =
-      static_cast<std::uint64_t>(batch.requests.front().id + 1);
+  const auto first_id = static_cast<std::uint64_t>(batch_first_id + 1);
   Rng rng(cfg.data_seed ^ (0x9E3779B97F4A7C15ull * first_id));
-  const Matrix a = random_matrix(batch.gemm.M, batch.gemm.K, rng);
-  const Matrix b = random_matrix(batch.gemm.K, batch.gemm.N, rng);
+  const Matrix a = random_matrix(gemm.M, gemm.K, rng);
+  const Matrix b = random_matrix(gemm.K, gemm.N, rng);
   Accelerator acc(cfg.accelerator);
   const RunReport r = acc.run_gemm(a, b);
-  const i64 transfer =
-      gemm_transfer_cycles(batch.gemm, cfg.dram_bytes_per_cycle);
+  const i64 transfer = gemm_transfer_cycles(gemm, cfg.dram_bytes_per_cycle);
   return {r.cycles > transfer ? r.cycles : transfer};
 }
 
@@ -71,8 +76,12 @@ AcceleratorPool::AcceleratorPool(PoolConfig config)
 }
 
 i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
+  return estimate_gemm_cycles(batch.gemm);
+}
+
+i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
   return batched_gemm_cycles(config_.accelerator.arch,
-                             config_.accelerator.dataflow, batch.gemm,
+                             config_.accelerator.dataflow, gemm,
                              config_.accelerator.array,
                              config_.dram_bytes_per_cycle);
 }
@@ -103,6 +112,24 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     while (!requests.empty() && requests.next_arrival() <= now) {
       Request r = requests.pop();
       const i64 arrival = r.arrival_cycle;
+      if (config_.batching.continuous_admission) {
+        // Continuous admission, join side: a closed-but-undispatched batch
+        // with the same weights and spare seats takes the late arrival
+        // directly — no reason to start a fresh group and wait out
+        // max_wait again. First match in ready order keeps it
+        // deterministic.
+        bool joined = false;
+        for (auto& rb : ready) {
+          if (rb.batch.size() < config_.batching.max_batch &&
+              rb.batch.gemm.K == r.gemm.K && rb.batch.gemm.N == r.gemm.N) {
+            rb.batch.absorb(std::move(r));
+            rb.estimate = estimate_cycles(rb.batch);
+            joined = true;
+            break;
+          }
+        }
+        if (joined) continue;
+      }
       batcher.admit(std::move(r), arrival);
     }
     // Once the trace is exhausted nothing can fill an open group, so close
@@ -115,29 +142,66 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     }
   };
 
+  // One ordering for everything an idle accelerator could take — a closed
+  // ready batch or, under continuous admission, a still-open group:
+  // priority class first (strict under every policy), then the policy key,
+  // then waiting age, with deterministic tie-breaks (a ready batch beats an
+  // open group on a full tie — it closed first).
+  struct PickKey {
+    int priority = 0;
+    i64 policy_key = 0;  ///< SJF estimate / EDF deadline; ignored for FIFO
+    i64 age_cycle = 0;   ///< batch ready cycle, or group oldest admit
+    bool open_group = false;
+    i64 id0 = 0;  ///< first request id (batch) or K (group)
+    i64 id1 = 0;  ///< 0 (batch) or N (group)
+  };
+  const auto key_better = [&](const PickKey& a, const PickKey& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (config_.policy != SchedulePolicy::kFifo &&
+        a.policy_key != b.policy_key) {
+      return a.policy_key < b.policy_key;
+    }
+    if (a.age_cycle != b.age_cycle) return a.age_cycle < b.age_cycle;
+    if (a.open_group != b.open_group) return !a.open_group;
+    if (a.id0 != b.id0) return a.id0 < b.id0;
+    return a.id1 < b.id1;
+  };
+  const auto batch_key = [&](const ReadyBatch& rb) {
+    PickKey k;
+    k.priority = rb.batch.top_priority;
+    k.policy_key = config_.policy == SchedulePolicy::kShortestJobFirst
+                       ? rb.estimate
+                       : (rb.batch.earliest_deadline < 0
+                              ? std::numeric_limits<i64>::max()
+                              : rb.batch.earliest_deadline);
+    k.age_cycle = rb.batch.ready_cycle;
+    k.id0 = rb.batch.requests.front().id;
+    return k;
+  };
+  const auto view_key = [&](const DynamicBatcher::OpenGroupView& v) {
+    PickKey k;
+    k.priority = v.top_priority;
+    k.policy_key = config_.policy == SchedulePolicy::kShortestJobFirst
+                       ? estimate_gemm_cycles({v.merged_m, v.K, v.N})
+                       : (v.earliest_deadline < 0
+                              ? std::numeric_limits<i64>::max()
+                              : v.earliest_deadline);
+    k.age_cycle = v.oldest_admit;
+    k.open_group = true;
+    k.id0 = v.K;
+    k.id1 = v.N;
+    return k;
+  };
   const auto pick_next_batch = [&]() -> std::size_t {
     std::size_t best = 0;
     for (std::size_t i = 1; i < ready.size(); ++i) {
-      const ReadyBatch& a = ready[i];
-      const ReadyBatch& b = ready[best];
-      bool better = false;
-      if (config_.policy == SchedulePolicy::kShortestJobFirst &&
-          a.estimate != b.estimate) {
-        better = a.estimate < b.estimate;
-      } else if (a.batch.ready_cycle != b.batch.ready_cycle) {
-        better = a.batch.ready_cycle < b.batch.ready_cycle;
-      } else {
-        better =
-            a.batch.requests.front().id < b.batch.requests.front().id;
-      }
-      if (better) best = i;
+      if (key_better(batch_key(ready[i]), batch_key(ready[best]))) best = i;
     }
     return best;
   };
 
   const auto dispatch = [&] {
     for (;;) {
-      if (ready.empty()) return;
       int acc = -1;
       for (int i = 0; i < config_.num_accelerators; ++i) {
         if (!busy[static_cast<std::size_t>(i)]) {
@@ -146,14 +210,45 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         }
       }
       if (acc < 0) return;
-      const std::size_t chosen = pick_next_batch();
+      // Continuous admission, dispatch side: an idle accelerator may take
+      // a partially filled group rather than letting it ripen to
+      // max_batch/max_wait while capacity sits free. Open groups compete
+      // with ready batches under the same key_better ordering, so an
+      // urgent open group beats a lax ready batch and vice versa.
+      const bool can_take_open =
+          config_.batching.continuous_admission && batcher.has_open();
+      if (ready.empty() && !can_take_open) return;
+      std::size_t chosen = ready.empty() ? 0 : pick_next_batch();
+      if (can_take_open) {
+        const auto views = batcher.open_views();
+        std::size_t best_view = 0;
+        for (std::size_t i = 1; i < views.size(); ++i) {
+          if (key_better(view_key(views[i]), view_key(views[best_view]))) {
+            best_view = i;
+          }
+        }
+        if (ready.empty() ||
+            key_better(view_key(views[best_view]), batch_key(ready[chosen]))) {
+          Batch b =
+              batcher.close_open(views[best_view].K, views[best_view].N, now);
+          const i64 estimate = estimate_cycles(b);
+          ready.push_back({std::move(b), estimate});
+          chosen = ready.size() - 1;
+        }
+      }
       InFlight f;
       f.accelerator = acc;
       f.batch = std::move(ready[chosen].batch);
       ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
       f.dispatch_cycle = now;
-      f.future = workers.submit(
-          [batch = f.batch, cfg = config_] { return execute_batch(batch, cfg); });
+      // The worker needs only the merged shape and the first member id (the
+      // operand seed); share the long-lived config by reference instead of
+      // copying it and the whole request vector per dispatch.
+      f.future = workers.submit([gemm = f.batch.gemm,
+                                 first_id = f.batch.requests.front().id,
+                                 &cfg = config_] {
+        return execute_batch(gemm, first_id, cfg);
+      });
       busy[static_cast<std::size_t>(acc)] = true;
       inflight.push_back(std::move(f));
     }
@@ -203,6 +298,8 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         rec.arrival_cycle = r.arrival_cycle;
         rec.dispatch_cycle = f.dispatch_cycle;
         rec.completion_cycle = f.completion_cycle;
+        rec.deadline_cycle = r.deadline_cycle;
+        rec.priority = r.priority;
         rec.batch_size = f.batch.size();
         rec.accelerator = f.accelerator;
         report.records.push_back(std::move(rec));

@@ -27,10 +27,15 @@
 
 namespace axon::serve {
 
-/// Order in which ready batches grab free accelerators.
+/// Order in which ready batches grab free accelerators. Every policy
+/// first honours priority classes strictly (a lower-class batch never
+/// jumps a higher one), then applies its own key, then breaks remaining
+/// ties by ready cycle and first request id — fully deterministic.
 enum class SchedulePolicy {
-  kFifo,              ///< by batch ready cycle (then first request id)
-  kShortestJobFirst,  ///< by analytically estimated batch cycles
+  kFifo,                   ///< by batch ready cycle (then first request id)
+  kShortestJobFirst,       ///< by analytically estimated batch cycles
+  kEarliestDeadlineFirst,  ///< by earliest member SLO deadline; batches
+                           ///< without deadlines go last
 };
 
 std::string to_string(SchedulePolicy policy);
@@ -72,6 +77,9 @@ class AcceleratorPool {
   /// Analytical cycle estimate for one batch under this pool's config —
   /// the quantity shortest-job-first sorts by.
   [[nodiscard]] i64 estimate_cycles(const Batch& batch) const;
+  /// Same estimate for a bare merged shape (used to price still-open
+  /// groups when continuous admission picks one for an idle accelerator).
+  [[nodiscard]] i64 estimate_gemm_cycles(const GemmShape& gemm) const;
 
  private:
   PoolConfig config_;

@@ -7,6 +7,25 @@
 
 namespace axon::serve {
 
+void GroupStats::add(const RequestRecord& r) {
+  ++requests;
+  latency.add(r.latency_cycles());
+  if (r.has_deadline()) {
+    ++with_deadline;
+    if (r.met_deadline()) {
+      ++met_deadline;
+    } else {
+      miss.add(r.miss_cycles());
+    }
+  }
+}
+
+double GroupStats::slo_attainment() const {
+  if (with_deadline == 0) return 1.0;
+  return static_cast<double>(met_deadline) /
+         static_cast<double>(with_deadline);
+}
+
 void ServeReport::finalize() {
   std::sort(records.begin(), records.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
@@ -14,11 +33,17 @@ void ServeReport::finalize() {
             });
   latency = Histogram();
   queueing = Histogram();
+  overall = GroupStats();
+  by_workload.clear();
+  by_class.clear();
   makespan_cycles = 0;
   for (const auto& r : records) {
     latency.add(r.latency_cycles());
     queueing.add(r.queue_cycles());
     makespan_cycles = std::max(makespan_cycles, r.completion_cycle);
+    overall.add(r);
+    by_workload[r.workload].add(r);
+    by_class[r.priority].add(r);
   }
 }
 
@@ -41,6 +66,26 @@ double ServeReport::fleet_utilization() const {
           static_cast<double>(makespan_cycles));
 }
 
+namespace {
+
+void add_breakdown_row(Table& t, const std::string& label,
+                       const GroupStats& g) {
+  Table& row = t.row()
+                   .cell(label)
+                   .cell(static_cast<i64>(g.requests))
+                   .cell(g.latency.percentile_or(50))
+                   .cell(g.latency.percentile_or(99));
+  // A slice with no SLO-carrying requests has nothing to attain or miss —
+  // "100.0" there would read as "deadlines tracked and met".
+  if (g.with_deadline > 0) {
+    row.cell(100.0 * g.slo_attainment(), 1).cell(g.miss.percentile_or(99));
+  } else {
+    row.cell("-").cell("-");
+  }
+}
+
+}  // namespace
+
 std::string ServeReport::summary() const {
   std::ostringstream os;
   os << "requests: " << num_requests() << "  batches: " << total_batches
@@ -52,6 +97,24 @@ std::string ServeReport::summary() const {
      << "throughput: " << fmt_double(throughput_per_mcycle(), 2)
      << " req/Mcycle  utilization: "
      << fmt_double(100.0 * fleet_utilization(), 1) << "%\n";
+  if (overall.with_deadline > 0) {
+    os << "slo: " << overall.met_deadline << "/" << overall.with_deadline
+       << " in budget (" << fmt_double(100.0 * slo_attainment(), 1)
+       << "%)  miss p99: " << overall.miss.percentile_or(99) << " cycles\n";
+  }
+  if (!by_workload.empty() && num_requests() > 0) {
+    Table t({"workload", "n", "p50", "p99", "slo_%", "miss_p99"});
+    for (const auto& [name, g] : by_workload) add_breakdown_row(t, name, g);
+    t.print(os, "Per-workload breakdown");
+  }
+  // The class breakdown only earns its lines when classes actually differ.
+  if (by_class.size() > 1) {
+    Table t({"class", "n", "p50", "p99", "slo_%", "miss_p99"});
+    for (const auto& [prio, g] : by_class) {
+      add_breakdown_row(t, std::to_string(prio), g);
+    }
+    t.print(os, "Per-priority-class breakdown");
+  }
   return os.str();
 }
 

@@ -1,11 +1,13 @@
 // Inference serving, layer 4: results. Per-request queueing/compute
 // latency records plus fleet-level aggregates — percentile latencies
 // (sim/stats Histogram), throughput, accelerator utilization, batching
-// effectiveness. Everything is in simulated cycles; wall-clock fields are
+// effectiveness, and SLO attainment with per-workload / per-priority-class
+// breakdowns. Everything is in simulated cycles; wall-clock fields are
 // reported separately so the "N threads give the same simulated answer"
 // determinism contract stays visible.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@ struct RequestRecord {
   i64 arrival_cycle = 0;
   i64 dispatch_cycle = 0;    ///< batch handed to an accelerator
   i64 completion_cycle = 0;  ///< batch finished
+  i64 deadline_cycle = -1;   ///< absolute SLO deadline; -1 = no SLO
+  int priority = 0;          ///< priority class (lower = more urgent)
   int batch_size = 0;        ///< members of the batch it rode in
   int accelerator = -1;      ///< pool member that executed it
 
@@ -35,6 +39,29 @@ struct RequestRecord {
   [[nodiscard]] i64 latency_cycles() const {
     return completion_cycle - arrival_cycle;
   }
+  [[nodiscard]] bool has_deadline() const { return deadline_cycle >= 0; }
+  [[nodiscard]] bool met_deadline() const {
+    return !has_deadline() || completion_cycle <= deadline_cycle;
+  }
+  /// Cycles past the deadline (0 when met or no SLO).
+  [[nodiscard]] i64 miss_cycles() const {
+    return met_deadline() ? 0 : completion_cycle - deadline_cycle;
+  }
+};
+
+/// Aggregates for one slice of the trace — a workload, a priority class,
+/// or the whole fleet. All accessors are well-formed on an empty slice.
+struct GroupStats {
+  std::size_t requests = 0;
+  std::size_t with_deadline = 0;  ///< members carrying an SLO
+  std::size_t met_deadline = 0;   ///< ... that completed in budget
+  Histogram latency;              ///< end-to-end latency samples
+  Histogram miss;                 ///< overage cycles of missed requests
+
+  void add(const RequestRecord& r);
+  /// Fraction of SLO-carrying requests that met their deadline; 1.0 when
+  /// the slice carries no deadlines (nothing to violate).
+  [[nodiscard]] double slo_attainment() const;
 };
 
 struct ServeReport {
@@ -50,8 +77,13 @@ struct ServeReport {
   Histogram latency;  ///< end-to-end latency samples (cycles)
   Histogram queueing; ///< queueing-delay samples (cycles)
 
-  /// Recomputes histograms and aggregate cycles from `records`; the pool
-  /// calls this once after the simulation drains.
+  GroupStats overall;                          ///< fleet-wide SLO slice
+  std::map<std::string, GroupStats> by_workload;
+  std::map<int, GroupStats> by_class;          ///< keyed by priority class
+
+  /// Recomputes histograms, breakdowns, and aggregate cycles from
+  /// `records`; the pool calls this once after the simulation drains.
+  /// Well-formed (all-zero aggregates) when the trace produced no records.
   void finalize();
 
   [[nodiscard]] std::size_t num_requests() const { return records.size(); }
@@ -60,8 +92,13 @@ struct ServeReport {
   [[nodiscard]] double throughput_per_mcycle() const;
   /// Busy cycles / (accelerators * makespan).
   [[nodiscard]] double fleet_utilization() const;
+  /// Fleet-wide SLO attainment (see GroupStats::slo_attainment).
+  [[nodiscard]] double slo_attainment() const {
+    return overall.slo_attainment();
+  }
 
-  /// Multi-line human-readable summary.
+  /// Multi-line human-readable summary; never throws, even with zero
+  /// records.
   [[nodiscard]] std::string summary() const;
 };
 

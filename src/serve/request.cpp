@@ -15,6 +15,8 @@ void RequestQueue::push(Request r) {
                  r.arrival_cycle >= requests_.back().arrival_cycle,
              "requests must be pushed in arrival order (got cycle ",
              r.arrival_cycle, " after ", requests_.back().arrival_cycle, ")");
+  AXON_CHECK(!r.has_deadline() || r.deadline_cycle >= r.arrival_cycle,
+             "deadline before arrival");
   requests_.push_back(std::move(r));
 }
 
@@ -32,6 +34,44 @@ Request RequestQueue::pop() {
   return r;
 }
 
+const SloPolicy& TrafficClassMap::for_workload(const std::string& name) const {
+  const auto it = per_workload.find(name);
+  return it == per_workload.end() ? default_policy : it->second;
+}
+
+namespace {
+
+/// Exponential draw with the given mean, in full double precision.
+/// uniform_real_distribution can round up to exactly 1.0 (LWG 2524), which
+/// would make the gap infinite — clamp below 1 so log stays finite.
+double exponential(double mean, Rng& rng) {
+  const double u = std::min(rng.uniform_double(0.0, 1.0), 1.0 - 1e-12);
+  return -mean * std::log(1.0 - u);
+}
+
+/// Draws a workload uniformly from the mix and stamps id, arrival, and the
+/// workload's SLO/priority onto a request. `when` is in continuous cycles;
+/// arrival rounds to nearest (std::llround) — truncation would shave an
+/// expected half-cycle off every gap and bias the realized rate upward.
+Request make_request(i64 id, double when, const std::vector<GemmWorkload>& mix,
+                     const TrafficClassMap& classes, Rng& rng) {
+  const auto& w = mix[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(mix.size()) - 1))];
+  const SloPolicy& slo = classes.for_workload(w.name);
+  Request r;
+  r.id = id;
+  r.workload = w.name;
+  r.gemm = w.shape;
+  r.arrival_cycle = std::llround(when);
+  if (slo.slo_budget_cycles >= 0) {
+    r.deadline_cycle = r.arrival_cycle + slo.slo_budget_cycles;
+  }
+  r.priority = slo.priority;
+  return r;
+}
+
+}  // namespace
+
 RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
                             const TraceConfig& config, Rng& rng) {
   AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
@@ -40,23 +80,69 @@ RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
              "negative mean inter-arrival");
 
   RequestQueue queue;
-  i64 now = 0;
+  double now = 0.0;
   for (int i = 0; i < config.num_requests; ++i) {
-    // Exponential gap: -mean * ln(1 - u). uniform_real_distribution can
-    // round up to exactly 1.0f (LWG 2524), which would make the gap
-    // infinite — clamp below 1 so the cast to cycles stays defined.
-    const double u =
-        std::min(static_cast<double>(rng.uniform(0.0f, 1.0f)), 1.0 - 1e-7);
-    const double gap = -config.mean_interarrival_cycles * std::log(1.0 - u);
-    now += static_cast<i64>(gap);
-    const auto& w =
-        mix[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(mix.size()) - 1))];
-    Request r;
-    r.id = i;
-    r.workload = w.name;
-    r.gemm = w.shape;
-    r.arrival_cycle = now;
-    queue.push(std::move(r));
+    now += exponential(config.mean_interarrival_cycles, rng);
+    queue.push(make_request(i, now, mix, config.classes, rng));
+  }
+  return queue;
+}
+
+RequestQueue generate_bursty_trace(const std::vector<GemmWorkload>& mix,
+                                   const BurstyTraceConfig& config, Rng& rng) {
+  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
+  AXON_CHECK(config.num_requests >= 0, "negative request count");
+  AXON_CHECK(config.burst_interarrival_cycles >= 0.0,
+             "negative burst inter-arrival");
+  AXON_CHECK(config.mean_on_cycles > 0.0, "ON dwell must be positive");
+  AXON_CHECK(config.mean_off_cycles >= 0.0, "negative OFF dwell");
+
+  RequestQueue queue;
+  double now = 0.0;
+  double state_end = exponential(config.mean_on_cycles, rng);  // start ON
+  for (int i = 0; i < config.num_requests; ++i) {
+    // Draw gaps inside the ON window; a gap that crosses the window's end
+    // is discarded (memorylessness makes redraw-after-jump equivalent) and
+    // time jumps over the OFF dwell into the next ON window.
+    for (;;) {
+      const double gap = exponential(config.burst_interarrival_cycles, rng);
+      if (now + gap <= state_end) {
+        now += gap;
+        break;
+      }
+      now = state_end + exponential(config.mean_off_cycles, rng);
+      state_end = now + exponential(config.mean_on_cycles, rng);
+    }
+    queue.push(make_request(i, now, mix, config.classes, rng));
+  }
+  return queue;
+}
+
+RequestQueue generate_closed_loop_trace(const std::vector<GemmWorkload>& mix,
+                                        const ClosedLoopTraceConfig& config,
+                                        Rng& rng) {
+  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
+  AXON_CHECK(config.num_requests >= 0, "negative request count");
+  AXON_CHECK(config.num_clients >= 1, "closed loop needs >= 1 client");
+  AXON_CHECK(config.mean_think_cycles >= 0.0, "negative think time");
+  AXON_CHECK(config.service_estimate_cycles >= 0.0,
+             "negative service estimate");
+
+  // next_issue[c] = continuous cycle client c will issue its next request.
+  std::vector<double> next_issue(static_cast<std::size_t>(config.num_clients));
+  for (auto& t : next_issue) t = exponential(config.mean_think_cycles, rng);
+
+  RequestQueue queue;
+  for (int i = 0; i < config.num_requests; ++i) {
+    // Earliest-issuing client; ties break on the lowest client id so the
+    // trace is a pure function of the seed.
+    const std::size_t c = static_cast<std::size_t>(
+        std::min_element(next_issue.begin(), next_issue.end()) -
+        next_issue.begin());
+    const double when = next_issue[c];
+    queue.push(make_request(i, when, mix, config.classes, rng));
+    next_issue[c] = when + config.service_estimate_cycles +
+                    exponential(config.mean_think_cycles, rng);
   }
   return queue;
 }

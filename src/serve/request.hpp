@@ -4,9 +4,22 @@
 // a conv layer lowered via im2col (workloads/convnets lowered_gemms). All
 // trace randomness flows through common/rng, so a trace is reproducible
 // from its seed and the whole serving simulation is deterministic.
+//
+// Three arrival processes cover the realistic traffic shapes:
+//   - open loop   (generate_trace): Poisson — exponential gaps, rate fixed
+//     regardless of how the fleet keeps up.
+//   - bursty      (generate_bursty_trace): Markov-modulated on/off Poisson —
+//     exponential dwell in an ON state that emits Poisson arrivals and an
+//     OFF state that emits nothing. The diurnal-spike / thundering-herd
+//     shape that makes SLO scheduling interesting.
+//   - closed loop (generate_closed_loop_trace): a fixed client population;
+//     each client thinks (exponential), issues one request, and only
+//     re-issues after its request would have completed. Load self-limits
+//     with population size instead of growing without bound.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,6 +35,12 @@ struct Request {
   std::string workload;  ///< workload name, for reports
   GemmShape gemm;        ///< the GEMM this request executes
   i64 arrival_cycle = 0;
+  /// Absolute SLO deadline (arrival + per-workload budget); -1 = no SLO.
+  i64 deadline_cycle = -1;
+  /// Priority class; LOWER is more urgent (0 = interactive, 1 = batch, ...).
+  int priority = 0;
+
+  [[nodiscard]] bool has_deadline() const { return deadline_cycle >= 0; }
 };
 
 /// Arrival-ordered FIFO of requests. push() enforces non-decreasing
@@ -42,18 +61,67 @@ class RequestQueue {
   std::deque<Request> requests_;
 };
 
+/// SLO budget + priority class assigned to requests of one workload.
+struct SloPolicy {
+  i64 slo_budget_cycles = -1;  ///< deadline = arrival + budget; -1 = no SLO
+  int priority = 0;            ///< lower = more urgent
+};
+
+/// Per-workload SLO/priority assignment used by every trace generator:
+/// exact workload-name matches win, everything else gets the default.
+struct TrafficClassMap {
+  SloPolicy default_policy;
+  std::map<std::string, SloPolicy> per_workload;
+
+  [[nodiscard]] const SloPolicy& for_workload(const std::string& name) const;
+};
+
 /// Synthetic open-loop traffic: request count, Poisson-style arrivals
 /// (exponential inter-arrival gaps with the given mean), and a uniform
 /// draw over the workload mix per request.
 struct TraceConfig {
   int num_requests = 64;
   double mean_interarrival_cycles = 2000.0;
+  TrafficClassMap classes;
 };
 
 /// Generates a deterministic trace: same mix + config + rng seed => the
 /// same requests, ids, and arrival cycles.
 RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
                             const TraceConfig& config, Rng& rng);
+
+/// Markov-modulated on/off Poisson process: ON emits Poisson arrivals at
+/// the burst rate, OFF emits nothing; dwell times in each state are
+/// exponential. Long-run average rate is on_fraction / burst gap where
+/// on_fraction = mean_on / (mean_on + mean_off).
+struct BurstyTraceConfig {
+  int num_requests = 64;
+  double burst_interarrival_cycles = 500.0;  ///< mean gap while ON
+  double mean_on_cycles = 50000.0;           ///< exponential ON dwell
+  double mean_off_cycles = 150000.0;         ///< exponential OFF dwell
+  TrafficClassMap classes;
+};
+
+RequestQueue generate_bursty_trace(const std::vector<GemmWorkload>& mix,
+                                   const BurstyTraceConfig& config, Rng& rng);
+
+/// Closed-loop traffic: `num_clients` clients each cycle through
+/// think -> issue -> (service) -> think. The generator runs ahead of the
+/// serving simulation, so the service phase uses a fixed per-request
+/// estimate as the completion-feedback stand-in; the think draw is
+/// exponential. Offered load self-limits at num_clients concurrent
+/// requests — the canonical alternative to open-loop overload.
+struct ClosedLoopTraceConfig {
+  int num_requests = 64;
+  int num_clients = 8;
+  double mean_think_cycles = 20000.0;
+  double service_estimate_cycles = 5000.0;  ///< completion stand-in
+  TrafficClassMap classes;
+};
+
+RequestQueue generate_closed_loop_trace(const std::vector<GemmWorkload>& mix,
+                                        const ClosedLoopTraceConfig& config,
+                                        Rng& rng);
 
 /// Serving mixes used by the examples/bench sweeps.
 /// ResNet50 conv layers lowered to their im2col GEMMs.

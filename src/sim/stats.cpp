@@ -75,6 +75,10 @@ std::int64_t Histogram::percentile(double p) const {
   return samples_[rank - 1];
 }
 
+std::int64_t Histogram::percentile_or(double p, std::int64_t fallback) const {
+  return samples_.empty() ? fallback : percentile(p);
+}
+
 std::string Histogram::summary() const {
   std::ostringstream os;
   os << "n=" << count();

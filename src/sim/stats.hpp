@@ -69,6 +69,12 @@ class Histogram {
   /// the histogram is empty.
   [[nodiscard]] std::int64_t percentile(double p) const;
 
+  /// percentile(), except an empty histogram yields `fallback` instead of
+  /// throwing — for report paths that must stay well-formed on zero-request
+  /// traces (per-workload breakdowns routinely have empty slices).
+  [[nodiscard]] std::int64_t percentile_or(double p,
+                                           std::int64_t fallback = 0) const;
+
   /// "n=... min=... p50=... p95=... p99=... max=..." one-liner.
   [[nodiscard]] std::string summary() const;
 

@@ -94,5 +94,106 @@ TEST(DynamicBatcherTest, NextTimeoutTracksOldestOpenGroup) {
   EXPECT_EQ(b.next_timeout(), 110);  // oldest admit 10 + 100
 }
 
+TEST(DynamicBatcherTest, MaxBatchClosureStampsAdmitCycle) {
+  // A group filled to max_batch closes at the admit that filled it — the
+  // ready cycle must be that admit's cycle, not the later pop_ready call.
+  DynamicBatcher b({/*max_batch=*/3, /*max_wait_cycles=*/1000000});
+  b.admit(req(0, 4, 64, 64, 5), 5);
+  b.admit(req(1, 4, 64, 64, 6), 6);
+  b.admit(req(2, 4, 64, 64, 7), 7);
+  auto ready = b.pop_ready(9000);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].ready_cycle, 7);
+}
+
+TEST(DynamicBatcherTest, BatchAggregatesDeadlineAndPriority) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/0});
+  Request r0 = req(0, 4, 64, 64, 0);
+  r0.deadline_cycle = 900;
+  r0.priority = 2;
+  Request r1 = req(1, 4, 64, 64, 0);
+  r1.deadline_cycle = 500;
+  r1.priority = 1;
+  Request r2 = req(2, 4, 64, 64, 0);  // no deadline, default priority 0
+  b.admit(std::move(r0), 0);
+  b.admit(std::move(r1), 0);
+  b.admit(std::move(r2), 0);
+  auto ready = b.pop_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].earliest_deadline, 500);  // tightest member SLO
+  EXPECT_EQ(ready[0].top_priority, 0);         // most urgent member class
+}
+
+TEST(DynamicBatcherTest, NoDeadlineMembersLeaveBatchDeadlineUnset) {
+  DynamicBatcher b({/*max_batch=*/2, /*max_wait_cycles=*/100});
+  b.admit(req(0, 4, 64, 64, 0), 0);
+  b.admit(req(1, 4, 64, 64, 0), 0);
+  auto ready = b.pop_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].earliest_deadline, -1);
+}
+
+TEST(DynamicBatcherTest, OpenViewsExposeSchedulerAggregates) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/1000000});
+  Request r0 = req(0, 4, 64, 64, 50);
+  r0.priority = 1;
+  b.admit(std::move(r0), 50);
+  Request r1 = req(1, 4, 32, 32, 10);
+  r1.deadline_cycle = 700;
+  b.admit(std::move(r1), 10);
+  Request r2 = req(2, 8, 32, 32, 20);
+  r2.deadline_cycle = 300;
+  b.admit(std::move(r2), 20);
+
+  const auto views = b.open_views();
+  ASSERT_EQ(views.size(), 2u);  // (K, N) key order: (32,32) then (64,64)
+  EXPECT_EQ(views[0].K, 32);
+  EXPECT_EQ(views[0].size, 2);
+  EXPECT_EQ(views[0].merged_m, 12);
+  EXPECT_EQ(views[0].oldest_admit, 10);
+  EXPECT_EQ(views[0].earliest_deadline, 300);
+  EXPECT_EQ(views[0].top_priority, 0);
+  EXPECT_EQ(views[1].K, 64);
+  EXPECT_EQ(views[1].earliest_deadline, -1);
+  EXPECT_EQ(views[1].top_priority, 1);
+}
+
+TEST(DynamicBatcherTest, CloseOpenRemovesExactlyThatGroup) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/1000000});
+  b.admit(req(0, 4, 64, 64, 50), 50);
+  b.admit(req(1, 4, 32, 32, 10), 10);
+  ASSERT_TRUE(b.has_open());
+  Batch closed = b.close_open(32, 32, 60);
+  EXPECT_EQ(closed.requests.front().id, 1);
+  EXPECT_EQ(closed.ready_cycle, 60);
+  EXPECT_EQ(b.open_requests(), 1u);
+  // The remaining group is untouched and still times out normally.
+  EXPECT_EQ(b.next_timeout(), 50 + 1000000);
+  // A ready batch queued earlier must be unaffected by close_open.
+  auto still_ready = b.pop_ready(50 + 1000000);
+  ASSERT_EQ(still_ready.size(), 1u);
+  EXPECT_EQ(still_ready[0].requests.front().id, 0);
+}
+
+TEST(BatchTest, AbsorbExtendsShapeAndTightensAggregates) {
+  DynamicBatcher b({/*max_batch=*/8, /*max_wait_cycles=*/0});
+  Request r0 = req(0, 4, 64, 64, 0);
+  r0.deadline_cycle = 800;
+  r0.priority = 1;
+  b.admit(std::move(r0), 0);
+  auto ready = b.pop_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  Batch batch = std::move(ready[0]);
+
+  Request late = req(5, 8, 64, 64, 30);
+  late.deadline_cycle = 400;
+  late.priority = 0;
+  batch.absorb(std::move(late));
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.gemm.M, 12);
+  EXPECT_EQ(batch.earliest_deadline, 400);
+  EXPECT_EQ(batch.top_priority, 0);
+}
+
 }  // namespace
 }  // namespace axon::serve

@@ -159,6 +159,210 @@ TEST(AcceleratorPoolTest, SjfBeatsFifoMeanLatencyOnBimodalBurst) {
   EXPECT_EQ(sjf.total_busy_cycles, fifo.total_busy_cycles);
 }
 
+Request make_req(i64 id, const GemmShape& shape, i64 arrival,
+                 i64 deadline = -1, int priority = 0) {
+  Request r;
+  r.id = id;
+  r.workload = "w" + std::to_string(id);
+  r.gemm = shape;
+  r.arrival_cycle = arrival;
+  r.deadline_cycle = deadline;
+  r.priority = priority;
+  return r;
+}
+
+TEST(AcceleratorPoolTest, EdfMeetsTightDeadlineFifoMisses) {
+  // One accelerator, no batching. A huge no-SLO job and a tiny job with a
+  // tight SLO arrive together. FIFO runs the huge job first (lower id) and
+  // blows the tiny job's deadline; EDF runs the tiny job first and meets
+  // it. The tiny job's budget is self-calibrated to twice its standalone
+  // latency so the test tracks the cost model instead of hardcoding cycles.
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {1, 0};
+  const GemmShape huge{256, 64, 64};
+  const GemmShape tiny{4, 8, 8};
+
+  RequestQueue alone;
+  alone.push(make_req(0, tiny, 0));
+  const ServeReport solo = AcceleratorPool(cfg).serve(std::move(alone));
+  const i64 budget = 2 * solo.records[0].latency_cycles();
+
+  const auto trace = [&] {
+    RequestQueue q;
+    q.push(make_req(0, huge, 0));
+    q.push(make_req(1, tiny, 0, /*deadline=*/budget));
+    return q;
+  };
+  cfg.policy = SchedulePolicy::kFifo;
+  const ServeReport fifo = AcceleratorPool(cfg).serve(trace());
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  const ServeReport edf = AcceleratorPool(cfg).serve(trace());
+
+  EXPECT_LT(fifo.slo_attainment(), 1.0);
+  EXPECT_DOUBLE_EQ(edf.slo_attainment(), 1.0);
+  EXPECT_GT(edf.slo_attainment(), fifo.slo_attainment());
+  // Deadline-free batches go last under EDF, so the huge job still runs.
+  EXPECT_EQ(edf.num_requests(), 2u);
+}
+
+TEST(AcceleratorPoolTest, PriorityClassesOrderStrictlyUnderEveryPolicy) {
+  // Two same-cycle singleton batches; id 0 is class 1, id 1 is class 0.
+  // Under every policy the more urgent class dispatches first even though
+  // FIFO's id tie-break would favour id 0.
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst,
+        SchedulePolicy::kEarliestDeadlineFirst}) {
+    PoolConfig cfg = base_config();
+    cfg.num_accelerators = 1;
+    cfg.batching = {1, 0};
+    cfg.policy = policy;
+    RequestQueue q;
+    q.push(make_req(0, {4, 8, 8}, 0, -1, /*priority=*/1));
+    q.push(make_req(1, {4, 8, 8}, 0, -1, /*priority=*/0));
+    const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+    ASSERT_EQ(rep.records.size(), 2u);
+    EXPECT_LT(rep.records[1].dispatch_cycle, rep.records[0].dispatch_cycle)
+        << to_string(policy);
+  }
+}
+
+TEST(AcceleratorPoolTest, TiedBatchesDispatchByFirstIdUnderEveryPolicy) {
+  // Three identical same-cycle singletons tie on priority, estimate,
+  // deadline, and ready cycle — every policy must fall through to the
+  // first-member-id tie-break, and repeat runs must agree exactly.
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst,
+        SchedulePolicy::kEarliestDeadlineFirst}) {
+    const auto run = [&] {
+      PoolConfig cfg = base_config();
+      cfg.num_accelerators = 1;
+      cfg.batching = {1, 0};
+      cfg.policy = policy;
+      RequestQueue q;
+      for (i64 i = 0; i < 3; ++i) q.push(make_req(i, {4, 8, 8}, 0, 100000));
+      return AcceleratorPool(cfg).serve(std::move(q));
+    };
+    const ServeReport a = run();
+    ASSERT_EQ(a.records.size(), 3u);
+    EXPECT_LT(a.records[0].dispatch_cycle, a.records[1].dispatch_cycle);
+    EXPECT_LT(a.records[1].dispatch_cycle, a.records[2].dispatch_cycle);
+    expect_same_simulated_results(a, run());
+  }
+}
+
+TEST(AcceleratorPoolTest, ContinuousAdmissionDispatchesWithoutMaxWait) {
+  // A lone decode-style request with a free accelerator must not ripen for
+  // max_wait when continuous admission is on; with it off, it waits the
+  // full window (a later pending arrival keeps the trace open).
+  const auto trace = [] {
+    RequestQueue q;
+    q.push(make_req(0, {4, 8, 8}, 0));
+    q.push(make_req(1, {4, 8, 8}, 50000));
+    return q;
+  };
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/10000};
+
+  const ServeReport waiting = AcceleratorPool(cfg).serve(trace());
+  EXPECT_EQ(waiting.records[0].dispatch_cycle, 10000);
+
+  cfg.batching.continuous_admission = true;
+  const ServeReport eager = AcceleratorPool(cfg).serve(trace());
+  EXPECT_EQ(eager.records[0].dispatch_cycle, 0);
+  EXPECT_EQ(eager.records[1].dispatch_cycle, 50000);
+}
+
+TEST(AcceleratorPoolTest, LateArrivalJoinsUndispatchedReadyBatch) {
+  // r0 occupies the only accelerator for a long time. r1's group times out
+  // and sits ready; r2 arrives later with the same (K, N) and spare seats
+  // and must ride r1's batch instead of opening a fresh group.
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {/*max_batch=*/4, /*max_wait_cycles=*/100};
+  cfg.batching.continuous_admission = true;
+  RequestQueue q;
+  q.push(make_req(0, {512, 64, 64}, 0));   // long-running head of line
+  q.push(make_req(1, {4, 32, 32}, 10));
+  q.push(make_req(2, {4, 32, 32}, 500));   // after r1's group closed at 110
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  ASSERT_EQ(rep.records.size(), 3u);
+  // r0 must still be busy when r2 arrives, or the scenario is vacuous.
+  ASSERT_GT(rep.records[0].completion_cycle, 500);
+  EXPECT_EQ(rep.records[1].batch_size, 2);
+  EXPECT_EQ(rep.records[2].batch_size, 2);
+  EXPECT_EQ(rep.records[1].completion_cycle, rep.records[2].completion_cycle);
+}
+
+TEST(AcceleratorPoolTest, EagerCloseOfOpenGroupsHonoursPriority) {
+  // Continuous admission with one accelerator occupied: two open groups
+  // wait, the older one class 1, the newer one class 0. When the
+  // accelerator frees, the eager close must take the urgent group first —
+  // by-age closing would invert the strict class ordering.
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/1000000};
+  cfg.batching.continuous_admission = true;
+  RequestQueue q;
+  q.push(make_req(0, {64, 32, 32}, 0));                  // occupies the pool
+  q.push(make_req(1, {4, 16, 16}, 5, -1, /*priority=*/1));  // older group
+  q.push(make_req(2, {4, 8, 8}, 10, -1, /*priority=*/0));   // urgent group
+  // A far-future arrival keeps the trace open, so the groups leave the
+  // batcher through the eager-close path rather than the end-of-trace
+  // flush.
+  q.push(make_req(3, {4, 8, 8}, 5000000));
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  ASSERT_EQ(rep.records.size(), 4u);
+  EXPECT_LT(rep.records[2].dispatch_cycle, rep.records[1].dispatch_cycle);
+}
+
+TEST(AcceleratorPoolTest, UrgentOpenGroupBeatsLaxReadyBatch) {
+  // Continuous admission: a class-1 batch is already closed and ready when
+  // a class-0 group is still open. The freed accelerator must take the
+  // urgent open group — ready batches get no precedence over more urgent
+  // open groups.
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 1;
+  cfg.batching = {/*max_batch=*/2, /*max_wait_cycles=*/1000000};
+  cfg.batching.continuous_admission = true;
+  RequestQueue q;
+  q.push(make_req(0, {64, 32, 32}, 0));  // occupies the pool
+  q.push(make_req(1, {4, 16, 16}, 5, -1, /*priority=*/1));
+  q.push(make_req(2, {4, 16, 16}, 6, -1, /*priority=*/1));  // closes at max_batch
+  q.push(make_req(3, {4, 8, 8}, 10, -1, /*priority=*/0));   // open, urgent
+  q.push(make_req(4, {4, 8, 8}, 5000000));  // keeps the trace open
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  ASSERT_EQ(rep.records.size(), 5u);
+  EXPECT_LT(rep.records[3].dispatch_cycle, rep.records[1].dispatch_cycle);
+}
+
+TEST(AcceleratorPoolTest, SloScenarioDeterministicAcrossThreadCounts) {
+  // The full PR-2 feature stack at once — bursty arrivals, SLO classes,
+  // EDF, continuous admission — still yields a bit-identical simulated
+  // timeline for 1 vs 8 worker threads.
+  const auto trace = [] {
+    BurstyTraceConfig tc;
+    tc.num_requests = 96;
+    tc.burst_interarrival_cycles = 40.0;
+    tc.mean_on_cycles = 2000.0;
+    tc.mean_off_cycles = 5000.0;
+    tc.classes.default_policy = {/*slo=*/4000, /*priority=*/1};
+    tc.classes.per_workload["t_a"] = {/*slo=*/1500, /*priority=*/0};
+    Rng rng(77);
+    return generate_bursty_trace(tiny_mix(), tc, rng);
+  };
+  PoolConfig cfg = base_config();
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.batching.continuous_admission = true;
+  cfg.num_threads = 1;
+  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  cfg.num_threads = 8;
+  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  expect_same_simulated_results(a, b);
+  EXPECT_DOUBLE_EQ(a.slo_attainment(), b.slo_attainment());
+}
+
 TEST(AcceleratorPoolTest, CycleAccurateAgreesWithAccelerator) {
   // One request, no batching: the serve-layer compute cycles must equal a
   // direct Accelerator::run_gemm of the same synthesized operands.

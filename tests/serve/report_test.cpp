@@ -87,5 +87,94 @@ TEST(ServeReportTest, FinalizeAggregatesRecords) {
   EXPECT_FALSE(rep.summary().empty());
 }
 
+TEST(HistogramTest, PercentileOrIsEmptySafe) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile_or(99), 0);
+  EXPECT_EQ(empty.percentile_or(50, -7), -7);
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.percentile_or(50), h.percentile(50));
+}
+
+TEST(ServeReportTest, EmptyTraceYieldsWellFormedReport) {
+  // Regression: zero-record traces must finalize and summarize without
+  // tripping Histogram::percentile's empty-histogram check.
+  ServeReport rep;
+  rep.num_accelerators = 4;
+  rep.num_threads = 2;
+  rep.finalize();
+  EXPECT_EQ(rep.num_requests(), 0u);
+  EXPECT_EQ(rep.makespan_cycles, 0);
+  EXPECT_DOUBLE_EQ(rep.mean_batch_size(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.throughput_per_mcycle(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.fleet_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment(), 1.0);
+  const std::string s = rep.summary();  // must not throw
+  EXPECT_NE(s.find("requests: 0"), std::string::npos);
+}
+
+TEST(ServeReportTest, BreakdownsSliceByWorkloadAndClass) {
+  ServeReport rep;
+  const auto record = [](i64 id, const std::string& w, int prio, i64 deadline,
+                         i64 completion) {
+    RequestRecord r;
+    r.id = id;
+    r.workload = w;
+    r.gemm = {1, 8, 8};
+    r.arrival_cycle = 0;
+    r.dispatch_cycle = 1;
+    r.completion_cycle = completion;
+    r.deadline_cycle = deadline;
+    r.priority = prio;
+    r.batch_size = 1;
+    return r;
+  };
+  // Interactive: two requests with SLO 100, one met, one missed by 50.
+  rep.records.push_back(record(0, "decode", 0, 100, 80));
+  rep.records.push_back(record(1, "decode", 0, 100, 150));
+  // Batch class: no SLO.
+  rep.records.push_back(record(2, "prefill", 1, -1, 500));
+  rep.total_batches = 3;
+  rep.finalize();
+
+  ASSERT_EQ(rep.by_workload.size(), 2u);
+  const GroupStats& decode = rep.by_workload.at("decode");
+  EXPECT_EQ(decode.requests, 2u);
+  EXPECT_EQ(decode.with_deadline, 2u);
+  EXPECT_EQ(decode.met_deadline, 1u);
+  EXPECT_DOUBLE_EQ(decode.slo_attainment(), 0.5);
+  EXPECT_EQ(decode.miss.percentile_or(99), 50);  // missed by 150 - 100
+
+  const GroupStats& prefill = rep.by_workload.at("prefill");
+  EXPECT_EQ(prefill.with_deadline, 0u);
+  EXPECT_DOUBLE_EQ(prefill.slo_attainment(), 1.0);
+
+  ASSERT_EQ(rep.by_class.size(), 2u);
+  EXPECT_EQ(rep.by_class.at(0).requests, 2u);
+  EXPECT_EQ(rep.by_class.at(1).requests, 1u);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment(), 0.5);
+
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("Per-workload breakdown"), std::string::npos);
+  EXPECT_NE(s.find("Per-priority-class breakdown"), std::string::npos);
+  EXPECT_NE(s.find("slo:"), std::string::npos);
+}
+
+TEST(RequestRecordTest, DeadlineAccessors) {
+  RequestRecord r;
+  r.arrival_cycle = 10;
+  r.completion_cycle = 110;
+  EXPECT_FALSE(r.has_deadline());
+  EXPECT_TRUE(r.met_deadline());  // no SLO => nothing to violate
+  EXPECT_EQ(r.miss_cycles(), 0);
+  r.deadline_cycle = 120;
+  EXPECT_TRUE(r.met_deadline());
+  r.deadline_cycle = 90;
+  EXPECT_FALSE(r.met_deadline());
+  EXPECT_EQ(r.miss_cycles(), 20);
+}
+
 }  // namespace
 }  // namespace axon::serve

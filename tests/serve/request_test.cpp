@@ -1,5 +1,8 @@
 #include "serve/request.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
@@ -65,6 +68,138 @@ TEST(TraceGeneratorTest, ArrivalsNonDecreasingAndMixRespected) {
     prev = r.arrival_cycle;
     EXPECT_TRUE(r.gemm.valid());
     EXPECT_FALSE(r.workload.empty());
+  }
+}
+
+TEST(TraceGeneratorTest, RealizedMeanInterArrivalWithinOnePercent) {
+  // Regression for the truncation bug: gaps were floored via
+  // static_cast<i64>, shaving an expected half cycle off every gap and
+  // biasing the realized rate above the configured one. With llround the
+  // realized mean over 100k requests must sit within 1% of configured.
+  const std::vector<GemmWorkload> mix = {{"w", {4, 8, 8}}};
+  const double mean = 2000.0;
+  const int n = 100000;
+  Rng rng(42);
+  RequestQueue q = generate_trace(mix, {n, mean}, rng);
+  i64 last = 0;
+  while (!q.empty()) last = q.pop().arrival_cycle;
+  const double realized = static_cast<double>(last) / n;
+  EXPECT_NEAR(realized, mean, 0.01 * mean);
+}
+
+TEST(TraceGeneratorTest, SmallMeanGapsAreNotFloored) {
+  // At mean gap 8 the old floor bias was ~6% (E[floor(X)] = 7.51); rounding
+  // keeps it within 1%. This is the case that actually catches truncation.
+  const std::vector<GemmWorkload> mix = {{"w", {4, 8, 8}}};
+  const double mean = 8.0;
+  const int n = 100000;
+  Rng rng(42);
+  RequestQueue q = generate_trace(mix, {n, mean}, rng);
+  i64 last = 0;
+  while (!q.empty()) last = q.pop().arrival_cycle;
+  const double realized = static_cast<double>(last) / n;
+  EXPECT_NEAR(realized, mean, 0.01 * mean);
+}
+
+TEST(TraceGeneratorTest, SloPoliciesStampDeadlinesAndPriorities) {
+  const std::vector<GemmWorkload> mix = {{"fast", {1, 8, 8}},
+                                         {"slow", {64, 8, 8}}};
+  TraceConfig cfg{/*num_requests=*/64, /*mean_interarrival=*/100.0, {}};
+  cfg.classes.default_policy = {/*slo=*/-1, /*priority=*/1};
+  cfg.classes.per_workload["fast"] = {/*slo=*/5000, /*priority=*/0};
+  Rng rng(3);
+  RequestQueue q = generate_trace(mix, cfg, rng);
+  int fast_seen = 0;
+  while (!q.empty()) {
+    const Request r = q.pop();
+    if (r.workload == "fast") {
+      ++fast_seen;
+      EXPECT_TRUE(r.has_deadline());
+      EXPECT_EQ(r.deadline_cycle, r.arrival_cycle + 5000);
+      EXPECT_EQ(r.priority, 0);
+    } else {
+      EXPECT_FALSE(r.has_deadline());
+      EXPECT_EQ(r.priority, 1);
+    }
+  }
+  EXPECT_GT(fast_seen, 0);
+}
+
+TEST(BurstyTraceTest, DeterministicOrderedAndBurstierThanPoisson) {
+  const std::vector<GemmWorkload> mix = {{"w", {4, 8, 8}}};
+  BurstyTraceConfig cfg;
+  cfg.num_requests = 4096;
+  cfg.burst_interarrival_cycles = 100.0;
+  cfg.mean_on_cycles = 5000.0;
+  cfg.mean_off_cycles = 20000.0;
+  Rng rng1(9);
+  Rng rng2(9);
+  RequestQueue a = generate_bursty_trace(mix, cfg, rng1);
+  RequestQueue b = generate_bursty_trace(mix, cfg, rng2);
+  ASSERT_EQ(a.size(), 4096u);
+  std::vector<i64> gaps;
+  i64 prev = 0;
+  while (!a.empty()) {
+    const Request ra = a.pop();
+    const Request rb = b.pop();
+    EXPECT_EQ(ra.arrival_cycle, rb.arrival_cycle);
+    EXPECT_GE(ra.arrival_cycle, prev);
+    gaps.push_back(ra.arrival_cycle - prev);
+    prev = ra.arrival_cycle;
+  }
+  // On/off modulation makes the gap distribution overdispersed: its
+  // coefficient of variation must clearly exceed the exponential's 1.0.
+  double mean = 0.0;
+  for (const i64 g : gaps) mean += static_cast<double>(g);
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (const i64 g : gaps) {
+    const double d = static_cast<double>(g) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(gaps.size());
+  EXPECT_GT(std::sqrt(var) / mean, 1.5);
+}
+
+TEST(ClosedLoopTraceTest, SingleClientNeverOverlapsItsOwnService) {
+  const std::vector<GemmWorkload> mix = {{"w", {4, 8, 8}}};
+  ClosedLoopTraceConfig cfg;
+  cfg.num_requests = 256;
+  cfg.num_clients = 1;
+  cfg.mean_think_cycles = 500.0;
+  cfg.service_estimate_cycles = 2000.0;
+  Rng rng(17);
+  RequestQueue q = generate_closed_loop_trace(mix, cfg, rng);
+  ASSERT_EQ(q.size(), 256u);
+  i64 prev = -1;
+  while (!q.empty()) {
+    const i64 t = q.pop().arrival_cycle;
+    if (prev >= 0) {
+      // A lone client re-issues only after service + think; rounding can
+      // shave at most a cycle.
+      EXPECT_GE(t - prev, static_cast<i64>(cfg.service_estimate_cycles) - 1);
+    }
+    prev = t;
+  }
+}
+
+TEST(ClosedLoopTraceTest, PopulationBoundsConcurrency) {
+  // With zero think time and service estimate S, any window shorter than S
+  // can hold at most num_clients arrivals.
+  const std::vector<GemmWorkload> mix = {{"w", {4, 8, 8}}};
+  ClosedLoopTraceConfig cfg;
+  cfg.num_requests = 512;
+  cfg.num_clients = 4;
+  cfg.mean_think_cycles = 0.0;
+  cfg.service_estimate_cycles = 1000.0;
+  Rng rng(23);
+  RequestQueue q = generate_closed_loop_trace(mix, cfg, rng);
+  std::vector<i64> arrivals;
+  while (!q.empty()) arrivals.push_back(q.pop().arrival_cycle);
+  for (std::size_t i = 4; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i] - arrivals[i - 4],
+              static_cast<i64>(cfg.service_estimate_cycles) - 1)
+        << "more than 4 clients in flight at index " << i;
   }
 }
 
