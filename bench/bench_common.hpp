@@ -1,8 +1,133 @@
 // Shared helper for the bench binaries: print the reproduction tables
 // first, then hand over to google-benchmark.
+//
+// When google-benchmark is not installed (AXON_HAVE_BENCHMARK undefined —
+// CI runners, minimal containers), a built-in stand-in keeps every bench
+// binary building and running: BENCHMARK() registrations still compile,
+// and RunSpecifiedBenchmarks() executes each registered case exactly once
+// with a wall-clock reading, clearly labelled as unstatistical. The
+// deterministic simulated-cycle tables (the part CI's bench smoke job
+// consumes) are identical either way.
 #pragma once
 
+#if defined(AXON_HAVE_BENCHMARK)
 #include <benchmark/benchmark.h>
+#else
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+/// Single-iteration stand-in for benchmark::State: `for (auto _ : state)`
+/// runs the body once; range() returns the registered Arg.
+class State {
+ public:
+  explicit State(std::vector<std::int64_t> args) : args_(std::move(args)) {}
+
+  struct Ignored {
+    // Non-trivial lifetime so `for (auto _ : state)` never trips
+    // -Wunused-but-set-variable under the shim.
+    Ignored() {}
+    ~Ignored() {}
+  };
+  struct Iterator {
+    int remaining = 0;
+    bool operator!=(const Iterator& o) const {
+      return remaining != o.remaining;
+    }
+    Iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    Ignored operator*() const { return {}; }
+  };
+  Iterator begin() { return {1}; }
+  Iterator end() { return {0}; }
+
+  [[nodiscard]] std::int64_t range(std::size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+  [[nodiscard]] std::int64_t iterations() const { return 1; }
+  void SetItemsProcessed(std::int64_t) {}
+
+ private:
+  std::vector<std::int64_t> args_;
+};
+
+template <typename T>
+inline void DoNotOptimize(T&&) {}
+
+namespace internal {
+
+struct Registration {
+  std::string name;
+  void (*fn)(State&) = nullptr;
+  std::vector<std::int64_t> args;  ///< one run per Arg; none = one bare run
+
+  Registration* Arg(std::int64_t a) {
+    args.push_back(a);
+    return this;
+  }
+  Registration* Unit(TimeUnit) { return this; }
+};
+
+inline std::vector<Registration*>& registry() {
+  static std::vector<Registration*> r;
+  return r;
+}
+
+inline Registration* Register(const char* name, void (*fn)(State&)) {
+  static std::deque<Registration> storage;  // deque: stable addresses
+  storage.push_back(Registration{name, fn, {}});
+  registry().push_back(&storage.back());
+  return &storage.back();
+}
+
+}  // namespace internal
+
+inline void Initialize(int*, char**) {}
+inline bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::cerr << "unrecognized argument: " << argv[i] << "\n";
+  }
+  return argc > 1;
+}
+
+inline void RunSpecifiedBenchmarks() {
+  std::cout << "(google-benchmark not installed: single-iteration shim, "
+               "wall times are indicative only)\n";
+  for (internal::Registration* reg : internal::registry()) {
+    std::vector<std::int64_t> args = reg->args;
+    if (args.empty()) args.push_back(0);
+    for (std::int64_t a : args) {
+      State state({a});
+      const auto start = std::chrono::steady_clock::now();
+      reg->fn(state);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      std::cout << reg->name << "/" << a << "  " << ms << " ms (1 iter)\n";
+    }
+  }
+}
+
+inline void Shutdown() {}
+
+#define BENCHMARK(fn)                                                \
+  static ::benchmark::internal::Registration* axon_bench_reg_##fn = \
+      ::benchmark::internal::Register(#fn, fn)
+
+}  // namespace benchmark
+
+#endif  // AXON_HAVE_BENCHMARK
 
 #include <iostream>
 

@@ -1,13 +1,25 @@
 // Serving-subsystem throughput study: batch-size and pool-size sweeps on
-// the ResNet50 and transformer mixes (simulated cycles), plus wall-clock
-// microbenchmarks of the serving simulator itself — including the
-// multi-threaded worker pool against the single-threaded baseline.
+// the ResNet50 and transformer mixes, a heterogeneous-fleet routing sweep
+// (simulated cycles), plus wall-clock microbenchmarks of the serving
+// simulator itself — including the multi-threaded worker pool against the
+// single-threaded baseline.
+//
+// CI mode:
+//   bench_serve_throughput --smoke --json BENCH_serve.json
+// runs a short, fully deterministic scenario set (simulated-cycle metrics
+// only — same numbers on any machine and thread count) and writes them as
+// JSON for the perf-trajectory artifact. See README "CI" for the cache
+// keys and how to reproduce locally.
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "common/rng.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
+#include "serve/scenarios.hpp"
 
 using namespace axon;
 using namespace axon::serve;
@@ -91,10 +103,53 @@ void slo_sweep(std::ostream& os) {
   os << "\n";
 }
 
+// ---- heterogeneous fleet ---------------------------------------------
+
+/// The serve/scenarios mixed fleet (2x compute-heavy big64x64 + 2x
+/// bandwidth-heavy hbm32x32, weight caches), on the canonical trace the
+/// example enforces its routing claim with — swept here across policies
+/// and published by the CI smoke artifact.
+ServeReport serve_fleet(RoutePolicy routing) {
+  return AcceleratorPool(mixed_fleet_pool_config(routing))
+      .serve(mixed_fleet_trace());
+}
+
+/// Fleet-wide weight-cache hit fraction, in percent.
+double fleet_cache_hit_pct(const ServeReport& r) {
+  i64 hits = 0, lookups = 0;
+  for (const auto& a : r.per_accelerator) {
+    hits += a.weight_hits;
+    lookups += a.weight_hits + a.weight_misses;
+  }
+  return lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+}
+
+void fleet_sweep(std::ostream& os) {
+  Table t({"routing", "req/Mcycle", "slo_%", "p99", "util_%", "wcache_%"});
+  for (const RoutePolicy routing :
+       {RoutePolicy::kFirstFree, RoutePolicy::kRoundRobin,
+        RoutePolicy::kLeastCost}) {
+    const ServeReport r = serve_fleet(routing);
+    t.row()
+        .cell(to_string(routing))
+        .cell(r.throughput_per_mcycle(), 2)
+        .cell(100.0 * r.slo_attainment(), 1)
+        .cell(r.latency.percentile_or(99))
+        .cell(100.0 * r.fleet_utilization(), 1)
+        .cell(fleet_cache_hit_pct(r), 1);
+  }
+  t.print(os, "Heterogeneous-fleet routing sweep (2x big64x64 + 2x "
+              "hbm32x32, bursty decode+prefill, EDF)");
+  os << "\n";
+}
+
 void print_tables(std::ostream& os) {
   sweep(os, "ResNet50", resnet50_serve_mix());
   sweep(os, "BERT-base", transformer_serve_mix());
   slo_sweep(os);
+  fleet_sweep(os);
 }
 
 // Analytical-mode serving is dominated by the simulator's own dispatch
@@ -149,8 +204,120 @@ BENCHMARK(bench_serve_cycle_accurate)
         std::max(1u, std::thread::hardware_concurrency())))
     ->Unit(benchmark::kMillisecond);
 
+// ---- CI smoke mode ---------------------------------------------------
+
+struct Scenario {
+  std::string name;
+  ServeReport report;
+};
+
+/// Short deterministic scenario set: every metric below is in simulated
+/// cycles (identical on any host/thread count), so the JSON artifact is
+/// diffable across CI runs — a perf trajectory, not a noise source.
+std::vector<Scenario> smoke_scenarios() {
+  std::vector<Scenario> out;
+  {
+    PoolConfig cfg = config(4, 8);
+    out.push_back({"resnet50_pool4_batch8",
+                   AcceleratorPool(cfg).serve(
+                       trace_for(resnet50_serve_mix(), 96, 20000.0))});
+  }
+  {
+    PoolConfig cfg = config(4, 8);
+    out.push_back({"decode_pool4_batch8",
+                   AcceleratorPool(cfg).serve(
+                       trace_for(decode_serve_mix(), 128, 5000.0))});
+  }
+  out.push_back({"fleet_round_robin",
+                 serve_fleet(RoutePolicy::kRoundRobin)});
+  out.push_back({"fleet_least_cost",
+                 serve_fleet(RoutePolicy::kLeastCost)});
+  return out;
+}
+
+int run_smoke(const std::string& json_path) {
+  const std::vector<Scenario> scenarios = smoke_scenarios();
+
+  Table t({"scenario", "req", "makespan", "req/Mcycle", "p99", "slo_%",
+           "wcache_%"});
+  for (const auto& s : scenarios) {
+    t.row()
+        .cell(s.name)
+        .cell(static_cast<i64>(s.report.num_requests()))
+        .cell(s.report.makespan_cycles)
+        .cell(s.report.throughput_per_mcycle(), 2)
+        .cell(s.report.latency.percentile_or(99))
+        .cell(100.0 * s.report.slo_attainment(), 1)
+        .cell(fleet_cache_hit_pct(s.report), 1);
+  }
+  t.print(std::cout, "Bench smoke (deterministic simulated cycles)");
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    os << "{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"smoke\",\n"
+       << "  \"units\": \"simulated_cycles\",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const ServeReport& r = scenarios[i].report;
+      os << "    {\n"
+         << "      \"name\": \"" << scenarios[i].name << "\",\n"
+         << "      \"requests\": " << r.num_requests() << ",\n"
+         << "      \"batches\": " << r.total_batches << ",\n"
+         << "      \"makespan_cycles\": " << r.makespan_cycles << ",\n"
+         << "      \"throughput_per_mcycle\": "
+         << fmt_double(r.throughput_per_mcycle(), 4) << ",\n"
+         << "      \"latency_p50_cycles\": " << r.latency.percentile_or(50)
+         << ",\n"
+         << "      \"latency_p99_cycles\": " << r.latency.percentile_or(99)
+         << ",\n"
+         << "      \"slo_attainment_pct\": "
+         << fmt_double(100.0 * r.slo_attainment(), 2) << ",\n"
+         << "      \"fleet_utilization_pct\": "
+         << fmt_double(100.0 * r.fleet_utilization(), 2) << ",\n"
+         << "      \"weight_cache_hit_pct\": "
+         << fmt_double(fleet_cache_hit_pct(r), 2) << "\n    }"
+         << (i + 1 < scenarios.size() ? "," : "") << "\n";
+    }
+    // Host wall time lives outside the scenario list: it is the one
+    // nondeterministic number, kept out of the diffable metrics.
+    double wall = 0.0;
+    for (const auto& s : scenarios) wall += s.report.wall_seconds;
+    os << "  ],\n  \"host_wall_seconds_total\": " << fmt_double(wall, 4)
+       << "\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  return axon::bench::run(argc, argv, print_tables);
+  // --smoke / --json PATH: either flag selects the short deterministic
+  // CI mode (no microbenchmarks; metrics are simulated cycles only);
+  // --json additionally writes the artifact. Everything else passes
+  // through to google-benchmark.
+  bool smoke = false;
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --json (usage: --json PATH)\n";
+        return 1;
+      }
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (smoke || !json_path.empty()) return run_smoke(json_path);
+  int pass_argc = static_cast<int>(passthrough.size());
+  return axon::bench::run(pass_argc, passthrough.data(), print_tables);
 }

@@ -3,6 +3,9 @@
 // the LPDDR3 energy saved (120 pJ/byte), and the bandwidth-roofline
 // speedup. Paper: ResNet50 261.2 -> 153.5 MB (12 mJ), YOLOv3 2540 -> 1117
 // MB (170 mJ), ~1.25x speedup at 6.4 GB/s.
+#include <algorithm>
+#include <tuple>
+
 #include "bench/bench_common.hpp"
 #include "model/im2col_traffic.hpp"
 #include "runner/experiments.hpp"

@@ -7,14 +7,17 @@
 // Sweeps the two serving knobs (max batch size, pool size), compares FIFO
 // with shortest-job-first, runs the deadline-aware scenario (bursty mixed
 // decode+prefill traffic, per-workload SLOs, EDF + priority classes vs
-// FIFO), and demonstrates the determinism contract: the simulated-cycle
-// percentiles are identical for 1 and 8 worker threads.
+// FIFO), drives a heterogeneous fleet (big-array vs high-bandwidth
+// members with per-device weight caches) under cost-aware routing vs
+// round-robin, and demonstrates the determinism contract: the
+// simulated-cycle percentiles are identical for 1 and 8 worker threads.
 #include <iostream>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
+#include "serve/scenarios.hpp"
 
 using namespace axon;
 using namespace axon::serve;
@@ -216,6 +219,69 @@ int main() {
               << fmt_double(100.0 * edf.slo_attainment(), 1) << "% vs "
               << fmt_double(100.0 * fifo.slo_attainment(), 1) << "%)\n\n";
     if (!edf_deterministic || !edf_wins) return 1;
+  }
+
+  // ---- heterogeneous fleet: cost-aware routing vs round-robin ---------
+  {
+    // Two device personalities, two traffic personalities
+    // (serve/scenarios, shared with bench_serve_throughput and CI's perf
+    // artifact). `big64x64` is a compute monster with modest DRAM
+    // bandwidth — wins prefill. `hbm32x32` is clocked 2x with 4x the
+    // bandwidth — wins transfer-bound one-token decode. Both carry a
+    // 16 MiB weight cache, so repeated same-(K, N) decode batches skip
+    // the weight stream on whichever device last served them. Cost-aware
+    // routing prices each (batch, device) pair with the cache-aware
+    // roofline and sends decode to `hbm` and prefill to `big`;
+    // round-robin alternates blindly and pays the mismatch.
+    const auto serve_fleet = [&](RoutePolicy routing, int threads) {
+      PoolConfig cfg = mixed_fleet_pool_config(routing);
+      cfg.num_threads = threads;
+      return AcceleratorPool(cfg).serve(mixed_fleet_trace());
+    };
+    const ServeReport rr = serve_fleet(RoutePolicy::kRoundRobin, 1);
+    const ServeReport cost = serve_fleet(RoutePolicy::kLeastCost, 1);
+    const ServeReport cost8 = serve_fleet(RoutePolicy::kLeastCost, 8);
+
+    Table t({"routing", "req/Mcycle", "slo_%", "p99", "makespan", "util_%"});
+    const auto fleet_row = [&t](const std::string& label,
+                                const ServeReport& r) {
+      t.row()
+          .cell(label)
+          .cell(r.throughput_per_mcycle(), 2)
+          .cell(100.0 * r.slo_attainment(), 1)
+          .cell(r.latency.percentile_or(99))
+          .cell(r.makespan_cycles)
+          .cell(100.0 * r.fleet_utilization(), 1);
+    };
+    fleet_row(to_string(RoutePolicy::kRoundRobin), rr);
+    fleet_row(to_string(RoutePolicy::kLeastCost), cost);
+    t.print(std::cout,
+            "Heterogeneous fleet (2x big64x64 + 2x hbm32x32, bursty "
+            "decode+prefill, EDF)");
+    std::cout << "\nCost-aware routing, per-device breakdown:\n"
+              << cost.summary() << "\n";
+
+    const bool fleet_deterministic =
+        cost.makespan_cycles == cost8.makespan_cycles &&
+        cost.slo_attainment() == cost8.slo_attainment() &&
+        cost.latency.percentile_or(99) == cost8.latency.percentile_or(99);
+    std::cout << "cost-aware fleet numbers identical for 1 and 8 threads: "
+              << (fleet_deterministic ? "yes" : "NO") << "\n";
+    const bool cost_wins_throughput =
+        cost.throughput_per_mcycle() > rr.throughput_per_mcycle();
+    const bool cost_wins_slo = cost.slo_attainment() > rr.slo_attainment();
+    std::cout << "cost-aware beats round-robin on fleet throughput: "
+              << (cost_wins_throughput ? "yes" : "NO") << " ("
+              << fmt_double(cost.throughput_per_mcycle(), 2) << " vs "
+              << fmt_double(rr.throughput_per_mcycle(), 2)
+              << " req/Mcycle)\n"
+              << "cost-aware beats round-robin on SLO attainment: "
+              << (cost_wins_slo ? "yes" : "NO") << " ("
+              << fmt_double(100.0 * cost.slo_attainment(), 1) << "% vs "
+              << fmt_double(100.0 * rr.slo_attainment(), 1) << "%)\n\n";
+    if (!fleet_deterministic || !cost_wins_throughput || !cost_wins_slo) {
+      return 1;
+    }
   }
 
   // ---- determinism across thread counts ------------------------------

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# One-command tier-1 gate: configure, build, test.
+# One-command tier-1 gate: configure, build, test — and, with
+# AXON_RUN_EXAMPLES=1 (what CI sets), execute every example binary and
+# fail on the first nonzero exit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,4 +10,20 @@ cmake -B build -S .
 cmake --build build -j
 # An explicit job count keeps this working on ctest < 3.29, where -j
 # requires a value.
-cd build && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+(cd build && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)")
+
+if [[ "${AXON_RUN_EXAMPLES:-0}" == "1" ]]; then
+  for src in examples/*.cpp; do
+    example="$(basename "${src%.cpp}")"
+    echo "== running example: ${example}"
+    # Quiet on success; on failure, replay the output — examples diagnose
+    # their own invariant breaks (e.g. serve_traffic's determinism check)
+    # on stdout.
+    if ! out="$("./build/${example}" 2>&1)"; then
+      echo "${out}"
+      echo "example ${example} FAILED"
+      exit 1
+    fi
+  done
+  echo "all examples exited 0"
+fi

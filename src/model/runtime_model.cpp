@@ -113,16 +113,21 @@ RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
   return out;
 }
 
-i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle) {
+i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle,
+                         bool weights_resident) {
   if (dram_bytes_per_cycle <= 0) return 0;
-  return ceil_div(gemm_dram_traffic(g).total(), dram_bytes_per_cycle);
+  const Traffic t = gemm_dram_traffic(g);
+  const i64 bytes = weights_resident ? t.total() - t.filter_bytes : t.total();
+  return ceil_div(bytes, dram_bytes_per_cycle);
 }
 
 i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,
-                        const ArrayShape& array, i64 dram_bytes_per_cycle) {
+                        const ArrayShape& array, i64 dram_bytes_per_cycle,
+                        bool weights_resident) {
   AXON_CHECK(merged.valid(), "batched GEMM shape invalid: ", merged);
   const i64 compute = scale_up_runtime(arch, df, merged, array).cycles;
-  const i64 transfer = gemm_transfer_cycles(merged, dram_bytes_per_cycle);
+  const i64 transfer =
+      gemm_transfer_cycles(merged, dram_bytes_per_cycle, weights_resident);
   return compute > transfer ? compute : transfer;
 }
 

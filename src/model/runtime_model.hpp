@@ -76,16 +76,25 @@ RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
 /// transfer-bound on its K*N weight matrix, and M-concatenation amortizes
 /// that one stream over every member. `dram_bytes_per_cycle <= 0` models
 /// infinite bandwidth (compute-only, the pre-serving behaviour).
+///
+/// `weights_resident` models a per-accelerator weight cache (see
+/// serve/weight_cache): when the device already holds the (K, N) weight
+/// matrix from an earlier dispatch, the B stream drops out of the
+/// transfer leg entirely and only activations and results move. A
+/// cache-warm decode batch therefore costs strictly less than a cold one
+/// whenever the cold batch was transfer-bound.
 i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,
-                        const ArrayShape& array,
-                        i64 dram_bytes_per_cycle = 0);
+                        const ArrayShape& array, i64 dram_bytes_per_cycle = 0,
+                        bool weights_resident = false);
 
 /// The transfer leg of that roofline on its own: cycles to stream A, B and
 /// C once at `dram_bytes_per_cycle`; 0 when bandwidth is <= 0 (infinite).
-/// Exposed so execution modes that obtain compute cycles elsewhere (the
+/// `weights_resident` skips the B stream (weight-cache hit). Exposed so
+/// execution modes that obtain compute cycles elsewhere (the
 /// cycle-accurate simulator) price memory identically to the analytical
 /// mode.
-i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle);
+i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle,
+                         bool weights_resident = false);
 
 /// Design-space search: among all power-of-two R x C shapes with
 /// R * C <= pe_budget, the shape minimizing the best-dataflow scale-up

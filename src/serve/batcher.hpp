@@ -71,7 +71,9 @@ class DynamicBatcher {
   /// Scheduler-visible aggregates of one still-open group, so the pool can
   /// apply its policy (priority classes, EDF, SJF) when deciding which
   /// partial group an idle accelerator should take under continuous
-  /// admission.
+  /// admission. Heterogeneous fleets price the same view per candidate
+  /// device (merged_gemm() against each member's cost model + weight-cache
+  /// state), so one view serves every per-device admission decision.
   struct OpenGroupView {
     i64 K = 0;                   ///< group key
     i64 N = 0;
@@ -80,6 +82,10 @@ class DynamicBatcher {
     i64 earliest_deadline = -1;  ///< min member deadline, -1 when none
     int top_priority = 0;        ///< most urgent member class
     int size = 0;
+
+    /// The GEMM this group would run if closed now — what per-device cost
+    /// models price.
+    [[nodiscard]] GemmShape merged_gemm() const { return {merged_m, K, N}; }
   };
 
   /// Views of every open group, in (K, N) key order (deterministic).

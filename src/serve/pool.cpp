@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "model/runtime_model.hpp"
+#include "serve/weight_cache.hpp"
 
 namespace axon::serve {
 
@@ -26,35 +27,59 @@ std::string to_string(SchedulePolicy policy) {
   return "?";
 }
 
+std::string to_string(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kFirstFree:
+      return "first-free";
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kLeastCost:
+      return "least-cost";
+  }
+  return "?";
+}
+
 namespace {
+
+/// Converts device cycles to simulated fleet cycles at the reference
+/// clock: a member clocked above kRefClockMhz retires the same device
+/// cycles in proportionally less simulated time.
+i64 to_fleet_cycles(i64 device_cycles, int clock_mhz) {
+  return ceil_div(device_cycles * kRefClockMhz, clock_mhz);
+}
 
 /// What a worker thread reports back for one executed batch.
 struct ExecOutcome {
   i64 cycles = 0;
 };
 
-/// Pure function of (merged shape, first member id, config): the
-/// worker-side batch evaluation. Takes only the batch's identity — not the
-/// Batch itself — so dispatch ships a 3-word payload to the worker instead
-/// of deep-copying the member request vector and the pool config.
+/// Pure function of (merged shape, first member id, device spec, exec
+/// mode, seed, cache-hit flag): the worker-side batch evaluation. The
+/// weight-cache decision is made in the serve loop *before* submission, so
+/// workers stay stateless and the outcome is thread-count independent.
 ExecOutcome execute_batch(const GemmShape& gemm, i64 batch_first_id,
-                          const PoolConfig& cfg) {
-  if (cfg.exec == ExecMode::kAnalytical) {
-    return {batched_gemm_cycles(cfg.accelerator.arch, cfg.accelerator.dataflow,
-                                gemm, cfg.accelerator.array,
-                                cfg.dram_bytes_per_cycle)};
+                          const AcceleratorSpec& spec, ExecMode exec,
+                          std::uint64_t data_seed, bool weights_resident) {
+  if (exec == ExecMode::kAnalytical) {
+    const i64 dev = batched_gemm_cycles(
+        spec.accelerator.arch, spec.accelerator.dataflow, gemm,
+        spec.accelerator.array, spec.dram_bytes_per_cycle, weights_resident);
+    return {to_fleet_cycles(dev, spec.clock_mhz)};
   }
   // Cycle-accurate: synthesize operands from a seed derived only from the
   // batch identity, then run the full simulator. The roofline transfer
-  // floor applies here too so both modes price weight streaming alike.
+  // floor applies here too so both modes price weight streaming (and
+  // weight-cache hits) alike.
   const auto first_id = static_cast<std::uint64_t>(batch_first_id + 1);
-  Rng rng(cfg.data_seed ^ (0x9E3779B97F4A7C15ull * first_id));
+  Rng rng(data_seed ^ (0x9E3779B97F4A7C15ull * first_id));
   const Matrix a = random_matrix(gemm.M, gemm.K, rng);
   const Matrix b = random_matrix(gemm.K, gemm.N, rng);
-  Accelerator acc(cfg.accelerator);
+  Accelerator acc(spec.accelerator);
   const RunReport r = acc.run_gemm(a, b);
-  const i64 transfer = gemm_transfer_cycles(gemm, cfg.dram_bytes_per_cycle);
-  return {r.cycles > transfer ? r.cycles : transfer};
+  const i64 transfer =
+      gemm_transfer_cycles(gemm, spec.dram_bytes_per_cycle, weights_resident);
+  const i64 dev = r.cycles > transfer ? r.cycles : transfer;
+  return {to_fleet_cycles(dev, spec.clock_mhz)};
 }
 
 struct InFlight {
@@ -70,9 +95,36 @@ struct InFlight {
 
 AcceleratorPool::AcceleratorPool(PoolConfig config)
     : config_(std::move(config)) {
-  AXON_CHECK(config_.num_accelerators >= 1, "pool needs >= 1 accelerator");
   AXON_CHECK(config_.num_threads >= 1, "pool needs >= 1 worker thread");
-  AXON_CHECK(config_.accelerator.array.valid(), "invalid array shape");
+  if (config_.fleet.empty()) {
+    AXON_CHECK(config_.num_accelerators >= 1, "pool needs >= 1 accelerator");
+    fleet_.reserve(static_cast<std::size_t>(config_.num_accelerators));
+    for (int i = 0; i < config_.num_accelerators; ++i) {
+      AcceleratorSpec spec;
+      spec.accelerator = config_.accelerator;
+      spec.dram_bytes_per_cycle = config_.dram_bytes_per_cycle;
+      fleet_.push_back(std::move(spec));
+    }
+  } else {
+    fleet_ = config_.fleet;
+  }
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    AcceleratorSpec& spec = fleet_[i];
+    AXON_CHECK(spec.accelerator.array.valid(), "invalid array shape for fleet member ", i);
+    AXON_CHECK(spec.clock_mhz > 0, "fleet member ", i, " needs a positive clock");
+    AXON_CHECK(spec.weight_cache_bytes >= 0, "negative weight cache capacity");
+    if (spec.name.empty()) spec.name = "acc" + std::to_string(i);
+  }
+}
+
+i64 AcceleratorPool::device_cycles(std::size_t device, const GemmShape& gemm,
+                                   bool weights_resident) const {
+  AXON_CHECK(device < fleet_.size(), "device index out of range");
+  const AcceleratorSpec& spec = fleet_[device];
+  const i64 dev = batched_gemm_cycles(
+      spec.accelerator.arch, spec.accelerator.dataflow, gemm,
+      spec.accelerator.array, spec.dram_bytes_per_cycle, weights_resident);
+  return to_fleet_cycles(dev, spec.clock_mhz);
 }
 
 i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
@@ -80,20 +132,33 @@ i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
 }
 
 i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
-  return batched_gemm_cycles(config_.accelerator.arch,
-                             config_.accelerator.dataflow, gemm,
-                             config_.accelerator.array,
-                             config_.dram_bytes_per_cycle);
+  // Fleet-best, cache-blind: a stable per-shape key (it never shifts as
+  // caches churn), equal to the single-member estimate on a homogeneous
+  // fleet.
+  i64 best = device_cycles(0, gemm);
+  for (std::size_t i = 1; i < fleet_.size(); ++i) {
+    best = std::min(best, device_cycles(i, gemm));
+  }
+  return best;
 }
 
 ServeReport AcceleratorPool::serve(RequestQueue requests) {
   const auto wall_start = std::chrono::steady_clock::now();
 
+  const std::size_t fleet_size = fleet_.size();
   DynamicBatcher batcher(config_.batching);
   ThreadPool workers(config_.num_threads);
 
-  std::vector<bool> busy(static_cast<std::size_t>(config_.num_accelerators),
-                         false);
+  std::vector<bool> busy(fleet_size, false);
+  std::vector<WeightCache> caches;
+  caches.reserve(fleet_size);
+  for (const AcceleratorSpec& spec : fleet_) {
+    caches.emplace_back(spec.weight_cache_bytes);
+  }
+  std::vector<i64> device_busy_cycles(fleet_size, 0);
+  std::vector<i64> device_batches(fleet_size, 0);
+  std::size_t round_robin_next = 0;
+
   std::vector<InFlight> inflight;
   // Ready batches with their analytic cost, computed once on entry —
   // SJF compares these cached values instead of re-running the model.
@@ -103,7 +168,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   };
   std::vector<ReadyBatch> ready;
   ServeReport report;
-  report.num_accelerators = config_.num_accelerators;
+  report.num_accelerators = static_cast<int>(fleet_size);
   report.num_threads = config_.num_threads;
 
   i64 now = 0;
@@ -182,7 +247,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     PickKey k;
     k.priority = v.top_priority;
     k.policy_key = config_.policy == SchedulePolicy::kShortestJobFirst
-                       ? estimate_gemm_cycles({v.merged_m, v.K, v.N})
+                       ? estimate_gemm_cycles(v.merged_gemm())
                        : (v.earliest_deadline < 0
                               ? std::numeric_limits<i64>::max()
                               : v.earliest_deadline);
@@ -200,16 +265,52 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     return best;
   };
 
+  // Routing: the schedule policy decided *what* runs next; this decides
+  // *where*. Only called with at least one idle device.
+  const auto route_device = [&](const GemmShape& gemm) -> std::size_t {
+    switch (config_.routing) {
+      case RoutePolicy::kFirstFree:
+        break;  // fall through to the index scan below
+      case RoutePolicy::kRoundRobin: {
+        for (std::size_t off = 0; off < fleet_size; ++off) {
+          const std::size_t idx = (round_robin_next + off) % fleet_size;
+          if (!busy[idx]) {
+            round_robin_next = (idx + 1) % fleet_size;
+            return idx;
+          }
+        }
+        break;
+      }
+      case RoutePolicy::kLeastCost: {
+        // Estimated completion time per (batch, device): every idle device
+        // is free *now*, so min completion = min cost. Priced cache-aware,
+        // which is all it takes for weight affinity — the device that last
+        // served this (K, N) skips the weight stream and wins the tie.
+        std::size_t best = fleet_size;
+        i64 best_cost = 0;
+        for (std::size_t i = 0; i < fleet_size; ++i) {
+          if (busy[i]) continue;
+          const i64 cost =
+              device_cycles(i, gemm, caches[i].contains(gemm.K, gemm.N));
+          if (best == fleet_size || cost < best_cost) {
+            best = i;
+            best_cost = cost;
+          }
+        }
+        AXON_CHECK(best < fleet_size, "route_device() with no idle device");
+        return best;
+      }
+    }
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+      if (!busy[i]) return i;
+    }
+    AXON_CHECK(false, "route_device() with no idle device");
+    return 0;
+  };
+
   const auto dispatch = [&] {
     for (;;) {
-      int acc = -1;
-      for (int i = 0; i < config_.num_accelerators; ++i) {
-        if (!busy[static_cast<std::size_t>(i)]) {
-          acc = i;
-          break;
-        }
-      }
-      if (acc < 0) return;
+      if (std::find(busy.begin(), busy.end(), false) == busy.end()) return;
       // Continuous admission, dispatch side: an idle accelerator may take
       // a partially filled group rather than letting it ripen to
       // max_batch/max_wait while capacity sits free. Open groups compete
@@ -237,19 +338,28 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         }
       }
       InFlight f;
-      f.accelerator = acc;
+      const std::size_t acc = route_device(ready[chosen].batch.gemm);
+      f.accelerator = static_cast<int>(acc);
       f.batch = std::move(ready[chosen].batch);
       ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
       f.dispatch_cycle = now;
-      // The worker needs only the merged shape and the first member id (the
-      // operand seed); share the long-lived config by reference instead of
-      // copying it and the whole request vector per dispatch.
+      // Touch the routed device's weight cache here, in the serve loop —
+      // the hit/miss verdict is part of the deterministic timeline, not of
+      // worker execution.
+      const bool weights_resident =
+          caches[acc].touch(f.batch.gemm.K, f.batch.gemm.N);
+      // The worker needs only the merged shape, the first member id (the
+      // operand seed), and the routed device; share the long-lived spec by
+      // pointer instead of copying it and the whole request vector per
+      // dispatch.
       f.future = workers.submit([gemm = f.batch.gemm,
                                  first_id = f.batch.requests.front().id,
-                                 &cfg = config_] {
-        return execute_batch(gemm, first_id, cfg);
+                                 spec = &fleet_[acc], exec = config_.exec,
+                                 seed = config_.data_seed, weights_resident] {
+        return execute_batch(gemm, first_id, *spec, exec, seed,
+                             weights_resident);
       });
-      busy[static_cast<std::size_t>(acc)] = true;
+      busy[acc] = true;
       inflight.push_back(std::move(f));
     }
   };
@@ -304,7 +414,11 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         rec.accelerator = f.accelerator;
         report.records.push_back(std::move(rec));
       }
-      report.total_busy_cycles += f.completion_cycle - f.dispatch_cycle;
+      const i64 busy_cycles = f.completion_cycle - f.dispatch_cycle;
+      report.total_busy_cycles += busy_cycles;
+      device_busy_cycles[static_cast<std::size_t>(f.accelerator)] +=
+          busy_cycles;
+      ++device_batches[static_cast<std::size_t>(f.accelerator)];
       ++report.total_batches;
       busy[static_cast<std::size_t>(f.accelerator)] = false;
       ++retired;
@@ -316,6 +430,16 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   AXON_CHECK(requests.empty() && batcher.idle() && ready.empty() &&
                  inflight.empty(),
              "serve loop exited with work outstanding");
+
+  report.per_accelerator.resize(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    AcceleratorStats& a = report.per_accelerator[i];
+    a.name = fleet_[i].name;
+    a.busy_cycles = device_busy_cycles[i];
+    a.batches = device_batches[i];
+    a.weight_hits = caches[i].hits();
+    a.weight_misses = caches[i].misses();
+  }
 
   report.finalize();
   report.wall_seconds =

@@ -1,24 +1,29 @@
-// Inference serving, layer 3: the fleet. A pool of N simulated
-// accelerators drains a request trace through the dynamic batcher under a
-// scheduling policy (FIFO or shortest-job-first). The simulation is a
-// discrete-event loop over simulated cycles; the *evaluation* of each
-// dispatched batch (its cycle cost) runs on a real std::thread worker
-// pool. Batches dispatched at the same simulated event — the backlog case
-// that dominates heavy load, up to num_accelerators at once — evaluate
-// concurrently on multicore hosts; advancing simulated time then requires
-// every outstanding completion time, so the loop synchronizes on the
-// worker pool before each advance (overlapping across *different* dispatch
-// events would need speculative execution; see ROADMAP).
+// Inference serving, layer 3: the fleet. A pool of simulated accelerators
+// — possibly heterogeneous in array geometry, clock, and memory system —
+// drains a request trace through the dynamic batcher under a scheduling
+// policy (FIFO / shortest-job-first / earliest-deadline-first) and a
+// routing policy that decides which device a picked batch runs on. The
+// simulation is a discrete-event loop over simulated cycles; the
+// *evaluation* of each dispatched batch (its cycle cost) runs on a real
+// std::thread worker pool. Batches dispatched at the same simulated event
+// — the backlog case that dominates heavy load, up to fleet size at once —
+// evaluate concurrently on multicore hosts; advancing simulated time then
+// requires every outstanding completion time, so the loop synchronizes on
+// the worker pool before each advance (overlapping across *different*
+// dispatch events would need speculative execution; see ROADMAP).
 //
 // Determinism contract: a batch's cost is a pure function of the batch
-// contents and the pool config — never of wall-clock, thread id, or
-// execution order — so the simulated timeline (every dispatch, completion
-// and percentile) is identical for any num_threads. Tests pin this down by
-// diffing 1-thread vs 8-thread reports.
+// contents, the routed device's spec, and the device's weight-cache state
+// at dispatch — never of wall-clock, thread id, or execution order. Cache
+// state only mutates in the single-threaded serve loop, so the simulated
+// timeline (every dispatch, completion and percentile) is identical for
+// any num_threads. Tests pin this down by diffing 1-thread vs 8-thread
+// reports, caches and heterogeneous fleets included.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "runner/accelerator.hpp"
 #include "serve/batcher.hpp"
@@ -40,24 +45,66 @@ enum class SchedulePolicy {
 
 std::string to_string(SchedulePolicy policy);
 
+/// Which fleet member a picked batch runs on. Orthogonal to
+/// SchedulePolicy: the schedule policy picks *what* dispatches next, the
+/// route policy picks *where*. All three are deterministic.
+enum class RoutePolicy {
+  kFirstFree,   ///< lowest-index idle device (the homogeneous-pool default)
+  kRoundRobin,  ///< rotate through devices, skipping busy ones
+  kLeastCost,   ///< idle device with the lowest estimated completion time
+                ///< for this batch — roofline per (batch, device), priced
+                ///< cache-aware, so weight affinity emerges for free; ties
+                ///< break by device index
+};
+
+std::string to_string(RoutePolicy policy);
+
 /// How a worker prices a dispatched batch in simulated cycles.
 enum class ExecMode {
   kAnalytical,     ///< Table-2 scale-up equations — fast, any shape
   kCycleAccurate,  ///< full cycle-accurate run on synthesized operands
 };
 
+/// Reference clock the simulated timeline runs at. Per-device cycle costs
+/// convert to fleet cycles by clock ratio, so a 2000 MHz member finishes
+/// the same device-cycle count in half the simulated time.
+inline constexpr int kRefClockMhz = 1000;
+
+/// One fleet member: its own array geometry/architecture, clock, DRAM
+/// bandwidth, and weight-cache capacity. Mixed specs are the point —
+/// decode-style transfer-bound traffic prefers high bandwidth and a warm
+/// weight cache, prefill-style compute-bound traffic prefers a big array.
+struct AcceleratorSpec {
+  std::string name;               ///< report label; pool defaults to "accN"
+  AcceleratorConfig accelerator;  ///< arch, array shape, dataflow
+  int clock_mhz = kRefClockMhz;   ///< device clock (vs kRefClockMhz timebase)
+  /// DRAM bandwidth in bytes per *device* cycle for the roofline batch
+  /// cost (model/runtime_model batched_gemm_cycles); <= 0 models infinite
+  /// bandwidth. Weights stream once per dispatch — unless resident in this
+  /// device's weight cache.
+  i64 dram_bytes_per_cycle = 64;
+  /// Per-device LRU weight-cache capacity (serve/weight_cache); 0 disables.
+  i64 weight_cache_bytes = 0;
+};
+
 struct PoolConfig {
-  AcceleratorConfig accelerator;  ///< every pool member is identical
+  /// Heterogeneous fleet: when non-empty this is the pool, and the
+  /// homogeneous shorthand below (`accelerator`, `num_accelerators`,
+  /// `dram_bytes_per_cycle`) is ignored.
+  std::vector<AcceleratorSpec> fleet;
+
+  /// Homogeneous shorthand: `num_accelerators` identical members built
+  /// from `accelerator` + `dram_bytes_per_cycle`, no weight caches —
+  /// exactly the PR-1/2 pool.
+  AcceleratorConfig accelerator;
   int num_accelerators = 4;
+  i64 dram_bytes_per_cycle = 64;
+
   int num_threads = 1;  ///< wall-clock workers; no effect on cycle results
   SchedulePolicy policy = SchedulePolicy::kFifo;
+  RoutePolicy routing = RoutePolicy::kFirstFree;
   ExecMode exec = ExecMode::kAnalytical;
   BatchPolicy batching;
-  /// DRAM bandwidth for the roofline batch cost (see
-  /// model/runtime_model batched_gemm_cycles); <= 0 models infinite
-  /// bandwidth. Weights stream once per dispatch, so this is the term
-  /// dynamic batching amortizes.
-  i64 dram_bytes_per_cycle = 64;
   /// Operand synthesis seed for cycle-accurate execution; combined with the
   /// batch's first request id so every batch sees fixed, thread-independent
   /// data.
@@ -70,12 +117,27 @@ class AcceleratorPool {
 
   [[nodiscard]] const PoolConfig& config() const { return config_; }
 
+  /// The normalized fleet the pool actually runs: `config().fleet` when
+  /// given, otherwise the homogeneous shorthand expanded, with default
+  /// names filled in. Device indices in reports index into this vector.
+  [[nodiscard]] const std::vector<AcceleratorSpec>& fleet() const {
+    return fleet_;
+  }
+
   /// Serves the whole trace to completion and returns the finalized
   /// report. Consumes the queue.
   ServeReport serve(RequestQueue requests);
 
-  /// Analytical cycle estimate for one batch under this pool's config —
-  /// the quantity shortest-job-first sorts by.
+  /// Fleet-cycle cost of `gemm` on one fleet member: the device roofline
+  /// converted to the reference clock. `weights_resident` prices a
+  /// weight-cache hit (no B stream) — what cost-aware routing compares
+  /// across idle devices.
+  [[nodiscard]] i64 device_cycles(std::size_t device, const GemmShape& gemm,
+                                  bool weights_resident = false) const;
+
+  /// Fleet-best (minimum over members, cache-blind) cycle estimate for one
+  /// batch — the quantity shortest-job-first sorts by. Reduces to the
+  /// PR-1/2 single-shape estimate on a homogeneous fleet.
   [[nodiscard]] i64 estimate_cycles(const Batch& batch) const;
   /// Same estimate for a bare merged shape (used to price still-open
   /// groups when continuous admission picks one for an idle accelerator).
@@ -83,6 +145,7 @@ class AcceleratorPool {
 
  private:
   PoolConfig config_;
+  std::vector<AcceleratorSpec> fleet_;
 };
 
 }  // namespace axon::serve

@@ -26,6 +26,17 @@ double GroupStats::slo_attainment() const {
          static_cast<double>(with_deadline);
 }
 
+double AcceleratorStats::weight_hit_rate() const {
+  const i64 lookups = weight_hits + weight_misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(weight_hits) / static_cast<double>(lookups);
+}
+
+double AcceleratorStats::utilization(i64 makespan) const {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(busy_cycles) / static_cast<double>(makespan);
+}
+
 void ServeReport::finalize() {
   std::sort(records.begin(), records.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
@@ -37,6 +48,7 @@ void ServeReport::finalize() {
   by_workload.clear();
   by_class.clear();
   makespan_cycles = 0;
+  for (auto& a : per_accelerator) a.requests = 0;
   for (const auto& r : records) {
     latency.add(r.latency_cycles());
     queueing.add(r.queue_cycles());
@@ -44,6 +56,10 @@ void ServeReport::finalize() {
     overall.add(r);
     by_workload[r.workload].add(r);
     by_class[r.priority].add(r);
+    if (r.accelerator >= 0 &&
+        r.accelerator < static_cast<int>(per_accelerator.size())) {
+      ++per_accelerator[static_cast<std::size_t>(r.accelerator)].requests;
+    }
   }
 }
 
@@ -114,6 +130,30 @@ std::string ServeReport::summary() const {
       add_breakdown_row(t, std::to_string(prio), g);
     }
     t.print(os, "Per-priority-class breakdown");
+  }
+  // Per-device breakdown: who the router sent work to, how busy each
+  // member was, and whether its weight cache earned its bytes. A
+  // single-member pool earns the table too when its cache saw traffic —
+  // that is the only place hit rates render.
+  bool show_devices = per_accelerator.size() > 1;
+  for (const auto& a : per_accelerator) {
+    show_devices = show_devices || a.weight_hits + a.weight_misses > 0;
+  }
+  if (show_devices && !per_accelerator.empty()) {
+    Table t({"device", "batches", "requests", "util_%", "wcache_hit_%"});
+    for (const auto& a : per_accelerator) {
+      Table& row = t.row()
+                       .cell(a.name)
+                       .cell(a.batches)
+                       .cell(static_cast<i64>(a.requests))
+                       .cell(100.0 * a.utilization(makespan_cycles), 1);
+      if (a.weight_hits + a.weight_misses > 0) {
+        row.cell(100.0 * a.weight_hit_rate(), 1);
+      } else {
+        row.cell("-");  // no cache on this member
+      }
+    }
+    t.print(os, "Per-accelerator breakdown");
   }
   return os.str();
 }

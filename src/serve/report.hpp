@@ -64,6 +64,24 @@ struct GroupStats {
   [[nodiscard]] double slo_attainment() const;
 };
 
+/// Per-fleet-member aggregates: who did the work, how busy they were, and
+/// how their weight cache fared. Filled by the pool at drain time
+/// (names/busy/batches/cache counters) and by finalize() (request counts).
+struct AcceleratorStats {
+  std::string name;      ///< spec label ("acc0", "hbm32", ...)
+  i64 busy_cycles = 0;   ///< fleet cycles spent executing batches
+  i64 batches = 0;       ///< batches dispatched to this member
+  std::size_t requests = 0;  ///< requests those batches carried
+  i64 weight_hits = 0;       ///< dispatches whose (K, N) weights were warm
+  i64 weight_misses = 0;     ///< ... that had to stream weights from DRAM
+
+  /// Fraction of dispatches served from the weight cache; 0 when the
+  /// member has no cache (or never dispatched).
+  [[nodiscard]] double weight_hit_rate() const;
+  /// Busy fraction of the fleet makespan.
+  [[nodiscard]] double utilization(i64 makespan_cycles) const;
+};
+
 struct ServeReport {
   std::vector<RequestRecord> records;  ///< sorted by request id
 
@@ -80,10 +98,15 @@ struct ServeReport {
   GroupStats overall;                          ///< fleet-wide SLO slice
   std::map<std::string, GroupStats> by_workload;
   std::map<int, GroupStats> by_class;          ///< keyed by priority class
+  /// One entry per fleet member, indexed by RequestRecord::accelerator.
+  std::vector<AcceleratorStats> per_accelerator;
 
   /// Recomputes histograms, breakdowns, and aggregate cycles from
   /// `records`; the pool calls this once after the simulation drains.
-  /// Well-formed (all-zero aggregates) when the trace produced no records.
+  /// Per-accelerator request counts are recomputed; the pool-filled
+  /// fields of `per_accelerator` (names, busy cycles, cache counters) are
+  /// kept. Well-formed (all-zero aggregates) when the trace produced no
+  /// records.
   void finalize();
 
   [[nodiscard]] std::size_t num_requests() const { return records.size(); }

@@ -1,0 +1,75 @@
+#include "serve/scenarios.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace axon::serve {
+
+std::vector<AcceleratorSpec> mixed_demo_fleet() {
+  AcceleratorSpec big;
+  big.name = "big64x64";
+  big.accelerator.arch = ArchType::kAxon;
+  big.accelerator.array = {64, 64};
+  big.clock_mhz = kRefClockMhz;
+  big.dram_bytes_per_cycle = 64;
+  big.weight_cache_bytes = 16 << 20;
+  AcceleratorSpec hbm;
+  hbm.name = "hbm32x32";
+  hbm.accelerator.arch = ArchType::kAxon;
+  hbm.accelerator.array = {32, 32};
+  hbm.clock_mhz = 2 * kRefClockMhz;
+  hbm.dram_bytes_per_cycle = 256;
+  hbm.weight_cache_bytes = 16 << 20;
+  std::vector<AcceleratorSpec> fleet = {big, hbm, big, hbm};
+  // Index suffixes keep the per-accelerator report rows distinguishable.
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].name += "_" + std::to_string(i);
+  }
+  return fleet;
+}
+
+std::vector<GemmWorkload> mixed_fleet_mix() {
+  // Decode shapes twice each: they dominate the request stream. The
+  // prefill GEMM uses a different layer's weights — a (K, N) the decode
+  // stream never hits — otherwise the batcher would coalesce prefill into
+  // decode batches and there would be nothing left to route.
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"prefill_ffn2", {128, 3072, 768}},
+  };
+}
+
+BurstyTraceConfig mixed_fleet_traffic(int num_requests) {
+  BurstyTraceConfig tc;
+  tc.num_requests = num_requests;
+  tc.burst_interarrival_cycles = 3000.0;
+  tc.mean_on_cycles = 400000.0;
+  tc.mean_off_cycles = 1200000.0;
+  // Decode budget sits between the cost-aware and round-robin tail: the
+  // routed fleet meets it, the blind one misses during bursts.
+  tc.classes.default_policy = {/*slo=*/95000, /*priority=*/0};
+  tc.classes.per_workload["prefill_ffn2"] = {/*slo=*/2300000, /*priority=*/1};
+  return tc;
+}
+
+RequestQueue mixed_fleet_trace() {
+  Rng rng(kMixedFleetSeed);
+  return generate_bursty_trace(mixed_fleet_mix(), mixed_fleet_traffic(), rng);
+}
+
+PoolConfig mixed_fleet_pool_config(RoutePolicy routing) {
+  PoolConfig cfg;
+  cfg.fleet = mixed_demo_fleet();
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.routing = routing;
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 60000;
+  cfg.batching.continuous_admission = true;
+  return cfg;
+}
+
+}  // namespace axon::serve

@@ -1,0 +1,47 @@
+// Canonical serving scenarios shared by the examples, the bench binaries,
+// and (via the bench smoke mode) CI's perf artifact — one definition, so
+// the numbers the README describes, the example demos, and the
+// BENCH_serve.json trajectory can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/pool.hpp"
+#include "serve/request.hpp"
+
+namespace axon::serve {
+
+/// Canonical trace seed and size for the mixed-fleet scenario. The
+/// example enforces the headline claim (cost-aware routing beats
+/// round-robin on throughput AND SLO attainment) on exactly this trace at
+/// runtime; CI's BENCH_serve.json publishes the same trace so the
+/// artifact can never contradict the claim.
+inline constexpr std::uint64_t kMixedFleetSeed = 2025;
+inline constexpr int kMixedFleetRequests = 384;
+
+/// The mixed-hardware demo fleet: 2x "big64x64" (64x64 Axon array at the
+/// reference clock, 64 B/cycle DRAM) + 2x "hbm32x32" (32x32 array clocked
+/// 2x, 256 B/cycle), each with a 16 MiB weight cache. `big` wins
+/// compute-bound prefill, `hbm` wins transfer-bound one-token decode —
+/// the split cost-aware routing is supposed to discover.
+std::vector<AcceleratorSpec> mixed_demo_fleet();
+
+/// The decode+prefill workload mix for that fleet: two one-token decode
+/// shapes (dominant, coalesce well) and a 128-token prefill whose (K, N)
+/// no decode entry shares — so the scheduler, not the batcher, arbitrates.
+std::vector<GemmWorkload> mixed_fleet_mix();
+
+/// Bursty traffic over that mix with a tight interactive decode SLO and a
+/// loose batch-class prefill SLO — tuned so cost-aware routing meets the
+/// decode budget that round-robin blows during bursts.
+BurstyTraceConfig mixed_fleet_traffic(int num_requests = kMixedFleetRequests);
+
+/// The canonical trace those knobs generate.
+RequestQueue mixed_fleet_trace();
+
+/// Pool configuration for the demo fleet under a given routing policy:
+/// EDF scheduling with continuous admission, max_batch 8, max_wait 60000.
+PoolConfig mixed_fleet_pool_config(RoutePolicy routing);
+
+}  // namespace axon::serve

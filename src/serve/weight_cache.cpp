@@ -1,0 +1,44 @@
+#include "serve/weight_cache.hpp"
+
+#include "common/check.hpp"
+#include "memory/traffic.hpp"
+
+namespace axon::serve {
+
+WeightCache::WeightCache(i64 capacity_bytes)
+    : capacity_bytes_(capacity_bytes < 0 ? 0 : capacity_bytes) {}
+
+i64 WeightCache::footprint_bytes(i64 K, i64 N) {
+  AXON_CHECK(K > 0 && N > 0, "weight footprint needs positive K, N");
+  return elems_to_bytes(K * N);
+}
+
+bool WeightCache::contains(i64 K, i64 N) const {
+  return index_.find(Key{K, N}) != index_.end();
+}
+
+bool WeightCache::touch(i64 K, i64 N) {
+  if (!enabled()) return false;
+  const Key key{K, N};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return true;
+  }
+  ++misses_;
+  const i64 bytes = footprint_bytes(K, N);
+  if (bytes > capacity_bytes_) return false;  // would never fit
+  while (used_bytes_ + bytes > capacity_bytes_) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    index_.erase(Key{victim.K, victim.N});
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{K, N, bytes});
+  index_[key] = lru_.begin();
+  used_bytes_ += bytes;
+  return false;
+}
+
+}  // namespace axon::serve

@@ -1,0 +1,70 @@
+// Inference serving: per-accelerator weight cache. Dynamic batching keys
+// batches by (K, N) weight identity, and the roofline charges every
+// dispatch a full K*N weight stream from DRAM. Real devices keep recently
+// used weight matrices in on-package memory, so a device that just served
+// a (K, N) workload serves the next same-weight batch without the stream —
+// the term that makes decode traffic transfer-bound in the first place.
+//
+// This is a byte-capacity LRU over (K, N) footprints. The pool touches the
+// cache of the routed device at dispatch time (the moment weights would
+// stream), in the single-threaded serve loop — cache state is a pure
+// function of the dispatch sequence, so the determinism contract across
+// worker-thread counts is untouched. Cost-aware routing reads contains()
+// when pricing a (batch, device) pair, which is how weight affinity falls
+// out of the cost model for free.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace axon::serve {
+
+class WeightCache {
+ public:
+  /// `capacity_bytes <= 0` disables the cache: every touch misses and no
+  /// hit/miss statistics accumulate.
+  explicit WeightCache(i64 capacity_bytes);
+
+  /// Records a dispatch that streams the (K, N) weight matrix. Returns
+  /// true on a hit (weights resident; recency refreshed) and false on a
+  /// miss (the entry is inserted, evicting least-recently-used entries
+  /// until it fits; a footprint larger than the whole cache is never
+  /// inserted but still counts as a miss).
+  bool touch(i64 K, i64 N);
+
+  /// Whether the (K, N) weights are resident right now — the routing-time
+  /// query; does not change recency or statistics.
+  [[nodiscard]] bool contains(i64 K, i64 N) const;
+
+  /// Weight-matrix footprint charged against capacity: K*N elements at the
+  /// model datatype width.
+  static i64 footprint_bytes(i64 K, i64 N);
+
+  [[nodiscard]] bool enabled() const { return capacity_bytes_ > 0; }
+  [[nodiscard]] i64 capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] i64 used_bytes() const { return used_bytes_; }
+  [[nodiscard]] std::size_t entries() const { return index_.size(); }
+  [[nodiscard]] i64 hits() const { return hits_; }
+  [[nodiscard]] i64 misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    i64 K = 0;
+    i64 N = 0;
+    i64 bytes = 0;
+  };
+  using Key = std::pair<i64, i64>;
+
+  i64 capacity_bytes_ = 0;
+  i64 used_bytes_ = 0;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace axon::serve

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "memory/traffic.hpp"
 
 namespace axon {
 namespace {
@@ -189,6 +190,32 @@ TEST(BatchedGemmCyclesTest, TransferFloorOnlyBindsWhenMemoryBound) {
   EXPECT_EQ(
       batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, g, array, 1 << 20),
       batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, g, array, 0));
+}
+
+TEST(BatchedGemmCyclesTest, ResidentWeightsSkipTheBStream) {
+  // Weight-cache hit pricing: the transfer leg drops exactly the K*N
+  // weight bytes, so a transfer-bound decode shape gets strictly cheaper
+  // while a compute-bound shape is unchanged.
+  const ArrayShape array{32, 32};
+  const i64 bw = 32;  // low enough that the K*N weight stream dominates
+  const GemmShape decode{1, 768, 3072};
+  EXPECT_EQ(gemm_transfer_cycles(decode, bw, /*weights_resident=*/true),
+            ceil_div(elems_to_bytes(decode.a_elems() + decode.c_elems()), bw));
+  EXPECT_LT(batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, decode, array,
+                                bw, /*weights_resident=*/true),
+            batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, decode, array,
+                                bw, /*weights_resident=*/false));
+
+  const GemmShape compute_bound{512, 512, 512};
+  EXPECT_EQ(batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, compute_bound,
+                                array, bw, /*weights_resident=*/true),
+            batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, compute_bound,
+                                array, bw, /*weights_resident=*/false));
+  // Infinite bandwidth: residency is irrelevant either way.
+  EXPECT_EQ(batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, decode, array,
+                                0, /*weights_resident=*/true),
+            batched_gemm_cycles(ArchType::kAxon, Dataflow::kOS, decode, array,
+                                0, /*weights_resident=*/false));
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// Heterogeneous-fleet serving: cost-aware routing across mixed
+// AcceleratorSpecs, per-device weight caches, clock scaling, and the
+// determinism contract with all of it switched on at once.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "serve/pool.hpp"
+#include "serve/request.hpp"
+
+namespace axon::serve {
+namespace {
+
+Request make_req(i64 id, const GemmShape& shape, i64 arrival,
+                 i64 deadline = -1, int priority = 0) {
+  Request r;
+  r.id = id;
+  r.workload = "w" + std::to_string(id);
+  r.gemm = shape;
+  r.arrival_cycle = arrival;
+  r.deadline_cycle = deadline;
+  r.priority = priority;
+  return r;
+}
+
+AcceleratorSpec spec(int rows, int cols, int clock_mhz = kRefClockMhz,
+                     i64 dram = 0, i64 cache = 0) {
+  AcceleratorSpec s;
+  s.accelerator = {.arch = ArchType::kAxon, .array = {rows, cols}};
+  s.clock_mhz = clock_mhz;
+  s.dram_bytes_per_cycle = dram;
+  s.weight_cache_bytes = cache;
+  return s;
+}
+
+void expect_same_simulated_results(const ServeReport& a,
+                                   const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord& ra = a.records[i];
+    const RequestRecord& rb = b.records[i];
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.dispatch_cycle, rb.dispatch_cycle) << "request " << ra.id;
+    EXPECT_EQ(ra.completion_cycle, rb.completion_cycle) << "request " << ra.id;
+    EXPECT_EQ(ra.accelerator, rb.accelerator) << "request " << ra.id;
+    EXPECT_EQ(ra.batch_size, rb.batch_size) << "request " << ra.id;
+  }
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles);
+  ASSERT_EQ(a.per_accelerator.size(), b.per_accelerator.size());
+  for (std::size_t i = 0; i < a.per_accelerator.size(); ++i) {
+    const AcceleratorStats& sa = a.per_accelerator[i];
+    const AcceleratorStats& sb = b.per_accelerator[i];
+    EXPECT_EQ(sa.busy_cycles, sb.busy_cycles) << "device " << i;
+    EXPECT_EQ(sa.batches, sb.batches) << "device " << i;
+    EXPECT_EQ(sa.requests, sb.requests) << "device " << i;
+    EXPECT_EQ(sa.weight_hits, sb.weight_hits) << "device " << i;
+    EXPECT_EQ(sa.weight_misses, sb.weight_misses) << "device " << i;
+  }
+}
+
+TEST(FleetTest, HomogeneousShorthandEqualsExplicitFleet) {
+  // The PR-1/2 shorthand (accelerator + num_accelerators) and an explicit
+  // fleet of identical members must produce the same simulated timeline.
+  PoolConfig shorthand;
+  shorthand.accelerator = {.arch = ArchType::kAxon, .array = {8, 8}};
+  shorthand.num_accelerators = 2;
+  shorthand.dram_bytes_per_cycle = 16;
+  shorthand.batching = {2, 100};
+
+  PoolConfig fleet = shorthand;
+  fleet.fleet = {spec(8, 8, kRefClockMhz, 16), spec(8, 8, kRefClockMhz, 16)};
+
+  const auto trace = [] {
+    RequestQueue q;
+    for (i64 i = 0; i < 12; ++i) q.push(make_req(i, {4, 8, 8}, i * 50));
+    return q;
+  };
+  expect_same_simulated_results(AcceleratorPool(shorthand).serve(trace()),
+                                AcceleratorPool(fleet).serve(trace()));
+}
+
+TEST(FleetTest, ClockScalesSimulatedCycles) {
+  // Same array, double clock: the identical device-cycle cost retires in
+  // ceil(half) the simulated fleet cycles.
+  const auto run = [](int clock_mhz) {
+    PoolConfig cfg;
+    cfg.fleet = {spec(8, 8, clock_mhz)};
+    cfg.batching = {1, 0};
+    RequestQueue q;
+    q.push(make_req(0, {8, 8, 8}, 0));
+    return AcceleratorPool(cfg).serve(std::move(q));
+  };
+  const i64 base = run(kRefClockMhz).records[0].compute_cycles();
+  const i64 fast = run(2 * kRefClockMhz).records[0].compute_cycles();
+  EXPECT_EQ(fast, (base + 1) / 2);
+  EXPECT_LT(fast, base);
+}
+
+TEST(FleetTest, LeastCostRoutesToCheaperDeviceFirstFreeDoesNot) {
+  // A compute-bound GEMM on a fleet of [small, big] arrays: first-free
+  // parks it on the small device (index 0), least-cost routes it to the
+  // big one.
+  const GemmShape g{64, 64, 64};
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8), spec(32, 32)};
+  cfg.batching = {1, 0};
+
+  AcceleratorPool pool(cfg);
+  ASSERT_LT(pool.device_cycles(1, g), pool.device_cycles(0, g));
+
+  const auto trace = [&] {
+    RequestQueue q;
+    q.push(make_req(0, g, 0));
+    return q;
+  };
+  cfg.routing = RoutePolicy::kFirstFree;
+  EXPECT_EQ(AcceleratorPool(cfg).serve(trace()).records[0].accelerator, 0);
+  cfg.routing = RoutePolicy::kLeastCost;
+  EXPECT_EQ(AcceleratorPool(cfg).serve(trace()).records[0].accelerator, 1);
+}
+
+TEST(FleetTest, RoundRobinRotatesAcrossIdleDevices) {
+  // Widely spaced singletons: every device is idle at each dispatch, so
+  // round-robin alternates while first-free would always pick device 0.
+  const auto run = [](RoutePolicy routing) {
+    PoolConfig cfg;
+    cfg.fleet = {spec(8, 8), spec(8, 8)};
+    cfg.routing = routing;
+    cfg.batching = {1, 0};
+    RequestQueue q;
+    for (i64 i = 0; i < 4; ++i) q.push(make_req(i, {8, 8, 8}, i * 100000));
+    return AcceleratorPool(cfg).serve(std::move(q));
+  };
+  const ServeReport rr = run(RoutePolicy::kRoundRobin);
+  ASSERT_EQ(rr.records.size(), 4u);
+  EXPECT_EQ(rr.records[0].accelerator, 0);
+  EXPECT_EQ(rr.records[1].accelerator, 1);
+  EXPECT_EQ(rr.records[2].accelerator, 0);
+  EXPECT_EQ(rr.records[3].accelerator, 1);
+  const ServeReport ff = run(RoutePolicy::kFirstFree);
+  for (const auto& r : ff.records) EXPECT_EQ(r.accelerator, 0);
+}
+
+TEST(FleetTest, CacheWarmDecodeBatchCostsStrictlyLessThanCold) {
+  // The regression the weight cache exists for: a transfer-bound decode
+  // shape re-dispatched against warm weights must cost strictly less than
+  // the cold dispatch that streamed them.
+  const GemmShape decode{1, 256, 256};
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8, kRefClockMhz, /*dram=*/8, /*cache=*/1 << 20)};
+  cfg.batching = {1, 0};
+
+  AcceleratorPool pool(cfg);
+  EXPECT_LT(pool.device_cycles(0, decode, /*weights_resident=*/true),
+            pool.device_cycles(0, decode, /*weights_resident=*/false));
+
+  RequestQueue q;
+  for (i64 i = 0; i < 3; ++i) q.push(make_req(i, decode, i * 100000));
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  ASSERT_EQ(rep.records.size(), 3u);
+  EXPECT_LT(rep.records[1].compute_cycles(), rep.records[0].compute_cycles());
+  EXPECT_EQ(rep.records[1].compute_cycles(), rep.records[2].compute_cycles());
+  ASSERT_EQ(rep.per_accelerator.size(), 1u);
+  EXPECT_EQ(rep.per_accelerator[0].weight_misses, 1);
+  EXPECT_EQ(rep.per_accelerator[0].weight_hits, 2);
+  EXPECT_DOUBLE_EQ(rep.per_accelerator[0].weight_hit_rate(), 2.0 / 3.0);
+}
+
+TEST(FleetTest, WeightAffinityEmergesFromLeastCostRouting) {
+  // Two identical cached devices, a stream of same-weight transfer-bound
+  // singletons with both devices idle each time: after the cold first
+  // dispatch lands on device 0 (index tie-break), least-cost keeps the
+  // stream there — the warm cache makes device 0 strictly cheaper.
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8, kRefClockMhz, 8, 1 << 20),
+               spec(8, 8, kRefClockMhz, 8, 1 << 20)};
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.batching = {1, 0};
+  RequestQueue q;
+  for (i64 i = 0; i < 5; ++i) q.push(make_req(i, {1, 256, 256}, i * 100000));
+  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  for (const auto& r : rep.records) EXPECT_EQ(r.accelerator, 0);
+  EXPECT_EQ(rep.per_accelerator[0].weight_hits, 4);
+  EXPECT_EQ(rep.per_accelerator[0].weight_misses, 1);
+  EXPECT_EQ(rep.per_accelerator[1].batches, 0);
+}
+
+TEST(FleetTest, PerAcceleratorStatsSumToFleetTotals) {
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8, kRefClockMhz, 16, 1 << 20), spec(16, 16),
+               spec(8, 16, 2 * kRefClockMhz, 32)};
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.batching = {4, 200};
+  const std::vector<GemmWorkload> mix = {
+      {"t_a", {4, 8, 8}}, {"t_b", {8, 8, 8}}, {"t_c", {1, 64, 64}}};
+  Rng rng(7);
+  const ServeReport rep =
+      AcceleratorPool(cfg).serve(generate_trace(mix, {48, 120.0}, rng));
+  ASSERT_EQ(rep.per_accelerator.size(), 3u);
+  EXPECT_EQ(rep.per_accelerator[0].name, "acc0");
+  EXPECT_EQ(rep.per_accelerator[2].name, "acc2");
+  i64 busy = 0, batches = 0;
+  std::size_t requests = 0;
+  for (const auto& a : rep.per_accelerator) {
+    busy += a.busy_cycles;
+    batches += a.batches;
+    requests += a.requests;
+  }
+  EXPECT_EQ(busy, rep.total_busy_cycles);
+  EXPECT_EQ(batches, rep.total_batches);
+  EXPECT_EQ(requests, rep.records.size());
+}
+
+TEST(FleetTest, MixedFleetDeterministicAcrossThreadCounts) {
+  // The full tentpole stack — heterogeneous specs, cost-aware routing,
+  // weight caches, EDF + priority classes, continuous admission, bursty
+  // arrivals — must still yield a bit-identical simulated timeline for 1
+  // vs 8 worker threads, per-device stats included.
+  const auto trace = [] {
+    BurstyTraceConfig tc;
+    tc.num_requests = 96;
+    tc.burst_interarrival_cycles = 40.0;
+    tc.mean_on_cycles = 2000.0;
+    tc.mean_off_cycles = 5000.0;
+    tc.classes.default_policy = {/*slo=*/40000, /*priority=*/1};
+    tc.classes.per_workload["t_a"] = {/*slo=*/15000, /*priority=*/0};
+    const std::vector<GemmWorkload> mix = {
+        {"t_a", {4, 8, 8}}, {"t_b", {8, 8, 8}}, {"t_c", {1, 64, 64}}};
+    Rng rng(77);
+    return generate_bursty_trace(mix, tc, rng);
+  };
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8, kRefClockMhz, 16, 1 << 20),
+               spec(16, 16, kRefClockMhz, 8),
+               spec(8, 16, 2 * kRefClockMhz, 32, 1 << 16)};
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.batching = {4, 200};
+  cfg.batching.continuous_admission = true;
+  cfg.num_threads = 1;
+  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  cfg.num_threads = 8;
+  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  expect_same_simulated_results(a, b);
+  EXPECT_DOUBLE_EQ(a.slo_attainment(), b.slo_attainment());
+  // The fleet actually spread work (routing is not degenerate).
+  int used = 0;
+  for (const auto& s : a.per_accelerator) used += s.batches > 0 ? 1 : 0;
+  EXPECT_GE(used, 2);
+}
+
+TEST(FleetTest, CycleAccurateHeterogeneousDeterministic) {
+  PoolConfig cfg;
+  cfg.fleet = {spec(8, 8, kRefClockMhz, 16, 1 << 18),
+               spec(4, 8, 2 * kRefClockMhz, 16)};
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.exec = ExecMode::kCycleAccurate;
+  cfg.batching = {2, 100};
+  const auto trace = [] {
+    const std::vector<GemmWorkload> mix = {{"s", {4, 8, 8}}, {"m", {8, 8, 8}}};
+    Rng rng(5);
+    return generate_trace(mix, {16, 200.0}, rng);
+  };
+  cfg.num_threads = 1;
+  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  cfg.num_threads = 4;
+  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  expect_same_simulated_results(a, b);
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -1,0 +1,90 @@
+#include "serve/weight_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memory/traffic.hpp"
+
+namespace axon::serve {
+namespace {
+
+TEST(WeightCacheTest, FootprintMatchesDatatypeWidth) {
+  EXPECT_EQ(WeightCache::footprint_bytes(64, 32), 64 * 32 * kBytesPerElement);
+}
+
+TEST(WeightCacheTest, MissThenHitOnSameWeights) {
+  WeightCache cache(WeightCache::footprint_bytes(64, 64));
+  EXPECT_FALSE(cache.contains(64, 64));
+  EXPECT_FALSE(cache.touch(64, 64));  // cold: streams and inserts
+  EXPECT_TRUE(cache.contains(64, 64));
+  EXPECT_TRUE(cache.touch(64, 64));  // warm
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.used_bytes(), WeightCache::footprint_bytes(64, 64));
+}
+
+TEST(WeightCacheTest, LruEvictionUnderCapacityPressure) {
+  // Three equal-footprint matrices (K*N = 1024 each), capacity for two:
+  // touching a third must evict the least recently used, and recency
+  // refreshes on hit.
+  WeightCache cache(2 * WeightCache::footprint_bytes(32, 32));
+  cache.touch(32, 32);   // A
+  cache.touch(64, 16);   // B
+  EXPECT_TRUE(cache.touch(32, 32));  // refresh A => B is now LRU
+  cache.touch(16, 64);               // C evicts B
+  EXPECT_TRUE(cache.contains(32, 32));
+  EXPECT_FALSE(cache.contains(64, 16));
+  EXPECT_TRUE(cache.contains(16, 64));
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(WeightCacheTest, AlternatingOversubscriptionNeverHits) {
+  // Two matrices, room for one: the classic thrash pattern stays all-miss.
+  WeightCache cache(WeightCache::footprint_bytes(64, 64));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.touch(64, 64));
+    EXPECT_FALSE(cache.touch(32, 128));
+  }
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 8);
+}
+
+TEST(WeightCacheTest, EntryLargerThanCapacityIsNeverInserted) {
+  WeightCache cache(16);  // smaller than any real weight matrix
+  EXPECT_FALSE(cache.touch(64, 64));
+  EXPECT_FALSE(cache.contains(64, 64));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+  // And it must not have evicted smaller residents to make doomed room.
+  WeightCache cache2(WeightCache::footprint_bytes(8, 8));
+  cache2.touch(8, 8);
+  cache2.touch(1024, 1024);  // oversized
+  EXPECT_TRUE(cache2.contains(8, 8));
+}
+
+TEST(WeightCacheTest, DisabledCacheCountsNothing) {
+  WeightCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.touch(64, 64));
+  EXPECT_FALSE(cache.touch(64, 64));
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(WeightCacheTest, ContainsDoesNotPerturbRecencyOrStats) {
+  WeightCache cache(2 * WeightCache::footprint_bytes(32, 32));
+  cache.touch(32, 32);  // A
+  cache.touch(64, 16);  // B
+  // Reading A via contains() must not refresh it: A stays LRU and gets
+  // evicted by C.
+  EXPECT_TRUE(cache.contains(32, 32));
+  cache.touch(16, 64);  // C
+  EXPECT_FALSE(cache.contains(32, 32));
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 3);
+}
+
+}  // namespace
+}  // namespace axon::serve
