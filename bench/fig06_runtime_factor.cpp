@@ -12,7 +12,9 @@ namespace {
 
 void print_tables(std::ostream& os) {
   std::vector<ArrayShape> shapes;
-  for (int s : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) shapes.push_back({s, s});
+  for (int s : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    shapes.push_back({s, s});
+  }
   // Rectangular points from Fig. 6's (R, C) plane.
   shapes.push_back({8, 64});
   shapes.push_back({64, 8});
@@ -30,7 +32,8 @@ void print_tables(std::ostream& os) {
                   static_cast<double>(row.f2_axon),
               3);
   }
-  t.print(os, "Fig. 6 — fill-latency factor (paper: 256x256 drops 510 -> 255)");
+  t.print(os,
+          "Fig. 6 — fill-latency factor (paper: 256x256 drops 510 -> 255)");
 }
 
 // Microbenchmark: cycle-accurate fill observation on real arrays.

@@ -23,7 +23,8 @@ void print_tables(std::ostream& os) {
         .cell(r.speedup, 3);
     sum += r.speedup;
   }
-  t.print(os, "Fig. 14 — DW-Conv and GEMV speedup (128x128, pipelined tiles)");
+  t.print(os,
+          "Fig. 14 — DW-Conv and GEMV speedup (128x128, pipelined tiles)");
   os << "average speedup: " << fmt_double(sum / rows.size(), 3)
      << " (paper: 1.8x average, up to 2x)\n";
 }

@@ -80,7 +80,8 @@ void slo_sweep(std::ostream& os) {
   // Same priority class everywhere: this sweep isolates the policy key
   // itself (examples/serve_traffic shows the EDF + priority-class combo).
   tc.classes.default_policy = {/*slo=*/500000, /*priority=*/0};
-  tc.classes.per_workload["prefill_qkv_large"] = {/*slo=*/6000000, /*priority=*/0};
+  tc.classes.per_workload["prefill_qkv_large"] = {/*slo=*/6000000,
+                                                   /*priority=*/0};
   Table t({"policy", "slo_%", "p99", "miss_p99", "req/Mcycle"});
   for (const SchedulePolicy policy :
        {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst,
@@ -145,11 +146,44 @@ void fleet_sweep(std::ostream& os) {
   os << "\n";
 }
 
+// ---- chunked prefill -------------------------------------------------
+
+/// The serve/scenarios head-of-line blocking scenario (2x 32x32 + weight
+/// caches, bursty decode with a tight SLO + long no-deadline prefill),
+/// swept across chunk policies. The example enforces the chunked-vs-whole
+/// claim on this exact trace; CI's smoke artifact publishes both ends.
+ServeReport serve_chunked(ChunkPolicy chunking) {
+  return AcceleratorPool(chunked_prefill_pool_config(chunking))
+      .serve(chunked_prefill_trace());
+}
+
+void chunk_sweep(std::ostream& os) {
+  Table t({"chunking", "slo_%", "p99", "chunks", "preempts", "req/Mcycle",
+           "wcache_%"});
+  for (const ChunkPolicy chunking :
+       {ChunkPolicy::kNone, ChunkPolicy::kFixedTiles,
+        ChunkPolicy::kDeadlineAware}) {
+    const ServeReport r = serve_chunked(chunking);
+    t.row()
+        .cell(to_string(chunking))
+        .cell(100.0 * r.slo_attainment(), 1)
+        .cell(r.latency.percentile_or(99))
+        .cell(r.total_chunks)
+        .cell(r.preemptions)
+        .cell(r.throughput_per_mcycle(), 2)
+        .cell(fleet_cache_hit_pct(r), 1);
+  }
+  t.print(os, "Chunk-policy sweep (2x 32x32, bursty decode+512-token "
+              "prefill, EDF, chunk_tiles 2)");
+  os << "\n";
+}
+
 void print_tables(std::ostream& os) {
   sweep(os, "ResNet50", resnet50_serve_mix());
   sweep(os, "BERT-base", transformer_serve_mix());
   slo_sweep(os);
   fleet_sweep(os);
+  chunk_sweep(os);
 }
 
 // Analytical-mode serving is dominated by the simulator's own dispatch
@@ -232,6 +266,10 @@ std::vector<Scenario> smoke_scenarios() {
                  serve_fleet(RoutePolicy::kRoundRobin)});
   out.push_back({"fleet_least_cost",
                  serve_fleet(RoutePolicy::kLeastCost)});
+  out.push_back({"chunked_prefill_whole",
+                 serve_chunked(ChunkPolicy::kNone)});
+  out.push_back({"chunked_prefill_deadline_aware",
+                 serve_chunked(ChunkPolicy::kDeadlineAware)});
   return out;
 }
 
@@ -266,6 +304,8 @@ int run_smoke(const std::string& json_path) {
          << "      \"name\": \"" << scenarios[i].name << "\",\n"
          << "      \"requests\": " << r.num_requests() << ",\n"
          << "      \"batches\": " << r.total_batches << ",\n"
+         << "      \"chunks\": " << r.total_chunks << ",\n"
+         << "      \"preemptions\": " << r.preemptions << ",\n"
          << "      \"makespan_cycles\": " << r.makespan_cycles << ",\n"
          << "      \"throughput_per_mcycle\": "
          << fmt_double(r.throughput_per_mcycle(), 4) << ",\n"

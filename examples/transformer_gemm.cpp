@@ -72,7 +72,8 @@ int main() {
             << "Axon " << ra.cycles << " cycles, results "
             << (rs.out.approx_equal(ra.out, 1e-4) ? "match" : "MISMATCH")
             << ", golden "
-            << (ra.out.approx_equal(gemm_ref(a, b), 1e-3) ? "match" : "MISMATCH")
+            << (ra.out.approx_equal(gemm_ref(a, b), 1e-3) ? "match"
+                                                          : "MISMATCH")
             << "\n";
   return 0;
 }

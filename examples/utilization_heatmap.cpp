@@ -14,7 +14,8 @@ using namespace axon;
 
 namespace {
 
-void print_heatmap(const Matrix& activity, i64 cycles, const std::string& name) {
+void print_heatmap(const Matrix& activity, i64 cycles,
+                   const std::string& name) {
   std::cout << name << " (per-PE MACs over " << cycles << " cycles):\n";
   float max_v = 0.0f;
   for (i64 i = 0; i < activity.rows(); ++i) {

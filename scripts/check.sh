@@ -16,12 +16,21 @@ if [[ "${AXON_RUN_EXAMPLES:-0}" == "1" ]]; then
   for src in examples/*.cpp; do
     example="$(basename "${src%.cpp}")"
     echo "== running example: ${example}"
-    # Quiet on success; on failure, replay the output — examples diagnose
-    # their own invariant breaks (e.g. serve_traffic's determinism check)
-    # on stdout.
-    if ! out="$("./build/${example}" 2>&1)"; then
+    if [[ ! -x "./build/${example}" ]]; then
+      echo "== FAILED example: ${example} (binary missing — not built?)" >&2
+      exit 1
+    fi
+    # Quiet on success; on failure, name the dead example FIRST (stderr,
+    # so a long replayed transcript cannot bury it), then replay the
+    # output — examples diagnose their own invariant breaks (e.g.
+    # serve_traffic's determinism check) on stdout — and name it again
+    # after the replay for readers scanning bottom-up.
+    status=0
+    out="$("./build/${example}" 2>&1)" || status=$?
+    if [[ "${status}" -ne 0 ]]; then
+      echo "== FAILED example: ${example} (exit ${status}); output follows" >&2
       echo "${out}"
-      echo "example ${example} FAILED"
+      echo "== FAILED example: ${example} (exit ${status})" >&2
       exit 1
     fi
   done

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_serve.json against the
+checked-in baseline (bench/baselines/BENCH_serve.json).
+
+Every compared metric is in simulated cycles (deterministic on any host
+and thread count), so any delta is a real behaviour change, not noise. A
+metric with a defined "good" direction fails the gate when it regresses by
+more than the tolerance (default 2%); count-like metrics (requests,
+batches, chunks, preemptions) are printed for context but never fail on
+their own. Intentional changes update the baseline in the same PR.
+
+Usage:
+  scripts/compare_bench.py BASELINE CURRENT [--tolerance-pct 2.0]
+
+Exit status: 0 = within tolerance, 1 = regression (or malformed/missing
+scenario), 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric name -> direction. "lower"/"higher" metrics gate; "info" metrics
+# only print. Keep this in sync with the JSON emitted by
+# bench/serve_throughput.cpp run_smoke().
+METRICS = {
+    "requests": "info",
+    "batches": "info",
+    "chunks": "info",
+    "preemptions": "info",
+    "makespan_cycles": "lower",
+    "throughput_per_mcycle": "higher",
+    "latency_p50_cycles": "lower",
+    "latency_p99_cycles": "lower",
+    "slo_attainment_pct": "higher",
+    "fleet_utilization_pct": "info",  # higher is not always better: a
+    # faster fleet idles more on the same open-loop trace
+    "weight_cache_hit_pct": "higher",
+}
+
+
+def load_scenarios(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        print(f"error: {path} has no scenarios", file=sys.stderr)
+        sys.exit(1)
+    return {s["name"]: s for s in scenarios}
+
+
+def regression_pct(direction, base, cur):
+    """Percent change in the *bad* direction; <= 0 means no regression."""
+    if base == 0:
+        # A zero baseline can only regress by appearing (lower-better) —
+        # report the raw delta as percent-of-nothing: any growth is 'inf'.
+        if direction == "lower" and cur > 0:
+            return float("inf")
+        if direction == "higher" and cur < 0:
+            return float("inf")
+        return 0.0
+    change = (cur - base) / abs(base) * 100.0
+    return change if direction == "lower" else -change
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance-pct", type=float, default=2.0)
+    args = parser.parse_args()
+
+    base = load_scenarios(args.baseline)
+    cur = load_scenarios(args.current)
+
+    failures = []
+    rows = []
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"scenario '{name}' missing from {args.current}")
+            continue
+        for metric, direction in METRICS.items():
+            if metric not in b:
+                continue
+            if metric not in c:
+                failures.append(f"{name}.{metric} missing from current run")
+                continue
+            bv, cv = b[metric], c[metric]
+            delta = cv - bv
+            pct = (delta / abs(bv) * 100.0) if bv else 0.0
+            reg = (
+                regression_pct(direction, bv, cv)
+                if direction != "info"
+                else 0.0
+            )
+            bad = reg > args.tolerance_pct
+            if bad:
+                failures.append(
+                    f"{name}.{metric}: {bv} -> {cv} "
+                    f"({reg:+.2f}% worse, tolerance {args.tolerance_pct}%)"
+                )
+            rows.append((name, metric, bv, cv, delta, pct, direction, bad))
+    for name in cur:
+        if name not in base:
+            # New scenarios are fine (the PR adding them updates the
+            # baseline too), but say so — silence would hide drift.
+            print(f"note: scenario '{name}' not in baseline")
+
+    widths = (34, 24, 14, 14, 12, 9)
+    header = ("scenario", "metric", "baseline", "current", "delta", "pct")
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for name, metric, bv, cv, delta, pct, direction, bad in rows:
+        mark = " <-- FAIL" if bad else ""
+        fmt = lambda v: f"{v:.2f}" if isinstance(v, float) else str(v)
+        print(
+            f"{name:<{widths[0]}}  {metric:<{widths[1]}}  "
+            f"{fmt(bv):>{widths[2]}}  {fmt(cv):>{widths[3]}}  "
+            f"{fmt(delta):>{widths[4]}}  {pct:>+8.2f}%{mark}"
+        )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"{args.tolerance_pct}%:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf this change is intentional, refresh the baseline in "
+              "this PR:\n  ./build-bench/bench_serve_throughput --smoke "
+              "--json bench/baselines/BENCH_serve.json")
+        return 1
+    print(f"\nOK: all gated metrics within {args.tolerance_pct}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

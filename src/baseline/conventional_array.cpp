@@ -64,8 +64,10 @@ GemmRunResult ConventionalArraySim::run_os(const Matrix& a, const Matrix& b) {
   const i64 r = a.rows();   // rows of PEs used
   const i64 c = b.cols();   // cols of PEs used
   const i64 t_len = a.cols();
-  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ", shape_.rows);
-  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ", shape_.cols);
+  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ",
+             shape_.rows);
+  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ",
+             shape_.cols);
 
   GemmRunResult result;
   result.dataflow = Dataflow::kOS;
@@ -184,7 +186,8 @@ GemmRunResult ConventionalArraySim::run_stationary(const Matrix& stationary,
     for (i64 i = 0; i < r; ++i) {
       for (i64 j = 0; j < c; ++j) {
         const Slot x_in = (j == 0) ? feed_x(i, t) : x_reg[idx(i, j - 1)];
-        const Slot p_in = (i == 0) ? Slot{0.0f, x_in.valid} : p_reg[idx(i - 1, j)];
+        const Slot p_in =
+            (i == 0) ? Slot{0.0f, x_in.valid} : p_reg[idx(i - 1, j)];
         Slot p_out;
         if (x_in.valid) {
           AXON_DCHECK(i == 0 || p_in.valid,

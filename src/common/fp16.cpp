@@ -23,7 +23,8 @@ float bits_float(std::uint32_t u) {
 
 std::uint16_t float_to_fp16_bits(float v) {
   const std::uint32_t f = float_bits(v);
-  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint16_t sign =
+      static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
   const std::uint32_t abs = f & ~kF32SignMask;
 
   if (abs >= 0x7F80'0000u) {           // inf or NaN

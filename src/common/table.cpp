@@ -43,7 +43,9 @@ Table& Table::cell(int v) { return cell(std::to_string(v)); }
 
 void Table::print(std::ostream& os, const std::string& title) const {
   std::vector<std::size_t> widths(header_.size());
-  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
   for (const auto& r : rows_) {
     for (std::size_t c = 0; c < r.size(); ++c) {
       widths[c] = std::max(widths[c], r[c].size());

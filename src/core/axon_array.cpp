@@ -63,14 +63,17 @@ GemmRunResult AxonArraySim::run(Dataflow df, const Matrix& a, const Matrix& b) {
   return {};
 }
 
-GemmRunResult AxonArraySim::run_os_stream(RowStream& a_stream, const Matrix& b) {
+GemmRunResult AxonArraySim::run_os_stream(RowStream& a_stream,
+                                          const Matrix& b) {
   const i64 r = a_stream.num_rows();
   const i64 c = b.cols();
   const i64 t_len = a_stream.temporal_length();
   AXON_CHECK(b.rows() == t_len, "stream length must match B rows");
   AXON_CHECK(r > 0 && c > 0 && t_len > 0, "empty OS tile");
-  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ", shape_.rows);
-  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ", shape_.cols);
+  AXON_CHECK(r <= shape_.rows, "OS: M=", r, " exceeds array rows ",
+             shape_.rows);
+  AXON_CHECK(c <= shape_.cols, "OS: N=", c, " exceeds array cols ",
+             shape_.cols);
 
   GemmRunResult result;
   result.dataflow = Dataflow::kOS;

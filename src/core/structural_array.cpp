@@ -82,7 +82,8 @@ GemmRunResult StructuralAxonArray::run_os(const Matrix& a, const Matrix& b) {
   const AxonGeometry g(r, c);
   const auto n = static_cast<std::size_t>(r * c);
   std::vector<UnifiedPe> pes(
-      n, UnifiedPe(Dataflow::kOS, options_.zero_gating, options_.fp16_numerics));
+      n,
+      UnifiedPe(Dataflow::kOS, options_.zero_gating, options_.fp16_numerics));
   Plane h(n), v(n);  // latched horizontal / vertical operand ports
   auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
 
@@ -163,7 +164,8 @@ GemmRunResult StructuralAxonArray::run_ws(const Matrix& stationary,
   const AxonGeometry g(r, c);
   const auto n = static_cast<std::size_t>(r * c);
   std::vector<UnifiedPe> pes(
-      n, UnifiedPe(Dataflow::kWS, options_.zero_gating, options_.fp16_numerics));
+      n,
+      UnifiedPe(Dataflow::kWS, options_.zero_gating, options_.fp16_numerics));
   auto idx = [c](i64 i, i64 j) { return static_cast<std::size_t>(i * c + j); };
 
   // --- Preload phase (paper §4.2.1): the stationary operand shifts down

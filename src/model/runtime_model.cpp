@@ -105,8 +105,10 @@ RuntimeResult dwconv_runtime(ArchType arch, Dataflow df, const ConvShape& conv,
   per_channel.K = i64{1} * conv.kernel_h * conv.kernel_w;
   per_channel.N = i64{1} * conv.out_h() * conv.out_w();
   const RuntimeResult one = pipelined
-                                ? pipelined_runtime(arch, df, per_channel, array)
-                                : scale_up_runtime(arch, df, per_channel, array);
+                                ? pipelined_runtime(arch, df, per_channel,
+                                                    array)
+                                : scale_up_runtime(arch, df, per_channel,
+                                                   array);
   RuntimeResult out = one;
   out.cycles = one.cycles * conv.in_channels;
   out.tiles = one.tiles * conv.in_channels;
@@ -119,6 +121,34 @@ i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle,
   const Traffic t = gemm_dram_traffic(g);
   const i64 bytes = weights_resident ? t.total() - t.filter_bytes : t.total();
   return ceil_div(bytes, dram_bytes_per_cycle);
+}
+
+i64 m_tile_extent(Dataflow df, const ArrayShape& array) {
+  AXON_CHECK(array.valid(), "invalid array shape");
+  switch (df) {
+    case Dataflow::kOS:
+      return array.rows;  // M -> S_R
+    case Dataflow::kWS:
+      return array.cols;  // M -> S_C
+    case Dataflow::kIS:
+      return 1;  // M -> T: no spatial tile boundary to align with
+  }
+  AXON_CHECK(false, "unreachable dataflow");
+  return 1;
+}
+
+std::vector<i64> chunk_m_extents(const GemmShape& merged, Dataflow df,
+                                 const ArrayShape& array, i64 tiles_per_chunk) {
+  AXON_CHECK(merged.valid(), "chunked GEMM shape invalid: ", merged);
+  if (tiles_per_chunk <= 0) return {merged.M};
+  const i64 quantum = m_tile_extent(df, array);
+  const i64 chunk_m = quantum * tiles_per_chunk;
+  std::vector<i64> extents;
+  extents.reserve(static_cast<std::size_t>(ceil_div(merged.M, chunk_m)));
+  for (i64 done = 0; done < merged.M; done += chunk_m) {
+    extents.push_back(std::min(chunk_m, merged.M - done));
+  }
+  return extents;
 }
 
 i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,

@@ -14,6 +14,8 @@
 //    Used for the memory-bound Fig. 14 workloads (see DESIGN.md §4).
 #pragma once
 
+#include <vector>
+
 #include "common/types.hpp"
 #include "model/mapping.hpp"
 
@@ -95,6 +97,27 @@ i64 batched_gemm_cycles(ArchType arch, Dataflow df, const GemmShape& merged,
 /// mode.
 i64 gemm_transfer_cycles(const GemmShape& g, i64 dram_bytes_per_cycle,
                          bool weights_resident = false);
+
+/// Chunked (divisible) batch costing: the M extent one "M-tile" of the
+/// array covers under dataflow `df` — the natural quantum for splitting a
+/// batched GEMM into independently dispatchable chunks without changing
+/// its total tile count. M maps onto S_R for OS (quantum = array rows),
+/// onto S_C for WS (quantum = array cols), and onto the temporal dimension
+/// T for IS (quantum = 1; every split costs an extra per-chunk fill/drain
+/// there, the honest preemption-granularity price).
+i64 m_tile_extent(Dataflow df, const ArrayShape& array);
+
+/// Splits `merged.M` into chunk extents of at most `tiles_per_chunk`
+/// M-tiles each (`tiles_per_chunk <= 0` means "one chunk, do not split").
+/// Every extent except possibly the last is tile-aligned, so for OS/WS the
+/// summed compute cycles of the chunks equal the unchunked batch exactly —
+/// the only chunking overhead is the memory side: each chunk is its own
+/// dispatch and re-streams the K*N weights unless they are resident in the
+/// device's weight cache by then (serve/weight_cache decides that per
+/// dispatch). A chunk's cost is batched_gemm_cycles on the sliced shape
+/// {extent, K, N} with that dispatch's own weights_resident verdict.
+std::vector<i64> chunk_m_extents(const GemmShape& merged, Dataflow df,
+                                 const ArrayShape& array, i64 tiles_per_chunk);
 
 /// Design-space search: among all power-of-two R x C shapes with
 /// R * C <= pe_budget, the shape minimizing the best-dataflow scale-up

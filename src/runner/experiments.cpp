@@ -38,7 +38,8 @@ std::vector<SpeedupRow> fig12_speedups(int array_size) {
         pipelined_runtime(ArchType::kAxon, Dataflow::kOS, w.shape, array)
             .cycles;
     row.speedup =
-        static_cast<double>(row.sa_cycles) / static_cast<double>(row.axon_cycles);
+        static_cast<double>(row.sa_cycles) /
+        static_cast<double>(row.axon_cycles);
     rows.push_back(row);
   }
   return rows;
@@ -64,7 +65,8 @@ std::vector<UtilizationRow> fig13_utilization(int array_size) {
   for (const GemmWorkload& w : table3_workloads()) {
     UtilizationRow row;
     row.workload = w.name;
-    row.ur_sa = best_utilization_rate(ArchType::kConventionalSA, w.shape, array);
+    row.ur_sa =
+        best_utilization_rate(ArchType::kConventionalSA, w.shape, array);
     row.ur_cmsa = best_utilization_rate(ArchType::kCMSA, w.shape, array);
     row.ur_axon = best_utilization_rate(ArchType::kAxon, w.shape, array);
     row.cmsa_improvement_pct = 100.0 * (row.ur_cmsa - row.ur_sa);
@@ -168,7 +170,8 @@ EnergyRow energy_row(const std::string& network,
   row.baseline_mb = static_cast<i64>(row.baseline_mb_exact + 0.5);
   row.axon_mb = static_cast<i64>(row.axon_mb_exact + 0.5);
   row.saved_mj = e.saved_energy_mj;
-  row.roofline_speedup = static_cast<double>(t_base) / static_cast<double>(t_axon);
+  row.roofline_speedup =
+      static_cast<double>(t_base) / static_cast<double>(t_axon);
   return row;
 }
 

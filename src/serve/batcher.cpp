@@ -29,6 +29,9 @@ void tighten_aggregates(const Request& r, i64& earliest_deadline,
 
 void Batch::absorb(Request r) {
   AXON_CHECK(!requests.empty(), "absorb into an empty batch");
+  AXON_CHECK(m_executed == 0,
+             "absorb into a partially executed batch (m_executed=", m_executed,
+             " of M=", gemm.M, ")");
   AXON_CHECK(r.gemm.K == gemm.K && r.gemm.N == gemm.N,
              "absorb requires matching (K, N)");
   gemm.M += r.gemm.M;

@@ -44,10 +44,29 @@ struct Batch {
   /// Most urgent (numerically lowest) member priority class.
   int top_priority = 0;
 
+  /// Chunked-dispatch progress (serve/pool ChunkPolicy): rows of the
+  /// merged M already executed as earlier chunks. A batch with
+  /// m_executed > 0 is partially in service — its membership is frozen
+  /// (absorb() rejects it) and only its remaining rows are schedulable.
+  i64 m_executed = 0;
+  /// Cycle the first chunk dispatched; -1 = not yet in service.
+  i64 first_dispatch_cycle = -1;
+  int chunks_run = 0;             ///< chunk dispatches executed so far
+
   [[nodiscard]] int size() const { return static_cast<int>(requests.size()); }
+  /// Rows of the merged M still to execute.
+  [[nodiscard]] i64 remaining_m() const { return gemm.M - m_executed; }
+  /// The GEMM the next dispatch would run if it took all remaining rows.
+  [[nodiscard]] GemmShape remaining_gemm() const {
+    return {remaining_m(), gemm.K, gemm.N};
+  }
 
   /// Adds a late same-(K, N) arrival to a not-yet-dispatched batch,
   /// extending the merged M and tightening deadline/priority aggregates.
+  /// Rejects (AXON_CHECK) a batch that already executed a chunk: members
+  /// of a partially executed batch complete together, so admitting into
+  /// one would retroactively grow work that is already priced and partly
+  /// done.
   void absorb(Request r);
 };
 

@@ -39,6 +39,18 @@ std::string to_string(RoutePolicy policy) {
   return "?";
 }
 
+std::string to_string(ChunkPolicy policy) {
+  switch (policy) {
+    case ChunkPolicy::kNone:
+      return "none";
+    case ChunkPolicy::kFixedTiles:
+      return "fixed-tiles";
+    case ChunkPolicy::kDeadlineAware:
+      return "deadline-aware";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Converts device cycles to simulated fleet cycles at the reference
@@ -53,13 +65,16 @@ struct ExecOutcome {
   i64 cycles = 0;
 };
 
-/// Pure function of (merged shape, first member id, device spec, exec
-/// mode, seed, cache-hit flag): the worker-side batch evaluation. The
-/// weight-cache decision is made in the serve loop *before* submission, so
-/// workers stay stateless and the outcome is thread-count independent.
-ExecOutcome execute_batch(const GemmShape& gemm, i64 batch_first_id,
-                          const AcceleratorSpec& spec, ExecMode exec,
-                          std::uint64_t data_seed, bool weights_resident) {
+/// Pure function of (chunk shape, batch identity, chunk ordinal, device
+/// spec, exec mode, seed, cache-hit flag): the worker-side chunk
+/// evaluation. The weight-cache decision is made in the serve loop
+/// *before* submission, so workers stay stateless and the outcome is
+/// thread-count independent. An unchunked batch is simply chunk 0 covering
+/// the whole merged M.
+ExecOutcome execute_chunk(const GemmShape& gemm, i64 batch_first_id,
+                          int chunk_ordinal, const AcceleratorSpec& spec,
+                          ExecMode exec, std::uint64_t data_seed,
+                          bool weights_resident) {
   if (exec == ExecMode::kAnalytical) {
     const i64 dev = batched_gemm_cycles(
         spec.accelerator.arch, spec.accelerator.dataflow, gemm,
@@ -67,11 +82,13 @@ ExecOutcome execute_batch(const GemmShape& gemm, i64 batch_first_id,
     return {to_fleet_cycles(dev, spec.clock_mhz)};
   }
   // Cycle-accurate: synthesize operands from a seed derived only from the
-  // batch identity, then run the full simulator. The roofline transfer
-  // floor applies here too so both modes price weight streaming (and
-  // weight-cache hits) alike.
+  // batch identity and the chunk ordinal, then run the full simulator. The
+  // roofline transfer floor applies here too so both modes price weight
+  // streaming (and weight-cache hits) alike.
   const auto first_id = static_cast<std::uint64_t>(batch_first_id + 1);
-  Rng rng(data_seed ^ (0x9E3779B97F4A7C15ull * first_id));
+  const auto ordinal = static_cast<std::uint64_t>(chunk_ordinal);
+  Rng rng(data_seed ^ (0x9E3779B97F4A7C15ull * first_id) ^
+          (0xC2B2AE3D27D4EB4Full * ordinal));
   const Matrix a = random_matrix(gemm.M, gemm.K, rng);
   const Matrix b = random_matrix(gemm.K, gemm.N, rng);
   Accelerator acc(spec.accelerator);
@@ -85,6 +102,8 @@ ExecOutcome execute_batch(const GemmShape& gemm, i64 batch_first_id,
 struct InFlight {
   int accelerator = -1;
   Batch batch;
+  i64 chunk_m = 0;          ///< rows this dispatch covers
+  bool final_chunk = true;  ///< completes the batch (vs. remainder re-queues)
   i64 dispatch_cycle = 0;
   std::future<ExecOutcome> future;
   bool resolved = false;
@@ -110,8 +129,10 @@ AcceleratorPool::AcceleratorPool(PoolConfig config)
   }
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
     AcceleratorSpec& spec = fleet_[i];
-    AXON_CHECK(spec.accelerator.array.valid(), "invalid array shape for fleet member ", i);
-    AXON_CHECK(spec.clock_mhz > 0, "fleet member ", i, " needs a positive clock");
+    AXON_CHECK(spec.accelerator.array.valid(),
+               "invalid array shape for fleet member ", i);
+    AXON_CHECK(spec.clock_mhz > 0, "fleet member ", i,
+               " needs a positive clock");
     AXON_CHECK(spec.weight_cache_bytes >= 0, "negative weight cache capacity");
     if (spec.name.empty()) spec.name = "acc" + std::to_string(i);
   }
@@ -128,7 +149,10 @@ i64 AcceleratorPool::device_cycles(std::size_t device, const GemmShape& gemm,
 }
 
 i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
-  return estimate_gemm_cycles(batch.gemm);
+  // Remaining work only: a partially executed batch re-entering the ready
+  // queue between chunks competes on what is left, not on rows already
+  // retired.
+  return estimate_gemm_cycles(batch.remaining_gemm());
 }
 
 i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
@@ -182,10 +206,14 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         // with the same weights and spare seats takes the late arrival
         // directly — no reason to start a fresh group and wait out
         // max_wait again. First match in ready order keeps it
-        // deterministic.
+        // deterministic. A partially executed batch (re-queued between
+        // chunks) is not joinable: its membership froze at first dispatch
+        // (Batch::absorb rejects it), so the arrival starts or joins an
+        // ordinary group instead.
         bool joined = false;
         for (auto& rb : ready) {
-          if (rb.batch.size() < config_.batching.max_batch &&
+          if (rb.batch.m_executed == 0 &&
+              rb.batch.size() < config_.batching.max_batch &&
               rb.batch.gemm.K == r.gemm.K && rb.batch.gemm.N == r.gemm.N) {
             rb.batch.absorb(std::move(r));
             rb.estimate = estimate_cycles(rb.batch);
@@ -308,6 +336,44 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     return 0;
   };
 
+  // How many of the batch's remaining rows the next dispatch covers on the
+  // routed device. The quantum is per-device: chunk_tiles M-tiles of *that*
+  // array under *its* dataflow (model/runtime_model m_tile_extent), so
+  // chunks always split at tile boundaries and the summed compute cost
+  // matches the unchunked batch; the only chunking overhead is re-streaming
+  // weights on cache-cold dispatches.
+  const auto chunk_extent_for = [&](const Batch& batch,
+                                    std::size_t acc) -> i64 {
+    const i64 remaining = batch.remaining_m();
+    if (config_.chunking == ChunkPolicy::kNone || config_.chunk_tiles <= 0) {
+      return remaining;
+    }
+    const AcceleratorSpec& spec = fleet_[acc];
+    const i64 chunk_m =
+        m_tile_extent(spec.accelerator.dataflow, spec.accelerator.array) *
+        config_.chunk_tiles;
+    if (remaining <= chunk_m) return remaining;
+    if (config_.chunking == ChunkPolicy::kDeadlineAware &&
+        batch.earliest_deadline >= 0) {
+      // Chunking never slows the batch by itself (tile-aligned chunks sum
+      // to the same compute); what it risks is being *preempted* between
+      // chunks. So run whole exactly in the window where the deadline is
+      // makeable but only without preemption: slack covers the remaining
+      // work yet not one extra chunk's worth of intervening service.
+      // Outside that window chunk freely — either there is room to absorb
+      // a preemption, or the deadline is already unmakeable and the batch
+      // should yield to work that can still meet its own.
+      const i64 slack = batch.earliest_deadline - now;
+      const i64 remaining_cost = estimate_gemm_cycles(batch.remaining_gemm());
+      const i64 margin = estimate_gemm_cycles(
+          {chunk_m, batch.gemm.K, batch.gemm.N});
+      if (slack >= remaining_cost && slack < remaining_cost + margin) {
+        return remaining;
+      }
+    }
+    return chunk_m;
+  };
+
   const auto dispatch = [&] {
     for (;;) {
       if (std::find(busy.begin(), busy.end(), false) == busy.end()) return;
@@ -338,26 +404,44 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         }
       }
       InFlight f;
-      const std::size_t acc = route_device(ready[chosen].batch.gemm);
+      const std::size_t acc =
+          route_device(ready[chosen].batch.remaining_gemm());
       f.accelerator = static_cast<int>(acc);
       f.batch = std::move(ready[chosen].batch);
       ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
+      // A dispatch that jumps ahead of a partially executed batch still
+      // waiting in ready is a realized preemption — the event unchunked
+      // dispatch makes impossible.
+      for (const auto& rb : ready) {
+        if (rb.batch.m_executed > 0) {
+          ++report.preemptions;
+          break;
+        }
+      }
+      f.chunk_m = chunk_extent_for(f.batch, acc);
+      f.final_chunk = f.chunk_m == f.batch.remaining_m();
       f.dispatch_cycle = now;
+      if (f.batch.first_dispatch_cycle < 0) f.batch.first_dispatch_cycle = now;
+      const int chunk_ordinal = f.batch.chunks_run++;
+      ++report.total_chunks;
+      const GemmShape chunk_gemm{f.chunk_m, f.batch.gemm.K, f.batch.gemm.N};
       // Touch the routed device's weight cache here, in the serve loop —
       // the hit/miss verdict is part of the deterministic timeline, not of
-      // worker execution.
+      // worker execution. Every chunk is its own dispatch, so a later
+      // chunk hits iff its weights survived whatever ran in between.
       const bool weights_resident =
           caches[acc].touch(f.batch.gemm.K, f.batch.gemm.N);
-      // The worker needs only the merged shape, the first member id (the
+      // The worker needs only the chunk shape, the batch identity (the
       // operand seed), and the routed device; share the long-lived spec by
       // pointer instead of copying it and the whole request vector per
       // dispatch.
-      f.future = workers.submit([gemm = f.batch.gemm,
+      f.future = workers.submit([chunk_gemm,
                                  first_id = f.batch.requests.front().id,
-                                 spec = &fleet_[acc], exec = config_.exec,
+                                 chunk_ordinal, spec = &fleet_[acc],
+                                 exec = config_.exec,
                                  seed = config_.data_seed, weights_resident] {
-        return execute_batch(gemm, first_id, *spec, exec, seed,
-                             weights_resident);
+        return execute_chunk(chunk_gemm, first_id, chunk_ordinal, *spec, exec,
+                             seed, weights_resident);
       });
       busy[acc] = true;
       inflight.push_back(std::move(f));
@@ -400,28 +484,39 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     std::size_t retired = 0;
     for (auto& f : inflight) {
       if (!f.resolved || f.completion_cycle > now) break;
+      const i64 busy_cycles = f.completion_cycle - f.dispatch_cycle;
+      report.total_busy_cycles += busy_cycles;
+      device_busy_cycles[static_cast<std::size_t>(f.accelerator)] +=
+          busy_cycles;
+      ++device_batches[static_cast<std::size_t>(f.accelerator)];
+      busy[static_cast<std::size_t>(f.accelerator)] = false;
+      ++retired;
+      if (!f.final_chunk) {
+        // Remainder re-enters the scheduler: it competes with everything
+        // ready or open under the same policy keys at the next dispatch —
+        // this re-entry point *is* the tile-granular preemption window.
+        f.batch.m_executed += f.chunk_m;
+        const i64 estimate = estimate_cycles(f.batch);
+        ready.push_back({std::move(f.batch), estimate});
+        continue;
+      }
+      // Final chunk: the batch's members complete together now.
       for (const auto& r : f.batch.requests) {
         RequestRecord rec;
         rec.id = r.id;
         rec.workload = r.workload;
         rec.gemm = r.gemm;
         rec.arrival_cycle = r.arrival_cycle;
-        rec.dispatch_cycle = f.dispatch_cycle;
+        rec.dispatch_cycle = f.batch.first_dispatch_cycle;
         rec.completion_cycle = f.completion_cycle;
         rec.deadline_cycle = r.deadline_cycle;
         rec.priority = r.priority;
         rec.batch_size = f.batch.size();
+        rec.batch_chunks = f.batch.chunks_run;
         rec.accelerator = f.accelerator;
         report.records.push_back(std::move(rec));
       }
-      const i64 busy_cycles = f.completion_cycle - f.dispatch_cycle;
-      report.total_busy_cycles += busy_cycles;
-      device_busy_cycles[static_cast<std::size_t>(f.accelerator)] +=
-          busy_cycles;
-      ++device_batches[static_cast<std::size_t>(f.accelerator)];
       ++report.total_batches;
-      busy[static_cast<std::size_t>(f.accelerator)] = false;
-      ++retired;
     }
     inflight.erase(inflight.begin(),
                    inflight.begin() + static_cast<std::ptrdiff_t>(retired));

@@ -12,13 +12,14 @@
 // the worker pool before each advance (overlapping across *different*
 // dispatch events would need speculative execution; see ROADMAP).
 //
-// Determinism contract: a batch's cost is a pure function of the batch
-// contents, the routed device's spec, and the device's weight-cache state
-// at dispatch — never of wall-clock, thread id, or execution order. Cache
-// state only mutates in the single-threaded serve loop, so the simulated
-// timeline (every dispatch, completion and percentile) is identical for
-// any num_threads. Tests pin this down by diffing 1-thread vs 8-thread
-// reports, caches and heterogeneous fleets included.
+// Determinism contract: a dispatch's cost is a pure function of the
+// dispatched chunk (shape + operand identity), the routed device's spec,
+// and the device's weight-cache state at dispatch — never of wall-clock,
+// thread id, or execution order. Cache state and chunk progress only
+// mutate in the single-threaded serve loop, so the simulated timeline
+// (every dispatch, completion and percentile) is identical for any
+// num_threads. Tests pin this down by diffing 1-thread vs 8-thread
+// reports — caches, heterogeneous fleets, and chunked dispatch included.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +59,29 @@ enum class RoutePolicy {
 };
 
 std::string to_string(RoutePolicy policy);
+
+/// Whether (and when) long batches are dispatched as a sequence of
+/// tile-boundary chunks instead of one indivisible run. Unchunked dispatch
+/// is all-or-nothing: once a multi-M-tile prefill batch starts, an urgent
+/// decode arrival waits out the whole thing no matter what the scheduler
+/// would prefer — the head-of-line blocking term EDF cannot fix. Chunked
+/// dispatch re-enters the scheduler between chunks of an in-flight batch
+/// (tile-granular preemption): the freed device prices the remainder
+/// against everything else that is ready or open, and an urgent batch can
+/// jump in after at most one chunk. The price is the memory side — each
+/// chunk is its own dispatch and re-streams the K*N weights unless the
+/// device's weight cache still holds them.
+enum class ChunkPolicy {
+  kNone,        ///< whole-batch dispatch (the PR-1/2/3 behaviour)
+  kFixedTiles,  ///< every dispatch covers at most `chunk_tiles` M-tiles
+  kDeadlineAware,  ///< like kFixedTiles, but a batch runs whole when its
+                   ///< deadline is makeable only without preemption —
+                   ///< slack in [remaining cost, remaining + one chunk's
+                   ///< cost); doomed (slack < remaining) and no-deadline
+                   ///< batches always chunk and yield
+};
+
+std::string to_string(ChunkPolicy policy);
 
 /// How a worker prices a dispatched batch in simulated cycles.
 enum class ExecMode {
@@ -104,6 +128,11 @@ struct PoolConfig {
   SchedulePolicy policy = SchedulePolicy::kFifo;
   RoutePolicy routing = RoutePolicy::kFirstFree;
   ExecMode exec = ExecMode::kAnalytical;
+  ChunkPolicy chunking = ChunkPolicy::kNone;
+  /// Preemption quantum under kFixedTiles/kDeadlineAware: M-tiles of the
+  /// routed device per chunk (model/runtime_model m_tile_extent converts
+  /// tiles to rows per dataflow). <= 0 disables splitting like kNone.
+  i64 chunk_tiles = 4;
   BatchPolicy batching;
   /// Operand synthesis seed for cycle-accurate execution; combined with the
   /// batch's first request id so every batch sees fixed, thread-independent
@@ -136,8 +165,10 @@ class AcceleratorPool {
                                   bool weights_resident = false) const;
 
   /// Fleet-best (minimum over members, cache-blind) cycle estimate for one
-  /// batch — the quantity shortest-job-first sorts by. Reduces to the
-  /// PR-1/2 single-shape estimate on a homogeneous fleet.
+  /// batch — the quantity shortest-job-first sorts by. Prices the batch's
+  /// *remaining* rows, so a partially executed batch re-entering the ready
+  /// queue between chunks competes on what is left. Reduces to the PR-1/2
+  /// single-shape estimate on a homogeneous fleet.
   [[nodiscard]] i64 estimate_cycles(const Batch& batch) const;
   /// Same estimate for a bare merged shape (used to price still-open
   /// groups when continuous admission picks one for an idle accelerator).

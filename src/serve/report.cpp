@@ -10,6 +10,7 @@ namespace axon::serve {
 void GroupStats::add(const RequestRecord& r) {
   ++requests;
   latency.add(r.latency_cycles());
+  blocking.add(r.queue_cycles());
   if (r.has_deadline()) {
     ++with_deadline;
     if (r.met_deadline()) {
@@ -90,7 +91,8 @@ void add_breakdown_row(Table& t, const std::string& label,
                    .cell(label)
                    .cell(static_cast<i64>(g.requests))
                    .cell(g.latency.percentile_or(50))
-                   .cell(g.latency.percentile_or(99));
+                   .cell(g.latency.percentile_or(99))
+                   .cell(g.blocking.percentile_or(99));
   // A slice with no SLO-carrying requests has nothing to attain or miss —
   // "100.0" there would read as "deadlines tracked and met".
   if (g.with_deadline > 0) {
@@ -107,7 +109,17 @@ std::string ServeReport::summary() const {
   os << "requests: " << num_requests() << "  batches: " << total_batches
      << "  mean batch: " << fmt_double(mean_batch_size(), 2) << "\n"
      << "accelerators: " << num_accelerators << "  threads: " << num_threads
-     << "  makespan: " << makespan_cycles << " cycles\n"
+     << "  makespan: " << makespan_cycles << " cycles\n";
+  // Chunk accounting only earns a line when dispatch was actually divisible
+  // (total_chunks == total_batches means every batch ran whole).
+  if (total_chunks > total_batches) {
+    os << "chunks: " << total_chunks << " ("
+       << fmt_double(static_cast<double>(total_chunks) /
+                         static_cast<double>(total_batches),
+                     2)
+       << " per batch)  preemptions: " << preemptions << "\n";
+  }
+  os
      << "latency  " << latency.summary() << "\n"
      << "queueing " << queueing.summary() << "\n"
      << "throughput: " << fmt_double(throughput_per_mcycle(), 2)
@@ -119,13 +131,13 @@ std::string ServeReport::summary() const {
        << "%)  miss p99: " << overall.miss.percentile_or(99) << " cycles\n";
   }
   if (!by_workload.empty() && num_requests() > 0) {
-    Table t({"workload", "n", "p50", "p99", "slo_%", "miss_p99"});
+    Table t({"workload", "n", "p50", "p99", "blk_p99", "slo_%", "miss_p99"});
     for (const auto& [name, g] : by_workload) add_breakdown_row(t, name, g);
     t.print(os, "Per-workload breakdown");
   }
   // The class breakdown only earns its lines when classes actually differ.
   if (by_class.size() > 1) {
-    Table t({"class", "n", "p50", "p99", "slo_%", "miss_p99"});
+    Table t({"class", "n", "p50", "p99", "blk_p99", "slo_%", "miss_p99"});
     for (const auto& [prio, g] : by_class) {
       add_breakdown_row(t, std::to_string(prio), g);
     }

@@ -28,8 +28,11 @@ struct RequestRecord {
   i64 deadline_cycle = -1;   ///< absolute SLO deadline; -1 = no SLO
   int priority = 0;          ///< priority class (lower = more urgent)
   int batch_size = 0;        ///< members of the batch it rode in
-  int accelerator = -1;      ///< pool member that executed it
+  int batch_chunks = 1;      ///< chunk dispatches its batch ran as (1 = whole)
+  int accelerator = -1;      ///< pool member that executed its final chunk
 
+  /// Arrival to first service: with chunked dispatch this is exactly the
+  /// head-of-line blocking term tile-granular preemption bounds.
   [[nodiscard]] i64 queue_cycles() const {
     return dispatch_cycle - arrival_cycle;
   }
@@ -57,6 +60,10 @@ struct GroupStats {
   std::size_t met_deadline = 0;   ///< ... that completed in budget
   Histogram latency;              ///< end-to-end latency samples
   Histogram miss;                 ///< overage cycles of missed requests
+  /// Arrival-to-first-dispatch cycles — how long the slice sat blocked
+  /// behind in-service work. The per-class view of this histogram is the
+  /// number chunked prefill exists to shrink for the interactive class.
+  Histogram blocking;
 
   void add(const RequestRecord& r);
   /// Fraction of SLO-carrying requests that met their deadline; 1.0 when
@@ -69,8 +76,11 @@ struct GroupStats {
 /// (names/busy/batches/cache counters) and by finalize() (request counts).
 struct AcceleratorStats {
   std::string name;      ///< spec label ("acc0", "hbm32", ...)
-  i64 busy_cycles = 0;   ///< fleet cycles spent executing batches
-  i64 batches = 0;       ///< batches dispatched to this member
+  i64 busy_cycles = 0;   ///< fleet cycles spent executing dispatches
+  /// Dispatches this member executed. With chunking off every batch is one
+  /// dispatch, so this is a batch count; with chunking on it counts chunks
+  /// (one batch can appear on several members).
+  i64 batches = 0;
   std::size_t requests = 0;  ///< requests those batches carried
   i64 weight_hits = 0;       ///< dispatches whose (K, N) weights were warm
   i64 weight_misses = 0;     ///< ... that had to stream weights from DRAM
@@ -89,7 +99,14 @@ struct ServeReport {
   int num_threads = 0;  ///< wall-clock workers used (no effect on cycles)
   i64 makespan_cycles = 0;      ///< last completion cycle
   i64 total_busy_cycles = 0;    ///< sum of per-accelerator busy cycles
+  /// Logical batches: the chunks of one batch count once.
   i64 total_batches = 0;
+  /// Chunk dispatches; equals total_batches when chunking is off (every
+  /// batch is one whole-remainder dispatch).
+  i64 total_chunks = 0;
+  /// Dispatches that jumped ahead of a partially executed batch waiting in
+  /// the ready queue — tile-granular preemptions actually exercised.
+  i64 preemptions = 0;
   double wall_seconds = 0.0;    ///< host time spent simulating
 
   Histogram latency;  ///< end-to-end latency samples (cycles)

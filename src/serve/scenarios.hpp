@@ -44,4 +44,41 @@ RequestQueue mixed_fleet_trace();
 /// EDF scheduling with continuous admission, max_batch 8, max_wait 60000.
 PoolConfig mixed_fleet_pool_config(RoutePolicy routing);
 
+// ---- chunked prefill ---------------------------------------------------
+// The head-of-line blocking scenario: a small pool, bursty one-token decode
+// traffic with a tight interactive SLO, and a long 512-token prefill whose
+// unchunked dispatch occupies a device for ~20 decode-batch lifetimes.
+// EDF alone cannot save a decode batch that arrives just after a prefill
+// dispatch — only splitting the prefill at tile boundaries bounds the
+// blocking. The example enforces at runtime that chunked EDF beats
+// unchunked EDF on p99 decode latency AND SLO attainment on exactly this
+// trace; CI's BENCH_serve.json publishes the same scenario.
+
+inline constexpr std::uint64_t kChunkedPrefillSeed = 7117;
+inline constexpr int kChunkedPrefillRequests = 320;
+
+/// Two identical 32x32 Axon members with 16 MiB weight caches — scarce
+/// capacity on purpose, so an in-service prefill actually blocks decode.
+std::vector<AcceleratorSpec> chunked_prefill_fleet();
+
+/// Dominant one-token decode shapes plus a 512-token prefill on a distinct
+/// (K, N) (so the batcher cannot coalesce it away and the scheduler must
+/// arbitrate).
+std::vector<GemmWorkload> chunked_prefill_mix();
+
+/// Bursty arrivals with a tight decode SLO (interactive class 0) and a
+/// loose prefill SLO (batch class 1) — tuned so chunked EDF meets the
+/// decode budget that unchunked EDF blows whenever a burst lands on an
+/// in-service prefill.
+BurstyTraceConfig chunked_prefill_traffic(
+    int num_requests = kChunkedPrefillRequests);
+
+/// The canonical trace those knobs generate.
+RequestQueue chunked_prefill_trace();
+
+/// Pool configuration for the scenario under a given chunk policy: EDF +
+/// continuous admission on the 2-member fleet, chunk_tiles 2 (64 rows of
+/// M per chunk on the 32x32 OS-dataflow array).
+PoolConfig chunked_prefill_pool_config(ChunkPolicy chunking);
+
 }  // namespace axon::serve

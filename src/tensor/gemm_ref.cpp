@@ -12,7 +12,8 @@ Matrix gemm_ref(const Matrix& a, const Matrix& b) {
     for (i64 j = 0; j < b.cols(); ++j) {
       double acc = 0.0;
       for (i64 k = 0; k < a.cols(); ++k) {
-        acc += static_cast<double>(a.at(i, k)) * static_cast<double>(b.at(k, j));
+        acc +=
+            static_cast<double>(a.at(i, k)) * static_cast<double>(b.at(k, j));
       }
       c.at(i, j) = static_cast<float>(acc);
     }

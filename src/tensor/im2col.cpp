@@ -66,7 +66,8 @@ Matrix flatten_filters(const Tensor4& filters, const ConvShape& shape,
 i64 im2col_element_count(const ConvShape& shape) {
   AXON_CHECK(shape.valid(), "invalid conv shape");
   const i64 k =
-      i64{1} * (shape.in_channels / shape.groups) * shape.kernel_h * shape.kernel_w;
+      i64{1} * (shape.in_channels / shape.groups) * shape.kernel_h *
+      shape.kernel_w;
   return i64{1} * shape.out_h() * shape.out_w() * k * shape.groups;
 }
 

@@ -35,7 +35,8 @@ Matrix random_matrix(i64 rows, i64 cols, Rng& rng) {
   return m;
 }
 
-Matrix random_sparse_matrix(i64 rows, i64 cols, double zero_fraction, Rng& rng) {
+Matrix random_sparse_matrix(i64 rows, i64 cols, double zero_fraction,
+                            Rng& rng) {
   Matrix m(rows, cols);
   auto vals = rng.sparse_values(static_cast<std::size_t>(rows * cols),
                                 zero_fraction);

@@ -14,7 +14,9 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(i64 rows, i64 cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {
     AXON_CHECK(rows >= 0 && cols >= 0, "negative matrix dims");
   }
 

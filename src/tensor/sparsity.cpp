@@ -28,7 +28,8 @@ void sparsify(Matrix& m, double target, Rng& rng) {
     std::swap(nonzero[static_cast<std::size_t>(i)],
               nonzero[static_cast<std::size_t>(j)]);
   }
-  for (i64 i = 0; i < want - have && i < static_cast<i64>(nonzero.size()); ++i) {
+  for (i64 i = 0; i < want - have && i < static_cast<i64>(nonzero.size());
+       ++i) {
     m.data()[nonzero[static_cast<std::size_t>(i)]] = 0.0f;
   }
 }

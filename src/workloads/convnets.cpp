@@ -251,7 +251,8 @@ i64 total_macs(const std::vector<ConvWorkload>& layers) {
   return total;
 }
 
-std::vector<GemmWorkload> lowered_gemms(const std::vector<ConvWorkload>& layers) {
+std::vector<GemmWorkload> lowered_gemms(
+    const std::vector<ConvWorkload>& layers) {
   std::vector<GemmWorkload> gemms;
   gemms.reserve(layers.size());
   for (const auto& l : layers) {

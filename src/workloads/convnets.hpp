@@ -51,6 +51,7 @@ i64 total_macs(const std::vector<ConvWorkload>& layers);
 /// (one entry per table row; repeats are not expanded). Grouped/depthwise
 /// layers lower to their per-group GEMM. This is how conv workloads enter
 /// the GEMM-oriented serving layer.
-std::vector<GemmWorkload> lowered_gemms(const std::vector<ConvWorkload>& layers);
+std::vector<GemmWorkload> lowered_gemms(
+    const std::vector<ConvWorkload>& layers);
 
 }  // namespace axon

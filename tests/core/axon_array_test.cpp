@@ -108,10 +108,12 @@ TEST(AxonArrayTest, OversizeTileRejected) {
   AxonArraySim sim({4, 4});
   Rng rng(2);
   EXPECT_THROW(
-      sim.run(Dataflow::kOS, random_matrix(5, 2, rng), random_matrix(2, 3, rng)),
+      sim.run(Dataflow::kOS, random_matrix(5, 2, rng),
+              random_matrix(2, 3, rng)),
       CheckError);
   EXPECT_THROW(
-      sim.run(Dataflow::kIS, random_matrix(3, 5, rng), random_matrix(5, 3, rng)),
+      sim.run(Dataflow::kIS, random_matrix(3, 5, rng),
+              random_matrix(5, 3, rng)),
       CheckError);
 }
 

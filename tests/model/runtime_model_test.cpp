@@ -218,5 +218,88 @@ TEST(BatchedGemmCyclesTest, ResidentWeightsSkipTheBStream) {
                                 0, /*weights_resident=*/false));
 }
 
+TEST(ChunkedGemmTest, MTileExtentFollowsTheDataflowProjection) {
+  // M maps to S_R under OS, S_C under WS, and T under IS (Table 1), so the
+  // tile-aligned chunk quantum is rows, cols, and 1 respectively.
+  const ArrayShape array{32, 16};
+  EXPECT_EQ(m_tile_extent(Dataflow::kOS, array), 32);
+  EXPECT_EQ(m_tile_extent(Dataflow::kWS, array), 16);
+  EXPECT_EQ(m_tile_extent(Dataflow::kIS, array), 1);
+}
+
+TEST(ChunkedGemmTest, ExtentsCoverMAndAlignToTiles) {
+  const ArrayShape array{32, 32};
+  const GemmShape g{300, 64, 64};  // 300 = 9 full 32-row tiles + ragged 12
+  const auto extents = chunk_m_extents(g, Dataflow::kOS, array, 4);
+  // 4 tiles * 32 rows = 128 per chunk: 128 + 128 + 44.
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], 128);
+  EXPECT_EQ(extents[1], 128);
+  EXPECT_EQ(extents[2], 44);
+  i64 covered = 0;
+  for (const i64 e : extents) covered += e;
+  EXPECT_EQ(covered, g.M);
+  // tiles_per_chunk <= 0 means "do not split".
+  const auto whole = chunk_m_extents(g, Dataflow::kOS, array, 0);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], g.M);
+}
+
+TEST(ChunkedGemmTest, AlignedChunksSumToUnchunkedComputeExactly) {
+  // Tile-aligned splitting adds no compute: the summed chunk cycles equal
+  // the monolithic batch for OS and WS (M is a spatial dim there). IS maps
+  // M to the temporal dim, so each extra chunk pays one fill+drain.
+  const ArrayShape array{32, 32};
+  const GemmShape g{512, 3072, 768};
+  for (const Dataflow df : {Dataflow::kOS, Dataflow::kWS}) {
+    const i64 whole =
+        batched_gemm_cycles(ArchType::kAxon, df, g, array, /*bw=*/0);
+    i64 summed = 0;
+    for (const i64 m : chunk_m_extents(g, df, array, 2)) {
+      summed += batched_gemm_cycles(ArchType::kAxon, df, {m, g.K, g.N}, array,
+                                    /*bw=*/0);
+    }
+    EXPECT_EQ(summed, whole) << to_string(df);
+  }
+  const i64 whole_is =
+      batched_gemm_cycles(ArchType::kAxon, Dataflow::kIS, g, array, 0);
+  i64 summed_is = 0;
+  for (const i64 m : chunk_m_extents(g, Dataflow::kIS, array, 64)) {
+    summed_is += batched_gemm_cycles(ArchType::kAxon, Dataflow::kIS,
+                                     {m, g.K, g.N}, array, 0);
+  }
+  EXPECT_GT(summed_is, whole_is);
+}
+
+TEST(ChunkedGemmTest, ChunkingOverheadIsTheWeightRestream) {
+  // Memory side: every chunk streams its own share of A and C, but each
+  // cache-cold chunk re-streams the full K*N weights. With residency the
+  // summed chunk transfer equals the whole batch's; cold chunks pay
+  // exactly (chunks - 1) extra weight streams.
+  const ArrayShape array{32, 32};
+  const GemmShape g{256, 1024, 1024};
+  const i64 bw = 64;
+  const auto extents = chunk_m_extents(g, Dataflow::kOS, array, 2);
+  ASSERT_EQ(extents.size(), 4u);
+  const i64 whole = gemm_transfer_cycles(g, bw);
+  i64 first_cold = 0, rest_resident = 0, all_cold = 0;
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    const GemmShape c{extents[i], g.K, g.N};
+    all_cold += gemm_transfer_cycles(c, bw, /*weights_resident=*/false);
+    if (i == 0) {
+      first_cold += gemm_transfer_cycles(c, bw, /*weights_resident=*/false);
+    } else {
+      rest_resident += gemm_transfer_cycles(c, bw, /*weights_resident=*/true);
+    }
+  }
+  // Ceil rounding can add at most one cycle per chunk over the monolithic
+  // stream; amortized chunking never re-streams weights.
+  EXPECT_LE(first_cold + rest_resident,
+            whole + static_cast<i64>(extents.size()));
+  EXPECT_GE(first_cold + rest_resident, whole);
+  const i64 weight_stream = ceil_div(elems_to_bytes(g.b_elems()), bw);
+  EXPECT_GE(all_cold, whole + 3 * weight_stream - 3);
+}
+
 }  // namespace
 }  // namespace axon

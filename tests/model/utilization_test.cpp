@@ -33,7 +33,8 @@ TEST(UtilizationTest, AxonAtLeastSaAtLeastNever) {
 
 TEST(UtilizationTest, ImprovementPctIsPercentagePoints) {
   const GemmShape g{128, 16, 128};
-  const double imp = utilization_improvement_pct(ArchType::kAxon, g, {128, 128});
+  const double imp =
+      utilization_improvement_pct(ArchType::kAxon, g, {128, 128});
   const double sa =
       best_utilization_rate(ArchType::kConventionalSA, g, {128, 128});
   const double ax = best_utilization_rate(ArchType::kAxon, g, {128, 128});

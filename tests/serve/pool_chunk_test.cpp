@@ -1,0 +1,214 @@
+// Chunked dispatch (ChunkPolicy): tile-granular preemption mechanics and
+// the chunk-boundary edge cases — 1-tile batches, frozen membership of
+// partially executed batches, weight-cache accounting across chunks of one
+// batch, the deadline-aware run-whole window, and thread-count determinism
+// on the canonical chunked-prefill scenario (TSan runs this suite).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "serve/pool.hpp"
+#include "serve/request.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+PoolConfig chunk_config(ChunkPolicy chunking, int accelerators = 1) {
+  PoolConfig cfg;
+  cfg.accelerator = {.arch = ArchType::kAxon, .array = {32, 32}};
+  cfg.num_accelerators = accelerators;
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.chunking = chunking;
+  cfg.chunk_tiles = 2;
+  cfg.batching = {/*max_batch=*/1, /*max_wait_cycles=*/100};
+  return cfg;
+}
+
+Request make_request(i64 id, const GemmShape& gemm, i64 arrival,
+                     i64 deadline = -1, int priority = 0) {
+  Request r;
+  r.id = id;
+  r.workload = deadline >= 0 ? "decode" : "prefill";
+  r.gemm = gemm;
+  r.arrival_cycle = arrival;
+  r.deadline_cycle = deadline;
+  r.priority = priority;
+  return r;
+}
+
+TEST(ChunkPolicyTest, OneTileBatchChunkingIsANoOp) {
+  // A batch that fits one M-tile (M <= 32 rows here) has nothing to split:
+  // chunked and unchunked runs produce the identical timeline.
+  const auto trace = [] {
+    RequestQueue q;
+    for (int i = 0; i < 6; ++i) {
+      q.push(make_request(i, {8, 64, 64}, 500 * i));
+    }
+    return q;
+  };
+  const ServeReport whole =
+      AcceleratorPool(chunk_config(ChunkPolicy::kNone)).serve(trace());
+  const ServeReport chunked =
+      AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles)).serve(trace());
+  EXPECT_EQ(chunked.total_chunks, chunked.total_batches);
+  EXPECT_EQ(chunked.preemptions, 0);
+  EXPECT_EQ(chunked.makespan_cycles, whole.makespan_cycles);
+  ASSERT_EQ(chunked.records.size(), whole.records.size());
+  for (std::size_t i = 0; i < chunked.records.size(); ++i) {
+    EXPECT_EQ(chunked.records[i].completion_cycle,
+              whole.records[i].completion_cycle);
+    EXPECT_EQ(chunked.records[i].batch_chunks, 1);
+  }
+}
+
+TEST(ChunkPolicyTest, AbsorbIntoPartiallyExecutedBatchIsRejected) {
+  // Membership of a batch freezes at first dispatch: rows already executed
+  // were priced without the newcomer, so late joins must go elsewhere.
+  Batch b;
+  b.gemm = {64, 16, 16};
+  b.requests.push_back(make_request(0, {64, 16, 16}, 0));
+  Request late = make_request(1, {4, 16, 16}, 100);
+  b.m_executed = 32;
+  EXPECT_THROW(b.absorb(std::move(late)), CheckError);
+  b.m_executed = 0;
+  Request ok = make_request(2, {4, 16, 16}, 100);
+  b.absorb(std::move(ok));
+  EXPECT_EQ(b.gemm.M, 68);
+}
+
+TEST(ChunkPolicyTest, WeightCacheHitAccountingAcrossChunks) {
+  // One 256-row prefill on one cached device, chunk_tiles 2 (64 rows per
+  // chunk on the 32x32 OS array): chunk 0 streams the weights (miss),
+  // chunks 1..3 find them resident (hits) — the amortization that makes
+  // chunking nearly free.
+  PoolConfig cfg = chunk_config(ChunkPolicy::kFixedTiles);
+  cfg.fleet.push_back({.name = "cached",
+                       .accelerator = {.arch = ArchType::kAxon,
+                                       .array = {32, 32}},
+                       .weight_cache_bytes = 16 << 20});
+  RequestQueue q;
+  q.push(make_request(0, {256, 512, 512}, 0));
+  const ServeReport r = AcceleratorPool(cfg).serve(std::move(q));
+  EXPECT_EQ(r.total_batches, 1);
+  EXPECT_EQ(r.total_chunks, 4);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].batch_chunks, 4);
+  ASSERT_EQ(r.per_accelerator.size(), 1u);
+  EXPECT_EQ(r.per_accelerator[0].weight_misses, 1);
+  EXPECT_EQ(r.per_accelerator[0].weight_hits, 3);
+  // Without a cache every chunk re-streams: all four dispatches miss.
+  PoolConfig cold = chunk_config(ChunkPolicy::kFixedTiles);
+  RequestQueue q2;
+  q2.push(make_request(0, {256, 512, 512}, 0));
+  const ServeReport rc = AcceleratorPool(cold).serve(std::move(q2));
+  EXPECT_EQ(rc.total_chunks, 4);
+  EXPECT_EQ(rc.per_accelerator[0].weight_hits, 0);
+}
+
+TEST(ChunkPolicyTest, UrgentArrivalPreemptsAnInFlightPrefill) {
+  // Single device: a long no-deadline prefill dispatches at t=0; a tight-
+  // deadline decode arrives mid-flight. Unchunked it waits out the whole
+  // prefill; chunked it jumps in at the next tile boundary.
+  const GemmShape prefill{256, 512, 512};
+  const GemmShape decode{1, 512, 512};
+  const auto trace = [&] {
+    RequestQueue q;
+    q.push(make_request(0, prefill, 0, /*deadline=*/-1, /*priority=*/1));
+    q.push(make_request(1, decode, 1000, /*deadline=*/200000, /*priority=*/0));
+    return q;
+  };
+  const ServeReport whole =
+      AcceleratorPool(chunk_config(ChunkPolicy::kNone)).serve(trace());
+  const ServeReport chunked =
+      AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles)).serve(trace());
+  const auto decode_rec = [](const ServeReport& r) {
+    for (const auto& rec : r.records) {
+      if (rec.id == 1) return rec;
+    }
+    ADD_FAILURE() << "decode record missing";
+    return r.records.front();
+  };
+  const RequestRecord dw = decode_rec(whole);
+  const RequestRecord dc = decode_rec(chunked);
+  // Unchunked: the decode's service begins exactly when the whole prefill
+  // completes — head-of-line blocking for the full prefill duration.
+  for (const auto& rec : whole.records) {
+    if (rec.id == 0) {
+      EXPECT_EQ(dw.dispatch_cycle, rec.completion_cycle);
+    }
+  }
+  EXPECT_LT(dc.dispatch_cycle, dw.dispatch_cycle);
+  EXPECT_LT(dc.latency_cycles(), dw.latency_cycles());
+  EXPECT_GE(chunked.preemptions, 1);
+  EXPECT_EQ(whole.preemptions, 0);
+  // The preempted prefill still completes, split across > 1 chunk.
+  for (const auto& rec : chunked.records) {
+    if (rec.id == 0) {
+      EXPECT_GT(rec.batch_chunks, 1);
+    }
+  }
+}
+
+TEST(ChunkPolicyTest, DeadlineAwareRunsWholeOnlyInTheNoSlackWindow) {
+  // The run-whole window is [remaining cost, remaining cost + one chunk):
+  // a deadline the batch can make, but not if anything preempts it.
+  const GemmShape prefill{256, 512, 512};
+  AcceleratorPool probe(chunk_config(ChunkPolicy::kDeadlineAware));
+  const i64 whole_cost = probe.estimate_gemm_cycles(prefill);
+  const auto serve_with_deadline = [&](i64 deadline) {
+    RequestQueue q;
+    q.push(make_request(0, prefill, 0, deadline));
+    return AcceleratorPool(chunk_config(ChunkPolicy::kDeadlineAware))
+        .serve(std::move(q));
+  };
+  // Slack just covers the remaining work: too tight to risk preemption.
+  EXPECT_EQ(serve_with_deadline(whole_cost + 10).total_chunks, 1);
+  // Ample slack: chunk freely (a preemption would not cost the deadline).
+  EXPECT_GT(serve_with_deadline(4 * whole_cost).total_chunks, 1);
+  // Unmakeable deadline: the batch yields — chunk so others can pass.
+  EXPECT_GT(serve_with_deadline(whole_cost / 2).total_chunks, 1);
+  // kFixedTiles ignores the window and always splits.
+  RequestQueue q;
+  q.push(make_request(0, prefill, 0, whole_cost + 10));
+  EXPECT_GT(AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles))
+                .serve(std::move(q))
+                .total_chunks,
+            1);
+}
+
+TEST(ChunkPolicyTest, ChunkedPrefillScenarioDeterministicAcrossThreads) {
+  // The canonical serve/scenarios chunked-prefill trace, 1 vs 8 worker
+  // threads: chunk decisions and weight-cache state mutate only in the
+  // serve loop, so every simulated number is bit-identical.
+  const auto serve_chunked = [](int threads) {
+    PoolConfig cfg = chunked_prefill_pool_config(ChunkPolicy::kDeadlineAware);
+    cfg.num_threads = threads;
+    return AcceleratorPool(cfg).serve(chunked_prefill_trace());
+  };
+  const ServeReport one = serve_chunked(1);
+  const ServeReport eight = serve_chunked(8);
+  EXPECT_EQ(one.makespan_cycles, eight.makespan_cycles);
+  EXPECT_EQ(one.total_chunks, eight.total_chunks);
+  EXPECT_EQ(one.total_batches, eight.total_batches);
+  EXPECT_EQ(one.preemptions, eight.preemptions);
+  EXPECT_EQ(one.slo_attainment(), eight.slo_attainment());
+  ASSERT_EQ(one.records.size(), eight.records.size());
+  for (std::size_t i = 0; i < one.records.size(); ++i) {
+    EXPECT_EQ(one.records[i].dispatch_cycle, eight.records[i].dispatch_cycle);
+    EXPECT_EQ(one.records[i].completion_cycle,
+              eight.records[i].completion_cycle);
+    EXPECT_EQ(one.records[i].accelerator, eight.records[i].accelerator);
+    EXPECT_EQ(one.records[i].batch_chunks, eight.records[i].batch_chunks);
+  }
+  // And the scenario delivers its headline: chunking realizes preemptions
+  // and strictly improves decode SLO attainment over whole-batch dispatch.
+  PoolConfig whole_cfg = chunked_prefill_pool_config(ChunkPolicy::kNone);
+  const ServeReport whole =
+      AcceleratorPool(whole_cfg).serve(chunked_prefill_trace());
+  EXPECT_GT(one.preemptions, 0);
+  EXPECT_GT(one.slo_attainment(), whole.slo_attainment());
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -329,7 +329,8 @@ TEST(AcceleratorPoolTest, UrgentOpenGroupBeatsLaxReadyBatch) {
   RequestQueue q;
   q.push(make_req(0, {64, 32, 32}, 0));  // occupies the pool
   q.push(make_req(1, {4, 16, 16}, 5, -1, /*priority=*/1));
-  q.push(make_req(2, {4, 16, 16}, 6, -1, /*priority=*/1));  // closes at max_batch
+  // closes at max_batch
+  q.push(make_req(2, {4, 16, 16}, 6, -1, /*priority=*/1));
   q.push(make_req(3, {4, 8, 8}, 10, -1, /*priority=*/0));   // open, urgent
   q.push(make_req(4, {4, 8, 8}, 5000000));  // keeps the trace open
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
