@@ -1,0 +1,164 @@
+// Production-trace-size serving study: the serve/scenarios serve_scale
+// scenario (bursty mixed-SLO decode+prefill, EDF + continuous admission +
+// deadline-aware chunking, ready queues thousands of batches deep) run at
+// 10^5..10^6 request counts.
+//
+// Two claims, both enforced at runtime:
+//   1. Determinism: the indexed serve core (serve/sched_index kIndexed +
+//      the completion calendar) produces bit-identical ServeReport.records
+//      to the seed's linear-scan scheduler (kScanReference) on the same
+//      trace — the refactor changed wall-clock complexity, not behaviour.
+//   2. Complexity: at the canonical 200k-request size the indexed core is
+//      >= 10x faster in host wall-clock than the queue-depth-quadratic
+//      scan path (the gap widens with size; the scaling table shows the
+//      indexed path staying near-linear in requests).
+//
+// Modes:
+//   bench_serve_scale            full study: scaling sweep to 200k + the
+//                                10x comparison at 200k (the slow side is
+//                                the quadratic path, ~minutes of CPU)
+//   bench_serve_scale --smoke    CI-sized: sweep to 100k, comparison at
+//                                40k with a 1.5x catastrophic-regression
+//                                floor (runner wall-clock is noisy; the
+//                                measured ratio there is ~5x)
+//   --requests N                 override the full-mode sweep top size
+//                                (e.g. 1000000 for a million-request
+//                                indexed sweep; the quadratic comparison
+//                                stays capped at the canonical 200k)
+//
+// CI's gated simulated-cycle metrics for this scenario come from
+// bench_serve_throughput --smoke --json (same canonical trace, same
+// numbers); this binary is the wall-clock study and the cross-check.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+using namespace axon;
+using namespace axon::serve;
+
+namespace {
+
+ServeReport run_scale(int requests, ReadyQueueImpl impl) {
+  return AcceleratorPool(serve_scale_pool_config(impl))
+      .serve(serve_scale_trace(requests));
+}
+
+/// Record diff via RequestRecord::operator== (the all-fields primitive);
+/// prints the first mismatch.
+bool records_identical(const ServeReport& a, const ServeReport& b) {
+  if (a.records.size() != b.records.size()) {
+    std::cerr << "record count mismatch: " << a.records.size() << " vs "
+              << b.records.size() << "\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i] != b.records[i]) {
+      std::cerr << "record " << i << " (id " << a.records[i].id
+                << ") differs\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void scaling_sweep(const std::vector<int>& sizes) {
+  Table t({"requests", "batches", "chunks", "makespan", "slo_%", "wall_s",
+           "us/req"});
+  for (const int n : sizes) {
+    const ServeReport r = run_scale(n, ReadyQueueImpl::kIndexed);
+    t.row()
+        .cell(n)
+        .cell(r.total_batches)
+        .cell(r.total_chunks)
+        .cell(r.makespan_cycles)
+        .cell(100.0 * r.slo_attainment(), 1)
+        .cell(r.wall_seconds, 3)
+        .cell(1e6 * r.wall_seconds / static_cast<double>(n), 3);
+  }
+  t.print(std::cout,
+          "Indexed serve core scaling (EDF + continuous admission + "
+          "deadline-aware chunks, bursty mixed-SLO)");
+  std::cout << "us/req holding near-constant = near-linear in trace size.\n\n";
+}
+
+int compare_impls(int requests, double min_speedup) {
+  std::cout << "ready-queue implementation comparison at " << requests
+            << " requests (same trace, same config):\n";
+  const ServeReport indexed = run_scale(requests, ReadyQueueImpl::kIndexed);
+  const ServeReport scan = run_scale(requests, ReadyQueueImpl::kScanReference);
+
+  Table t({"ready_queue", "makespan", "slo_%", "preempts", "wall_s"});
+  for (const auto* r : {&indexed, &scan}) {
+    t.row()
+        .cell(r == &indexed ? to_string(ReadyQueueImpl::kIndexed)
+                            : to_string(ReadyQueueImpl::kScanReference))
+        .cell(r->makespan_cycles)
+        .cell(100.0 * r->slo_attainment(), 1)
+        .cell(r->preemptions)
+        .cell(r->wall_seconds, 3);
+  }
+  t.print(std::cout, "");
+
+  if (!records_identical(indexed, scan)) {
+    std::cerr << "FAIL: indexed and scan-reference schedules diverge — the "
+                 "index is not behaviour-preserving\n";
+    return 1;
+  }
+  std::cout << "records: bit-identical across implementations ("
+            << indexed.records.size() << " requests)\n";
+
+  const double speedup = scan.wall_seconds / indexed.wall_seconds;
+  std::cout << "indexed speedup over quadratic scan path: "
+            << fmt_double(speedup, 1) << "x\n";
+  if (speedup < min_speedup) {
+    std::cerr << "FAIL: expected >= " << fmt_double(min_speedup, 1)
+              << "x at this size\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int full = kServeScaleRequests;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--requests" && i + 1 < argc) {
+      full = std::atoi(argv[++i]);
+      if (full < 8) {
+        std::cerr << "--requests needs a sensible size\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_serve_scale [--smoke] [--requests N]\n";
+      return 2;
+    }
+  }
+
+  if (smoke) {
+    scaling_sweep({full / 8, full / 4, full / 2});
+    // Smoke runs on shared CI runners where wall-clock is noisy, so its
+    // bar is a catastrophic-regression floor, not the perf claim: the
+    // ratio measures ~5x at this size, and both sides run back-to-back
+    // in one process, so landing under 1.5x means the index lost its
+    // complexity edge, not that the runner had a bad day. The >= 10x
+    // claim belongs to the full run at the canonical size.
+    return compare_impls(full / 5, 1.5);
+  }
+  scaling_sweep({full / 8, full / 4, full / 2, full});
+  // The comparison caps at the canonical size: the scan side is O(n^2),
+  // so letting a --requests 1000000 sweep drag it along would turn a
+  // ~1.5 s indexed study into minutes of quadratic baseline for no extra
+  // information — the 10x claim is defined at kServeScaleRequests.
+  return compare_impls(std::min(full, kServeScaleRequests), 10.0);
+}

@@ -3,9 +3,11 @@
 // directory).
 //
 //   $ ./network_report [array_size]
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "common/table.hpp"
 #include "runner/network_runner.hpp"
@@ -14,6 +16,9 @@ using namespace axon;
 
 int main(int argc, char** argv) {
   const int size = argc > 1 ? std::atoi(argv[1]) : 128;
+  // Layers analyze in parallel; the report is thread-count invariant.
+  const int threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
   const std::vector<std::pair<std::string, std::vector<ConvWorkload>>> nets = {
       {"resnet50", resnet50_conv_layers()},
@@ -25,7 +30,7 @@ int main(int argc, char** argv) {
   Table t({"network", "layers", "GMACs", "compute_speedup",
            "traffic_reduction_%", "dram_saved_mJ", "roofline_speedup"});
   for (const auto& [name, layers] : nets) {
-    const NetworkReport r = analyze_network(name, layers, size);
+    const NetworkReport r = analyze_network(name, layers, size, threads);
     t.row()
         .cell(name)
         .cell(static_cast<std::int64_t>(r.layers.size()))

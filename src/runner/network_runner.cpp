@@ -1,64 +1,112 @@
 #include "runner/network_runner.hpp"
 
+#include <future>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "memory/dram.hpp"
 #include "model/im2col_traffic.hpp"
 #include "model/runtime_model.hpp"
 
 namespace axon {
 
+namespace {
+
+/// Everything one layer contributes, computed independently of every other
+/// layer — the unit of work the thread pool parallelizes. The roofline
+/// cycle terms ride along so aggregation stays a pure sequential fold.
+struct LayerOutcome {
+  LayerReport report;
+  i64 roofline_base_cycles = 0;
+  i64 roofline_axon_cycles = 0;
+};
+
+LayerOutcome analyze_layer(const ConvWorkload& l, const ArrayShape& array,
+                           const DramModel& dram) {
+  LayerOutcome out;
+  LayerReport& lr = out.report;
+  lr.name = l.name;
+  lr.shape = l.shape;
+  lr.repeats = l.repeats;
+  lr.gemm = l.shape.as_gemm();
+
+  const i64 groups = l.shape.groups;
+  lr.sa_cycles = pipelined_runtime(ArchType::kConventionalSA, Dataflow::kOS,
+                                   lr.gemm, array)
+                     .cycles *
+                 groups * l.repeats;
+  lr.axon_cycles =
+      pipelined_runtime(ArchType::kAxon, Dataflow::kOS, lr.gemm, array)
+          .cycles *
+      groups * l.repeats;
+  lr.speedup =
+      static_cast<double>(lr.sa_cycles) / static_cast<double>(lr.axon_cycles);
+
+  const Traffic sw = conv_dram_traffic(l.shape, Im2colMode::kSoftware);
+  const Traffic ax = conv_dram_traffic(l.shape, Im2colMode::kAxonOnChip);
+  for (int i = 0; i < l.repeats; ++i) {
+    lr.sw_traffic += sw;
+    lr.axon_traffic += ax;
+  }
+  lr.traffic_reduction_pct =
+      100.0 * (1.0 - static_cast<double>(lr.axon_traffic.total()) /
+                         static_cast<double>(lr.sw_traffic.total()));
+
+  // Roofline: Axon compute for both sides; only traffic differs.
+  const i64 compute = lr.axon_cycles;
+  out.roofline_base_cycles =
+      dram.overlapped_cycles(compute, lr.sw_traffic.total());
+  out.roofline_axon_cycles =
+      dram.overlapped_cycles(compute, lr.axon_traffic.total());
+  return out;
+}
+
+}  // namespace
+
 NetworkReport analyze_network(const std::string& name,
                               const std::vector<ConvWorkload>& layers,
-                              int array_size) {
+                              int array_size, int num_threads) {
   AXON_CHECK(array_size > 0, "array size must be positive");
+  AXON_CHECK(num_threads >= 1, "analyze_network needs >= 1 thread");
   NetworkReport report;
   report.network = name;
   report.array = {array_size, array_size};
   const DramModel dram;
 
-  i64 t_base = 0, t_axon = 0;
-  for (const ConvWorkload& l : layers) {
-    LayerReport lr;
-    lr.name = l.name;
-    lr.shape = l.shape;
-    lr.repeats = l.repeats;
-    lr.gemm = l.shape.as_gemm();
-
-    const i64 groups = l.shape.groups;
-    lr.sa_cycles = pipelined_runtime(ArchType::kConventionalSA, Dataflow::kOS,
-                                     lr.gemm, report.array)
-                       .cycles *
-                   groups * l.repeats;
-    lr.axon_cycles =
-        pipelined_runtime(ArchType::kAxon, Dataflow::kOS, lr.gemm, report.array)
-            .cycles *
-        groups * l.repeats;
-    lr.speedup = static_cast<double>(lr.sa_cycles) /
-                 static_cast<double>(lr.axon_cycles);
-
-    const Traffic sw = conv_dram_traffic(l.shape, Im2colMode::kSoftware);
-    const Traffic ax = conv_dram_traffic(l.shape, Im2colMode::kAxonOnChip);
-    for (int i = 0; i < l.repeats; ++i) {
-      lr.sw_traffic += sw;
-      lr.axon_traffic += ax;
+  // Per-layer evaluation is a pure function of (layer, array, dram), so
+  // layers fan out across the pool; futures are harvested in layer order,
+  // which keeps the aggregation fold — and the CSV row order — identical
+  // for any thread count.
+  std::vector<LayerOutcome> outcomes;
+  outcomes.reserve(layers.size());
+  if (num_threads == 1) {
+    for (const ConvWorkload& l : layers) {
+      outcomes.push_back(analyze_layer(l, report.array, dram));
     }
-    lr.traffic_reduction_pct =
-        100.0 * (1.0 - static_cast<double>(lr.axon_traffic.total()) /
-                           static_cast<double>(lr.sw_traffic.total()));
+  } else {
+    ThreadPool pool(num_threads);
+    std::vector<std::future<LayerOutcome>> futures;
+    futures.reserve(layers.size());
+    for (const ConvWorkload& l : layers) {
+      futures.push_back(pool.submit([&l, array = report.array, &dram] {
+        return analyze_layer(l, array, dram);
+      }));
+    }
+    for (auto& f : futures) outcomes.push_back(f.get());
+  }
 
-    report.total_sa_cycles += lr.sa_cycles;
-    report.total_axon_cycles += lr.axon_cycles;
-    report.total_sw_bytes += lr.sw_traffic.total();
-    report.total_axon_bytes += lr.axon_traffic.total();
-
-    // Roofline: Axon compute for both sides; only traffic differs.
-    const i64 compute = lr.axon_cycles;
-    t_base += dram.overlapped_cycles(compute, lr.sw_traffic.total());
-    t_axon += dram.overlapped_cycles(compute, lr.axon_traffic.total());
-
-    report.layers.push_back(std::move(lr));
+  i64 t_base = 0, t_axon = 0;
+  for (LayerOutcome& out : outcomes) {
+    report.total_sa_cycles += out.report.sa_cycles;
+    report.total_axon_cycles += out.report.axon_cycles;
+    report.total_sw_bytes += out.report.sw_traffic.total();
+    report.total_axon_bytes += out.report.axon_traffic.total();
+    t_base += out.roofline_base_cycles;
+    t_axon += out.roofline_axon_cycles;
+    report.layers.push_back(std::move(out.report));
   }
 
   report.compute_speedup = static_cast<double>(report.total_sa_cycles) /

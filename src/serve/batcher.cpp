@@ -15,7 +15,7 @@ namespace {
 
 /// Folds one member into the scheduler-visible aggregates. The single
 /// implementation shared by batch closes, continuous-admission joins, and
-/// open-group views — these must never disagree on scheduling keys.
+/// open-group maintenance — these must never disagree on scheduling keys.
 void tighten_aggregates(const Request& r, i64& earliest_deadline,
                         int& top_priority) {
   if (r.has_deadline() &&
@@ -61,7 +61,17 @@ void DynamicBatcher::admit(Request r, i64 now) {
   AXON_CHECK(now >= r.arrival_cycle, "admit before arrival");
   const Key key{r.gemm.K, r.gemm.N};
   Group& group = open_[key];
-  if (group.members.empty()) group.oldest_admit = now;
+  if (group.members.empty()) {
+    group.oldest_admit = now;
+    group.merged_m = 0;
+    group.earliest_deadline = -1;
+    group.top_priority = r.priority;
+    // One calendar entry per group instance, filed at birth; closing the
+    // group by any path just leaves it to go stale.
+    timeouts_.push({now + policy_.max_wait_cycles, key, now});
+  }
+  group.merged_m += r.gemm.M;
+  tighten_aggregates(r, group.earliest_deadline, group.top_priority);
   group.members.push_back(std::move(r));
   if (static_cast<int>(group.members.size()) >= policy_.max_batch) {
     ready_.push_back(close_group(std::move(group), now));
@@ -69,15 +79,31 @@ void DynamicBatcher::admit(Request r, i64 now) {
   }
 }
 
-std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
-  for (auto it = open_.begin(); it != open_.end();) {
-    const i64 deadline = it->second.oldest_admit + policy_.max_wait_cycles;
-    if (deadline <= now) {
-      ready_.push_back(close_group(std::move(it->second), deadline));
-      it = open_.erase(it);
-    } else {
-      ++it;
+void DynamicBatcher::prune_timeouts() const {
+  while (!timeouts_.empty()) {
+    const Timeout& t = timeouts_.top();
+    const auto it = open_.find(t.key);
+    if (it != open_.end() && it->second.oldest_admit == t.oldest_admit) {
+      return;  // live group instance — the top is valid
     }
+    timeouts_.pop();  // the group this entry was filed for already closed
+  }
+}
+
+std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
+  // Close every open group whose deadline has passed. The calendar hands
+  // them over oldest-deadline-first; each closes at its own deadline, and
+  // the output sort below canonicalizes the order, so this matches the
+  // seed's full-map sweep batch for batch.
+  for (;;) {
+    prune_timeouts();
+    if (timeouts_.empty() || timeouts_.top().deadline > now) break;
+    const Timeout t = timeouts_.top();
+    timeouts_.pop();
+    const auto it = open_.find(t.key);
+    AXON_CHECK(it != open_.end(), "pruned timeout for a closed group");
+    ready_.push_back(close_group(std::move(it->second), t.deadline));
+    open_.erase(it);
   }
   std::vector<Batch> out(std::make_move_iterator(ready_.begin()),
                          std::make_move_iterator(ready_.end()));
@@ -105,13 +131,11 @@ std::vector<DynamicBatcher::OpenGroupView> DynamicBatcher::open_views()
     OpenGroupView v;
     v.K = key.first;
     v.N = key.second;
+    v.merged_m = group.merged_m;
     v.oldest_admit = group.oldest_admit;
+    v.earliest_deadline = group.earliest_deadline;
+    v.top_priority = group.top_priority;
     v.size = static_cast<int>(group.members.size());
-    v.top_priority = group.members.front().priority;
-    for (const auto& r : group.members) {
-      v.merged_m += r.gemm.M;
-      tighten_aggregates(r, v.earliest_deadline, v.top_priority);
-    }
     views.push_back(v);
   }
   return views;
@@ -127,12 +151,8 @@ Batch DynamicBatcher::close_open(i64 K, i64 N, i64 now) {
 }
 
 i64 DynamicBatcher::next_timeout() const {
-  i64 earliest = -1;
-  for (const auto& [key, group] : open_) {
-    const i64 deadline = group.oldest_admit + policy_.max_wait_cycles;
-    if (earliest < 0 || deadline < earliest) earliest = deadline;
-  }
-  return earliest;
+  prune_timeouts();
+  return timeouts_.empty() ? -1 : timeouts_.top().deadline;
 }
 
 std::size_t DynamicBatcher::open_requests() const {

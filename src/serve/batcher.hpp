@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <map>
+#include <queue>
 #include <utility>
 #include <vector>
 
@@ -108,6 +109,8 @@ class DynamicBatcher {
   };
 
   /// Views of every open group, in (K, N) key order (deterministic).
+  /// Aggregates are maintained incrementally at admit time, so this is a
+  /// copy of per-group scalars — O(open groups), never O(open requests).
   [[nodiscard]] std::vector<OpenGroupView> open_views() const;
 
   /// Closes and returns the open group with the given key; requires that
@@ -118,6 +121,8 @@ class DynamicBatcher {
 
   /// Earliest future cycle at which an open group times out, or -1 when no
   /// group is open. The serving loop uses this as a DES event source.
+  /// O(log groups) amortized via the timeout calendar (stale entries for
+  /// already-closed groups are discarded lazily as they surface).
   [[nodiscard]] i64 next_timeout() const;
 
   [[nodiscard]] std::size_t open_requests() const;
@@ -127,16 +132,44 @@ class DynamicBatcher {
   struct Group {
     std::vector<Request> members;
     i64 oldest_admit = 0;
+    // Scheduler-visible aggregates, folded in per admit so views and
+    // timeout queries never re-walk the member list.
+    i64 merged_m = 0;
+    i64 earliest_deadline = -1;
+    int top_priority = 0;
   };
   using Key = std::pair<i64, i64>;  ///< (K, N)
+
+  /// Timeout-calendar entry for one group *instance*. A group closes by
+  /// max_batch / timeout / continuous admission without touching the
+  /// calendar; its entry goes stale and is discarded when it surfaces.
+  /// `oldest_admit` identifies the instance: a later group under the same
+  /// (K, N) key has a different (never smaller) oldest_admit.
+  struct Timeout {
+    i64 deadline = 0;  ///< oldest_admit + max_wait_cycles
+    Key key;
+    i64 oldest_admit = 0;
+  };
+  struct TimeoutLater {
+    bool operator()(const Timeout& a, const Timeout& b) const {
+      return a.deadline > b.deadline;
+    }
+  };
 
   /// Builds the closed Batch for a group; callers decide where it goes
   /// (ready_ for timeout/max-batch closes, straight to the pool for
   /// continuous-admission closes).
   static Batch close_group(Group&& group, i64 ready_cycle);
 
+  /// Drops stale calendar tops; the surviving top (if any) names a live
+  /// group. Const because next_timeout() is a pure query of simulated
+  /// state — the calendar is a mutable implementation detail.
+  void prune_timeouts() const;
+
   BatchPolicy policy_;
   std::map<Key, Group> open_;  ///< ordered => deterministic iteration
+  mutable std::priority_queue<Timeout, std::vector<Timeout>, TimeoutLater>
+      timeouts_;
   std::deque<Batch> ready_;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <limits>
+#include <queue>
 #include <utility>
 #include <vector>
 
@@ -14,18 +15,6 @@
 #include "serve/weight_cache.hpp"
 
 namespace axon::serve {
-
-std::string to_string(SchedulePolicy policy) {
-  switch (policy) {
-    case SchedulePolicy::kFifo:
-      return "FIFO";
-    case SchedulePolicy::kShortestJobFirst:
-      return "SJF";
-    case SchedulePolicy::kEarliestDeadlineFirst:
-      return "EDF";
-  }
-  return "?";
-}
 
 std::string to_string(RoutePolicy policy) {
   switch (policy) {
@@ -51,14 +40,23 @@ std::string to_string(ChunkPolicy policy) {
   return "?";
 }
 
-namespace {
-
-/// Converts device cycles to simulated fleet cycles at the reference
-/// clock: a member clocked above kRefClockMhz retires the same device
-/// cycles in proportionally less simulated time.
 i64 to_fleet_cycles(i64 device_cycles, int clock_mhz) {
-  return ceil_div(device_cycles * kRefClockMhz, clock_mhz);
+  AXON_CHECK(device_cycles >= 0, "negative device cycles: ", device_cycles);
+  AXON_CHECK(clock_mhz > 0, "clock must be positive: ", clock_mhz);
+  // Widened ceil-div: the i64 multiply wraps at ~9.2e15 device cycles
+  // (multi-Mcycle chunks on a slow clock get there), silently producing a
+  // negative timeline. The 128-bit intermediate cannot wrap; only a result
+  // that genuinely exceeds i64 fails, loudly.
+  using i128 = __int128;
+  const i128 scaled = static_cast<i128>(device_cycles) * kRefClockMhz;
+  const i128 fleet = (scaled + clock_mhz - 1) / clock_mhz;
+  AXON_CHECK(fleet <= static_cast<i128>(std::numeric_limits<i64>::max()),
+             "fleet-cycle conversion overflows i64: ", device_cycles,
+             " device cycles at ", clock_mhz, " MHz");
+  return static_cast<i64>(fleet);
 }
+
+namespace {
 
 /// What a worker thread reports back for one executed batch.
 struct ExecOutcome {
@@ -99,15 +97,43 @@ ExecOutcome execute_chunk(const GemmShape& gemm, i64 batch_first_id,
   return {to_fleet_cycles(dev, spec.clock_mhz)};
 }
 
-struct InFlight {
+/// A dispatch whose cost evaluation is still in flight on the worker pool.
+/// Harvested (future resolved, completion filed in the calendar) before
+/// the next time advance — the loop's only synchronization point.
+struct PendingExec {
   int accelerator = -1;
   Batch batch;
   i64 chunk_m = 0;          ///< rows this dispatch covers
   bool final_chunk = true;  ///< completes the batch (vs. remainder re-queues)
   i64 dispatch_cycle = 0;
   std::future<ExecOutcome> future;
-  bool resolved = false;
+};
+
+/// A resolved dispatch waiting in the completion calendar for its
+/// simulated completion cycle to come due.
+struct Completion {
+  int accelerator = -1;
+  Batch batch;
+  i64 chunk_m = 0;
+  bool final_chunk = true;
+  i64 dispatch_cycle = 0;
   i64 completion_cycle = 0;
+};
+
+/// Calendar key: min-heap by (completion cycle, accelerator) — the retire
+/// order the seed implementation obtained by re-sorting its whole inflight
+/// vector every event. Unique because a busy device has exactly one
+/// outstanding dispatch.
+struct CompletionKey {
+  i64 cycle = 0;
+  int accelerator = -1;
+  std::size_t slot = 0;
+};
+struct CompletionLater {
+  bool operator()(const CompletionKey& a, const CompletionKey& b) const {
+    if (a.cycle != b.cycle) return a.cycle > b.cycle;
+    return a.accelerator > b.accelerator;
+  }
 };
 
 }  // namespace
@@ -138,14 +164,33 @@ AcceleratorPool::AcceleratorPool(PoolConfig config)
   }
 }
 
+std::size_t AcceleratorPool::CostKeyHash::operator()(const CostKey& k) const {
+  // Boost-style mixing; a collision only costs the map a key compare.
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  };
+  std::uint64_t h = k.device;
+  h = mix(h, static_cast<std::uint64_t>(k.M));
+  h = mix(h, static_cast<std::uint64_t>(k.K));
+  h = mix(h, static_cast<std::uint64_t>(k.N));
+  h = mix(h, k.weights_resident ? 0x5EEDull : 0xC0FFEEull);
+  return static_cast<std::size_t>(h);
+}
+
 i64 AcceleratorPool::device_cycles(std::size_t device, const GemmShape& gemm,
                                    bool weights_resident) const {
   AXON_CHECK(device < fleet_.size(), "device index out of range");
+  const CostKey key{gemm.M, gemm.K, gemm.N,
+                    static_cast<std::uint32_t>(device), weights_resident};
+  const auto it = cost_cache_.find(key);
+  if (it != cost_cache_.end()) return it->second;
   const AcceleratorSpec& spec = fleet_[device];
   const i64 dev = batched_gemm_cycles(
       spec.accelerator.arch, spec.accelerator.dataflow, gemm,
       spec.accelerator.array, spec.dram_bytes_per_cycle, weights_resident);
-  return to_fleet_cycles(dev, spec.clock_mhz);
+  const i64 cycles = to_fleet_cycles(dev, spec.clock_mhz);
+  cost_cache_.emplace(key, cycles);
+  return cycles;
 }
 
 i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
@@ -158,11 +203,16 @@ i64 AcceleratorPool::estimate_cycles(const Batch& batch) const {
 i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
   // Fleet-best, cache-blind: a stable per-shape key (it never shifts as
   // caches churn), equal to the single-member estimate on a homogeneous
-  // fleet.
+  // fleet. Memoized on its own so the min-over-fleet loop runs once per
+  // distinct shape, not once per SJF comparison.
+  const CostKey key{gemm.M, gemm.K, gemm.N, CostKey::kFleetBest, false};
+  const auto it = cost_cache_.find(key);
+  if (it != cost_cache_.end()) return it->second;
   i64 best = device_cycles(0, gemm);
   for (std::size_t i = 1; i < fleet_.size(); ++i) {
     best = std::min(best, device_cycles(i, gemm));
   }
+  cost_cache_.emplace(key, best);
   return best;
 }
 
@@ -174,6 +224,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   ThreadPool workers(config_.num_threads);
 
   std::vector<bool> busy(fleet_size, false);
+  std::size_t idle_devices = fleet_size;
   std::vector<WeightCache> caches;
   caches.reserve(fleet_size);
   for (const AcceleratorSpec& spec : fleet_) {
@@ -183,17 +234,32 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   std::vector<i64> device_batches(fleet_size, 0);
   std::size_t round_robin_next = 0;
 
-  std::vector<InFlight> inflight;
-  // Ready batches with their analytic cost, computed once on entry —
-  // SJF compares these cached values instead of re-running the model.
-  struct ReadyBatch {
-    Batch batch;
-    i64 estimate = 0;
-  };
-  std::vector<ReadyBatch> ready;
+  // The ready queue: O(log n) heaps by default, the seed's linear scans
+  // under kScanReference (same schedule either way — see sched_index.hpp).
+  SchedIndex ready(config_.policy, config_.ready_queue,
+                   config_.batching.max_batch,
+                   config_.batching.continuous_admission);
+
+  // Event calendar, completion side: resolved dispatches sit in slot
+  // storage with a min-heap of (completion cycle, device) over them, so a
+  // time advance pops exactly the due retirements — no per-event re-sort,
+  // no whole-vector compaction.
+  std::vector<Completion> completion_slots;
+  std::vector<std::size_t> completion_free;
+  std::priority_queue<CompletionKey, std::vector<CompletionKey>,
+                      CompletionLater>
+      completions;
+  // Dispatches whose costs are still evaluating on the worker pool; they
+  // run concurrently until the harvest right before the next time advance.
+  std::vector<PendingExec> pending;
+  pending.reserve(fleet_size);
+
   ServeReport report;
   report.num_accelerators = static_cast<int>(fleet_size);
   report.num_threads = config_.num_threads;
+  // One record per request, known up front — million-request traces must
+  // not pay realloc-and-copy churn on the way there.
+  report.records.reserve(requests.size());
 
   i64 now = 0;
 
@@ -205,23 +271,18 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         // Continuous admission, join side: a closed-but-undispatched batch
         // with the same weights and spare seats takes the late arrival
         // directly — no reason to start a fresh group and wait out
-        // max_wait again. First match in ready order keeps it
-        // deterministic. A partially executed batch (re-queued between
-        // chunks) is not joinable: its membership froze at first dispatch
-        // (Batch::absorb rejects it), so the arrival starts or joins an
-        // ordinary group instead.
-        bool joined = false;
-        for (auto& rb : ready) {
-          if (rb.batch.m_executed == 0 &&
-              rb.batch.size() < config_.batching.max_batch &&
-              rb.batch.gemm.K == r.gemm.K && rb.batch.gemm.N == r.gemm.N) {
-            rb.batch.absorb(std::move(r));
-            rb.estimate = estimate_cycles(rb.batch);
-            joined = true;
-            break;
-          }
+        // max_wait again. The index hands back the earliest-pushed match
+        // (the seed's first-match-in-ready-order). A partially executed
+        // batch (re-queued between chunks) is not joinable: its membership
+        // froze at first dispatch (Batch::absorb rejects it), so the
+        // arrival starts or joins an ordinary group instead.
+        const i64 slot = ready.find_joinable(r.gemm.K, r.gemm.N);
+        if (slot >= 0) {
+          Batch& b = ready.batch(slot);
+          b.absorb(std::move(r));
+          ready.joined(slot, estimate_cycles(b));
+          continue;
         }
-        if (joined) continue;
       }
       batcher.admit(std::move(r), arrival);
     }
@@ -231,46 +292,10 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         requests.empty() ? batcher.flush(now) : batcher.pop_ready(now);
     for (auto& b : closed) {
       const i64 estimate = estimate_cycles(b);
-      ready.push_back({std::move(b), estimate});
+      ready.push(std::move(b), estimate);
     }
   };
 
-  // One ordering for everything an idle accelerator could take — a closed
-  // ready batch or, under continuous admission, a still-open group:
-  // priority class first (strict under every policy), then the policy key,
-  // then waiting age, with deterministic tie-breaks (a ready batch beats an
-  // open group on a full tie — it closed first).
-  struct PickKey {
-    int priority = 0;
-    i64 policy_key = 0;  ///< SJF estimate / EDF deadline; ignored for FIFO
-    i64 age_cycle = 0;   ///< batch ready cycle, or group oldest admit
-    bool open_group = false;
-    i64 id0 = 0;  ///< first request id (batch) or K (group)
-    i64 id1 = 0;  ///< 0 (batch) or N (group)
-  };
-  const auto key_better = [&](const PickKey& a, const PickKey& b) {
-    if (a.priority != b.priority) return a.priority < b.priority;
-    if (config_.policy != SchedulePolicy::kFifo &&
-        a.policy_key != b.policy_key) {
-      return a.policy_key < b.policy_key;
-    }
-    if (a.age_cycle != b.age_cycle) return a.age_cycle < b.age_cycle;
-    if (a.open_group != b.open_group) return !a.open_group;
-    if (a.id0 != b.id0) return a.id0 < b.id0;
-    return a.id1 < b.id1;
-  };
-  const auto batch_key = [&](const ReadyBatch& rb) {
-    PickKey k;
-    k.priority = rb.batch.top_priority;
-    k.policy_key = config_.policy == SchedulePolicy::kShortestJobFirst
-                       ? rb.estimate
-                       : (rb.batch.earliest_deadline < 0
-                              ? std::numeric_limits<i64>::max()
-                              : rb.batch.earliest_deadline);
-    k.age_cycle = rb.batch.ready_cycle;
-    k.id0 = rb.batch.requests.front().id;
-    return k;
-  };
   const auto view_key = [&](const DynamicBatcher::OpenGroupView& v) {
     PickKey k;
     k.priority = v.top_priority;
@@ -284,13 +309,6 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     k.id0 = v.K;
     k.id1 = v.N;
     return k;
-  };
-  const auto pick_next_batch = [&]() -> std::size_t {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < ready.size(); ++i) {
-      if (key_better(batch_key(ready[i]), batch_key(ready[best]))) best = i;
-    }
-    return best;
   };
 
   // Routing: the schedule policy decided *what* runs next; this decides
@@ -376,48 +394,45 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
 
   const auto dispatch = [&] {
     for (;;) {
-      if (std::find(busy.begin(), busy.end(), false) == busy.end()) return;
+      if (idle_devices == 0) return;
       // Continuous admission, dispatch side: an idle accelerator may take
       // a partially filled group rather than letting it ripen to
       // max_batch/max_wait while capacity sits free. Open groups compete
       // with ready batches under the same key_better ordering, so an
-      // urgent open group beats a lax ready batch and vice versa.
+      // urgent open group beats a lax ready batch and vice versa. Open
+      // groups are few (one per distinct (K, N) in flight), so the view
+      // scan is mix-bounded, not queue-depth-bounded.
       const bool can_take_open =
           config_.batching.continuous_admission && batcher.has_open();
       if (ready.empty() && !can_take_open) return;
-      std::size_t chosen = ready.empty() ? 0 : pick_next_batch();
+      Batch picked;
+      bool from_open = false;
       if (can_take_open) {
         const auto views = batcher.open_views();
         std::size_t best_view = 0;
         for (std::size_t i = 1; i < views.size(); ++i) {
-          if (key_better(view_key(views[i]), view_key(views[best_view]))) {
+          if (key_better(config_.policy, view_key(views[i]),
+                         view_key(views[best_view]))) {
             best_view = i;
           }
         }
-        if (ready.empty() ||
-            key_better(view_key(views[best_view]), batch_key(ready[chosen]))) {
-          Batch b =
+        if (ready.empty() || key_better(config_.policy,
+                                        view_key(views[best_view]),
+                                        ready.best_key())) {
+          picked =
               batcher.close_open(views[best_view].K, views[best_view].N, now);
-          const i64 estimate = estimate_cycles(b);
-          ready.push_back({std::move(b), estimate});
-          chosen = ready.size() - 1;
+          from_open = true;
         }
       }
-      InFlight f;
-      const std::size_t acc =
-          route_device(ready[chosen].batch.remaining_gemm());
-      f.accelerator = static_cast<int>(acc);
-      f.batch = std::move(ready[chosen].batch);
-      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
+      if (!from_open) picked = ready.pop_best();
       // A dispatch that jumps ahead of a partially executed batch still
       // waiting in ready is a realized preemption — the event unchunked
       // dispatch makes impossible.
-      for (const auto& rb : ready) {
-        if (rb.batch.m_executed > 0) {
-          ++report.preemptions;
-          break;
-        }
-      }
+      if (ready.has_partial()) ++report.preemptions;
+      PendingExec f;
+      const std::size_t acc = route_device(picked.remaining_gemm());
+      f.accelerator = static_cast<int>(acc);
+      f.batch = std::move(picked);
       f.chunk_m = chunk_extent_for(f.batch, acc);
       f.final_chunk = f.chunk_m == f.batch.remaining_m();
       f.dispatch_cycle = now;
@@ -444,7 +459,8 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
                              seed, weights_resident);
       });
       busy[acc] = true;
-      inflight.push_back(std::move(f));
+      --idle_devices;
+      pending.push_back(std::move(f));
     }
   };
 
@@ -452,78 +468,92 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     admit_and_collect();
     dispatch();
 
-    // Next simulated event: an arrival, a batching timeout, or a batch
-    // completion. Completion times require the batch costs — harvest every
-    // outstanding future here (they have been running concurrently since
-    // dispatch; this is the only synchronization point).
+    // Harvest: every dispatch since the last advance has been evaluating
+    // concurrently on the worker pool; resolve each future exactly once
+    // and file the completion in the calendar. Advancing simulated time
+    // needs every outstanding completion cycle, so this stays the loop's
+    // one synchronization point — but it touches only the new dispatches,
+    // never the already-filed ones.
+    for (PendingExec& p : pending) {
+      const ExecOutcome outcome = p.future.get();
+      std::size_t slot;
+      if (completion_free.empty()) {
+        slot = completion_slots.size();
+        completion_slots.emplace_back();
+      } else {
+        slot = completion_free.back();
+        completion_free.pop_back();
+      }
+      Completion& c = completion_slots[slot];
+      c.accelerator = p.accelerator;
+      c.batch = std::move(p.batch);
+      c.chunk_m = p.chunk_m;
+      c.final_chunk = p.final_chunk;
+      c.dispatch_cycle = p.dispatch_cycle;
+      c.completion_cycle = p.dispatch_cycle + outcome.cycles;
+      completions.push({c.completion_cycle, c.accelerator, slot});
+    }
+    pending.clear();
+
+    // Next simulated event: an arrival, a batching timeout, or the
+    // earliest filed completion.
     i64 next = -1;
     const auto consider = [&next](i64 t) {
       if (t >= 0 && (next < 0 || t < next)) next = t;
     };
     if (!requests.empty()) consider(requests.next_arrival());
     consider(batcher.next_timeout());
-    for (auto& f : inflight) {
-      if (!f.resolved) {
-        const ExecOutcome outcome = f.future.get();
-        f.resolved = true;
-        f.completion_cycle = f.dispatch_cycle + outcome.cycles;
-      }
-      consider(f.completion_cycle);
-    }
+    if (!completions.empty()) consider(completions.top().cycle);
     if (next < 0) break;  // fully drained
     AXON_CHECK(next >= now, "simulated time went backwards");
     now = next;
 
-    // Retire completions due at `now` in deterministic order.
-    std::sort(inflight.begin(), inflight.end(),
-              [](const InFlight& a, const InFlight& b) {
-                if (a.completion_cycle != b.completion_cycle)
-                  return a.completion_cycle < b.completion_cycle;
-                return a.accelerator < b.accelerator;
-              });
-    std::size_t retired = 0;
-    for (auto& f : inflight) {
-      if (!f.resolved || f.completion_cycle > now) break;
+    // Retire completions due at `now`; the calendar pops them in
+    // (completion cycle, device) order — deterministic.
+    while (!completions.empty() && completions.top().cycle <= now) {
+      const std::size_t slot = completions.top().slot;
+      completions.pop();
+      Completion& f = completion_slots[slot];
       const i64 busy_cycles = f.completion_cycle - f.dispatch_cycle;
       report.total_busy_cycles += busy_cycles;
       device_busy_cycles[static_cast<std::size_t>(f.accelerator)] +=
           busy_cycles;
       ++device_batches[static_cast<std::size_t>(f.accelerator)];
       busy[static_cast<std::size_t>(f.accelerator)] = false;
-      ++retired;
+      ++idle_devices;
       if (!f.final_chunk) {
         // Remainder re-enters the scheduler: it competes with everything
         // ready or open under the same policy keys at the next dispatch —
         // this re-entry point *is* the tile-granular preemption window.
         f.batch.m_executed += f.chunk_m;
         const i64 estimate = estimate_cycles(f.batch);
-        ready.push_back({std::move(f.batch), estimate});
-        continue;
+        ready.push(std::move(f.batch), estimate);
+      } else {
+        // Final chunk: the batch's members complete together now.
+        for (const auto& r : f.batch.requests) {
+          RequestRecord rec;
+          rec.id = r.id;
+          rec.workload = r.workload;
+          rec.gemm = r.gemm;
+          rec.arrival_cycle = r.arrival_cycle;
+          rec.dispatch_cycle = f.batch.first_dispatch_cycle;
+          rec.completion_cycle = f.completion_cycle;
+          rec.deadline_cycle = r.deadline_cycle;
+          rec.priority = r.priority;
+          rec.batch_size = f.batch.size();
+          rec.batch_chunks = f.batch.chunks_run;
+          rec.accelerator = f.accelerator;
+          report.records.push_back(std::move(rec));
+        }
+        ++report.total_batches;
       }
-      // Final chunk: the batch's members complete together now.
-      for (const auto& r : f.batch.requests) {
-        RequestRecord rec;
-        rec.id = r.id;
-        rec.workload = r.workload;
-        rec.gemm = r.gemm;
-        rec.arrival_cycle = r.arrival_cycle;
-        rec.dispatch_cycle = f.batch.first_dispatch_cycle;
-        rec.completion_cycle = f.completion_cycle;
-        rec.deadline_cycle = r.deadline_cycle;
-        rec.priority = r.priority;
-        rec.batch_size = f.batch.size();
-        rec.batch_chunks = f.batch.chunks_run;
-        rec.accelerator = f.accelerator;
-        report.records.push_back(std::move(rec));
-      }
-      ++report.total_batches;
+      f.batch = Batch{};
+      completion_free.push_back(slot);
     }
-    inflight.erase(inflight.begin(),
-                   inflight.begin() + static_cast<std::ptrdiff_t>(retired));
   }
 
   AXON_CHECK(requests.empty() && batcher.idle() && ready.empty() &&
-                 inflight.empty(),
+                 completions.empty() && pending.empty(),
              "serve loop exited with work outstanding");
 
   report.per_accelerator.resize(fleet_size);

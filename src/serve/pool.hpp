@@ -12,6 +12,16 @@
 // the worker pool before each advance (overlapping across *different*
 // dispatch events would need speculative execution; see ROADMAP).
 //
+// The core is event-indexed so per-event work is O(log n), not O(n), in
+// queue depth: the ready queue is a serve/sched_index (per-class heaps
+// with lazy invalidation, join registry), completions sit in a min-heap
+// event calendar harvested as futures resolve (no per-event re-sort or
+// whole-vector compaction), and analytic costs are memoized per
+// (device, shape, cache-hit) so the roofline runs once per distinct
+// dispatch shape instead of O(fleet) per candidate per event. None of it
+// changes the simulated timeline — bench_serve_scale measures the
+// difference at production trace sizes.
+//
 // Determinism contract: a dispatch's cost is a pure function of the
 // dispatched chunk (shape + operand identity), the routed device's spec,
 // and the device's weight-cache state at dispatch — never of wall-clock,
@@ -24,27 +34,16 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "runner/accelerator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/report.hpp"
 #include "serve/request.hpp"
+#include "serve/sched_index.hpp"
 
 namespace axon::serve {
-
-/// Order in which ready batches grab free accelerators. Every policy
-/// first honours priority classes strictly (a lower-class batch never
-/// jumps a higher one), then applies its own key, then breaks remaining
-/// ties by ready cycle and first request id — fully deterministic.
-enum class SchedulePolicy {
-  kFifo,                   ///< by batch ready cycle (then first request id)
-  kShortestJobFirst,       ///< by analytically estimated batch cycles
-  kEarliestDeadlineFirst,  ///< by earliest member SLO deadline; batches
-                           ///< without deadlines go last
-};
-
-std::string to_string(SchedulePolicy policy);
 
 /// Which fleet member a picked batch runs on. Orthogonal to
 /// SchedulePolicy: the schedule policy picks *what* dispatches next, the
@@ -94,6 +93,15 @@ enum class ExecMode {
 /// the same device-cycle count in half the simulated time.
 inline constexpr int kRefClockMhz = 1000;
 
+/// Converts device cycles to simulated fleet cycles at the reference
+/// clock: a member clocked above kRefClockMhz retires the same device
+/// cycles in proportionally less simulated time. The multiply is widened
+/// to 128 bits — `device_cycles * kRefClockMhz` overflows i64 at a few
+/// quadrillion device cycles, a regime multi-Mcycle chunks on slow clocks
+/// can reach — and a result that does not fit i64 fails an AXON_CHECK
+/// instead of wrapping into a bogus (possibly negative) timeline.
+i64 to_fleet_cycles(i64 device_cycles, int clock_mhz);
+
 /// One fleet member: its own array geometry/architecture, clock, DRAM
 /// bandwidth, and weight-cache capacity. Mixed specs are the point —
 /// decode-style transfer-bound traffic prefers high bandwidth and a warm
@@ -126,6 +134,11 @@ struct PoolConfig {
 
   int num_threads = 1;  ///< wall-clock workers; no effect on cycle results
   SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// Ready-queue data structure (serve/sched_index). kIndexed is the
+  /// production default; kScanReference keeps the seed linear scans as the
+  /// bit-identical quadratic baseline for tests and the scale bench. No
+  /// effect on simulated cycles, only on host wall-clock.
+  ReadyQueueImpl ready_queue = ReadyQueueImpl::kIndexed;
   RoutePolicy routing = RoutePolicy::kFirstFree;
   ExecMode exec = ExecMode::kAnalytical;
   ChunkPolicy chunking = ChunkPolicy::kNone;
@@ -175,8 +188,38 @@ class AcceleratorPool {
   [[nodiscard]] i64 estimate_gemm_cycles(const GemmShape& gemm) const;
 
  private:
+  /// Memo key for the analytic cost cache: one dispatchable shape on one
+  /// device (kFleetBest aggregates over devices), cache-hit flag included.
+  /// The analytic roofline is a pure function of exactly these fields, so
+  /// memoizing it is exact — the same number the model would recompute,
+  /// found by hash lookup instead of re-running tiling math O(fleet) per
+  /// candidate per event.
+  struct CostKey {
+    i64 M = 0;
+    i64 K = 0;
+    i64 N = 0;
+    std::uint32_t device = 0;  ///< fleet index, or kFleetBest
+    bool weights_resident = false;
+
+    static constexpr std::uint32_t kFleetBest = 0xFFFFFFFFu;
+
+    friend bool operator==(const CostKey& a, const CostKey& b) {
+      return a.M == b.M && a.K == b.K && a.N == b.N &&
+             a.device == b.device &&
+             a.weights_resident == b.weights_resident;
+    }
+  };
+  struct CostKeyHash {
+    std::size_t operator()(const CostKey& k) const;
+  };
+
   PoolConfig config_;
   std::vector<AcceleratorSpec> fleet_;
+  /// Analytic-cost memo. Mutated from const accessors (the cache is an
+  /// exact, invisible speedup), so: only the single-threaded serve loop —
+  /// never the worker threads — touches pool methods, which keeps the
+  /// unguarded mutable safe.
+  mutable std::unordered_map<CostKey, i64, CostKeyHash> cost_cache_;
 };
 
 }  // namespace axon::serve

@@ -21,6 +21,11 @@ void GroupStats::add(const RequestRecord& r) {
   }
 }
 
+void GroupStats::reserve(std::size_t n) {
+  latency.reserve(n);
+  blocking.reserve(n);
+}
+
 double GroupStats::slo_attainment() const {
   if (with_deadline == 0) return 1.0;
   return static_cast<double>(met_deadline) /
@@ -50,6 +55,20 @@ void ServeReport::finalize() {
   by_class.clear();
   makespan_cycles = 0;
   for (auto& a : per_accelerator) a.requests = 0;
+  // Slice sizes are knowable before a single sample lands: count each
+  // slice, then reserve its histograms — large traces fill millions of
+  // samples below and should not grow storage by doubling.
+  latency.reserve(records.size());
+  queueing.reserve(records.size());
+  overall.reserve(records.size());
+  std::map<std::string, std::size_t> workload_counts;
+  std::map<int, std::size_t> class_counts;
+  for (const auto& r : records) {
+    ++workload_counts[r.workload];
+    ++class_counts[r.priority];
+  }
+  for (const auto& [name, n] : workload_counts) by_workload[name].reserve(n);
+  for (const auto& [prio, n] : class_counts) by_class[prio].reserve(n);
   for (const auto& r : records) {
     latency.add(r.latency_cycles());
     queueing.add(r.queue_cycles());

@@ -50,6 +50,23 @@ struct RequestRecord {
   [[nodiscard]] i64 miss_cycles() const {
     return met_deadline() ? 0 : completion_cycle - deadline_cycle;
   }
+
+  /// Full-field equality — the primitive the determinism checks (indexed
+  /// vs scan-reference scheduler, 1 vs 8 threads) diff whole reports
+  /// with. New fields must be added here so those checks stay complete.
+  friend bool operator==(const RequestRecord& a, const RequestRecord& b) {
+    return a.id == b.id && a.workload == b.workload && a.gemm == b.gemm &&
+           a.arrival_cycle == b.arrival_cycle &&
+           a.dispatch_cycle == b.dispatch_cycle &&
+           a.completion_cycle == b.completion_cycle &&
+           a.deadline_cycle == b.deadline_cycle &&
+           a.priority == b.priority && a.batch_size == b.batch_size &&
+           a.batch_chunks == b.batch_chunks &&
+           a.accelerator == b.accelerator;
+  }
+  friend bool operator!=(const RequestRecord& a, const RequestRecord& b) {
+    return !(a == b);
+  }
 };
 
 /// Aggregates for one slice of the trace — a workload, a priority class,
@@ -66,6 +83,9 @@ struct GroupStats {
   Histogram blocking;
 
   void add(const RequestRecord& r);
+  /// Pre-sizes the slice's histograms for `n` expected members (miss stays
+  /// unreserved — usually a small minority).
+  void reserve(std::size_t n);
   /// Fraction of SLO-carrying requests that met their deadline; 1.0 when
   /// the slice carries no deadlines (nothing to violate).
   [[nodiscard]] double slo_attainment() const;

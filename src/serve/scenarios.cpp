@@ -142,4 +142,73 @@ PoolConfig chunked_prefill_pool_config(ChunkPolicy chunking) {
   return cfg;
 }
 
+std::vector<AcceleratorSpec> serve_scale_fleet() {
+  AcceleratorSpec dev;
+  dev.accelerator.arch = ArchType::kAxon;
+  dev.accelerator.array = {32, 32};
+  dev.clock_mhz = kRefClockMhz;
+  dev.dram_bytes_per_cycle = 64;
+  dev.weight_cache_bytes = 16 << 20;
+  std::vector<AcceleratorSpec> fleet = {dev, dev, dev, dev};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].name = "axon32_" + std::to_string(i);
+  }
+  return fleet;
+}
+
+std::vector<GemmWorkload> serve_scale_mix() {
+  // Decode dominates 8:1; the 256-token prefill lives on a (K, N) no
+  // decode entry shares, so it cannot coalesce away and must be scheduled
+  // (and, under deadline-aware chunking, split) against the backlog.
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"prefill_ffn2", {256, 3072, 768}},
+  };
+}
+
+BurstyTraceConfig serve_scale_traffic(int num_requests) {
+  BurstyTraceConfig tc;
+  tc.num_requests = num_requests;
+  // Offered load outruns the 4-member fleet inside a burst and the OFF
+  // dwell is too short to fully drain, so the ready queue builds to
+  // thousands of batches and oscillates there — queue *depth*, not request
+  // count, is what separates O(n log n) from O(n^2) serve cores.
+  tc.burst_interarrival_cycles = 120.0;
+  tc.mean_on_cycles = 400000.0;
+  tc.mean_off_cycles = 200000.0;
+  tc.classes.default_policy = {/*slo=*/400000, /*priority=*/0};
+  tc.classes.per_workload["prefill_ffn2"] = {/*slo=*/20000000, /*priority=*/1};
+  return tc;
+}
+
+RequestQueue serve_scale_trace(int num_requests) {
+  Rng rng(kServeScaleSeed);
+  return generate_bursty_trace(serve_scale_mix(),
+                               serve_scale_traffic(num_requests), rng);
+}
+
+PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
+                                   int num_threads) {
+  PoolConfig cfg;
+  cfg.fleet = serve_scale_fleet();
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.ready_queue = ready_queue;
+  cfg.num_threads = num_threads;
+  cfg.chunking = ChunkPolicy::kDeadlineAware;
+  cfg.chunk_tiles = 4;
+  // max_batch 8 keeps the backlog deep in *batches* (the unit the ready
+  // queue scales in), not just in requests.
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 20000;
+  cfg.batching.continuous_admission = true;
+  return cfg;
+}
+
 }  // namespace axon::serve

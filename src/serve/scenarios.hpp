@@ -81,4 +81,42 @@ RequestQueue chunked_prefill_trace();
 /// M per chunk on the 32x32 OS-dataflow array).
 PoolConfig chunked_prefill_pool_config(ChunkPolicy chunking);
 
+// ---- serve scale -------------------------------------------------------
+// The production-trace-size scenario: hundreds of thousands of mixed-SLO
+// requests whose arrival rate outruns the fleet, so the ready queue grows
+// thousands of batches deep — exactly the regime where the seed's linear
+// ready-queue scans went quadratic (O(depth) per event) and the indexed
+// serve core stays O(log depth). Both implementations produce bit-identical
+// records on this trace (bench_serve_scale asserts it; serve_scale_test
+// diffs a small variant, 1 vs 8 threads, under TSan); only host wall-clock
+// differs. CI's BENCH_serve.json gates the simulated-cycle metrics of the
+// full-size trace and reports wall_seconds informationally.
+
+inline constexpr std::uint64_t kServeScaleSeed = 424242;
+inline constexpr int kServeScaleRequests = 200000;
+
+/// Four 32x32 Axon members with 16 MiB weight caches — enough capacity
+/// that the backlog oscillates with the bursts instead of diverging
+/// immediately, not enough to keep up inside a burst.
+std::vector<AcceleratorSpec> serve_scale_fleet();
+
+/// Dominant one-token decode shapes (tight interactive SLO, class 0) plus
+/// a 256-token prefill on a distinct (K, N) (loose batch-class SLO) — the
+/// mixed-SLO traffic the scheduler actually has to arbitrate at depth.
+std::vector<GemmWorkload> serve_scale_mix();
+
+/// Bursty arrivals tuned to oscillate the ready queue thousands of
+/// batches deep at the canonical request count.
+BurstyTraceConfig serve_scale_traffic(int num_requests = kServeScaleRequests);
+
+/// The canonical trace those knobs generate (smaller sizes share the seed:
+/// a prefix-like family for the scaling sweep).
+RequestQueue serve_scale_trace(int num_requests = kServeScaleRequests);
+
+/// Pool configuration for the scenario: EDF + continuous admission +
+/// deadline-aware chunking on the 4-member fleet, under the given
+/// ready-queue implementation. `num_threads` only moves wall-clock.
+PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
+                                   int num_threads = 1);
+
 }  // namespace axon::serve

@@ -1,0 +1,256 @@
+#include "serve/sched_index.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace axon::serve {
+
+std::string to_string(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo:
+      return "FIFO";
+    case SchedulePolicy::kShortestJobFirst:
+      return "SJF";
+    case SchedulePolicy::kEarliestDeadlineFirst:
+      return "EDF";
+  }
+  return "?";
+}
+
+std::string to_string(ReadyQueueImpl impl) {
+  switch (impl) {
+    case ReadyQueueImpl::kIndexed:
+      return "indexed";
+    case ReadyQueueImpl::kScanReference:
+      return "scan-reference";
+  }
+  return "?";
+}
+
+bool key_better(SchedulePolicy policy, const PickKey& a, const PickKey& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (policy != SchedulePolicy::kFifo && a.policy_key != b.policy_key) {
+    return a.policy_key < b.policy_key;
+  }
+  if (a.age_cycle != b.age_cycle) return a.age_cycle < b.age_cycle;
+  if (a.open_group != b.open_group) return !a.open_group;
+  if (a.id0 != b.id0) return a.id0 < b.id0;
+  return a.id1 < b.id1;
+}
+
+SchedIndex::SchedIndex(SchedulePolicy policy, ReadyQueueImpl impl,
+                       int max_batch, bool track_joins)
+    : policy_(policy),
+      impl_(impl),
+      max_batch_(max_batch),
+      track_joins_(track_joins) {
+  AXON_CHECK(max_batch_ >= 1, "SchedIndex needs max_batch >= 1");
+}
+
+PickKey SchedIndex::key_of(const Entry& e) const {
+  PickKey k;
+  k.priority = e.batch.top_priority;
+  k.policy_key = policy_ == SchedulePolicy::kShortestJobFirst
+                     ? e.estimate
+                     : (e.batch.earliest_deadline < 0
+                            ? std::numeric_limits<i64>::max()
+                            : e.batch.earliest_deadline);
+  k.age_cycle = e.batch.ready_cycle;
+  k.id0 = e.batch.requests.front().id;
+  return k;
+}
+
+void SchedIndex::push(Batch batch, i64 estimate) {
+  AXON_CHECK(!batch.requests.empty(), "push of an empty batch");
+  cached_best_ = -1;
+  i64 slot;
+  if (free_.empty()) {
+    slot = static_cast<i64>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  e.batch = std::move(batch);
+  e.estimate = estimate;
+  e.seq = next_seq_++;
+  ++e.version;  // retires any heap item left over from the slot's last life
+  e.live = true;
+  e.joinable = false;
+  ++live_;
+  if (e.batch.m_executed > 0) ++partial_;
+  register_join(slot);
+  index_push(slot);
+}
+
+void SchedIndex::index_push(i64 slot) {
+  if (impl_ == ReadyQueueImpl::kScanReference) {
+    order_.push_back(slot);
+    return;
+  }
+  const Entry& e = slots_[static_cast<std::size_t>(slot)];
+  const PickKey key = key_of(e);
+  auto it = heaps_.find(key.priority);
+  if (it == heaps_.end()) {
+    it = heaps_.emplace(key.priority, ClassHeap(WorseThan{policy_})).first;
+  }
+  it->second.push(HeapItem{key, slot, e.version});
+}
+
+void SchedIndex::register_join(i64 slot) {
+  if (!track_joins_) return;
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  if (e.batch.m_executed != 0 || e.batch.size() >= max_batch_) return;
+  joinable_[{e.batch.gemm.K, e.batch.gemm.N}].insert({e.seq, slot});
+  e.joinable = true;
+}
+
+void SchedIndex::unregister_join(i64 slot) {
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  if (!e.joinable) return;
+  const auto it = joinable_.find({e.batch.gemm.K, e.batch.gemm.N});
+  AXON_CHECK(it != joinable_.end(), "join registry out of sync");
+  it->second.erase({e.seq, slot});
+  if (it->second.empty()) joinable_.erase(it);
+  e.joinable = false;
+}
+
+i64 SchedIndex::indexed_best() {
+  for (auto it = heaps_.begin(); it != heaps_.end();) {
+    ClassHeap& heap = it->second;
+    while (!heap.empty()) {
+      const HeapItem& top = heap.top();
+      const Entry& e = slots_[static_cast<std::size_t>(top.slot)];
+      if (!e.live || e.version != top.version) {
+        heap.pop();  // stale: the entry mutated or died since this snapshot
+        continue;
+      }
+      // Classes are strict and the map iterates them ascending, so the
+      // first live top is the global best.
+      return top.slot;
+    }
+    it = heaps_.erase(it);
+  }
+  AXON_CHECK(false, "best() on an empty SchedIndex");
+  return -1;
+}
+
+i64 SchedIndex::scan_best() {
+  AXON_CHECK(!order_.empty(), "best() on an empty SchedIndex");
+  // The seed pick_next_batch, verbatim: linear argmin with keys recomputed
+  // per comparison. First-wins on the (impossible) full tie.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < order_.size(); ++i) {
+    if (key_better(policy_,
+                   key_of(slots_[static_cast<std::size_t>(order_[i])]),
+                   key_of(slots_[static_cast<std::size_t>(order_[best])]))) {
+      best = i;
+    }
+  }
+  return order_[best];
+}
+
+PickKey SchedIndex::best_key() {
+  if (cached_best_ < 0) {
+    cached_best_ = impl_ == ReadyQueueImpl::kIndexed ? indexed_best()
+                                                     : scan_best();
+  }
+  return key_of(slots_[static_cast<std::size_t>(cached_best_)]);
+}
+
+Batch SchedIndex::pop_best() {
+  const i64 slot = cached_best_ >= 0
+                       ? cached_best_
+                       : (impl_ == ReadyQueueImpl::kIndexed ? indexed_best()
+                                                            : scan_best());
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  Batch out = std::move(e.batch);
+  if (impl_ == ReadyQueueImpl::kIndexed) {
+    auto it = heaps_.find(out.top_priority);
+    AXON_CHECK(it != heaps_.end(), "heap for popped class missing");
+    it->second.pop();
+  }
+  erase(slot);
+  return out;
+}
+
+void SchedIndex::erase(i64 slot) {
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  AXON_CHECK(e.live, "erase of a dead slot");
+  cached_best_ = -1;
+  unregister_join(slot);
+  if (e.batch.m_executed > 0) --partial_;
+  e.live = false;
+  ++e.version;
+  e.batch = Batch{};
+  --live_;
+  free_.push_back(slot);
+  if (impl_ == ReadyQueueImpl::kScanReference) {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == slot) {
+        // The seed `ready.erase(...)`: O(n) compaction, order preserved.
+        order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    AXON_CHECK(false, "slot missing from scan order");
+  }
+}
+
+i64 SchedIndex::find_joinable(i64 K, i64 N) {
+  AXON_CHECK(track_joins_, "find_joinable on a non-join SchedIndex");
+  if (impl_ == ReadyQueueImpl::kScanReference) {
+    // The seed join scan, verbatim: first match in ready order.
+    for (const i64 slot : order_) {
+      const Entry& e = slots_[static_cast<std::size_t>(slot)];
+      if (e.batch.m_executed == 0 && e.batch.size() < max_batch_ &&
+          e.batch.gemm.K == K && e.batch.gemm.N == N) {
+        return slot;
+      }
+    }
+    return -1;
+  }
+  const auto it = joinable_.find({K, N});
+  if (it == joinable_.end()) return -1;
+  AXON_CHECK(!it->second.empty(), "empty join bucket left behind");
+  // Buckets hold only live joinable slots, ordered by push seq — the same
+  // batch the seed's first-match scan lands on.
+  return it->second.begin()->second;
+}
+
+Batch& SchedIndex::batch(i64 slot) {
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  AXON_CHECK(e.live, "batch() on a dead slot");
+  return e.batch;
+}
+
+void SchedIndex::joined(i64 slot, i64 new_estimate) {
+  Entry& e = slots_[static_cast<std::size_t>(slot)];
+  AXON_CHECK(e.live && e.joinable, "joined() on a non-joinable slot");
+  cached_best_ = -1;
+  e.estimate = new_estimate;
+  if (e.batch.size() >= max_batch_) unregister_join(slot);
+  if (impl_ == ReadyQueueImpl::kIndexed) {
+    ++e.version;  // the old heap snapshot (pre-absorb key) is now stale
+    index_push(slot);
+  }
+  // Scan mode: nothing to re-key — the entry stays in place in push order
+  // and every scan recomputes keys from the entries (the seed behaviour).
+}
+
+bool SchedIndex::has_partial() const {
+  if (impl_ == ReadyQueueImpl::kScanReference) {
+    // The seed preemption check, verbatim: linear scan per dispatch.
+    for (const i64 slot : order_) {
+      if (slots_[static_cast<std::size_t>(slot)].batch.m_executed > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return partial_ > 0;
+}
+
+}  // namespace axon::serve

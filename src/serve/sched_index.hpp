@@ -1,0 +1,191 @@
+// Inference serving: the ready-queue index. The serve loop (serve/pool)
+// repeatedly asks one question — "which ready batch dispatches next?" —
+// under a strict deterministic ordering: priority class first, then the
+// schedule policy's key (SJF estimate / EDF deadline), then waiting age,
+// then tie-breaks. The seed implementation answered it with a full linear
+// scan per dispatch plus a mid-vector erase, and found continuous-admission
+// join targets with another linear scan per arrival: O(n) per event, O(n^2)
+// per trace in queue depth — fine at 10^3 requests, hopeless at 10^6.
+//
+// SchedIndex keeps the exact same ordering in per-priority-class min-heaps
+// with lazy invalidation (a mutated or popped entry leaves a stale heap
+// item behind; stale items are discarded when they surface), plus a
+// per-(K, N) insertion-ordered registry for join lookups. pick/pop/join
+// become O(log n) amortized. Because the PickKey ordering ends in a unique
+// tie-break (first request id), the heap argmin is the same batch the scan
+// argmin was — the simulated timeline is bit-identical, which is what makes
+// the refactor safely verifiable (tests diff the two implementations).
+//
+// The seed behaviour survives as ReadyQueueImpl::kScanReference: the same
+// interface backed by the original linear scans, kept as the property-test
+// oracle and as the quadratic baseline bench_serve_scale measures against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/batcher.hpp"
+
+namespace axon::serve {
+
+/// Order in which ready batches grab free accelerators. Every policy
+/// first honours priority classes strictly (a lower-class batch never
+/// jumps a higher one), then applies its own key, then breaks remaining
+/// ties by ready cycle and first request id — fully deterministic.
+enum class SchedulePolicy {
+  kFifo,                   ///< by batch ready cycle (then first request id)
+  kShortestJobFirst,       ///< by analytically estimated batch cycles
+  kEarliestDeadlineFirst,  ///< by earliest member SLO deadline; batches
+                           ///< without deadlines go last
+};
+
+std::string to_string(SchedulePolicy policy);
+
+/// Which data structure backs the ready queue. Both produce bit-identical
+/// schedules (the ordering has no ties to break differently); they differ
+/// only in wall-clock complexity.
+enum class ReadyQueueImpl {
+  kIndexed,        ///< per-class heaps + join registry, O(log n) per event
+  kScanReference,  ///< the seed linear scans, O(n) per event — the oracle
+                   ///< the property tests and the scale bench compare
+                   ///< against
+};
+
+std::string to_string(ReadyQueueImpl impl);
+
+/// One ordering for everything an idle accelerator could take — a closed
+/// ready batch or, under continuous admission, a still-open batcher group:
+/// priority class first (strict under every policy), then the policy key,
+/// then waiting age, with deterministic tie-breaks (a ready batch beats an
+/// open group on a full tie — it closed first; id0/id1 make the order
+/// total, so an argmin is unique however it is computed).
+struct PickKey {
+  int priority = 0;
+  i64 policy_key = 0;  ///< SJF estimate / EDF deadline; ignored for FIFO
+  i64 age_cycle = 0;   ///< batch ready cycle, or group oldest admit
+  bool open_group = false;
+  i64 id0 = 0;  ///< first request id (batch) or K (group)
+  i64 id1 = 0;  ///< 0 (batch) or N (group)
+};
+
+/// Strict "a dispatches before b" under `policy`.
+bool key_better(SchedulePolicy policy, const PickKey& a, const PickKey& b);
+
+/// The ready queue: closed batches waiting for a device, ordered by
+/// PickKey. Entries carry the pool's cached SJF estimate so key
+/// comparisons never re-run the cost model.
+class SchedIndex {
+ public:
+  /// `max_batch` bounds join eligibility (a full batch takes no late
+  /// arrivals); `track_joins` enables the (K, N) join registry — pools
+  /// without continuous admission skip the bookkeeping entirely.
+  SchedIndex(SchedulePolicy policy, ReadyQueueImpl impl, int max_batch,
+             bool track_joins);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Adds a closed batch with its cached cost estimate.
+  void push(Batch batch, i64 estimate);
+
+  /// Key of the batch pop_best() would return; requires !empty(). The
+  /// serve loop compares this against open-group keys under continuous
+  /// admission before committing to a pop.
+  [[nodiscard]] PickKey best_key();
+
+  /// Removes and returns the best batch; requires !empty().
+  Batch pop_best();
+
+  /// Continuous-admission join target: the earliest-pushed live batch with
+  /// matching (K, N), unfrozen membership (m_executed == 0), and a spare
+  /// seat — exactly the "first match in ready order" the seed scan picked.
+  /// Returns a slot handle, or -1 when none qualifies. The caller absorbs
+  /// the request into batch(slot) and then must call joined(slot, ...) to
+  /// restore the index invariants.
+  [[nodiscard]] i64 find_joinable(i64 K, i64 N);
+
+  /// Mutable access to a batch returned by find_joinable.
+  [[nodiscard]] Batch& batch(i64 slot);
+
+  /// Re-keys `slot` after an absorb (the merged M grew, the deadline or
+  /// priority may have tightened) and retires its join eligibility when
+  /// the batch reached max_batch.
+  void joined(i64 slot, i64 new_estimate);
+
+  /// True when any queued batch is partially executed (m_executed > 0) —
+  /// the condition under which dispatching *another* batch counts as a
+  /// realized tile-granular preemption.
+  [[nodiscard]] bool has_partial() const;
+
+ private:
+  struct Entry {
+    Batch batch;
+    i64 estimate = 0;
+    std::uint64_t seq = 0;   ///< global push order; join ties resolve by it
+    std::uint32_t version = 0;  ///< bumped on every mutation (lazy invalid.)
+    bool live = false;
+    bool joinable = false;
+  };
+
+  /// Heap item: a snapshot of the entry's key at push/re-key time. A
+  /// version mismatch at pop time means the entry mutated (or died) since
+  /// — the item is stale and discarded.
+  struct HeapItem {
+    PickKey key;
+    i64 slot = 0;
+    std::uint32_t version = 0;
+  };
+  struct WorseThan {
+    SchedulePolicy policy;
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return key_better(policy, b.key, a.key);
+    }
+  };
+  using ClassHeap =
+      std::priority_queue<HeapItem, std::vector<HeapItem>, WorseThan>;
+
+  [[nodiscard]] PickKey key_of(const Entry& e) const;
+  void index_push(i64 slot);
+  void register_join(i64 slot);
+  void unregister_join(i64 slot);
+  /// Indexed mode: discards stale heap tops and returns the slot of the
+  /// best live entry (lowest nonempty class heap's top).
+  i64 indexed_best();
+  /// Scan mode: the seed pick_next_batch — linear argmin over push order.
+  i64 scan_best();
+  void erase(i64 slot);
+
+  SchedulePolicy policy_;
+  ReadyQueueImpl impl_;
+  int max_batch_;
+  bool track_joins_;
+
+  std::vector<Entry> slots_;
+  std::vector<i64> free_;
+  std::size_t live_ = 0;
+  std::size_t partial_ = 0;  ///< live entries with m_executed > 0
+  std::uint64_t next_seq_ = 0;
+  /// Slot best_key() last resolved, reused by pop_best() so a key-peek
+  /// followed by a pop costs one search, not two (the seed's pick scan
+  /// ran once per dispatch; the scan-reference mode must match that cost
+  /// profile exactly to stay an honest quadratic baseline). Invalidated
+  /// by any mutation.
+  i64 cached_best_ = -1;
+
+  // kIndexed: one min-heap per priority class, keyed by PickKey snapshots.
+  std::map<int, ClassHeap> heaps_;
+  // Join registry: per (K, N), live joinable slots in push order.
+  std::map<std::pair<i64, i64>, std::set<std::pair<std::uint64_t, i64>>>
+      joinable_;
+
+  // kScanReference: slots in push order (the seed `ready` vector).
+  std::vector<i64> order_;
+};
+
+}  // namespace axon::serve

@@ -53,6 +53,11 @@ class Histogram {
     sorted_ = false;
   }
 
+  /// Pre-sizes sample storage — serving reports know the record count
+  /// before filling histograms, and million-sample traces should not pay
+  /// realloc-and-copy churn on the way up.
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   void merge(const Histogram& other);
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }

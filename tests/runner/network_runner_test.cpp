@@ -59,6 +59,32 @@ TEST(NetworkRunnerTest, OneByOneLayersShowNoTrafficReduction) {
   }
 }
 
+TEST(NetworkRunnerTest, ParallelAnalysisIsThreadCountInvariant) {
+  // Whole-network analysis fans layers out across the thread pool; the
+  // report — per-layer rows, row order, totals, derived ratios — must be
+  // identical for any thread count.
+  const NetworkReport serial =
+      analyze_network("ResNet50", resnet50_conv_layers(), 64, 1);
+  const NetworkReport parallel =
+      analyze_network("ResNet50", resnet50_conv_layers(), 64, 8);
+  ASSERT_EQ(serial.layers.size(), parallel.layers.size());
+  for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+    EXPECT_EQ(serial.layers[i].name, parallel.layers[i].name);
+    EXPECT_EQ(serial.layers[i].sa_cycles, parallel.layers[i].sa_cycles);
+    EXPECT_EQ(serial.layers[i].axon_cycles, parallel.layers[i].axon_cycles);
+    EXPECT_EQ(serial.layers[i].sw_traffic.total(),
+              parallel.layers[i].sw_traffic.total());
+    EXPECT_EQ(serial.layers[i].axon_traffic.total(),
+              parallel.layers[i].axon_traffic.total());
+  }
+  EXPECT_EQ(serial.total_sa_cycles, parallel.total_sa_cycles);
+  EXPECT_EQ(serial.total_axon_cycles, parallel.total_axon_cycles);
+  EXPECT_EQ(serial.total_sw_bytes, parallel.total_sw_bytes);
+  EXPECT_EQ(serial.total_axon_bytes, parallel.total_axon_bytes);
+  EXPECT_EQ(serial.compute_speedup, parallel.compute_speedup);
+  EXPECT_EQ(serial.roofline_speedup, parallel.roofline_speedup);
+}
+
 TEST(NetworkRunnerTest, CsvHasHeaderRowsAndTotals) {
   const NetworkReport r =
       analyze_network("EffNet", efficientnet_b0_layers(), 32);

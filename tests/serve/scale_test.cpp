@@ -1,0 +1,106 @@
+// The serve_scale scenario, test-sized: a small variant of the canonical
+// production-trace-size scenario (serve/scenarios serve_scale_*) deep
+// enough to oscillate the ready queue hundreds of batches deep, diffed
+// record-by-record (1) between the indexed serve core and the seed's
+// scan-reference scheduler and (2) between 1 and 8 worker threads — the
+// latter under TSan in CI (this suite matches the serve_ filter). Plus the
+// overflow-safe to_fleet_cycles boundary cases the scale regime motivated.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+// Big enough for thousands of events and a deep backlog, small enough for
+// a sanitizer-instrumented run.
+constexpr int kTestRequests = 3000;
+
+ServeReport serve_scale(ReadyQueueImpl impl, int threads) {
+  return AcceleratorPool(serve_scale_pool_config(impl, threads))
+      .serve(serve_scale_trace(kTestRequests));
+}
+
+void expect_identical_records(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord& x = a.records[i];
+    const RequestRecord& y = b.records[i];
+    // Per-field first so a divergence names the field...
+    ASSERT_EQ(x.id, y.id);
+    EXPECT_EQ(x.workload, y.workload);
+    EXPECT_EQ(x.gemm, y.gemm);
+    EXPECT_EQ(x.arrival_cycle, y.arrival_cycle);
+    EXPECT_EQ(x.dispatch_cycle, y.dispatch_cycle);
+    EXPECT_EQ(x.completion_cycle, y.completion_cycle);
+    EXPECT_EQ(x.deadline_cycle, y.deadline_cycle);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.batch_size, y.batch_size);
+    EXPECT_EQ(x.batch_chunks, y.batch_chunks);
+    EXPECT_EQ(x.accelerator, y.accelerator);
+    // ...then the all-fields operator== as the completeness backstop (a
+    // field added to RequestRecord but not the list above still diffs).
+    ASSERT_EQ(x, y) << "record " << i;
+  }
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_batches, b.total_batches);
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST(ServeScaleTest, IndexedMatchesScanReferenceRecordForRecord) {
+  const ServeReport indexed = serve_scale(ReadyQueueImpl::kIndexed, 1);
+  const ServeReport scan = serve_scale(ReadyQueueImpl::kScanReference, 1);
+  ASSERT_EQ(indexed.records.size(),
+            static_cast<std::size_t>(kTestRequests));
+  expect_identical_records(indexed, scan);
+  // The scenario actually exercises the deep-queue machinery: multi-chunk
+  // dispatch, realized preemptions, continuous-admission joins.
+  EXPECT_GT(indexed.total_chunks, indexed.total_batches);
+  EXPECT_GT(indexed.preemptions, 0);
+}
+
+TEST(ServeScaleTest, ThreadCountInvariantOnTheScaleScenario) {
+  // 1 vs 8 worker threads on the indexed core: the simulated timeline is
+  // a pure function of the trace — TSan watches this one in CI.
+  expect_identical_records(serve_scale(ReadyQueueImpl::kIndexed, 1),
+                           serve_scale(ReadyQueueImpl::kIndexed, 8));
+}
+
+TEST(ToFleetCyclesTest, ExactCeilDivisionAtOrdinaryMagnitudes) {
+  EXPECT_EQ(to_fleet_cycles(0, 1000), 0);
+  EXPECT_EQ(to_fleet_cycles(1000, 1000), 1000);
+  EXPECT_EQ(to_fleet_cycles(1000, 2000), 500);
+  EXPECT_EQ(to_fleet_cycles(1001, 2000), 501);  // ceil, not floor
+  EXPECT_EQ(to_fleet_cycles(3, 4000), 1);
+}
+
+TEST(ToFleetCyclesTest, WideIntermediateSurvivesTheI64Boundary) {
+  // device_cycles * kRefClockMhz here is ~9.3e18 — past i64 — but the
+  // converted result fits comfortably. The seed implementation wrapped to
+  // a negative timeline on exactly this input.
+  const i64 big = 9'300'000'000'000'000;  // 9.3e15 device cycles
+  EXPECT_EQ(to_fleet_cycles(big, 2000), big / 2);
+  // Boundary: the largest device count whose conversion still fits at a
+  // 1 MHz clock (scale factor 1000).
+  const i64 max = std::numeric_limits<i64>::max();
+  const i64 largest_fitting = max / 1000;
+  EXPECT_EQ(to_fleet_cycles(largest_fitting, 1000 * 1000),
+            ceil_div(largest_fitting, 1000));
+}
+
+TEST(ToFleetCyclesTest, GenuineOverflowFailsLoudly) {
+  // A result that truly exceeds i64 must AXON_CHECK, not wrap: 9e18
+  // device cycles on a 1 MHz device is 9e21 fleet cycles.
+  const i64 huge = std::numeric_limits<i64>::max() / 2;
+  EXPECT_THROW(to_fleet_cycles(huge, 1), CheckError);
+  EXPECT_THROW(to_fleet_cycles(-1, 1000), CheckError);
+  EXPECT_THROW(to_fleet_cycles(1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -1,0 +1,216 @@
+// SchedIndex: the O(log n) ready queue must be *indistinguishable* from
+// the seed's linear scans. The property test drives both implementations
+// through identical randomized push / pop / join interleavings — batches
+// and open-group-style mixes across priorities, deadlines, estimates, and
+// partially executed re-queues — under all three policies, and requires
+// the same batch back from every operation. Plus directed tests for the
+// index mechanics the fuzz can miss: lazy invalidation across class moves,
+// join-registry retirement at max_batch, and partial-batch tracking.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "serve/sched_index.hpp"
+
+namespace axon::serve {
+namespace {
+
+Request make_request(i64 id, const GemmShape& gemm, i64 arrival,
+                     i64 deadline = -1, int priority = 0) {
+  Request r;
+  r.id = id;
+  r.workload = "w";
+  r.gemm = gemm;
+  r.arrival_cycle = arrival;
+  r.deadline_cycle = deadline;
+  r.priority = priority;
+  return r;
+}
+
+Batch make_batch(i64 first_id, const GemmShape& gemm, i64 ready_cycle,
+                 i64 deadline = -1, int priority = 0, i64 m_executed = 0) {
+  Batch b;
+  b.gemm = gemm;
+  b.ready_cycle = ready_cycle;
+  b.earliest_deadline = deadline;
+  b.top_priority = priority;
+  b.m_executed = m_executed;
+  b.requests.push_back(make_request(first_id, gemm, ready_cycle, deadline,
+                                    priority));
+  return b;
+}
+
+TEST(SchedIndexTest, PriorityClassesAreStrictUnderEveryPolicy) {
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst,
+        SchedulePolicy::kEarliestDeadlineFirst}) {
+    SchedIndex idx(policy, ReadyQueueImpl::kIndexed, /*max_batch=*/8,
+                   /*track_joins=*/false);
+    // Class-1 batch is older, cheaper, and has the earlier deadline — the
+    // class-0 batch must still pop first under every policy.
+    idx.push(make_batch(0, {4, 16, 16}, /*ready=*/0, /*deadline=*/100,
+                        /*priority=*/1),
+             /*estimate=*/10);
+    idx.push(make_batch(1, {64, 64, 64}, /*ready=*/50, /*deadline=*/5000,
+                        /*priority=*/0),
+             /*estimate=*/100000);
+    EXPECT_EQ(idx.pop_best().requests.front().id, 1) << to_string(policy);
+    EXPECT_EQ(idx.pop_best().requests.front().id, 0);
+    EXPECT_TRUE(idx.empty());
+  }
+}
+
+TEST(SchedIndexTest, LazyInvalidationSurvivesAClassMove) {
+  // A join that tightens priority moves the entry to another class heap;
+  // the stale snapshot left in the old heap must not resurface.
+  SchedIndex idx(SchedulePolicy::kEarliestDeadlineFirst,
+                 ReadyQueueImpl::kIndexed, /*max_batch=*/8,
+                 /*track_joins=*/true);
+  idx.push(make_batch(0, {1, 16, 32}, 0, /*deadline=*/-1, /*priority=*/2), 50);
+  idx.push(make_batch(1, {1, 16, 48}, 0, /*deadline=*/-1, /*priority=*/1), 50);
+  const i64 slot = idx.find_joinable(16, 32);
+  ASSERT_GE(slot, 0);
+  // The absorbed request carries priority 0 and a deadline: the batch now
+  // outranks everything.
+  idx.batch(slot).absorb(make_request(2, {1, 16, 32}, 10, /*deadline=*/500,
+                                      /*priority=*/0));
+  idx.joined(slot, 80);
+  EXPECT_EQ(idx.pop_best().requests.front().id, 0);
+  EXPECT_EQ(idx.pop_best().requests.front().id, 1);
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(SchedIndexTest, JoinRegistryRetiresFullAndPartialBatches) {
+  SchedIndex idx(SchedulePolicy::kFifo, ReadyQueueImpl::kIndexed,
+                 /*max_batch=*/2, /*track_joins=*/true);
+  // A partially executed batch is never joinable.
+  idx.push(make_batch(0, {8, 16, 32}, 0, -1, 0, /*m_executed=*/4), 10);
+  EXPECT_LT(idx.find_joinable(16, 32), 0);
+  EXPECT_TRUE(idx.has_partial());
+  // A fresh batch is joinable until it reaches max_batch.
+  idx.push(make_batch(1, {1, 16, 32}, 5), 10);
+  const i64 slot = idx.find_joinable(16, 32);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(idx.batch(slot).requests.front().id, 1);
+  idx.batch(slot).absorb(make_request(2, {1, 16, 32}, 10));
+  idx.joined(slot, 20);  // size hit max_batch=2: no longer joinable
+  EXPECT_LT(idx.find_joinable(16, 32), 0);
+  idx.pop_best();
+  idx.pop_best();
+  EXPECT_FALSE(idx.has_partial());
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(SchedIndexTest, JoinFindsTheEarliestPushedMatch) {
+  // Several joinable batches share (K, N): the join must land on the
+  // earliest-pushed one — the seed scan's first match in ready order —
+  // regardless of scheduling keys.
+  for (const ReadyQueueImpl impl :
+       {ReadyQueueImpl::kIndexed, ReadyQueueImpl::kScanReference}) {
+    SchedIndex idx(SchedulePolicy::kShortestJobFirst, impl, /*max_batch=*/8,
+                   /*track_joins=*/true);
+    idx.push(make_batch(0, {1, 16, 32}, 0), /*estimate=*/900);
+    idx.push(make_batch(1, {1, 16, 32}, 1), /*estimate=*/5);
+    idx.push(make_batch(2, {1, 16, 32}, 2), /*estimate=*/1);
+    const i64 slot = idx.find_joinable(16, 32);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(idx.batch(slot).requests.front().id, 0) << to_string(impl);
+  }
+}
+
+// ---- the property test ------------------------------------------------
+
+/// Drives indexed and scan-reference through an identical randomized op
+/// sequence and asserts every observable answer matches.
+void fuzz_against_reference(SchedulePolicy policy, std::uint64_t seed) {
+  constexpr int kMaxBatch = 4;
+  SchedIndex indexed(policy, ReadyQueueImpl::kIndexed, kMaxBatch, true);
+  SchedIndex scan(policy, ReadyQueueImpl::kScanReference, kMaxBatch, true);
+  Rng rng(seed);
+  // A small (K, N) universe so joins and key collisions actually happen.
+  const std::vector<std::pair<i64, i64>> shapes = {
+      {16, 32}, {16, 48}, {64, 64}};
+  i64 next_id = 0;
+  std::size_t live = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const int action = rng.uniform_int(0, 99);
+    if (action < 45 || live == 0) {
+      const auto [K, N] = shapes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(shapes.size()) - 1))];
+      const i64 M = rng.uniform_int(1, 64);
+      const i64 ready = rng.uniform_int(0, 500);  // dense: forces ties
+      const i64 deadline = rng.bernoulli(0.5)
+                               ? ready + rng.uniform_int(0, 400)
+                               : -1;
+      const int priority = rng.uniform_int(0, 2);
+      const i64 m_executed =
+          rng.bernoulli(0.2) ? rng.uniform_int(1, static_cast<int>(M)) - 1
+                             : 0;
+      Batch b = make_batch(next_id++, {M, K, N}, ready, deadline, priority,
+                           m_executed);
+      const i64 estimate = rng.uniform_int(1, 300);  // dense: forces ties
+      Batch b2 = b;  // identical copy for the reference
+      indexed.push(std::move(b), estimate);
+      scan.push(std::move(b2), estimate);
+      ++live;
+    } else if (action < 70) {
+      const PickKey a = indexed.best_key();
+      const PickKey b = scan.best_key();
+      EXPECT_FALSE(key_better(policy, a, b) || key_better(policy, b, a))
+          << "best_key diverged at op " << op;
+      const Batch x = indexed.pop_best();
+      const Batch y = scan.pop_best();
+      ASSERT_EQ(x.requests.front().id, y.requests.front().id)
+          << "pop order diverged at op " << op << " under "
+          << to_string(policy);
+      ASSERT_EQ(x.gemm, y.gemm);
+      ASSERT_EQ(x.m_executed, y.m_executed);
+      --live;
+    } else if (action < 90) {
+      const auto [K, N] = shapes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(shapes.size()) - 1))];
+      const i64 sx = indexed.find_joinable(K, N);
+      const i64 sy = scan.find_joinable(K, N);
+      ASSERT_EQ(sx >= 0, sy >= 0) << "join hit/miss diverged at op " << op;
+      if (sx >= 0) {
+        ASSERT_EQ(indexed.batch(sx).requests.front().id,
+                  scan.batch(sy).requests.front().id)
+            << "join target diverged at op " << op;
+        const Request r = make_request(next_id++, {1, K, N}, 600,
+                                       rng.bernoulli(0.5) ? 700 : -1,
+                                       rng.uniform_int(0, 2));
+        const i64 estimate = rng.uniform_int(1, 300);
+        indexed.batch(sx).absorb(r);
+        scan.batch(sy).absorb(r);
+        indexed.joined(sx, estimate);
+        scan.joined(sy, estimate);
+      }
+    } else {
+      EXPECT_EQ(indexed.has_partial(), scan.has_partial());
+      EXPECT_EQ(indexed.size(), scan.size());
+    }
+  }
+  // Drain: the full remaining pop order must agree.
+  while (!scan.empty()) {
+    ASSERT_EQ(indexed.pop_best().requests.front().id,
+              scan.pop_best().requests.front().id);
+  }
+  EXPECT_TRUE(indexed.empty());
+}
+
+TEST(SchedIndexPropertyTest, FifoMatchesReference) {
+  fuzz_against_reference(SchedulePolicy::kFifo, 0xF1F0);
+}
+
+TEST(SchedIndexPropertyTest, SjfMatchesReference) {
+  fuzz_against_reference(SchedulePolicy::kShortestJobFirst, 0x51F);
+}
+
+TEST(SchedIndexPropertyTest, EdfMatchesReference) {
+  fuzz_against_reference(SchedulePolicy::kEarliestDeadlineFirst, 0xEDF);
+}
+
+}  // namespace
+}  // namespace axon::serve
