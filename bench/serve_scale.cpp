@@ -25,17 +25,29 @@
 //                                (e.g. 1000000 for a million-request
 //                                indexed sweep; the quadratic comparison
 //                                stays capped at the canonical 200k)
+//   --trace PATH                 instead of the study, run a small (3k
+//                                request) variant of the scenario with a
+//                                Chrome-trace TraceSink attached and the
+//                                serve-loop self-profiler on; writes the
+//                                timeline JSON to PATH (chrome://tracing /
+//                                ui.perfetto.dev). CI validates this
+//                                artifact with scripts/validate_trace.py.
+//   --metrics-json PATH          with or without --trace: same small run,
+//                                dumps the obs/metrics registry snapshot
 //
 // CI's gated simulated-cycle metrics for this scenario come from
 // bench_serve_throughput --smoke --json (same canonical trace, same
 // numbers); this binary is the wall-clock study and the cross-check.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "serve/scenarios.hpp"
 
@@ -124,11 +136,56 @@ int compare_impls(int requests, double min_speedup) {
   return 0;
 }
 
+/// Observability mode: a small (3k request) variant of the scale scenario
+/// with the trace sink and metrics registry attached and the serve-loop
+/// self-profiler on. Small because a trace is ~one JSON object per event —
+/// at 3k requests the timeline is a few MB and loads instantly in the
+/// viewers; the full 200k study would be a gigabyte of JSON nobody can
+/// open. Same config and trace family as serve_trace_test, so the artifact
+/// CI uploads is the exact timeline the determinism test byte-diffs.
+int run_traced(const std::string& trace_path,
+               const std::string& metrics_path) {
+  constexpr int kTracedRequests = 3000;
+  PoolConfig cfg = serve_scale_pool_config(ReadyQueueImpl::kIndexed);
+  cfg.self_profile = true;
+  AcceleratorPool pool(cfg);
+  obs::TraceSink trace;
+  obs::MetricsRegistry registry;
+  obs::MetricsProbe metrics(&registry);
+  if (!trace_path.empty()) pool.add_probe(&trace);
+  if (!metrics_path.empty()) pool.add_probe(&metrics);
+  const ServeReport r = pool.serve(serve_scale_trace(kTracedRequests));
+  std::cout << "serve_scale traced run (" << kTracedRequests
+            << " requests):\n"
+            << r.summary();
+  if (!trace_path.empty()) {
+    if (!trace.write_file(trace_path)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << trace_path << " (" << trace.num_events()
+              << " events; load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    registry.write_json(os);
+    std::cout << (trace_path.empty() ? "\n" : "") << "wrote " << metrics_path
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   int full = kServeScaleRequests;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -139,10 +196,18 @@ int main(int argc, char** argv) {
         std::cerr << "--requests needs a sensible size\n";
         return 2;
       }
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_serve_scale [--smoke] [--requests N]\n";
+      std::cerr << "usage: bench_serve_scale [--smoke] [--requests N] "
+                   "[--trace PATH] [--metrics-json PATH]\n";
       return 2;
     }
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    return run_traced(trace_path, metrics_path);
   }
 
   if (smoke) {

@@ -17,6 +17,7 @@
 
 #include "bench/bench_common.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
 #include "serve/scenarios.hpp"
@@ -243,6 +244,11 @@ BENCHMARK(bench_serve_cycle_accurate)
 struct Scenario {
   std::string name;
   ServeReport report;
+  /// Extra per-scenario JSON metrics as (key, pre-rendered value) pairs —
+  /// registry counts and self-profile wall times for serve_scale_200k.
+  /// Wall-clock keys carry the "wall_" prefix, which
+  /// scripts/compare_bench.py treats as informational by construction.
+  std::vector<std::pair<std::string, std::string>> extra;
 };
 
 /// Short deterministic scenario set: every metric below is in simulated
@@ -274,11 +280,33 @@ std::vector<Scenario> smoke_scenarios() {
   // 200k mixed-SLO requests through the indexed serve core. Simulated
   // metrics gate like every other scenario; its wall_seconds rides along
   // informationally as the scale trajectory (bench_serve_scale is the
-  // full wall-clock study incl. the quadratic baseline).
-  out.push_back({"serve_scale_200k",
-                 AcceleratorPool(
-                     serve_scale_pool_config(ReadyQueueImpl::kIndexed))
-                     .serve(serve_scale_trace())});
+  // full wall-clock study incl. the quadratic baseline). This scenario
+  // also carries the obs instrumentation: deterministic metrics-registry
+  // counts (joins/requeues/deadline misses — informational, the cycle
+  // gates already police behaviour) and the serve-loop self-profile
+  // ("wall_phase_*", host wall-clock, never gated).
+  {
+    PoolConfig cfg = serve_scale_pool_config(ReadyQueueImpl::kIndexed);
+    cfg.self_profile = true;
+    AcceleratorPool pool(cfg);
+    obs::MetricsRegistry registry;
+    obs::MetricsProbe metrics(&registry);
+    pool.add_probe(&metrics);
+    Scenario s{"serve_scale_200k", pool.serve(serve_scale_trace()), {}};
+    for (const char* key : {"joins", "requeues", "deadline_misses"}) {
+      s.extra.emplace_back(
+          key, std::to_string(
+                   registry.counter_value(std::string("serve.") + key)));
+    }
+    const obs::PhaseProfile& prof = s.report.phase_profile;
+    for (std::size_t i = 0; i < obs::kNumServePhases; ++i) {
+      s.extra.emplace_back(
+          std::string("wall_phase_") +
+              to_string(static_cast<obs::ServePhase>(i)) + "_seconds",
+          fmt_double(prof.phases[i].seconds, 4));
+    }
+    out.push_back(std::move(s));
+  }
   return out;
 }
 
@@ -327,7 +355,13 @@ int run_smoke(const std::string& json_path) {
          << "      \"fleet_utilization_pct\": "
          << fmt_double(100.0 * r.fleet_utilization(), 2) << ",\n"
          << "      \"weight_cache_hit_pct\": "
-         << fmt_double(fleet_cache_hit_pct(r), 2) << ",\n"
+         << fmt_double(fleet_cache_hit_pct(r), 2) << ",\n";
+      // Scenario-specific extras (pre-rendered values): registry counts
+      // and "wall_phase_*" self-profile seconds for serve_scale_200k.
+      for (const auto& [key, value] : scenarios[i].extra) {
+        os << "      \"" << key << "\": " << value << ",\n";
+      }
+      os
          // Host wall time per scenario: the one nondeterministic metric,
          // listed in scripts/compare_bench.py's informational set so it
          // never gates — it is the scale trajectory, not a pass/fail.

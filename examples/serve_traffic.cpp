@@ -3,6 +3,7 @@
 // pool of simulated Axon accelerators, and report fleet latency/throughput.
 //
 //   $ ./serve_traffic
+//   $ ./serve_traffic --trace trace.json --metrics-json metrics.json
 //
 // Sweeps the two serving knobs (max batch size, pool size), compares FIFO
 // with shortest-job-first, runs the deadline-aware scenario (bursty mixed
@@ -11,10 +12,20 @@
 // members with per-device weight caches) under cost-aware routing vs
 // round-robin, and demonstrates the determinism contract: the
 // simulated-cycle percentiles are identical for 1 and 8 worker threads.
+//
+// With --trace PATH the final reference run also renders a Chrome
+// trace-event timeline (open it in chrome://tracing or
+// https://ui.perfetto.dev — see README "Tracing a serve run"); with
+// --metrics-json PATH it dumps the obs/metrics registry snapshot. Both are
+// passive observers: the simulated cycles are identical with and without.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
 #include "serve/scenarios.hpp"
@@ -64,7 +75,22 @@ void add_row(Table& t, const std::string& label, const ServeReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: serve_traffic [--trace PATH] "
+                   "[--metrics-json PATH]\n";
+      return 2;
+    }
+  }
+
   const int kRequests = 256;
   const double kMeanGap = 30000.0;  // cycles between arrivals (open loop)
 
@@ -396,8 +422,34 @@ int main() {
   }
 
   // ---- one full report -----------------------------------------------
-  const ServeReport r =
-      AcceleratorPool(base_config()).serve(make_trace(kRequests, kMeanGap));
+  // The reference run carries the observability hooks: a TraceSink when
+  // --trace was given, a MetricsProbe when --metrics-json was. Probes are
+  // passive — the summary below matches the flagless run byte for byte.
+  AcceleratorPool pool(base_config());
+  obs::TraceSink trace;
+  obs::MetricsRegistry registry;
+  obs::MetricsProbe metrics(&registry);
+  if (!trace_path.empty()) pool.add_probe(&trace);
+  if (!metrics_path.empty()) pool.add_probe(&metrics);
+  const ServeReport r = pool.serve(make_trace(kRequests, kMeanGap));
   std::cout << "Reference configuration summary:\n" << r.summary();
+  if (!trace_path.empty()) {
+    if (!trace.write_file(trace_path)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << trace_path << " (" << trace.num_events()
+              << " events; load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    registry.write_json(os);
+    std::cout << (trace_path.empty() ? "\n" : "") << "wrote " << metrics_path
+              << "\n";
+  }
   return 0;
 }

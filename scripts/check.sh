@@ -6,6 +6,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# The bench-regression gate polices CI; its own logic is unit-tested
+# first so a bug in the gate cannot silently wave regressions through.
+python3 scripts/compare_bench.py --self-test
+
 cmake -B build -S .
 cmake --build build -j
 # An explicit job count keeps this working on ctest < 3.29, where -j

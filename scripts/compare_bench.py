@@ -4,23 +4,30 @@ checked-in baseline (bench/baselines/BENCH_serve.json).
 
 Every gated metric is in simulated cycles (deterministic on any host and
 thread count), so any delta is a real behaviour change, not noise; a gated
-metric fails when it regresses by more than the tolerance (default 2%).
-Metrics in the explicit informational list — counts (requests, batches,
-chunks, preemptions) and host wall-clock (wall_seconds, noisy by nature)
-— are printed for the trajectory but can never fail the gate, and so can
+metric fails when it regresses by more than the tolerance (default 2%),
+and when it is *missing* from either file — a silently vanished gate is a
+gate that can never fire again. Metrics in the explicit informational list
+— counts (requests, batches, chunks, preemptions) and host wall-clock
+(wall_seconds and every "wall_"-prefixed key, noisy by nature) — are
+printed for the trajectory but can never fail the gate, and so can
 unclassified metrics. Intentional changes update the baseline in the same
 PR.
 
 Usage:
   scripts/compare_bench.py BASELINE CURRENT [--tolerance-pct 2.0]
+  scripts/compare_bench.py --self-test
 
 Exit status: 0 = within tolerance, 1 = regression (or malformed/missing
-scenario), 2 = usage error.
+scenario/missing gated metric, or self-test failure), 2 = usage error.
 """
 
 import argparse
+import contextlib
+import io
 import json
+import os
 import sys
+import tempfile
 
 # Gated metrics: name -> "good" direction. Every one is in simulated
 # cycles, so a regression is a real behaviour change. Keep this in sync
@@ -38,10 +45,12 @@ GATED_METRICS = {
 # NEVER a gate. Two families live here: counts (a count change is a
 # behaviour change, but the cycle metrics above already catch harmful
 # ones) and host wall-clock (nondeterministic across runners — wall noise
-# must never fail CI). A metric that appears in the JSON but in neither
-# list is treated as informational too, with a note, so adding a metric to
-# the bench without updating this script can loosen the gate but never
-# flake it.
+# must never fail CI; any "wall_"-prefixed key is informational by
+# construction, so the bench can grow self-profile keys without touching
+# this script). A metric that appears in the JSON but in neither list is
+# treated as informational too, with a note, so adding a metric to the
+# bench without updating this script can loosen the gate but never flake
+# it.
 INFORMATIONAL_METRICS = {
     "requests",
     "batches",
@@ -50,7 +59,16 @@ INFORMATIONAL_METRICS = {
     "fleet_utilization_pct",  # higher is not always better: a faster
     # fleet idles more on the same open-loop trace
     "wall_seconds",
+    # obs/metrics registry counts published by serve_scale_200k:
+    # deterministic, but count shifts are a trajectory, not a gate.
+    "joins",
+    "requeues",
+    "deadline_misses",
 }
+
+
+def is_informational(metric):
+    return metric in INFORMATIONAL_METRICS or metric.startswith("wall_")
 
 
 def load_scenarios(path):
@@ -81,15 +99,10 @@ def regression_pct(direction, base, cur):
     return change if direction == "lower" else -change
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance-pct", type=float, default=2.0)
-    args = parser.parse_args()
-
-    base = load_scenarios(args.baseline)
-    cur = load_scenarios(args.current)
+def compare(baseline_path, current_path, tolerance_pct):
+    """The whole gate; returns the process exit code (0 ok, 1 fail)."""
+    base = load_scenarios(baseline_path)
+    cur = load_scenarios(current_path)
 
     failures = []
     rows = []
@@ -97,14 +110,29 @@ def main():
     for name, b in base.items():
         c = cur.get(name)
         if c is None:
-            failures.append(f"scenario '{name}' missing from {args.current}")
+            failures.append(f"scenario '{name}' missing from {current_path}")
             continue
+        # Every gated metric must exist on both sides: a gate that quietly
+        # disappears from the bench (or was never in the baseline) is a
+        # gate that can never fire again, so its absence fails loudly,
+        # naming the side that lost it.
+        for metric in GATED_METRICS:
+            for side, doc, path in (("baseline", b, baseline_path),
+                                    ("current", c, current_path)):
+                if metric not in doc:
+                    failures.append(
+                        f"{name}.{metric}: gated metric missing from "
+                        f"{side} ({path}) — gated metrics may not vanish; "
+                        "if renamed/removed intentionally, update "
+                        "GATED_METRICS in scripts/compare_bench.py and "
+                        "refresh the baseline in the same PR"
+                    )
         metrics = [k for k in b if k != "name"]
         for metric in metrics:
             direction = GATED_METRICS.get(metric)
             if (
                 direction is None
-                and metric not in INFORMATIONAL_METRICS
+                and not is_informational(metric)
                 and metric not in warned_metrics
             ):
                 warned_metrics.add(metric)
@@ -113,9 +141,8 @@ def main():
                     "informational (add it to scripts/compare_bench.py)"
                 )
             if metric not in c:
-                if direction is None:
-                    continue  # a vanished informational metric never gates
-                failures.append(f"{name}.{metric} missing from current run")
+                # Gated absences were reported above; informational ones
+                # never gate.
                 continue
             bv, cv = b[metric], c[metric]
             delta = cv - bv
@@ -125,11 +152,11 @@ def main():
                 if direction is not None
                 else 0.0
             )
-            bad = reg > args.tolerance_pct
+            bad = reg > tolerance_pct
             if bad:
                 failures.append(
                     f"{name}.{metric}: {bv} -> {cv} "
-                    f"({reg:+.2f}% worse, tolerance {args.tolerance_pct}%)"
+                    f"({reg:+.2f}% worse, tolerance {tolerance_pct}%)"
                 )
             rows.append((name, metric, bv, cv, delta, pct, direction, bad))
     for name in cur:
@@ -154,15 +181,113 @@ def main():
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s) beyond "
-              f"{args.tolerance_pct}%:")
+              f"{tolerance_pct}%:")
         for f in failures:
             print(f"  - {f}")
         print("\nIf this change is intentional, refresh the baseline in "
               "this PR:\n  ./build-bench/bench_serve_throughput --smoke "
               "--json bench/baselines/BENCH_serve.json")
         return 1
-    print(f"\nOK: all gated metrics within {args.tolerance_pct}% of baseline")
+    print(f"\nOK: all gated metrics within {tolerance_pct}% of baseline")
     return 0
+
+
+# ---- self-test ----------------------------------------------------------
+
+
+def _scenario(**overrides):
+    s = {
+        "name": "s",
+        "requests": 100,
+        "makespan_cycles": 1000,
+        "throughput_per_mcycle": 10.0,
+        "latency_p50_cycles": 50,
+        "latency_p99_cycles": 200,
+        "slo_attainment_pct": 99.0,
+        "weight_cache_hit_pct": 80.0,
+        "wall_seconds": 1.0,
+    }
+    s.update(overrides)
+    return s
+
+
+def _run_case(label, base_scenario, cur_scenario, expect_exit,
+              expect_in_output=None):
+    """Writes the two one-scenario docs to temp files, runs the real
+    compare() on them, and checks exit code (and optionally a message)."""
+    paths = []
+    try:
+        for doc in (base_scenario, cur_scenario):
+            fd, path = tempfile.mkstemp(suffix=".json")
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump({"scenarios": [doc]}, f)
+            paths.append(path)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = compare(paths[0], paths[1], 2.0)
+        problems = []
+        if code != expect_exit:
+            problems.append(f"exit {code}, expected {expect_exit}")
+        if expect_in_output and expect_in_output not in out.getvalue():
+            problems.append(f"output lacks {expect_in_output!r}")
+        status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+        print(f"  self-test: {label}: {status}")
+        return not problems
+    finally:
+        for path in paths:
+            os.unlink(path)
+
+
+def self_test():
+    """Unit-style checks of the gate itself (scripts/check.sh runs this):
+    regressions fail, improvements and wall noise pass, and a gated
+    metric missing from either side fails with a pointed message."""
+    base = _scenario()
+    ok = True
+    ok &= _run_case("identical docs pass", base, _scenario(), 0)
+    ok &= _run_case(
+        "gated regression fails",
+        base, _scenario(makespan_cycles=1100), 1, "makespan_cycles")
+    ok &= _run_case(
+        "within-tolerance drift passes",
+        base, _scenario(makespan_cycles=1010), 0)
+    ok &= _run_case(
+        "improvement passes", base, _scenario(makespan_cycles=500), 0)
+    missing = _scenario()
+    del missing["latency_p99_cycles"]
+    ok &= _run_case(
+        "gated metric missing from current fails",
+        base, missing, 1, "missing from current")
+    ok &= _run_case(
+        "gated metric missing from baseline fails",
+        missing, base, 1, "missing from baseline")
+    ok &= _run_case(
+        "wall_ keys never gate",
+        _scenario(wall_phase_pick_seconds=0.001),
+        _scenario(wall_phase_pick_seconds=99.0), 0)
+    ok &= _run_case(
+        "unclassified metric informs, never gates",
+        _scenario(brand_new_metric=1),
+        _scenario(brand_new_metric=1000), 0, "not classified")
+    print("self-test:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--tolerance-pct", type=float, default=2.0)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    return compare(args.baseline, args.current, args.tolerance_pct)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validator for obs/trace TraceSink output (Chrome trace-event JSON).
+
+CI runs this on the small trace bench_serve_scale --trace writes, so a
+malformed timeline fails the build instead of failing silently months
+later in somebody's chrome://tracing tab. Checks:
+
+  1. The file parses as JSON with a non-empty "traceEvents" list.
+  2. Every event carries the trace-event required fields for its phase,
+     with integer timestamps >= 0 (the simulated-cycle timebase) and
+     non-negative durations.
+  3. Per (pid, tid) track, timestamps of "X" (complete span) and "C"
+     (counter) events are monotonically non-decreasing — the serve loop
+     emits them in event order, so a violation means the sink reordered
+     the timeline. Async "b"/"e" pairs and instants are exempt: the sink
+     emits async opens at close time with their (earlier) open timestamp
+     by design (see src/obs/trace.hpp).
+
+Usage:
+  scripts/validate_trace.py TRACE.json
+
+Exit status: 0 = valid, 1 = invalid, 2 = usage error.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path} has no traceEvents")
+
+    # Monotonicity cursors per (pid, tid) track, "X"/"C" phases only.
+    last_ts = {}
+    phases = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            return fail(f"event {i} is not an object")
+        ph = e.get("ph")
+        if not isinstance(ph, str) or not ph:
+            return fail(f"event {i} has no phase ('ph')")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "M":  # metadata carries no timestamp
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            return fail(
+                f"event {i} (ph '{ph}') has non-integer or negative "
+                f"ts {ts!r} — the timebase is integer simulated cycles"
+            )
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                return fail(f"event {i} ('X' span) has bad dur {dur!r}")
+        if ph in ("X", "C"):
+            track = (e.get("pid"), e.get("tid"))
+            prev = last_ts.get(track)
+            if prev is not None and ts < prev:
+                return fail(
+                    f"event {i} (ph '{ph}', track pid={track[0]} "
+                    f"tid={track[1]}) has ts {ts} < previous {prev} — "
+                    "per-track timestamps must be monotone"
+                )
+            last_ts[track] = ts
+
+    summary = "  ".join(f"{ph}:{n}" for ph, n in sorted(phases.items()))
+    print(
+        f"validate_trace: OK: {len(events)} events on {len(last_ts)} "
+        f"monotone tracks ({summary})"
+    )
+    return 0
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    return validate(sys.argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

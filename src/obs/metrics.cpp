@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "serve/report.hpp"
+
+namespace axon::obs {
+
+void MetricsRegistry::claim_name(const std::string& name, const char* kind) {
+  AXON_CHECK(!name.empty(), "metric needs a non-empty name");
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  AXON_CHECK(inserted, "metric '", name, "' already registered as a ",
+             it->second);
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(const std::string& name) {
+  claim_name(name, "counter");
+  if (!enabled_) return Counter(nullptr);
+  return Counter(&counters_[name]);
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(const std::string& name) {
+  claim_name(name, "gauge");
+  if (!enabled_) return Gauge(nullptr);
+  return Gauge(&gauges_[name]);
+}
+
+MetricsRegistry::HistogramHandle MetricsRegistry::histogram(
+    const std::string& name) {
+  claim_name(name, "histogram");
+  if (!enabled_) return HistogramHandle(nullptr);
+  return HistogramHandle(&histograms_[name]);
+}
+
+i64 MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+i64 MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Minimal JSON string escape — metric names are code-chosen ASCII, but a
+/// malformed artifact is worse than four lines of escaping.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void write_scalar_map(std::ostream& os, const char* key,
+                      const std::map<std::string, i64>& values,
+                      bool trailing_comma) {
+  os << "  \"" << key << "\": {";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << v;
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "}" << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  if (!enabled_) {
+    os << "{}";
+    return;
+  }
+  os << "{\n";
+  write_scalar_map(os, "counters", counters_, true);
+  write_scalar_map(os, "gauges", gauges_, true);
+  os << "  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << h.count() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"sum\": " << h.sum()
+       << ", \"p50\": " << h.percentile_or(50)
+       << ", \"p90\": " << h.percentile_or(90)
+       << ", \"p99\": " << h.percentile_or(99) << "}";
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "}\n}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+MetricsProbe::MetricsProbe(MetricsRegistry* registry)
+    : requests_(registry->counter("serve.requests")),
+      joins_(registry->counter("serve.joins")),
+      batches_(registry->counter("serve.batches")),
+      chunks_(registry->counter("serve.chunks")),
+      preemptions_(registry->counter("serve.preemptions")),
+      requeues_(registry->counter("serve.requeues")),
+      deadline_misses_(registry->counter("serve.deadline_misses")),
+      wcache_hits_(registry->counter("serve.wcache_hits")),
+      wcache_misses_(registry->counter("serve.wcache_misses")),
+      queue_depth_peak_(registry->gauge("serve.queue_depth_peak")),
+      open_groups_peak_(registry->gauge("serve.open_groups_peak")),
+      index_entries_peak_(registry->gauge("serve.index_entries_peak")),
+      wcache_bytes_peak_(registry->gauge("serve.wcache_bytes_peak")),
+      makespan_cycles_(registry->gauge("serve.makespan_cycles")),
+      latency_(registry->histogram("serve.latency_cycles")),
+      batch_wait_(registry->histogram("serve.batch_wait_cycles")),
+      queue_wait_(registry->histogram("serve.queue_wait_cycles")),
+      service_(registry->histogram("serve.service_cycles")),
+      preempt_blocked_(registry->histogram("serve.preempt_blocked_cycles")) {}
+
+void MetricsProbe::on_enqueue(const serve::Request& r, i64 now) {
+  (void)r;
+  (void)now;
+  requests_.add();
+}
+
+void MetricsProbe::on_join(const serve::Batch& b, i64 request_id, i64 now) {
+  (void)b;
+  (void)request_id;
+  (void)now;
+  joins_.add();
+}
+
+void MetricsProbe::on_batch_formed(const serve::Batch& b, i64 now) {
+  (void)b;
+  (void)now;
+  batches_.add();
+}
+
+void MetricsProbe::on_preemption(i64 now) {
+  (void)now;
+  preemptions_.add();
+}
+
+void MetricsProbe::on_dispatch(const DispatchInfo& info) {
+  chunks_.add();
+  if (info.weights_resident) {
+    wcache_hits_.add();
+  } else {
+    wcache_misses_.add();
+  }
+  wcache_bytes_peak_.set_max(info.cache_used_bytes);
+}
+
+void MetricsProbe::on_chunk_retire(const RetireInfo& info) {
+  if (!info.final_chunk) requeues_.add();
+}
+
+void MetricsProbe::on_request_done(const serve::RequestRecord& rec) {
+  if (!rec.met_deadline()) deadline_misses_.add();
+  makespan_cycles_.set_max(rec.completion_cycle);
+  latency_.observe(rec.latency_cycles());
+  batch_wait_.observe(rec.batch_wait_cycles());
+  queue_wait_.observe(rec.queue_wait_cycles());
+  service_.observe(rec.service_cycles);
+  preempt_blocked_.observe(rec.preempt_blocked_cycles());
+}
+
+void MetricsProbe::on_loop_counters(const LoopCounters& c) {
+  queue_depth_peak_.set_max(c.ready_batches);
+  open_groups_peak_.set_max(c.open_groups);
+  index_entries_peak_.set_max(c.index_entries);
+}
+
+}  // namespace axon::obs

@@ -1,0 +1,155 @@
+// Observability, layer 1: the metrics registry. A run-scoped namespace of
+// named counters, gauges, and histograms that snapshots to JSON — the
+// bridge between serve-loop events and machine-readable artifacts
+// (BENCH_serve.json scenario rows, --metrics-json dumps, the future
+// autotuner's objective function). Registration hands back a typed handle
+// so the hot path is a pointer write, never a map lookup; names are
+// registered once (re-registration is an AXON_CHECK) so two subsystems can
+// never silently alias a series.
+//
+// A disabled registry is a true null sink: handles carry a null slot and
+// every operation is a no-op behind one branch; to_json() is "{}" and no
+// sample storage ever grows. All snapshot values are integers (counts,
+// cycles, exact-sample percentiles), so output is deterministic and
+// byte-stable across platforms and worker-thread counts.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/probe.hpp"
+#include "sim/stats.hpp"
+
+namespace axon::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotone event count. add() with a negative delta is allowed (it is
+  /// occasionally the honest accounting, e.g. cancellations) but the
+  /// registry does not police monotonicity.
+  class Counter {
+   public:
+    void add(i64 delta = 1) {
+      if (v_ != nullptr) *v_ += delta;
+    }
+    [[nodiscard]] i64 value() const { return v_ != nullptr ? *v_ : 0; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(i64* v) : v_(v) {}
+    i64* v_;
+  };
+
+  /// Last-write-wins instantaneous value (peak depths, final occupancy).
+  class Gauge {
+   public:
+    void set(i64 v) {
+      if (v_ != nullptr) *v_ = v;
+    }
+    /// set(max(current, v)) — the common peak-tracking idiom.
+    void set_max(i64 v) {
+      if (v_ != nullptr && v > *v_) *v_ = v;
+    }
+    [[nodiscard]] i64 value() const { return v_ != nullptr ? *v_ : 0; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(i64* v) : v_(v) {}
+    i64* v_;
+  };
+
+  /// Exact-sample distribution (sim/stats Histogram): snapshots report
+  /// count/min/max/sum and nearest-rank p50/p90/p99.
+  class HistogramHandle {
+   public:
+    void observe(i64 v) {
+      if (h_ != nullptr) h_->add(v);
+    }
+    /// The underlying histogram, or nullptr on a disabled registry.
+    [[nodiscard]] const Histogram* get() const { return h_; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit HistogramHandle(Histogram* h) : h_(h) {}
+    Histogram* h_;
+  };
+
+  /// `enabled = false` builds the null sink described above.
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Register-once accessors. The name must be new to the registry across
+  /// all three kinds — a duplicate is an AXON_CHECK, enabled or not.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  HistogramHandle histogram(const std::string& name);
+
+  /// Snapshot readback by name (0 / nullptr when absent or disabled) —
+  /// what tests and the bench JSON writer consume.
+  [[nodiscard]] i64 counter_value(const std::string& name) const;
+  [[nodiscard]] i64 gauge_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const;
+
+  /// Deterministic JSON snapshot: kinds as objects, names sorted, all
+  /// values integers. A disabled registry writes exactly "{}".
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  void claim_name(const std::string& name, const char* kind);
+
+  bool enabled_;
+  std::map<std::string, const char*> kinds_;  ///< name -> registered kind
+  // std::map: pointer/reference stability under later insertions is what
+  // lets handles point straight at mapped values.
+  std::map<std::string, i64> counters_;
+  std::map<std::string, i64> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The standard serve-loop instrumentation: a PoolProbe that folds pool
+/// events into a registry under the "serve." prefix — request/join/batch/
+/// chunk/preemption/requeue/deadline-miss counts, queue-depth and cache
+/// peaks, and the per-request latency-breakdown histograms. Attach with
+/// AcceleratorPool::add_probe; everything fires from the single-threaded
+/// serve loop, so registry state is deterministic.
+class MetricsProbe : public PoolProbe {
+ public:
+  explicit MetricsProbe(MetricsRegistry* registry);
+
+  void on_enqueue(const serve::Request& r, i64 now) override;
+  void on_join(const serve::Batch& b, i64 request_id, i64 now) override;
+  void on_batch_formed(const serve::Batch& b, i64 now) override;
+  void on_preemption(i64 now) override;
+  void on_dispatch(const DispatchInfo& info) override;
+  void on_chunk_retire(const RetireInfo& info) override;
+  void on_request_done(const serve::RequestRecord& rec) override;
+  void on_loop_counters(const LoopCounters& c) override;
+
+ private:
+  MetricsRegistry::Counter requests_;
+  MetricsRegistry::Counter joins_;
+  MetricsRegistry::Counter batches_;
+  MetricsRegistry::Counter chunks_;
+  MetricsRegistry::Counter preemptions_;
+  MetricsRegistry::Counter requeues_;
+  MetricsRegistry::Counter deadline_misses_;
+  MetricsRegistry::Counter wcache_hits_;
+  MetricsRegistry::Counter wcache_misses_;
+  MetricsRegistry::Gauge queue_depth_peak_;
+  MetricsRegistry::Gauge open_groups_peak_;
+  MetricsRegistry::Gauge index_entries_peak_;
+  MetricsRegistry::Gauge wcache_bytes_peak_;
+  MetricsRegistry::Gauge makespan_cycles_;
+  MetricsRegistry::HistogramHandle latency_;
+  MetricsRegistry::HistogramHandle batch_wait_;
+  MetricsRegistry::HistogramHandle queue_wait_;
+  MetricsRegistry::HistogramHandle service_;
+  MetricsRegistry::HistogramHandle preempt_blocked_;
+};
+
+}  // namespace axon::obs

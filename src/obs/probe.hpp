@@ -1,0 +1,230 @@
+// Observability, layer 0: the probe. AcceleratorPool::serve is a
+// single-threaded discrete-event loop over a deterministic timeline; a
+// PoolProbe is a passive observer of that loop — every callback fires from
+// the serve loop itself (never from a worker thread), in event order, with
+// simulated-cycle timestamps. Because probes only *read* the timeline,
+// attaching one can never change simulated cycles, and because the loop is
+// single-threaded, probe output is bit-identical across worker-thread
+// counts — the property serve_trace_test pins down byte-for-byte.
+//
+// Zero overhead when disabled: the pool keeps a plain vector of probe
+// pointers and every emission site is guarded by an empty() check, so a
+// pool with no probes pays one predictable branch per event and no virtual
+// dispatch — the null sink inlines away. Probes are attached before
+// serve() and never from inside it.
+//
+// This header also hosts the serve-loop self-profiler: wall-clock (NOT
+// simulated-cycle) accounting of where the loop itself spends host time
+// (admit/pick/route/dispatch/harvest/retire), for finding the next
+// serve-core bottleneck. Wall time is inherently nondeterministic, so the
+// profile rides in ServeReport next to wall_seconds and is published as
+// informational bench metrics only — it can never gate.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+
+namespace axon::serve {
+struct RequestRecord;  // report.hpp includes this header; break the cycle
+}  // namespace axon::serve
+
+namespace axon::obs {
+
+/// One dispatch leaving the serve loop for a device. `batch` outlives the
+/// callback only — probes copy what they keep.
+struct DispatchInfo {
+  int device = -1;
+  i64 now = 0;                    ///< dispatch cycle
+  const serve::Batch* batch = nullptr;
+  GemmShape chunk;                ///< rows this dispatch covers
+  int chunk_ordinal = 0;          ///< 0 = first chunk of its batch
+  bool final_chunk = true;
+  bool weights_resident = false;  ///< weight-cache hit at dispatch
+  i64 cache_used_bytes = 0;       ///< routed device's cache occupancy after
+};
+
+/// One chunk retiring from the completion calendar.
+struct RetireInfo {
+  int device = -1;
+  i64 dispatch_cycle = 0;
+  i64 completion_cycle = 0;
+  const serve::Batch* batch = nullptr;
+  i64 chunk_m = 0;
+  bool final_chunk = true;
+};
+
+/// Scheduler-state counters sampled once per serve-loop iteration (after
+/// dispatching, before the time advance). All deterministic.
+struct LoopCounters {
+  i64 now = 0;
+  i64 ready_batches = 0;    ///< closed batches waiting for a device
+  i64 index_entries = 0;    ///< ready-queue index size incl. lazy residue
+  i64 partial_batches = 0;  ///< waiting batches already partially executed
+  i64 open_groups = 0;      ///< batcher groups still forming
+  i64 open_requests = 0;    ///< requests inside those groups
+  i64 busy_devices = 0;
+};
+
+/// Passive observer of the serve loop. Default implementations are no-ops
+/// so probes override only what they consume. Called single-threaded, in
+/// deterministic event order.
+class PoolProbe {
+ public:
+  virtual ~PoolProbe() = default;
+
+  /// Once per serve(): fleet labels (index = device id in later events)
+  /// and the trace size.
+  virtual void on_serve_begin(const std::vector<std::string>& devices,
+                              std::size_t num_requests) {
+    (void)devices;
+    (void)num_requests;
+  }
+  /// A request entered the system (before batching or joining).
+  virtual void on_enqueue(const serve::Request& r, i64 now) {
+    (void)r;
+    (void)now;
+  }
+  /// A late arrival joined a closed-but-undispatched batch (absorb); `b`
+  /// already contains the request.
+  virtual void on_join(const serve::Batch& b, i64 request_id, i64 now) {
+    (void)b;
+    (void)request_id;
+    (void)now;
+  }
+  /// A batch closed (max_batch, timeout, flush, or continuous-admission
+  /// close). b.open_cycle..now is the formation window.
+  virtual void on_batch_formed(const serve::Batch& b, i64 now) {
+    (void)b;
+    (void)now;
+  }
+  /// A dispatch jumped ahead of a partially executed batch still waiting
+  /// in the ready queue — a realized tile-granular preemption.
+  virtual void on_preemption(i64 now) { (void)now; }
+  virtual void on_dispatch(const DispatchInfo& info) { (void)info; }
+  /// A chunk retired; for !final_chunk the remainder re-enters the ready
+  /// queue at `info.completion_cycle` (the preemption window opens).
+  virtual void on_chunk_retire(const RetireInfo& info) { (void)info; }
+  /// A finished request's record, immediately before it is filed.
+  virtual void on_request_done(const serve::RequestRecord& rec) {
+    (void)rec;
+  }
+  virtual void on_loop_counters(const LoopCounters& c) { (void)c; }
+};
+
+// ---- serve-loop self-profiler ------------------------------------------
+
+/// The serve loop's phases, in loop order. kAdmit covers arrival pops,
+/// joins, and batch closes; kPick the ready-vs-open-group argmin; kRoute
+/// the device choice; kDispatch chunk sizing, cache touch, and worker
+/// submission; kHarvest the future sync; kRetire completion processing
+/// (including record filing).
+enum class ServePhase {
+  kAdmit,
+  kPick,
+  kRoute,
+  kDispatch,
+  kHarvest,
+  kRetire,
+};
+inline constexpr std::size_t kNumServePhases = 6;
+
+inline const char* to_string(ServePhase p) {
+  switch (p) {
+    case ServePhase::kAdmit:
+      return "admit";
+    case ServePhase::kPick:
+      return "pick";
+    case ServePhase::kRoute:
+      return "route";
+    case ServePhase::kDispatch:
+      return "dispatch";
+    case ServePhase::kHarvest:
+      return "harvest";
+    case ServePhase::kRetire:
+      return "retire";
+  }
+  return "?";
+}
+
+/// Accumulated wall time per phase. Host-clock numbers: informational
+/// only, never part of the deterministic timeline.
+struct PhaseProfile {
+  struct Entry {
+    double seconds = 0.0;
+    i64 calls = 0;
+  };
+  bool enabled = false;
+  std::array<Entry, kNumServePhases> phases{};
+
+  [[nodiscard]] double total_seconds() const {
+    double t = 0.0;
+    for (const Entry& e : phases) t += e.seconds;
+    return t;
+  }
+
+  /// "phase  seconds  share%  calls" multi-line dump.
+  [[nodiscard]] std::string summary() const {
+    std::ostringstream os;
+    const double total = total_seconds();
+    os << "serve-loop self-profile (wall time, informational):\n";
+    for (std::size_t i = 0; i < kNumServePhases; ++i) {
+      const Entry& e = phases[i];
+      const double share = total > 0.0 ? 100.0 * e.seconds / total : 0.0;
+      os << "  " << to_string(static_cast<ServePhase>(i)) << ": "
+         << e.seconds << " s (" << share << "%, " << e.calls << " calls)\n";
+    }
+    return os.str();
+  }
+};
+
+/// Scoped wall-clock accounting: `auto s = prof.time(ServePhase::kPick);`
+/// adds the scope's elapsed time to the phase. Disabled profilers read no
+/// clocks at all — the Scope constructor sees a null profiler and both
+/// clock calls are skipped, so the default-off cost is one branch per
+/// scope.
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(bool enabled) { profile_.enabled = enabled; }
+
+  class Scope {
+   public:
+    Scope(PhaseProfiler* prof, ServePhase phase) : prof_(prof), phase_(phase) {
+      if (prof_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if (prof_ == nullptr) return;
+      PhaseProfile::Entry& e =
+          prof_->profile_.phases[static_cast<std::size_t>(phase_)];
+      e.seconds += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+      ++e.calls;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler* prof_;
+    ServePhase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] Scope time(ServePhase phase) {
+    return Scope(profile_.enabled ? this : nullptr, phase);
+  }
+
+  [[nodiscard]] const PhaseProfile& profile() const { return profile_; }
+
+ private:
+  friend class Scope;
+  PhaseProfile profile_;
+};
+
+}  // namespace axon::obs

@@ -1,0 +1,229 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "serve/report.hpp"
+
+namespace axon::obs {
+
+namespace {
+
+// Process ids of the four track groups (see trace.hpp header comment).
+constexpr int kDevicesPid = 0;
+constexpr int kSchedPid = 1;
+constexpr int kClassesPid = 2;
+constexpr int kCountersPid = 3;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // labels are code-chosen; control chars have no business
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string metadata(int pid, i64 tid, const char* what,
+                     const std::string& name) {
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+     << json_escape(name) << "\"}}";
+  return os.str();
+}
+
+/// Stable identity of a batch across its whole life: the id of its first
+/// member (joins append, chunking never reorders members).
+i64 batch_id(const serve::Batch& b) { return b.requests.front().id; }
+
+}  // namespace
+
+void TraceSink::emit(const std::string& event) {
+  if (!events_.empty()) events_ += ",\n";
+  events_ += event;
+  ++num_events_;
+}
+
+void TraceSink::ensure_class_track(int priority) {
+  if (!named_classes_.insert(priority).second) return;
+  emit(metadata(kClassesPid, priority, "thread_name",
+                "class " + std::to_string(priority)));
+}
+
+void TraceSink::on_serve_begin(const std::vector<std::string>& devices,
+                               std::size_t num_requests) {
+  AXON_CHECK(!started_, "TraceSink records a single serve() run");
+  started_ = true;
+  devices_ = devices;
+  device_span_cycles_.assign(devices.size(), 0);
+  // ~200 bytes per event, several events per request: pre-size the buffer
+  // so big traces do not pay doubling churn.
+  events_.reserve(num_requests * 512 + 4096);
+  emit(metadata(kDevicesPid, 0, "process_name", "devices"));
+  emit(metadata(kSchedPid, 0, "process_name", "scheduler"));
+  emit(metadata(kClassesPid, 0, "process_name", "classes"));
+  emit(metadata(kCountersPid, 0, "process_name", "counters"));
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    emit(metadata(kDevicesPid, static_cast<i64>(i), "thread_name",
+                  devices[i]));
+  }
+}
+
+void TraceSink::on_enqueue(const serve::Request& r, i64 now) {
+  ensure_class_track(r.priority);
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kClassesPid
+     << ",\"tid\":" << r.priority << ",\"ts\":" << now
+     << ",\"cat\":\"req\",\"name\":\"enqueue r" << r.id
+     << "\",\"args\":{\"workload\":\"" << json_escape(r.workload)
+     << "\",\"m\":" << r.gemm.M << ",\"deadline\":" << r.deadline_cycle
+     << "}}";
+  emit(os.str());
+}
+
+void TraceSink::on_join(const serve::Batch& b, i64 request_id, i64 now) {
+  ensure_class_track(b.top_priority);
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kClassesPid
+     << ",\"tid\":" << b.top_priority << ",\"ts\":" << now
+     << ",\"cat\":\"req\",\"name\":\"join r" << request_id
+     << "\",\"args\":{\"batch\":" << batch_id(b) << ",\"size\":" << b.size()
+     << "}}";
+  emit(os.str());
+}
+
+void TraceSink::on_batch_formed(const serve::Batch& b, i64 now) {
+  (void)now;
+  // Formation window as an async span: the open timestamp lies in the past
+  // (first admit), so a synchronous "X" here would break per-track ts
+  // monotonicity — "b"/"e" pairs matched by cat+id carry it instead.
+  const i64 id = batch_id(b);
+  std::ostringstream os;
+  os << "{\"ph\":\"b\",\"pid\":" << kSchedPid << ",\"tid\":0,\"ts\":"
+     << b.open_cycle << ",\"cat\":\"form\",\"id\":" << id
+     << ",\"name\":\"form b" << id << "\",\"args\":{\"size\":" << b.size()
+     << ",\"m\":" << b.gemm.M << ",\"K\":" << b.gemm.K
+     << ",\"N\":" << b.gemm.N << ",\"class\":" << b.top_priority << "}}";
+  emit(os.str());
+  std::ostringstream end;
+  end << "{\"ph\":\"e\",\"pid\":" << kSchedPid << ",\"tid\":0,\"ts\":"
+      << b.ready_cycle << ",\"cat\":\"form\",\"id\":" << id
+      << ",\"name\":\"form b" << id << "\"}";
+  emit(end.str());
+}
+
+void TraceSink::on_preemption(i64 now) {
+  ++preemption_events_;
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kSchedPid
+     << ",\"tid\":0,\"ts\":" << now << ",\"cat\":\"sched\","
+     << "\"name\":\"preempt\"}";
+  emit(os.str());
+}
+
+void TraceSink::on_dispatch(const DispatchInfo& info) {
+  const i64 id = batch_id(*info.batch);
+  // A re-dispatch of a partially executed batch closes its preemption-gap
+  // span (opened when the previous chunk retired and the remainder went
+  // back to the ready queue).
+  if (info.chunk_ordinal > 0 && open_gaps_.erase(id) > 0) {
+    std::ostringstream os;
+    os << "{\"ph\":\"e\",\"pid\":" << kSchedPid << ",\"tid\":0,\"ts\":"
+       << info.now << ",\"cat\":\"gap\",\"id\":" << id
+       << ",\"name\":\"gap b" << id << "\"}";
+    emit(os.str());
+  }
+  std::ostringstream hit;
+  hit << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kDevicesPid
+      << ",\"tid\":" << info.device << ",\"ts\":" << info.now
+      << ",\"cat\":\"cache\",\"name\":\"wcache "
+      << (info.weights_resident ? "hit" : "miss") << "\",\"args\":{\"K\":"
+      << info.batch->gemm.K << ",\"N\":" << info.batch->gemm.N << "}}";
+  emit(hit.str());
+  std::ostringstream occ;
+  occ << "{\"ph\":\"C\",\"pid\":" << kCountersPid << ",\"tid\":0,\"ts\":"
+      << info.now << ",\"name\":\"wcache:"
+      << json_escape(devices_[static_cast<std::size_t>(info.device)])
+      << "\",\"args\":{\"bytes\":" << info.cache_used_bytes << "}}";
+  emit(occ.str());
+}
+
+void TraceSink::on_chunk_retire(const RetireInfo& info) {
+  const i64 id = batch_id(*info.batch);
+  const i64 dur = info.completion_cycle - info.dispatch_cycle;
+  device_span_cycles_[static_cast<std::size_t>(info.device)] += dur;
+  // chunks_run was incremented at this chunk's dispatch and the batch
+  // cannot dispatch again before retiring, so this chunk's ordinal is
+  // chunks_run - 1.
+  const int ordinal = info.batch->chunks_run - 1;
+  std::ostringstream os;
+  os << "{\"ph\":\"X\",\"pid\":" << kDevicesPid << ",\"tid\":"
+     << info.device << ",\"ts\":" << info.dispatch_cycle << ",\"dur\":"
+     << dur << ",\"cat\":\"exec\",\"name\":\"b" << id << "/c" << ordinal
+     << "\",\"args\":{\"batch\":" << id << ",\"chunk\":" << ordinal
+     << ",\"m\":" << info.chunk_m << ",\"size\":" << info.batch->size()
+     << ",\"final\":" << (info.final_chunk ? 1 : 0) << "}}";
+  emit(os.str());
+  if (!info.final_chunk && open_gaps_.insert(id).second) {
+    std::ostringstream gap;
+    gap << "{\"ph\":\"b\",\"pid\":" << kSchedPid << ",\"tid\":0,\"ts\":"
+        << info.completion_cycle << ",\"cat\":\"gap\",\"id\":" << id
+        << ",\"name\":\"gap b" << id << "\",\"args\":{\"m_left\":"
+        << info.batch->remaining_m() - info.chunk_m << "}}";
+    emit(gap.str());
+  }
+}
+
+void TraceSink::on_request_done(const serve::RequestRecord& rec) {
+  if (rec.met_deadline()) return;
+  ensure_class_track(rec.priority);
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kClassesPid
+     << ",\"tid\":" << rec.priority << ",\"ts\":" << rec.completion_cycle
+     << ",\"cat\":\"slo\",\"name\":\"miss r" << rec.id
+     << "\",\"args\":{\"over\":" << rec.miss_cycles() << "}}";
+  emit(os.str());
+}
+
+void TraceSink::on_loop_counters(const LoopCounters& c) {
+  std::ostringstream sched;
+  sched << "{\"ph\":\"C\",\"pid\":" << kCountersPid << ",\"tid\":0,\"ts\":"
+        << c.now << ",\"name\":\"sched\",\"args\":{\"ready\":"
+        << c.ready_batches << ",\"partial\":" << c.partial_batches
+        << ",\"open_groups\":" << c.open_groups << "}}";
+  emit(sched.str());
+  std::ostringstream load;
+  load << "{\"ph\":\"C\",\"pid\":" << kCountersPid << ",\"tid\":0,\"ts\":"
+       << c.now << ",\"name\":\"load\",\"args\":{\"busy_devices\":"
+       << c.busy_devices << ",\"index_entries\":" << c.index_entries
+       << ",\"open_requests\":" << c.open_requests << "}}";
+  emit(load.str());
+}
+
+void TraceSink::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n" << events_ << "\n]}\n";
+}
+
+std::string TraceSink::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace axon::obs

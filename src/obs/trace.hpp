@@ -1,0 +1,102 @@
+// Observability, layer 2: the timeline. TraceSink is a PoolProbe that
+// renders a serve run as Chrome trace-event JSON — load the file in
+// chrome://tracing or https://ui.perfetto.dev and the whole run becomes a
+// zoomable timeline. The timebase is the *simulated* fleet cycle (shown as
+// microseconds by the viewers; 1 us == 1 cycle), so what you see is the
+// deterministic schedule itself, not host wall time.
+//
+// Track layout:
+//   pid 0 "devices"    one thread row per fleet member: "X" spans for every
+//                      executed chunk (named b<batch>/c<ordinal>), plus
+//                      weight-cache hit/miss instants at dispatch.
+//   pid 1 "scheduler"  async spans: batch formation windows (cat "form",
+//                      first admit -> close) and preemption gaps (cat
+//                      "gap", a partially executed batch's re-queue ->
+//                      next dispatch); "preempt" instants at every
+//                      realized preemption.
+//   pid 2 "classes"    one thread row per priority class: enqueue / join /
+//                      deadline-miss instants for that class's requests.
+//   pid 3 "counters"   counter tracks sampled once per serve-loop event:
+//                      "sched" (ready batches, partial batches, open
+//                      groups), "load" (busy devices, ready-queue index
+//                      entries incl. lazy residue, open requests), and
+//                      "wcache:<device>" occupancy in bytes.
+//
+// Every emitted value is an integer from the simulated timeline and every
+// event is emitted from the single-threaded serve loop in event order, so
+// the rendered JSON is byte-identical across worker-thread counts —
+// serve_trace_test diffs the full string 1-vs-8-threads, and CI validates
+// per-track timestamp monotonicity of the "X"/"C" events (async "b"/"e"
+// pairs are emitted at close time with their open timestamp, so they are
+// exempt by design).
+//
+// The sink also keeps reconciliation totals (per-device span cycles,
+// preemption-instant count) so tests can assert trace-vs-report agreement
+// without parsing JSON.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/probe.hpp"
+
+namespace axon::obs {
+
+class TraceSink : public PoolProbe {
+ public:
+  TraceSink() = default;
+
+  void on_serve_begin(const std::vector<std::string>& devices,
+                      std::size_t num_requests) override;
+  void on_enqueue(const serve::Request& r, i64 now) override;
+  void on_join(const serve::Batch& b, i64 request_id, i64 now) override;
+  void on_batch_formed(const serve::Batch& b, i64 now) override;
+  void on_preemption(i64 now) override;
+  void on_dispatch(const DispatchInfo& info) override;
+  void on_chunk_retire(const RetireInfo& info) override;
+  void on_request_done(const serve::RequestRecord& rec) override;
+  void on_loop_counters(const LoopCounters& c) override;
+
+  /// The complete trace document: {"traceEvents": [...]}. Stable bytes for
+  /// a given simulated timeline.
+  [[nodiscard]] std::string to_json() const;
+  void write(std::ostream& os) const;
+  /// Writes to_json() to `path`; returns false when the file cannot be
+  /// opened or written.
+  bool write_file(const std::string& path) const;
+
+  // Reconciliation totals (see header comment).
+  /// Sum of executed-chunk span durations per device — must equal the
+  /// report's per-accelerator busy cycles.
+  [[nodiscard]] const std::vector<i64>& device_span_cycles() const {
+    return device_span_cycles_;
+  }
+  /// "preempt" instants emitted — must equal ServeReport::preemptions.
+  [[nodiscard]] i64 preemption_events() const { return preemption_events_; }
+  [[nodiscard]] std::size_t num_events() const { return num_events_; }
+
+ private:
+  /// Appends one pre-rendered event object, managing the separators.
+  void emit(const std::string& event);
+  /// First use of a priority-class row names it lazily (classes are not
+  /// known up front; event order is deterministic, so so is the naming).
+  void ensure_class_track(int priority);
+
+  bool started_ = false;
+  std::vector<std::string> devices_;
+  std::set<int> named_classes_;
+  /// Batches with an open preemption-gap async span, keyed by the batch's
+  /// first request id (its stable identity).
+  std::set<i64> open_gaps_;
+
+  std::string events_;  ///< comma-joined event objects
+  std::size_t num_events_ = 0;
+  std::vector<i64> device_span_cycles_;
+  i64 preemption_events_ = 0;
+};
+
+}  // namespace axon::obs

@@ -44,6 +44,7 @@ Batch DynamicBatcher::close_group(Group&& group, i64 ready_cycle) {
   // aggregates (merged M, earliest deadline, top priority) have a single
   // maintenance path shared with late continuous-admission joins.
   Batch b;
+  b.open_cycle = group.oldest_admit;
   Request first = std::move(group.members.front());
   b.gemm = first.gemm;
   b.top_priority = first.priority;

@@ -38,6 +38,7 @@ struct BatchPolicy {
 struct Batch {
   std::vector<Request> requests;
   GemmShape gemm;       ///< M = sum of member Ms
+  i64 open_cycle = 0;   ///< simulated cycle its group took its first member
   i64 ready_cycle = 0;  ///< simulated cycle the batch closed
   /// Earliest member deadline, or -1 when no member has an SLO — the key
   /// earliest-deadline-first scheduling sorts by.
@@ -53,6 +54,11 @@ struct Batch {
   /// Cycle the first chunk dispatched; -1 = not yet in service.
   i64 first_dispatch_cycle = -1;
   int chunks_run = 0;             ///< chunk dispatches executed so far
+  /// Fleet cycles of service received so far (sum of retired-chunk
+  /// durations). What per-request latency breakdowns split out of
+  /// completion - first dispatch: the remainder is time spent blocked
+  /// between chunks (preempted or waiting for a device).
+  i64 service_cycles = 0;
 
   [[nodiscard]] int size() const { return static_cast<int>(requests.size()); }
   /// Rows of the merged M still to execute.
@@ -126,6 +132,9 @@ class DynamicBatcher {
   [[nodiscard]] i64 next_timeout() const;
 
   [[nodiscard]] std::size_t open_requests() const;
+  /// Groups still forming — the "open groups" counter track observability
+  /// samples once per serve-loop event.
+  [[nodiscard]] std::size_t open_groups() const { return open_.size(); }
   [[nodiscard]] bool idle() const { return open_.empty() && ready_.empty(); }
 
  private:

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "model/runtime_model.hpp"
+#include "obs/probe.hpp"
 #include "serve/weight_cache.hpp"
 
 namespace axon::serve {
@@ -164,6 +165,11 @@ AcceleratorPool::AcceleratorPool(PoolConfig config)
   }
 }
 
+void AcceleratorPool::add_probe(obs::PoolProbe* probe) {
+  AXON_CHECK(probe != nullptr, "add_probe(nullptr)");
+  probes_.push_back(probe);
+}
+
 std::size_t AcceleratorPool::CostKeyHash::operator()(const CostKey& k) const {
   // Boost-style mixing; a collision only costs the map a key compare.
   const auto mix = [](std::uint64_t h, std::uint64_t v) {
@@ -261,12 +267,29 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   // not pay realloc-and-copy churn on the way there.
   report.records.reserve(requests.size());
 
+  // Observability: probes see every serve-loop event from this thread, in
+  // event order (obs/probe.hpp); the profiler accounts wall time by loop
+  // phase when self_profile is set. Neither touches simulated cycles.
+  obs::PhaseProfiler profiler(config_.self_profile);
+  if (!probes_.empty()) {
+    std::vector<std::string> device_names;
+    device_names.reserve(fleet_size);
+    for (const AcceleratorSpec& spec : fleet_) {
+      device_names.push_back(spec.name);
+    }
+    for (obs::PoolProbe* p : probes_) {
+      p->on_serve_begin(device_names, requests.size());
+    }
+  }
+
   i64 now = 0;
 
   const auto admit_and_collect = [&] {
+    const auto phase = profiler.time(obs::ServePhase::kAdmit);
     while (!requests.empty() && requests.next_arrival() <= now) {
       Request r = requests.pop();
       const i64 arrival = r.arrival_cycle;
+      for (obs::PoolProbe* p : probes_) p->on_enqueue(r, now);
       if (config_.batching.continuous_admission) {
         // Continuous admission, join side: a closed-but-undispatched batch
         // with the same weights and spare seats takes the late arrival
@@ -278,9 +301,11 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         // arrival starts or joins an ordinary group instead.
         const i64 slot = ready.find_joinable(r.gemm.K, r.gemm.N);
         if (slot >= 0) {
+          const i64 joined_id = r.id;
           Batch& b = ready.batch(slot);
           b.absorb(std::move(r));
           ready.joined(slot, estimate_cycles(b));
+          for (obs::PoolProbe* p : probes_) p->on_join(b, joined_id, now);
           continue;
         }
       }
@@ -291,6 +316,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     std::vector<Batch> closed =
         requests.empty() ? batcher.flush(now) : batcher.pop_ready(now);
     for (auto& b : closed) {
+      for (obs::PoolProbe* p : probes_) p->on_batch_formed(b, now);
       const i64 estimate = estimate_cycles(b);
       ready.push(std::move(b), estimate);
     }
@@ -395,42 +421,54 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   const auto dispatch = [&] {
     for (;;) {
       if (idle_devices == 0) return;
-      // Continuous admission, dispatch side: an idle accelerator may take
-      // a partially filled group rather than letting it ripen to
-      // max_batch/max_wait while capacity sits free. Open groups compete
-      // with ready batches under the same key_better ordering, so an
-      // urgent open group beats a lax ready batch and vice versa. Open
-      // groups are few (one per distinct (K, N) in flight), so the view
-      // scan is mix-bounded, not queue-depth-bounded.
-      const bool can_take_open =
-          config_.batching.continuous_admission && batcher.has_open();
-      if (ready.empty() && !can_take_open) return;
       Batch picked;
-      bool from_open = false;
-      if (can_take_open) {
-        const auto views = batcher.open_views();
-        std::size_t best_view = 0;
-        for (std::size_t i = 1; i < views.size(); ++i) {
-          if (key_better(config_.policy, view_key(views[i]),
-                         view_key(views[best_view]))) {
-            best_view = i;
+      {
+        const auto phase = profiler.time(obs::ServePhase::kPick);
+        // Continuous admission, dispatch side: an idle accelerator may take
+        // a partially filled group rather than letting it ripen to
+        // max_batch/max_wait while capacity sits free. Open groups compete
+        // with ready batches under the same key_better ordering, so an
+        // urgent open group beats a lax ready batch and vice versa. Open
+        // groups are few (one per distinct (K, N) in flight), so the view
+        // scan is mix-bounded, not queue-depth-bounded.
+        const bool can_take_open =
+            config_.batching.continuous_admission && batcher.has_open();
+        if (ready.empty() && !can_take_open) return;
+        bool from_open = false;
+        if (can_take_open) {
+          const auto views = batcher.open_views();
+          std::size_t best_view = 0;
+          for (std::size_t i = 1; i < views.size(); ++i) {
+            if (key_better(config_.policy, view_key(views[i]),
+                           view_key(views[best_view]))) {
+              best_view = i;
+            }
+          }
+          if (ready.empty() || key_better(config_.policy,
+                                          view_key(views[best_view]),
+                                          ready.best_key())) {
+            picked = batcher.close_open(views[best_view].K,
+                                        views[best_view].N, now);
+            from_open = true;
+            for (obs::PoolProbe* p : probes_) p->on_batch_formed(picked, now);
           }
         }
-        if (ready.empty() || key_better(config_.policy,
-                                        view_key(views[best_view]),
-                                        ready.best_key())) {
-          picked =
-              batcher.close_open(views[best_view].K, views[best_view].N, now);
-          from_open = true;
-        }
+        if (!from_open) picked = ready.pop_best();
       }
-      if (!from_open) picked = ready.pop_best();
       // A dispatch that jumps ahead of a partially executed batch still
       // waiting in ready is a realized preemption — the event unchunked
       // dispatch makes impossible.
-      if (ready.has_partial()) ++report.preemptions;
+      if (ready.has_partial()) {
+        ++report.preemptions;
+        for (obs::PoolProbe* p : probes_) p->on_preemption(now);
+      }
       PendingExec f;
-      const std::size_t acc = route_device(picked.remaining_gemm());
+      std::size_t acc;
+      {
+        const auto phase = profiler.time(obs::ServePhase::kRoute);
+        acc = route_device(picked.remaining_gemm());
+      }
+      const auto phase = profiler.time(obs::ServePhase::kDispatch);
       f.accelerator = static_cast<int>(acc);
       f.batch = std::move(picked);
       f.chunk_m = chunk_extent_for(f.batch, acc);
@@ -460,6 +498,18 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
       });
       busy[acc] = true;
       --idle_devices;
+      if (!probes_.empty()) {
+        obs::DispatchInfo di;
+        di.device = f.accelerator;
+        di.now = now;
+        di.batch = &f.batch;
+        di.chunk = chunk_gemm;
+        di.chunk_ordinal = chunk_ordinal;
+        di.final_chunk = f.final_chunk;
+        di.weights_resident = weights_resident;
+        di.cache_used_bytes = caches[acc].used_bytes();
+        for (obs::PoolProbe* p : probes_) p->on_dispatch(di);
+      }
       pending.push_back(std::move(f));
     }
   };
@@ -468,32 +518,49 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     admit_and_collect();
     dispatch();
 
+    // Scheduler-state counter sample: once per serve-loop event, after
+    // dispatching — the moment queue depths are settled for this cycle.
+    if (!probes_.empty()) {
+      obs::LoopCounters counters;
+      counters.now = now;
+      counters.ready_batches = static_cast<i64>(ready.size());
+      counters.index_entries = static_cast<i64>(ready.index_entries());
+      counters.partial_batches = static_cast<i64>(ready.partial_count());
+      counters.open_groups = static_cast<i64>(batcher.open_groups());
+      counters.open_requests = static_cast<i64>(batcher.open_requests());
+      counters.busy_devices = static_cast<i64>(fleet_size - idle_devices);
+      for (obs::PoolProbe* p : probes_) p->on_loop_counters(counters);
+    }
+
     // Harvest: every dispatch since the last advance has been evaluating
     // concurrently on the worker pool; resolve each future exactly once
     // and file the completion in the calendar. Advancing simulated time
     // needs every outstanding completion cycle, so this stays the loop's
     // one synchronization point — but it touches only the new dispatches,
     // never the already-filed ones.
-    for (PendingExec& p : pending) {
-      const ExecOutcome outcome = p.future.get();
-      std::size_t slot;
-      if (completion_free.empty()) {
-        slot = completion_slots.size();
-        completion_slots.emplace_back();
-      } else {
-        slot = completion_free.back();
-        completion_free.pop_back();
+    {
+      const auto phase = profiler.time(obs::ServePhase::kHarvest);
+      for (PendingExec& p : pending) {
+        const ExecOutcome outcome = p.future.get();
+        std::size_t slot;
+        if (completion_free.empty()) {
+          slot = completion_slots.size();
+          completion_slots.emplace_back();
+        } else {
+          slot = completion_free.back();
+          completion_free.pop_back();
+        }
+        Completion& c = completion_slots[slot];
+        c.accelerator = p.accelerator;
+        c.batch = std::move(p.batch);
+        c.chunk_m = p.chunk_m;
+        c.final_chunk = p.final_chunk;
+        c.dispatch_cycle = p.dispatch_cycle;
+        c.completion_cycle = p.dispatch_cycle + outcome.cycles;
+        completions.push({c.completion_cycle, c.accelerator, slot});
       }
-      Completion& c = completion_slots[slot];
-      c.accelerator = p.accelerator;
-      c.batch = std::move(p.batch);
-      c.chunk_m = p.chunk_m;
-      c.final_chunk = p.final_chunk;
-      c.dispatch_cycle = p.dispatch_cycle;
-      c.completion_cycle = p.dispatch_cycle + outcome.cycles;
-      completions.push({c.completion_cycle, c.accelerator, slot});
+      pending.clear();
     }
-    pending.clear();
 
     // Next simulated event: an arrival, a batching timeout, or the
     // earliest filed completion.
@@ -510,6 +577,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
 
     // Retire completions due at `now`; the calendar pops them in
     // (completion cycle, device) order — deterministic.
+    const auto phase = profiler.time(obs::ServePhase::kRetire);
     while (!completions.empty() && completions.top().cycle <= now) {
       const std::size_t slot = completions.top().slot;
       completions.pop();
@@ -521,28 +589,43 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
       ++device_batches[static_cast<std::size_t>(f.accelerator)];
       busy[static_cast<std::size_t>(f.accelerator)] = false;
       ++idle_devices;
+      if (!probes_.empty()) {
+        obs::RetireInfo ri;
+        ri.device = f.accelerator;
+        ri.dispatch_cycle = f.dispatch_cycle;
+        ri.completion_cycle = f.completion_cycle;
+        ri.batch = &f.batch;
+        ri.chunk_m = f.chunk_m;
+        ri.final_chunk = f.final_chunk;
+        for (obs::PoolProbe* p : probes_) p->on_chunk_retire(ri);
+      }
       if (!f.final_chunk) {
         // Remainder re-enters the scheduler: it competes with everything
         // ready or open under the same policy keys at the next dispatch —
         // this re-entry point *is* the tile-granular preemption window.
         f.batch.m_executed += f.chunk_m;
+        f.batch.service_cycles += busy_cycles;
         const i64 estimate = estimate_cycles(f.batch);
         ready.push(std::move(f.batch), estimate);
       } else {
         // Final chunk: the batch's members complete together now.
+        const i64 batch_service = f.batch.service_cycles + busy_cycles;
         for (const auto& r : f.batch.requests) {
           RequestRecord rec;
           rec.id = r.id;
           rec.workload = r.workload;
           rec.gemm = r.gemm;
           rec.arrival_cycle = r.arrival_cycle;
+          rec.batch_ready_cycle = f.batch.ready_cycle;
           rec.dispatch_cycle = f.batch.first_dispatch_cycle;
           rec.completion_cycle = f.completion_cycle;
           rec.deadline_cycle = r.deadline_cycle;
+          rec.service_cycles = batch_service;
           rec.priority = r.priority;
           rec.batch_size = f.batch.size();
           rec.batch_chunks = f.batch.chunks_run;
           rec.accelerator = f.accelerator;
+          for (obs::PoolProbe* p : probes_) p->on_request_done(rec);
           report.records.push_back(std::move(rec));
         }
         ++report.total_batches;
@@ -564,8 +647,10 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     a.batches = device_batches[i];
     a.weight_hits = caches[i].hits();
     a.weight_misses = caches[i].misses();
+    a.weight_evictions = caches[i].evictions();
   }
 
+  report.phase_profile = profiler.profile();
   report.finalize();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -151,6 +151,12 @@ struct PoolConfig {
   /// batch's first request id so every batch sees fixed, thread-independent
   /// data.
   std::uint64_t data_seed = 0x5EEDAB1Eu;
+  /// Wall-clock self-profiling of the serve loop's phases (obs/probe
+  /// PhaseProfiler), surfaced as ServeReport::phase_profile. Off by
+  /// default: enabling it reads a steady clock per phase per event, which
+  /// is real overhead at production trace sizes. Never affects simulated
+  /// cycles.
+  bool self_profile = false;
 };
 
 class AcceleratorPool {
@@ -165,6 +171,14 @@ class AcceleratorPool {
   [[nodiscard]] const std::vector<AcceleratorSpec>& fleet() const {
     return fleet_;
   }
+
+  /// Attaches a passive observer of the serve loop (obs/probe.hpp). Call
+  /// before serve(); the pool does not own the probe and every callback
+  /// fires from the single-threaded serve loop, so probes never perturb
+  /// the simulated timeline or the thread-count determinism contract.
+  /// With no probes attached every emission site is one branch — the
+  /// disabled path costs nothing measurable.
+  void add_probe(obs::PoolProbe* probe);
 
   /// Serves the whole trace to completion and returns the finalized
   /// report. Consumes the queue.
@@ -215,6 +229,7 @@ class AcceleratorPool {
 
   PoolConfig config_;
   std::vector<AcceleratorSpec> fleet_;
+  std::vector<obs::PoolProbe*> probes_;  ///< not owned; serve-loop only
   /// Analytic-cost memo. Mutated from const accessors (the cache is an
   /// exact, invisible speedup), so: only the single-threaded serve loop —
   /// never the worker threads — touches pool methods, which keeps the

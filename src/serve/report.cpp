@@ -11,6 +11,10 @@ void GroupStats::add(const RequestRecord& r) {
   ++requests;
   latency.add(r.latency_cycles());
   blocking.add(r.queue_cycles());
+  batch_wait.add(r.batch_wait_cycles());
+  queue_wait.add(r.queue_wait_cycles());
+  service.add(r.service_cycles);
+  preempt_blocked.add(r.preempt_blocked_cycles());
   if (r.has_deadline()) {
     ++with_deadline;
     if (r.met_deadline()) {
@@ -24,6 +28,10 @@ void GroupStats::add(const RequestRecord& r) {
 void GroupStats::reserve(std::size_t n) {
   latency.reserve(n);
   blocking.reserve(n);
+  batch_wait.reserve(n);
+  queue_wait.reserve(n);
+  service.reserve(n);
+  preempt_blocked.reserve(n);
 }
 
 double GroupStats::slo_attainment() const {
@@ -162,6 +170,30 @@ std::string ServeReport::summary() const {
     }
     t.print(os, "Per-priority-class breakdown");
   }
+  // Latency breakdown: where each class's end-to-end time actually goes.
+  // The four terms sum to latency per request (batch wait + queue wait +
+  // service + preemption-blocked), so a p99 problem names its culprit.
+  if (num_requests() > 0) {
+    Table t({"class", "n", "bwait_p99", "qwait_p99", "svc_p50", "svc_p99",
+             "pblk_p99"});
+    const auto add_latency_row = [&t](const std::string& label,
+                                      const GroupStats& g) {
+      t.row()
+          .cell(label)
+          .cell(static_cast<i64>(g.requests))
+          .cell(g.batch_wait.percentile_or(99))
+          .cell(g.queue_wait.percentile_or(99))
+          .cell(g.service.percentile_or(50))
+          .cell(g.service.percentile_or(99))
+          .cell(g.preempt_blocked.percentile_or(99));
+    };
+    for (const auto& [prio, g] : by_class) {
+      add_latency_row(std::to_string(prio), g);
+    }
+    if (by_class.size() > 1) add_latency_row("all", overall);
+    t.print(os, "Per-class latency breakdown (cycles)");
+  }
+  if (phase_profile.enabled) os << phase_profile.summary();
   // Per-device breakdown: who the router sent work to, how busy each
   // member was, and whether its weight cache earned its bytes. A
   // single-member pool earns the table too when its cache saw traffic —
@@ -171,7 +203,8 @@ std::string ServeReport::summary() const {
     show_devices = show_devices || a.weight_hits + a.weight_misses > 0;
   }
   if (show_devices && !per_accelerator.empty()) {
-    Table t({"device", "batches", "requests", "util_%", "wcache_hit_%"});
+    Table t({"device", "batches", "requests", "util_%", "wcache_hit_%",
+             "evict"});
     for (const auto& a : per_accelerator) {
       Table& row = t.row()
                        .cell(a.name)
@@ -179,9 +212,9 @@ std::string ServeReport::summary() const {
                        .cell(static_cast<i64>(a.requests))
                        .cell(100.0 * a.utilization(makespan_cycles), 1);
       if (a.weight_hits + a.weight_misses > 0) {
-        row.cell(100.0 * a.weight_hit_rate(), 1);
+        row.cell(100.0 * a.weight_hit_rate(), 1).cell(a.weight_evictions);
       } else {
-        row.cell("-");  // no cache on this member
+        row.cell("-").cell("-");  // no cache on this member
       }
     }
     t.print(os, "Per-accelerator breakdown");

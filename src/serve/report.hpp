@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/probe.hpp"
 #include "sim/stats.hpp"
 
 namespace axon::serve {
@@ -23,9 +24,13 @@ struct RequestRecord {
   std::string workload;
   GemmShape gemm;
   i64 arrival_cycle = 0;
+  i64 batch_ready_cycle = 0; ///< its batch closed (left the batcher)
   i64 dispatch_cycle = 0;    ///< batch handed to an accelerator
   i64 completion_cycle = 0;  ///< batch finished
   i64 deadline_cycle = -1;   ///< absolute SLO deadline; -1 = no SLO
+  /// Fleet cycles its batch spent actually executing (sum of its chunks'
+  /// durations) — the service term of the latency breakdown.
+  i64 service_cycles = 0;
   int priority = 0;          ///< priority class (lower = more urgent)
   int batch_size = 0;        ///< members of the batch it rode in
   int batch_chunks = 1;      ///< chunk dispatches its batch ran as (1 = whole)
@@ -51,15 +56,41 @@ struct RequestRecord {
     return met_deadline() ? 0 : completion_cycle - deadline_cycle;
   }
 
+  // Latency breakdown: latency == batch_wait + queue_wait + service +
+  // preempt_blocked, exactly. A request absorbed into an already-closed
+  // batch (continuous admission) joins a batch whose ready cycle predates
+  // its own arrival — its batch wait is 0 and its queue wait starts at
+  // arrival, which is what the effective-ready clamp below encodes.
+  [[nodiscard]] i64 effective_ready_cycle() const {
+    return batch_ready_cycle > arrival_cycle ? batch_ready_cycle
+                                             : arrival_cycle;
+  }
+  /// Arrival until its batch closed: time spent forming.
+  [[nodiscard]] i64 batch_wait_cycles() const {
+    return effective_ready_cycle() - arrival_cycle;
+  }
+  /// Batch closed until first dispatch: time queued for a device.
+  [[nodiscard]] i64 queue_wait_cycles() const {
+    return dispatch_cycle - effective_ready_cycle();
+  }
+  /// In service but not executing: cycles between first dispatch and
+  /// completion its batch spent re-queued between chunks (preempted or
+  /// waiting for a device). 0 for single-chunk batches.
+  [[nodiscard]] i64 preempt_blocked_cycles() const {
+    return compute_cycles() - service_cycles;
+  }
+
   /// Full-field equality — the primitive the determinism checks (indexed
   /// vs scan-reference scheduler, 1 vs 8 threads) diff whole reports
   /// with. New fields must be added here so those checks stay complete.
   friend bool operator==(const RequestRecord& a, const RequestRecord& b) {
     return a.id == b.id && a.workload == b.workload && a.gemm == b.gemm &&
            a.arrival_cycle == b.arrival_cycle &&
+           a.batch_ready_cycle == b.batch_ready_cycle &&
            a.dispatch_cycle == b.dispatch_cycle &&
            a.completion_cycle == b.completion_cycle &&
            a.deadline_cycle == b.deadline_cycle &&
+           a.service_cycles == b.service_cycles &&
            a.priority == b.priority && a.batch_size == b.batch_size &&
            a.batch_chunks == b.batch_chunks &&
            a.accelerator == b.accelerator;
@@ -81,6 +112,13 @@ struct GroupStats {
   /// behind in-service work. The per-class view of this histogram is the
   /// number chunked prefill exists to shrink for the interactive class.
   Histogram blocking;
+  // Latency breakdown terms (RequestRecord breakdown methods): the four
+  // sum to end-to-end latency per request, so percentile columns over
+  // these explain *where* a slice's p99 lives.
+  Histogram batch_wait;       ///< forming in the batcher
+  Histogram queue_wait;       ///< closed, waiting for a device
+  Histogram service;          ///< executing on a device
+  Histogram preempt_blocked;  ///< mid-service, re-queued between chunks
 
   void add(const RequestRecord& r);
   /// Pre-sizes the slice's histograms for `n` expected members (miss stays
@@ -104,6 +142,7 @@ struct AcceleratorStats {
   std::size_t requests = 0;  ///< requests those batches carried
   i64 weight_hits = 0;       ///< dispatches whose (K, N) weights were warm
   i64 weight_misses = 0;     ///< ... that had to stream weights from DRAM
+  i64 weight_evictions = 0;  ///< cache entries displaced to make room
 
   /// Fraction of dispatches served from the weight cache; 0 when the
   /// member has no cache (or never dispatched).
@@ -128,6 +167,10 @@ struct ServeReport {
   /// the ready queue — tile-granular preemptions actually exercised.
   i64 preemptions = 0;
   double wall_seconds = 0.0;    ///< host time spent simulating
+  /// Serve-loop self-profile (obs/probe PhaseProfiler): wall time by loop
+  /// phase. Populated only when PoolConfig::self_profile is set;
+  /// informational, never part of the deterministic timeline.
+  obs::PhaseProfile phase_profile;
 
   Histogram latency;  ///< end-to-end latency samples (cycles)
   Histogram queueing; ///< queueing-delay samples (cycles)

@@ -240,6 +240,13 @@ void SchedIndex::joined(i64 slot, i64 new_estimate) {
   // and every scan recomputes keys from the entries (the seed behaviour).
 }
 
+std::size_t SchedIndex::index_entries() const {
+  if (impl_ == ReadyQueueImpl::kScanReference) return order_.size();
+  std::size_t n = 0;
+  for (const auto& kv : heaps_) n += kv.second.size();
+  return n;
+}
+
 bool SchedIndex::has_partial() const {
   if (impl_ == ReadyQueueImpl::kScanReference) {
     // The seed preemption check, verbatim: linear scan per dispatch.

@@ -123,6 +123,17 @@ class SchedIndex {
   /// realized tile-granular preemption.
   [[nodiscard]] bool has_partial() const;
 
+  /// Live partially executed batches. Maintained in both impls (unlike
+  /// has_partial(), which replays the seed scan under kScanReference), so
+  /// observability counters read it for free.
+  [[nodiscard]] std::size_t partial_count() const { return partial_; }
+
+  /// Index footprint: heap items across all class heaps (kIndexed —
+  /// includes lazily invalidated residue, which is the honest measure of
+  /// the structure's size) or the scan order's length (kScanReference,
+  /// where it equals size()). A counter track in the trace layer.
+  [[nodiscard]] std::size_t index_entries() const;
+
  private:
   struct Entry {
     Batch batch;

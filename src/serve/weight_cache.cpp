@@ -34,6 +34,7 @@ bool WeightCache::touch(i64 K, i64 N) {
     used_bytes_ -= victim.bytes;
     index_.erase(Key{victim.K, victim.N});
     lru_.pop_back();
+    ++evictions_;
   }
   lru_.push_front(Entry{K, N, bytes});
   index_[key] = lru_.begin();

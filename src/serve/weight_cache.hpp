@@ -50,6 +50,10 @@ class WeightCache {
   [[nodiscard]] std::size_t entries() const { return index_.size(); }
   [[nodiscard]] i64 hits() const { return hits_; }
   [[nodiscard]] i64 misses() const { return misses_; }
+  /// Entries displaced to make room — the cache-churn figure the
+  /// observability layer reports per device (high evictions with a low hit
+  /// rate means the working set simply does not fit).
+  [[nodiscard]] i64 evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -63,6 +67,7 @@ class WeightCache {
   i64 used_bytes_ = 0;
   i64 hits_ = 0;
   i64 misses_ = 0;
+  i64 evictions_ = 0;
   std::list<Entry> lru_;  ///< front = most recently used
   std::map<Key, std::list<Entry>::iterator> index_;
 };

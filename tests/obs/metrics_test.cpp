@@ -1,0 +1,133 @@
+// obs/metrics MetricsRegistry unit tests: handle semantics and the
+// deterministic JSON snapshot (exact bytes — the snapshot feeds diffable
+// CI artifacts, so its formatting is part of the contract), the disabled
+// registry as a true null sink, register-once enforcement, and the
+// MetricsProbe's registry contents reconciling with the ServeReport of
+// the run it observed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SnapshotRoundTripsThroughJson) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.enabled());
+  MetricsRegistry::Counter c = reg.counter("c");
+  MetricsRegistry::Gauge g = reg.gauge("g");
+  MetricsRegistry::HistogramHandle h = reg.histogram("h");
+  c.add();
+  c.add(4);
+  g.set(7);
+  g.set_max(5);  // below current value: no-op
+  g.set_max(9);
+  for (i64 v : {1, 2, 3, 4, 5}) h.observe(v);
+
+  EXPECT_EQ(c.value(), 5);
+  EXPECT_EQ(g.value(), 9);
+  EXPECT_EQ(reg.counter_value("c"), 5);
+  EXPECT_EQ(reg.gauge_value("g"), 9);
+  EXPECT_EQ(reg.counter_value("absent"), 0);
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 5u);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+
+  // Exact bytes: names sorted, all values integers, nearest-rank
+  // percentiles. A formatting drift here is a diff in every CI artifact.
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"c\": 5\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g\": 9\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h\": {\"count\": 5, \"min\": 1, \"max\": 5, \"sum\": 15, "
+      "\"p50\": 3, \"p90\": 5, \"p99\": 5}\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(reg.to_json(), expected);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistrySnapshotsEmptyKinds) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}");
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryIsANullSink) {
+  MetricsRegistry reg(false);
+  EXPECT_FALSE(reg.enabled());
+  MetricsRegistry::Counter c = reg.counter("c");
+  MetricsRegistry::Gauge g = reg.gauge("g");
+  MetricsRegistry::HistogramHandle h = reg.histogram("h");
+  c.add(100);
+  g.set(100);
+  h.observe(100);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.get(), nullptr);
+  EXPECT_EQ(reg.counter_value("c"), 0);
+  EXPECT_EQ(reg.gauge_value("g"), 0);
+  EXPECT_EQ(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.to_json(), "{}");
+}
+
+TEST(MetricsRegistryTest, ReRegistrationFailsLoudly) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  // Same kind and cross-kind duplicates both trip the check — two
+  // subsystems may never silently alias one series.
+  EXPECT_THROW(reg.counter("x"), CheckError);
+  EXPECT_THROW(reg.gauge("x"), CheckError);
+  EXPECT_THROW(reg.histogram("x"), CheckError);
+  EXPECT_THROW(reg.counter(""), CheckError);
+  // Names are claimed even on a disabled registry: flipping the enable
+  // flag must never change which registrations are legal.
+  MetricsRegistry off(false);
+  off.gauge("y");
+  EXPECT_THROW(off.counter("y"), CheckError);
+}
+
+TEST(MetricsProbeTest, RegistryReconcilesWithTheServeReport) {
+  using namespace axon::serve;
+  constexpr int kRequests = 1000;
+  AcceleratorPool pool(serve_scale_pool_config(ReadyQueueImpl::kIndexed));
+  MetricsRegistry reg;
+  MetricsProbe probe(&reg);
+  pool.add_probe(&probe);
+  const ServeReport r = pool.serve(serve_scale_trace(kRequests));
+
+  EXPECT_EQ(reg.counter_value("serve.requests"),
+            static_cast<i64>(r.num_requests()));
+  EXPECT_EQ(reg.counter_value("serve.batches"), r.total_batches);
+  EXPECT_EQ(reg.counter_value("serve.chunks"), r.total_chunks);
+  EXPECT_EQ(reg.counter_value("serve.preemptions"), r.preemptions);
+  // Every non-final chunk retire is one requeue.
+  EXPECT_EQ(reg.counter_value("serve.requeues"),
+            r.total_chunks - r.total_batches);
+  i64 misses = 0;
+  for (const auto& rec : r.records) {
+    if (!rec.met_deadline()) ++misses;
+  }
+  EXPECT_EQ(reg.counter_value("serve.deadline_misses"), misses);
+  EXPECT_EQ(reg.gauge_value("serve.makespan_cycles"), r.makespan_cycles);
+  const Histogram* latency = reg.find_histogram("serve.latency_cycles");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), r.num_requests());
+  EXPECT_EQ(latency->percentile_or(99), r.latency.percentile_or(99));
+  // The scale scenario keeps its queues busy: the peaks must have moved.
+  EXPECT_GT(reg.gauge_value("serve.queue_depth_peak"), 0);
+  EXPECT_GT(reg.gauge_value("serve.index_entries_peak"), 0);
+}
+
+}  // namespace
+}  // namespace axon::obs

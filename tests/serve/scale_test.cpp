@@ -35,9 +35,11 @@ void expect_identical_records(const ServeReport& a, const ServeReport& b) {
     EXPECT_EQ(x.workload, y.workload);
     EXPECT_EQ(x.gemm, y.gemm);
     EXPECT_EQ(x.arrival_cycle, y.arrival_cycle);
+    EXPECT_EQ(x.batch_ready_cycle, y.batch_ready_cycle);
     EXPECT_EQ(x.dispatch_cycle, y.dispatch_cycle);
     EXPECT_EQ(x.completion_cycle, y.completion_cycle);
     EXPECT_EQ(x.deadline_cycle, y.deadline_cycle);
+    EXPECT_EQ(x.service_cycles, y.service_cycles);
     EXPECT_EQ(x.priority, y.priority);
     EXPECT_EQ(x.batch_size, y.batch_size);
     EXPECT_EQ(x.batch_chunks, y.batch_chunks);

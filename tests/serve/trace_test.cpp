@@ -1,0 +1,117 @@
+// obs/trace TraceSink on the serve_scale scenario, test-sized (the same
+// 3k-request variant scale_test diffs): (1) the rendered Chrome-trace
+// JSON is byte-identical for 1 and 8 worker threads — the timeline is
+// emitted from the single-threaded serve loop in event order, so the
+// *string* is part of the determinism contract, and this suite matches
+// the serve_ filter so TSan watches the 8-thread side in CI; (2) the
+// trace reconciles with the ServeReport it was recorded alongside — span
+// durations sum to per-device busy cycles and preemption instants count
+// the report's preemptions; (3) probes are passive (attaching one changes
+// no record); (4) the latency breakdown identity the trace visualizes
+// holds exactly on every record.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+// Matches scale_test: deep enough for multi-chunk batches, realized
+// preemptions, and continuous-admission joins; small enough for TSan.
+constexpr int kTestRequests = 3000;
+
+struct TracedRun {
+  ServeReport report;
+  std::string json;
+  std::vector<i64> span_cycles;
+  i64 preemption_events = 0;
+  std::size_t num_events = 0;
+};
+
+TracedRun run_traced(int threads) {
+  AcceleratorPool pool(
+      serve_scale_pool_config(ReadyQueueImpl::kIndexed, threads));
+  obs::TraceSink sink;
+  pool.add_probe(&sink);
+  TracedRun out;
+  out.report = pool.serve(serve_scale_trace(kTestRequests));
+  out.json = sink.to_json();
+  out.span_cycles = sink.device_span_cycles();
+  out.preemption_events = sink.preemption_events();
+  out.num_events = sink.num_events();
+  return out;
+}
+
+TEST(ServeTraceTest, TraceBytesIdenticalAcrossThreadCounts) {
+  const TracedRun one = run_traced(1);
+  const TracedRun eight = run_traced(8);
+  ASSERT_GT(one.num_events, 0u);
+  EXPECT_EQ(one.num_events, eight.num_events);
+  ASSERT_EQ(one.json.size(), eight.json.size());
+  // operator== rather than EXPECT_EQ: on mismatch the latter would dump
+  // two multi-megabyte strings into the test log.
+  EXPECT_TRUE(one.json == eight.json)
+      << "trace JSON diverged between 1 and 8 worker threads";
+}
+
+TEST(ServeTraceTest, SpansReconcileWithTheReport) {
+  const TracedRun run = run_traced(1);
+  // Every executed chunk is one "X" span on its device's track, so the
+  // per-device span durations must sum to exactly the busy cycles the
+  // report accounted to that device — no invented or dropped execution.
+  ASSERT_EQ(run.span_cycles.size(), run.report.per_accelerator.size());
+  for (std::size_t i = 0; i < run.span_cycles.size(); ++i) {
+    EXPECT_EQ(run.span_cycles[i], run.report.per_accelerator[i].busy_cycles)
+        << "device " << i;
+  }
+  // One "preempt" instant per realized preemption, no more, no fewer.
+  EXPECT_GT(run.report.preemptions, 0);
+  EXPECT_EQ(run.preemption_events, run.report.preemptions);
+  // The document is the standard envelope the viewers load.
+  EXPECT_EQ(run.json.rfind("{\"traceEvents\":", 0), 0u);
+}
+
+TEST(ServeTraceTest, AttachingProbesChangesNoRecord) {
+  const TracedRun traced = run_traced(1);
+  const ServeReport bare =
+      AcceleratorPool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1))
+          .serve(serve_scale_trace(kTestRequests));
+  ASSERT_EQ(traced.report.records.size(), bare.records.size());
+  for (std::size_t i = 0; i < bare.records.size(); ++i) {
+    ASSERT_EQ(traced.report.records[i], bare.records[i]) << "record " << i;
+  }
+  EXPECT_EQ(traced.report.makespan_cycles, bare.makespan_cycles);
+  EXPECT_EQ(traced.report.preemptions, bare.preemptions);
+}
+
+TEST(ServeTraceTest, LatencyBreakdownSumsExactlyPerRecord) {
+  const ServeReport r =
+      AcceleratorPool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1))
+          .serve(serve_scale_trace(kTestRequests));
+  ASSERT_EQ(r.records.size(), static_cast<std::size_t>(kTestRequests));
+  i64 preempt_blocked_total = 0;
+  for (const RequestRecord& rec : r.records) {
+    EXPECT_GE(rec.batch_wait_cycles(), 0) << "id " << rec.id;
+    EXPECT_GE(rec.queue_wait_cycles(), 0) << "id " << rec.id;
+    EXPECT_GE(rec.service_cycles, 0) << "id " << rec.id;
+    EXPECT_GE(rec.preempt_blocked_cycles(), 0) << "id " << rec.id;
+    // The breakdown is an identity, not an approximation.
+    ASSERT_EQ(rec.batch_wait_cycles() + rec.queue_wait_cycles() +
+                  rec.service_cycles + rec.preempt_blocked_cycles(),
+              rec.latency_cycles())
+        << "id " << rec.id;
+  }
+  // The scenario chunks and preempts, so the blocked term is exercised.
+  for (const RequestRecord& rec : r.records) {
+    preempt_blocked_total += rec.preempt_blocked_cycles();
+  }
+  EXPECT_GT(preempt_blocked_total, 0);
+}
+
+}  // namespace
+}  // namespace axon::serve
