@@ -22,9 +22,14 @@
 //                                floor (runner wall-clock is noisy; the
 //                                measured ratio there is ~5x)
 //   --requests N                 override the full-mode sweep top size
-//                                (e.g. 1000000 for a million-request
+//                                (e.g. 10000000 for a ten-million-request
 //                                indexed sweep; the quadratic comparison
 //                                stays capped at the canonical 200k)
+//   --max-rss-mb N               fail (exit 1) if the process peak RSS
+//                                exceeds N MB after the sweep — CI's
+//                                memory-ceiling gate for the streaming
+//                                request pipeline (getrusage, so it works
+//                                on runners without /usr/bin/time)
 //   --trace PATH                 instead of the study, run a small (3k
 //                                request) variant of the scenario with a
 //                                Chrome-trace TraceSink attached and the
@@ -38,6 +43,8 @@
 // CI's gated simulated-cycle metrics for this scenario come from
 // bench_serve_throughput --smoke --json (same canonical trace, same
 // numbers); this binary is the wall-clock study and the cross-check.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -56,9 +63,22 @@ using namespace axon::serve;
 
 namespace {
 
+/// Process peak RSS in MB (getrusage; ru_maxrss is KB on Linux). A
+/// high-water mark, so per-sweep-point readings are cumulative — the
+/// largest point dominates, which is exactly what the ceiling gates.
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Streams the canonical trace straight from the generator — the whole
+/// point of the 10^7 sweep: memory holds one batch of columns per
+/// *retired* request plus O(clients) generator state, never a
+/// materialized request deque.
 ServeReport run_scale(int requests, ReadyQueueImpl impl) {
-  return AcceleratorPool(serve_scale_pool_config(impl))
-      .serve(serve_scale_trace(requests));
+  BurstyTraceSource source = serve_scale_source(requests);
+  return AcceleratorPool(serve_scale_pool_config(impl)).serve(source);
 }
 
 /// Record diff via RequestRecord::operator== (the all-fields primitive);
@@ -81,7 +101,7 @@ bool records_identical(const ServeReport& a, const ServeReport& b) {
 
 void scaling_sweep(const std::vector<int>& sizes) {
   Table t({"requests", "batches", "chunks", "makespan", "slo_%", "wall_s",
-           "us/req"});
+           "us/req", "rss_mb"});
   for (const int n : sizes) {
     const ServeReport r = run_scale(n, ReadyQueueImpl::kIndexed);
     t.row()
@@ -91,12 +111,14 @@ void scaling_sweep(const std::vector<int>& sizes) {
         .cell(r.makespan_cycles)
         .cell(100.0 * r.slo_attainment(), 1)
         .cell(r.wall_seconds, 3)
-        .cell(1e6 * r.wall_seconds / static_cast<double>(n), 3);
+        .cell(1e6 * r.wall_seconds / static_cast<double>(n), 3)
+        .cell(peak_rss_mb(), 1);
   }
   t.print(std::cout,
           "Indexed serve core scaling (EDF + continuous admission + "
           "deadline-aware chunks, bursty mixed-SLO)");
-  std::cout << "us/req holding near-constant = near-linear in trace size.\n\n";
+  std::cout << "us/req holding near-constant = near-linear in trace size; "
+               "rss_mb is the process high-water mark after each point.\n\n";
 }
 
 int compare_impls(int requests, double min_speedup) {
@@ -179,11 +201,27 @@ int run_traced(const std::string& trace_path,
   return 0;
 }
 
+/// Enforces the committed memory ceiling after the sweep; 0 disables.
+int check_rss_ceiling(double max_rss_mb) {
+  if (max_rss_mb <= 0.0) return 0;
+  const double rss = peak_rss_mb();
+  if (rss > max_rss_mb) {
+    std::cerr << "FAIL: peak RSS " << fmt_double(rss, 1) << " MB exceeds the "
+              << fmt_double(max_rss_mb, 1) << " MB ceiling — the streaming "
+              << "pipeline regressed to materializing per-request state\n";
+    return 1;
+  }
+  std::cout << "peak RSS " << fmt_double(rss, 1) << " MB (ceiling "
+            << fmt_double(max_rss_mb, 1) << " MB)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   int full = kServeScaleRequests;
+  double max_rss_mb = 0.0;
   std::string trace_path;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
@@ -196,13 +234,15 @@ int main(int argc, char** argv) {
         std::cerr << "--requests needs a sensible size\n";
         return 2;
       }
+    } else if (arg == "--max-rss-mb" && i + 1 < argc) {
+      max_rss_mb = std::atof(argv[++i]);
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else {
       std::cerr << "usage: bench_serve_scale [--smoke] [--requests N] "
-                   "[--trace PATH] [--metrics-json PATH]\n";
+                   "[--max-rss-mb N] [--trace PATH] [--metrics-json PATH]\n";
       return 2;
     }
   }
@@ -218,12 +258,16 @@ int main(int argc, char** argv) {
     // in one process, so landing under 1.5x means the index lost its
     // complexity edge, not that the runner had a bad day. The >= 10x
     // claim belongs to the full run at the canonical size.
-    return compare_impls(full / 5, 1.5);
+    const int rc = compare_impls(full / 5, 1.5);
+    if (rc != 0) return rc;
+    return check_rss_ceiling(max_rss_mb);
   }
   scaling_sweep({full / 8, full / 4, full / 2, full});
   // The comparison caps at the canonical size: the scan side is O(n^2),
-  // so letting a --requests 1000000 sweep drag it along would turn a
-  // ~1.5 s indexed study into minutes of quadratic baseline for no extra
-  // information — the 10x claim is defined at kServeScaleRequests.
-  return compare_impls(std::min(full, kServeScaleRequests), 10.0);
+  // so letting a --requests 10000000 sweep drag it along would turn a
+  // seconds-long indexed study into hours of quadratic baseline for no
+  // extra information — the 10x claim is defined at kServeScaleRequests.
+  const int rc = compare_impls(std::min(full, kServeScaleRequests), 10.0);
+  if (rc != 0) return rc;
+  return check_rss_ceiling(max_rss_mb);
 }

@@ -10,6 +10,8 @@
 // only — same numbers on any machine and thread count) and writes them as
 // JSON for the perf-trajectory artifact. See README "CI" for the cache
 // keys and how to reproduce locally.
+#include <sys/resource.h>
+
 #include <fstream>
 #include <string>
 #include <thread>
@@ -28,6 +30,14 @@ using namespace axon::serve;
 namespace {
 
 constexpr std::uint64_t kSeed = 404;
+
+/// Process peak RSS in MB (getrusage; ru_maxrss is KB on Linux) — the
+/// informational memory trajectory the 10^7-request scenario publishes.
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 RequestQueue trace_for(const std::vector<GemmWorkload>& mix, int n,
                        double gap) {
@@ -51,12 +61,13 @@ void sweep(std::ostream& os, const std::string& name,
     for (int mb : {1, 8}) {
       const ServeReport r =
           AcceleratorPool(config(pool, mb)).serve(trace_for(mix, 192, 20000.0));
+      const Histogram lat = r.latency();
       t.row()
           .cell(pool)
           .cell(mb)
-          .cell(r.latency.percentile(50))
-          .cell(r.latency.percentile(95))
-          .cell(r.latency.percentile(99))
+          .cell(lat.percentile(50))
+          .cell(lat.percentile(95))
+          .cell(lat.percentile(99))
           .cell(r.throughput_per_mcycle(), 2)
           .cell(100.0 * r.fleet_utilization(), 1);
     }
@@ -97,8 +108,8 @@ void slo_sweep(std::ostream& os) {
     t.row()
         .cell(to_string(policy))
         .cell(100.0 * r.slo_attainment(), 1)
-        .cell(r.latency.percentile_or(99))
-        .cell(r.overall.miss.percentile_or(99))
+        .cell(r.latency().percentile_or(99))
+        .cell(r.overall().miss.percentile_or(99))
         .cell(r.throughput_per_mcycle(), 2);
   }
   t.print(os, "Deadline-aware policy sweep (bursty decode+prefill, SLOs)");
@@ -138,7 +149,7 @@ void fleet_sweep(std::ostream& os) {
         .cell(to_string(routing))
         .cell(r.throughput_per_mcycle(), 2)
         .cell(100.0 * r.slo_attainment(), 1)
-        .cell(r.latency.percentile_or(99))
+        .cell(r.latency().percentile_or(99))
         .cell(100.0 * r.fleet_utilization(), 1)
         .cell(fleet_cache_hit_pct(r), 1);
   }
@@ -168,7 +179,7 @@ void chunk_sweep(std::ostream& os) {
     t.row()
         .cell(to_string(chunking))
         .cell(100.0 * r.slo_attainment(), 1)
-        .cell(r.latency.percentile_or(99))
+        .cell(r.latency().percentile_or(99))
         .cell(r.total_chunks)
         .cell(r.preemptions)
         .cell(r.throughput_per_mcycle(), 2)
@@ -307,6 +318,34 @@ std::vector<Scenario> smoke_scenarios() {
     }
     out.push_back(std::move(s));
   }
+  // Closed-loop client population, both service models (serve/scenarios
+  // closed_loop): estimate mode re-issues on a fixed service stand-in and
+  // over-drives the saturated fleet; feedback mode blocks each client on
+  // its request's *actual* completion (TraceSource::on_complete), so load
+  // self-limits at num_clients in flight. Both timelines are deterministic
+  // — feedback depends on the pool config but not on threads — so both
+  // gate; the gap between their makespans/latencies is the scenario's
+  // point.
+  for (const bool feedback : {false, true}) {
+    ClosedLoopTraceSource source = closed_loop_source(feedback);
+    AcceleratorPool pool(closed_loop_pool_config());
+    out.push_back({feedback ? "closed_loop_feedback" : "closed_loop_estimate",
+                   pool.serve(source)});
+  }
+  // The streaming-pipeline scenario: 10^7 mixed-SLO requests served
+  // straight from the generator through the columnar record store.
+  // Simulated cycles gate like every other scenario; the peak-RSS reading
+  // rides along under the informational "rss_" prefix (it is a host
+  // number — allocator and libc dependent — but its order of magnitude is
+  // the streaming claim: ~0.8 GB where materialized requests plus eager
+  // per-request histograms needed several).
+  {
+    BurstyTraceSource source = serve_scale_source(10000000);
+    AcceleratorPool pool(serve_scale_pool_config(ReadyQueueImpl::kIndexed));
+    Scenario s{"serve_scale_10m", pool.serve(source), {}};
+    s.extra.emplace_back("rss_mb_peak", fmt_double(peak_rss_mb(), 1));
+    out.push_back(std::move(s));
+  }
   return out;
 }
 
@@ -321,7 +360,7 @@ int run_smoke(const std::string& json_path) {
         .cell(static_cast<i64>(s.report.num_requests()))
         .cell(s.report.makespan_cycles)
         .cell(s.report.throughput_per_mcycle(), 2)
-        .cell(s.report.latency.percentile_or(99))
+        .cell(s.report.latency().percentile_or(99))
         .cell(100.0 * s.report.slo_attainment(), 1)
         .cell(fleet_cache_hit_pct(s.report), 1);
   }
@@ -337,6 +376,7 @@ int run_smoke(const std::string& json_path) {
        << "  \"units\": \"simulated_cycles\",\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const ServeReport& r = scenarios[i].report;
+      const Histogram lat = r.latency();
       os << "    {\n"
          << "      \"name\": \"" << scenarios[i].name << "\",\n"
          << "      \"requests\": " << r.num_requests() << ",\n"
@@ -346,9 +386,9 @@ int run_smoke(const std::string& json_path) {
          << "      \"makespan_cycles\": " << r.makespan_cycles << ",\n"
          << "      \"throughput_per_mcycle\": "
          << fmt_double(r.throughput_per_mcycle(), 4) << ",\n"
-         << "      \"latency_p50_cycles\": " << r.latency.percentile_or(50)
+         << "      \"latency_p50_cycles\": " << lat.percentile_or(50)
          << ",\n"
-         << "      \"latency_p99_cycles\": " << r.latency.percentile_or(99)
+         << "      \"latency_p99_cycles\": " << lat.percentile_or(99)
          << ",\n"
          << "      \"slo_attainment_pct\": "
          << fmt_double(100.0 * r.slo_attainment(), 2) << ",\n"

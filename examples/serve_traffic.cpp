@@ -62,13 +62,14 @@ PoolConfig base_config() {
 }
 
 void add_row(Table& t, const std::string& label, const ServeReport& r) {
+  const Histogram lat = r.latency();
   t.row()
       .cell(label)
       .cell(r.total_batches)
       .cell(r.mean_batch_size(), 2)
-      .cell(r.latency.percentile(50))
-      .cell(r.latency.percentile(95))
-      .cell(r.latency.percentile(99))
+      .cell(lat.percentile(50))
+      .cell(lat.percentile(95))
+      .cell(lat.percentile(99))
       .cell(r.throughput_per_mcycle(), 2)
       .cell(100.0 * r.fleet_utilization(), 1);
 }
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
              "miss_p99"});
     const auto slo_row = [&t](const std::string& label, const ServeReport& r) {
       double decode_met = 0, decode_all = 0, prefill_met = 0, prefill_all = 0;
-      for (const auto& [name, g] : r.by_workload) {
+      for (const auto& [name, g] : r.by_workload()) {
         const bool prefill = name.rfind("prefill", 0) == 0;
         (prefill ? prefill_met : decode_met) +=
             static_cast<double>(g.met_deadline);
@@ -223,8 +224,8 @@ int main(int argc, char** argv) {
           .cell(100.0 * r.slo_attainment(), 1)
           .cell(pct(decode_met, decode_all))
           .cell(pct(prefill_met, prefill_all))
-          .cell(r.latency.percentile_or(99))
-          .cell(r.overall.miss.percentile_or(99));
+          .cell(r.latency().percentile_or(99))
+          .cell(r.overall().miss.percentile_or(99));
     };
     slo_row("FIFO", fifo);
     slo_row("EDF+classes", edf);
@@ -236,7 +237,7 @@ int main(int argc, char** argv) {
     const bool edf_deterministic =
         edf.makespan_cycles == edf8.makespan_cycles &&
         edf.slo_attainment() == edf8.slo_attainment() &&
-        edf.latency.percentile_or(99) == edf8.latency.percentile_or(99);
+        edf.latency().percentile_or(99) == edf8.latency().percentile_or(99);
     std::cout << "EDF SLO numbers identical for 1 and 8 threads: "
               << (edf_deterministic ? "yes" : "NO") << "\n";
     const bool edf_wins = edf.slo_attainment() > fifo.slo_attainment();
@@ -275,7 +276,7 @@ int main(int argc, char** argv) {
           .cell(label)
           .cell(r.throughput_per_mcycle(), 2)
           .cell(100.0 * r.slo_attainment(), 1)
-          .cell(r.latency.percentile_or(99))
+          .cell(r.latency().percentile_or(99))
           .cell(r.makespan_cycles)
           .cell(100.0 * r.fleet_utilization(), 1);
     };
@@ -290,7 +291,7 @@ int main(int argc, char** argv) {
     const bool fleet_deterministic =
         cost.makespan_cycles == cost8.makespan_cycles &&
         cost.slo_attainment() == cost8.slo_attainment() &&
-        cost.latency.percentile_or(99) == cost8.latency.percentile_or(99);
+        cost.latency().percentile_or(99) == cost8.latency().percentile_or(99);
     std::cout << "cost-aware fleet numbers identical for 1 and 8 threads: "
               << (fleet_deterministic ? "yes" : "NO") << "\n";
     const bool cost_wins_throughput =
@@ -333,14 +334,14 @@ int main(int argc, char** argv) {
     // prefill rides in the same report but has its own loose budget).
     const auto decode_p99 = [](const ServeReport& r) {
       Histogram decode;
-      for (const auto& [name, g] : r.by_workload) {
+      for (const auto& [name, g] : r.by_workload()) {
         if (name.rfind("decode", 0) == 0) decode.merge(g.latency);
       }
       return decode.percentile_or(99);
     };
     const auto decode_blocking_p99 = [](const ServeReport& r) {
       Histogram blocking;
-      for (const auto& [name, g] : r.by_workload) {
+      for (const auto& [name, g] : r.by_workload()) {
         if (name.rfind("decode", 0) == 0) blocking.merge(g.blocking);
       }
       return blocking.percentile_or(99);
@@ -392,29 +393,28 @@ int main(int argc, char** argv) {
   {
     Table t({"threads", "p50", "p95", "p99", "makespan", "wall_ms"});
     ServeReport reports[2];
+    Histogram latencies[2];
     int i = 0;
     for (int threads : {1, 8}) {
       PoolConfig cfg = base_config();
       cfg.num_threads = threads;
       reports[i] = AcceleratorPool(cfg).serve(make_trace(kRequests, kMeanGap));
       const ServeReport& r = reports[i];
+      latencies[i] = r.latency();
       t.row()
           .cell(std::to_string(threads))
-          .cell(r.latency.percentile(50))
-          .cell(r.latency.percentile(95))
-          .cell(r.latency.percentile(99))
+          .cell(latencies[i].percentile(50))
+          .cell(latencies[i].percentile(95))
+          .cell(latencies[i].percentile(99))
           .cell(r.makespan_cycles)
           .cell(1000.0 * r.wall_seconds, 2);
       ++i;
     }
     t.print(std::cout, "Thread-count determinism (same seed)");
     const bool identical =
-        reports[0].latency.percentile(50) ==
-            reports[1].latency.percentile(50) &&
-        reports[0].latency.percentile(95) ==
-            reports[1].latency.percentile(95) &&
-        reports[0].latency.percentile(99) ==
-            reports[1].latency.percentile(99) &&
+        latencies[0].percentile(50) == latencies[1].percentile(50) &&
+        latencies[0].percentile(95) == latencies[1].percentile(95) &&
+        latencies[0].percentile(99) == latencies[1].percentile(99) &&
         reports[0].makespan_cycles == reports[1].makespan_cycles;
     std::cout << "simulated cycles identical across thread counts: "
               << (identical ? "yes" : "NO") << "\n\n";

@@ -68,7 +68,14 @@ INFORMATIONAL_METRICS = {
 
 
 def is_informational(metric):
-    return metric in INFORMATIONAL_METRICS or metric.startswith("wall_")
+    # "wall_" = host wall-clock, "rss_" = host peak memory: both are
+    # host-side measurements (the RSS high-water mark is process-wide and
+    # allocator-dependent), so they inform the trajectory but never gate.
+    return (
+        metric in INFORMATIONAL_METRICS
+        or metric.startswith("wall_")
+        or metric.startswith("rss_")
+    )
 
 
 def load_scenarios(path):
@@ -265,6 +272,10 @@ def self_test():
         "wall_ keys never gate",
         _scenario(wall_phase_pick_seconds=0.001),
         _scenario(wall_phase_pick_seconds=99.0), 0)
+    ok &= _run_case(
+        "rss_ keys never gate",
+        _scenario(rss_mb_peak=100.0),
+        _scenario(rss_mb_peak=9000.0), 0)
     ok &= _run_case(
         "unclassified metric informs, never gates",
         _scenario(brand_new_metric=1),

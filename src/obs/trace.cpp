@@ -43,7 +43,7 @@ std::string metadata(int pid, i64 tid, const char* what,
 
 /// Stable identity of a batch across its whole life: the id of its first
 /// member (joins append, chunking never reorders members).
-i64 batch_id(const serve::Batch& b) { return b.requests.front().id; }
+i64 batch_id(const serve::Batch& b) { return b.members.front().id; }
 
 }  // namespace
 
@@ -60,10 +60,13 @@ void TraceSink::ensure_class_track(int priority) {
 }
 
 void TraceSink::on_serve_begin(const std::vector<std::string>& devices,
+                               const std::vector<std::string>& workloads,
                                std::size_t num_requests) {
   AXON_CHECK(!started_, "TraceSink records a single serve() run");
   started_ = true;
   devices_ = devices;
+  workloads_.reserve(workloads.size());
+  for (const std::string& w : workloads) workloads_.push_back(json_escape(w));
   device_span_cycles_.assign(devices.size(), 0);
   // ~200 bytes per event, several events per request: pre-size the buffer
   // so big traces do not pay doubling churn.
@@ -84,7 +87,7 @@ void TraceSink::on_enqueue(const serve::Request& r, i64 now) {
   os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kClassesPid
      << ",\"tid\":" << r.priority << ",\"ts\":" << now
      << ",\"cat\":\"req\",\"name\":\"enqueue r" << r.id
-     << "\",\"args\":{\"workload\":\"" << json_escape(r.workload)
+     << "\",\"args\":{\"workload\":\"" << workloads_[r.workload]
      << "\",\"m\":" << r.gemm.M << ",\"deadline\":" << r.deadline_cycle
      << "}}";
   emit(os.str());

@@ -51,6 +51,7 @@ class TraceSink : public PoolProbe {
   TraceSink() = default;
 
   void on_serve_begin(const std::vector<std::string>& devices,
+                      const std::vector<std::string>& workloads,
                       std::size_t num_requests) override;
   void on_enqueue(const serve::Request& r, i64 now) override;
   void on_join(const serve::Batch& b, i64 request_id, i64 now) override;
@@ -88,6 +89,9 @@ class TraceSink : public PoolProbe {
 
   bool started_ = false;
   std::vector<std::string> devices_;
+  /// WorkloadId -> pre-escaped name, captured at serve begin so enqueue
+  /// instants render interned ids as the original workload strings.
+  std::vector<std::string> workloads_;
   std::set<int> named_classes_;
   /// Batches with an open preemption-gap async span, keyed by the batch's
   /// first request id (its stable identity).

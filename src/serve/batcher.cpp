@@ -27,8 +27,8 @@ void tighten_aggregates(const Request& r, i64& earliest_deadline,
 
 }  // namespace
 
-void Batch::absorb(Request r) {
-  AXON_CHECK(!requests.empty(), "absorb into an empty batch");
+void Batch::absorb(const Request& r, std::uint32_t row) {
+  AXON_CHECK(!members.empty(), "absorb into an empty batch");
   AXON_CHECK(m_executed == 0,
              "absorb into a partially executed batch (m_executed=", m_executed,
              " of M=", gemm.M, ")");
@@ -36,28 +36,25 @@ void Batch::absorb(Request r) {
              "absorb requires matching (K, N)");
   gemm.M += r.gemm.M;
   tighten_aggregates(r, earliest_deadline, top_priority);
-  requests.push_back(std::move(r));
+  members.push_back({r.id, row});
 }
 
-Batch DynamicBatcher::close_group(Group&& group, i64 ready_cycle) {
-  // Seed the batch from the first member, then absorb() the rest so batch
-  // aggregates (merged M, earliest deadline, top priority) have a single
-  // maintenance path shared with late continuous-admission joins.
+Batch DynamicBatcher::close_group(const Key& key, Group&& group,
+                                  i64 ready_cycle) {
+  // The group folded its aggregates in per admit through the same
+  // tighten_aggregates path continuous-admission joins use, so closing is
+  // a straight transfer — no member walk, members carry no shape to walk.
   Batch b;
   b.open_cycle = group.oldest_admit;
-  Request first = std::move(group.members.front());
-  b.gemm = first.gemm;
-  b.top_priority = first.priority;
-  tighten_aggregates(first, b.earliest_deadline, b.top_priority);
-  b.requests.push_back(std::move(first));
-  for (std::size_t i = 1; i < group.members.size(); ++i) {
-    b.absorb(std::move(group.members[i]));
-  }
+  b.gemm = {group.merged_m, key.first, key.second};
+  b.earliest_deadline = group.earliest_deadline;
+  b.top_priority = group.top_priority;
+  b.members = std::move(group.members);
   b.ready_cycle = ready_cycle;
   return b;
 }
 
-void DynamicBatcher::admit(Request r, i64 now) {
+void DynamicBatcher::admit(const Request& r, i64 now, std::uint32_t row) {
   AXON_CHECK(r.gemm.valid(), "request GEMM invalid: ", r.gemm);
   AXON_CHECK(now >= r.arrival_cycle, "admit before arrival");
   const Key key{r.gemm.K, r.gemm.N};
@@ -73,9 +70,9 @@ void DynamicBatcher::admit(Request r, i64 now) {
   }
   group.merged_m += r.gemm.M;
   tighten_aggregates(r, group.earliest_deadline, group.top_priority);
-  group.members.push_back(std::move(r));
+  group.members.push_back({r.id, row});
   if (static_cast<int>(group.members.size()) >= policy_.max_batch) {
-    ready_.push_back(close_group(std::move(group), now));
+    ready_.push_back(close_group(key, std::move(group), now));
     open_.erase(key);
   }
 }
@@ -103,7 +100,7 @@ std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
     timeouts_.pop();
     const auto it = open_.find(t.key);
     AXON_CHECK(it != open_.end(), "pruned timeout for a closed group");
-    ready_.push_back(close_group(std::move(it->second), t.deadline));
+    ready_.push_back(close_group(t.key, std::move(it->second), t.deadline));
     open_.erase(it);
   }
   std::vector<Batch> out(std::make_move_iterator(ready_.begin()),
@@ -111,14 +108,14 @@ std::vector<Batch> DynamicBatcher::pop_ready(i64 now) {
   ready_.clear();
   std::sort(out.begin(), out.end(), [](const Batch& a, const Batch& b) {
     if (a.ready_cycle != b.ready_cycle) return a.ready_cycle < b.ready_cycle;
-    return a.requests.front().id < b.requests.front().id;
+    return a.members.front().id < b.members.front().id;
   });
   return out;
 }
 
 std::vector<Batch> DynamicBatcher::flush(i64 now) {
   for (auto& [key, group] : open_) {
-    ready_.push_back(close_group(std::move(group), now));
+    ready_.push_back(close_group(key, std::move(group), now));
   }
   open_.clear();
   return pop_ready(now);
@@ -146,7 +143,7 @@ Batch DynamicBatcher::close_open(i64 K, i64 N, i64 now) {
   const auto it = open_.find(Key{K, N});
   AXON_CHECK(it != open_.end(), "close_open(): no open group for (", K, ", ",
              N, ")");
-  Batch b = close_group(std::move(it->second), now);
+  Batch b = close_group(it->first, std::move(it->second), now);
   open_.erase(it);
   return b;
 }

@@ -33,10 +33,23 @@ struct BatchPolicy {
   bool continuous_admission = false;
 };
 
+/// One admitted member of a batch. The request's immutable fields
+/// (workload, shape, arrival, deadline, priority) were written to the
+/// report's columnar record store at admission; `row` is that record's
+/// index, all the retire path needs to finish the record in place. Only
+/// the id rides along — scheduling tie-breaks and completion feedback key
+/// on it. Keeping members at 16 bytes is what bounds a 10^7-request
+/// backlog: a saturated trace holds most of its requests inside queued
+/// batches at peak, so member size — not trace size — is the memory knob.
+struct BatchMember {
+  i64 id = 0;
+  std::uint32_t row = 0;
+};
+
 /// A closed batch: members share (K, N); the merged GEMM concatenates
 /// their Ms.
 struct Batch {
-  std::vector<Request> requests;
+  std::vector<BatchMember> members;
   GemmShape gemm;       ///< M = sum of member Ms
   i64 open_cycle = 0;   ///< simulated cycle its group took its first member
   i64 ready_cycle = 0;  ///< simulated cycle the batch closed
@@ -60,7 +73,7 @@ struct Batch {
   /// between chunks (preempted or waiting for a device).
   i64 service_cycles = 0;
 
-  [[nodiscard]] int size() const { return static_cast<int>(requests.size()); }
+  [[nodiscard]] int size() const { return static_cast<int>(members.size()); }
   /// Rows of the merged M still to execute.
   [[nodiscard]] i64 remaining_m() const { return gemm.M - m_executed; }
   /// The GEMM the next dispatch would run if it took all remaining rows.
@@ -70,11 +83,12 @@ struct Batch {
 
   /// Adds a late same-(K, N) arrival to a not-yet-dispatched batch,
   /// extending the merged M and tightening deadline/priority aggregates.
-  /// Rejects (AXON_CHECK) a batch that already executed a chunk: members
-  /// of a partially executed batch complete together, so admitting into
-  /// one would retroactively grow work that is already priced and partly
+  /// `row` is the arrival's already-written record row. Rejects
+  /// (AXON_CHECK) a batch that already executed a chunk: members of a
+  /// partially executed batch complete together, so admitting into one
+  /// would retroactively grow work that is already priced and partly
   /// done.
-  void absorb(Request r);
+  void absorb(const Request& r, std::uint32_t row = 0);
 };
 
 class DynamicBatcher {
@@ -82,8 +96,10 @@ class DynamicBatcher {
   explicit DynamicBatcher(BatchPolicy policy);
 
   /// Admits a request at simulated cycle `now` (>= r.arrival_cycle; the
-  /// serving loop admits on arrival). May close a batch (max_batch hit).
-  void admit(Request r, i64 now);
+  /// serving loop admits on arrival). `row` is the record-store row the
+  /// pool wrote for this request at admission (standalone batcher tests
+  /// leave it 0). May close a batch (max_batch hit).
+  void admit(const Request& r, i64 now, std::uint32_t row = 0);
 
   /// Closes every open group whose deadline (oldest admit + max_wait) has
   /// passed, then returns all closed batches in deterministic FIFO order
@@ -139,7 +155,7 @@ class DynamicBatcher {
 
  private:
   struct Group {
-    std::vector<Request> members;
+    std::vector<BatchMember> members;
     i64 oldest_admit = 0;
     // Scheduler-visible aggregates, folded in per admit so views and
     // timeout queries never re-walk the member list.
@@ -168,7 +184,7 @@ class DynamicBatcher {
   /// Builds the closed Batch for a group; callers decide where it goes
   /// (ready_ for timeout/max-batch closes, straight to the pool for
   /// continuous-admission closes).
-  static Batch close_group(Group&& group, i64 ready_cycle);
+  static Batch close_group(const Key& key, Group&& group, i64 ready_cycle);
 
   /// Drops stale calendar tops; the surviving top (if any) names a live
   /// group. Const because next_timeout() is a pure query of simulated

@@ -222,7 +222,7 @@ i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
   return best;
 }
 
-ServeReport AcceleratorPool::serve(RequestQueue requests) {
+ServeReport AcceleratorPool::serve(TraceSource& source) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   const std::size_t fleet_size = fleet_.size();
@@ -263,9 +263,13 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
   ServeReport report;
   report.num_accelerators = static_cast<int>(fleet_size);
   report.num_threads = config_.num_threads;
-  // One record per request, known up front — million-request traces must
-  // not pay realloc-and-copy churn on the way there.
-  report.records.reserve(requests.size());
+  // Records re-materialize workload names from this table at render time;
+  // a copy keeps the report self-contained after the source is gone.
+  report.workloads = source.registry();
+  // One record per request, known up front for every built-in source —
+  // ten-million-request traces must not pay realloc-and-copy churn on the
+  // way there.
+  report.records.reserve(source.size_hint());
 
   // Observability: probes see every serve-loop event from this thread, in
   // event order (obs/probe.hpp); the profiler accounts wall time by loop
@@ -278,7 +282,8 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
       device_names.push_back(spec.name);
     }
     for (obs::PoolProbe* p : probes_) {
-      p->on_serve_begin(device_names, requests.size());
+      p->on_serve_begin(device_names, source.registry().names(),
+                        source.size_hint());
     }
   }
 
@@ -286,10 +291,18 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
 
   const auto admit_and_collect = [&] {
     const auto phase = profiler.time(obs::ServePhase::kAdmit);
-    while (!requests.empty() && requests.next_arrival() <= now) {
-      Request r = requests.pop();
+    // next_arrival() < 0 means nothing poppable: the source is exhausted,
+    // or (closed loop with feedback) every client is blocked on an
+    // in-flight request — the loop advances on completions instead.
+    for (i64 a; (a = source.next_arrival()) >= 0 && a <= now;) {
+      Request r = source.pop();
       const i64 arrival = r.arrival_cycle;
       for (obs::PoolProbe* p : probes_) p->on_enqueue(r, now);
+      // File the request's immutable record fields now, in admission order;
+      // queued batches carry only {id, row} and retire completes the row in
+      // place. finalize() sorts records by id, so the streamed write order
+      // is invisible externally.
+      const std::uint32_t row = report.records.push_admitted(r);
       if (config_.batching.continuous_admission) {
         // Continuous admission, join side: a closed-but-undispatched batch
         // with the same weights and spare seats takes the late arrival
@@ -303,18 +316,20 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         if (slot >= 0) {
           const i64 joined_id = r.id;
           Batch& b = ready.batch(slot);
-          b.absorb(std::move(r));
+          b.absorb(r, row);
           ready.joined(slot, estimate_cycles(b));
           for (obs::PoolProbe* p : probes_) p->on_join(b, joined_id, now);
           continue;
         }
       }
-      batcher.admit(std::move(r), arrival);
+      batcher.admit(r, arrival, row);
     }
     // Once the trace is exhausted nothing can fill an open group, so close
-    // them at the current cycle instead of waiting out max_wait.
+    // them at the current cycle instead of waiting out max_wait. A merely
+    // blocked source (feedback closed loop, all clients in flight) is NOT
+    // exhausted — its re-issues may still fill open groups.
     std::vector<Batch> closed =
-        requests.empty() ? batcher.flush(now) : batcher.pop_ready(now);
+        source.exhausted() ? batcher.flush(now) : batcher.pop_ready(now);
     for (auto& b : closed) {
       for (obs::PoolProbe* p : probes_) p->on_batch_formed(b, now);
       const i64 estimate = estimate_cycles(b);
@@ -489,7 +504,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
       // pointer instead of copying it and the whole request vector per
       // dispatch.
       f.future = workers.submit([chunk_gemm,
-                                 first_id = f.batch.requests.front().id,
+                                 first_id = f.batch.members.front().id,
                                  chunk_ordinal, spec = &fleet_[acc],
                                  exec = config_.exec,
                                  seed = config_.data_seed, weights_resident] {
@@ -568,7 +583,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     const auto consider = [&next](i64 t) {
       if (t >= 0 && (next < 0 || t < next)) next = t;
     };
-    if (!requests.empty()) consider(requests.next_arrival());
+    consider(source.next_arrival());
     consider(batcher.next_timeout());
     if (!completions.empty()) consider(completions.top().cycle);
     if (next < 0) break;  // fully drained
@@ -608,25 +623,27 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
         const i64 estimate = estimate_cycles(f.batch);
         ready.push(std::move(f.batch), estimate);
       } else {
-        // Final chunk: the batch's members complete together now.
+        // Final chunk: the batch's members complete together now — the
+        // shared fields file once in the batch table, each member's
+        // admission-time row just links to them.
         const i64 batch_service = f.batch.service_cycles + busy_cycles;
-        for (const auto& r : f.batch.requests) {
-          RequestRecord rec;
-          rec.id = r.id;
-          rec.workload = r.workload;
-          rec.gemm = r.gemm;
-          rec.arrival_cycle = r.arrival_cycle;
-          rec.batch_ready_cycle = f.batch.ready_cycle;
-          rec.dispatch_cycle = f.batch.first_dispatch_cycle;
-          rec.completion_cycle = f.completion_cycle;
-          rec.deadline_cycle = r.deadline_cycle;
-          rec.service_cycles = batch_service;
-          rec.priority = r.priority;
-          rec.batch_size = f.batch.size();
-          rec.batch_chunks = f.batch.chunks_run;
-          rec.accelerator = f.accelerator;
-          for (obs::PoolProbe* p : probes_) p->on_request_done(rec);
-          report.records.push_back(std::move(rec));
+        const std::uint32_t batch_row = report.records.push_batch(
+            f.batch.ready_cycle, f.batch.first_dispatch_cycle,
+            f.completion_cycle, batch_service, f.batch.size(),
+            f.batch.chunks_run, f.accelerator);
+        for (const BatchMember& m : f.batch.members) {
+          report.records.complete_row(m.row, batch_row);
+          if (!probes_.empty()) {
+            const RequestRecord rec = report.records[m.row];
+            for (obs::PoolProbe* p : probes_) p->on_request_done(rec);
+          }
+          // Completion feedback: a closed-loop source unblocks this
+          // request's client and schedules its next issue from the
+          // *observed* completion, not an estimate. Retire runs before the
+          // next admit pass, so a re-issue landing at this very cycle is
+          // admitted on the following loop iteration — after every
+          // completion due now has been filed.
+          source.on_complete(m.id, f.completion_cycle);
         }
         ++report.total_batches;
       }
@@ -635,7 +652,7 @@ ServeReport AcceleratorPool::serve(RequestQueue requests) {
     }
   }
 
-  AXON_CHECK(requests.empty() && batcher.idle() && ready.empty() &&
+  AXON_CHECK(source.exhausted() && batcher.idle() && ready.empty() &&
                  completions.empty() && pending.empty(),
              "serve loop exited with work outstanding");
 

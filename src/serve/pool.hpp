@@ -180,9 +180,18 @@ class AcceleratorPool {
   /// disabled path costs nothing measurable.
   void add_probe(obs::PoolProbe* probe);
 
-  /// Serves the whole trace to completion and returns the finalized
-  /// report. Consumes the queue.
-  ServeReport serve(RequestQueue requests);
+  /// Serves a pull-based trace source to completion and returns the
+  /// finalized report. Requests are popped lazily as simulated time
+  /// reaches their arrivals, so a generator-backed source never holds the
+  /// whole trace in memory; completion feedback (closed-loop sources)
+  /// flows back through TraceSource::on_complete at request retire.
+  ServeReport serve(TraceSource& source);
+
+  /// Convenience overload for a pre-materialized trace. Consumes the
+  /// queue (RequestQueue is itself a TraceSource).
+  ServeReport serve(RequestQueue requests) {
+    return serve(static_cast<TraceSource&>(requests));
+  }
 
   /// Fleet-cycle cost of `gemm` on one fleet member: the device roofline
   /// converted to the reference clock. `weights_resident` prices a

@@ -1,11 +1,202 @@
 #include "serve/report.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
+#include <tuple>
 
+#include "common/check.hpp"
 #include "common/table.hpp"
+#include "serve/request.hpp"
 
 namespace axon::serve {
+
+void RecordStore::reserve(std::size_t n) {
+  // Per-request columns only: the batch table is ~an order of magnitude
+  // smaller and amortized growth is fine there.
+  workload_.reserve(n);
+  gemm_id_.reserve(n);
+  arrival_cycle_.reserve(n);
+  deadline_cycle_.reserve(n);
+  priority_.reserve(n);
+  batch_ref_.reserve(n);
+}
+
+void RecordStore::materialize_ids() {
+  id_.resize(size());
+  for (std::size_t i = 0; i < id_.size(); ++i) {
+    id_[i] = static_cast<i64>(i);
+  }
+  ids_implicit_ = false;
+}
+
+void RecordStore::push_back(const RequestRecord& r) {
+  // The general row-at-a-time path (tests, hand-built reports): each
+  // record gets its own batch table entry. Only the streaming
+  // push_admitted/push_batch path shares batch rows — correctness never
+  // depends on the sharing, only memory does.
+  const std::uint32_t batch =
+      push_batch(r.batch_ready_cycle, r.dispatch_cycle, r.completion_cycle,
+                 r.service_cycles, r.batch_size, r.batch_chunks,
+                 r.accelerator);
+  if (ids_implicit_ && r.id != static_cast<i64>(size())) materialize_ids();
+  if (!ids_implicit_) id_.push_back(r.id);
+  workload_.push_back(r.workload);
+  gemm_id_.push_back(intern_shape(r.gemm));
+  arrival_cycle_.push_back(r.arrival_cycle);
+  deadline_cycle_.push_back(r.deadline_cycle);
+  AXON_CHECK(r.priority >= std::numeric_limits<std::int16_t>::min() &&
+                 r.priority <= std::numeric_limits<std::int16_t>::max(),
+             "priority ", r.priority, " out of record-column range");
+  priority_.push_back(static_cast<std::int16_t>(r.priority));
+  batch_ref_.push_back(batch);
+}
+
+std::uint32_t RecordStore::intern_shape(const GemmShape& shape) {
+  const auto key = std::make_tuple(shape.M, shape.K, shape.N);
+  auto it = shape_ids_.find(key);
+  if (it == shape_ids_.end()) {
+    const auto gid = static_cast<std::uint32_t>(shapes_.size());
+    shapes_.push_back(shape);
+    it = shape_ids_.emplace(key, gid).first;
+  }
+  return it->second;
+}
+
+std::uint32_t RecordStore::push_admitted(const Request& r) {
+  AXON_CHECK(r.priority >= std::numeric_limits<std::int16_t>::min() &&
+                 r.priority <= std::numeric_limits<std::int16_t>::max(),
+             "priority ", r.priority, " out of record-column range");
+  AXON_CHECK(size() < kUnsetBatch, "record store row index overflow");
+  const auto row = static_cast<std::uint32_t>(size());
+  if (ids_implicit_ && r.id != static_cast<i64>(row)) materialize_ids();
+  if (!ids_implicit_) id_.push_back(r.id);
+  workload_.push_back(r.workload);
+  gemm_id_.push_back(intern_shape(r.gemm));
+  arrival_cycle_.push_back(r.arrival_cycle);
+  deadline_cycle_.push_back(r.deadline_cycle);
+  priority_.push_back(static_cast<std::int16_t>(r.priority));
+  // The batch link stays unset until complete_row(); rows land in
+  // admission order and finalize() re-sorts by id, so the external record
+  // order is unchanged.
+  batch_ref_.push_back(kUnsetBatch);
+  return row;
+}
+
+std::uint32_t RecordStore::push_batch(i64 ready_cycle, i64 dispatch_cycle,
+                                      i64 completion_cycle, i64 service_cycles,
+                                      int batch_size, int batch_chunks,
+                                      int accelerator) {
+  // Narrow-column range checks: these bounds are far above anything a real
+  // pool produces (batch members, chunk counts, fleet sizes are all
+  // small), but a silent truncation would corrupt the record-diff
+  // determinism checks, so fail loudly instead.
+  AXON_CHECK(batch_size >= 0 &&
+                 batch_size <= std::numeric_limits<std::uint16_t>::max(),
+             "batch_size ", batch_size, " out of record-column range");
+  AXON_CHECK(batch_chunks >= 0 &&
+                 batch_chunks <= std::numeric_limits<std::uint16_t>::max(),
+             "batch_chunks ", batch_chunks, " out of record-column range");
+  AXON_CHECK(accelerator >= std::numeric_limits<std::int16_t>::min() &&
+                 accelerator <= std::numeric_limits<std::int16_t>::max(),
+             "accelerator ", accelerator, " out of record-column range");
+  AXON_CHECK(b_ready_.size() < kUnsetBatch, "batch table index overflow");
+  const auto batch = static_cast<std::uint32_t>(b_ready_.size());
+  b_ready_.push_back(ready_cycle);
+  b_dispatch_.push_back(dispatch_cycle);
+  b_completion_.push_back(completion_cycle);
+  b_service_.push_back(service_cycles);
+  b_size_.push_back(static_cast<std::uint16_t>(batch_size));
+  b_chunks_.push_back(static_cast<std::uint16_t>(batch_chunks));
+  b_accel_.push_back(static_cast<std::int16_t>(accelerator));
+  return batch;
+}
+
+void RecordStore::complete_row(std::uint32_t row, std::uint32_t batch) {
+  AXON_CHECK(row < size(), "complete_row(", row, ") out of range (", size(),
+             " records)");
+  AXON_CHECK(batch < b_ready_.size(), "complete_row: batch ", batch,
+             " out of range (", b_ready_.size(), " batches)");
+  batch_ref_[row] = batch;
+}
+
+RequestRecord RecordStore::operator[](std::size_t i) const {
+  AXON_CHECK(i < size(), "record index ", i, " out of range (", size(),
+             " records)");
+  const std::uint32_t batch = batch_ref_[i];
+  AXON_CHECK(batch != kUnsetBatch, "record ", i,
+             " gathered before its batch completed");
+  RequestRecord r;
+  r.id = id(i);
+  r.workload = workload_[i];
+  r.gemm = shapes_[gemm_id_[i]];
+  r.arrival_cycle = arrival_cycle_[i];
+  r.batch_ready_cycle = b_ready_[batch];
+  r.dispatch_cycle = b_dispatch_[batch];
+  r.completion_cycle = b_completion_[batch];
+  r.deadline_cycle = deadline_cycle_[i];
+  r.service_cycles = b_service_[batch];
+  r.priority = priority_[i];
+  r.batch_size = b_size_[batch];
+  r.batch_chunks = b_chunks_[batch];
+  r.accelerator = b_accel_[batch];
+  return r;
+}
+
+namespace {
+
+/// Applies `new[i] = old[perm[i]]` in place by following permutation
+/// cycles; `visited` is caller-provided scratch (reset here) so thirteen
+/// column applications share one bit vector.
+template <typename T>
+void apply_permutation(const std::vector<std::uint32_t>& perm,
+                       std::vector<T>& col, std::vector<bool>& visited) {
+  visited.assign(perm.size(), false);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (visited[i] || perm[i] == i) continue;
+    T tmp = col[i];
+    std::size_t j = i;
+    for (;;) {
+      const std::size_t k = perm[j];
+      visited[j] = true;
+      if (k == i) {
+        col[j] = tmp;
+        break;
+      }
+      col[j] = col[k];
+      j = k;
+    }
+  }
+}
+
+}  // namespace
+
+void RecordStore::sort_by_id() {
+  // Implicit ids are 0,1,2,... by construction — already sorted. The
+  // streamed serve path (monotone trace ids, admission-order rows) always
+  // lands here, so a 10^7-row sort costs nothing.
+  if (ids_implicit_) return;
+  const std::size_t n = id_.size();
+  AXON_CHECK(n < std::numeric_limits<std::uint32_t>::max(),
+             "record store too large to sort");
+  if (std::is_sorted(id_.begin(), id_.end())) return;
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  std::sort(perm.begin(), perm.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return id_[a] < id_[b];
+            });
+  // Only the per-request columns move; batch rows are reached through
+  // batch_ref and never need reordering.
+  std::vector<bool> visited;
+  apply_permutation(perm, id_, visited);
+  apply_permutation(perm, workload_, visited);
+  apply_permutation(perm, gemm_id_, visited);
+  apply_permutation(perm, arrival_cycle_, visited);
+  apply_permutation(perm, deadline_cycle_, visited);
+  apply_permutation(perm, priority_, visited);
+  apply_permutation(perm, batch_ref_, visited);
+}
 
 void GroupStats::add(const RequestRecord& r) {
   ++requests;
@@ -52,43 +243,94 @@ double AcceleratorStats::utilization(i64 makespan) const {
 }
 
 void ServeReport::finalize() {
-  std::sort(records.begin(), records.end(),
-            [](const RequestRecord& a, const RequestRecord& b) {
-              return a.id < b.id;
-            });
-  latency = Histogram();
-  queueing = Histogram();
-  overall = GroupStats();
-  by_workload.clear();
-  by_class.clear();
+  records.sort_by_id();
   makespan_cycles = 0;
+  with_deadline = 0;
+  met_deadline = 0;
   for (auto& a : per_accelerator) a.requests = 0;
-  // Slice sizes are knowable before a single sample lands: count each
-  // slice, then reserve its histograms — large traces fill millions of
-  // samples below and should not grow storage by doubling.
-  latency.reserve(records.size());
-  queueing.reserve(records.size());
-  overall.reserve(records.size());
-  std::map<std::string, std::size_t> workload_counts;
-  std::map<int, std::size_t> class_counts;
-  for (const auto& r : records) {
-    ++workload_counts[r.workload];
-    ++class_counts[r.priority];
-  }
-  for (const auto& [name, n] : workload_counts) by_workload[name].reserve(n);
-  for (const auto& [prio, n] : class_counts) by_class[prio].reserve(n);
-  for (const auto& r : records) {
-    latency.add(r.latency_cycles());
-    queueing.add(r.queue_cycles());
-    makespan_cycles = std::max(makespan_cycles, r.completion_cycle);
-    overall.add(r);
-    by_workload[r.workload].add(r);
-    by_class[r.priority].add(r);
-    if (r.accelerator >= 0 &&
-        r.accelerator < static_cast<int>(per_accelerator.size())) {
-      ++per_accelerator[static_cast<std::size_t>(r.accelerator)].requests;
+  // One scalar scan over the columns; the distribution views are built on
+  // demand so a huge report costs no histogram storage here.
+  const std::size_t n = records.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const i64 completion = records.completion_cycle(i);
+    makespan_cycles = std::max(makespan_cycles, completion);
+    const i64 deadline = records.deadline_cycle(i);
+    if (deadline >= 0) {
+      ++with_deadline;
+      if (completion <= deadline) ++met_deadline;
+    }
+    const int acc = records.accelerator(i);
+    if (acc >= 0 && acc < static_cast<int>(per_accelerator.size())) {
+      ++per_accelerator[static_cast<std::size_t>(acc)].requests;
     }
   }
+}
+
+Histogram ServeReport::latency() const {
+  Histogram h;
+  const std::size_t n = records.size();
+  h.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h.add(records.completion_cycle(i) - records.arrival_cycle(i));
+  }
+  return h;
+}
+
+Histogram ServeReport::queueing() const {
+  Histogram h;
+  const std::size_t n = records.size();
+  h.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h.add(records.dispatch_cycle(i) - records.arrival_cycle(i));
+  }
+  return h;
+}
+
+GroupStats ServeReport::overall() const {
+  GroupStats g;
+  g.reserve(records.size());
+  for (const RequestRecord& r : records) g.add(r);
+  return g;
+}
+
+std::map<std::string, GroupStats> ServeReport::by_workload() const {
+  std::map<std::string, GroupStats> out;
+  const std::size_t n = records.size();
+  if (n == 0) return out;
+  // Slice sizes are knowable before a single sample lands: count each
+  // slice by id (O(1) vector indexing — never a per-record string probe),
+  // reserve its histograms, then fill through an id-indexed pointer table.
+  // Names materialize exactly once, as the map keys.
+  WorkloadId max_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_id = std::max(max_id, records.workload(i));
+  }
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_id) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts[records.workload(i)];
+  std::vector<GroupStats*> slice(counts.size(), nullptr);
+  for (std::size_t w = 0; w < counts.size(); ++w) {
+    if (counts[w] == 0) continue;
+    GroupStats& g = out[workloads.name(static_cast<WorkloadId>(w))];
+    g.reserve(counts[w]);
+    slice[w] = &g;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    slice[records.workload(i)]->add(records[i]);
+  }
+  return out;
+}
+
+std::map<int, GroupStats> ServeReport::by_class() const {
+  std::map<int, GroupStats> out;
+  const std::size_t n = records.size();
+  if (n == 0) return out;
+  std::map<int, std::size_t> counts;
+  for (std::size_t i = 0; i < n; ++i) ++counts[records.priority(i)];
+  for (const auto& [prio, c] : counts) out[prio].reserve(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[records.priority(i)].add(records[i]);
+  }
+  return out;
 }
 
 double ServeReport::mean_batch_size() const {
@@ -108,6 +350,12 @@ double ServeReport::fleet_utilization() const {
   return static_cast<double>(total_busy_cycles) /
          (static_cast<double>(num_accelerators) *
           static_cast<double>(makespan_cycles));
+}
+
+double ServeReport::slo_attainment() const {
+  if (with_deadline == 0) return 1.0;
+  return static_cast<double>(met_deadline) /
+         static_cast<double>(with_deadline);
 }
 
 namespace {
@@ -132,6 +380,13 @@ void add_breakdown_row(Table& t, const std::string& label,
 }  // namespace
 
 std::string ServeReport::summary() const {
+  // Materialize each distribution view exactly once for the whole render.
+  const Histogram latency_hist = latency();
+  const Histogram queueing_hist = queueing();
+  const GroupStats overall_stats = overall();
+  const std::map<std::string, GroupStats> workload_stats = by_workload();
+  const std::map<int, GroupStats> class_stats = by_class();
+
   std::ostringstream os;
   os << "requests: " << num_requests() << "  batches: " << total_batches
      << "  mean batch: " << fmt_double(mean_batch_size(), 2) << "\n"
@@ -147,25 +402,27 @@ std::string ServeReport::summary() const {
        << " per batch)  preemptions: " << preemptions << "\n";
   }
   os
-     << "latency  " << latency.summary() << "\n"
-     << "queueing " << queueing.summary() << "\n"
+     << "latency  " << latency_hist.summary() << "\n"
+     << "queueing " << queueing_hist.summary() << "\n"
      << "throughput: " << fmt_double(throughput_per_mcycle(), 2)
      << " req/Mcycle  utilization: "
      << fmt_double(100.0 * fleet_utilization(), 1) << "%\n";
-  if (overall.with_deadline > 0) {
-    os << "slo: " << overall.met_deadline << "/" << overall.with_deadline
-       << " in budget (" << fmt_double(100.0 * slo_attainment(), 1)
-       << "%)  miss p99: " << overall.miss.percentile_or(99) << " cycles\n";
+  if (overall_stats.with_deadline > 0) {
+    os << "slo: " << overall_stats.met_deadline << "/"
+       << overall_stats.with_deadline << " in budget ("
+       << fmt_double(100.0 * slo_attainment(), 1)
+       << "%)  miss p99: " << overall_stats.miss.percentile_or(99)
+       << " cycles\n";
   }
-  if (!by_workload.empty() && num_requests() > 0) {
+  if (!workload_stats.empty() && num_requests() > 0) {
     Table t({"workload", "n", "p50", "p99", "blk_p99", "slo_%", "miss_p99"});
-    for (const auto& [name, g] : by_workload) add_breakdown_row(t, name, g);
+    for (const auto& [name, g] : workload_stats) add_breakdown_row(t, name, g);
     t.print(os, "Per-workload breakdown");
   }
   // The class breakdown only earns its lines when classes actually differ.
-  if (by_class.size() > 1) {
+  if (class_stats.size() > 1) {
     Table t({"class", "n", "p50", "p99", "blk_p99", "slo_%", "miss_p99"});
-    for (const auto& [prio, g] : by_class) {
+    for (const auto& [prio, g] : class_stats) {
       add_breakdown_row(t, std::to_string(prio), g);
     }
     t.print(os, "Per-priority-class breakdown");
@@ -187,10 +444,10 @@ std::string ServeReport::summary() const {
           .cell(g.service.percentile_or(99))
           .cell(g.preempt_blocked.percentile_or(99));
     };
-    for (const auto& [prio, g] : by_class) {
+    for (const auto& [prio, g] : class_stats) {
       add_latency_row(std::to_string(prio), g);
     }
-    if (by_class.size() > 1) add_latency_row("all", overall);
+    if (class_stats.size() > 1) add_latency_row("all", overall_stats);
     t.print(os, "Per-class latency breakdown (cycles)");
   }
   if (phase_profile.enabled) os << phase_profile.summary();

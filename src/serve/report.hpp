@@ -5,23 +5,44 @@
 // breakdowns. Everything is in simulated cycles; wall-clock fields are
 // reported separately so the "N threads give the same simulated answer"
 // determinism contract stays visible.
+//
+// Records are stored *columnar* (RecordStore): one parallel vector per
+// field, with narrow types where the value range allows. The batch-level
+// fields every member of a batch shares (ready/dispatch/completion cycles,
+// service, size, chunks, accelerator) are normalized into a per-batch
+// table reached through a 4-byte batch_ref column — ~30 bytes per request
+// plus ~38 per batch, instead of the ~150+ of an AoS vector of
+// string-carrying structs. Ids stay implicit (id == row index) until a
+// push breaks the sequence, which the streamed serve path never does.
+// RequestRecord survives as the gathered row view — indexing or iterating
+// the store materializes a RequestRecord by value, so record-diff tests
+// and probes are unchanged. Aggregate statistics (histograms, per-slice
+// breakdowns) are computed on demand from the columns rather than stored:
+// a 10^7-request report holds its columns and a handful of scalars, and
+// only a summary() call pays for histograms.
 #pragma once
 
+#include <cstdint>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "obs/probe.hpp"
+#include "serve/workload_registry.hpp"
 #include "sim/stats.hpp"
 
 namespace axon::serve {
 
+struct Request;
+
 /// Per-request timeline, filled when the batch containing the request
-/// completes.
+/// completes. This is the *row view*: RecordStore below holds the data as
+/// columns and gathers one of these on demand.
 struct RequestRecord {
   i64 id = 0;
-  std::string workload;
+  WorkloadId workload = 0;   ///< interned name (report registry renders it)
   GemmShape gemm;
   i64 arrival_cycle = 0;
   i64 batch_ready_cycle = 0; ///< its batch closed (left the batcher)
@@ -100,8 +121,141 @@ struct RequestRecord {
   }
 };
 
+/// Columnar (SoA) store of RequestRecords, normalized: per-request columns
+/// hold only request-own fields plus a batch_ref; the seven fields all
+/// members of a batch share live once per batch in a parallel batch table.
+/// Fields with bounded ranges use narrow columns (priority/accelerator
+/// i16, batch_size/batch_chunks u16 — pushes AXON_CHECK the ranges); GEMM
+/// shapes are interned into a small per-store table (a trace carries a
+/// handful of distinct shapes). operator[] and iteration gather full
+/// RequestRecords by value, so
+/// `for (const RequestRecord& rec : report.records)` works unchanged.
+class RecordStore {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = RequestRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const RequestRecord*;
+    using reference = RequestRecord;
+
+    const_iterator(const RecordStore* store, std::size_t i)
+        : store_(store), i_(i) {}
+    RequestRecord operator*() const { return (*store_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RecordStore* store_;
+    std::size_t i_;
+  };
+
+  void reserve(std::size_t n);
+  void push_back(const RequestRecord& r);
+
+  /// Admission-time half of a row: files the request's immutable fields
+  /// (id, workload, shape, arrival, deadline, priority) and returns the
+  /// row index, leaving the batch_ref unset for complete_row(). The serve
+  /// loop writes rows in admission order and finishes them in retire
+  /// order, so queued batches carry tiny members instead of full
+  /// requests — the knob that keeps a saturated 10^7-request backlog
+  /// inside the memory budget.
+  std::uint32_t push_admitted(const Request& r);
+  /// Files one completed batch's shared fields; returns its batch table
+  /// row for complete_row().
+  std::uint32_t push_batch(i64 ready_cycle, i64 dispatch_cycle,
+                           i64 completion_cycle, i64 service_cycles,
+                           int batch_size, int batch_chunks, int accelerator);
+  /// Retire-time half: links a push_admitted() row to its batch.
+  void complete_row(std::uint32_t row, std::uint32_t batch);
+
+  [[nodiscard]] i64 id(std::size_t i) const {
+    return ids_implicit_ ? static_cast<i64>(i) : id_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const { return workload_.size(); }
+  [[nodiscard]] bool empty() const { return workload_.empty(); }
+  /// Gathers row `i` into a value RequestRecord.
+  [[nodiscard]] RequestRecord operator[](std::size_t i) const;
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, size());
+  }
+
+  /// Raw column readers for tight aggregate passes that need one field,
+  /// not a 13-field gather. Batch-level fields indirect through the row's
+  /// batch_ref; reading one on a row whose batch has not completed is a
+  /// bug the gather path checks loudly.
+  [[nodiscard]] i64 arrival_cycle(std::size_t i) const {
+    return arrival_cycle_[i];
+  }
+  [[nodiscard]] i64 dispatch_cycle(std::size_t i) const {
+    return b_dispatch_[batch_ref_[i]];
+  }
+  [[nodiscard]] i64 completion_cycle(std::size_t i) const {
+    return b_completion_[batch_ref_[i]];
+  }
+  [[nodiscard]] i64 deadline_cycle(std::size_t i) const {
+    return deadline_cycle_[i];
+  }
+  [[nodiscard]] int accelerator(std::size_t i) const {
+    return b_accel_[batch_ref_[i]];
+  }
+  [[nodiscard]] WorkloadId workload(std::size_t i) const {
+    return workload_[i];
+  }
+  [[nodiscard]] int priority(std::size_t i) const { return priority_[i]; }
+
+  /// Stable reorder by request id (the pool retires in completion order;
+  /// reports and record diffs are id-ordered). In-place cycle-following
+  /// permutation per column — no per-column scratch copy, so a 10^7-row
+  /// sort costs one u32 index vector, not a second store.
+  void sort_by_id();
+
+ private:
+  /// batch_ref placeholder for rows admitted but not yet completed.
+  static constexpr std::uint32_t kUnsetBatch = 0xffffffffu;
+
+  std::uint32_t intern_shape(const GemmShape& shape);
+  /// Switches from implicit ids (id == row) to an explicit column when a
+  /// push breaks the 0,1,2,... sequence.
+  void materialize_ids();
+
+  // Per-request columns. id_ stays empty while ids are implicit.
+  std::vector<i64> id_;
+  bool ids_implicit_ = true;
+  std::vector<WorkloadId> workload_;
+  std::vector<std::uint32_t> gemm_id_;  ///< index into shapes_
+  std::vector<i64> arrival_cycle_;
+  std::vector<i64> deadline_cycle_;
+  std::vector<std::int16_t> priority_;
+  std::vector<std::uint32_t> batch_ref_;  ///< index into batch columns
+
+  // Per-batch columns: the fields every member of a batch shares, stored
+  // once. 10^7 requests ride in ~10^6 batches, so this is the difference
+  // between ~720 MB and ~350 MB of record storage.
+  std::vector<i64> b_ready_;
+  std::vector<i64> b_dispatch_;
+  std::vector<i64> b_completion_;
+  std::vector<i64> b_service_;
+  std::vector<std::uint16_t> b_size_;
+  std::vector<std::uint16_t> b_chunks_;
+  std::vector<std::int16_t> b_accel_;
+
+  std::vector<GemmShape> shapes_;  ///< gemm_id -> shape
+  std::map<std::tuple<i64, i64, i64>, std::uint32_t> shape_ids_;
+};
+
 /// Aggregates for one slice of the trace — a workload, a priority class,
 /// or the whole fleet. All accessors are well-formed on an empty slice.
+/// Built on demand by the ServeReport accessors below; not stored.
 struct GroupStats {
   std::size_t requests = 0;
   std::size_t with_deadline = 0;  ///< members carrying an SLO
@@ -152,7 +306,12 @@ struct AcceleratorStats {
 };
 
 struct ServeReport {
-  std::vector<RequestRecord> records;  ///< sorted by request id
+  RecordStore records;  ///< sorted by request id after finalize()
+
+  /// Interning table for every WorkloadId in `records` — copied from the
+  /// trace source so names can render after the source is gone. Hand-built
+  /// reports intern through it directly.
+  WorkloadRegistry workloads;
 
   int num_accelerators = 0;
   int num_threads = 0;  ///< wall-clock workers used (no effect on cycles)
@@ -166,28 +325,35 @@ struct ServeReport {
   /// Dispatches that jumped ahead of a partially executed batch waiting in
   /// the ready queue — tile-granular preemptions actually exercised.
   i64 preemptions = 0;
+  /// SLO scalar counters, eager (finalize computes them in one column
+  /// scan) so slo_attainment() stays O(1) without histogram builds.
+  std::size_t with_deadline = 0;
+  std::size_t met_deadline = 0;
   double wall_seconds = 0.0;    ///< host time spent simulating
   /// Serve-loop self-profile (obs/probe PhaseProfiler): wall time by loop
   /// phase. Populated only when PoolConfig::self_profile is set;
   /// informational, never part of the deterministic timeline.
   obs::PhaseProfile phase_profile;
 
-  Histogram latency;  ///< end-to-end latency samples (cycles)
-  Histogram queueing; ///< queueing-delay samples (cycles)
-
-  GroupStats overall;                          ///< fleet-wide SLO slice
-  std::map<std::string, GroupStats> by_workload;
-  std::map<int, GroupStats> by_class;          ///< keyed by priority class
   /// One entry per fleet member, indexed by RequestRecord::accelerator.
   std::vector<AcceleratorStats> per_accelerator;
 
-  /// Recomputes histograms, breakdowns, and aggregate cycles from
-  /// `records`; the pool calls this once after the simulation drains.
-  /// Per-accelerator request counts are recomputed; the pool-filled
-  /// fields of `per_accelerator` (names, busy cycles, cache counters) are
-  /// kept. Well-formed (all-zero aggregates) when the trace produced no
-  /// records.
+  /// Sorts records by id and recomputes the scalar aggregates (makespan,
+  /// SLO counters, per-accelerator request counts); the pool calls this
+  /// once after the simulation drains. The pool-filled fields of
+  /// `per_accelerator` (names, busy cycles, cache counters) are kept.
+  /// Well-formed (all-zero aggregates) when the trace produced no records.
+  /// Deliberately does NOT build histograms — a 10^7-request report
+  /// finalizes in one scan and ~0 extra memory.
   void finalize();
+
+  // Distribution views, computed from the columns on demand. Callers that
+  // need several percentiles should hoist one call into a local.
+  [[nodiscard]] Histogram latency() const;   ///< end-to-end latency (cycles)
+  [[nodiscard]] Histogram queueing() const;  ///< queueing delay (cycles)
+  [[nodiscard]] GroupStats overall() const;  ///< fleet-wide SLO slice
+  [[nodiscard]] std::map<std::string, GroupStats> by_workload() const;
+  [[nodiscard]] std::map<int, GroupStats> by_class() const;  ///< by priority
 
   [[nodiscard]] std::size_t num_requests() const { return records.size(); }
   [[nodiscard]] double mean_batch_size() const;
@@ -195,13 +361,12 @@ struct ServeReport {
   [[nodiscard]] double throughput_per_mcycle() const;
   /// Busy cycles / (accelerators * makespan).
   [[nodiscard]] double fleet_utilization() const;
-  /// Fleet-wide SLO attainment (see GroupStats::slo_attainment).
-  [[nodiscard]] double slo_attainment() const {
-    return overall.slo_attainment();
-  }
+  /// Fleet-wide SLO attainment from the eager counters; 1.0 when no
+  /// request carries a deadline.
+  [[nodiscard]] double slo_attainment() const;
 
   /// Multi-line human-readable summary; never throws, even with zero
-  /// records.
+  /// records. Materializes the distribution views once.
   [[nodiscard]] std::string summary() const;
 };
 

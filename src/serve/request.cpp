@@ -17,7 +17,7 @@ void RequestQueue::push(Request r) {
              r.arrival_cycle, " after ", requests_.back().arrival_cycle, ")");
   AXON_CHECK(!r.has_deadline() || r.deadline_cycle >= r.arrival_cycle,
              "deadline before arrival");
-  requests_.push_back(std::move(r));
+  requests_.push_back(r);
 }
 
 const Request& RequestQueue::front() const {
@@ -25,11 +25,13 @@ const Request& RequestQueue::front() const {
   return requests_.front();
 }
 
-i64 RequestQueue::next_arrival() const { return front().arrival_cycle; }
+i64 RequestQueue::next_arrival() const {
+  return requests_.empty() ? -1 : requests_.front().arrival_cycle;
+}
 
 Request RequestQueue::pop() {
   AXON_CHECK(!requests_.empty(), "pop() on empty RequestQueue");
-  Request r = std::move(requests_.front());
+  const Request r = requests_.front();
   requests_.pop_front();
   return r;
 }
@@ -39,111 +41,232 @@ const SloPolicy& TrafficClassMap::for_workload(const std::string& name) const {
   return it == per_workload.end() ? default_policy : it->second;
 }
 
-namespace {
+namespace detail {
 
-/// Exponential draw with the given mean, in full double precision.
-/// uniform_real_distribution can round up to exactly 1.0 (LWG 2524), which
-/// would make the gap infinite — clamp below 1 so log stays finite.
-double exponential(double mean, Rng& rng) {
-  const double u = std::min(rng.uniform_double(0.0, 1.0), 1.0 - 1e-12);
+GeneratorSourceBase::GeneratorSourceBase(const std::vector<GemmWorkload>& mix,
+                                         const TrafficClassMap& classes,
+                                         const Rng& rng, int num_requests)
+    : rng_(rng), num_requests_(num_requests) {
+  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
+  AXON_CHECK(num_requests >= 0, "negative request count");
+  mix_.reserve(mix.size());
+  for (const GemmWorkload& w : mix) {
+    // One map probe per *mix entry* at construction; the per-request path
+    // below is a vector index. Repeated names intern to the same id (the
+    // report groups by name, exactly as the string-keyed path did).
+    const SloPolicy& slo = classes.for_workload(w.name);
+    const WorkloadId id = registry_.intern(w.name, w.shape, slo);
+    mix_.push_back(MixEntry{id, w.shape, slo.slo_budget_cycles, slo.priority});
+  }
+}
+
+double GeneratorSourceBase::exponential(double mean) {
+  // uniform_real_distribution can round up to exactly 1.0 (LWG 2524),
+  // which would make the gap infinite — clamp below 1 so log stays finite.
+  const double u = std::min(rng_.uniform_double(0.0, 1.0), 1.0 - 1e-12);
   return -mean * std::log(1.0 - u);
 }
 
-/// Draws a workload uniformly from the mix and stamps id, arrival, and the
-/// workload's SLO/priority onto a request. `when` is in continuous cycles;
-/// arrival rounds to nearest (std::llround) — truncation would shave an
-/// expected half-cycle off every gap and bias the realized rate upward.
-Request make_request(i64 id, double when, const std::vector<GemmWorkload>& mix,
-                     const TrafficClassMap& classes, Rng& rng) {
-  const auto& w = mix[static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<int>(mix.size()) - 1))];
-  const SloPolicy& slo = classes.for_workload(w.name);
+Request GeneratorSourceBase::make_request(i64 id, double when) {
+  const MixEntry& e = mix_[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<int>(mix_.size()) - 1))];
   Request r;
   r.id = id;
-  r.workload = w.name;
-  r.gemm = w.shape;
+  r.workload = e.workload;
+  r.gemm = e.gemm;
+  // `when` is in continuous cycles; arrival rounds to nearest
+  // (std::llround) — truncation would shave an expected half-cycle off
+  // every gap and bias the realized rate upward.
   r.arrival_cycle = std::llround(when);
-  if (slo.slo_budget_cycles >= 0) {
-    r.deadline_cycle = r.arrival_cycle + slo.slo_budget_cycles;
+  if (e.slo_budget_cycles >= 0) {
+    r.deadline_cycle = r.arrival_cycle + e.slo_budget_cycles;
   }
-  r.priority = slo.priority;
+  r.priority = e.priority;
   return r;
+}
+
+}  // namespace detail
+
+PoissonTraceSource::PoissonTraceSource(const std::vector<GemmWorkload>& mix,
+                                       const TraceConfig& config,
+                                       const Rng& rng)
+    : GeneratorSourceBase(mix, config.classes, rng, config.num_requests),
+      interarrival_(config.mean_interarrival_cycles) {
+  AXON_CHECK(interarrival_ >= 0.0, "negative mean inter-arrival");
+  if (num_requests_ > 0) advance();
+}
+
+void PoissonTraceSource::advance() {
+  now_ += exponential(interarrival_);
+  pending_ = make_request(popped_, now_);
+}
+
+i64 PoissonTraceSource::next_arrival() const {
+  return exhausted() ? -1 : pending_.arrival_cycle;
+}
+
+Request PoissonTraceSource::pop() {
+  AXON_CHECK(!exhausted(), "pop() on exhausted trace source");
+  const Request r = pending_;
+  ++popped_;
+  if (popped_ < num_requests_) advance();
+  return r;
+}
+
+BurstyTraceSource::BurstyTraceSource(const std::vector<GemmWorkload>& mix,
+                                     const BurstyTraceConfig& config,
+                                     const Rng& rng)
+    : GeneratorSourceBase(mix, config.classes, rng, config.num_requests),
+      burst_gap_(config.burst_interarrival_cycles),
+      mean_on_(config.mean_on_cycles),
+      mean_off_(config.mean_off_cycles) {
+  AXON_CHECK(burst_gap_ >= 0.0, "negative burst inter-arrival");
+  AXON_CHECK(mean_on_ > 0.0, "ON dwell must be positive");
+  AXON_CHECK(mean_off_ >= 0.0, "negative OFF dwell");
+  state_end_ = exponential(mean_on_);  // start ON
+  if (num_requests_ > 0) advance();
+}
+
+void BurstyTraceSource::advance() {
+  // Draw gaps inside the ON window; a gap that crosses the window's end
+  // is discarded (memorylessness makes redraw-after-jump equivalent) and
+  // time jumps over the OFF dwell into the next ON window.
+  for (;;) {
+    const double gap = exponential(burst_gap_);
+    if (now_ + gap <= state_end_) {
+      now_ += gap;
+      break;
+    }
+    now_ = state_end_ + exponential(mean_off_);
+    state_end_ = now_ + exponential(mean_on_);
+  }
+  pending_ = make_request(popped_, now_);
+}
+
+i64 BurstyTraceSource::next_arrival() const {
+  return exhausted() ? -1 : pending_.arrival_cycle;
+}
+
+Request BurstyTraceSource::pop() {
+  AXON_CHECK(!exhausted(), "pop() on exhausted trace source");
+  const Request r = pending_;
+  ++popped_;
+  if (popped_ < num_requests_) advance();
+  return r;
+}
+
+ClosedLoopTraceSource::ClosedLoopTraceSource(
+    const std::vector<GemmWorkload>& mix, const ClosedLoopTraceConfig& config,
+    const Rng& rng)
+    : GeneratorSourceBase(mix, config.classes, rng, config.num_requests),
+      service_estimate_(config.service_estimate_cycles),
+      mean_think_(config.mean_think_cycles),
+      feedback_(config.completion_feedback) {
+  AXON_CHECK(config.num_clients >= 1, "closed loop needs >= 1 client");
+  AXON_CHECK(mean_think_ >= 0.0, "negative think time");
+  AXON_CHECK(service_estimate_ >= 0.0, "negative service estimate");
+  next_issue_.resize(static_cast<std::size_t>(config.num_clients));
+  for (double& t : next_issue_) t = exponential(mean_think_);
+  blocked_.assign(next_issue_.size(), 0);
+}
+
+int ClosedLoopTraceSource::next_client() const {
+  // Earliest-issuing unblocked client; ties break on the lowest client id
+  // so the stream is a pure function of the seed (and, in feedback mode,
+  // of the completion sequence).
+  int best = -1;
+  for (std::size_t c = 0; c < next_issue_.size(); ++c) {
+    if (blocked_[c] != 0) continue;
+    if (best < 0 || next_issue_[c] < next_issue_[static_cast<std::size_t>(
+                                         best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+i64 ClosedLoopTraceSource::next_arrival() const {
+  if (exhausted()) return -1;
+  const int c = next_client();
+  if (c < 0) return -1;  // every client awaits a completion
+  return std::llround(next_issue_[static_cast<std::size_t>(c)]);
+}
+
+Request ClosedLoopTraceSource::pop() {
+  AXON_CHECK(!exhausted(), "pop() on exhausted trace source");
+  const int ci = next_client();
+  AXON_CHECK(ci >= 0, "pop() on a fully blocked closed-loop source");
+  const std::size_t c = static_cast<std::size_t>(ci);
+  const double when = next_issue_[c];
+  Request r = make_request(popped_, when);
+  // The think draw for this client's *next* issue happens now, directly
+  // after the workload draw — the same per-request draw order as the
+  // estimate path, so feedback mode replays bit-identically whenever
+  // completions land exactly at arrival + estimate.
+  const double think = exponential(mean_think_);
+  if (feedback_) {
+    blocked_[c] = 1;
+    in_flight_.emplace(r.id,
+                       InFlight{ci, when, r.arrival_cycle, think});
+  } else {
+    next_issue_[c] = when + service_estimate_ + think;
+  }
+  ++popped_;
+  return r;
+}
+
+void ClosedLoopTraceSource::on_complete(i64 request_id, i64 completion_cycle) {
+  if (!feedback_) return;
+  const auto it = in_flight_.find(request_id);
+  if (it == in_flight_.end()) return;
+  const InFlight& f = it->second;
+  // Anchor the client's next issue on the continuous issue time plus the
+  // *realized* integer service span. When the realized span equals the
+  // configured estimate, this is exactly `when + estimate + think` — the
+  // estimate path's arithmetic, bit for bit.
+  AXON_CHECK(completion_cycle >= f.arrival, "completion before arrival");
+  next_issue_[static_cast<std::size_t>(f.client)] =
+      f.when + static_cast<double>(completion_cycle - f.arrival) + f.think;
+  blocked_[static_cast<std::size_t>(f.client)] = 0;
+  in_flight_.erase(it);
+}
+
+namespace {
+
+template <typename Source>
+RequestQueue drain(Source& source) {
+  RequestQueue queue(source.registry());
+  while (!source.exhausted()) queue.push(source.pop());
+  return queue;
 }
 
 }  // namespace
 
 RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
                             const TraceConfig& config, Rng& rng) {
-  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
-  AXON_CHECK(config.num_requests >= 0, "negative request count");
-  AXON_CHECK(config.mean_interarrival_cycles >= 0.0,
-             "negative mean inter-arrival");
-
-  RequestQueue queue;
-  double now = 0.0;
-  for (int i = 0; i < config.num_requests; ++i) {
-    now += exponential(config.mean_interarrival_cycles, rng);
-    queue.push(make_request(i, now, mix, config.classes, rng));
-  }
+  PoissonTraceSource source(mix, config, rng);
+  RequestQueue queue = drain(source);
+  rng = source.rng();
   return queue;
 }
 
 RequestQueue generate_bursty_trace(const std::vector<GemmWorkload>& mix,
                                    const BurstyTraceConfig& config, Rng& rng) {
-  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
-  AXON_CHECK(config.num_requests >= 0, "negative request count");
-  AXON_CHECK(config.burst_interarrival_cycles >= 0.0,
-             "negative burst inter-arrival");
-  AXON_CHECK(config.mean_on_cycles > 0.0, "ON dwell must be positive");
-  AXON_CHECK(config.mean_off_cycles >= 0.0, "negative OFF dwell");
-
-  RequestQueue queue;
-  double now = 0.0;
-  double state_end = exponential(config.mean_on_cycles, rng);  // start ON
-  for (int i = 0; i < config.num_requests; ++i) {
-    // Draw gaps inside the ON window; a gap that crosses the window's end
-    // is discarded (memorylessness makes redraw-after-jump equivalent) and
-    // time jumps over the OFF dwell into the next ON window.
-    for (;;) {
-      const double gap = exponential(config.burst_interarrival_cycles, rng);
-      if (now + gap <= state_end) {
-        now += gap;
-        break;
-      }
-      now = state_end + exponential(config.mean_off_cycles, rng);
-      state_end = now + exponential(config.mean_on_cycles, rng);
-    }
-    queue.push(make_request(i, now, mix, config.classes, rng));
-  }
+  BurstyTraceSource source(mix, config, rng);
+  RequestQueue queue = drain(source);
+  rng = source.rng();
   return queue;
 }
 
 RequestQueue generate_closed_loop_trace(const std::vector<GemmWorkload>& mix,
                                         const ClosedLoopTraceConfig& config,
                                         Rng& rng) {
-  AXON_CHECK(!mix.empty(), "trace needs a non-empty workload mix");
-  AXON_CHECK(config.num_requests >= 0, "negative request count");
-  AXON_CHECK(config.num_clients >= 1, "closed loop needs >= 1 client");
-  AXON_CHECK(config.mean_think_cycles >= 0.0, "negative think time");
-  AXON_CHECK(config.service_estimate_cycles >= 0.0,
-             "negative service estimate");
-
-  // next_issue[c] = continuous cycle client c will issue its next request.
-  std::vector<double> next_issue(static_cast<std::size_t>(config.num_clients));
-  for (auto& t : next_issue) t = exponential(config.mean_think_cycles, rng);
-
-  RequestQueue queue;
-  for (int i = 0; i < config.num_requests; ++i) {
-    // Earliest-issuing client; ties break on the lowest client id so the
-    // trace is a pure function of the seed.
-    const std::size_t c = static_cast<std::size_t>(
-        std::min_element(next_issue.begin(), next_issue.end()) -
-        next_issue.begin());
-    const double when = next_issue[c];
-    queue.push(make_request(i, when, mix, config.classes, rng));
-    next_issue[c] = when + config.service_estimate_cycles +
-                    exponential(config.mean_think_cycles, rng);
-  }
+  AXON_CHECK(!config.completion_feedback,
+             "a feedback-wired closed loop cannot be materialized ahead of "
+             "the simulation — serve the source directly");
+  ClosedLoopTraceSource source(mix, config, rng);
+  RequestQueue queue = drain(source);
+  rng = source.rng();
   return queue;
 }
 

@@ -5,35 +5,49 @@
 // trace randomness flows through common/rng, so a trace is reproducible
 // from its seed and the whole serving simulation is deterministic.
 //
-// Three arrival processes cover the realistic traffic shapes:
-//   - open loop   (generate_trace): Poisson — exponential gaps, rate fixed
+// Traces are *streamed*, not materialized: a TraceSource is a pull-based
+// generator the serve loop drains one request at a time, so a 10^7-request
+// run holds O(clients) generator state instead of an 800 MB deque. The
+// three arrival processes cover the realistic traffic shapes:
+//   - open loop   (PoissonTraceSource): exponential gaps, rate fixed
 //     regardless of how the fleet keeps up.
-//   - bursty      (generate_bursty_trace): Markov-modulated on/off Poisson —
+//   - bursty      (BurstyTraceSource): Markov-modulated on/off Poisson —
 //     exponential dwell in an ON state that emits Poisson arrivals and an
 //     OFF state that emits nothing. The diurnal-spike / thundering-herd
 //     shape that makes SLO scheduling interesting.
-//   - closed loop (generate_closed_loop_trace): a fixed client population;
+//   - closed loop (ClosedLoopTraceSource): a fixed client population;
 //     each client thinks (exponential), issues one request, and only
-//     re-issues after its request would have completed. Load self-limits
-//     with population size instead of growing without bound.
+//     re-issues after its request completes. Load self-limits with
+//     population size instead of growing without bound. Completion is
+//     either a fixed per-request estimate (the seed-compatible default)
+//     or, with `completion_feedback`, the *actual* completion cycle the
+//     pool reports back through TraceSource::on_complete.
+//
+// RequestQueue survives as the materialized adapter (tests, oracles, and
+// hand-built traces): generate_*_trace() drains a source into one,
+// reproducing the exact request streams of the pre-streaming generators.
 #pragma once
 
 #include <deque>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "serve/workload_registry.hpp"
 #include "workloads/table3.hpp"
 
 namespace axon::serve {
 
-/// One inference request entering the system at a simulated cycle.
+/// One inference request entering the system at a simulated cycle. A plain
+/// value type: the workload travels as an interned WorkloadId (the owning
+/// trace's registry maps it back to a name at render time).
 struct Request {
-  i64 id = 0;            ///< unique, increasing in arrival order
-  std::string workload;  ///< workload name, for reports
-  GemmShape gemm;        ///< the GEMM this request executes
+  i64 id = 0;                ///< unique, increasing in arrival order
+  WorkloadId workload = 0;   ///< interned workload name, for reports
+  GemmShape gemm;            ///< the GEMM this request executes
   i64 arrival_cycle = 0;
   /// Absolute SLO deadline (arrival + per-workload budget); -1 = no SLO.
   i64 deadline_cycle = -1;
@@ -43,32 +57,80 @@ struct Request {
   [[nodiscard]] bool has_deadline() const { return deadline_cycle >= 0; }
 };
 
-/// Arrival-ordered FIFO of requests. push() enforces non-decreasing
-/// arrival cycles so the serving simulator can treat the queue as a
-/// pre-sorted event stream.
-class RequestQueue {
+/// Pull-based request stream the serve loop drains. The contract:
+///   - next_arrival() is the arrival cycle of the next poppable request,
+///     or -1 when none is schedulable *yet* — either the source is
+///     exhausted, or (closed loop with feedback) every client is blocked
+///     waiting for a completion. In the blocked case the serve loop always
+///     has an in-flight completion event to advance to, after which
+///     on_complete() unblocks the source.
+///   - pop() is valid exactly when next_arrival() >= 0 and yields requests
+///     in non-decreasing arrival order with ids increasing from 0.
+///   - exhausted() means no request will *ever* be produced again; it is
+///     the flush-vs-wait signal (a blocked feedback source is not
+///     exhausted even though next_arrival() is -1).
+///   - on_complete() is called by the pool once per request at retire,
+///     carrying the simulated completion cycle; only feedback-wired
+///     sources react.
+class TraceSource {
  public:
+  virtual ~TraceSource() = default;
+
+  [[nodiscard]] virtual i64 next_arrival() const = 0;
+  virtual Request pop() = 0;
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// Total requests this source will emit (exact for every built-in
+  /// source) — lets the pool pre-size record storage.
+  [[nodiscard]] virtual std::size_t size_hint() const = 0;
+  virtual void on_complete(i64 request_id, i64 completion_cycle) {
+    (void)request_id;
+    (void)completion_cycle;
+  }
+  /// The interning table for every WorkloadId this source emits.
+  [[nodiscard]] virtual const WorkloadRegistry& registry() const = 0;
+};
+
+/// Arrival-ordered FIFO of requests: the materialized TraceSource. push()
+/// enforces non-decreasing arrival cycles so the serving simulator can
+/// treat the queue as a pre-sorted event stream. Owns its registry;
+/// hand-built tests intern names through intern().
+class RequestQueue final : public TraceSource {
+ public:
+  RequestQueue() = default;
+  explicit RequestQueue(WorkloadRegistry registry)
+      : registry_(std::move(registry)) {}
+
   void push(Request r);
+
+  /// Interns a workload name in this queue's registry (idempotent) — the
+  /// hand-building path for tests and ad-hoc traces.
+  WorkloadId intern(const std::string& name, const GemmShape& shape = {},
+                    const SloPolicy& slo = {}) {
+    return registry_.intern(name, shape, slo);
+  }
 
   [[nodiscard]] bool empty() const { return requests_.empty(); }
   [[nodiscard]] std::size_t size() const { return requests_.size(); }
   [[nodiscard]] const Request& front() const;
-  /// Cycle the next request arrives; only valid when !empty().
-  [[nodiscard]] i64 next_arrival() const;
-  Request pop();
+
+  // TraceSource interface.
+  [[nodiscard]] i64 next_arrival() const override;
+  Request pop() override;
+  [[nodiscard]] bool exhausted() const override { return requests_.empty(); }
+  [[nodiscard]] std::size_t size_hint() const override { return size(); }
+  [[nodiscard]] const WorkloadRegistry& registry() const override {
+    return registry_;
+  }
 
  private:
+  WorkloadRegistry registry_;
   std::deque<Request> requests_;
-};
-
-/// SLO budget + priority class assigned to requests of one workload.
-struct SloPolicy {
-  i64 slo_budget_cycles = -1;  ///< deadline = arrival + budget; -1 = no SLO
-  int priority = 0;            ///< lower = more urgent
 };
 
 /// Per-workload SLO/priority assignment used by every trace generator:
 /// exact workload-name matches win, everything else gets the default.
+/// This is the *configuration* surface; sources compile it into the
+/// registry at construction so the per-request path never probes the map.
 struct TrafficClassMap {
   SloPolicy default_policy;
   std::map<std::string, SloPolicy> per_workload;
@@ -85,11 +147,6 @@ struct TraceConfig {
   TrafficClassMap classes;
 };
 
-/// Generates a deterministic trace: same mix + config + rng seed => the
-/// same requests, ids, and arrival cycles.
-RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
-                            const TraceConfig& config, Rng& rng);
-
 /// Markov-modulated on/off Poisson process: ON emits Poisson arrivals at
 /// the burst rate, OFF emits nothing; dwell times in each state are
 /// exponential. Long-run average rate is on_fraction / burst gap where
@@ -102,23 +159,170 @@ struct BurstyTraceConfig {
   TrafficClassMap classes;
 };
 
-RequestQueue generate_bursty_trace(const std::vector<GemmWorkload>& mix,
-                                   const BurstyTraceConfig& config, Rng& rng);
-
 /// Closed-loop traffic: `num_clients` clients each cycle through
-/// think -> issue -> (service) -> think. The generator runs ahead of the
-/// serving simulation, so the service phase uses a fixed per-request
-/// estimate as the completion-feedback stand-in; the think draw is
-/// exponential. Offered load self-limits at num_clients concurrent
-/// requests — the canonical alternative to open-loop overload.
+/// think -> issue -> (service) -> think. By default the service phase uses
+/// a fixed per-request estimate, so the trace is a pure function of the
+/// seed (the generator can run ahead of the simulation). With
+/// `completion_feedback` the source instead blocks each client until the
+/// pool reports the request's real completion cycle via on_complete(), so
+/// re-issue times track actual service — at the cost of the trace now
+/// depending on the pool configuration (it is still deterministic for a
+/// fixed pool config and thread count, per the simulator's contract).
 struct ClosedLoopTraceConfig {
   int num_requests = 64;
   int num_clients = 8;
   double mean_think_cycles = 20000.0;
   double service_estimate_cycles = 5000.0;  ///< completion stand-in
+  /// Re-issue on real completion cycles instead of the estimate.
+  bool completion_feedback = false;
   TrafficClassMap classes;
 };
 
+namespace detail {
+
+/// Shared generator machinery: the interned mix table (workload draw ->
+/// id/shape/SLO without a map probe) and the owned RNG whose draw order
+/// exactly matches the historical materializing generators.
+class GeneratorSourceBase : public TraceSource {
+ public:
+  [[nodiscard]] const WorkloadRegistry& registry() const override {
+    return registry_;
+  }
+  /// RNG state after all draws so far — the materializing adapters copy
+  /// this back into the caller's Rng to preserve the old `Rng&` contract.
+  [[nodiscard]] const Rng& rng() const { return rng_; }
+
+ protected:
+  GeneratorSourceBase(const std::vector<GemmWorkload>& mix,
+                      const TrafficClassMap& classes, const Rng& rng,
+                      int num_requests);
+
+  /// Draws the workload for request `id` issued at continuous cycle
+  /// `when` and stamps id/arrival/deadline/priority. One uniform draw,
+  /// O(1) — the SLO lookup is a precomputed vector index.
+  Request make_request(i64 id, double when);
+  /// Exponential draw with the given mean from the owned RNG.
+  double exponential(double mean);
+
+  Rng rng_;
+  int num_requests_ = 0;
+  i64 popped_ = 0;
+
+ private:
+  struct MixEntry {
+    WorkloadId workload;
+    GemmShape gemm;
+    i64 slo_budget_cycles;
+    int priority;
+  };
+  WorkloadRegistry registry_;
+  std::vector<MixEntry> mix_;
+};
+
+}  // namespace detail
+
+/// Open-loop Poisson arrivals, streamed.
+class PoissonTraceSource final : public detail::GeneratorSourceBase {
+ public:
+  PoissonTraceSource(const std::vector<GemmWorkload>& mix,
+                     const TraceConfig& config, const Rng& rng);
+
+  [[nodiscard]] i64 next_arrival() const override;
+  Request pop() override;
+  [[nodiscard]] bool exhausted() const override {
+    return popped_ == num_requests_;
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return static_cast<std::size_t>(num_requests_);
+  }
+
+ private:
+  void advance();
+
+  double interarrival_;
+  double now_ = 0.0;
+  Request pending_;
+};
+
+/// Markov-modulated on/off Poisson arrivals, streamed.
+class BurstyTraceSource final : public detail::GeneratorSourceBase {
+ public:
+  BurstyTraceSource(const std::vector<GemmWorkload>& mix,
+                    const BurstyTraceConfig& config, const Rng& rng);
+
+  [[nodiscard]] i64 next_arrival() const override;
+  Request pop() override;
+  [[nodiscard]] bool exhausted() const override {
+    return popped_ == num_requests_;
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return static_cast<std::size_t>(num_requests_);
+  }
+
+ private:
+  void advance();
+
+  double burst_gap_;
+  double mean_on_;
+  double mean_off_;
+  double now_ = 0.0;
+  double state_end_;
+  Request pending_;
+};
+
+/// Closed-loop client population, streamed. In estimate mode requests
+/// pre-generate one ahead (the stream is seed-pure). In feedback mode a
+/// client that has issued is *blocked* until on_complete() reports its
+/// request's completion cycle; while every client is blocked,
+/// next_arrival() is -1 and the serve loop advances on completions.
+class ClosedLoopTraceSource final : public detail::GeneratorSourceBase {
+ public:
+  ClosedLoopTraceSource(const std::vector<GemmWorkload>& mix,
+                        const ClosedLoopTraceConfig& config, const Rng& rng);
+
+  [[nodiscard]] i64 next_arrival() const override;
+  Request pop() override;
+  [[nodiscard]] bool exhausted() const override {
+    return popped_ == num_requests_;
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return static_cast<std::size_t>(num_requests_);
+  }
+  void on_complete(i64 request_id, i64 completion_cycle) override;
+
+  /// Requests issued and not yet completed (feedback mode); the invariant
+  /// under test: never exceeds num_clients.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
+
+ private:
+  /// Lowest-issue-time unblocked client (ties: lowest client id), or -1
+  /// when every client is blocked on a completion.
+  [[nodiscard]] int next_client() const;
+
+  double service_estimate_;
+  double mean_think_;
+  bool feedback_;
+  std::vector<double> next_issue_;   ///< per client; continuous cycles
+  std::vector<char> blocked_;        ///< per client (feedback mode)
+  struct InFlight {
+    int client;
+    double when;       ///< continuous issue time
+    i64 arrival;       ///< llround(when), as stamped on the request
+    double think;      ///< pre-drawn think for the *next* issue
+  };
+  std::unordered_map<i64, InFlight> in_flight_;  ///< request id -> state
+};
+
+/// Materializing adapters: drain a streamed source into a RequestQueue.
+/// Same mix + config + rng seed => the same requests, ids, and arrival
+/// cycles as the streamed path (and as the historical generators); the
+/// caller's Rng advances exactly as before. The closed-loop adapter
+/// requires estimate mode (feedback cannot be materialized ahead of the
+/// simulation).
+RequestQueue generate_trace(const std::vector<GemmWorkload>& mix,
+                            const TraceConfig& config, Rng& rng);
+RequestQueue generate_bursty_trace(const std::vector<GemmWorkload>& mix,
+                                   const BurstyTraceConfig& config, Rng& rng);
 RequestQueue generate_closed_loop_trace(const std::vector<GemmWorkload>& mix,
                                         const ClosedLoopTraceConfig& config,
                                         Rng& rng);

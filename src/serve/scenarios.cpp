@@ -194,6 +194,11 @@ RequestQueue serve_scale_trace(int num_requests) {
                                serve_scale_traffic(num_requests), rng);
 }
 
+BurstyTraceSource serve_scale_source(int num_requests) {
+  return BurstyTraceSource(serve_scale_mix(), serve_scale_traffic(num_requests),
+                           Rng(kServeScaleSeed));
+}
+
 PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
                                    int num_threads) {
   PoolConfig cfg;
@@ -205,6 +210,60 @@ PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
   cfg.chunk_tiles = 4;
   // max_batch 8 keeps the backlog deep in *batches* (the unit the ready
   // queue scales in), not just in requests.
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 20000;
+  cfg.batching.continuous_admission = true;
+  return cfg;
+}
+
+std::vector<AcceleratorSpec> closed_loop_fleet() {
+  AcceleratorSpec dev;
+  dev.accelerator.arch = ArchType::kAxon;
+  dev.accelerator.array = {32, 32};
+  dev.clock_mhz = kRefClockMhz;
+  dev.dram_bytes_per_cycle = 64;
+  dev.weight_cache_bytes = 16 << 20;
+  std::vector<AcceleratorSpec> fleet = {dev, dev};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].name = "axon32_" + std::to_string(i);
+  }
+  return fleet;
+}
+
+std::vector<GemmWorkload> closed_loop_mix() {
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+  };
+}
+
+ClosedLoopTraceConfig closed_loop_traffic(bool completion_feedback,
+                                          int num_requests) {
+  ClosedLoopTraceConfig tc;
+  tc.num_requests = num_requests;
+  tc.num_clients = kClosedLoopClients;
+  tc.mean_think_cycles = 30000.0;
+  // A deliberate *under*-estimate of realized service on the saturated
+  // 2-member fleet: estimate mode keeps issuing as if the fleet kept up,
+  // feedback mode discovers it does not and self-limits.
+  tc.service_estimate_cycles = 40000.0;
+  tc.completion_feedback = completion_feedback;
+  tc.classes.default_policy = {/*slo=*/400000, /*priority=*/0};
+  return tc;
+}
+
+ClosedLoopTraceSource closed_loop_source(bool completion_feedback,
+                                         int num_requests) {
+  return ClosedLoopTraceSource(
+      closed_loop_mix(), closed_loop_traffic(completion_feedback, num_requests),
+      Rng(kClosedLoopSeed));
+}
+
+PoolConfig closed_loop_pool_config(int num_threads) {
+  PoolConfig cfg;
+  cfg.fleet = closed_loop_fleet();
+  cfg.policy = SchedulePolicy::kFifo;
+  cfg.num_threads = num_threads;
   cfg.batching.max_batch = 8;
   cfg.batching.max_wait_cycles = 20000;
   cfg.batching.continuous_admission = true;

@@ -113,10 +113,54 @@ BurstyTraceConfig serve_scale_traffic(int num_requests = kServeScaleRequests);
 /// a prefix-like family for the scaling sweep).
 RequestQueue serve_scale_trace(int num_requests = kServeScaleRequests);
 
+/// The same trace as a streaming source: identical requests, ids, and
+/// arrival cycles, but O(1) generator state instead of a materialized
+/// deque — the form the 10^7-request sweep serves directly.
+BurstyTraceSource serve_scale_source(int num_requests = kServeScaleRequests);
+
 /// Pool configuration for the scenario: EDF + continuous admission +
 /// deadline-aware chunking on the 4-member fleet, under the given
 /// ready-queue implementation. `num_threads` only moves wall-clock.
 PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
                                    int num_threads = 1);
+
+// ---- closed-loop feedback ----------------------------------------------
+// The interactive-population scenario: a fixed client pool cycling
+// think -> issue -> service -> think against a small fleet. In estimate
+// mode each client re-issues a fixed service_estimate after issuing — the
+// trace is seed-pure and can be materialized. With completion feedback the
+// source blocks each client until the pool reports the request's *actual*
+// completion cycle, so re-issue times track realized service: under
+// saturation the offered load self-limits (never more than num_clients in
+// flight) instead of piling arrivals onto a fleet that cannot keep up.
+// serve_closed_loop_test pins the semantics; CI's BENCH_serve.json
+// publishes both modes so the behavioural gap stays visible.
+
+inline constexpr std::uint64_t kClosedLoopSeed = 60607;
+inline constexpr int kClosedLoopRequests = 4096;
+inline constexpr int kClosedLoopClients = 32;
+
+/// Two 32x32 Axon members with 16 MiB weight caches — deliberately under-
+/// provisioned for 32 clients, so estimate-mode arrivals outrun the fleet
+/// while feedback mode self-limits.
+std::vector<AcceleratorSpec> closed_loop_fleet();
+
+/// One-token decode shapes only: the interactive traffic closed loops
+/// model.
+std::vector<GemmWorkload> closed_loop_mix();
+
+/// The canonical client-population knobs; `completion_feedback` selects
+/// estimate-based re-issue (materializable) vs. real-completion re-issue.
+ClosedLoopTraceConfig closed_loop_traffic(
+    bool completion_feedback, int num_requests = kClosedLoopRequests);
+
+/// The canonical source those knobs generate (always streamed — feedback
+/// mode cannot be materialized ahead of the simulation).
+ClosedLoopTraceSource closed_loop_source(
+    bool completion_feedback, int num_requests = kClosedLoopRequests);
+
+/// Pool configuration for the scenario: FIFO + continuous admission on the
+/// 2-member fleet. `num_threads` only moves wall-clock.
+PoolConfig closed_loop_pool_config(int num_threads = 1);
 
 }  // namespace axon::serve

@@ -57,12 +57,12 @@ PickKey SchedIndex::key_of(const Entry& e) const {
                             ? std::numeric_limits<i64>::max()
                             : e.batch.earliest_deadline);
   k.age_cycle = e.batch.ready_cycle;
-  k.id0 = e.batch.requests.front().id;
+  k.id0 = e.batch.members.front().id;
   return k;
 }
 
 void SchedIndex::push(Batch batch, i64 estimate) {
-  AXON_CHECK(!batch.requests.empty(), "push of an empty batch");
+  AXON_CHECK(!batch.members.empty(), "push of an empty batch");
   cached_best_ = -1;
   i64 slot;
   if (free_.empty()) {

@@ -1,0 +1,50 @@
+#include "serve/workload_registry.hpp"
+
+#include "common/check.hpp"
+
+namespace axon::serve {
+
+WorkloadId WorkloadRegistry::intern(const std::string& name,
+                                    const GemmShape& shape,
+                                    const SloPolicy& slo) {
+  AXON_CHECK(!name.empty(), "workload name must be non-empty");
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const WorkloadId id = static_cast<WorkloadId>(names_.size());
+  names_.push_back(name);
+  shapes_.push_back(shape);
+  policies_.push_back(slo);
+  ids_.emplace(name, id);
+  return id;
+}
+
+WorkloadId WorkloadRegistry::id(const std::string& name) const {
+  const auto it = ids_.find(name);
+  AXON_CHECK(it != ids_.end(), "workload '", name, "' not interned");
+  return it->second;
+}
+
+bool WorkloadRegistry::find(const std::string& name, WorkloadId* out) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+const std::string& WorkloadRegistry::name(WorkloadId id) const {
+  AXON_CHECK(id < names_.size(), "workload id ", id, " out of range (",
+             names_.size(), " interned)");
+  return names_[id];
+}
+
+const GemmShape& WorkloadRegistry::shape(WorkloadId id) const {
+  AXON_CHECK(id < shapes_.size(), "workload id ", id, " out of range");
+  return shapes_[id];
+}
+
+const SloPolicy& WorkloadRegistry::slo(WorkloadId id) const {
+  AXON_CHECK(id < policies_.size(), "workload id ", id, " out of range");
+  return policies_[id];
+}
+
+}  // namespace axon::serve

@@ -1,0 +1,75 @@
+// Inference serving, layer 0.5: the workload interning table. Every trace
+// names its workloads ("decode_ffn2", "prefill_ffn2", ...) and those names
+// used to travel on every Request and RequestRecord as heap-allocated
+// std::strings, with per-request std::map<std::string,...> probes for SLO
+// lookup and report grouping. At 10^7 requests that is the wall.
+//
+// A WorkloadRegistry is a register-once table scoped to one trace: it maps
+// name <-> WorkloadId (a small dense integer) and carries the canonical
+// GemmShape and SloPolicy registered for that name. Requests and records
+// carry only the WorkloadId; names re-materialize at render time (report
+// summaries, trace JSON), so the output bytes are unchanged while the hot
+// path is a vector index.
+//
+// Registries are deliberately per-trace, not global: the same name can map
+// to different shapes/SLOs in different scenarios ("prefill_ffn2" is
+// {128,3072,768} in mixed_fleet but {512,3072,768} in chunked_prefill).
+// The registry is small (one entry per distinct workload name) and
+// copyable — reports keep a copy so they can render names after the trace
+// source is gone.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace axon::serve {
+
+/// Dense per-trace workload index; ids are assigned in intern order
+/// starting at 0, so two runs that intern the same names in the same order
+/// agree on every id.
+using WorkloadId = std::uint32_t;
+
+/// SLO budget + priority class assigned to requests of one workload.
+struct SloPolicy {
+  i64 slo_budget_cycles = -1;  ///< deadline = arrival + budget; -1 = no SLO
+  int priority = 0;            ///< lower = more urgent
+};
+
+class WorkloadRegistry {
+ public:
+  /// Interns `name`, returning its id. First registration wins: a repeat
+  /// intern of an existing name returns the original id and keeps the
+  /// original shape/policy (mixes may legitimately repeat a name).
+  WorkloadId intern(const std::string& name, const GemmShape& shape = {},
+                    const SloPolicy& slo = {});
+
+  /// Id for an already-interned name; AXON_CHECKs when absent.
+  [[nodiscard]] WorkloadId id(const std::string& name) const;
+  /// Lookup that reports absence instead of failing: true and fills `out`
+  /// when the name is interned.
+  [[nodiscard]] bool find(const std::string& name, WorkloadId* out) const;
+
+  [[nodiscard]] const std::string& name(WorkloadId id) const;
+  [[nodiscard]] const GemmShape& shape(WorkloadId id) const;
+  [[nodiscard]] const SloPolicy& slo(WorkloadId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+
+  /// All names in id order — what probes receive at serve begin so trace
+  /// sinks can render ids without holding the registry.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;    ///< id -> name
+  std::vector<GemmShape> shapes_;     ///< id -> canonical shape
+  std::vector<SloPolicy> policies_;   ///< id -> SLO/priority
+  std::map<std::string, WorkloadId> ids_;  ///< name -> id
+};
+
+}  // namespace axon::serve

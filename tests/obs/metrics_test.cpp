@@ -123,7 +123,7 @@ TEST(MetricsProbeTest, RegistryReconcilesWithTheServeReport) {
   const Histogram* latency = reg.find_histogram("serve.latency_cycles");
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->count(), r.num_requests());
-  EXPECT_EQ(latency->percentile_or(99), r.latency.percentile_or(99));
+  EXPECT_EQ(latency->percentile_or(99), r.latency().percentile_or(99));
   // The scale scenario keeps its queues busy: the peaks must have moved.
   EXPECT_GT(reg.gauge_value("serve.queue_depth_peak"), 0);
   EXPECT_GT(reg.gauge_value("serve.index_entries_peak"), 0);

@@ -10,7 +10,8 @@ namespace {
 Request req(i64 id, i64 m, i64 k, i64 n, i64 arrival) {
   Request r;
   r.id = id;
-  r.workload = "w" + std::to_string(id);
+  // The batcher never consults the registry, so a bare id suffices.
+  r.workload = static_cast<WorkloadId>(id);
   r.gemm = {m, k, n};
   r.arrival_cycle = arrival;
   return r;
@@ -58,10 +59,10 @@ TEST(DynamicBatcherTest, OnlyCompatibleShapesCoalesce) {
   auto ready = b.pop_ready(0);
   ASSERT_EQ(ready.size(), 2u);
   // Deterministic order: both closed at cycle 0, tie-broken by first id.
-  EXPECT_EQ(ready[0].requests.front().id, 0);
+  EXPECT_EQ(ready[0].members.front().id, 0);
   EXPECT_EQ(ready[0].size(), 2);
   EXPECT_EQ(ready[0].gemm.M, 12);
-  EXPECT_EQ(ready[1].requests.front().id, 2);
+  EXPECT_EQ(ready[1].members.front().id, 2);
   EXPECT_EQ(ready[1].size(), 1);
 }
 
@@ -164,7 +165,7 @@ TEST(DynamicBatcherTest, CloseOpenRemovesExactlyThatGroup) {
   b.admit(req(1, 4, 32, 32, 10), 10);
   ASSERT_TRUE(b.has_open());
   Batch closed = b.close_open(32, 32, 60);
-  EXPECT_EQ(closed.requests.front().id, 1);
+  EXPECT_EQ(closed.members.front().id, 1);
   EXPECT_EQ(closed.ready_cycle, 60);
   EXPECT_EQ(b.open_requests(), 1u);
   // The remaining group is untouched and still times out normally.
@@ -172,7 +173,7 @@ TEST(DynamicBatcherTest, CloseOpenRemovesExactlyThatGroup) {
   // A ready batch queued earlier must be unaffected by close_open.
   auto still_ready = b.pop_ready(50 + 1000000);
   ASSERT_EQ(still_ready.size(), 1u);
-  EXPECT_EQ(still_ready[0].requests.front().id, 0);
+  EXPECT_EQ(still_ready[0].members.front().id, 0);
 }
 
 TEST(BatchTest, AbsorbExtendsShapeAndTightensAggregates) {

@@ -10,11 +10,11 @@
 namespace axon::serve {
 namespace {
 
-Request make_req(i64 id, const GemmShape& shape, i64 arrival,
+Request make_req(RequestQueue& q, i64 id, const GemmShape& shape, i64 arrival,
                  i64 deadline = -1, int priority = 0) {
   Request r;
   r.id = id;
-  r.workload = "w" + std::to_string(id);
+  r.workload = q.intern("w" + std::to_string(id));
   r.gemm = shape;
   r.arrival_cycle = arrival;
   r.deadline_cycle = deadline;
@@ -72,7 +72,7 @@ TEST(FleetTest, HomogeneousShorthandEqualsExplicitFleet) {
 
   const auto trace = [] {
     RequestQueue q;
-    for (i64 i = 0; i < 12; ++i) q.push(make_req(i, {4, 8, 8}, i * 50));
+    for (i64 i = 0; i < 12; ++i) q.push(make_req(q, i, {4, 8, 8}, i * 50));
     return q;
   };
   expect_same_simulated_results(AcceleratorPool(shorthand).serve(trace()),
@@ -87,7 +87,7 @@ TEST(FleetTest, ClockScalesSimulatedCycles) {
     cfg.fleet = {spec(8, 8, clock_mhz)};
     cfg.batching = {1, 0};
     RequestQueue q;
-    q.push(make_req(0, {8, 8, 8}, 0));
+    q.push(make_req(q, 0, {8, 8, 8}, 0));
     return AcceleratorPool(cfg).serve(std::move(q));
   };
   const i64 base = run(kRefClockMhz).records[0].compute_cycles();
@@ -110,7 +110,7 @@ TEST(FleetTest, LeastCostRoutesToCheaperDeviceFirstFreeDoesNot) {
 
   const auto trace = [&] {
     RequestQueue q;
-    q.push(make_req(0, g, 0));
+    q.push(make_req(q, 0, g, 0));
     return q;
   };
   cfg.routing = RoutePolicy::kFirstFree;
@@ -128,7 +128,7 @@ TEST(FleetTest, RoundRobinRotatesAcrossIdleDevices) {
     cfg.routing = routing;
     cfg.batching = {1, 0};
     RequestQueue q;
-    for (i64 i = 0; i < 4; ++i) q.push(make_req(i, {8, 8, 8}, i * 100000));
+    for (i64 i = 0; i < 4; ++i) q.push(make_req(q, i, {8, 8, 8}, i * 100000));
     return AcceleratorPool(cfg).serve(std::move(q));
   };
   const ServeReport rr = run(RoutePolicy::kRoundRobin);
@@ -155,7 +155,7 @@ TEST(FleetTest, CacheWarmDecodeBatchCostsStrictlyLessThanCold) {
             pool.device_cycles(0, decode, /*weights_resident=*/false));
 
   RequestQueue q;
-  for (i64 i = 0; i < 3; ++i) q.push(make_req(i, decode, i * 100000));
+  for (i64 i = 0; i < 3; ++i) q.push(make_req(q, i, decode, i * 100000));
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
   ASSERT_EQ(rep.records.size(), 3u);
   EXPECT_LT(rep.records[1].compute_cycles(), rep.records[0].compute_cycles());
@@ -177,7 +177,7 @@ TEST(FleetTest, WeightAffinityEmergesFromLeastCostRouting) {
   cfg.routing = RoutePolicy::kLeastCost;
   cfg.batching = {1, 0};
   RequestQueue q;
-  for (i64 i = 0; i < 5; ++i) q.push(make_req(i, {1, 256, 256}, i * 100000));
+  for (i64 i = 0; i < 5; ++i) q.push(make_req(q, i, {1, 256, 256}, i * 100000));
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
   for (const auto& r : rep.records) EXPECT_EQ(r.accelerator, 0);
   EXPECT_EQ(rep.per_accelerator[0].weight_hits, 4);

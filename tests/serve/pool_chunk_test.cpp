@@ -29,7 +29,8 @@ Request make_request(i64 id, const GemmShape& gemm, i64 arrival,
                      i64 deadline = -1, int priority = 0) {
   Request r;
   r.id = id;
-  r.workload = deadline >= 0 ? "decode" : "prefill";
+  // Nothing here renders names, so fixed ids stand in for decode/prefill.
+  r.workload = deadline >= 0 ? 0 : 1;
   r.gemm = gemm;
   r.arrival_cycle = arrival;
   r.deadline_cycle = deadline;
@@ -67,13 +68,13 @@ TEST(ChunkPolicyTest, AbsorbIntoPartiallyExecutedBatchIsRejected) {
   // were priced without the newcomer, so late joins must go elsewhere.
   Batch b;
   b.gemm = {64, 16, 16};
-  b.requests.push_back(make_request(0, {64, 16, 16}, 0));
+  b.members.push_back({0, 0});
   Request late = make_request(1, {4, 16, 16}, 100);
   b.m_executed = 32;
-  EXPECT_THROW(b.absorb(std::move(late)), CheckError);
+  EXPECT_THROW(b.absorb(late), CheckError);
   b.m_executed = 0;
   Request ok = make_request(2, {4, 16, 16}, 100);
-  b.absorb(std::move(ok));
+  b.absorb(ok);
   EXPECT_EQ(b.gemm.M, 68);
 }
 
@@ -127,7 +128,7 @@ TEST(ChunkPolicyTest, UrgentArrivalPreemptsAnInFlightPrefill) {
       if (rec.id == 1) return rec;
     }
     ADD_FAILURE() << "decode record missing";
-    return r.records.front();
+    return r.records[0];
   };
   const RequestRecord dw = decode_rec(whole);
   const RequestRecord dc = decode_rec(chunked);

@@ -45,9 +45,11 @@ void expect_same_simulated_results(const ServeReport& a,
   EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
   EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles);
   EXPECT_EQ(a.total_batches, b.total_batches);
-  EXPECT_EQ(a.latency.percentile(50), b.latency.percentile(50));
-  EXPECT_EQ(a.latency.percentile(95), b.latency.percentile(95));
-  EXPECT_EQ(a.latency.percentile(99), b.latency.percentile(99));
+  const Histogram la = a.latency();
+  const Histogram lb = b.latency();
+  EXPECT_EQ(la.percentile(50), lb.percentile(50));
+  EXPECT_EQ(la.percentile(95), lb.percentile(95));
+  EXPECT_EQ(la.percentile(99), lb.percentile(99));
 }
 
 TEST(AcceleratorPoolTest, SimulatedCyclesDeterministicAcrossThreadCounts) {
@@ -133,14 +135,15 @@ TEST(AcceleratorPoolTest, SjfBeatsFifoMeanLatencyOnBimodalBurst) {
   for (auto* q : {&fifo_q, &sjf_q}) {
     Request huge;
     huge.id = 0;
-    huge.workload = "huge";
+    huge.workload = q->intern("huge");
     huge.gemm = {256, 64, 64};
     huge.arrival_cycle = 0;
     q->push(huge);
+    const WorkloadId tiny_id = q->intern("tiny");
     for (i64 i = 1; i <= 12; ++i) {
       Request tiny;
       tiny.id = i;
-      tiny.workload = "tiny";
+      tiny.workload = tiny_id;
       tiny.gemm = {4, 8, 8};
       tiny.arrival_cycle = 0;
       q->push(tiny);
@@ -153,17 +156,19 @@ TEST(AcceleratorPoolTest, SjfBeatsFifoMeanLatencyOnBimodalBurst) {
   const ServeReport fifo = AcceleratorPool(cfg).serve(std::move(fifo_q));
   cfg.policy = SchedulePolicy::kShortestJobFirst;
   const ServeReport sjf = AcceleratorPool(cfg).serve(std::move(sjf_q));
-  EXPECT_LT(sjf.latency.mean(), fifo.latency.mean());
-  EXPECT_LT(sjf.latency.percentile(50), fifo.latency.percentile(50));
+  const Histogram sjf_lat = sjf.latency();
+  const Histogram fifo_lat = fifo.latency();
+  EXPECT_LT(sjf_lat.mean(), fifo_lat.mean());
+  EXPECT_LT(sjf_lat.percentile(50), fifo_lat.percentile(50));
   // Same total work either way.
   EXPECT_EQ(sjf.total_busy_cycles, fifo.total_busy_cycles);
 }
 
-Request make_req(i64 id, const GemmShape& shape, i64 arrival,
+Request make_req(RequestQueue& q, i64 id, const GemmShape& shape, i64 arrival,
                  i64 deadline = -1, int priority = 0) {
   Request r;
   r.id = id;
-  r.workload = "w" + std::to_string(id);
+  r.workload = q.intern("w" + std::to_string(id));
   r.gemm = shape;
   r.arrival_cycle = arrival;
   r.deadline_cycle = deadline;
@@ -184,14 +189,14 @@ TEST(AcceleratorPoolTest, EdfMeetsTightDeadlineFifoMisses) {
   const GemmShape tiny{4, 8, 8};
 
   RequestQueue alone;
-  alone.push(make_req(0, tiny, 0));
+  alone.push(make_req(alone, 0, tiny, 0));
   const ServeReport solo = AcceleratorPool(cfg).serve(std::move(alone));
   const i64 budget = 2 * solo.records[0].latency_cycles();
 
   const auto trace = [&] {
     RequestQueue q;
-    q.push(make_req(0, huge, 0));
-    q.push(make_req(1, tiny, 0, /*deadline=*/budget));
+    q.push(make_req(q, 0, huge, 0));
+    q.push(make_req(q, 1, tiny, 0, /*deadline=*/budget));
     return q;
   };
   cfg.policy = SchedulePolicy::kFifo;
@@ -218,8 +223,8 @@ TEST(AcceleratorPoolTest, PriorityClassesOrderStrictlyUnderEveryPolicy) {
     cfg.batching = {1, 0};
     cfg.policy = policy;
     RequestQueue q;
-    q.push(make_req(0, {4, 8, 8}, 0, -1, /*priority=*/1));
-    q.push(make_req(1, {4, 8, 8}, 0, -1, /*priority=*/0));
+    q.push(make_req(q, 0, {4, 8, 8}, 0, -1, /*priority=*/1));
+    q.push(make_req(q, 1, {4, 8, 8}, 0, -1, /*priority=*/0));
     const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
     ASSERT_EQ(rep.records.size(), 2u);
     EXPECT_LT(rep.records[1].dispatch_cycle, rep.records[0].dispatch_cycle)
@@ -240,7 +245,7 @@ TEST(AcceleratorPoolTest, TiedBatchesDispatchByFirstIdUnderEveryPolicy) {
       cfg.batching = {1, 0};
       cfg.policy = policy;
       RequestQueue q;
-      for (i64 i = 0; i < 3; ++i) q.push(make_req(i, {4, 8, 8}, 0, 100000));
+      for (i64 i = 0; i < 3; ++i) q.push(make_req(q, i, {4, 8, 8}, 0, 100000));
       return AcceleratorPool(cfg).serve(std::move(q));
     };
     const ServeReport a = run();
@@ -257,8 +262,8 @@ TEST(AcceleratorPoolTest, ContinuousAdmissionDispatchesWithoutMaxWait) {
   // full window (a later pending arrival keeps the trace open).
   const auto trace = [] {
     RequestQueue q;
-    q.push(make_req(0, {4, 8, 8}, 0));
-    q.push(make_req(1, {4, 8, 8}, 50000));
+    q.push(make_req(q, 0, {4, 8, 8}, 0));
+    q.push(make_req(q, 1, {4, 8, 8}, 50000));
     return q;
   };
   PoolConfig cfg = base_config();
@@ -283,9 +288,9 @@ TEST(AcceleratorPoolTest, LateArrivalJoinsUndispatchedReadyBatch) {
   cfg.batching = {/*max_batch=*/4, /*max_wait_cycles=*/100};
   cfg.batching.continuous_admission = true;
   RequestQueue q;
-  q.push(make_req(0, {512, 64, 64}, 0));   // long-running head of line
-  q.push(make_req(1, {4, 32, 32}, 10));
-  q.push(make_req(2, {4, 32, 32}, 500));   // after r1's group closed at 110
+  q.push(make_req(q, 0, {512, 64, 64}, 0));   // long-running head of line
+  q.push(make_req(q, 1, {4, 32, 32}, 10));
+  q.push(make_req(q, 2, {4, 32, 32}, 500));   // after r1's group closed at 110
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
   ASSERT_EQ(rep.records.size(), 3u);
   // r0 must still be busy when r2 arrives, or the scenario is vacuous.
@@ -305,13 +310,13 @@ TEST(AcceleratorPoolTest, EagerCloseOfOpenGroupsHonoursPriority) {
   cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/1000000};
   cfg.batching.continuous_admission = true;
   RequestQueue q;
-  q.push(make_req(0, {64, 32, 32}, 0));                  // occupies the pool
-  q.push(make_req(1, {4, 16, 16}, 5, -1, /*priority=*/1));  // older group
-  q.push(make_req(2, {4, 8, 8}, 10, -1, /*priority=*/0));   // urgent group
+  q.push(make_req(q, 0, {64, 32, 32}, 0));                  // occupies the pool
+  q.push(make_req(q, 1, {4, 16, 16}, 5, -1, /*priority=*/1));  // older group
+  q.push(make_req(q, 2, {4, 8, 8}, 10, -1, /*priority=*/0));   // urgent group
   // A far-future arrival keeps the trace open, so the groups leave the
   // batcher through the eager-close path rather than the end-of-trace
   // flush.
-  q.push(make_req(3, {4, 8, 8}, 5000000));
+  q.push(make_req(q, 3, {4, 8, 8}, 5000000));
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
   ASSERT_EQ(rep.records.size(), 4u);
   EXPECT_LT(rep.records[2].dispatch_cycle, rep.records[1].dispatch_cycle);
@@ -327,12 +332,12 @@ TEST(AcceleratorPoolTest, UrgentOpenGroupBeatsLaxReadyBatch) {
   cfg.batching = {/*max_batch=*/2, /*max_wait_cycles=*/1000000};
   cfg.batching.continuous_admission = true;
   RequestQueue q;
-  q.push(make_req(0, {64, 32, 32}, 0));  // occupies the pool
-  q.push(make_req(1, {4, 16, 16}, 5, -1, /*priority=*/1));
+  q.push(make_req(q, 0, {64, 32, 32}, 0));  // occupies the pool
+  q.push(make_req(q, 1, {4, 16, 16}, 5, -1, /*priority=*/1));
   // closes at max_batch
-  q.push(make_req(2, {4, 16, 16}, 6, -1, /*priority=*/1));
-  q.push(make_req(3, {4, 8, 8}, 10, -1, /*priority=*/0));   // open, urgent
-  q.push(make_req(4, {4, 8, 8}, 5000000));  // keeps the trace open
+  q.push(make_req(q, 2, {4, 16, 16}, 6, -1, /*priority=*/1));
+  q.push(make_req(q, 3, {4, 8, 8}, 10, -1, /*priority=*/0));   // open, urgent
+  q.push(make_req(q, 4, {4, 8, 8}, 5000000));  // keeps the trace open
   const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
   ASSERT_EQ(rep.records.size(), 5u);
   EXPECT_LT(rep.records[3].dispatch_cycle, rep.records[1].dispatch_cycle);
@@ -375,7 +380,7 @@ TEST(AcceleratorPoolTest, CycleAccurateAgreesWithAccelerator) {
   RequestQueue q;
   Request r;
   r.id = 0;
-  r.workload = "w";
+  r.workload = q.intern("w");
   r.gemm = {8, 8, 8};
   r.arrival_cycle = 0;
   q.push(r);

@@ -61,10 +61,11 @@ TEST(ServeReportTest, FinalizeAggregatesRecords) {
   ServeReport rep;
   rep.num_accelerators = 2;
   rep.total_batches = 2;
+  const WorkloadId w = rep.workloads.intern("w");
   for (i64 i = 0; i < 4; ++i) {
     RequestRecord r;
     r.id = 3 - i;  // reversed: finalize must sort by id
-    r.workload = "w";
+    r.workload = w;
     r.gemm = {4, 8, 8};
     r.arrival_cycle = 10 * r.id;
     r.dispatch_cycle = r.arrival_cycle + 5;
@@ -74,12 +75,12 @@ TEST(ServeReportTest, FinalizeAggregatesRecords) {
   }
   rep.total_busy_cycles = 200;
   rep.finalize();
-  EXPECT_EQ(rep.records.front().id, 0);
-  EXPECT_EQ(rep.records.back().id, 3);
+  EXPECT_EQ(rep.records[0].id, 0);
+  EXPECT_EQ(rep.records[rep.records.size() - 1].id, 3);
   EXPECT_EQ(rep.makespan_cycles, 135);  // id 3: 30 + 5 + 100
-  EXPECT_EQ(rep.latency.count(), 4u);
-  EXPECT_EQ(rep.latency.percentile(50), 105);
-  EXPECT_EQ(rep.queueing.percentile(99), 5);
+  EXPECT_EQ(rep.latency().count(), 4u);
+  EXPECT_EQ(rep.latency().percentile(50), 105);
+  EXPECT_EQ(rep.queueing().percentile(99), 5);
   EXPECT_EQ(rep.records[0].compute_cycles(), 100);
   EXPECT_DOUBLE_EQ(rep.mean_batch_size(), 2.0);
   EXPECT_GT(rep.throughput_per_mcycle(), 0.0);
@@ -117,11 +118,11 @@ TEST(ServeReportTest, EmptyTraceYieldsWellFormedReport) {
 
 TEST(ServeReportTest, BreakdownsSliceByWorkloadAndClass) {
   ServeReport rep;
-  const auto record = [](i64 id, const std::string& w, int prio, i64 deadline,
-                         i64 completion) {
+  const auto record = [&rep](i64 id, const std::string& w, int prio,
+                             i64 deadline, i64 completion) {
     RequestRecord r;
     r.id = id;
-    r.workload = w;
+    r.workload = rep.workloads.intern(w);
     r.gemm = {1, 8, 8};
     r.arrival_cycle = 0;
     r.dispatch_cycle = 1;
@@ -139,21 +140,23 @@ TEST(ServeReportTest, BreakdownsSliceByWorkloadAndClass) {
   rep.total_batches = 3;
   rep.finalize();
 
-  ASSERT_EQ(rep.by_workload.size(), 2u);
-  const GroupStats& decode = rep.by_workload.at("decode");
+  const std::map<std::string, GroupStats> by_workload = rep.by_workload();
+  ASSERT_EQ(by_workload.size(), 2u);
+  const GroupStats& decode = by_workload.at("decode");
   EXPECT_EQ(decode.requests, 2u);
   EXPECT_EQ(decode.with_deadline, 2u);
   EXPECT_EQ(decode.met_deadline, 1u);
   EXPECT_DOUBLE_EQ(decode.slo_attainment(), 0.5);
   EXPECT_EQ(decode.miss.percentile_or(99), 50);  // missed by 150 - 100
 
-  const GroupStats& prefill = rep.by_workload.at("prefill");
+  const GroupStats& prefill = by_workload.at("prefill");
   EXPECT_EQ(prefill.with_deadline, 0u);
   EXPECT_DOUBLE_EQ(prefill.slo_attainment(), 1.0);
 
-  ASSERT_EQ(rep.by_class.size(), 2u);
-  EXPECT_EQ(rep.by_class.at(0).requests, 2u);
-  EXPECT_EQ(rep.by_class.at(1).requests, 1u);
+  const std::map<int, GroupStats> by_class = rep.by_class();
+  ASSERT_EQ(by_class.size(), 2u);
+  EXPECT_EQ(by_class.at(0).requests, 2u);
+  EXPECT_EQ(by_class.at(1).requests, 1u);
   EXPECT_DOUBLE_EQ(rep.slo_attainment(), 0.5);
 
   const std::string s = rep.summary();

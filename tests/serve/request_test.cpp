@@ -67,7 +67,8 @@ TEST(TraceGeneratorTest, ArrivalsNonDecreasingAndMixRespected) {
     EXPECT_GE(r.arrival_cycle, prev);
     prev = r.arrival_cycle;
     EXPECT_TRUE(r.gemm.valid());
-    EXPECT_FALSE(r.workload.empty());
+    // The interned id must re-materialize to a real workload name.
+    EXPECT_FALSE(q.registry().name(r.workload).empty());
   }
 }
 
@@ -109,10 +110,11 @@ TEST(TraceGeneratorTest, SloPoliciesStampDeadlinesAndPriorities) {
   cfg.classes.per_workload["fast"] = {/*slo=*/5000, /*priority=*/0};
   Rng rng(3);
   RequestQueue q = generate_trace(mix, cfg, rng);
+  const WorkloadId fast_id = q.registry().id("fast");
   int fast_seen = 0;
   while (!q.empty()) {
     const Request r = q.pop();
-    if (r.workload == "fast") {
+    if (r.workload == fast_id) {
       ++fast_seen;
       EXPECT_TRUE(r.has_deadline());
       EXPECT_EQ(r.deadline_cycle, r.arrival_cycle + 5000);

@@ -21,7 +21,7 @@ Request make_request(i64 id, const GemmShape& gemm, i64 arrival,
                      i64 deadline = -1, int priority = 0) {
   Request r;
   r.id = id;
-  r.workload = "w";
+  r.workload = 0;
   r.gemm = gemm;
   r.arrival_cycle = arrival;
   r.deadline_cycle = deadline;
@@ -37,8 +37,7 @@ Batch make_batch(i64 first_id, const GemmShape& gemm, i64 ready_cycle,
   b.earliest_deadline = deadline;
   b.top_priority = priority;
   b.m_executed = m_executed;
-  b.requests.push_back(make_request(first_id, gemm, ready_cycle, deadline,
-                                    priority));
+  b.members.push_back({first_id, 0});
   return b;
 }
 
@@ -56,8 +55,8 @@ TEST(SchedIndexTest, PriorityClassesAreStrictUnderEveryPolicy) {
     idx.push(make_batch(1, {64, 64, 64}, /*ready=*/50, /*deadline=*/5000,
                         /*priority=*/0),
              /*estimate=*/100000);
-    EXPECT_EQ(idx.pop_best().requests.front().id, 1) << to_string(policy);
-    EXPECT_EQ(idx.pop_best().requests.front().id, 0);
+    EXPECT_EQ(idx.pop_best().members.front().id, 1) << to_string(policy);
+    EXPECT_EQ(idx.pop_best().members.front().id, 0);
     EXPECT_TRUE(idx.empty());
   }
 }
@@ -77,8 +76,8 @@ TEST(SchedIndexTest, LazyInvalidationSurvivesAClassMove) {
   idx.batch(slot).absorb(make_request(2, {1, 16, 32}, 10, /*deadline=*/500,
                                       /*priority=*/0));
   idx.joined(slot, 80);
-  EXPECT_EQ(idx.pop_best().requests.front().id, 0);
-  EXPECT_EQ(idx.pop_best().requests.front().id, 1);
+  EXPECT_EQ(idx.pop_best().members.front().id, 0);
+  EXPECT_EQ(idx.pop_best().members.front().id, 1);
   EXPECT_TRUE(idx.empty());
 }
 
@@ -93,7 +92,7 @@ TEST(SchedIndexTest, JoinRegistryRetiresFullAndPartialBatches) {
   idx.push(make_batch(1, {1, 16, 32}, 5), 10);
   const i64 slot = idx.find_joinable(16, 32);
   ASSERT_GE(slot, 0);
-  EXPECT_EQ(idx.batch(slot).requests.front().id, 1);
+  EXPECT_EQ(idx.batch(slot).members.front().id, 1);
   idx.batch(slot).absorb(make_request(2, {1, 16, 32}, 10));
   idx.joined(slot, 20);  // size hit max_batch=2: no longer joinable
   EXPECT_LT(idx.find_joinable(16, 32), 0);
@@ -116,7 +115,7 @@ TEST(SchedIndexTest, JoinFindsTheEarliestPushedMatch) {
     idx.push(make_batch(2, {1, 16, 32}, 2), /*estimate=*/1);
     const i64 slot = idx.find_joinable(16, 32);
     ASSERT_GE(slot, 0);
-    EXPECT_EQ(idx.batch(slot).requests.front().id, 0) << to_string(impl);
+    EXPECT_EQ(idx.batch(slot).members.front().id, 0) << to_string(impl);
   }
 }
 
@@ -162,7 +161,7 @@ void fuzz_against_reference(SchedulePolicy policy, std::uint64_t seed) {
           << "best_key diverged at op " << op;
       const Batch x = indexed.pop_best();
       const Batch y = scan.pop_best();
-      ASSERT_EQ(x.requests.front().id, y.requests.front().id)
+      ASSERT_EQ(x.members.front().id, y.members.front().id)
           << "pop order diverged at op " << op << " under "
           << to_string(policy);
       ASSERT_EQ(x.gemm, y.gemm);
@@ -175,8 +174,8 @@ void fuzz_against_reference(SchedulePolicy policy, std::uint64_t seed) {
       const i64 sy = scan.find_joinable(K, N);
       ASSERT_EQ(sx >= 0, sy >= 0) << "join hit/miss diverged at op " << op;
       if (sx >= 0) {
-        ASSERT_EQ(indexed.batch(sx).requests.front().id,
-                  scan.batch(sy).requests.front().id)
+        ASSERT_EQ(indexed.batch(sx).members.front().id,
+                  scan.batch(sy).members.front().id)
             << "join target diverged at op " << op;
         const Request r = make_request(next_id++, {1, K, N}, 600,
                                        rng.bernoulli(0.5) ? 700 : -1,
@@ -194,8 +193,8 @@ void fuzz_against_reference(SchedulePolicy policy, std::uint64_t seed) {
   }
   // Drain: the full remaining pop order must agree.
   while (!scan.empty()) {
-    ASSERT_EQ(indexed.pop_best().requests.front().id,
-              scan.pop_best().requests.front().id);
+    ASSERT_EQ(indexed.pop_best().members.front().id,
+              scan.pop_best().members.front().id);
   }
   EXPECT_TRUE(indexed.empty());
 }
