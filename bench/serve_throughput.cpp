@@ -158,6 +158,45 @@ void fleet_sweep(std::ostream& os) {
   os << "\n";
 }
 
+// ---- fleet contention ------------------------------------------------
+
+/// The serve/scenarios shared-bandwidth scenario (4x cache-less 32x32 on
+/// 2 memory nodes at 80 B/fleet-cycle each, one-hop fabric), under
+/// congestion-aware vs congestion-blind least-cost routing. The example
+/// enforces aware > blind on SLO attainment on this exact trace; CI's
+/// smoke artifact publishes both ends.
+ServeReport serve_contended(bool congestion_aware) {
+  return AcceleratorPool(fleet_contention_pool_config(congestion_aware))
+      .serve(fleet_contention_trace());
+}
+
+void contention_sweep(std::ostream& os) {
+  Table t({"routing", "slo_%", "p50", "p99", "contended", "hop_disp",
+           "node_slowdown"});
+  for (const bool aware : {false, true}) {
+    const ServeReport r = serve_contended(aware);
+    i64 contended = 0;
+    double slowdown = 1.0;
+    for (const auto& n : r.per_node) {
+      contended += n.contended_dispatches;
+      if (n.slowdown() > slowdown) slowdown = n.slowdown();
+    }
+    i64 hop_dispatches = 0;
+    for (const auto& a : r.per_accelerator) hop_dispatches += a.hop_dispatches;
+    t.row()
+        .cell(aware ? "congestion-aware" : "congestion-blind")
+        .cell(100.0 * r.slo_attainment(), 1)
+        .cell(r.latency().percentile_or(50))
+        .cell(r.latency().percentile_or(99))
+        .cell(contended)
+        .cell(hop_dispatches)
+        .cell(slowdown, 3);
+  }
+  t.print(os, "Shared-bandwidth contention sweep (4x cache-less 32x32, "
+              "2 memory nodes, EDF + least-cost)");
+  os << "\n";
+}
+
 // ---- chunked prefill -------------------------------------------------
 
 /// The serve/scenarios head-of-line blocking scenario (2x 32x32 + weight
@@ -195,6 +234,7 @@ void print_tables(std::ostream& os) {
   sweep(os, "BERT-base", transformer_serve_mix());
   slo_sweep(os);
   fleet_sweep(os);
+  contention_sweep(os);
   chunk_sweep(os);
 }
 
@@ -287,6 +327,12 @@ std::vector<Scenario> smoke_scenarios() {
                  serve_chunked(ChunkPolicy::kNone)});
   out.push_back({"chunked_prefill_deadline_aware",
                  serve_chunked(ChunkPolicy::kDeadlineAware)});
+  // Shared-bandwidth contention, both router beliefs. The arbiter charges
+  // the same physics either way, so the gap between these two rows is
+  // purely the value of pricing live node demand — the runtime claim
+  // examples/serve_traffic enforces, kept visible in the artifact.
+  out.push_back({"fleet_contention_blind", serve_contended(false)});
+  out.push_back({"fleet_contention_aware", serve_contended(true)});
   // The production-trace-size scenario (serve/scenarios serve_scale):
   // 200k mixed-SLO requests through the indexed serve core. Simulated
   // metrics gate like every other scenario; its wall_seconds rides along

@@ -15,7 +15,12 @@ PR.
 
 Usage:
   scripts/compare_bench.py BASELINE CURRENT [--tolerance-pct 2.0]
+  scripts/compare_bench.py --list BASELINE
   scripts/compare_bench.py --self-test
+
+--list prints, per metric key found in the baseline, whether it gates
+(and in which direction) or is informational — the answer to "would a
+change here fail CI?" without staging a comparison.
 
 Exit status: 0 = within tolerance, 1 = regression (or malformed/missing
 scenario/missing gated metric, or self-test failure), 2 = usage error.
@@ -199,6 +204,48 @@ def compare(baseline_path, current_path, tolerance_pct):
     return 0
 
 
+def list_classification(baseline_path):
+    """--list: per metric key in the baseline, print whether it gates
+    (with direction) or only informs, and which scenarios carry it."""
+    scenarios = load_scenarios(baseline_path)
+    carriers = {}
+    for name, doc in scenarios.items():
+        for metric in doc:
+            if metric == "name":
+                continue
+            carriers.setdefault(metric, []).append(name)
+
+    widths = (28, 26, 10)
+    header = ("metric", "classification", "scenarios")
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"{len(scenarios)} scenario(s) in {baseline_path}\n")
+    print(line)
+    print("-" * len(line))
+    gated = informational = 0
+    for metric in sorted(carriers):
+        direction = GATED_METRICS.get(metric)
+        if direction is not None:
+            classification = f"GATED ({direction} is better)"
+            gated += 1
+        elif is_informational(metric):
+            classification = "informational"
+            informational += 1
+        else:
+            classification = "informational (unlisted)"
+            informational += 1
+        n = len(carriers[metric])
+        scope = "all" if n == len(scenarios) else f"{n}/{len(scenarios)}"
+        print(f"{metric:<{widths[0]}}  {classification:<{widths[1]}}  {scope}")
+    # Gated metrics the baseline does not carry would fail a compare run
+    # (gates may not vanish) — surface them here too.
+    for metric in sorted(GATED_METRICS):
+        if metric not in carriers:
+            print(f"{metric:<{widths[0]}}  GATED but MISSING from baseline "
+                  "— compare would fail")
+    print(f"\n{gated} gated, {informational} informational")
+    return 0
+
+
 # ---- self-test ----------------------------------------------------------
 
 
@@ -280,8 +327,39 @@ def self_test():
         "unclassified metric informs, never gates",
         _scenario(brand_new_metric=1),
         _scenario(brand_new_metric=1000), 0, "not classified")
+    ok &= _list_case()
     print("self-test:", "OK" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _list_case():
+    """--list classifies every key of a representative scenario: gated
+    metrics as GATED with their direction, wall/unlisted keys as
+    informational."""
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump({"scenarios": [_scenario(brand_new_metric=1)]}, f)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = list_classification(path)
+        text = out.getvalue()
+        problems = []
+        if code != 0:
+            problems.append(f"exit {code}, expected 0")
+        for needle in (
+            "makespan_cycles",
+            "GATED (lower is better)",
+            "GATED (higher is better)",
+            "informational (unlisted)",
+        ):
+            if needle not in text:
+                problems.append(f"output lacks {needle!r}")
+        status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+        print(f"  self-test: --list classifies baseline keys: {status}")
+        return not problems
+    finally:
+        os.unlink(path)
 
 
 def main():
@@ -291,10 +369,18 @@ def main():
     parser.add_argument("--tolerance-pct", type=float, default=2.0)
     parser.add_argument("--self-test", action="store_true",
                         help="run the gate's own unit checks and exit")
+    parser.add_argument("--list", action="store_true",
+                        help="print the gated-vs-informational "
+                        "classification of every baseline metric and exit")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.list:
+        if args.baseline is None:
+            parser.print_usage(sys.stderr)
+            return 2
+        return list_classification(args.baseline)
     if args.baseline is None or args.current is None:
         parser.print_usage(sys.stderr)
         return 2

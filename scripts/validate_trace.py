@@ -15,9 +15,23 @@ later in somebody's chrome://tracing tab. Checks:
      the timeline. Async "b"/"e" pairs and instants are exempt: the sink
      emits async opens at close time with their (earlier) open timestamp
      by design (see src/obs/trace.hpp).
+  4. Every counter ("C") arg value is a non-negative integer — all of the
+     sink's counter series (sched/load/wcache occupancy and the
+     "node<i>:dram" contention tracks) count things that cannot go
+     negative, so a negative sample means the arbiter bookkeeping
+     underflowed.
+  5. A trace that carries "contend" instants (a contention-enabled run)
+     must also carry at least one "node<i>:dram" counter series —
+     slowdown onsets without the matching node pressure track mean the
+     sink dropped the NodeSample path.
+  6. No two "X" (complete) events share an identity (pid, tid, batch,
+     chunk ordinal): the same chunk retiring twice means the completion
+     calendar re-fired a stale entry — exactly the bug its versioned keys
+     exist to prevent.
 
 Usage:
   scripts/validate_trace.py TRACE.json
+  scripts/validate_trace.py --self-test
 
 Exit status: 0 = valid, 1 = invalid, 2 = usage error.
 """
@@ -31,13 +45,7 @@ def fail(msg):
     return 1
 
 
-def validate(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(f"cannot load {path}: {e}")
-
+def validate_doc(doc, path):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         return fail(f"{path} has no traceEvents")
@@ -45,6 +53,9 @@ def validate(path):
     # Monotonicity cursors per (pid, tid) track, "X"/"C" phases only.
     last_ts = {}
     phases = {}
+    counter_series = set()
+    contend_instants = 0
+    seen_complete_ids = set()
     for i, e in enumerate(events):
         if not isinstance(e, dict):
             return fail(f"event {i} is not an object")
@@ -64,6 +75,35 @@ def validate(path):
             dur = e.get("dur")
             if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
                 return fail(f"event {i} ('X' span) has bad dur {dur!r}")
+            args = e.get("args")
+            if isinstance(args, dict) and "batch" in args and "chunk" in args:
+                ident = (e.get("pid"), e.get("tid"), args["batch"],
+                         args["chunk"])
+                if ident in seen_complete_ids:
+                    return fail(
+                        f"event {i} ('X' span) duplicates complete-event id "
+                        f"pid={ident[0]} tid={ident[1]} batch={ident[2]} "
+                        f"chunk={ident[3]} — the same chunk retired twice "
+                        "(stale completion-calendar entry re-fired)"
+                    )
+                seen_complete_ids.add(ident)
+        if ph == "C":
+            name = e.get("name")
+            if isinstance(name, str):
+                counter_series.add(name)
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                return fail(f"event {i} ('C' counter) has no args")
+            for key, value in args.items():
+                if (not isinstance(value, int) or isinstance(value, bool)
+                        or value < 0):
+                    return fail(
+                        f"event {i} ('C' counter '{name}') arg "
+                        f"'{key}' is {value!r} — counter samples must be "
+                        "non-negative integers"
+                    )
+        if ph == "i" and e.get("cat") == "contend":
+            contend_instants += 1
         if ph in ("X", "C"):
             track = (e.get("pid"), e.get("tid"))
             prev = last_ts.get(track)
@@ -75,17 +115,122 @@ def validate(path):
                 )
             last_ts[track] = ts
 
+    node_series = sorted(
+        n for n in counter_series
+        if n.startswith("node") and n.endswith(":dram")
+    )
+    if contend_instants and not node_series:
+        return fail(
+            f"{contend_instants} 'contend' instant(s) but no 'node<i>:dram' "
+            "counter series — a contention-enabled run must publish its "
+            "node pressure tracks"
+        )
+
     summary = "  ".join(f"{ph}:{n}" for ph, n in sorted(phases.items()))
+    extra = ""
+    if node_series:
+        extra = (
+            f"; contention: {len(node_series)} node track(s), "
+            f"{contend_instants} contend instant(s)"
+        )
     print(
         f"validate_trace: OK: {len(events)} events on {len(last_ts)} "
-        f"monotone tracks ({summary})"
+        f"monotone tracks ({summary}){extra}"
     )
     return 0
 
 
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {path}: {e}")
+    return validate_doc(doc, path)
+
+
+# ---- self-test ----------------------------------------------------------
+
+
+def _doc(events):
+    return {"traceEvents": events}
+
+
+def _span(ts=0, dur=10, pid=0, tid=0, batch=1, chunk=0):
+    return {
+        "ph": "X", "pid": pid, "tid": tid, "ts": ts, "dur": dur,
+        "cat": "exec", "name": f"b{batch}/c{chunk}",
+        "args": {"batch": batch, "chunk": chunk, "m": 1, "size": 1,
+                 "final": 1},
+    }
+
+
+def _counter(name="sched", ts=0, **args):
+    return {"ph": "C", "pid": 3, "tid": 0, "ts": ts, "name": name,
+            "args": args or {"ready": 0}}
+
+
+def _contend(ts=0):
+    return {"ph": "i", "s": "t", "pid": 1, "tid": 0, "ts": ts,
+            "cat": "contend", "name": "contend n0",
+            "args": {"node": 0, "demand": 2, "hop_cycles": 0}}
+
+
+def self_test():
+    """Unit-style checks of the validator itself (CI's format job runs
+    this): good traces pass, and each hardening check fires on the
+    malformed shape it exists for."""
+    import contextlib
+    import io
+
+    cases = [
+        ("minimal valid trace passes",
+         _doc([_span(), _counter()]), 0, None),
+        ("monotone violation fails",
+         _doc([_span(ts=100, batch=1), _span(ts=50, batch=2)]), 1,
+         "monotone"),
+        ("negative counter arg fails",
+         _doc([_counter("load", busy_devices=-1)]), 1, "non-negative"),
+        ("counter without args fails",
+         _doc([{"ph": "C", "pid": 3, "tid": 0, "ts": 0, "name": "x"}]), 1,
+         "no args"),
+        ("duplicate complete-event id fails",
+         _doc([_span(ts=0, batch=7, chunk=0), _span(ts=5, batch=7, chunk=0)]),
+         1, "retired twice"),
+        ("same batch, later chunk passes",
+         _doc([_span(ts=0, batch=7, chunk=0), _span(ts=5, batch=7, chunk=1)]),
+         0, None),
+        ("contend instants without node tracks fail",
+         _doc([_contend()]), 1, "node<i>:dram"),
+        ("contention-enabled trace passes",
+         _doc([_contend(),
+               _counter("node0:dram", ts=0, streams=2, inflight_bytes=64)]),
+         0, None),
+    ]
+    ok = True
+    for label, doc, expect_exit, expect_msg in cases:
+        out = io.StringIO()
+        err = io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = validate_doc(doc, "<self-test>")
+        problems = []
+        if code != expect_exit:
+            problems.append(f"exit {code}, expected {expect_exit}")
+        if expect_msg and expect_msg not in err.getvalue():
+            problems.append(f"stderr lacks {expect_msg!r}")
+        status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+        print(f"  self-test: {label}: {status}")
+        ok &= not problems
+    print("self-test:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
     if len(sys.argv) != 2:
-        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        print("usage: validate_trace.py TRACE.json | --self-test",
+              file=sys.stderr)
         return 2
     return validate(sys.argv[1])
 

@@ -118,7 +118,12 @@ std::string MetricsRegistry::to_json() const {
 }
 
 MetricsProbe::MetricsProbe(MetricsRegistry* registry)
-    : requests_(registry->counter("serve.requests")),
+    : registry_(registry),
+      contended_dispatches_(
+          registry->counter("serve.node_bw_contended_dispatches")),
+      hop_dispatches_(registry->counter("serve.node_bw_hop_dispatches")),
+      hop_cycles_(registry->counter("serve.node_bw_hop_cycles")),
+      requests_(registry->counter("serve.requests")),
       joins_(registry->counter("serve.joins")),
       batches_(registry->counter("serve.batches")),
       chunks_(registry->counter("serve.chunks")),
@@ -170,6 +175,11 @@ void MetricsProbe::on_dispatch(const DispatchInfo& info) {
     wcache_misses_.add();
   }
   wcache_bytes_peak_.set_max(info.cache_used_bytes);
+  if (info.contended) contended_dispatches_.add();
+  if (info.hop_cycles > 0) {
+    hop_dispatches_.add();
+    hop_cycles_.add(info.hop_cycles);
+  }
 }
 
 void MetricsProbe::on_chunk_retire(const RetireInfo& info) {
@@ -190,6 +200,23 @@ void MetricsProbe::on_loop_counters(const LoopCounters& c) {
   queue_depth_peak_.set_max(c.ready_batches);
   open_groups_peak_.set_max(c.open_groups);
   index_entries_peak_.set_max(c.index_entries);
+}
+
+MetricsProbe::NodeSeries& MetricsProbe::node_series(int node) {
+  const auto it = node_series_.find(node);
+  if (it != node_series_.end()) return it->second;
+  const std::string stem = "serve.node_bw_node" + std::to_string(node);
+  return node_series_
+      .emplace(node,
+               NodeSeries{registry_->gauge(stem + ".streams_peak"),
+                          registry_->gauge(stem + ".inflight_bytes_peak")})
+      .first->second;
+}
+
+void MetricsProbe::on_node_sample(const NodeSample& s) {
+  NodeSeries& series = node_series(s.node);
+  series.streams_peak.set_max(s.active_streams);
+  series.inflight_bytes_peak.set_max(s.inflight_bytes);
 }
 
 }  // namespace axon::obs

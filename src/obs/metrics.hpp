@@ -129,8 +129,24 @@ class MetricsProbe : public PoolProbe {
   void on_chunk_retire(const RetireInfo& info) override;
   void on_request_done(const serve::RequestRecord& rec) override;
   void on_loop_counters(const LoopCounters& c) override;
+  void on_node_sample(const NodeSample& s) override;
 
  private:
+  /// Lazily registered per-memory-node series ("serve.node_bw_*"). Nodes
+  /// are not known at probe construction (samples only fire when the pool
+  /// runs with a NodeTopology), so first sight of a node registers its
+  /// series — event order is deterministic, so so is registration order.
+  struct NodeSeries {
+    MetricsRegistry::Gauge streams_peak;
+    MetricsRegistry::Gauge inflight_bytes_peak;
+  };
+  NodeSeries& node_series(int node);
+
+  MetricsRegistry* registry_;
+  std::map<int, NodeSeries> node_series_;
+  MetricsRegistry::Counter contended_dispatches_;
+  MetricsRegistry::Counter hop_dispatches_;
+  MetricsRegistry::Counter hop_cycles_;
   MetricsRegistry::Counter requests_;
   MetricsRegistry::Counter joins_;
   MetricsRegistry::Counter batches_;

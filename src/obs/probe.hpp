@@ -48,6 +48,23 @@ struct DispatchInfo {
   bool final_chunk = true;
   bool weights_resident = false;  ///< weight-cache hit at dispatch
   i64 cache_used_bytes = 0;       ///< routed device's cache occupancy after
+  // Contention fields (serve/contention.hpp); defaults when the pool runs
+  // without a NodeTopology.
+  int node = -1;          ///< routed device's memory node; -1 = no topology
+  i64 node_demand = 0;    ///< concurrent streams on that node incl. this one
+  bool contended = false; ///< node_demand >= 2 — this dispatch slowed others
+  i64 hop_cycles = 0;     ///< fabric latency this dispatch pays (0 = local)
+};
+
+/// Per-memory-node contention sample, emitted with the loop counters for
+/// every node when the pool runs with a NodeTopology: in-flight transfer
+/// streams and their undrained bytes after this event's dispatches
+/// settled. Deterministic like everything else on the probe.
+struct NodeSample {
+  i64 now = 0;
+  int node = -1;
+  i64 active_streams = 0;
+  i64 inflight_bytes = 0;
 };
 
 /// One chunk retiring from the completion calendar.
@@ -119,6 +136,9 @@ class PoolProbe {
     (void)rec;
   }
   virtual void on_loop_counters(const LoopCounters& c) { (void)c; }
+  /// One per enabled memory node per loop iteration, right after
+  /// on_loop_counters. Never fires without a NodeTopology.
+  virtual void on_node_sample(const NodeSample& s) { (void)s; }
 };
 
 // ---- serve-loop self-profiler ------------------------------------------

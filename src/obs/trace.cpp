@@ -158,6 +158,18 @@ void TraceSink::on_dispatch(const DispatchInfo& info) {
       << json_escape(devices_[static_cast<std::size_t>(info.device)])
       << "\",\"args\":{\"bytes\":" << info.cache_used_bytes << "}}";
   emit(occ.str());
+  if (info.contended) {
+    // This dispatch raised its node's demand to >= 2: every in-flight
+    // stream on the node just slowed down. Mark the onset on the scheduler
+    // track so it reads alongside preemptions.
+    std::ostringstream con;
+    con << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kSchedPid
+        << ",\"tid\":0,\"ts\":" << info.now << ",\"cat\":\"contend\","
+        << "\"name\":\"contend n" << info.node << "\",\"args\":{\"node\":"
+        << info.node << ",\"demand\":" << info.node_demand
+        << ",\"hop_cycles\":" << info.hop_cycles << "}}";
+    emit(con.str());
+  }
 }
 
 void TraceSink::on_chunk_retire(const RetireInfo& info) {
@@ -210,6 +222,15 @@ void TraceSink::on_loop_counters(const LoopCounters& c) {
        << c.busy_devices << ",\"index_entries\":" << c.index_entries
        << ",\"open_requests\":" << c.open_requests << "}}";
   emit(load.str());
+}
+
+void TraceSink::on_node_sample(const NodeSample& s) {
+  std::ostringstream os;
+  os << "{\"ph\":\"C\",\"pid\":" << kCountersPid << ",\"tid\":0,\"ts\":"
+     << s.now << ",\"name\":\"node" << s.node
+     << ":dram\",\"args\":{\"streams\":" << s.active_streams
+     << ",\"inflight_bytes\":" << s.inflight_bytes << "}}";
+  emit(os.str());
 }
 
 void TraceSink::write(std::ostream& os) const {

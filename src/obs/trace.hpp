@@ -19,8 +19,13 @@
 //   pid 3 "counters"   counter tracks sampled once per serve-loop event:
 //                      "sched" (ready batches, partial batches, open
 //                      groups), "load" (busy devices, ready-queue index
-//                      entries incl. lazy residue, open requests), and
-//                      "wcache:<device>" occupancy in bytes.
+//                      entries incl. lazy residue, open requests),
+//                      "wcache:<device>" occupancy in bytes, and — when the
+//                      pool runs with a NodeTopology — "node<i>:dram" per
+//                      memory node (concurrent transfer streams + undrained
+//                      bytes). Contended dispatches additionally drop a
+//                      "contend" instant on the scheduler track so slowdown
+//                      onsets are visible next to preemptions.
 //
 // Every emitted value is an integer from the simulated timeline and every
 // event is emitted from the single-threaded serve loop in event order, so
@@ -61,6 +66,7 @@ class TraceSink : public PoolProbe {
   void on_chunk_retire(const RetireInfo& info) override;
   void on_request_done(const serve::RequestRecord& rec) override;
   void on_loop_counters(const LoopCounters& c) override;
+  void on_node_sample(const NodeSample& s) override;
 
   /// The complete trace document: {"traceEvents": [...]}. Stable bytes for
   /// a given simulated timeline.

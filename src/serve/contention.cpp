@@ -1,0 +1,432 @@
+#include "serve/contention.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace axon::serve {
+
+namespace {
+
+using i128 = __int128;
+
+/// floor(a * b / d) without i64 overflow in the product.
+i64 mul_div_floor(i64 a, i64 b, i64 d) {
+  const i128 v = static_cast<i128>(a) * b / d;
+  AXON_CHECK(v <= static_cast<i128>(std::numeric_limits<i64>::max()),
+             "contention arithmetic overflows i64");
+  return static_cast<i64>(v);
+}
+
+/// ceil(a * b / d) without i64 overflow in the product.
+i64 mul_div_ceil(i64 a, i64 b, i64 d) {
+  const i128 v = (static_cast<i128>(a) * b + d - 1) / d;
+  AXON_CHECK(v <= static_cast<i128>(std::numeric_limits<i64>::max()),
+             "contention arithmetic overflows i64");
+  return static_cast<i64>(v);
+}
+
+}  // namespace
+
+i64 to_fleet_cycles(i64 device_cycles, int clock_mhz) {
+  AXON_CHECK(device_cycles >= 0, "negative device cycles: ", device_cycles);
+  AXON_CHECK(clock_mhz > 0, "clock must be positive: ", clock_mhz);
+  // Widened ceil-div: the i64 multiply wraps at ~9.2e15 device cycles
+  // (multi-Mcycle chunks on a slow clock get there), silently producing a
+  // negative timeline. The 128-bit intermediate cannot wrap; only a result
+  // that genuinely exceeds i64 fails, loudly.
+  const i128 scaled = static_cast<i128>(device_cycles) * kRefClockMhz;
+  const i128 fleet = (scaled + clock_mhz - 1) / clock_mhz;
+  AXON_CHECK(fleet <= static_cast<i128>(std::numeric_limits<i64>::max()),
+             "fleet-cycle conversion overflows i64: ", device_cycles,
+             " device cycles at ", clock_mhz, " MHz");
+  return static_cast<i64>(fleet);
+}
+
+int NodeTopology::num_nodes() const {
+  int max_node = -1;
+  for (const int n : device_node) max_node = std::max(max_node, n);
+  return max_node + 1;
+}
+
+FabricModel::FabricModel(NodeTopology topo,
+                         const std::vector<DeviceChannel>& devices)
+    : topo_(std::move(topo)), devices_(devices) {
+  if (!topo_.enabled()) return;
+  AXON_CHECK(topo_.device_node.size() == devices_.size(),
+             "topology maps ", topo_.device_node.size(),
+             " devices but the fleet has ", devices_.size());
+  const int nodes = topo_.num_nodes();
+  for (const int n : topo_.device_node) {
+    AXON_CHECK(n >= 0, "negative node id in topology");
+  }
+  AXON_CHECK(topo_.node_bw_bytes_per_cycle.empty() ||
+                 static_cast<int>(topo_.node_bw_bytes_per_cycle.size()) ==
+                     nodes,
+             "node_bw_bytes_per_cycle must be empty or one entry per node");
+  if (!topo_.hops.empty()) {
+    AXON_CHECK(static_cast<int>(topo_.hops.size()) == nodes,
+               "hop matrix must be num_nodes x num_nodes");
+    for (const auto& row : topo_.hops) {
+      AXON_CHECK(static_cast<int>(row.size()) == nodes,
+                 "hop matrix must be square");
+      for (const int h : row) AXON_CHECK(h >= 0, "negative hop count");
+    }
+  }
+  AXON_CHECK(topo_.hop_latency_cycles >= 0, "negative hop latency");
+  AXON_CHECK(topo_.ingress_node >= 0 && topo_.ingress_node < nodes,
+             "ingress node out of range: ", topo_.ingress_node);
+
+  solo_bw_.resize(devices_.size(), 0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const DeviceChannel& ch = devices_[i];
+    AXON_CHECK(ch.clock_mhz > 0, "fleet member ", i,
+               " needs a positive clock");
+    const i64 budget = node_budget(topo_.device_node[i]);
+    if (ch.dram_bytes_per_cycle <= 0) {
+      // Infinite private channel: the device never streams, so its node
+      // budget cannot slow it (the pre-PR dram <= 0 semantics are kept).
+      solo_bw_[i] = 0;
+      continue;
+    }
+    if (budget <= 0) {
+      solo_bw_[i] = ch.dram_bytes_per_cycle;
+      continue;
+    }
+    // The node can feed the device at most budget bytes per fleet cycle =
+    // floor(budget * kRefClockMhz / clock) bytes per device cycle.
+    const i64 cap = mul_div_floor(budget, kRefClockMhz, ch.clock_mhz);
+    AXON_CHECK(cap >= 1, "node budget ", budget,
+               " bytes/fleet-cycle floors to zero bytes/device-cycle at ",
+               ch.clock_mhz, " MHz — budget too small to be meaningful");
+    solo_bw_[i] = std::min(ch.dram_bytes_per_cycle, cap);
+  }
+}
+
+int FabricModel::node_of(std::size_t device) const {
+  AXON_CHECK(device < topo_.device_node.size(), "device index out of range");
+  return topo_.device_node[device];
+}
+
+i64 FabricModel::node_budget(int node) const {
+  if (topo_.node_bw_bytes_per_cycle.empty()) return 0;
+  AXON_CHECK(node >= 0 &&
+                 node < static_cast<int>(topo_.node_bw_bytes_per_cycle.size()),
+             "node id out of range");
+  return topo_.node_bw_bytes_per_cycle[static_cast<std::size_t>(node)];
+}
+
+int FabricModel::node_devices(int node) const {
+  int count = 0;
+  for (const int n : topo_.device_node) count += (n == node) ? 1 : 0;
+  return count;
+}
+
+i64 FabricModel::solo_bw(std::size_t device) const {
+  AXON_CHECK(device < solo_bw_.size(), "device index out of range");
+  return solo_bw_[device];
+}
+
+int FabricModel::hop_count(std::size_t device) const {
+  if (topo_.hops.empty()) return 0;
+  const int node = node_of(device);
+  return topo_.hops[static_cast<std::size_t>(topo_.ingress_node)]
+                   [static_cast<std::size_t>(node)];
+}
+
+i64 FabricModel::hop_cycles(std::size_t device, i64 fabric_bytes) const {
+  const int hops = hop_count(device);
+  if (hops == 0) return 0;
+  i64 cycles = static_cast<i64>(hops) * topo_.hop_latency_cycles;
+  if (topo_.link_bytes_per_cycle > 0 && fabric_bytes > 0) {
+    // Cut-through: serialization onto the fabric is paid once, not per hop.
+    cycles += ceil_div(fabric_bytes, topo_.link_bytes_per_cycle);
+  }
+  return cycles;
+}
+
+BandwidthArbiter::BandwidthArbiter(const FabricModel* fabric)
+    : fabric_(fabric) {
+  AXON_CHECK(fabric_ != nullptr, "arbiter needs a fabric model");
+  if (!fabric_->enabled()) return;
+  nodes_.resize(static_cast<std::size_t>(fabric_->num_nodes()));
+  ledgers_.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n].budget = fabric_->node_budget(static_cast<int>(n));
+  }
+}
+
+i64 BandwidthArbiter::demand(std::size_t device) const {
+  if (!enabled()) return 0;
+  const int node = fabric_->node_of(device);
+  if (nodes_[static_cast<std::size_t>(node)].budget <= 0) return 0;
+  return node_active(node);
+}
+
+i64 BandwidthArbiter::node_active(int node) const {
+  AXON_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()),
+             "node id out of range");
+  return static_cast<i64>(nodes_[static_cast<std::size_t>(node)].active.size());
+}
+
+i64 BandwidthArbiter::node_inflight_bytes(int node) const {
+  AXON_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()),
+             "node id out of range");
+  return nodes_[static_cast<std::size_t>(node)].inflight_bytes;
+}
+
+i64 BandwidthArbiter::delivered_bytes(const Stream& s, i64 k,
+                                      i64 elapsed) const {
+  const Node& node = nodes_[static_cast<std::size_t>(s.node)];
+  const DeviceChannel& ch = fabric_->channel(s.device);
+  // Fluid fair share capped by the private channel, both floored: with k
+  // streams the node grants floor(elapsed * budget / k) and the device's
+  // own channel moves floor(elapsed * private * clock / kRefClockMhz).
+  const i64 share = mul_div_floor(elapsed, node.budget, k);
+  const i64 channel = mul_div_floor(
+      elapsed, ch.dram_bytes_per_cycle * ch.clock_mhz, kRefClockMhz);
+  return std::min(share, channel);
+}
+
+i64 BandwidthArbiter::finish_delta(const Stream& s, i64 k) const {
+  const Node& node = nodes_[static_cast<std::size_t>(s.node)];
+  const DeviceChannel& ch = fabric_->channel(s.device);
+  // Smallest elapsed with min(floor(e*B/k), floor(e*p)) >= remaining:
+  // the max of the two per-cap ceil projections.
+  const i64 by_share = mul_div_ceil(s.remaining, k, node.budget);
+  const i64 by_channel = mul_div_ceil(
+      s.remaining, kRefClockMhz, ch.dram_bytes_per_cycle * ch.clock_mhz);
+  return std::max(by_share, by_channel);
+}
+
+void BandwidthArbiter::record_transfer_done(Stream& s, i64 finish) {
+  s.transfer_finish = finish;
+  NodeLedger& ledger = ledgers_[static_cast<std::size_t>(s.node)];
+  ledger.transfer_cycles += finish - s.dispatch_cycle;
+  ledger.transfer_cycles_private += s.private_transfer_fleet;
+}
+
+void BandwidthArbiter::reproject(Node& node, i64 now,
+                                 std::vector<Reprice>& repriced) {
+  const i64 k = static_cast<i64>(node.active.size());
+  for (const std::size_t slot : node.active) {
+    Stream& s = streams_[slot];
+    s.fluid = true;
+    s.transfer_finish = now + finish_delta(s, k);
+    if (s.completion >= 0) {
+      const i64 completion =
+          std::max(s.compute_done, s.transfer_finish) + s.hop_cycles;
+      if (completion != s.completion) {
+        s.completion = completion;
+        repriced.push_back({slot, completion});
+      }
+    }
+  }
+  node.next_finish = -1;
+  if (node.active.size() >= 2) {
+    for (const std::size_t slot : node.active) {
+      const i64 f = streams_[slot].transfer_finish;
+      if (node.next_finish < 0 || f < node.next_finish) node.next_finish = f;
+    }
+  }
+}
+
+void BandwidthArbiter::advance_node(int node_id, i64 now,
+                                    std::vector<Reprice>& repriced) {
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.active.empty()) return;
+  NodeLedger& ledger = ledgers_[static_cast<std::size_t>(node_id)];
+  // Rates were constant since the last event on this node (membership only
+  // changes at events, and with >= 2 streams the earliest projected finish
+  // is itself an event), so one floor-delivery step per stream is exact.
+  const i64 k = static_cast<i64>(node.active.size());
+  bool drained_any = false;
+  for (std::size_t i = 0; i < node.active.size();) {
+    const std::size_t slot = node.active[i];
+    Stream& s = streams_[slot];
+    const i64 elapsed = now - s.last_update;
+    if (elapsed > 0) {
+      const i64 delivered =
+          std::min(s.remaining, delivered_bytes(s, k, elapsed));
+      s.remaining -= delivered;
+      node.inflight_bytes -= delivered;
+      ledger.bytes_drained += delivered;
+      s.last_update = now;
+    }
+    if (s.remaining == 0) {
+      // Finished strictly within the window only when it ran solo (with
+      // k >= 2 the loop stops at the earliest projected finish, which is
+      // `now`); the projected finish is exact either way.
+      record_transfer_done(s, std::min(s.transfer_finish, now));
+      s.active = false;
+      node.active.erase(node.active.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      drained_any = true;
+      continue;
+    }
+    ++i;
+  }
+  if (drained_any && !node.active.empty()) {
+    // Membership shrank: survivors speed up, and their filed completions
+    // move earlier — the re-pricing half of the contention contract.
+    reproject(node, now, repriced);
+  } else if (node.active.size() < 2) {
+    node.next_finish = -1;
+  }
+}
+
+void BandwidthArbiter::refresh_next_event() {
+  next_event_ = -1;
+  for (const Node& node : nodes_) {
+    if (node.next_finish < 0) continue;
+    if (next_event_ < 0 || node.next_finish < next_event_) {
+      next_event_ = node.next_finish;
+    }
+  }
+}
+
+void BandwidthArbiter::advance(i64 now, std::vector<Reprice>& repriced) {
+  if (!enabled()) return;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    advance_node(static_cast<int>(n), now, repriced);
+  }
+  refresh_next_event();
+}
+
+BandwidthArbiter::AdmitInfo BandwidthArbiter::admit(
+    std::size_t device, std::size_t slot, i64 now, i64 dram_bytes,
+    i64 fabric_bytes, std::vector<Reprice>& repriced) {
+  AXON_CHECK(enabled(), "admit() on a disabled arbiter");
+  AXON_CHECK(dram_bytes >= 0 && fabric_bytes >= 0, "negative traffic bytes");
+  if (slot >= streams_.size()) streams_.resize(slot + 1);
+  Stream& s = streams_[slot];
+  AXON_CHECK(!s.in_use, "completion slot already carries a stream");
+
+  const int node_id = fabric_->node_of(device);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  NodeLedger& ledger = ledgers_[static_cast<std::size_t>(node_id)];
+  // Bring the node current before demand is counted (idempotent: the serve
+  // loop advances every node at each time step already).
+  advance_node(node_id, now, repriced);
+
+  const DeviceChannel& ch = fabric_->channel(device);
+  const i64 solo_bw = fabric_->solo_bw(device);
+
+  s = Stream{};
+  s.in_use = true;
+  s.device = device;
+  s.node = node_id;
+  s.dispatch_cycle = now;
+  s.dram_total = dram_bytes;
+  s.remaining = dram_bytes;
+  s.last_update = now;
+  s.hop_cycles = fabric_->hop_cycles(device, fabric_bytes);
+  s.private_transfer_fleet =
+      ch.dram_bytes_per_cycle > 0
+          ? to_fleet_cycles(ceil_div(dram_bytes, ch.dram_bytes_per_cycle),
+                            ch.clock_mhz)
+          : 0;
+  s.solo_transfer_fleet =
+      solo_bw > 0 ? to_fleet_cycles(ceil_div(dram_bytes, solo_bw), ch.clock_mhz)
+                  : 0;
+  s.transfer_finish = now + s.solo_transfer_fleet;
+
+  AdmitInfo info;
+  info.hop_cycles = s.hop_cycles;
+
+  if (dram_bytes == 0 || solo_bw <= 0 || node.budget <= 0) {
+    // Nothing to arbitrate: no traffic, an infinite private channel, or an
+    // unlimited node. Closed-form solo price; never joins the active set,
+    // never contributes demand. Ledger it at admit so per-node byte totals
+    // stay honest even on unlimited nodes.
+    ledger.bytes_drained += dram_bytes;
+    ledger.transfer_cycles += s.solo_transfer_fleet;
+    ledger.transfer_cycles_private += s.private_transfer_fleet;
+    ledger.demand_peak = std::max(ledger.demand_peak, i64{1});
+    return info;
+  }
+
+  node.active.push_back(slot);
+  s.active = true;
+  node.inflight_bytes += dram_bytes;
+  const i64 k = static_cast<i64>(node.active.size());
+  info.demand = k;
+  info.contended = k >= 2;
+  ledger.demand_peak = std::max(ledger.demand_peak, k);
+  if (k == 1) {
+    // Uncontended: keep the closed-form roofline price (this is the path
+    // that makes single-member nodes reproduce pre-PR records exactly).
+    // Converted to fluid only if a second stream ever joins.
+    node.next_finish = -1;
+    return info;
+  }
+  ++ledger.contended_dispatches;
+  // Demand changed: everyone on the node — the newcomer and every
+  // incumbent, closed-form or fluid — re-projects at the new fair share.
+  reproject(node, now, repriced);
+  refresh_next_event();
+  return info;
+}
+
+i64 BandwidthArbiter::resolve(std::size_t slot, i64 compute_fleet_cycles) {
+  AXON_CHECK(enabled(), "resolve() on a disabled arbiter");
+  AXON_CHECK(slot < streams_.size() && streams_[slot].in_use,
+             "resolve() on an unknown stream");
+  Stream& s = streams_[slot];
+  AXON_CHECK(s.completion < 0, "stream already resolved");
+  s.compute_done = s.dispatch_cycle + compute_fleet_cycles;
+  s.completion = std::max(s.compute_done, s.transfer_finish) + s.hop_cycles;
+  return s.completion;
+}
+
+void BandwidthArbiter::release(std::size_t slot, i64 now) {
+  if (!enabled()) return;
+  AXON_CHECK(slot < streams_.size() && streams_[slot].in_use,
+             "release() on an unknown stream");
+  Stream& s = streams_[slot];
+  if (s.active) {
+    // A stream's transfer always drains by its filed completion (the
+    // completion is max(compute, transfer-finish) and advance() runs at
+    // every time step), so an active stream here means the bookkeeping
+    // broke — fail loudly rather than leak demand.
+    AXON_CHECK(false, "retiring a stream whose transfer never drained");
+  }
+  (void)now;
+  s = Stream{};
+}
+
+std::vector<BandwidthArbiter::StreamView> BandwidthArbiter::active_streams()
+    const {
+  std::vector<StreamView> views;
+  if (!enabled()) return views;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    const i64 k = static_cast<i64>(node.active.size());
+    for (const std::size_t slot : node.active) {
+      const Stream& s = streams_[slot];
+      const DeviceChannel& ch = fabric_->channel(s.device);
+      StreamView v;
+      v.slot = slot;
+      v.node = static_cast<int>(n);
+      v.remaining_bytes = s.remaining;
+      // Allocated rate = min(budget / k, private channel rate), as an
+      // exact rational in bytes per fleet cycle. Compare by
+      // cross-multiplication: budget/k vs private*clock/kRefClockMhz.
+      const i128 share = static_cast<i128>(node.budget) * kRefClockMhz;
+      const i128 channel =
+          static_cast<i128>(ch.dram_bytes_per_cycle) * ch.clock_mhz * k;
+      if (share <= channel) {
+        v.rate_num = node.budget;
+        v.rate_den = k;
+      } else {
+        v.rate_num = ch.dram_bytes_per_cycle * ch.clock_mhz;
+        v.rate_den = kRefClockMhz;
+      }
+      views.push_back(v);
+    }
+  }
+  return views;
+}
+
+}  // namespace axon::serve

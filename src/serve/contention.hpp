@@ -1,0 +1,276 @@
+// Inference serving, shared-resource layer: memory-node bandwidth
+// contention and the inter-node fabric. Up to PR 7 every fleet member
+// priced its roofline against a *private* DRAM channel and routing a batch
+// to any device was free — dishonest under saturation, where concurrent
+// B-stream traffic from pool members collides on shared memory channels
+// and remote dispatch crosses a fabric. This module adds both resources:
+//
+//   NodeTopology     groups fleet members into memory nodes that share a
+//                    bytes-per-fleet-cycle DRAM budget, and prices
+//                    node-to-node dispatch over a hop matrix (per-hop
+//                    latency + link serialization). Default-constructed
+//                    (empty) topology = private channels, the exact pre-PR
+//                    model: every code path below is skipped and the
+//                    simulated timeline is bit-identical.
+//
+//   FabricModel      the *static* half: per-device effective solo
+//                    bandwidth (private channel capped by its node budget)
+//                    and hop costs from the ingress node. Pure functions of
+//                    the topology — what cost estimates and least-cost
+//                    routing price.
+//
+//   BandwidthArbiter the *dynamic* half: a deterministic fluid fair-share
+//                    arbiter over in-flight transfer streams. Each
+//                    dispatched chunk's DRAM traffic drains as a fluid
+//                    stream; while k streams share a node, each proceeds at
+//                    min(private rate, budget / k). Rates change only at
+//                    serve-loop events (a dispatch joins, a stream drains),
+//                    and the arbiter *re-prices* the filed completions of
+//                    affected chunks at those events — the completion
+//                    calendar absorbs this with versioned keys and lazy
+//                    invalidation (serve/pool.cpp), the same idiom the
+//                    ready-queue index uses. This re-pricing choice (rather
+//                    than freezing each chunk's price at dispatch) is what
+//                    makes the conservation property exact: at every event,
+//                    the sum of allocated per-stream rates on a node never
+//                    exceeds its budget — serve_contention_test pins both
+//                    the invariant and the re-pricing semantics.
+//
+// Determinism contract: all arbiter state mutates exclusively in the
+// single-threaded serve loop (admit at dispatch, resolve at harvest,
+// advance at time steps, release at retire) — workers never see it — so
+// the simulated timeline stays bit-identical for any worker-thread count.
+//
+// Integer exactness: fluid progress uses floor(elapsed * rate) byte
+// delivery per constant-rate epoch and ceil projections for finish times,
+// all in 128-bit-widened integer arithmetic — no floats anywhere near the
+// timeline. An uncontended stream (its node never sees a second concurrent
+// stream) keeps the closed-form roofline price from dispatch, which is why
+// single-member nodes with budget >= the private channel rate reproduce
+// the pre-PR records byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace axon::serve {
+
+/// Reference clock the simulated timeline runs at. Per-device cycle costs
+/// convert to fleet cycles by clock ratio, so a 2000 MHz member finishes
+/// the same device-cycle count in half the simulated time.
+inline constexpr int kRefClockMhz = 1000;
+
+/// Converts device cycles to simulated fleet cycles at the reference
+/// clock: a member clocked above kRefClockMhz retires the same device
+/// cycles in proportionally less simulated time. The multiply is widened
+/// to 128 bits — `device_cycles * kRefClockMhz` overflows i64 at a few
+/// quadrillion device cycles, a regime multi-Mcycle chunks on slow clocks
+/// can reach — and a result that does not fit i64 fails an AXON_CHECK
+/// instead of wrapping into a bogus (possibly negative) timeline.
+i64 to_fleet_cycles(i64 device_cycles, int clock_mhz);
+
+/// Memory-node grouping + fabric description for a fleet. Empty
+/// `device_node` disables the whole subsystem (private channels, free
+/// routing — the pre-PR model).
+struct NodeTopology {
+  /// Fleet index -> memory-node id (0-based, dense). Size must equal the
+  /// fleet size; empty = disabled.
+  std::vector<int> device_node;
+  /// Per-node shared DRAM budget in bytes per *fleet* cycle (the
+  /// kRefClockMhz timebase, so heterogeneous clocks share one unit).
+  /// <= 0 = unlimited (that node's members keep their private channels).
+  /// Empty = every node unlimited.
+  std::vector<i64> node_bw_bytes_per_cycle;
+  /// Node-to-node hop counts (square, num_nodes x num_nodes); empty = all
+  /// dispatch is local. Row `ingress_node` prices where request operands
+  /// enter and results leave the fleet.
+  std::vector<std::vector<int>> hops;
+  i64 hop_latency_cycles = 0;   ///< fleet cycles per hop traversed
+  /// Fabric link serialization bandwidth in bytes per fleet cycle, paid
+  /// once per remote dispatch (cut-through, not store-and-forward);
+  /// <= 0 = latency-only links.
+  i64 link_bytes_per_cycle = 0;
+  int ingress_node = 0;         ///< where activations/results enter/leave
+
+  [[nodiscard]] bool enabled() const { return !device_node.empty(); }
+  /// Highest node id + 1 (0 when disabled).
+  [[nodiscard]] int num_nodes() const;
+};
+
+/// The per-device channel facts the contention model needs from an
+/// AcceleratorSpec (kept structural to avoid a header cycle with pool.hpp).
+struct DeviceChannel {
+  int clock_mhz = kRefClockMhz;
+  /// Private DRAM bandwidth, bytes per *device* cycle; <= 0 = infinite
+  /// (such a device never streams and never joins the arbitration).
+  i64 dram_bytes_per_cycle = 0;
+};
+
+/// Static contention pricing: effective solo bandwidth per device and hop
+/// costs from the ingress node. Built once per pool; read-only afterwards,
+/// so const access from the serve loop and cost estimators is free.
+class FabricModel {
+ public:
+  FabricModel() = default;  ///< disabled (private channels)
+  FabricModel(NodeTopology topo, const std::vector<DeviceChannel>& devices);
+
+  [[nodiscard]] bool enabled() const { return topo_.enabled(); }
+  [[nodiscard]] const NodeTopology& topology() const { return topo_; }
+  [[nodiscard]] int num_nodes() const { return topo_.num_nodes(); }
+  [[nodiscard]] int node_of(std::size_t device) const;
+  /// The node's shared budget in bytes per fleet cycle; <= 0 = unlimited.
+  [[nodiscard]] i64 node_budget(int node) const;
+  /// Members of `node` (for reports).
+  [[nodiscard]] int node_devices(int node) const;
+
+  /// Effective *solo* DRAM bandwidth of a device, bytes per device cycle:
+  /// its private channel capped by what its node budget can feed it when
+  /// it streams alone — min(private, floor(budget * kRefClockMhz /
+  /// clock)). <= 0 = infinite (the device never streams). This is the
+  /// closed-form roofline bandwidth an uncontended dispatch is priced at.
+  [[nodiscard]] i64 solo_bw(std::size_t device) const;
+
+  /// Hops from the ingress node to the device's node (0 = local).
+  [[nodiscard]] int hop_count(std::size_t device) const;
+  /// Fleet-cycle fabric cost of dispatching `fabric_bytes` (activations in
+  /// + results out; weights live in the target node's DRAM and never cross
+  /// the fabric) to `device`: hops * hop_latency + one link serialization.
+  /// 0 for local dispatch.
+  [[nodiscard]] i64 hop_cycles(std::size_t device, i64 fabric_bytes) const;
+
+  [[nodiscard]] const DeviceChannel& channel(std::size_t device) const {
+    return devices_[device];
+  }
+
+ private:
+  NodeTopology topo_;
+  std::vector<DeviceChannel> devices_;
+  std::vector<i64> solo_bw_;  ///< per device, computed in the constructor
+};
+
+/// The dynamic fair-share DRAM arbiter (see file comment). One instance
+/// per serve() run; every method is called from the serve loop only.
+///
+/// Stream lifecycle, keyed by the chunk's completion-calendar slot:
+///   admit()    at dispatch — registers the chunk's DRAM traffic; the
+///              demand bump may re-price other in-flight chunks.
+///   resolve()  at harvest — supplies the compute leg, files and returns
+///              the chunk's completion cycle (max(compute, transfer) +
+///              hop latency).
+///   advance()  at every time step — applies fluid progress up to `now`,
+///              drains finished transfers, re-prices survivors whose
+///              fair share grew.
+///   release()  at retire — drops the stream's bookkeeping.
+class BandwidthArbiter {
+ public:
+  /// A filed completion whose cycle moved because its node's demand
+  /// changed. The serve loop re-files it under a bumped calendar version.
+  struct Reprice {
+    std::size_t slot = 0;
+    i64 completion_cycle = 0;
+  };
+
+  /// What admit() tells the dispatch site (probe/report fodder).
+  struct AdmitInfo {
+    i64 demand = 0;        ///< concurrent streams on the node, incl. this
+    bool contended = false;  ///< demand >= 2 (a slowdown instant)
+    i64 hop_cycles = 0;    ///< fabric latency this dispatch pays
+  };
+
+  /// Test hook: one active stream's allocated rate as an exact rational
+  /// (bytes per fleet cycle). The conservation test sums these per node.
+  struct StreamView {
+    std::size_t slot = 0;
+    int node = -1;
+    i64 rate_num = 0;
+    i64 rate_den = 1;
+    i64 remaining_bytes = 0;
+  };
+
+  /// Per-node drained totals for ServeReport.
+  struct NodeLedger {
+    i64 bytes_drained = 0;        ///< DRAM bytes served by the node
+    i64 transfer_cycles = 0;      ///< realized transfer-leg fleet cycles
+    /// The same streams priced at their *private* channel rate — the
+    /// denominator of the reported slowdown column.
+    i64 transfer_cycles_private = 0;
+    i64 contended_dispatches = 0;  ///< admits that saw demand >= 2
+    i64 demand_peak = 0;
+  };
+
+  explicit BandwidthArbiter(const FabricModel* fabric);
+
+  [[nodiscard]] bool enabled() const { return fabric_->enabled(); }
+
+  /// Concurrent in-flight transfer streams on the device's node (0 when
+  /// the node is unlimited). What congestion-aware routing adds 1 to.
+  [[nodiscard]] i64 demand(std::size_t device) const;
+  [[nodiscard]] i64 node_active(int node) const;
+  [[nodiscard]] i64 node_inflight_bytes(int node) const;
+
+  /// Earliest cycle at which some node's rates change on their own (the
+  /// first projected transfer finish among nodes with >= 2 active
+  /// streams); -1 when no such event is pending. A serve-loop event
+  /// source, like arrivals and the completion calendar.
+  [[nodiscard]] i64 next_event() const { return next_event_; }
+
+  void advance(i64 now, std::vector<Reprice>& repriced);
+  AdmitInfo admit(std::size_t device, std::size_t slot, i64 now,
+                  i64 dram_bytes, i64 fabric_bytes,
+                  std::vector<Reprice>& repriced);
+  i64 resolve(std::size_t slot, i64 compute_fleet_cycles);
+  void release(std::size_t slot, i64 now);
+
+  [[nodiscard]] std::vector<StreamView> active_streams() const;
+  [[nodiscard]] const std::vector<NodeLedger>& ledgers() const {
+    return ledgers_;
+  }
+
+ private:
+  struct Stream {
+    bool in_use = false;
+    bool active = false;  ///< transfer not yet fully drained
+    bool fluid = false;   ///< has shared its node at least once
+    std::size_t device = 0;
+    int node = -1;
+    i64 dispatch_cycle = 0;
+    i64 dram_total = 0;
+    i64 remaining = 0;     ///< bytes not yet drained
+    i64 last_update = 0;   ///< cycle `remaining` was advanced to
+    i64 solo_transfer_fleet = 0;     ///< closed-form leg at solo_bw
+    i64 private_transfer_fleet = 0;  ///< same leg at the private rate
+    i64 transfer_finish = -1;  ///< projected (fluid) or fixed (solo) finish
+    i64 hop_cycles = 0;
+    i64 compute_done = -1;  ///< dispatch + compute leg; -1 until resolve()
+    i64 completion = -1;    ///< filed completion; -1 until resolve()
+  };
+  struct Node {
+    i64 budget = 0;  ///< <= 0 unlimited
+    std::vector<std::size_t> active;  ///< slots draining on this node
+    i64 inflight_bytes = 0;
+    i64 next_finish = -1;  ///< earliest projected finish when >= 2 active
+  };
+
+  /// Bytes a stream delivers over `elapsed` cycles at demand `k`:
+  /// min(floor(elapsed * budget / k), floor(elapsed * private_rate)) — the
+  /// fluid fair share capped by the device's own channel.
+  [[nodiscard]] i64 delivered_bytes(const Stream& s, i64 k, i64 elapsed) const;
+  /// Smallest elapsed-cycle count that delivers `remaining` at demand `k`.
+  [[nodiscard]] i64 finish_delta(const Stream& s, i64 k) const;
+  /// Applies progress on one node up to `now`, drains finished streams,
+  /// and re-prices survivors when membership changed.
+  void advance_node(int node, i64 now, std::vector<Reprice>& repriced);
+  void reproject(Node& node, i64 now, std::vector<Reprice>& repriced);
+  void record_transfer_done(Stream& s, i64 finish);
+  void refresh_next_event();
+
+  const FabricModel* fabric_;
+  std::vector<Stream> streams_;  ///< indexed by completion-calendar slot
+  std::vector<Node> nodes_;
+  std::vector<NodeLedger> ledgers_;
+  i64 next_event_ = -1;
+};
+
+}  // namespace axon::serve

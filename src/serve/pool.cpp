@@ -11,6 +11,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "model/im2col_traffic.hpp"
 #include "model/runtime_model.hpp"
 #include "obs/probe.hpp"
 #include "serve/weight_cache.hpp"
@@ -41,25 +42,13 @@ std::string to_string(ChunkPolicy policy) {
   return "?";
 }
 
-i64 to_fleet_cycles(i64 device_cycles, int clock_mhz) {
-  AXON_CHECK(device_cycles >= 0, "negative device cycles: ", device_cycles);
-  AXON_CHECK(clock_mhz > 0, "clock must be positive: ", clock_mhz);
-  // Widened ceil-div: the i64 multiply wraps at ~9.2e15 device cycles
-  // (multi-Mcycle chunks on a slow clock get there), silently producing a
-  // negative timeline. The 128-bit intermediate cannot wrap; only a result
-  // that genuinely exceeds i64 fails, loudly.
-  using i128 = __int128;
-  const i128 scaled = static_cast<i128>(device_cycles) * kRefClockMhz;
-  const i128 fleet = (scaled + clock_mhz - 1) / clock_mhz;
-  AXON_CHECK(fleet <= static_cast<i128>(std::numeric_limits<i64>::max()),
-             "fleet-cycle conversion overflows i64: ", device_cycles,
-             " device cycles at ", clock_mhz, " MHz");
-  return static_cast<i64>(fleet);
-}
-
 namespace {
 
-/// What a worker thread reports back for one executed batch.
+/// What a worker thread reports back for one executed batch: fleet cycles
+/// of the whole roofline (private-channel transfer folded in), or — when
+/// the contention model owns the transfer leg (`decompose`) — of the
+/// compute leg alone, with the arbiter pricing the memory side in the
+/// serve loop.
 struct ExecOutcome {
   i64 cycles = 0;
 };
@@ -73,8 +62,17 @@ struct ExecOutcome {
 ExecOutcome execute_chunk(const GemmShape& gemm, i64 batch_first_id,
                           int chunk_ordinal, const AcceleratorSpec& spec,
                           ExecMode exec, std::uint64_t data_seed,
-                          bool weights_resident) {
+                          bool weights_resident, bool decompose) {
   if (exec == ExecMode::kAnalytical) {
+    if (decompose) {
+      // Contention model active: the worker prices compute only (dram <= 0
+      // makes the roofline pure compute); the serve-loop arbiter owns the
+      // transfer leg, whose rate depends on concurrent node demand.
+      const i64 compute = batched_gemm_cycles(
+          spec.accelerator.arch, spec.accelerator.dataflow, gemm,
+          spec.accelerator.array, /*dram_bytes_per_cycle=*/0, false);
+      return {to_fleet_cycles(compute, spec.clock_mhz)};
+    }
     const i64 dev = batched_gemm_cycles(
         spec.accelerator.arch, spec.accelerator.dataflow, gemm,
         spec.accelerator.array, spec.dram_bytes_per_cycle, weights_resident);
@@ -92,6 +90,7 @@ ExecOutcome execute_chunk(const GemmShape& gemm, i64 batch_first_id,
   const Matrix b = random_matrix(gemm.K, gemm.N, rng);
   Accelerator acc(spec.accelerator);
   const RunReport r = acc.run_gemm(a, b);
+  if (decompose) return {to_fleet_cycles(r.cycles, spec.clock_mhz)};
   const i64 transfer =
       gemm_transfer_cycles(gemm, spec.dram_bytes_per_cycle, weights_resident);
   const i64 dev = r.cycles > transfer ? r.cycles : transfer;
@@ -107,6 +106,10 @@ struct PendingExec {
   i64 chunk_m = 0;          ///< rows this dispatch covers
   bool final_chunk = true;  ///< completes the batch (vs. remainder re-queues)
   i64 dispatch_cycle = 0;
+  /// Completion-calendar slot, allocated at dispatch (not harvest): the
+  /// contention arbiter keys its stream bookkeeping by slot, and the
+  /// demand bump must be visible to later routing the same event.
+  std::size_t slot = 0;
   std::future<ExecOutcome> future;
 };
 
@@ -119,16 +122,23 @@ struct Completion {
   bool final_chunk = true;
   i64 dispatch_cycle = 0;
   i64 completion_cycle = 0;
+  /// Calendar-key version (lazy invalidation): the arbiter re-prices filed
+  /// completions when node demand changes, each re-price bumps this and
+  /// files a fresh key, and retire skips keys whose version no longer
+  /// matches. Monotone per slot across reuse, so a stale key can never
+  /// collide with a later occupant.
+  std::uint32_t version = 0;
 };
 
 /// Calendar key: min-heap by (completion cycle, accelerator) — the retire
 /// order the seed implementation obtained by re-sorting its whole inflight
-/// vector every event. Unique because a busy device has exactly one
-/// outstanding dispatch.
+/// vector every event. A busy device has exactly one *live* filing;
+/// re-priced filings leave stale keys behind, skipped by version check.
 struct CompletionKey {
   i64 cycle = 0;
   int accelerator = -1;
   std::size_t slot = 0;
+  std::uint32_t version = 0;
 };
 struct CompletionLater {
   bool operator()(const CompletionKey& a, const CompletionKey& b) const {
@@ -163,6 +173,15 @@ AcceleratorPool::AcceleratorPool(PoolConfig config)
     AXON_CHECK(spec.weight_cache_bytes >= 0, "negative weight cache capacity");
     if (spec.name.empty()) spec.name = "acc" + std::to_string(i);
   }
+  // Static contention model (disabled when the topology is empty): the
+  // constructor validates the topology against the normalized fleet and
+  // precomputes per-device effective solo bandwidth + hop costs.
+  std::vector<DeviceChannel> channels;
+  channels.reserve(fleet_.size());
+  for (const AcceleratorSpec& spec : fleet_) {
+    channels.push_back({spec.clock_mhz, spec.dram_bytes_per_cycle});
+  }
+  fabric_ = FabricModel(config_.topology, channels);
 }
 
 void AcceleratorPool::add_probe(obs::PoolProbe* probe) {
@@ -180,6 +199,7 @@ std::size_t AcceleratorPool::CostKeyHash::operator()(const CostKey& k) const {
   h = mix(h, static_cast<std::uint64_t>(k.K));
   h = mix(h, static_cast<std::uint64_t>(k.N));
   h = mix(h, k.weights_resident ? 0x5EEDull : 0xC0FFEEull);
+  h = mix(h, k.demand);
   return static_cast<std::size_t>(h);
 }
 
@@ -210,16 +230,77 @@ i64 AcceleratorPool::estimate_gemm_cycles(const GemmShape& gemm) const {
   // Fleet-best, cache-blind: a stable per-shape key (it never shifts as
   // caches churn), equal to the single-member estimate on a homogeneous
   // fleet. Memoized on its own so the min-over-fleet loop runs once per
-  // distinct shape, not once per SJF comparison.
-  const CostKey key{gemm.M, gemm.K, gemm.N, CostKey::kFleetBest, false};
+  // distinct shape, not once per SJF comparison. With a topology, each
+  // member is priced at its *solo* arbitered bandwidth plus its static
+  // hop cost — demand-blind, so the key stays stable for SJF ordering,
+  // but fabric distance is already in the estimate.
+  const CostKey key{gemm.M, gemm.K, gemm.N, CostKey::kFleetBest, false, 0};
   const auto it = cost_cache_.find(key);
   if (it != cost_cache_.end()) return it->second;
-  i64 best = device_cycles(0, gemm);
+  const auto member_cost = [&](std::size_t i) {
+    return fabric_.enabled() ? contended_cost(i, gemm, false, 1)
+                             : device_cycles(i, gemm);
+  };
+  i64 best = member_cost(0);
   for (std::size_t i = 1; i < fleet_.size(); ++i) {
-    best = std::min(best, device_cycles(i, gemm));
+    best = std::min(best, member_cost(i));
   }
   cost_cache_.emplace(key, best);
   return best;
+}
+
+i64 AcceleratorPool::contended_cost(std::size_t device, const GemmShape& gemm,
+                                    bool weights_resident,
+                                    i64 demand_incl_self) const {
+  AXON_CHECK(device < fleet_.size(), "device index out of range");
+  AXON_CHECK(demand_incl_self >= 1, "demand must include the candidate");
+  if (!fabric_.enabled()) return device_cycles(device, gemm, weights_resident);
+  const CostKey key{gemm.M,
+                    gemm.K,
+                    gemm.N,
+                    static_cast<std::uint32_t>(device),
+                    weights_resident,
+                    static_cast<std::uint32_t>(demand_incl_self)};
+  const auto it = cost_cache_.find(key);
+  if (it != cost_cache_.end()) return it->second;
+  const AcceleratorSpec& spec = fleet_[device];
+  // Compute leg: the roofline at infinite bandwidth is pure compute.
+  const i64 compute_dev = batched_gemm_cycles(
+      spec.accelerator.arch, spec.accelerator.dataflow, gemm,
+      spec.accelerator.array, /*dram_bytes_per_cycle=*/0, false);
+  const i64 compute_fleet = to_fleet_cycles(compute_dev, spec.clock_mhz);
+  // Transfer leg at the arbitered rate: the solo price (effective solo
+  // bandwidth = private channel capped by the node budget), stretched to
+  // the fair share when `demand_incl_self` streams would share the node.
+  // max(to_fleet(compute), transfer) equals the pre-PR
+  // to_fleet(max(compute, transfer)) when uncontended and unhopped —
+  // ceil-division is monotone — which is what keeps single-member
+  // full-budget topologies byte-identical to no topology at all.
+  const Traffic traffic = gemm_dram_traffic(gemm);
+  const i64 dram_bytes = weights_resident
+                             ? traffic.total() - traffic.filter_bytes
+                             : traffic.total();
+  const i64 solo_bw = fabric_.solo_bw(device);
+  i64 transfer_fleet = 0;
+  if (solo_bw > 0 && dram_bytes > 0) {
+    transfer_fleet =
+        to_fleet_cycles(ceil_div(dram_bytes, solo_bw), spec.clock_mhz);
+    const i64 budget = fabric_.node_budget(fabric_.node_of(device));
+    if (budget > 0 && demand_incl_self > 1) {
+      using i128 = __int128;
+      const i128 shared =
+          (static_cast<i128>(dram_bytes) * demand_incl_self + budget - 1) /
+          budget;
+      AXON_CHECK(shared <= static_cast<i128>(std::numeric_limits<i64>::max()),
+                 "contended transfer estimate overflows i64");
+      transfer_fleet = std::max(transfer_fleet, static_cast<i64>(shared));
+    }
+  }
+  const i64 fabric_bytes = traffic.ifmap_bytes + traffic.ofmap_bytes;
+  const i64 cost = std::max(compute_fleet, transfer_fleet) +
+                   fabric_.hop_cycles(device, fabric_bytes);
+  cost_cache_.emplace(key, cost);
+  return cost;
 }
 
 ServeReport AcceleratorPool::serve(TraceSource& source) {
@@ -239,6 +320,16 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
   std::vector<i64> device_busy_cycles(fleet_size, 0);
   std::vector<i64> device_batches(fleet_size, 0);
   std::size_t round_robin_next = 0;
+
+  // Shared-bandwidth contention (serve/contention.hpp). The arbiter's
+  // state mutates exclusively in this loop — admit at dispatch, resolve at
+  // harvest, advance at time steps, release at retire — exactly like the
+  // weight caches, which is what keeps the timeline thread-count
+  // independent. With fabric_ disabled every call below is skipped.
+  BandwidthArbiter arbiter(&fabric_);
+  std::vector<BandwidthArbiter::Reprice> repriced;
+  std::vector<i64> device_hop_dispatches(fleet_size, 0);
+  std::vector<i64> device_hop_cycles(fleet_size, 0);
 
   // The ready queue: O(log n) heaps by default, the seed's linear scans
   // under kScanReference (same schedule either way — see sched_index.hpp).
@@ -352,6 +443,20 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
     return k;
   };
 
+  // Re-filing for completions the arbiter moved (a node's demand changed,
+  // so its streams' fair shares — and their filed completion cycles — did
+  // too): bump the slot's version and push a fresh calendar key. Stale
+  // keys are skipped at retire — lazy invalidation, the sched_index idiom.
+  const auto apply_repriced = [&] {
+    for (const BandwidthArbiter::Reprice& r : repriced) {
+      Completion& c = completion_slots[r.slot];
+      c.completion_cycle = r.completion_cycle;
+      ++c.version;
+      completions.push({r.completion_cycle, c.accelerator, r.slot, c.version});
+    }
+    repriced.clear();
+  };
+
   // Routing: the schedule policy decided *what* runs next; this decides
   // *where*. Only called with at least one idle device.
   const auto route_device = [&](const GemmShape& gemm) -> std::size_t {
@@ -373,12 +478,21 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
         // is free *now*, so min completion = min cost. Priced cache-aware,
         // which is all it takes for weight affinity — the device that last
         // served this (K, N) skips the weight stream and wins the tie.
+        // Congestion-aware (topology on): each candidate is priced at its
+        // node's current demand plus itself, plus fabric hops — so a
+        // remote idle device on a quiet node can beat a local one on a
+        // saturated node. Blind (congestion_aware off): the pre-PR private
+        // roofline, demand- and hop-free — the router believes remote
+        // dispatch is free even though the arbiter will charge for it.
+        const bool aware = fabric_.enabled() && config_.congestion_aware;
         std::size_t best = fleet_size;
         i64 best_cost = 0;
         for (std::size_t i = 0; i < fleet_size; ++i) {
           if (busy[i]) continue;
+          const bool resident = caches[i].contains(gemm.K, gemm.N);
           const i64 cost =
-              device_cycles(i, gemm, caches[i].contains(gemm.K, gemm.N));
+              aware ? contended_cost(i, gemm, resident, arbiter.demand(i) + 1)
+                    : device_cycles(i, gemm, resident);
           if (best == fleet_size || cost < best_cost) {
             best = i;
             best_cost = cost;
@@ -499,6 +613,35 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       // chunk hits iff its weights survived whatever ran in between.
       const bool weights_resident =
           caches[acc].touch(f.batch.gemm.K, f.batch.gemm.N);
+      // Allocate the completion-calendar slot now (not at harvest): the
+      // arbiter keys its transfer stream by slot, and this dispatch's
+      // demand must be visible to routing decisions later this event.
+      if (completion_free.empty()) {
+        f.slot = completion_slots.size();
+        completion_slots.emplace_back();
+      } else {
+        f.slot = completion_free.back();
+        completion_free.pop_back();
+      }
+      BandwidthArbiter::AdmitInfo admit_info;
+      if (fabric_.enabled()) {
+        // Register the chunk's DRAM stream with the arbiter. The weight
+        // bytes drop out on a cache hit (same rule as the roofline);
+        // activations + results also cross the fabric on remote dispatch,
+        // weights never do (they live in the routed node's DRAM).
+        const Traffic traffic = gemm_dram_traffic(chunk_gemm);
+        const i64 dram_bytes = weights_resident
+                                   ? traffic.total() - traffic.filter_bytes
+                                   : traffic.total();
+        const i64 fabric_bytes = traffic.ifmap_bytes + traffic.ofmap_bytes;
+        admit_info = arbiter.admit(acc, f.slot, now, dram_bytes, fabric_bytes,
+                                   repriced);
+        apply_repriced();
+        if (admit_info.hop_cycles > 0) {
+          ++device_hop_dispatches[acc];
+          device_hop_cycles[acc] += admit_info.hop_cycles;
+        }
+      }
       // The worker needs only the chunk shape, the batch identity (the
       // operand seed), and the routed device; share the long-lived spec by
       // pointer instead of copying it and the whole request vector per
@@ -507,9 +650,10 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
                                  first_id = f.batch.members.front().id,
                                  chunk_ordinal, spec = &fleet_[acc],
                                  exec = config_.exec,
-                                 seed = config_.data_seed, weights_resident] {
+                                 seed = config_.data_seed, weights_resident,
+                                 decompose = fabric_.enabled()] {
         return execute_chunk(chunk_gemm, first_id, chunk_ordinal, *spec, exec,
-                             seed, weights_resident);
+                             seed, weights_resident, decompose);
       });
       busy[acc] = true;
       --idle_devices;
@@ -523,6 +667,12 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
         di.final_chunk = f.final_chunk;
         di.weights_resident = weights_resident;
         di.cache_used_bytes = caches[acc].used_bytes();
+        if (fabric_.enabled()) {
+          di.node = fabric_.node_of(acc);
+          di.node_demand = admit_info.demand;
+          di.contended = admit_info.contended;
+          di.hop_cycles = admit_info.hop_cycles;
+        }
         for (obs::PoolProbe* p : probes_) p->on_dispatch(di);
       }
       pending.push_back(std::move(f));
@@ -545,6 +695,18 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       counters.open_requests = static_cast<i64>(batcher.open_requests());
       counters.busy_devices = static_cast<i64>(fleet_size - idle_devices);
       for (obs::PoolProbe* p : probes_) p->on_loop_counters(counters);
+      // Per-node contention sample, same cadence: in-flight streams and
+      // bytes after this event's dispatches settled.
+      if (fabric_.enabled()) {
+        for (int n = 0; n < fabric_.num_nodes(); ++n) {
+          obs::NodeSample sample;
+          sample.now = now;
+          sample.node = n;
+          sample.active_streams = arbiter.node_active(n);
+          sample.inflight_bytes = arbiter.node_inflight_bytes(n);
+          for (obs::PoolProbe* p : probes_) p->on_node_sample(sample);
+        }
+      }
     }
 
     // Harvest: every dispatch since the last advance has been evaluating
@@ -557,22 +719,21 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       const auto phase = profiler.time(obs::ServePhase::kHarvest);
       for (PendingExec& p : pending) {
         const ExecOutcome outcome = p.future.get();
-        std::size_t slot;
-        if (completion_free.empty()) {
-          slot = completion_slots.size();
-          completion_slots.emplace_back();
-        } else {
-          slot = completion_free.back();
-          completion_free.pop_back();
-        }
-        Completion& c = completion_slots[slot];
+        Completion& c = completion_slots[p.slot];
         c.accelerator = p.accelerator;
         c.batch = std::move(p.batch);
         c.chunk_m = p.chunk_m;
         c.final_chunk = p.final_chunk;
         c.dispatch_cycle = p.dispatch_cycle;
-        c.completion_cycle = p.dispatch_cycle + outcome.cycles;
-        completions.push({c.completion_cycle, c.accelerator, slot});
+        // With contention on, the worker returned the compute leg only;
+        // resolve() folds in the arbitered transfer stream (at its
+        // current projected finish — later demand changes re-price) plus
+        // the fabric hop latency. Otherwise the pre-PR whole roofline.
+        c.completion_cycle = fabric_.enabled()
+                                 ? arbiter.resolve(p.slot, outcome.cycles)
+                                 : p.dispatch_cycle + outcome.cycles;
+        completions.push({c.completion_cycle, c.accelerator, p.slot,
+                          c.version});
       }
       pending.clear();
     }
@@ -586,17 +747,34 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
     consider(source.next_arrival());
     consider(batcher.next_timeout());
     if (!completions.empty()) consider(completions.top().cycle);
+    // A node whose streams' rates change on their own (earliest projected
+    // transfer finish among contended nodes) is an event too: survivors
+    // speed up there and their completions re-price.
+    consider(arbiter.next_event());
     if (next < 0) break;  // fully drained
     AXON_CHECK(next >= now, "simulated time went backwards");
     now = next;
 
+    // Fluid progress to `now` before the retire scan: drained transfers
+    // leave their nodes, surviving streams speed up, and any moved
+    // completions re-file so the calendar below is current.
+    if (fabric_.enabled()) {
+      arbiter.advance(now, repriced);
+      apply_repriced();
+    }
+
     // Retire completions due at `now`; the calendar pops them in
-    // (completion cycle, device) order — deterministic.
+    // (completion cycle, device) order — deterministic. Keys whose version
+    // no longer matches their slot were re-priced (or already retired) —
+    // skipped.
     const auto phase = profiler.time(obs::ServePhase::kRetire);
     while (!completions.empty() && completions.top().cycle <= now) {
-      const std::size_t slot = completions.top().slot;
+      const CompletionKey key = completions.top();
       completions.pop();
-      Completion& f = completion_slots[slot];
+      Completion& f = completion_slots[key.slot];
+      if (f.version != key.version) continue;  // stale filing
+      const std::size_t slot = key.slot;
+      if (fabric_.enabled()) arbiter.release(slot, now);
       const i64 busy_cycles = f.completion_cycle - f.dispatch_cycle;
       report.total_busy_cycles += busy_cycles;
       device_busy_cycles[static_cast<std::size_t>(f.accelerator)] +=
@@ -648,6 +826,9 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
         ++report.total_batches;
       }
       f.batch = Batch{};
+      // Retire bumps the version so any stale keys this filing left in the
+      // heap (from re-pricing) can never match a later slot occupant.
+      ++f.version;
       completion_free.push_back(slot);
     }
   }
@@ -665,6 +846,24 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
     a.weight_hits = caches[i].hits();
     a.weight_misses = caches[i].misses();
     a.weight_evictions = caches[i].evictions();
+    a.hop_dispatches = device_hop_dispatches[i];
+    a.hop_cycles = device_hop_cycles[i];
+  }
+
+  if (fabric_.enabled()) {
+    const auto& ledgers = arbiter.ledgers();
+    report.per_node.resize(ledgers.size());
+    for (std::size_t n = 0; n < ledgers.size(); ++n) {
+      NodeStats& stats = report.per_node[n];
+      stats.name = "node" + std::to_string(n);
+      stats.devices = fabric_.node_devices(static_cast<int>(n));
+      stats.bw_bytes_per_cycle = fabric_.node_budget(static_cast<int>(n));
+      stats.bytes_drained = ledgers[n].bytes_drained;
+      stats.transfer_cycles = ledgers[n].transfer_cycles;
+      stats.transfer_cycles_private = ledgers[n].transfer_cycles_private;
+      stats.contended_dispatches = ledgers[n].contended_dispatches;
+      stats.demand_peak = ledgers[n].demand_peak;
+    }
   }
 
   report.phase_profile = profiler.profile();

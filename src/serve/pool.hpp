@@ -39,6 +39,7 @@
 
 #include "runner/accelerator.hpp"
 #include "serve/batcher.hpp"
+#include "serve/contention.hpp"
 #include "serve/report.hpp"
 #include "serve/request.hpp"
 #include "serve/sched_index.hpp"
@@ -88,19 +89,8 @@ enum class ExecMode {
   kCycleAccurate,  ///< full cycle-accurate run on synthesized operands
 };
 
-/// Reference clock the simulated timeline runs at. Per-device cycle costs
-/// convert to fleet cycles by clock ratio, so a 2000 MHz member finishes
-/// the same device-cycle count in half the simulated time.
-inline constexpr int kRefClockMhz = 1000;
-
-/// Converts device cycles to simulated fleet cycles at the reference
-/// clock: a member clocked above kRefClockMhz retires the same device
-/// cycles in proportionally less simulated time. The multiply is widened
-/// to 128 bits — `device_cycles * kRefClockMhz` overflows i64 at a few
-/// quadrillion device cycles, a regime multi-Mcycle chunks on slow clocks
-/// can reach — and a result that does not fit i64 fails an AXON_CHECK
-/// instead of wrapping into a bogus (possibly negative) timeline.
-i64 to_fleet_cycles(i64 device_cycles, int clock_mhz);
+// kRefClockMhz and to_fleet_cycles live in serve/contention.hpp (the
+// contention model shares the fleet timebase) and are re-exported here.
 
 /// One fleet member: its own array geometry/architecture, clock, DRAM
 /// bandwidth, and weight-cache capacity. Mixed specs are the point —
@@ -147,6 +137,20 @@ struct PoolConfig {
   /// tiles to rows per dataflow). <= 0 disables splitting like kNone.
   i64 chunk_tiles = 4;
   BatchPolicy batching;
+  /// Memory-node grouping + fabric (serve/contention.hpp). Default
+  /// (empty) = private channels and free routing, the exact pre-PR model:
+  /// every contention code path is skipped and the simulated timeline is
+  /// bit-identical to a pool without this field.
+  NodeTopology topology;
+  /// With a topology enabled, kLeastCost routing prices candidates at
+  /// their node's *current* concurrent demand plus fabric hops (cost =
+  /// compute + arbitered-DRAM + hops), so dispatch spreads away from
+  /// saturated nodes. Off = contention-blind least-cost: candidates priced
+  /// at their solo bandwidth and hop-free, the honest "routing to a remote
+  /// device is free" baseline the fleet_contention scenario compares
+  /// against. The arbiter still charges real contention either way — this
+  /// flag only changes what the router *believes*.
+  bool congestion_aware = true;
   /// Operand synthesis seed for cycle-accurate execution; combined with the
   /// batch's first request id so every batch sees fixed, thread-independent
   /// data.
@@ -216,28 +220,47 @@ class AcceleratorPool {
   /// The analytic roofline is a pure function of exactly these fields, so
   /// memoizing it is exact — the same number the model would recompute,
   /// found by hash lookup instead of re-running tiling math O(fleet) per
-  /// candidate per event.
+  /// candidate per event. With a topology enabled the key grows the
+  /// node-demand epoch: `demand` 0 is the pre-PR private roofline,
+  /// `demand` d >= 1 is the contention-aware price assuming d concurrent
+  /// streams on the device's node including the candidate itself — a
+  /// distinct, equally pure function per d, so the memo stays exact as
+  /// node demand churns.
   struct CostKey {
     i64 M = 0;
     i64 K = 0;
     i64 N = 0;
     std::uint32_t device = 0;  ///< fleet index, or kFleetBest
     bool weights_resident = false;
+    std::uint32_t demand = 0;  ///< node-demand epoch; 0 = private roofline
 
     static constexpr std::uint32_t kFleetBest = 0xFFFFFFFFu;
 
     friend bool operator==(const CostKey& a, const CostKey& b) {
       return a.M == b.M && a.K == b.K && a.N == b.N &&
              a.device == b.device &&
-             a.weights_resident == b.weights_resident;
+             a.weights_resident == b.weights_resident &&
+             a.demand == b.demand;
     }
   };
   struct CostKeyHash {
     std::size_t operator()(const CostKey& k) const;
   };
 
+  /// Contention-aware dispatch price: the roofline with the transfer leg
+  /// arbitered at `demand_incl_self` concurrent streams on the device's
+  /// node (fair share of the node budget, capped by the private channel),
+  /// plus the fabric hop cost from the ingress node. `demand_incl_self`
+  /// == 1 is the uncontended solo price — with the topology disabled or a
+  /// single-member node at full budget it equals device_cycles() exactly.
+  /// Memoized under the demand epoch in the cost key.
+  [[nodiscard]] i64 contended_cost(std::size_t device, const GemmShape& gemm,
+                                   bool weights_resident,
+                                   i64 demand_incl_self) const;
+
   PoolConfig config_;
   std::vector<AcceleratorSpec> fleet_;
+  FabricModel fabric_;  ///< static contention pricing; disabled by default
   std::vector<obs::PoolProbe*> probes_;  ///< not owned; serve-loop only
   /// Analytic-cost memo. Mutated from const accessors (the cache is an
   /// exact, invisible speedup), so: only the single-threaded serve loop —

@@ -242,6 +242,19 @@ double AcceleratorStats::utilization(i64 makespan) const {
   return static_cast<double>(busy_cycles) / static_cast<double>(makespan);
 }
 
+double NodeStats::utilization(i64 makespan) const {
+  if (makespan <= 0 || bw_bytes_per_cycle <= 0) return 0.0;
+  return static_cast<double>(bytes_drained) /
+         (static_cast<double>(bw_bytes_per_cycle) *
+          static_cast<double>(makespan));
+}
+
+double NodeStats::slowdown() const {
+  if (transfer_cycles_private <= 0) return 1.0;
+  return static_cast<double>(transfer_cycles) /
+         static_cast<double>(transfer_cycles_private);
+}
+
 void ServeReport::finalize() {
   records.sort_by_id();
   makespan_cycles = 0;
@@ -475,6 +488,36 @@ std::string ServeReport::summary() const {
       }
     }
     t.print(os, "Per-accelerator breakdown");
+  }
+  // Memory-node breakdown (shared-bandwidth arbiter): per-node budget
+  // draw, realized slowdown vs private channels, and contention pressure.
+  // Only present when the pool ran with a NodeTopology.
+  if (!per_node.empty()) {
+    Table t({"node", "devices", "bw_B/cyc", "util_%", "slowdown",
+             "contended", "peak"});
+    for (const auto& n : per_node) {
+      Table& row = t.row().cell(n.name).cell(static_cast<i64>(n.devices));
+      if (n.bw_bytes_per_cycle > 0) {
+        row.cell(n.bw_bytes_per_cycle)
+            .cell(100.0 * n.utilization(makespan_cycles), 1);
+      } else {
+        row.cell("-").cell("-");  // unlimited budget
+      }
+      row.cell(n.slowdown(), 3)
+          .cell(n.contended_dispatches)
+          .cell(n.demand_peak);
+    }
+    t.print(os, "Per-memory-node breakdown");
+    i64 hop_dispatches = 0;
+    i64 hop_cycles = 0;
+    for (const auto& a : per_accelerator) {
+      hop_dispatches += a.hop_dispatches;
+      hop_cycles += a.hop_cycles;
+    }
+    if (hop_dispatches > 0) {
+      os << "fabric: " << hop_dispatches << " remote dispatches, "
+         << hop_cycles << " hop cycles\n";
+    }
   }
   return os.str();
 }

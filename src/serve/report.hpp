@@ -297,12 +297,43 @@ struct AcceleratorStats {
   i64 weight_hits = 0;       ///< dispatches whose (K, N) weights were warm
   i64 weight_misses = 0;     ///< ... that had to stream weights from DRAM
   i64 weight_evictions = 0;  ///< cache entries displaced to make room
+  /// Fabric traffic (serve/contention.hpp): dispatches this member took
+  /// from a non-local ingress node, and the fleet cycles of hop latency +
+  /// link serialization those dispatches paid. Zero without a topology.
+  i64 hop_dispatches = 0;
+  i64 hop_cycles = 0;
 
   /// Fraction of dispatches served from the weight cache; 0 when the
   /// member has no cache (or never dispatched).
   [[nodiscard]] double weight_hit_rate() const;
   /// Busy fraction of the fleet makespan.
   [[nodiscard]] double utilization(i64 makespan_cycles) const;
+};
+
+/// Per-memory-node aggregates of the shared-bandwidth arbiter
+/// (serve/contention.hpp). Present only when the pool ran with a
+/// NodeTopology; empty otherwise.
+struct NodeStats {
+  std::string name;               ///< "node0", "node1", ...
+  int devices = 0;                ///< fleet members grouped into this node
+  i64 bw_bytes_per_cycle = 0;     ///< shared budget; <= 0 = unlimited
+  i64 bytes_drained = 0;          ///< DRAM bytes the node actually served
+  /// Realized transfer-leg fleet cycles across the node's streams (under
+  /// contention a stream's transfer leg stretches past its solo price).
+  i64 transfer_cycles = 0;
+  /// The same streams priced at each device's *private* channel rate —
+  /// the contention-free denominator of slowdown().
+  i64 transfer_cycles_private = 0;
+  i64 contended_dispatches = 0;   ///< admits that saw >= 2 streams in flight
+  i64 demand_peak = 0;            ///< max concurrent streams observed
+
+  /// Mean bandwidth draw as a fraction of the node budget over the
+  /// makespan; 0 when unlimited or the makespan is empty.
+  [[nodiscard]] double utilization(i64 makespan_cycles) const;
+  /// Realized transfer cycles over the private-channel price (>= 1.0 —
+  /// how much contention actually stretched this node's streams); 1.0
+  /// when nothing streamed.
+  [[nodiscard]] double slowdown() const;
 };
 
 struct ServeReport {
@@ -337,6 +368,12 @@ struct ServeReport {
 
   /// One entry per fleet member, indexed by RequestRecord::accelerator.
   std::vector<AcceleratorStats> per_accelerator;
+
+  /// One entry per memory node when the pool ran with a NodeTopology
+  /// (serve/contention.hpp); empty without one. Summarizes the
+  /// shared-bandwidth arbiter: utilization of each node's budget, realized
+  /// slowdown vs private channels, contended dispatches, peak demand.
+  std::vector<NodeStats> per_node;
 
   /// Sorts records by id and recomputes the scalar aggregates (makespan,
   /// SLO counters, per-accelerator request counts); the pool calls this

@@ -216,6 +216,85 @@ PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
   return cfg;
 }
 
+std::vector<AcceleratorSpec> fleet_contention_fleet() {
+  AcceleratorSpec dev;
+  dev.accelerator.arch = ArchType::kAxon;
+  dev.accelerator.array = {32, 32};
+  dev.clock_mhz = kRefClockMhz;
+  dev.dram_bytes_per_cycle = 64;
+  // No weight cache: every dispatch streams its full weight matrix, so
+  // node bandwidth is the contended resource by construction.
+  dev.weight_cache_bytes = 0;
+  std::vector<AcceleratorSpec> fleet = {dev, dev, dev, dev};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].name = "axon32_" + std::to_string(i);
+  }
+  return fleet;
+}
+
+NodeTopology fleet_contention_topology() {
+  NodeTopology topo;
+  topo.device_node = {0, 0, 1, 1};
+  // 80 B/fleet-cycle per node against 64 B/cycle private channels: one
+  // stream runs at its private 64, two concurrent streams get 40 each —
+  // a 1.6x stretch on a ~55 kcycle decode weight stream (~33 kcycles),
+  // an order of magnitude above the hop price of borrowing the far node.
+  topo.node_bw_bytes_per_cycle = {80, 80};
+  topo.hops = {{0, 1}, {1, 0}};
+  topo.hop_latency_cycles = 2000;
+  topo.link_bytes_per_cycle = 128;
+  topo.ingress_node = 0;
+  return topo;
+}
+
+std::vector<GemmWorkload> fleet_contention_mix() {
+  // Decode dominates 4:1. On cache-less members every decode dispatch
+  // streams 3.5-4.5 MiB of weights (~55-70 kcycles solo), so transfer —
+  // not compute — is what the router is really placing. The prefill lives
+  // on a distinct (K, N) so the batcher cannot coalesce it away.
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"prefill_ffn2", {128, 3072, 768}},
+  };
+}
+
+BurstyTraceConfig fleet_contention_traffic(int num_requests) {
+  BurstyTraceConfig tc;
+  tc.num_requests = num_requests;
+  tc.burst_interarrival_cycles = 60000.0;
+  tc.mean_on_cycles = 400000.0;
+  tc.mean_off_cycles = 1200000.0;
+  // The decode budget sits in the band where routing freedom exists (the
+  // deep-burst tail saturates all four members either way): spreading
+  // streams across nodes meets it, piling two onto one node blows it —
+  // aware attains ~0.885 on the canonical trace, blind ~0.802.
+  tc.classes.default_policy = {/*slo=*/110000, /*priority=*/0};
+  tc.classes.per_workload["prefill_ffn2"] = {/*slo=*/4000000, /*priority=*/1};
+  return tc;
+}
+
+RequestQueue fleet_contention_trace() {
+  Rng rng(kFleetContentionSeed);
+  return generate_bursty_trace(fleet_contention_mix(),
+                               fleet_contention_traffic(), rng);
+}
+
+PoolConfig fleet_contention_pool_config(bool congestion_aware) {
+  PoolConfig cfg;
+  cfg.fleet = fleet_contention_fleet();
+  cfg.topology = fleet_contention_topology();
+  cfg.congestion_aware = congestion_aware;
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 60000;
+  cfg.batching.continuous_admission = true;
+  return cfg;
+}
+
 std::vector<AcceleratorSpec> closed_loop_fleet() {
   AcceleratorSpec dev;
   dev.accelerator.arch = ArchType::kAxon;

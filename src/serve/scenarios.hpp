@@ -124,6 +124,48 @@ BurstyTraceSource serve_scale_source(int num_requests = kServeScaleRequests);
 PoolConfig serve_scale_pool_config(ReadyQueueImpl ready_queue,
                                    int num_threads = 1);
 
+// ---- fleet contention --------------------------------------------------
+// The shared-bandwidth scenario: four identical cache-less members split
+// across two memory nodes whose DRAM budget covers ~1.5 concurrent weight
+// streams, plus a one-hop fabric between the nodes. Every dispatch streams
+// its weights, so co-locating two in-flight chunks on one node stretches
+// both transfers ~1.33x — far more than the hop price of borrowing the
+// other node. Congestion-blind least-cost routing cannot see the
+// difference (identical devices tie, index order piles onto node 0);
+// congestion-aware routing prices the live node demand and spreads. The
+// example enforces at runtime that aware beats blind on SLO attainment on
+// exactly this trace; CI's BENCH_serve.json publishes both variants.
+
+inline constexpr std::uint64_t kFleetContentionSeed = 9090;
+inline constexpr int kFleetContentionRequests = 384;
+
+/// Four identical 32x32 Axon members with *no* weight cache — every
+/// dispatch streams weights from DRAM, so node bandwidth is the contended
+/// resource by construction.
+std::vector<AcceleratorSpec> fleet_contention_fleet();
+
+/// Two memory nodes of two members each, budget ~1.5 solo streams per
+/// node, one fabric hop between them (ingress at node 0).
+NodeTopology fleet_contention_topology();
+
+/// Decode-dominant mix (transfer-bound on cache-less members) plus a
+/// prefill on a distinct (K, N) so the scheduler must arbitrate.
+std::vector<GemmWorkload> fleet_contention_mix();
+
+/// Bursty arrivals with a decode SLO tuned to sit between the aware and
+/// blind latency tails: aware routing meets it, blind blows it whenever a
+/// burst piles two streams onto one node.
+BurstyTraceConfig fleet_contention_traffic(
+    int num_requests = kFleetContentionRequests);
+
+/// The canonical trace those knobs generate.
+RequestQueue fleet_contention_trace();
+
+/// Pool configuration for the scenario: EDF + least-cost routing on the
+/// 2-node fleet; `congestion_aware` selects whether the router sees node
+/// demand (the arbiter charges real contention either way).
+PoolConfig fleet_contention_pool_config(bool congestion_aware);
+
 // ---- closed-loop feedback ----------------------------------------------
 // The interactive-population scenario: a fixed client pool cycling
 // think -> issue -> service -> think against a small fleet. In estimate

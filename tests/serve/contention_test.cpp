@@ -1,0 +1,298 @@
+// Shared-bandwidth contention model: the fluid fair-share arbiter's
+// conservation invariant and re-pricing semantics (hand-computed), the
+// zero-contention byte-equivalence with the pre-PR private-channel model,
+// per-node report plumbing, and the determinism contract for the
+// contention scenario (1 vs 8 worker threads — the TSan serve_ filter
+// runs this file too).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/contention.hpp"
+#include "serve/pool.hpp"
+#include "serve/report.hpp"
+#include "serve/request.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+// ---- arbiter unit tests ------------------------------------------------
+
+/// One shared node of two members: 64 B/device-cycle private channels at
+/// the reference clock, an 80 B/fleet-cycle node budget — two concurrent
+/// streams get 40 each (budget-bound), one gets its private 64.
+FabricModel one_node_fabric() {
+  NodeTopology topo;
+  topo.device_node = {0, 0};
+  topo.node_bw_bytes_per_cycle = {80};
+  return FabricModel(topo, {{kRefClockMhz, 64}, {kRefClockMhz, 64}});
+}
+
+/// Exact rational check that each node's allocated rates sum to at most
+/// its budget: sum(num_i / den_i) <= budget via 128-bit cross
+/// multiplication, no floats.
+void expect_conserved(const BandwidthArbiter& arbiter,
+                      const FabricModel& fabric) {
+  std::vector<__int128> num(static_cast<std::size_t>(fabric.num_nodes()), 0);
+  std::vector<__int128> den(static_cast<std::size_t>(fabric.num_nodes()), 1);
+  for (const BandwidthArbiter::StreamView& s : arbiter.active_streams()) {
+    ASSERT_GE(s.node, 0);
+    ASSERT_GT(s.rate_den, 0);
+    const auto n = static_cast<std::size_t>(s.node);
+    // num/den += rate_num/rate_den
+    num[n] = num[n] * s.rate_den + static_cast<__int128>(s.rate_num) * den[n];
+    den[n] *= s.rate_den;
+  }
+  for (int node = 0; node < fabric.num_nodes(); ++node) {
+    const i64 budget = fabric.node_budget(node);
+    if (budget <= 0) continue;  // unlimited: nothing to conserve
+    const auto n = static_cast<std::size_t>(node);
+    EXPECT_LE(num[n], static_cast<__int128>(budget) * den[n])
+        << "node " << node << " oversubscribed";
+  }
+}
+
+TEST(BandwidthArbiter, SoloStreamKeepsClosedFormPrice) {
+  const FabricModel fabric = one_node_fabric();
+  BandwidthArbiter arbiter(&fabric);
+  std::vector<BandwidthArbiter::Reprice> repriced;
+
+  // 64000 bytes at the solo rate of 64 B/cycle: exactly 1000 cycles.
+  const auto info = arbiter.admit(/*device=*/0, /*slot=*/0, /*now=*/0,
+                                  /*dram_bytes=*/64000, /*fabric_bytes=*/0,
+                                  repriced);
+  EXPECT_EQ(info.demand, 1);
+  EXPECT_FALSE(info.contended);
+  EXPECT_EQ(info.hop_cycles, 0);
+  EXPECT_TRUE(repriced.empty());
+  EXPECT_EQ(arbiter.resolve(/*slot=*/0, /*compute_fleet_cycles=*/100), 1000);
+  // A lone stream never needs an arbiter event: it drains at its
+  // closed-form finish, discovered lazily.
+  EXPECT_EQ(arbiter.next_event(), -1);
+  expect_conserved(arbiter, fabric);
+
+  arbiter.advance(1000, repriced);
+  EXPECT_TRUE(repriced.empty());
+  arbiter.release(/*slot=*/0, /*now=*/1000);
+  EXPECT_EQ(arbiter.node_active(0), 0);
+
+  const BandwidthArbiter::NodeLedger& ledger = arbiter.ledgers()[0];
+  EXPECT_EQ(ledger.bytes_drained, 64000);
+  EXPECT_EQ(ledger.transfer_cycles, 1000);
+  EXPECT_EQ(ledger.transfer_cycles_private, 1000);
+  EXPECT_EQ(ledger.contended_dispatches, 0);
+  EXPECT_EQ(ledger.demand_peak, 1);
+}
+
+TEST(BandwidthArbiter, SecondStreamRepricesTheFirst) {
+  // Hand-computed fair-share timeline, pinning the re-pricing choice:
+  //   t=0     A admits 64000 bytes, solo -> finish 1000, completion 1000.
+  //   t=500   B admits 64000 bytes. A has drained 32000 at its private
+  //           64 B/cyc; both go fluid at 40 B/cyc (budget 80 / 2):
+  //             A: ceil(32000 / 40) = 800  -> finish 1300 (repriced)
+  //             B: ceil(64000 / 40) = 1600 -> finish 2100
+  //   t=1300  A drains; B has drained 32000 more (800 * 40) and gets the
+  //           whole channel back: ceil(32000 / 64) = 500 -> finish 1800
+  //           (repriced from 2100).
+  const FabricModel fabric = one_node_fabric();
+  BandwidthArbiter arbiter(&fabric);
+  std::vector<BandwidthArbiter::Reprice> repriced;
+
+  arbiter.admit(0, /*slot=*/0, /*now=*/0, 64000, 0, repriced);
+  EXPECT_EQ(arbiter.resolve(0, /*compute_fleet_cycles=*/100), 1000);
+
+  const auto info = arbiter.admit(1, /*slot=*/1, /*now=*/500, 64000, 0,
+                                  repriced);
+  EXPECT_EQ(info.demand, 2);
+  EXPECT_TRUE(info.contended);
+  ASSERT_EQ(repriced.size(), 1u);  // A had filed a completion; B has not
+  EXPECT_EQ(repriced[0].slot, 0u);
+  EXPECT_EQ(repriced[0].completion_cycle, 1300);
+  EXPECT_EQ(arbiter.resolve(1, /*compute_fleet_cycles=*/100), 2100);
+  EXPECT_EQ(arbiter.next_event(), 1300);
+  EXPECT_EQ(arbiter.demand(0), 2);
+  expect_conserved(arbiter, fabric);
+
+  repriced.clear();
+  arbiter.advance(1300, repriced);
+  ASSERT_EQ(repriced.size(), 1u);  // B's fair share grew when A drained
+  EXPECT_EQ(repriced[0].slot, 1u);
+  EXPECT_EQ(repriced[0].completion_cycle, 1800);
+  EXPECT_EQ(arbiter.next_event(), -1);  // one survivor: no rate changes left
+  expect_conserved(arbiter, fabric);
+  arbiter.release(0, 1300);
+
+  repriced.clear();
+  arbiter.advance(1800, repriced);
+  EXPECT_TRUE(repriced.empty());
+  arbiter.release(1, 1800);
+
+  // Realized transfer legs: A 0..1300, B 500..1800 — both 1.3x their
+  // private 1000-cycle leg.
+  const BandwidthArbiter::NodeLedger& ledger = arbiter.ledgers()[0];
+  EXPECT_EQ(ledger.bytes_drained, 128000);
+  EXPECT_EQ(ledger.transfer_cycles, 2600);
+  EXPECT_EQ(ledger.transfer_cycles_private, 2000);
+  EXPECT_EQ(ledger.contended_dispatches, 1);
+  EXPECT_EQ(ledger.demand_peak, 2);
+}
+
+TEST(BandwidthArbiter, ConservationHoldsThroughStaggeredStreams) {
+  // Two nodes x two members, both budget-bound. Admit four overlapping
+  // streams at staggered times and check the per-node rate sums after
+  // every mutation, at every arbiter event, until all drain.
+  NodeTopology topo;
+  topo.device_node = {0, 0, 1, 1};
+  topo.node_bw_bytes_per_cycle = {80, 96};
+  const FabricModel fabric(
+      topo, {{kRefClockMhz, 64}, {kRefClockMhz, 64}, {2 * kRefClockMhz, 64},
+             {2 * kRefClockMhz, 64}});
+  BandwidthArbiter arbiter(&fabric);
+  std::vector<BandwidthArbiter::Reprice> repriced;
+
+  const i64 bytes[4] = {64000, 48000, 96000, 24000};
+  const i64 admit_at[4] = {0, 300, 450, 700};
+  i64 now = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    arbiter.advance(admit_at[s], repriced);
+    now = admit_at[s];
+    arbiter.admit(s, s, now, bytes[s], 0, repriced);
+    arbiter.resolve(s, /*compute_fleet_cycles=*/1);
+    expect_conserved(arbiter, fabric);
+  }
+  // Step through every remaining arbiter event, then lazily finish the
+  // solo tails.
+  for (i64 next = arbiter.next_event(); next >= 0;
+       next = arbiter.next_event()) {
+    ASSERT_GT(next, now);
+    now = next;
+    arbiter.advance(now, repriced);
+    expect_conserved(arbiter, fabric);
+  }
+  i64 drained = 0;
+  for (const BandwidthArbiter::NodeLedger& ledger : arbiter.ledgers()) {
+    drained += ledger.bytes_drained;
+  }
+  // Far enough that every solo tail has drained.
+  arbiter.advance(now + 100000, repriced);
+  EXPECT_TRUE(arbiter.active_streams().empty());
+  for (std::size_t s = 0; s < 4; ++s) arbiter.release(s, now + 100000);
+  drained = 0;
+  for (const BandwidthArbiter::NodeLedger& ledger : arbiter.ledgers()) {
+    drained += ledger.bytes_drained;
+  }
+  EXPECT_EQ(drained, 64000 + 48000 + 96000 + 24000);
+}
+
+// ---- zero-contention equivalence --------------------------------------
+
+void expect_same_records(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord ra = a.records[i];
+    const RequestRecord rb = b.records[i];
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.dispatch_cycle, rb.dispatch_cycle) << "request " << ra.id;
+    EXPECT_EQ(ra.completion_cycle, rb.completion_cycle)
+        << "request " << ra.id;
+    EXPECT_EQ(ra.accelerator, rb.accelerator) << "request " << ra.id;
+    EXPECT_EQ(ra.batch_size, rb.batch_size) << "request " << ra.id;
+    EXPECT_EQ(ra.service_cycles, rb.service_cycles) << "request " << ra.id;
+  }
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles);
+}
+
+TEST(Contention, SingleMemberNodesAtFullBudgetReproducePrivateChannels) {
+  // One node per member, each budget set to exactly the member's private
+  // channel rate in fleet units (big: 64 B/dev-cyc at 1000 MHz -> 64;
+  // hbm: 256 B/dev-cyc at 2000 MHz -> 512), no hop matrix. Demand never
+  // exceeds 1, so every stream keeps its closed-form solo price, solo_bw
+  // equals the private rate, and hop cost is zero — the decomposed
+  // compute/transfer pricing must land on the byte-identical timeline the
+  // private-channel model produces.
+  PoolConfig plain = mixed_fleet_pool_config(RoutePolicy::kLeastCost);
+  PoolConfig noded = plain;
+  noded.topology.device_node = {0, 1, 2, 3};
+  noded.topology.node_bw_bytes_per_cycle = {64, 512, 64, 512};
+
+  const ServeReport a = AcceleratorPool(plain).serve(mixed_fleet_trace());
+  const ServeReport b = AcceleratorPool(noded).serve(mixed_fleet_trace());
+  expect_same_records(a, b);
+
+  EXPECT_TRUE(a.per_node.empty());  // no topology -> no node rows
+  ASSERT_EQ(b.per_node.size(), 4u);
+  for (const NodeStats& n : b.per_node) {
+    EXPECT_EQ(n.contended_dispatches, 0);
+    EXPECT_LE(n.demand_peak, 1);
+    EXPECT_DOUBLE_EQ(n.slowdown(), 1.0);  // never stretched
+  }
+  for (const AcceleratorStats& acc : b.per_accelerator) {
+    EXPECT_EQ(acc.hop_dispatches, 0);
+    EXPECT_EQ(acc.hop_cycles, 0);
+  }
+}
+
+// ---- contention scenario ----------------------------------------------
+
+TEST(Contention, ScenarioReportsNodePressure) {
+  const ServeReport r = AcceleratorPool(fleet_contention_pool_config(true))
+                            .serve(fleet_contention_trace());
+  ASSERT_EQ(r.per_node.size(), 2u);
+  i64 drained = 0;
+  for (const NodeStats& n : r.per_node) {
+    EXPECT_EQ(n.devices, 2);
+    EXPECT_EQ(n.bw_bytes_per_cycle, 80);
+    EXPECT_GT(n.bytes_drained, 0);
+    EXPECT_GT(n.contended_dispatches, 0);
+    EXPECT_EQ(n.demand_peak, 2);  // two members: demand can never reach 3
+    EXPECT_GE(n.slowdown(), 1.0);
+    const double util = n.utilization(r.makespan_cycles);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+    drained += n.bytes_drained;
+  }
+  // Every dispatch streams its weights (no caches): the fleet moved real
+  // traffic through the arbiter.
+  EXPECT_GT(drained, i64{1} << 28);
+  // The one-hop fabric was actually exercised.
+  i64 hop_dispatches = 0;
+  for (const AcceleratorStats& acc : r.per_accelerator) {
+    hop_dispatches += acc.hop_dispatches;
+    if (acc.hop_dispatches > 0) {
+      EXPECT_GT(acc.hop_cycles, 0);
+    }
+  }
+  EXPECT_GT(hop_dispatches, 0);
+}
+
+TEST(Contention, AwareRoutingBeatsBlindOnSlo) {
+  // The runtime claim examples/serve_traffic enforces, pinned here too so
+  // ctest catches a regression without running the example.
+  const ServeReport blind = AcceleratorPool(fleet_contention_pool_config(false))
+                                .serve(fleet_contention_trace());
+  const ServeReport aware = AcceleratorPool(fleet_contention_pool_config(true))
+                                .serve(fleet_contention_trace());
+  EXPECT_GT(aware.slo_attainment(), blind.slo_attainment());
+}
+
+TEST(Contention, ScenarioDeterministicAcrossThreadCounts) {
+  PoolConfig one = fleet_contention_pool_config(true);
+  one.num_threads = 1;
+  PoolConfig eight = fleet_contention_pool_config(true);
+  eight.num_threads = 8;
+  const ServeReport a = AcceleratorPool(one).serve(fleet_contention_trace());
+  const ServeReport b = AcceleratorPool(eight).serve(fleet_contention_trace());
+  expect_same_records(a, b);
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t i = 0; i < a.per_node.size(); ++i) {
+    EXPECT_EQ(a.per_node[i].bytes_drained, b.per_node[i].bytes_drained);
+    EXPECT_EQ(a.per_node[i].transfer_cycles, b.per_node[i].transfer_cycles);
+    EXPECT_EQ(a.per_node[i].contended_dispatches,
+              b.per_node[i].contended_dispatches);
+  }
+}
+
+}  // namespace
+}  // namespace axon::serve
