@@ -78,7 +78,8 @@ double peak_rss_mb() {
 /// materialized request deque.
 ServeReport run_scale(int requests, ReadyQueueImpl impl) {
   BurstyTraceSource source = serve_scale_source(requests);
-  return AcceleratorPool(serve_scale_pool_config(impl)).serve(source);
+  AcceleratorPool pool(serve_scale_pool_config(impl));
+  return pool.serve(source);
 }
 
 /// Record diff via RequestRecord::operator== (the all-fields primitive);
@@ -168,7 +169,9 @@ int compare_impls(int requests, double min_speedup) {
 int run_traced(const std::string& trace_path,
                const std::string& metrics_path) {
   constexpr int kTracedRequests = 3000;
-  PoolConfig cfg = serve_scale_pool_config(ReadyQueueImpl::kIndexed);
+  // Same pool config as CI's gated serve_scale_200k row, resolved by name
+  // from the scenario registry so the two can never drift.
+  PoolConfig cfg = scenario("serve_scale_200k").config;
   cfg.self_profile = true;
   AcceleratorPool pool(cfg);
   obs::TraceSink trace;
@@ -176,7 +179,8 @@ int run_traced(const std::string& trace_path,
   obs::MetricsProbe metrics(&registry);
   if (!trace_path.empty()) pool.add_probe(&trace);
   if (!metrics_path.empty()) pool.add_probe(&metrics);
-  const ServeReport r = pool.serve(serve_scale_trace(kTracedRequests));
+  RequestQueue traced_queue = serve_scale_trace(kTracedRequests);
+  const ServeReport r = pool.serve(traced_queue);
   std::cout << "serve_scale traced run (" << kTracedRequests
             << " requests):\n"
             << r.summary();

@@ -13,6 +13,7 @@
 #include <sys/resource.h>
 
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +46,13 @@ RequestQueue trace_for(const std::vector<GemmWorkload>& mix, int n,
   return generate_trace(mix, {n, gap}, rng);
 }
 
+// The canonical serve entry takes a TraceSource lvalue; sweep-local traces
+// get named here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
 PoolConfig config(int accelerators, int max_batch) {
   PoolConfig cfg;
   cfg.accelerator = {.arch = ArchType::kAxon, .array = {32, 32}};
@@ -60,7 +68,7 @@ void sweep(std::ostream& os, const std::string& name,
   for (int pool : {1, 2, 4, 8}) {
     for (int mb : {1, 8}) {
       const ServeReport r =
-          AcceleratorPool(config(pool, mb)).serve(trace_for(mix, 192, 20000.0));
+          serve_queue(config(pool, mb), trace_for(mix, 192, 20000.0));
       const Histogram lat = r.latency();
       t.row()
           .cell(pool)
@@ -103,8 +111,7 @@ void slo_sweep(std::ostream& os) {
     cfg.batching.max_wait_cycles = 60000;
     cfg.batching.continuous_admission = true;
     Rng rng(kSeed);
-    const ServeReport r =
-        AcceleratorPool(cfg).serve(generate_bursty_trace(mix, tc, rng));
+    const ServeReport r = serve_queue(cfg, generate_bursty_trace(mix, tc, rng));
     t.row()
         .cell(to_string(policy))
         .cell(100.0 * r.slo_attainment(), 1)
@@ -123,8 +130,7 @@ void slo_sweep(std::ostream& os) {
 /// example enforces its routing claim with — swept here across policies
 /// and published by the CI smoke artifact.
 ServeReport serve_fleet(RoutePolicy routing) {
-  return AcceleratorPool(mixed_fleet_pool_config(routing))
-      .serve(mixed_fleet_trace());
+  return serve_queue(mixed_fleet_pool_config(routing), mixed_fleet_trace());
 }
 
 /// Fleet-wide weight-cache hit fraction, in percent.
@@ -166,8 +172,8 @@ void fleet_sweep(std::ostream& os) {
 /// enforces aware > blind on SLO attainment on this exact trace; CI's
 /// smoke artifact publishes both ends.
 ServeReport serve_contended(bool congestion_aware) {
-  return AcceleratorPool(fleet_contention_pool_config(congestion_aware))
-      .serve(fleet_contention_trace());
+  return serve_queue(fleet_contention_pool_config(congestion_aware),
+                     fleet_contention_trace());
 }
 
 void contention_sweep(std::ostream& os) {
@@ -204,8 +210,8 @@ void contention_sweep(std::ostream& os) {
 /// swept across chunk policies. The example enforces the chunked-vs-whole
 /// claim on this exact trace; CI's smoke artifact publishes both ends.
 ServeReport serve_chunked(ChunkPolicy chunking) {
-  return AcceleratorPool(chunked_prefill_pool_config(chunking))
-      .serve(chunked_prefill_trace());
+  return serve_queue(chunked_prefill_pool_config(chunking),
+                     chunked_prefill_trace());
 }
 
 void chunk_sweep(std::ostream& os) {
@@ -248,8 +254,8 @@ void print_tables(std::ostream& os) {
 void bench_serve_analytical(benchmark::State& state) {
   PoolConfig cfg = config(4, 8);
   for (auto _ : state) {
-    const ServeReport r = AcceleratorPool(cfg).serve(
-        trace_for(mixed_serve_mix(), 128, 20000.0));
+    const ServeReport r =
+        serve_queue(cfg, trace_for(mixed_serve_mix(), 128, 20000.0));
     benchmark::DoNotOptimize(r.makespan_cycles);
   }
 }
@@ -261,8 +267,8 @@ BENCHMARK(bench_serve_analytical)->Unit(benchmark::kMillisecond);
 void bench_serve_dispatch_overhead(benchmark::State& state) {
   PoolConfig cfg = config(8, 1);
   for (auto _ : state) {
-    const ServeReport r = AcceleratorPool(cfg).serve(
-        trace_for(decode_serve_mix(), 512, 200.0));
+    const ServeReport r =
+        serve_queue(cfg, trace_for(decode_serve_mix(), 512, 200.0));
     benchmark::DoNotOptimize(r.makespan_cycles);
   }
 }
@@ -279,8 +285,7 @@ void bench_serve_cycle_accurate(benchmark::State& state) {
   cfg.exec = ExecMode::kCycleAccurate;
   cfg.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    const ServeReport r =
-        AcceleratorPool(cfg).serve(trace_for(mix, 48, 200.0));
+    const ServeReport r = serve_queue(cfg, trace_for(mix, 48, 200.0));
     benchmark::DoNotOptimize(r.makespan_cycles);
   }
 }
@@ -302,94 +307,65 @@ struct Scenario {
   std::vector<std::pair<std::string, std::string>> extra;
 };
 
-/// Short deterministic scenario set: every metric below is in simulated
+/// Decode-side p99 latency for the disaggregation scenarios: simulated
+/// cycles, so it gates in compare_bench.py like any other cycle metric.
+i64 decode_p99_cycles(const ServeReport& r) {
+  Histogram decode;
+  for (const auto& [name, g] : r.by_workload()) {
+    if (name.rfind("decode", 0) == 0) decode.merge(g.latency);
+  }
+  return decode.percentile_or(99);
+}
+
+/// Short deterministic scenario set, resolved by name from the
+/// serve/scenarios registry (the artifact's rows and the registry's names
+/// are the same list by construction): every metric below is in simulated
 /// cycles (identical on any host/thread count), so the JSON artifact is
 /// diffable across CI runs — a perf trajectory, not a noise source.
+/// A few scenarios attach extras the registry cannot express: the
+/// serve_scale_200k run carries the obs instrumentation (deterministic
+/// registry counts plus the "wall_phase_*" self-profile), serve_scale_10m
+/// publishes peak RSS under the informational "rss_" prefix, and the
+/// disagg pair publishes the decode_p99_cycles its headline claim is
+/// scored on.
 std::vector<Scenario> smoke_scenarios() {
   std::vector<Scenario> out;
-  {
-    PoolConfig cfg = config(4, 8);
-    out.push_back({"resnet50_pool4_batch8",
-                   AcceleratorPool(cfg).serve(
-                       trace_for(resnet50_serve_mix(), 96, 20000.0))});
-  }
-  {
-    PoolConfig cfg = config(4, 8);
-    out.push_back({"decode_pool4_batch8",
-                   AcceleratorPool(cfg).serve(
-                       trace_for(decode_serve_mix(), 128, 5000.0))});
-  }
-  out.push_back({"fleet_round_robin",
-                 serve_fleet(RoutePolicy::kRoundRobin)});
-  out.push_back({"fleet_least_cost",
-                 serve_fleet(RoutePolicy::kLeastCost)});
-  out.push_back({"chunked_prefill_whole",
-                 serve_chunked(ChunkPolicy::kNone)});
-  out.push_back({"chunked_prefill_deadline_aware",
-                 serve_chunked(ChunkPolicy::kDeadlineAware)});
-  // Shared-bandwidth contention, both router beliefs. The arbiter charges
-  // the same physics either way, so the gap between these two rows is
-  // purely the value of pricing live node demand — the runtime claim
-  // examples/serve_traffic enforces, kept visible in the artifact.
-  out.push_back({"fleet_contention_blind", serve_contended(false)});
-  out.push_back({"fleet_contention_aware", serve_contended(true)});
-  // The production-trace-size scenario (serve/scenarios serve_scale):
-  // 200k mixed-SLO requests through the indexed serve core. Simulated
-  // metrics gate like every other scenario; its wall_seconds rides along
-  // informationally as the scale trajectory (bench_serve_scale is the
-  // full wall-clock study incl. the quadratic baseline). This scenario
-  // also carries the obs instrumentation: deterministic metrics-registry
-  // counts (joins/requeues/deadline misses — informational, the cycle
-  // gates already police behaviour) and the serve-loop self-profile
-  // ("wall_phase_*", host wall-clock, never gated).
-  {
-    PoolConfig cfg = serve_scale_pool_config(ReadyQueueImpl::kIndexed);
-    cfg.self_profile = true;
-    AcceleratorPool pool(cfg);
-    obs::MetricsRegistry registry;
-    obs::MetricsProbe metrics(&registry);
-    pool.add_probe(&metrics);
-    Scenario s{"serve_scale_200k", pool.serve(serve_scale_trace()), {}};
-    for (const char* key : {"joins", "requeues", "deadline_misses"}) {
-      s.extra.emplace_back(
-          key, std::to_string(
-                   registry.counter_value(std::string("serve.") + key)));
+  for (const std::string& name : scenario_names()) {
+    const ScenarioSpec& spec = scenario(name);
+    Scenario s{name, {}, {}};
+    if (name == "serve_scale_200k") {
+      PoolConfig cfg = spec.config;
+      cfg.self_profile = true;
+      AcceleratorPool pool(cfg);
+      obs::MetricsRegistry registry;
+      obs::MetricsProbe metrics(&registry);
+      pool.add_probe(&metrics);
+      const std::unique_ptr<TraceSource> source = spec.make_trace();
+      s.report = pool.serve(*source);
+      for (const char* key : {"joins", "requeues", "deadline_misses"}) {
+        s.extra.emplace_back(
+            key, std::to_string(
+                     registry.counter_value(std::string("serve.") + key)));
+      }
+      const obs::PhaseProfile& prof = s.report.phase_profile;
+      for (std::size_t i = 0; i < obs::kNumServePhases; ++i) {
+        s.extra.emplace_back(
+            std::string("wall_phase_") +
+                to_string(static_cast<obs::ServePhase>(i)) + "_seconds",
+            fmt_double(prof.phases[i].seconds, 4));
+      }
+    } else {
+      AcceleratorPool pool(spec.config);
+      const std::unique_ptr<TraceSource> source = spec.make_trace();
+      s.report = pool.serve(*source);
     }
-    const obs::PhaseProfile& prof = s.report.phase_profile;
-    for (std::size_t i = 0; i < obs::kNumServePhases; ++i) {
-      s.extra.emplace_back(
-          std::string("wall_phase_") +
-              to_string(static_cast<obs::ServePhase>(i)) + "_seconds",
-          fmt_double(prof.phases[i].seconds, 4));
+    if (name == "serve_scale_10m") {
+      s.extra.emplace_back("rss_mb_peak", fmt_double(peak_rss_mb(), 1));
     }
-    out.push_back(std::move(s));
-  }
-  // Closed-loop client population, both service models (serve/scenarios
-  // closed_loop): estimate mode re-issues on a fixed service stand-in and
-  // over-drives the saturated fleet; feedback mode blocks each client on
-  // its request's *actual* completion (TraceSource::on_complete), so load
-  // self-limits at num_clients in flight. Both timelines are deterministic
-  // — feedback depends on the pool config but not on threads — so both
-  // gate; the gap between their makespans/latencies is the scenario's
-  // point.
-  for (const bool feedback : {false, true}) {
-    ClosedLoopTraceSource source = closed_loop_source(feedback);
-    AcceleratorPool pool(closed_loop_pool_config());
-    out.push_back({feedback ? "closed_loop_feedback" : "closed_loop_estimate",
-                   pool.serve(source)});
-  }
-  // The streaming-pipeline scenario: 10^7 mixed-SLO requests served
-  // straight from the generator through the columnar record store.
-  // Simulated cycles gate like every other scenario; the peak-RSS reading
-  // rides along under the informational "rss_" prefix (it is a host
-  // number — allocator and libc dependent — but its order of magnitude is
-  // the streaming claim: ~0.8 GB where materialized requests plus eager
-  // per-request histograms needed several).
-  {
-    BurstyTraceSource source = serve_scale_source(10000000);
-    AcceleratorPool pool(serve_scale_pool_config(ReadyQueueImpl::kIndexed));
-    Scenario s{"serve_scale_10m", pool.serve(source), {}};
-    s.extra.emplace_back("rss_mb_peak", fmt_double(peak_rss_mb(), 1));
+    if (name.rfind("disagg_prefill_decode", 0) == 0) {
+      s.extra.emplace_back("decode_p99_cycles",
+                           std::to_string(decode_p99_cycles(s.report)));
+    }
     out.push_back(std::move(s));
   }
   return out;

@@ -20,6 +20,7 @@
 // passive observers: the simulated cycles are identical with and without.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/rng.hpp"
@@ -59,6 +60,35 @@ PoolConfig base_config() {
   cfg.num_threads = 1;
   cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/20000};
   return cfg;
+}
+
+// The canonical serve entry takes a TraceSource lvalue; ad-hoc sweep
+// traces get named here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
+// Every named section below resolves its scenario from the serve/scenarios
+// registry — the same spec CI's BENCH_serve.json publishes, so the claims
+// this example enforces at runtime are claims about the artifact's rows.
+ServeReport run_scenario(const std::string& name, int threads = 1) {
+  const ScenarioSpec& spec = scenario(name);
+  PoolConfig cfg = spec.config;
+  cfg.num_threads = threads;
+  AcceleratorPool pool(cfg);
+  const std::unique_ptr<TraceSource> source = spec.make_trace();
+  return pool.serve(*source);
+}
+
+// Decode-side tail latency: merge the decode workloads' samples (other
+// traffic rides in the same report under its own looser budget).
+i64 decode_p99(const ServeReport& r) {
+  Histogram decode;
+  for (const auto& [name, g] : r.by_workload()) {
+    if (name.rfind("decode", 0) == 0) decode.merge(g.latency);
+  }
+  return decode.percentile_or(99);
 }
 
 void add_row(Table& t, const std::string& label, const ServeReport& r) {
@@ -107,7 +137,7 @@ int main(int argc, char** argv) {
       PoolConfig cfg = base_config();
       cfg.batching = {max_batch, /*max_wait_cycles=*/100000};
       const ServeReport r =
-          AcceleratorPool(cfg).serve(make_batchable_trace(kRequests, 5000.0));
+          serve_queue(cfg, make_batchable_trace(kRequests, 5000.0));
       add_row(t, std::to_string(max_batch), r);
     }
     t.print(std::cout,
@@ -122,8 +152,7 @@ int main(int argc, char** argv) {
     for (int pool : {1, 2, 4, 8}) {
       PoolConfig cfg = base_config();
       cfg.num_accelerators = pool;
-      const ServeReport r =
-          AcceleratorPool(cfg).serve(make_trace(kRequests, kMeanGap));
+      const ServeReport r = serve_queue(cfg, make_trace(kRequests, kMeanGap));
       add_row(t, std::to_string(pool), r);
     }
     t.print(std::cout, "Pool-size sweep (max_batch 8, FIFO)");
@@ -138,8 +167,7 @@ int main(int argc, char** argv) {
          {SchedulePolicy::kFifo, SchedulePolicy::kShortestJobFirst}) {
       PoolConfig cfg = base_config();
       cfg.policy = policy;
-      const ServeReport r =
-          AcceleratorPool(cfg).serve(make_trace(kRequests, kMeanGap));
+      const ServeReport r = serve_queue(cfg, make_trace(kRequests, kMeanGap));
       add_row(t, to_string(policy), r);
     }
     t.print(std::cout, "Scheduling policy (4 accelerators, max_batch 8)");
@@ -194,7 +222,7 @@ int main(int argc, char** argv) {
       cfg.num_threads = threads;
       cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/60000};
       cfg.batching.continuous_admission = true;
-      return AcceleratorPool(cfg).serve(bursty_trace(priority_classes));
+      return serve_queue(cfg, bursty_trace(priority_classes));
     };
 
     const ServeReport fifo = serve(SchedulePolicy::kFifo, false, 1);
@@ -260,14 +288,9 @@ int main(int argc, char** argv) {
     // routing prices each (batch, device) pair with the cache-aware
     // roofline and sends decode to `hbm` and prefill to `big`;
     // round-robin alternates blindly and pays the mismatch.
-    const auto serve_fleet = [&](RoutePolicy routing, int threads) {
-      PoolConfig cfg = mixed_fleet_pool_config(routing);
-      cfg.num_threads = threads;
-      return AcceleratorPool(cfg).serve(mixed_fleet_trace());
-    };
-    const ServeReport rr = serve_fleet(RoutePolicy::kRoundRobin, 1);
-    const ServeReport cost = serve_fleet(RoutePolicy::kLeastCost, 1);
-    const ServeReport cost8 = serve_fleet(RoutePolicy::kLeastCost, 8);
+    const ServeReport rr = run_scenario("fleet_round_robin");
+    const ServeReport cost = run_scenario("fleet_least_cost");
+    const ServeReport cost8 = run_scenario("fleet_least_cost", 8);
 
     Table t({"routing", "req/Mcycle", "slo_%", "p99", "makespan", "util_%"});
     const auto fleet_row = [&t](const std::string& label,
@@ -320,25 +343,11 @@ int main(int argc, char** argv) {
     // dispatch (ChunkPolicy) re-enters the scheduler between tile-aligned
     // chunks, so an urgent decode batch waits out at most one chunk
     // instead of the whole prefill.
-    const auto serve_chunked = [&](ChunkPolicy chunking, int threads) {
-      PoolConfig cfg = chunked_prefill_pool_config(chunking);
-      cfg.num_threads = threads;
-      return AcceleratorPool(cfg).serve(chunked_prefill_trace());
-    };
-    const ServeReport whole = serve_chunked(ChunkPolicy::kNone, 1);
-    const ServeReport chunked = serve_chunked(ChunkPolicy::kDeadlineAware, 1);
+    const ServeReport whole = run_scenario("chunked_prefill_whole");
+    const ServeReport chunked = run_scenario("chunked_prefill_deadline_aware");
     const ServeReport chunked8 =
-        serve_chunked(ChunkPolicy::kDeadlineAware, 8);
+        run_scenario("chunked_prefill_deadline_aware", 8);
 
-    // Decode-side tail latency: merge the decode workloads' samples (the
-    // prefill rides in the same report but has its own loose budget).
-    const auto decode_p99 = [](const ServeReport& r) {
-      Histogram decode;
-      for (const auto& [name, g] : r.by_workload()) {
-        if (name.rfind("decode", 0) == 0) decode.merge(g.latency);
-      }
-      return decode.percentile_or(99);
-    };
     const auto decode_blocking_p99 = [](const ServeReport& r) {
       Histogram blocking;
       for (const auto& [name, g] : r.by_workload()) {
@@ -401,14 +410,9 @@ int main(int argc, char** argv) {
     // difference is whether the router *sees* it. Blind least-cost ties on
     // the identical devices and piles onto node 0 in index order;
     // aware routing prices live node demand and spreads.
-    const auto serve_contended = [&](bool congestion_aware, int threads) {
-      PoolConfig cfg = fleet_contention_pool_config(congestion_aware);
-      cfg.num_threads = threads;
-      return AcceleratorPool(cfg).serve(fleet_contention_trace());
-    };
-    const ServeReport blind = serve_contended(false, 1);
-    const ServeReport aware = serve_contended(true, 1);
-    const ServeReport aware8 = serve_contended(true, 8);
+    const ServeReport blind = run_scenario("fleet_contention_blind");
+    const ServeReport aware = run_scenario("fleet_contention_aware");
+    const ServeReport aware8 = run_scenario("fleet_contention_aware", 8);
 
     Table t({"routing", "slo_%", "p50", "p99", "contended", "hop_disp"});
     const auto contention_row = [&t](const std::string& label,
@@ -450,6 +454,65 @@ int main(int argc, char** argv) {
     if (!contention_deterministic || !aware_wins_slo) return 1;
   }
 
+  // ---- prefill/decode disaggregation: whole-network serving ----------
+  {
+    // The serve/scenarios disaggregation scenario: "gen" requests are
+    // two-stage chains (128-token prefill feeding a one-token decode over
+    // the fabric) sharing the fleet with dominant single-stage interactive
+    // decode. Hardware is identical in both runs — 2x big prefill-shaped
+    // arrays on node 0, 2x fast decode-shaped members on node 1; the only
+    // difference is the StageAffinity knob. Unified (kNone): when both big
+    // arrays are mid-prefill, the next prefill stage lands on an idle
+    // decode member and blocks interactive decode for the whole dispatch.
+    // Split (kStrict): prefill waits for a prefill member, decode members
+    // never serve anything else, and the decode tail tightens.
+    const ServeReport unified = run_scenario("disagg_prefill_decode_unified");
+    const ServeReport split = run_scenario("disagg_prefill_decode_split");
+    const ServeReport split8 = run_scenario("disagg_prefill_decode_split", 8);
+
+    Table t({"pools", "slo_%", "decode_p99", "p99", "handoffs", "stages"});
+    const auto disagg_row = [&t](const std::string& label,
+                                 const ServeReport& r) {
+      i64 handoff_requests = 0;
+      i64 stage_rows = static_cast<i64>(r.records.num_stage_rows());
+      for (const RequestRecord& rec : r.records) {
+        if (rec.handoff_cycles > 0) ++handoff_requests;
+      }
+      t.row()
+          .cell(label)
+          .cell(100.0 * r.slo_attainment(), 1)
+          .cell(decode_p99(r))
+          .cell(r.latency().percentile_or(99))
+          .cell(handoff_requests)
+          .cell(stage_rows);
+    };
+    disagg_row("unified", unified);
+    disagg_row("split", split);
+    t.print(std::cout,
+            "Prefill/decode disaggregation (2x prefill64x64 + 2x "
+            "decode32x32, two-stage gen + decode, EDF)");
+    std::cout << "\nDisaggregated pools, per-workload breakdown:\n"
+              << split.summary() << "\n";
+
+    const bool disagg_deterministic =
+        split.makespan_cycles == split8.makespan_cycles &&
+        split.slo_attainment() == split8.slo_attainment() &&
+        decode_p99(split) == decode_p99(split8);
+    std::cout << "split-pool numbers identical for 1 and 8 threads: "
+              << (disagg_deterministic ? "yes" : "NO") << "\n";
+    const bool split_wins_p99 = decode_p99(split) < decode_p99(unified);
+    const bool split_wins_slo =
+        split.slo_attainment() > unified.slo_attainment();
+    std::cout << "disaggregated pools beat unified on p99 decode latency: "
+              << (split_wins_p99 ? "yes" : "NO") << " (" << decode_p99(split)
+              << " vs " << decode_p99(unified) << " cycles)\n"
+              << "disaggregated pools beat unified on SLO attainment: "
+              << (split_wins_slo ? "yes" : "NO") << " ("
+              << fmt_double(100.0 * split.slo_attainment(), 1) << "% vs "
+              << fmt_double(100.0 * unified.slo_attainment(), 1) << "%)\n\n";
+    if (!disagg_deterministic || !split_wins_p99 || !split_wins_slo) return 1;
+  }
+
   // ---- determinism across thread counts ------------------------------
   {
     Table t({"threads", "p50", "p95", "p99", "makespan", "wall_ms"});
@@ -459,7 +522,7 @@ int main(int argc, char** argv) {
     for (int threads : {1, 8}) {
       PoolConfig cfg = base_config();
       cfg.num_threads = threads;
-      reports[i] = AcceleratorPool(cfg).serve(make_trace(kRequests, kMeanGap));
+      reports[i] = serve_queue(cfg, make_trace(kRequests, kMeanGap));
       const ServeReport& r = reports[i];
       latencies[i] = r.latency();
       t.row()
@@ -492,7 +555,8 @@ int main(int argc, char** argv) {
   obs::MetricsProbe metrics(&registry);
   if (!trace_path.empty()) pool.add_probe(&trace);
   if (!metrics_path.empty()) pool.add_probe(&metrics);
-  const ServeReport r = pool.serve(make_trace(kRequests, kMeanGap));
+  RequestQueue reference_trace = make_trace(kRequests, kMeanGap);
+  const ServeReport r = pool.serve(reference_trace);
   std::cout << "Reference configuration summary:\n" << r.summary();
   if (!trace_path.empty()) {
     if (!trace.write_file(trace_path)) {

@@ -46,6 +46,25 @@ GATED_METRICS = {
     "weight_cache_hit_pct": "higher",
 }
 
+# Scenario-scoped gated metrics: scenarios whose name starts with the
+# prefix gate these *additional* metrics (same simulated-cycle rules as
+# GATED_METRICS). The disagg scenarios publish the interactive decode tail
+# their runtime-enforced claim is scored on — the artifact must gate it
+# too, but only where it is emitted; the key is informational (not
+# unclassified) everywhere else.
+SCENARIO_GATED_METRICS = {
+    "disagg_prefill_decode": {"decode_p99_cycles": "lower"},
+}
+
+
+def gated_metrics_for(scenario_name):
+    """The full gate map for one scenario: global + scenario-scoped."""
+    metrics = dict(GATED_METRICS)
+    for prefix, extra in SCENARIO_GATED_METRICS.items():
+        if scenario_name.startswith(prefix):
+            metrics.update(extra)
+    return metrics
+
 # Informational metrics: printed in the delta table for the trajectory,
 # NEVER a gate. Two families live here: counts (a count change is a
 # behaviour change, but the cycle metrics above already catch harmful
@@ -80,6 +99,9 @@ def is_informational(metric):
         metric in INFORMATIONAL_METRICS
         or metric.startswith("wall_")
         or metric.startswith("rss_")
+        # Scenario-scoped gates are classified: they gate inside their
+        # scenarios and inform (without an "unclassified" note) elsewhere.
+        or any(metric in extra for extra in SCENARIO_GATED_METRICS.values())
     )
 
 
@@ -127,8 +149,10 @@ def compare(baseline_path, current_path, tolerance_pct):
         # Every gated metric must exist on both sides: a gate that quietly
         # disappears from the bench (or was never in the baseline) is a
         # gate that can never fire again, so its absence fails loudly,
-        # naming the side that lost it.
-        for metric in GATED_METRICS:
+        # naming the side that lost it. The map is per-scenario: scoped
+        # gates only bind where their prefix matches.
+        gates = gated_metrics_for(name)
+        for metric in gates:
             for side, doc, path in (("baseline", b, baseline_path),
                                     ("current", c, current_path)):
                 if metric not in doc:
@@ -141,7 +165,7 @@ def compare(baseline_path, current_path, tolerance_pct):
                     )
         metrics = [k for k in b if k != "name"]
         for metric in metrics:
-            direction = GATED_METRICS.get(metric)
+            direction = gates.get(metric)
             if (
                 direction is None
                 and not is_informational(metric)
@@ -224,8 +248,24 @@ def list_classification(baseline_path):
     gated = informational = 0
     for metric in sorted(carriers):
         direction = GATED_METRICS.get(metric)
+        scoped = {
+            d
+            for n in carriers[metric]
+            for d in [gated_metrics_for(n).get(metric)]
+            if d is not None and GATED_METRICS.get(metric) is None
+        }
         if direction is not None:
             classification = f"GATED ({direction} is better)"
+            gated += 1
+        elif scoped:
+            gating = [
+                n for n in carriers[metric]
+                if gated_metrics_for(n).get(metric) is not None
+            ]
+            classification = (
+                f"GATED in {len(gating)}/{len(carriers[metric])} "
+                f"({next(iter(scoped))} is better)"
+            )
             gated += 1
         elif is_informational(metric):
             classification = "informational"
@@ -327,6 +367,28 @@ def self_test():
         "unclassified metric informs, never gates",
         _scenario(brand_new_metric=1),
         _scenario(brand_new_metric=1000), 0, "not classified")
+    # Scenario-scoped gates: decode_p99_cycles gates inside the disagg
+    # scenarios, informs (no unclassified note) everywhere else.
+    disagg = _scenario(name="disagg_prefill_decode_split",
+                       decode_p99_cycles=1000)
+    ok &= _run_case(
+        "scoped gate regression fails",
+        disagg,
+        _scenario(name="disagg_prefill_decode_split",
+                  decode_p99_cycles=1100), 1, "decode_p99_cycles")
+    ok &= _run_case(
+        "scoped gate improvement passes",
+        disagg,
+        _scenario(name="disagg_prefill_decode_split",
+                  decode_p99_cycles=500), 0)
+    missing_scoped = _scenario(name="disagg_prefill_decode_split")
+    ok &= _run_case(
+        "scoped gated metric missing from current fails",
+        disagg, missing_scoped, 1, "missing from current")
+    ok &= _run_case(
+        "scoped key outside its scenarios never gates",
+        _scenario(decode_p99_cycles=100),
+        _scenario(decode_p99_cycles=10000), 0)
     ok &= _list_case()
     print("self-test:", "OK" if ok else "FAIL")
     return 0 if ok else 1

@@ -77,13 +77,17 @@ def validate_doc(doc, path):
                 return fail(f"event {i} ('X' span) has bad dur {dur!r}")
             args = e.get("args")
             if isinstance(args, dict) and "batch" in args and "chunk" in args:
+                # A multi-stage request reuses its id as the batch id of
+                # every stage's batch, so stage (0 when absent — stage-0
+                # spans omit the key) is part of the chunk's identity.
                 ident = (e.get("pid"), e.get("tid"), args["batch"],
-                         args["chunk"])
+                         args["chunk"], args.get("stage", 0))
                 if ident in seen_complete_ids:
                     return fail(
                         f"event {i} ('X' span) duplicates complete-event id "
                         f"pid={ident[0]} tid={ident[1]} batch={ident[2]} "
-                        f"chunk={ident[3]} — the same chunk retired twice "
+                        f"chunk={ident[3]} stage={ident[4]} "
+                        "— the same chunk retired twice "
                         "(stale completion-calendar entry re-fired)"
                     )
                 seen_complete_ids.add(ident)
@@ -156,12 +160,14 @@ def _doc(events):
     return {"traceEvents": events}
 
 
-def _span(ts=0, dur=10, pid=0, tid=0, batch=1, chunk=0):
+def _span(ts=0, dur=10, pid=0, tid=0, batch=1, chunk=0, stage=None):
+    args = {"batch": batch, "chunk": chunk, "m": 1, "size": 1, "final": 1}
+    if stage is not None:  # successor-stage spans carry the stage index
+        args["stage"] = stage
     return {
         "ph": "X", "pid": pid, "tid": tid, "ts": ts, "dur": dur,
         "cat": "exec", "name": f"b{batch}/c{chunk}",
-        "args": {"batch": batch, "chunk": chunk, "m": 1, "size": 1,
-                 "final": 1},
+        "args": args,
     }
 
 
@@ -200,6 +206,13 @@ def self_test():
         ("same batch, later chunk passes",
          _doc([_span(ts=0, batch=7, chunk=0), _span(ts=5, batch=7, chunk=1)]),
          0, None),
+        ("same batch id, successor stage passes",
+         _doc([_span(ts=0, batch=7, chunk=0),
+               _span(ts=5, batch=7, chunk=0, stage=1)]), 0, None),
+        ("duplicate successor-stage chunk fails",
+         _doc([_span(ts=0, batch=7, chunk=0, stage=1),
+               _span(ts=5, batch=7, chunk=0, stage=1)]), 1,
+         "retired twice"),
         ("contend instants without node tracks fail",
          _doc([_contend()]), 1, "node<i>:dram"),
         ("contention-enabled trace passes",

@@ -184,8 +184,13 @@ void TraceSink::on_chunk_retire(const RetireInfo& info) {
   os << "{\"ph\":\"X\",\"pid\":" << kDevicesPid << ",\"tid\":"
      << info.device << ",\"ts\":" << info.dispatch_cycle << ",\"dur\":"
      << dur << ",\"cat\":\"exec\",\"name\":\"b" << id << "/c" << ordinal
-     << "\",\"args\":{\"batch\":" << id << ",\"chunk\":" << ordinal
-     << ",\"m\":" << info.chunk_m << ",\"size\":" << info.batch->size()
+     << "\",\"args\":{\"batch\":" << id << ",\"chunk\":" << ordinal;
+  // Successor-stage batches carry their stage index; stage-0 traffic omits
+  // the key so single-stage traces stay byte-identical to pre-stage runs.
+  if (!info.batch->members.empty() && info.batch->members.front().stage > 0) {
+    os << ",\"stage\":" << info.batch->members.front().stage;
+  }
+  os << ",\"m\":" << info.chunk_m << ",\"size\":" << info.batch->size()
      << ",\"final\":" << (info.final_chunk ? 1 : 0) << "}}";
   emit(os.str());
   if (!info.final_chunk && open_gaps_.insert(id).second) {

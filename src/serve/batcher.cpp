@@ -34,9 +34,11 @@ void Batch::absorb(const Request& r, std::uint32_t row) {
              " of M=", gemm.M, ")");
   AXON_CHECK(r.gemm.K == gemm.K && r.gemm.N == gemm.N,
              "absorb requires matching (K, N)");
+  AXON_CHECK(r.stage_class == stage_class,
+             "absorb requires matching stage class");
   gemm.M += r.gemm.M;
   tighten_aggregates(r, earliest_deadline, top_priority);
-  members.push_back({r.id, row});
+  members.push_back({r.id, row, r.stage});
 }
 
 Batch DynamicBatcher::close_group(const Key& key, Group&& group,
@@ -46,7 +48,8 @@ Batch DynamicBatcher::close_group(const Key& key, Group&& group,
   // a straight transfer — no member walk, members carry no shape to walk.
   Batch b;
   b.open_cycle = group.oldest_admit;
-  b.gemm = {group.merged_m, key.first, key.second};
+  b.gemm = {group.merged_m, std::get<0>(key), std::get<1>(key)};
+  b.stage_class = std::get<2>(key);
   b.earliest_deadline = group.earliest_deadline;
   b.top_priority = group.top_priority;
   b.members = std::move(group.members);
@@ -57,7 +60,7 @@ Batch DynamicBatcher::close_group(const Key& key, Group&& group,
 void DynamicBatcher::admit(const Request& r, i64 now, std::uint32_t row) {
   AXON_CHECK(r.gemm.valid(), "request GEMM invalid: ", r.gemm);
   AXON_CHECK(now >= r.arrival_cycle, "admit before arrival");
-  const Key key{r.gemm.K, r.gemm.N};
+  const Key key{r.gemm.K, r.gemm.N, r.stage_class};
   Group& group = open_[key];
   if (group.members.empty()) {
     group.oldest_admit = now;
@@ -70,7 +73,7 @@ void DynamicBatcher::admit(const Request& r, i64 now, std::uint32_t row) {
   }
   group.merged_m += r.gemm.M;
   tighten_aggregates(r, group.earliest_deadline, group.top_priority);
-  group.members.push_back({r.id, row});
+  group.members.push_back({r.id, row, r.stage});
   if (static_cast<int>(group.members.size()) >= policy_.max_batch) {
     ready_.push_back(close_group(key, std::move(group), now));
     open_.erase(key);
@@ -127,8 +130,9 @@ std::vector<DynamicBatcher::OpenGroupView> DynamicBatcher::open_views()
   views.reserve(open_.size());
   for (const auto& [key, group] : open_) {
     OpenGroupView v;
-    v.K = key.first;
-    v.N = key.second;
+    v.K = std::get<0>(key);
+    v.N = std::get<1>(key);
+    v.cls = std::get<2>(key);
     v.merged_m = group.merged_m;
     v.oldest_admit = group.oldest_admit;
     v.earliest_deadline = group.earliest_deadline;
@@ -139,10 +143,10 @@ std::vector<DynamicBatcher::OpenGroupView> DynamicBatcher::open_views()
   return views;
 }
 
-Batch DynamicBatcher::close_open(i64 K, i64 N, i64 now) {
-  const auto it = open_.find(Key{K, N});
+Batch DynamicBatcher::close_open(i64 K, i64 N, StageClass cls, i64 now) {
+  const auto it = open_.find(Key{K, N, cls});
   AXON_CHECK(it != open_.end(), "close_open(): no open group for (", K, ", ",
-             N, ")");
+             N, ", ", to_string(cls), ")");
   Batch b = close_group(it->first, std::move(it->second), now);
   open_.erase(it);
   return b;

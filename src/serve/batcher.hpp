@@ -13,6 +13,7 @@
 #include <deque>
 #include <map>
 #include <queue>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -44,13 +45,21 @@ struct BatchPolicy {
 struct BatchMember {
   i64 id = 0;
   std::uint32_t row = 0;
+  /// Stage index of the member's request within its workload's chain
+  /// (0 for all single-stage traffic) — the retire path needs it to admit
+  /// the successor stage. Rides in what was padding: still 16 bytes.
+  std::uint16_t stage = 0;
 };
 
-/// A closed batch: members share (K, N); the merged GEMM concatenates
-/// their Ms.
+/// A closed batch: members share (K, N) and stage class; the merged GEMM
+/// concatenates their Ms.
 struct Batch {
   std::vector<BatchMember> members;
   GemmShape gemm;       ///< M = sum of member Ms
+  /// Stage class shared by every member — part of the grouping key, so
+  /// prefill-class and decode-class stages never coalesce even on a
+  /// shared (K, N), and StageAffinity routing can steer whole batches.
+  StageClass stage_class = StageClass::kGeneral;
   i64 open_cycle = 0;   ///< simulated cycle its group took its first member
   i64 ready_cycle = 0;  ///< simulated cycle the batch closed
   /// Earliest member deadline, or -1 when no member has an SLO — the key
@@ -119,6 +128,7 @@ class DynamicBatcher {
   struct OpenGroupView {
     i64 K = 0;                   ///< group key
     i64 N = 0;
+    StageClass cls = StageClass::kGeneral;  ///< group key (stage class)
     i64 merged_m = 0;            ///< sum of member Ms (for cost estimates)
     i64 oldest_admit = 0;
     i64 earliest_deadline = -1;  ///< min member deadline, -1 when none
@@ -130,14 +140,14 @@ class DynamicBatcher {
     [[nodiscard]] GemmShape merged_gemm() const { return {merged_m, K, N}; }
   };
 
-  /// Views of every open group, in (K, N) key order (deterministic).
+  /// Views of every open group, in (K, N, class) key order (deterministic).
   /// Aggregates are maintained incrementally at admit time, so this is a
   /// copy of per-group scalars — O(open groups), never O(open requests).
   [[nodiscard]] std::vector<OpenGroupView> open_views() const;
 
   /// Closes and returns the open group with the given key; requires that
   /// such a group exists (take the key from open_views()).
-  Batch close_open(i64 K, i64 N, i64 now);
+  Batch close_open(i64 K, i64 N, StageClass cls, i64 now);
 
   [[nodiscard]] bool has_open() const { return !open_.empty(); }
 
@@ -163,7 +173,7 @@ class DynamicBatcher {
     i64 earliest_deadline = -1;
     int top_priority = 0;
   };
-  using Key = std::pair<i64, i64>;  ///< (K, N)
+  using Key = std::tuple<i64, i64, StageClass>;  ///< (K, N, stage class)
 
   /// Timeout-calendar entry for one group *instance*. A group closes by
   /// max_batch / timeout / continuous admission without touching the

@@ -5,6 +5,7 @@
 #include <future>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,52 @@ std::string to_string(ChunkPolicy policy) {
       return "deadline-aware";
   }
   return "?";
+}
+
+std::string to_string(StageAffinity affinity) {
+  switch (affinity) {
+    case StageAffinity::kNone:
+      return "none";
+    case StageAffinity::kPreferred:
+      return "preferred";
+    case StageAffinity::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+void PoolConfig::validate() const {
+  AXON_CHECK(num_threads >= 1, "pool needs >= 1 worker thread");
+  if (fleet.empty()) {
+    AXON_CHECK(num_accelerators >= 1, "pool needs >= 1 accelerator");
+  }
+  AXON_CHECK(batching.max_batch >= 1, "batching needs max_batch >= 1");
+  AXON_CHECK(batching.max_wait_cycles >= 0,
+             "batching needs a non-negative max_wait_cycles");
+  AXON_CHECK(chunking == ChunkPolicy::kNone || chunk_tiles > 0,
+             to_string(chunking),
+             " chunking needs a positive chunk_tiles quantum");
+  AXON_CHECK(!congestion_aware || topology.enabled(),
+             "congestion_aware routing needs a NodeTopology — without one "
+             "the router has no node demand to read");
+  const std::size_t members =
+      fleet.empty() ? static_cast<std::size_t>(num_accelerators > 0
+                                                   ? num_accelerators
+                                                   : 0)
+                    : fleet.size();
+  AXON_CHECK(!topology.enabled() || topology.device_node.size() == members,
+             "topology.device_node maps ", topology.device_node.size(),
+             " devices but the fleet has ", members);
+  if (stage_affinity != StageAffinity::kNone) {
+    bool any_typed = false;
+    for (const AcceleratorSpec& spec : fleet) {
+      any_typed = any_typed || spec.serves != StageClass::kGeneral;
+    }
+    AXON_CHECK(any_typed, to_string(stage_affinity),
+               " stage affinity needs at least one fleet member with a "
+               "non-general `serves` class; on an all-general fleet the "
+               "knob would silently do nothing");
+  }
 }
 
 namespace {
@@ -305,6 +352,7 @@ i64 AcceleratorPool::contended_cost(std::size_t device, const GemmShape& gemm,
 
 ServeReport AcceleratorPool::serve(TraceSource& source) {
   const auto wall_start = std::chrono::steady_clock::now();
+  config_.validate();
 
   const std::size_t fleet_size = fleet_.size();
   DynamicBatcher batcher(config_.batching);
@@ -362,6 +410,47 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
   // way there.
   report.records.reserve(source.size_hint());
 
+  // Multi-stage (StageChain) machinery. `chains` reads the report's own
+  // registry copy (stable for the whole run); on a pre-chain trace
+  // multi_stage is false and everything below is inert — the retire path
+  // pays one flag check per member and the record stream stays
+  // byte-identical.
+  const WorkloadRegistry& chains = report.workloads;
+  const bool multi_stage = chains.multi_stage();
+  // Successor stages waiting to re-enter admission, min-heaped by
+  // (arrival cycle, request id) and merged against the trace source's
+  // arrival stream — a re-admitted stage is an arrival like any other.
+  struct Readmit {
+    Request req;
+    std::uint32_t row = 0;  ///< the request's record row, written at stage 0
+  };
+  struct ReadmitLater {
+    bool operator()(const Readmit& a, const Readmit& b) const {
+      if (a.req.arrival_cycle != b.req.arrival_cycle) {
+        return a.req.arrival_cycle > b.req.arrival_cycle;
+      }
+      return a.req.id > b.req.id;
+    }
+  };
+  std::priority_queue<Readmit, std::vector<Readmit>, ReadmitLater> readmits;
+  // Cross-stage running aggregates per in-flight chained request, keyed by
+  // record row: created at the first stage's retire, folded into the record
+  // (complete_stages) and erased at the last stage's.
+  struct StageProgress {
+    i64 stage_arrival = 0;  ///< current stage's admission cycle
+    i64 handoff = 0;
+    i64 batch_wait = 0;
+    i64 queue_wait = 0;
+    i64 service = 0;
+    i64 preempt = 0;
+  };
+  std::unordered_map<std::uint32_t, StageProgress> stage_progress;
+  // Chained requests admitted but not fully retired. While any is in
+  // flight the batcher must not flush open groups early — a successor
+  // stage may still arrive to fill them — even once the source itself is
+  // exhausted.
+  i64 chained_inflight = 0;
+
   // Observability: probes see every serve-loop event from this thread, in
   // event order (obs/probe.hpp); the profiler accounts wall time by loop
   // phase when self_profile is set. Neither touches simulated cycles.
@@ -380,47 +469,73 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
 
   i64 now = 0;
 
+  // One request — a fresh trace arrival or a re-admitted successor stage —
+  // enters the batcher/scheduler path. `row` is the request's record row
+  // (fresh arrivals write it before calling; successors reuse theirs).
+  const auto admit_one = [&](const Request& r, std::uint32_t row) {
+    for (obs::PoolProbe* p : probes_) p->on_enqueue(r, now);
+    if (config_.batching.continuous_admission) {
+      // Continuous admission, join side: a closed-but-undispatched batch
+      // with the same weights, the same stage class, and spare seats takes
+      // the late arrival directly — no reason to start a fresh group and
+      // wait out max_wait again. The index hands back the earliest-pushed
+      // match (the seed's first-match-in-ready-order). A partially
+      // executed batch (re-queued between chunks) is not joinable: its
+      // membership froze at first dispatch (Batch::absorb rejects it), so
+      // the arrival starts or joins an ordinary group instead.
+      const i64 slot = ready.find_joinable(r.gemm.K, r.gemm.N, r.stage_class);
+      if (slot >= 0) {
+        const i64 joined_id = r.id;
+        Batch& b = ready.batch(slot);
+        b.absorb(r, row);
+        ready.joined(slot, estimate_cycles(b));
+        for (obs::PoolProbe* p : probes_) p->on_join(b, joined_id, now);
+        return;
+      }
+    }
+    batcher.admit(r, r.arrival_cycle, row);
+  };
+
   const auto admit_and_collect = [&] {
     const auto phase = profiler.time(obs::ServePhase::kAdmit);
-    // next_arrival() < 0 means nothing poppable: the source is exhausted,
-    // or (closed loop with feedback) every client is blocked on an
-    // in-flight request — the loop advances on completions instead.
-    for (i64 a; (a = source.next_arrival()) >= 0 && a <= now;) {
-      Request r = source.pop();
-      const i64 arrival = r.arrival_cycle;
-      for (obs::PoolProbe* p : probes_) p->on_enqueue(r, now);
-      // File the request's immutable record fields now, in admission order;
-      // queued batches carry only {id, row} and retire completes the row in
-      // place. finalize() sorts records by id, so the streamed write order
-      // is invisible externally.
-      const std::uint32_t row = report.records.push_admitted(r);
-      if (config_.batching.continuous_admission) {
-        // Continuous admission, join side: a closed-but-undispatched batch
-        // with the same weights and spare seats takes the late arrival
-        // directly — no reason to start a fresh group and wait out
-        // max_wait again. The index hands back the earliest-pushed match
-        // (the seed's first-match-in-ready-order). A partially executed
-        // batch (re-queued between chunks) is not joinable: its membership
-        // froze at first dispatch (Batch::absorb rejects it), so the
-        // arrival starts or joins an ordinary group instead.
-        const i64 slot = ready.find_joinable(r.gemm.K, r.gemm.N);
-        if (slot >= 0) {
-          const i64 joined_id = r.id;
-          Batch& b = ready.batch(slot);
-          b.absorb(r, row);
-          ready.joined(slot, estimate_cycles(b));
-          for (obs::PoolProbe* p : probes_) p->on_join(b, joined_id, now);
-          continue;
-        }
+    // Merge due successor-stage re-admissions with due trace arrivals in
+    // arrival-cycle order; a successor beats a fresh arrival on a tie (it
+    // has been in the system longer). next_arrival() < 0 means nothing
+    // poppable: the source is exhausted, or (closed loop with feedback)
+    // every client is blocked on an in-flight request — the loop advances
+    // on completions instead.
+    for (;;) {
+      const i64 sa = source.next_arrival();
+      const bool src_due = sa >= 0 && sa <= now;
+      const bool re_due =
+          !readmits.empty() && readmits.top().req.arrival_cycle <= now;
+      if (!src_due && !re_due) break;
+      if (re_due && (!src_due || readmits.top().req.arrival_cycle <= sa)) {
+        const Readmit rm = readmits.top();
+        readmits.pop();
+        admit_one(rm.req, rm.row);
+        continue;
       }
-      batcher.admit(r, arrival, row);
+      Request r = source.pop();
+      // File the request's immutable record fields now, in admission order;
+      // queued batches carry only {id, row, stage} and retire completes the
+      // row in place. finalize() sorts records by id, so the streamed write
+      // order is invisible externally.
+      const std::uint32_t row = report.records.push_admitted(r);
+      if (multi_stage && chains.num_stages(r.workload) > 1) {
+        ++chained_inflight;
+      }
+      admit_one(r, row);
     }
-    // Once the trace is exhausted nothing can fill an open group, so close
-    // them at the current cycle instead of waiting out max_wait. A merely
-    // blocked source (feedback closed loop, all clients in flight) is NOT
+    // Once the trace is exhausted — and no chained request can re-admit a
+    // successor stage — nothing can fill an open group, so close them at
+    // the current cycle instead of waiting out max_wait. A merely blocked
+    // source (feedback closed loop, all clients in flight) is NOT
     // exhausted — its re-issues may still fill open groups.
+    const bool drained =
+        source.exhausted() && readmits.empty() && chained_inflight == 0;
     std::vector<Batch> closed =
-        source.exhausted() ? batcher.flush(now) : batcher.pop_ready(now);
+        drained ? batcher.flush(now) : batcher.pop_ready(now);
     for (auto& b : closed) {
       for (obs::PoolProbe* p : probes_) p->on_batch_formed(b, now);
       const i64 estimate = estimate_cycles(b);
@@ -457,16 +572,48 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
     repriced.clear();
   };
 
+  // StageAffinity: whether fleet member `dev` may run a batch of stage
+  // class `cls`. A general batch runs anywhere and a general member takes
+  // anything — only a typed batch meeting a typed member must match.
+  const auto serves_class = [&](std::size_t dev, StageClass cls) {
+    const StageClass s = fleet_[dev].serves;
+    return cls == StageClass::kGeneral || s == StageClass::kGeneral ||
+           s == cls;
+  };
+  const auto any_matching_idle = [&](StageClass cls) {
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+      if (!busy[i] && serves_class(i, cls)) return true;
+    }
+    return false;
+  };
+
   // Routing: the schedule policy decided *what* runs next; this decides
-  // *where*. Only called with at least one idle device.
-  const auto route_device = [&](const GemmShape& gemm) -> std::size_t {
+  // *where*. Only called with at least one idle device (and, under
+  // kStrict, at least one *matching* idle device — the dispatch site
+  // stashes the batch otherwise).
+  const auto route_device = [&](const GemmShape& gemm,
+                                StageClass cls) -> std::size_t {
+    // Affinity filter ahead of the route policy: under kPreferred the
+    // candidate set narrows to matching idle members when any exist and
+    // silently widens back to every idle member when none do; under
+    // kStrict the caller guaranteed a match. kNone never filters — the
+    // pre-affinity router, bit for bit.
+    bool filter = false;
+    if (config_.stage_affinity != StageAffinity::kNone) {
+      filter = any_matching_idle(cls);
+      AXON_CHECK(filter || config_.stage_affinity != StageAffinity::kStrict,
+                 "strict-affinity dispatch with no matching idle member");
+    }
+    const auto eligible = [&](std::size_t i) {
+      return !busy[i] && (!filter || serves_class(i, cls));
+    };
     switch (config_.routing) {
       case RoutePolicy::kFirstFree:
         break;  // fall through to the index scan below
       case RoutePolicy::kRoundRobin: {
         for (std::size_t off = 0; off < fleet_size; ++off) {
           const std::size_t idx = (round_robin_next + off) % fleet_size;
-          if (!busy[idx]) {
+          if (eligible(idx)) {
             round_robin_next = (idx + 1) % fleet_size;
             return idx;
           }
@@ -488,7 +635,7 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
         std::size_t best = fleet_size;
         i64 best_cost = 0;
         for (std::size_t i = 0; i < fleet_size; ++i) {
-          if (busy[i]) continue;
+          if (!eligible(i)) continue;
           const bool resident = caches[i].contains(gemm.K, gemm.N);
           const i64 cost =
               aware ? contended_cost(i, gemm, resident, arbiter.demand(i) + 1)
@@ -503,9 +650,9 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       }
     }
     for (std::size_t i = 0; i < fleet_size; ++i) {
-      if (!busy[i]) return i;
+      if (eligible(i)) return i;
     }
-    AXON_CHECK(false, "route_device() with no idle device");
+    AXON_CHECK(false, "route_device() with no eligible idle device");
     return 0;
   };
 
@@ -548,8 +695,15 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
   };
 
   const auto dispatch = [&] {
+    const bool strict = config_.stage_affinity == StageAffinity::kStrict;
+    // kStrict pop-and-stash: a picked batch whose stage class has no
+    // matching idle member parks here and re-enters the ready queue when
+    // the pass ends, to compete again at the next event. PickKeys derive
+    // from batch fields alone (ready cycle, first id, priority, estimate),
+    // so a re-pushed batch keeps exactly its old rank.
+    std::vector<Batch> blocked;
     for (;;) {
-      if (idle_devices == 0) return;
+      if (idle_devices == 0) break;
       Batch picked;
       {
         const auto phase = profiler.time(obs::ServePhase::kPick);
@@ -558,35 +712,50 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
         // max_batch/max_wait while capacity sits free. Open groups compete
         // with ready batches under the same key_better ordering, so an
         // urgent open group beats a lax ready batch and vice versa. Open
-        // groups are few (one per distinct (K, N) in flight), so the view
-        // scan is mix-bounded, not queue-depth-bounded.
+        // groups are few (one per distinct (K, N, class) in flight), so the
+        // view scan is mix-bounded, not queue-depth-bounded.
         const bool can_take_open =
             config_.batching.continuous_admission && batcher.has_open();
-        if (ready.empty() && !can_take_open) return;
+        if (ready.empty() && !can_take_open) break;
         bool from_open = false;
         if (can_take_open) {
           const auto views = batcher.open_views();
-          std::size_t best_view = 0;
-          for (std::size_t i = 1; i < views.size(); ++i) {
-            if (key_better(config_.policy, view_key(views[i]),
+          std::size_t best_view = views.size();
+          for (std::size_t i = 0; i < views.size(); ++i) {
+            // A strict-affinity group with no matching idle member cannot
+            // dispatch this pass; leave it open (still forming) rather
+            // than close it into a stranded batch.
+            if (strict && !any_matching_idle(views[i].cls)) continue;
+            if (best_view == views.size() ||
+                key_better(config_.policy, view_key(views[i]),
                            view_key(views[best_view]))) {
               best_view = i;
             }
           }
-          if (ready.empty() || key_better(config_.policy,
-                                          view_key(views[best_view]),
-                                          ready.best_key())) {
-            picked = batcher.close_open(views[best_view].K,
-                                        views[best_view].N, now);
+          if (best_view != views.size() &&
+              (ready.empty() || key_better(config_.policy,
+                                           view_key(views[best_view]),
+                                           ready.best_key()))) {
+            picked =
+                batcher.close_open(views[best_view].K, views[best_view].N,
+                                   views[best_view].cls, now);
             from_open = true;
             for (obs::PoolProbe* p : probes_) p->on_batch_formed(picked, now);
           }
         }
-        if (!from_open) picked = ready.pop_best();
+        if (!from_open) {
+          if (ready.empty()) break;
+          picked = ready.pop_best();
+        }
+      }
+      if (strict && !any_matching_idle(picked.stage_class)) {
+        blocked.push_back(std::move(picked));
+        continue;
       }
       // A dispatch that jumps ahead of a partially executed batch still
       // waiting in ready is a realized preemption — the event unchunked
-      // dispatch makes impossible.
+      // dispatch makes impossible. Counted only for batches that actually
+      // dispatch (a strict-affinity stash above is not a preemption).
       if (ready.has_partial()) {
         ++report.preemptions;
         for (obs::PoolProbe* p : probes_) p->on_preemption(now);
@@ -595,7 +764,7 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       std::size_t acc;
       {
         const auto phase = profiler.time(obs::ServePhase::kRoute);
-        acc = route_device(picked.remaining_gemm());
+        acc = route_device(picked.remaining_gemm(), picked.stage_class);
       }
       const auto phase = profiler.time(obs::ServePhase::kDispatch);
       f.accelerator = static_cast<int>(acc);
@@ -677,6 +846,12 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       }
       pending.push_back(std::move(f));
     }
+    // Stashed strict-affinity batches re-enter the ready queue; their
+    // matching members are all busy, so they wait for a retire to free one.
+    for (Batch& b : blocked) {
+      const i64 estimate = estimate_cycles(b);
+      ready.push(std::move(b), estimate);
+    }
   };
 
   for (;;) {
@@ -745,6 +920,9 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       if (t >= 0 && (next < 0 || t < next)) next = t;
     };
     consider(source.next_arrival());
+    // A successor stage's re-admission (completion + handoff of its
+    // predecessor) is an arrival event like any other.
+    if (!readmits.empty()) consider(readmits.top().req.arrival_cycle);
     consider(batcher.next_timeout());
     if (!completions.empty()) consider(completions.top().cycle);
     // A node whose streams' rates change on their own (earliest projected
@@ -803,14 +981,100 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
       } else {
         // Final chunk: the batch's members complete together now — the
         // shared fields file once in the batch table, each member's
-        // admission-time row just links to them.
+        // admission-time row just links to them. The batch-table row files
+        // lazily: a batch made up entirely of mid-chain stages is fully
+        // described by the per-stage table and links no request row here.
         const i64 batch_service = f.batch.service_cycles + busy_cycles;
-        const std::uint32_t batch_row = report.records.push_batch(
-            f.batch.ready_cycle, f.batch.first_dispatch_cycle,
-            f.completion_cycle, batch_service, f.batch.size(),
-            f.batch.chunks_run, f.accelerator);
+        std::uint32_t batch_row = 0;
+        bool batch_row_filed = false;
+        const auto file_batch_row = [&] {
+          if (!batch_row_filed) {
+            batch_row = report.records.push_batch(
+                f.batch.ready_cycle, f.batch.first_dispatch_cycle,
+                f.completion_cycle, batch_service, f.batch.size(),
+                f.batch.chunks_run, f.accelerator);
+            batch_row_filed = true;
+          }
+          return batch_row;
+        };
         for (const BatchMember& m : f.batch.members) {
-          report.records.complete_row(m.row, batch_row);
+          const std::size_t nstages =
+              multi_stage ? chains.num_stages(report.records.workload(m.row))
+                          : 1;
+          if (nstages > 1) {
+            // Chained member: fold this stage's latency terms into the
+            // request's running aggregates and file its per-stage row. The
+            // terms mirror the single-stage breakdown exactly, so the
+            // identity telescopes across the chain: latency == sum over
+            // stages of batch_wait + queue_wait + service + preempt_blocked
+            // plus the handoffs linking consecutive stages.
+            const auto [it, first_stage] = stage_progress.try_emplace(m.row);
+            StageProgress& sp = it->second;
+            if (first_stage) {
+              sp.stage_arrival = report.records.arrival_cycle(m.row);
+            }
+            const i64 arrival = sp.stage_arrival;
+            const i64 eff_ready = f.batch.ready_cycle > arrival
+                                      ? f.batch.ready_cycle
+                                      : arrival;
+            sp.batch_wait += eff_ready - arrival;
+            sp.queue_wait += f.batch.first_dispatch_cycle - eff_ready;
+            sp.service += batch_service;
+            sp.preempt += (f.completion_cycle - f.batch.first_dispatch_cycle) -
+                          batch_service;
+            RecordStore::StageRecord srec;
+            srec.id = m.id;
+            srec.stage = m.stage;
+            srec.arrival_cycle = arrival;
+            srec.ready_cycle = f.batch.ready_cycle;
+            srec.dispatch_cycle = f.batch.first_dispatch_cycle;
+            srec.completion_cycle = f.completion_cycle;
+            srec.service_cycles = batch_service;
+            srec.accelerator = f.accelerator;
+            const StageChain& chain =
+                chains.chain(report.records.workload(m.row));
+            if (static_cast<std::size_t>(m.stage) + 1 < chain.size()) {
+              // Successor stage: the activation (this stage's result
+              // matrix) ships over the fabric from the producing device's
+              // node, priced by the same hop model remote dispatch pays —
+              // zero without a topology or when the producer sits on the
+              // ingress node. The successor re-enters admission at
+              // completion + handoff and competes through the normal
+              // batcher/scheduler path like any arrival.
+              const i64 handoff =
+                  fabric_.enabled()
+                      ? fabric_.hop_cycles(
+                            static_cast<std::size_t>(f.accelerator),
+                            gemm_dram_traffic(chain[m.stage].gemm).ofmap_bytes)
+                      : 0;
+              srec.handoff_cycles = handoff;
+              sp.handoff += handoff;
+              Request next;
+              next.id = m.id;
+              next.workload = report.records.workload(m.row);
+              next.gemm = chain[m.stage + 1].gemm;
+              next.arrival_cycle = f.completion_cycle + handoff;
+              next.deadline_cycle = report.records.deadline_cycle(m.row);
+              next.priority = report.records.priority(m.row);
+              next.stage = static_cast<std::uint16_t>(m.stage + 1);
+              next.stage_class = chain[m.stage + 1].cls;
+              sp.stage_arrival = next.arrival_cycle;
+              report.records.push_stage(srec);
+              readmits.push({next, m.row});
+              continue;  // the request is still in flight; no retire yet
+            }
+            // Last stage: link the final batch, fold the aggregates into
+            // the record, and retire the chain.
+            report.records.push_stage(srec);
+            report.records.complete_row(m.row, file_batch_row());
+            report.records.complete_stages(
+                m.row, static_cast<int>(nstages), sp.handoff, sp.batch_wait,
+                sp.queue_wait, sp.service, sp.preempt);
+            stage_progress.erase(m.row);
+            --chained_inflight;
+          } else {
+            report.records.complete_row(m.row, file_batch_row());
+          }
           if (!probes_.empty()) {
             const RequestRecord rec = report.records[m.row];
             for (obs::PoolProbe* p : probes_) p->on_request_done(rec);
@@ -820,7 +1084,8 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
           // *observed* completion, not an estimate. Retire runs before the
           // next admit pass, so a re-issue landing at this very cycle is
           // admitted on the following loop iteration — after every
-          // completion due now has been filed.
+          // completion due now has been filed. Chained requests report
+          // once, at the end of their chain.
           source.on_complete(m.id, f.completion_cycle);
         }
         ++report.total_batches;
@@ -834,7 +1099,8 @@ ServeReport AcceleratorPool::serve(TraceSource& source) {
   }
 
   AXON_CHECK(source.exhausted() && batcher.idle() && ready.empty() &&
-                 completions.empty() && pending.empty(),
+                 completions.empty() && pending.empty() && readmits.empty() &&
+                 stage_progress.empty() && chained_inflight == 0,
              "serve loop exited with work outstanding");
 
   report.per_accelerator.resize(fleet_size);

@@ -60,6 +60,21 @@ enum class RoutePolicy {
 
 std::string to_string(RoutePolicy policy);
 
+/// How strongly routing honours each member's served stage class
+/// (AcceleratorSpec::serves) — the prefill/decode disaggregation knob.
+/// Orthogonal to RoutePolicy: affinity filters the candidate set, the
+/// route policy then picks within it. A kGeneral batch (all pre-chain
+/// traffic) matches every member, and a member with serves == kGeneral
+/// accepts every batch, so the default fleet is unchanged.
+enum class StageAffinity {
+  kNone,       ///< ignore stage classes entirely (the pre-PR router)
+  kPreferred,  ///< prefer matching idle members; fall back to any idle one
+  kStrict,     ///< disaggregated pools: a batch waits for a matching member
+               ///< rather than run on a mismatched one
+};
+
+std::string to_string(StageAffinity affinity);
+
 /// Whether (and when) long batches are dispatched as a sequence of
 /// tile-boundary chunks instead of one indivisible run. Unchunked dispatch
 /// is all-or-nothing: once a multi-M-tile prefill batch starts, an urgent
@@ -107,6 +122,10 @@ struct AcceleratorSpec {
   i64 dram_bytes_per_cycle = 64;
   /// Per-device LRU weight-cache capacity (serve/weight_cache); 0 disables.
   i64 weight_cache_bytes = 0;
+  /// Stage class this member serves under StageAffinity routing. kGeneral
+  /// (the default) accepts every batch; kPrefill/kDecode members form the
+  /// disaggregated pools the disagg_prefill_decode scenario demonstrates.
+  StageClass serves = StageClass::kGeneral;
 };
 
 struct PoolConfig {
@@ -130,6 +149,10 @@ struct PoolConfig {
   /// effect on simulated cycles, only on host wall-clock.
   ReadyQueueImpl ready_queue = ReadyQueueImpl::kIndexed;
   RoutePolicy routing = RoutePolicy::kFirstFree;
+  /// Stage-class affinity filter applied before `routing` picks among idle
+  /// members (see StageAffinity). kNone preserves the pre-affinity router
+  /// bit for bit.
+  StageAffinity stage_affinity = StageAffinity::kNone;
   ExecMode exec = ExecMode::kAnalytical;
   ChunkPolicy chunking = ChunkPolicy::kNone;
   /// Preemption quantum under kFixedTiles/kDeadlineAware: M-tiles of the
@@ -149,8 +172,10 @@ struct PoolConfig {
   /// at their solo bandwidth and hop-free, the honest "routing to a remote
   /// device is free" baseline the fleet_contention scenario compares
   /// against. The arbiter still charges real contention either way — this
-  /// flag only changes what the router *believes*.
-  bool congestion_aware = true;
+  /// flag only changes what the router *believes*. Requires a topology
+  /// (validate() rejects the combination without one), so the default is
+  /// off; scenarios that set a topology opt in explicitly.
+  bool congestion_aware = false;
   /// Operand synthesis seed for cycle-accurate execution; combined with the
   /// batch's first request id so every batch sees fixed, thread-independent
   /// data.
@@ -161,6 +186,15 @@ struct PoolConfig {
   /// is real overhead at production trace sizes. Never affects simulated
   /// cycles.
   bool self_profile = false;
+
+  /// Fails fast (AXON_CHECK) on inconsistent knob combinations instead of
+  /// letting them skew a long simulation: congestion_aware without a
+  /// topology, a topology whose device_node list mismatches the fleet
+  /// size, chunked dispatch with a non-positive quantum, stage affinity on
+  /// a fleet with no class-typed member, and degenerate thread/fleet/batch
+  /// counts. serve() calls this first; configs built by hand can call it
+  /// early to surface mistakes at construction time.
+  void validate() const;
 };
 
 class AcceleratorPool {
@@ -189,13 +223,14 @@ class AcceleratorPool {
   /// reaches their arrivals, so a generator-backed source never holds the
   /// whole trace in memory; completion feedback (closed-loop sources)
   /// flows back through TraceSource::on_complete at request retire.
+  ///
+  /// This is the single serve entry point: every trace — materialized
+  /// RequestQueue included — is served as a TraceSource lvalue. The old
+  /// by-value serve(RequestQueue) overload is gone; name the queue and
+  /// pass it directly (the deleted rvalue overload below turns the old
+  /// call shape into a compile error instead of a silent copy).
   ServeReport serve(TraceSource& source);
-
-  /// Convenience overload for a pre-materialized trace. Consumes the
-  /// queue (RequestQueue is itself a TraceSource).
-  ServeReport serve(RequestQueue requests) {
-    return serve(static_cast<TraceSource&>(requests));
-  }
+  ServeReport serve(TraceSource&&) = delete;
 
   /// Fleet-cycle cost of `gemm` on one fleet member: the device roofline
   /// converted to the reference clock. `weights_resident` prices a

@@ -50,6 +50,11 @@ void RecordStore::push_back(const RequestRecord& r) {
              "priority ", r.priority, " out of record-column range");
   priority_.push_back(static_cast<std::int16_t>(r.priority));
   batch_ref_.push_back(batch);
+  if (r.stage_count > 1 || has_stage_columns_) {
+    const auto row = static_cast<std::uint32_t>(size() - 1);
+    complete_stages(row, r.stage_count, r.handoff_cycles, r.agg_batch_wait,
+                    r.agg_queue_wait, r.agg_service, r.agg_preempt);
+  }
 }
 
 std::uint32_t RecordStore::intern_shape(const GemmShape& shape) {
@@ -80,7 +85,72 @@ std::uint32_t RecordStore::push_admitted(const Request& r) {
   // admission order and finalize() re-sorts by id, so the external record
   // order is unchanged.
   batch_ref_.push_back(kUnsetBatch);
+  // Once any multi-stage row materialized the stage columns, keep them
+  // parallel (defaults for single-stage rows).
+  if (has_stage_columns_) materialize_stage_columns();
   return row;
+}
+
+void RecordStore::materialize_stage_columns() {
+  has_stage_columns_ = true;
+  stage_count_.resize(size(), 1);
+  handoff_cycles_.resize(size(), 0);
+  agg_batch_wait_.resize(size(), 0);
+  agg_queue_wait_.resize(size(), 0);
+  agg_service_.resize(size(), 0);
+  agg_preempt_.resize(size(), 0);
+}
+
+void RecordStore::complete_stages(std::uint32_t row, int stage_count,
+                                  i64 handoff_cycles, i64 agg_batch_wait,
+                                  i64 agg_queue_wait, i64 agg_service,
+                                  i64 agg_preempt) {
+  AXON_CHECK(row < size(), "complete_stages(", row, ") out of range (",
+             size(), " records)");
+  AXON_CHECK(stage_count >= 1 &&
+                 stage_count <= std::numeric_limits<std::uint16_t>::max(),
+             "stage_count ", stage_count, " out of record-column range");
+  materialize_stage_columns();
+  stage_count_[row] = static_cast<std::uint16_t>(stage_count);
+  handoff_cycles_[row] = handoff_cycles;
+  agg_batch_wait_[row] = agg_batch_wait;
+  agg_queue_wait_[row] = agg_queue_wait;
+  agg_service_[row] = agg_service;
+  agg_preempt_[row] = agg_preempt;
+}
+
+void RecordStore::push_stage(const StageRecord& s) {
+  AXON_CHECK(s.stage >= 0 &&
+                 s.stage <= std::numeric_limits<std::uint16_t>::max(),
+             "stage ", s.stage, " out of stage-column range");
+  AXON_CHECK(s.accelerator >= std::numeric_limits<std::int16_t>::min() &&
+                 s.accelerator <= std::numeric_limits<std::int16_t>::max(),
+             "accelerator ", s.accelerator, " out of stage-column range");
+  s_id_.push_back(s.id);
+  s_stage_.push_back(static_cast<std::uint16_t>(s.stage));
+  s_arrival_.push_back(s.arrival_cycle);
+  s_ready_.push_back(s.ready_cycle);
+  s_dispatch_.push_back(s.dispatch_cycle);
+  s_completion_.push_back(s.completion_cycle);
+  s_service_.push_back(s.service_cycles);
+  s_handoff_.push_back(s.handoff_cycles);
+  s_accel_.push_back(static_cast<std::int16_t>(s.accelerator));
+}
+
+RecordStore::StageRecord RecordStore::stage_row(std::size_t i) const {
+  AXON_CHECK(i < s_id_.size(), "stage row ", i, " out of range (",
+             s_id_.size(), " stage rows)");
+  StageRecord s;
+  s.id = s_id_[i];
+  s.stage = s_stage_[i];
+  s.arrival_cycle = s_arrival_[i];
+  s.ready_cycle = s_ready_[i];
+  s.dispatch_cycle = s_dispatch_[i];
+  s.completion_cycle = s_completion_[i];
+  s.service_cycles = s_service_[i];
+  s.handoff_cycles = s_handoff_[i];
+  s.accelerator = s_accel_[i];
+  return s;
 }
 
 std::uint32_t RecordStore::push_batch(i64 ready_cycle, i64 dispatch_cycle,
@@ -140,6 +210,14 @@ RequestRecord RecordStore::operator[](std::size_t i) const {
   r.batch_size = b_size_[batch];
   r.batch_chunks = b_chunks_[batch];
   r.accelerator = b_accel_[batch];
+  if (has_stage_columns_) {
+    r.stage_count = stage_count_[i];
+    r.handoff_cycles = handoff_cycles_[i];
+    r.agg_batch_wait = agg_batch_wait_[i];
+    r.agg_queue_wait = agg_queue_wait_[i];
+    r.agg_service = agg_service_[i];
+    r.agg_preempt = agg_preempt_[i];
+  }
   return r;
 }
 
@@ -196,6 +274,16 @@ void RecordStore::sort_by_id() {
   apply_permutation(perm, deadline_cycle_, visited);
   apply_permutation(perm, priority_, visited);
   apply_permutation(perm, batch_ref_, visited);
+  if (has_stage_columns_) {
+    apply_permutation(perm, stage_count_, visited);
+    apply_permutation(perm, handoff_cycles_, visited);
+    apply_permutation(perm, agg_batch_wait_, visited);
+    apply_permutation(perm, agg_queue_wait_, visited);
+    apply_permutation(perm, agg_service_, visited);
+    apply_permutation(perm, agg_preempt_, visited);
+  }
+  // The per-stage table is keyed by request id, not row — nothing to
+  // permute there.
 }
 
 void GroupStats::add(const RequestRecord& r) {
@@ -204,7 +292,7 @@ void GroupStats::add(const RequestRecord& r) {
   blocking.add(r.queue_cycles());
   batch_wait.add(r.batch_wait_cycles());
   queue_wait.add(r.queue_wait_cycles());
-  service.add(r.service_cycles);
+  service.add(r.total_service_cycles());
   preempt_blocked.add(r.preempt_blocked_cycles());
   if (r.has_deadline()) {
     ++with_deadline;
@@ -462,6 +550,34 @@ std::string ServeReport::summary() const {
     }
     if (class_stats.size() > 1) add_latency_row("all", overall_stats);
     t.print(os, "Per-class latency breakdown (cycles)");
+  }
+  // Per-stage breakdown (multi-stage workloads only): how each pipeline
+  // position spent its cycles and what the activation handoffs cost.
+  if (records.num_stage_rows() > 0) {
+    std::map<int, GroupStats> stage_stats;
+    std::map<int, Histogram> stage_handoff;
+    for (std::size_t i = 0; i < records.num_stage_rows(); ++i) {
+      const RecordStore::StageRecord s = records.stage_row(i);
+      GroupStats& g = stage_stats[s.stage];
+      ++g.requests;
+      g.latency.add(s.completion_cycle - s.arrival_cycle);
+      g.service.add(s.service_cycles);
+      g.queue_wait.add(s.dispatch_cycle - s.arrival_cycle);
+      stage_handoff[s.stage].add(s.handoff_cycles);
+    }
+    Table t({"stage", "n", "lat_p50", "lat_p99", "wait_p99", "svc_p50",
+             "handoff_p99"});
+    for (const auto& [stage, g] : stage_stats) {
+      t.row()
+          .cell(std::to_string(stage))
+          .cell(static_cast<i64>(g.requests))
+          .cell(g.latency.percentile_or(50))
+          .cell(g.latency.percentile_or(99))
+          .cell(g.queue_wait.percentile_or(99))
+          .cell(g.service.percentile_or(50))
+          .cell(stage_handoff[stage].percentile_or(99));
+    }
+    t.print(os, "Per-stage breakdown (cycles)");
   }
   if (phase_profile.enabled) os << phase_profile.summary();
   // Per-device breakdown: who the router sent work to, how busy each

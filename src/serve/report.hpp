@@ -57,6 +57,20 @@ struct RequestRecord {
   int batch_chunks = 1;      ///< chunk dispatches its batch ran as (1 = whole)
   int accelerator = -1;      ///< pool member that executed its final chunk
 
+  // Multi-stage (StageChain) extension. Single-stage requests keep the
+  // defaults and none of the batch-field semantics change. For a
+  // stage_count > 1 request the batch fields above describe the *final*
+  // stage's batch; the aggregates below fold every stage in, and the
+  // breakdown methods switch to them so the latency identity extends
+  // exactly: latency == batch_wait + queue_wait + service +
+  // preempt_blocked + handoff, summed across stages.
+  int stage_count = 1;       ///< stages in the workload's chain
+  i64 handoff_cycles = 0;    ///< inter-stage activation transfers (fabric)
+  i64 agg_batch_wait = 0;    ///< sum of per-stage batch waits
+  i64 agg_queue_wait = 0;    ///< sum of per-stage queue waits
+  i64 agg_service = 0;       ///< sum of per-stage service cycles
+  i64 agg_preempt = 0;       ///< sum of per-stage preempt-blocked cycles
+
   /// Arrival to first service: with chunked dispatch this is exactly the
   /// head-of-line blocking term tile-granular preemption bounds.
   [[nodiscard]] i64 queue_cycles() const {
@@ -78,26 +92,36 @@ struct RequestRecord {
   }
 
   // Latency breakdown: latency == batch_wait + queue_wait + service +
-  // preempt_blocked, exactly. A request absorbed into an already-closed
-  // batch (continuous admission) joins a batch whose ready cycle predates
-  // its own arrival — its batch wait is 0 and its queue wait starts at
-  // arrival, which is what the effective-ready clamp below encodes.
+  // preempt_blocked (+ handoff, zero for single-stage), exactly. A request
+  // absorbed into an already-closed batch (continuous admission) joins a
+  // batch whose ready cycle predates its own arrival — its batch wait is 0
+  // and its queue wait starts at arrival, which is what the
+  // effective-ready clamp below encodes. Multi-stage requests report the
+  // per-stage sums instead of the final-stage terms.
   [[nodiscard]] i64 effective_ready_cycle() const {
     return batch_ready_cycle > arrival_cycle ? batch_ready_cycle
                                              : arrival_cycle;
   }
   /// Arrival until its batch closed: time spent forming.
   [[nodiscard]] i64 batch_wait_cycles() const {
+    if (stage_count > 1) return agg_batch_wait;
     return effective_ready_cycle() - arrival_cycle;
   }
   /// Batch closed until first dispatch: time queued for a device.
   [[nodiscard]] i64 queue_wait_cycles() const {
+    if (stage_count > 1) return agg_queue_wait;
     return dispatch_cycle - effective_ready_cycle();
+  }
+  /// Cycles spent actually executing, across every stage (== the
+  /// service_cycles field for single-stage requests).
+  [[nodiscard]] i64 total_service_cycles() const {
+    return stage_count > 1 ? agg_service : service_cycles;
   }
   /// In service but not executing: cycles between first dispatch and
   /// completion its batch spent re-queued between chunks (preempted or
   /// waiting for a device). 0 for single-chunk batches.
   [[nodiscard]] i64 preempt_blocked_cycles() const {
+    if (stage_count > 1) return agg_preempt;
     return compute_cycles() - service_cycles;
   }
 
@@ -114,7 +138,12 @@ struct RequestRecord {
            a.service_cycles == b.service_cycles &&
            a.priority == b.priority && a.batch_size == b.batch_size &&
            a.batch_chunks == b.batch_chunks &&
-           a.accelerator == b.accelerator;
+           a.accelerator == b.accelerator &&
+           a.stage_count == b.stage_count &&
+           a.handoff_cycles == b.handoff_cycles &&
+           a.agg_batch_wait == b.agg_batch_wait &&
+           a.agg_queue_wait == b.agg_queue_wait &&
+           a.agg_service == b.agg_service && a.agg_preempt == b.agg_preempt;
   }
   friend bool operator!=(const RequestRecord& a, const RequestRecord& b) {
     return !(a == b);
@@ -174,6 +203,36 @@ class RecordStore {
   /// Retire-time half: links a push_admitted() row to its batch.
   void complete_row(std::uint32_t row, std::uint32_t batch);
 
+  /// Multi-stage retire-time extension: files the cross-stage aggregates
+  /// for a row whose workload chained through `stage_count` > 1 stages.
+  /// Lazily materializes the stage columns on first use, so single-stage
+  /// stores carry zero extra bytes and stay byte-identical to pre-chain
+  /// runs. Call after complete_row() links the final stage's batch.
+  void complete_stages(std::uint32_t row, int stage_count, i64 handoff_cycles,
+                       i64 agg_batch_wait, i64 agg_queue_wait, i64 agg_service,
+                       i64 agg_preempt);
+
+  /// One row of the per-stage table: where each stage of a multi-stage
+  /// request ran and how its cycles split. Keyed by request id (not row —
+  /// ids survive sort_by_id()); rows land in stage-retire order.
+  struct StageRecord {
+    i64 id = 0;              ///< request id
+    int stage = 0;           ///< stage index within the chain
+    i64 arrival_cycle = 0;   ///< stage admission (prev completion + handoff)
+    i64 ready_cycle = 0;     ///< its batch closed
+    i64 dispatch_cycle = 0;  ///< first chunk dispatched
+    i64 completion_cycle = 0;
+    i64 service_cycles = 0;  ///< executing cycles of its batch
+    i64 handoff_cycles = 0;  ///< activation transfer into the *next* stage
+    int accelerator = -1;    ///< member that ran its final chunk
+  };
+
+  /// Appends one per-stage row (multi-stage workloads only; single-stage
+  /// traffic never touches the table).
+  void push_stage(const StageRecord& s);
+  [[nodiscard]] std::size_t num_stage_rows() const { return s_id_.size(); }
+  [[nodiscard]] StageRecord stage_row(std::size_t i) const;
+
   [[nodiscard]] i64 id(std::size_t i) const {
     return ids_implicit_ ? static_cast<i64>(i) : id_[i];
   }
@@ -227,6 +286,9 @@ class RecordStore {
   /// Switches from implicit ids (id == row) to an explicit column when a
   /// push breaks the 0,1,2,... sequence.
   void materialize_ids();
+  /// Backfills the lazily-created multi-stage columns with single-stage
+  /// defaults up to the current size.
+  void materialize_stage_columns();
 
   // Per-request columns. id_ stays empty while ids are implicit.
   std::vector<i64> id_;
@@ -251,6 +313,28 @@ class RecordStore {
 
   std::vector<GemmShape> shapes_;  ///< gemm_id -> shape
   std::map<std::tuple<i64, i64, i64>, std::uint32_t> shape_ids_;
+
+  // Multi-stage per-request columns, lazily materialized by the first
+  // complete_stages() call: empty (zero bytes, untouched gather path) for
+  // every single-stage trace.
+  bool has_stage_columns_ = false;
+  std::vector<std::uint16_t> stage_count_;
+  std::vector<i64> handoff_cycles_;
+  std::vector<i64> agg_batch_wait_;
+  std::vector<i64> agg_queue_wait_;
+  std::vector<i64> agg_service_;
+  std::vector<i64> agg_preempt_;
+
+  // Per-stage table (multi-stage workloads only), in stage-retire order.
+  std::vector<i64> s_id_;
+  std::vector<std::uint16_t> s_stage_;
+  std::vector<i64> s_arrival_;
+  std::vector<i64> s_ready_;
+  std::vector<i64> s_dispatch_;
+  std::vector<i64> s_completion_;
+  std::vector<i64> s_service_;
+  std::vector<i64> s_handoff_;
+  std::vector<std::int16_t> s_accel_;
 };
 
 /// Aggregates for one slice of the trace — a workload, a priority class,

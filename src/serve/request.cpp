@@ -55,8 +55,22 @@ GeneratorSourceBase::GeneratorSourceBase(const std::vector<GemmWorkload>& mix,
     // below is a vector index. Repeated names intern to the same id (the
     // report groups by name, exactly as the string-keyed path did).
     const SloPolicy& slo = classes.for_workload(w.name);
-    const WorkloadId id = registry_.intern(w.name, w.shape, slo);
-    mix_.push_back(MixEntry{id, w.shape, slo.slo_budget_cycles, slo.priority});
+    const auto chain_it = classes.chains.find(w.name);
+    WorkloadId id;
+    if (chain_it != classes.chains.end()) {
+      const StageChain& chain = chain_it->second;
+      AXON_CHECK(!chain.empty(), "workload '", w.name, "' has an empty chain");
+      AXON_CHECK(chain.front().gemm == w.shape, "workload '", w.name,
+                 "': chain stage 0 GEMM must match the mix entry's shape");
+      id = registry_.intern_chain(w.name, chain, slo);
+    } else {
+      id = registry_.intern(w.name, w.shape, slo);
+    }
+    // Read stage 0's class back from the registry (first registration
+    // wins, so a repeated name keeps the originally-interned chain).
+    const StageClass cls0 = registry_.chain(id).front().cls;
+    mix_.push_back(
+        MixEntry{id, w.shape, slo.slo_budget_cycles, slo.priority, cls0});
   }
 }
 
@@ -82,6 +96,8 @@ Request GeneratorSourceBase::make_request(i64 id, double when) {
     r.deadline_cycle = r.arrival_cycle + e.slo_budget_cycles;
   }
   r.priority = e.priority;
+  r.stage = 0;
+  r.stage_class = e.cls0;
   return r;
 }
 

@@ -47,12 +47,17 @@ namespace axon::serve {
 struct Request {
   i64 id = 0;                ///< unique, increasing in arrival order
   WorkloadId workload = 0;   ///< interned workload name, for reports
-  GemmShape gemm;            ///< the GEMM this request executes
+  GemmShape gemm;            ///< the GEMM this request's current stage runs
   i64 arrival_cycle = 0;
   /// Absolute SLO deadline (arrival + per-workload budget); -1 = no SLO.
   i64 deadline_cycle = -1;
   /// Priority class; LOWER is more urgent (0 = interactive, 1 = batch, ...).
   int priority = 0;
+  /// Stage index within the workload's StageChain. Trace sources always
+  /// emit stage 0; the serve loop re-admits successors with stage k+1.
+  std::uint16_t stage = 0;
+  /// Scheduling class of the current stage (chain[stage].cls).
+  StageClass stage_class = StageClass::kGeneral;
 
   [[nodiscard]] bool has_deadline() const { return deadline_cycle >= 0; }
 };
@@ -109,6 +114,12 @@ class RequestQueue final : public TraceSource {
     return registry_.intern(name, shape, slo);
   }
 
+  /// Interns a multi-stage workload (hand-building path for stage tests).
+  WorkloadId intern_chain(const std::string& name, const StageChain& chain,
+                          const SloPolicy& slo = {}) {
+    return registry_.intern_chain(name, chain, slo);
+  }
+
   [[nodiscard]] bool empty() const { return requests_.empty(); }
   [[nodiscard]] std::size_t size() const { return requests_.size(); }
   [[nodiscard]] const Request& front() const;
@@ -134,6 +145,11 @@ class RequestQueue final : public TraceSource {
 struct TrafficClassMap {
   SloPolicy default_policy;
   std::map<std::string, SloPolicy> per_workload;
+  /// Multi-stage networks by workload name: a mix entry whose name appears
+  /// here interns the chain instead of a length-1 wrapper. The chain's
+  /// first stage must match the mix entry's GEMM (that is the shape the
+  /// generators stamp on arriving requests).
+  std::map<std::string, StageChain> chains;
 
   [[nodiscard]] const SloPolicy& for_workload(const std::string& name) const;
 };
@@ -214,6 +230,7 @@ class GeneratorSourceBase : public TraceSource {
     GemmShape gemm;
     i64 slo_budget_cycles;
     int priority;
+    StageClass cls0;  ///< class of stage 0, stamped on the request
   };
   WorkloadRegistry registry_;
   std::vector<MixEntry> mix_;

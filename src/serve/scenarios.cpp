@@ -1,7 +1,10 @@
 #include "serve/scenarios.hpp"
 
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace axon::serve {
@@ -347,6 +350,229 @@ PoolConfig closed_loop_pool_config(int num_threads) {
   cfg.batching.max_wait_cycles = 20000;
   cfg.batching.continuous_admission = true;
   return cfg;
+}
+
+std::vector<AcceleratorSpec> disagg_fleet() {
+  AcceleratorSpec prefill;
+  prefill.name = "prefill64x64";
+  prefill.accelerator.arch = ArchType::kAxon;
+  prefill.accelerator.array = {64, 64};
+  prefill.clock_mhz = kRefClockMhz;
+  prefill.dram_bytes_per_cycle = 64;
+  prefill.weight_cache_bytes = 16 << 20;
+  prefill.serves = StageClass::kPrefill;
+  AcceleratorSpec decode;
+  decode.name = "decode32x32";
+  decode.accelerator.arch = ArchType::kAxon;
+  decode.accelerator.array = {32, 32};
+  decode.clock_mhz = 2 * kRefClockMhz;
+  decode.dram_bytes_per_cycle = 256;
+  decode.weight_cache_bytes = 16 << 20;
+  decode.serves = StageClass::kDecode;
+  std::vector<AcceleratorSpec> fleet = {prefill, prefill, decode, decode};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].name += "_" + std::to_string(i);
+  }
+  return fleet;
+}
+
+NodeTopology disagg_topology() {
+  NodeTopology topo;
+  topo.device_node = {0, 0, 1, 1};
+  // No node_bw entries: unlimited budgets, private channels — the fabric
+  // exists to price the prefill->decode activation handoff, not to layer
+  // bandwidth contention onto the disaggregation story. Ingress sits on
+  // the decode node (the interactive front-end); the prefill farm is the
+  // remote pool, so every prefill dispatch and every prefill->decode
+  // activation handoff crosses one hop, and parking an overflow prefill
+  // on a local decode member is the fabric-cheap (but SLO-expensive)
+  // temptation the unified run keeps taking.
+  topo.hops = {{0, 1}, {1, 0}};
+  topo.hop_latency_cycles = 500;
+  topo.link_bytes_per_cycle = 256;
+  topo.ingress_node = 1;
+  return topo;
+}
+
+std::vector<GemmWorkload> disagg_mix() {
+  // Interactive decode dominates 4:1; "gen" is the two-stage network. Its
+  // prefill stage (256 tokens, ~4x a decode member's whole batch budget,
+  // ~1/4 of that on a 64x64 prefill member) is the head-of-line hazard
+  // the affinity knob does or does not keep off the decode pool.
+  return {
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_qkv", {1, 768, 2304}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"decode_ffn1", {1, 768, 3072}},
+      {"gen", {256, 768, 3072}},
+  };
+}
+
+BurstyTraceConfig disagg_traffic(int num_requests) {
+  BurstyTraceConfig tc;
+  tc.num_requests = num_requests;
+  tc.burst_interarrival_cycles = 9000.0;
+  tc.mean_on_cycles = 400000.0;
+  tc.mean_off_cycles = 1200000.0;
+  // The decode budget sits between the split and unified tails: decode
+  // members that never serve prefill meet it, decode members that absorb
+  // overflow prefill stages blow it during bursts. "gen" gets a loose
+  // end-to-end budget (prefill + handoff + decode) in the batch class.
+  tc.classes.default_policy = {/*slo=*/90000, /*priority=*/0};
+  tc.classes.per_workload["gen"] = {/*slo=*/8000000, /*priority=*/1};
+  // Single-stage decode rides as length-1 kDecode chains so kStrict
+  // affinity can tell it apart from kGeneral traffic; "gen" is the real
+  // two-stage chain. Chain stage 0 always matches the mix entry's GEMM.
+  tc.classes.chains["decode_qkv"] = {{{1, 768, 2304}, StageClass::kDecode}};
+  tc.classes.chains["decode_ffn1"] = {{{1, 768, 3072}, StageClass::kDecode}};
+  tc.classes.chains["gen"] = {{{256, 768, 3072}, StageClass::kPrefill},
+                              {{1, 3072, 768}, StageClass::kDecode}};
+  return tc;
+}
+
+RequestQueue disagg_trace() {
+  Rng rng(kDisaggSeed);
+  return generate_bursty_trace(disagg_mix(), disagg_traffic(), rng);
+}
+
+PoolConfig disagg_pool_config(StageAffinity affinity) {
+  PoolConfig cfg;
+  cfg.fleet = disagg_fleet();
+  cfg.topology = disagg_topology();
+  cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
+  cfg.routing = RoutePolicy::kLeastCost;
+  cfg.stage_affinity = affinity;
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 60000;
+  cfg.batching.continuous_admission = true;
+  return cfg;
+}
+
+namespace {
+
+/// Seed + shapes of the two plain open-loop smoke scenarios that predate
+/// the richer named scenarios (kept bit-identical to the historical
+/// bench-local definitions).
+constexpr std::uint64_t kOpenLoopSeed = 404;
+
+PoolConfig open_loop_pool_config() {
+  PoolConfig cfg;
+  cfg.accelerator.arch = ArchType::kAxon;
+  cfg.accelerator.array = {32, 32};
+  cfg.num_accelerators = 4;
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_wait_cycles = 20000;
+  return cfg;
+}
+
+std::unique_ptr<TraceSource> open_loop_trace(
+    const std::vector<GemmWorkload>& mix, int num_requests, double gap) {
+  Rng rng(kOpenLoopSeed);
+  TraceConfig tc;
+  tc.num_requests = num_requests;
+  tc.mean_interarrival_cycles = gap;
+  return std::make_unique<RequestQueue>(generate_trace(mix, tc, rng));
+}
+
+/// Wraps a RequestQueue factory into the registry's source-factory shape.
+template <typename Fn>
+std::function<std::unique_ptr<TraceSource>()> queue_factory(Fn fn) {
+  return [fn] { return std::make_unique<RequestQueue>(fn()); };
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(
+      {"resnet50_pool4_batch8",
+       "ResNet50 im2col mix, 4x 32x32, FIFO, open-loop Poisson",
+       open_loop_pool_config(),
+       [] { return open_loop_trace(resnet50_serve_mix(), 96, 20000.0); }});
+  specs.push_back(
+      {"decode_pool4_batch8",
+       "one-token decode mix, 4x 32x32, FIFO, open-loop Poisson",
+       open_loop_pool_config(),
+       [] { return open_loop_trace(decode_serve_mix(), 128, 5000.0); }});
+  specs.push_back({"fleet_round_robin",
+                   "mixed fleet, round-robin routing (the routing baseline)",
+                   mixed_fleet_pool_config(RoutePolicy::kRoundRobin),
+                   queue_factory(mixed_fleet_trace)});
+  specs.push_back({"fleet_least_cost",
+                   "mixed fleet, cost-aware routing (the routing claim)",
+                   mixed_fleet_pool_config(RoutePolicy::kLeastCost),
+                   queue_factory(mixed_fleet_trace)});
+  specs.push_back({"chunked_prefill_whole",
+                   "head-of-line scenario, whole-batch dispatch baseline",
+                   chunked_prefill_pool_config(ChunkPolicy::kNone),
+                   queue_factory(chunked_prefill_trace)});
+  specs.push_back({"chunked_prefill_deadline_aware",
+                   "head-of-line scenario, deadline-aware chunking",
+                   chunked_prefill_pool_config(ChunkPolicy::kDeadlineAware),
+                   queue_factory(chunked_prefill_trace)});
+  specs.push_back({"fleet_contention_blind",
+                   "shared-bandwidth scenario, congestion-blind routing",
+                   fleet_contention_pool_config(false),
+                   queue_factory(fleet_contention_trace)});
+  specs.push_back({"fleet_contention_aware",
+                   "shared-bandwidth scenario, congestion-aware routing",
+                   fleet_contention_pool_config(true),
+                   queue_factory(fleet_contention_trace)});
+  specs.push_back({"disagg_prefill_decode_unified",
+                   "two-stage gen + decode traffic, unified pools (kNone)",
+                   disagg_pool_config(StageAffinity::kNone),
+                   queue_factory(disagg_trace)});
+  specs.push_back({"disagg_prefill_decode_split",
+                   "two-stage gen + decode traffic, disaggregated pools "
+                   "(kStrict)",
+                   disagg_pool_config(StageAffinity::kStrict),
+                   queue_factory(disagg_trace)});
+  specs.push_back({"serve_scale_200k",
+                   "200k-request mixed-SLO backlog, indexed ready queue",
+                   serve_scale_pool_config(ReadyQueueImpl::kIndexed),
+                   queue_factory([] { return serve_scale_trace(); })});
+  specs.push_back({"closed_loop_estimate",
+                   "closed-loop clients, fixed service estimate",
+                   closed_loop_pool_config(), [] {
+                     return std::make_unique<ClosedLoopTraceSource>(
+                         closed_loop_source(false));
+                   }});
+  specs.push_back({"closed_loop_feedback",
+                   "closed-loop clients, completion-feedback re-issue",
+                   closed_loop_pool_config(), [] {
+                     return std::make_unique<ClosedLoopTraceSource>(
+                         closed_loop_source(true));
+                   }});
+  specs.push_back({"serve_scale_10m",
+                   "10^7-request streaming pipeline (memory trajectory)",
+                   serve_scale_pool_config(ReadyQueueImpl::kIndexed), [] {
+                     return std::make_unique<BurstyTraceSource>(
+                         serve_scale_source(10000000));
+                   }});
+  return specs;
+}
+
+const std::vector<ScenarioSpec>& registry() {
+  static const std::vector<ScenarioSpec> specs = build_registry();
+  return specs;
+}
+
+}  // namespace
+
+const ScenarioSpec& scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : registry()) {
+    if (spec.name == name) return spec;
+  }
+  AXON_CHECK(false, "unknown serve scenario \"", name, "\"");
+  // Unreachable; AXON_CHECK(false, ...) always throws.
+  return registry().front();
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const ScenarioSpec& spec : registry()) out.push_back(spec.name);
+    return out;
+  }();
+  return names;
 }
 
 }  // namespace axon::serve

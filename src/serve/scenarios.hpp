@@ -5,6 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "serve/pool.hpp"
@@ -204,5 +207,79 @@ ClosedLoopTraceSource closed_loop_source(
 /// Pool configuration for the scenario: FIFO + continuous admission on the
 /// 2-member fleet. `num_threads` only moves wall-clock.
 PoolConfig closed_loop_pool_config(int num_threads = 1);
+
+// ---- prefill/decode disaggregation -------------------------------------
+// The whole-network scenario: generation requests are two-stage chains
+// (a 256-token prefill GEMM feeding a one-token decode GEMM over the
+// fabric), sharing the fleet with a dominant stream of single-stage
+// interactive decode requests under a tight SLO. The fleet is half
+// prefill-shaped (big arrays, modest bandwidth) and half decode-shaped
+// (small arrays clocked 2x with fat DRAM), split across two memory nodes.
+// With StageAffinity::kNone the pools are *unified*: whenever both big
+// arrays are mid-prefill, the router parks the next prefill stage on an
+// idle decode member, which then blocks interactive decode for the whole
+// dispatch — classic head-of-line blocking across classes. With kStrict
+// the pools are *disaggregated*: prefill waits for a prefill member,
+// decode members never serve anything else, and the decode tail tightens.
+// The example enforces at runtime that the split fleet beats the unified
+// one on decode p99 AND SLO attainment on exactly this trace; CI's
+// BENCH_serve.json publishes both variants.
+
+inline constexpr std::uint64_t kDisaggSeed = 31337;
+inline constexpr int kDisaggRequests = 384;
+
+/// 2x "prefill64x64" (64x64 array, 64 B/cycle, serves kPrefill, node 0) +
+/// 2x "decode32x32" (32x32 clocked 2x, 256 B/cycle, serves kDecode,
+/// node 1), all with 16 MiB weight caches. The `serves` tags only bind
+/// under kStrict/kPreferred affinity — the unified run uses the *same*
+/// hardware with the tags ignored, so the knob is the only difference.
+std::vector<AcceleratorSpec> disagg_fleet();
+
+/// Two memory nodes (prefill members on 0, decode members on 1) with
+/// unlimited DRAM budgets — the fabric is here to price the activation
+/// handoff between stages, not to add bandwidth contention on top.
+NodeTopology disagg_topology();
+
+/// Dominant single-stage decode shapes (length-1 kDecode chains) plus the
+/// two-stage "gen" network: prefill {256, 768, 3072} (kPrefill) feeding
+/// decode {1, 3072, 768} (kDecode) — both stages on (K, N) keys no
+/// single-stage entry shares, so the batcher never mixes classes.
+std::vector<GemmWorkload> disagg_mix();
+
+/// Bursty arrivals; interactive decode carries the tight class-0 SLO the
+/// scenario is scored on, "gen" a loose end-to-end batch budget.
+BurstyTraceConfig disagg_traffic(int num_requests = kDisaggRequests);
+
+/// The canonical trace those knobs generate.
+RequestQueue disagg_trace();
+
+/// Pool configuration for the scenario: EDF + least-cost on the split
+/// fleet; `affinity` is the disaggregation knob (kNone = unified pools,
+/// kStrict = disaggregated prefill/decode pools).
+PoolConfig disagg_pool_config(StageAffinity affinity);
+
+// ---- scenario registry -------------------------------------------------
+// One named spec per canonical scenario. examples/serve_traffic, the bench
+// binaries, and the scenario tests all resolve specs through this table,
+// so a scenario's name, pool config, and trace can never drift apart
+// across binaries — BENCH_serve.json rows and the example's sections are
+// the same object by construction.
+
+/// A fully-specified serve run: the pool configuration and a factory for
+/// the canonical trace. `make_trace` returns a fresh source per call
+/// (sources are stateful); callers copy `config` to override
+/// presentation-only knobs such as num_threads or self_profile.
+struct ScenarioSpec {
+  std::string name;
+  std::string summary;  ///< one line for listings
+  PoolConfig config;
+  std::function<std::unique_ptr<TraceSource>()> make_trace;
+};
+
+/// Looks up a scenario by name; AXON_CHECKs that it exists.
+const ScenarioSpec& scenario(const std::string& name);
+
+/// Every registered scenario name, in canonical (artifact) order.
+const std::vector<std::string>& scenario_names();
 
 }  // namespace axon::serve

@@ -103,14 +103,16 @@ void SchedIndex::register_join(i64 slot) {
   if (!track_joins_) return;
   Entry& e = slots_[static_cast<std::size_t>(slot)];
   if (e.batch.m_executed != 0 || e.batch.size() >= max_batch_) return;
-  joinable_[{e.batch.gemm.K, e.batch.gemm.N}].insert({e.seq, slot});
+  joinable_[{e.batch.gemm.K, e.batch.gemm.N, e.batch.stage_class}].insert(
+      {e.seq, slot});
   e.joinable = true;
 }
 
 void SchedIndex::unregister_join(i64 slot) {
   Entry& e = slots_[static_cast<std::size_t>(slot)];
   if (!e.joinable) return;
-  const auto it = joinable_.find({e.batch.gemm.K, e.batch.gemm.N});
+  const auto it =
+      joinable_.find({e.batch.gemm.K, e.batch.gemm.N, e.batch.stage_class});
   AXON_CHECK(it != joinable_.end(), "join registry out of sync");
   it->second.erase({e.seq, slot});
   if (it->second.empty()) joinable_.erase(it);
@@ -199,20 +201,21 @@ void SchedIndex::erase(i64 slot) {
   }
 }
 
-i64 SchedIndex::find_joinable(i64 K, i64 N) {
+i64 SchedIndex::find_joinable(i64 K, i64 N, StageClass cls) {
   AXON_CHECK(track_joins_, "find_joinable on a non-join SchedIndex");
   if (impl_ == ReadyQueueImpl::kScanReference) {
     // The seed join scan, verbatim: first match in ready order.
     for (const i64 slot : order_) {
       const Entry& e = slots_[static_cast<std::size_t>(slot)];
       if (e.batch.m_executed == 0 && e.batch.size() < max_batch_ &&
-          e.batch.gemm.K == K && e.batch.gemm.N == N) {
+          e.batch.gemm.K == K && e.batch.gemm.N == N &&
+          e.batch.stage_class == cls) {
         return slot;
       }
     }
     return -1;
   }
-  const auto it = joinable_.find({K, N});
+  const auto it = joinable_.find({K, N, cls});
   if (it == joinable_.end()) return -1;
   AXON_CHECK(!it->second.empty(), "empty join bucket left behind");
   // Buckets hold only live joinable slots, ordered by push seq — the same

@@ -26,6 +26,7 @@
 #include <queue>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -103,12 +104,12 @@ class SchedIndex {
   Batch pop_best();
 
   /// Continuous-admission join target: the earliest-pushed live batch with
-  /// matching (K, N), unfrozen membership (m_executed == 0), and a spare
-  /// seat — exactly the "first match in ready order" the seed scan picked.
-  /// Returns a slot handle, or -1 when none qualifies. The caller absorbs
-  /// the request into batch(slot) and then must call joined(slot, ...) to
-  /// restore the index invariants.
-  [[nodiscard]] i64 find_joinable(i64 K, i64 N);
+  /// matching (K, N) and stage class, unfrozen membership (m_executed ==
+  /// 0), and a spare seat — exactly the "first match in ready order" the
+  /// seed scan picked. Returns a slot handle, or -1 when none qualifies.
+  /// The caller absorbs the request into batch(slot) and then must call
+  /// joined(slot, ...) to restore the index invariants.
+  [[nodiscard]] i64 find_joinable(i64 K, i64 N, StageClass cls);
 
   /// Mutable access to a batch returned by find_joinable.
   [[nodiscard]] Batch& batch(i64 slot);
@@ -191,8 +192,10 @@ class SchedIndex {
 
   // kIndexed: one min-heap per priority class, keyed by PickKey snapshots.
   std::map<int, ClassHeap> heaps_;
-  // Join registry: per (K, N), live joinable slots in push order.
-  std::map<std::pair<i64, i64>, std::set<std::pair<std::uint64_t, i64>>>
+  // Join registry: per (K, N, stage class), live joinable slots in push
+  // order.
+  std::map<std::tuple<i64, i64, StageClass>,
+           std::set<std::pair<std::uint64_t, i64>>>
       joinable_;
 
   // kScanReference: slots in push order (the seed `ready` vector).

@@ -4,17 +4,36 @@
 
 namespace axon::serve {
 
+const char* to_string(StageClass cls) {
+  switch (cls) {
+    case StageClass::kGeneral: return "general";
+    case StageClass::kPrefill: return "prefill";
+    case StageClass::kDecode: return "decode";
+  }
+  return "?";
+}
+
 WorkloadId WorkloadRegistry::intern(const std::string& name,
                                     const GemmShape& shape,
                                     const SloPolicy& slo) {
+  return intern_chain(name, {{shape, StageClass::kGeneral}}, slo);
+}
+
+WorkloadId WorkloadRegistry::intern_chain(const std::string& name,
+                                          const StageChain& chain,
+                                          const SloPolicy& slo) {
   AXON_CHECK(!name.empty(), "workload name must be non-empty");
+  AXON_CHECK(!chain.empty(), "workload '", name,
+             "' must have at least one stage");
   const auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   const WorkloadId id = static_cast<WorkloadId>(names_.size());
   names_.push_back(name);
-  shapes_.push_back(shape);
+  shapes_.push_back(chain.front().gemm);
   policies_.push_back(slo);
+  chains_.push_back(chain);
   ids_.emplace(name, id);
+  multi_stage_ |= chain.size() > 1;
   return id;
 }
 
@@ -45,6 +64,15 @@ const GemmShape& WorkloadRegistry::shape(WorkloadId id) const {
 const SloPolicy& WorkloadRegistry::slo(WorkloadId id) const {
   AXON_CHECK(id < policies_.size(), "workload id ", id, " out of range");
   return policies_[id];
+}
+
+const StageChain& WorkloadRegistry::chain(WorkloadId id) const {
+  AXON_CHECK(id < chains_.size(), "workload id ", id, " out of range");
+  return chains_[id];
+}
+
+std::size_t WorkloadRegistry::num_stages(WorkloadId id) const {
+  return chain(id).size();
 }
 
 }  // namespace axon::serve

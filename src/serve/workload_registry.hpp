@@ -38,6 +38,28 @@ struct SloPolicy {
   int priority = 0;            ///< lower = more urgent
 };
 
+/// Scheduling class of one stage of a workload's network. kGeneral is the
+/// wildcard every pre-existing single-GEMM workload carries: it batches
+/// with itself only (grouping keys include the class) and routes anywhere.
+/// kPrefill/kDecode exist so StageAffinity routing can steer compute-bound
+/// prompt stages and bandwidth-bound token stages to different fleet pools.
+enum class StageClass : std::uint8_t { kGeneral = 0, kPrefill, kDecode };
+
+const char* to_string(StageClass cls);
+
+/// One stage of a workload's network, lowered to a GEMM.
+struct Stage {
+  GemmShape gemm;
+  StageClass cls = StageClass::kGeneral;
+};
+
+/// An ordered chain of stages a request flows through: stage k+1 is
+/// admitted (through the normal batcher/scheduler path) when stage k
+/// retires, with the activation handoff priced through the FabricModel.
+/// Single-GEMM workloads are length-1 chains, so the serve loop has one
+/// code path and pre-chain traces stay bit-identical.
+using StageChain = std::vector<Stage>;
+
 class WorkloadRegistry {
  public:
   /// Interns `name`, returning its id. First registration wins: a repeat
@@ -45,6 +67,13 @@ class WorkloadRegistry {
   /// original shape/policy (mixes may legitimately repeat a name).
   WorkloadId intern(const std::string& name, const GemmShape& shape = {},
                     const SloPolicy& slo = {});
+
+  /// Interns a multi-stage workload. `chain` must be non-empty; the
+  /// workload's canonical shape is the first stage's GEMM (what the trace
+  /// generators stamp on arriving requests). First registration wins, like
+  /// intern().
+  WorkloadId intern_chain(const std::string& name, const StageChain& chain,
+                          const SloPolicy& slo = {});
 
   /// Id for an already-interned name; AXON_CHECKs when absent.
   [[nodiscard]] WorkloadId id(const std::string& name) const;
@@ -55,6 +84,16 @@ class WorkloadRegistry {
   [[nodiscard]] const std::string& name(WorkloadId id) const;
   [[nodiscard]] const GemmShape& shape(WorkloadId id) const;
   [[nodiscard]] const SloPolicy& slo(WorkloadId id) const;
+
+  /// The stage chain for `id`. Always non-empty: plain intern() registers
+  /// a length-1 {shape, kGeneral} chain.
+  [[nodiscard]] const StageChain& chain(WorkloadId id) const;
+  /// chain(id).size(), as the serve loop's "is there a successor" probe.
+  [[nodiscard]] std::size_t num_stages(WorkloadId id) const;
+  /// True when any interned workload has more than one stage — lets the
+  /// serve loop and the report skip stage bookkeeping entirely on
+  /// pre-chain traces.
+  [[nodiscard]] bool multi_stage() const { return multi_stage_; }
 
   [[nodiscard]] std::size_t size() const { return names_.size(); }
   [[nodiscard]] bool empty() const { return names_.empty(); }
@@ -69,7 +108,9 @@ class WorkloadRegistry {
   std::vector<std::string> names_;    ///< id -> name
   std::vector<GemmShape> shapes_;     ///< id -> canonical shape
   std::vector<SloPolicy> policies_;   ///< id -> SLO/priority
+  std::vector<StageChain> chains_;    ///< id -> stage chain (never empty)
   std::map<std::string, WorkloadId> ids_;  ///< name -> id
+  bool multi_stage_ = false;  ///< any chain with > 1 stage interned
 };
 
 }  // namespace axon::serve

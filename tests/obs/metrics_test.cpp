@@ -104,7 +104,8 @@ TEST(MetricsProbeTest, RegistryReconcilesWithTheServeReport) {
   MetricsRegistry reg;
   MetricsProbe probe(&reg);
   pool.add_probe(&probe);
-  const ServeReport r = pool.serve(serve_scale_trace(kRequests));
+  RequestQueue q = serve_scale_trace(kRequests);
+  const ServeReport r = pool.serve(q);
 
   EXPECT_EQ(reg.counter_value("serve.requests"),
             static_cast<i64>(r.num_requests()));

@@ -164,7 +164,7 @@ TEST(DynamicBatcherTest, CloseOpenRemovesExactlyThatGroup) {
   b.admit(req(0, 4, 64, 64, 50), 50);
   b.admit(req(1, 4, 32, 32, 10), 10);
   ASSERT_TRUE(b.has_open());
-  Batch closed = b.close_open(32, 32, 60);
+  Batch closed = b.close_open(32, 32, StageClass::kGeneral, 60);
   EXPECT_EQ(closed.members.front().id, 1);
   EXPECT_EQ(closed.ready_cycle, 60);
   EXPECT_EQ(b.open_requests(), 1u);

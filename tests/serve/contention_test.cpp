@@ -17,6 +17,13 @@
 namespace axon::serve {
 namespace {
 
+// The canonical serve entry takes a TraceSource lvalue; tests that build
+// throwaway queues name them here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
 // ---- arbiter unit tests ------------------------------------------------
 
 /// One shared node of two members: 64 B/device-cycle private channels at
@@ -217,8 +224,8 @@ TEST(Contention, SingleMemberNodesAtFullBudgetReproducePrivateChannels) {
   noded.topology.device_node = {0, 1, 2, 3};
   noded.topology.node_bw_bytes_per_cycle = {64, 512, 64, 512};
 
-  const ServeReport a = AcceleratorPool(plain).serve(mixed_fleet_trace());
-  const ServeReport b = AcceleratorPool(noded).serve(mixed_fleet_trace());
+  const ServeReport a = serve_queue(plain, mixed_fleet_trace());
+  const ServeReport b = serve_queue(noded, mixed_fleet_trace());
   expect_same_records(a, b);
 
   EXPECT_TRUE(a.per_node.empty());  // no topology -> no node rows
@@ -237,8 +244,8 @@ TEST(Contention, SingleMemberNodesAtFullBudgetReproducePrivateChannels) {
 // ---- contention scenario ----------------------------------------------
 
 TEST(Contention, ScenarioReportsNodePressure) {
-  const ServeReport r = AcceleratorPool(fleet_contention_pool_config(true))
-                            .serve(fleet_contention_trace());
+  const ServeReport r = serve_queue(fleet_contention_pool_config(true),
+                                    fleet_contention_trace());
   ASSERT_EQ(r.per_node.size(), 2u);
   i64 drained = 0;
   for (const NodeStats& n : r.per_node) {
@@ -270,10 +277,10 @@ TEST(Contention, ScenarioReportsNodePressure) {
 TEST(Contention, AwareRoutingBeatsBlindOnSlo) {
   // The runtime claim examples/serve_traffic enforces, pinned here too so
   // ctest catches a regression without running the example.
-  const ServeReport blind = AcceleratorPool(fleet_contention_pool_config(false))
-                                .serve(fleet_contention_trace());
-  const ServeReport aware = AcceleratorPool(fleet_contention_pool_config(true))
-                                .serve(fleet_contention_trace());
+  const ServeReport blind = serve_queue(fleet_contention_pool_config(false),
+                                        fleet_contention_trace());
+  const ServeReport aware = serve_queue(fleet_contention_pool_config(true),
+                                        fleet_contention_trace());
   EXPECT_GT(aware.slo_attainment(), blind.slo_attainment());
 }
 
@@ -282,8 +289,8 @@ TEST(Contention, ScenarioDeterministicAcrossThreadCounts) {
   one.num_threads = 1;
   PoolConfig eight = fleet_contention_pool_config(true);
   eight.num_threads = 8;
-  const ServeReport a = AcceleratorPool(one).serve(fleet_contention_trace());
-  const ServeReport b = AcceleratorPool(eight).serve(fleet_contention_trace());
+  const ServeReport a = serve_queue(one, fleet_contention_trace());
+  const ServeReport b = serve_queue(eight, fleet_contention_trace());
   expect_same_records(a, b);
   ASSERT_EQ(a.per_node.size(), b.per_node.size());
   for (std::size_t i = 0; i < a.per_node.size(); ++i) {

@@ -10,6 +10,13 @@
 namespace axon::serve {
 namespace {
 
+// The canonical serve entry takes a TraceSource lvalue; tests that build
+// throwaway queues name them here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
 Request make_req(RequestQueue& q, i64 id, const GemmShape& shape, i64 arrival,
                  i64 deadline = -1, int priority = 0) {
   Request r;
@@ -75,8 +82,8 @@ TEST(FleetTest, HomogeneousShorthandEqualsExplicitFleet) {
     for (i64 i = 0; i < 12; ++i) q.push(make_req(q, i, {4, 8, 8}, i * 50));
     return q;
   };
-  expect_same_simulated_results(AcceleratorPool(shorthand).serve(trace()),
-                                AcceleratorPool(fleet).serve(trace()));
+  expect_same_simulated_results(serve_queue(shorthand, trace()),
+                                serve_queue(fleet, trace()));
 }
 
 TEST(FleetTest, ClockScalesSimulatedCycles) {
@@ -88,7 +95,7 @@ TEST(FleetTest, ClockScalesSimulatedCycles) {
     cfg.batching = {1, 0};
     RequestQueue q;
     q.push(make_req(q, 0, {8, 8, 8}, 0));
-    return AcceleratorPool(cfg).serve(std::move(q));
+    return serve_queue(cfg, std::move(q));
   };
   const i64 base = run(kRefClockMhz).records[0].compute_cycles();
   const i64 fast = run(2 * kRefClockMhz).records[0].compute_cycles();
@@ -114,9 +121,9 @@ TEST(FleetTest, LeastCostRoutesToCheaperDeviceFirstFreeDoesNot) {
     return q;
   };
   cfg.routing = RoutePolicy::kFirstFree;
-  EXPECT_EQ(AcceleratorPool(cfg).serve(trace()).records[0].accelerator, 0);
+  EXPECT_EQ(serve_queue(cfg, trace()).records[0].accelerator, 0);
   cfg.routing = RoutePolicy::kLeastCost;
-  EXPECT_EQ(AcceleratorPool(cfg).serve(trace()).records[0].accelerator, 1);
+  EXPECT_EQ(serve_queue(cfg, trace()).records[0].accelerator, 1);
 }
 
 TEST(FleetTest, RoundRobinRotatesAcrossIdleDevices) {
@@ -129,7 +136,7 @@ TEST(FleetTest, RoundRobinRotatesAcrossIdleDevices) {
     cfg.batching = {1, 0};
     RequestQueue q;
     for (i64 i = 0; i < 4; ++i) q.push(make_req(q, i, {8, 8, 8}, i * 100000));
-    return AcceleratorPool(cfg).serve(std::move(q));
+    return serve_queue(cfg, std::move(q));
   };
   const ServeReport rr = run(RoutePolicy::kRoundRobin);
   ASSERT_EQ(rr.records.size(), 4u);
@@ -156,7 +163,7 @@ TEST(FleetTest, CacheWarmDecodeBatchCostsStrictlyLessThanCold) {
 
   RequestQueue q;
   for (i64 i = 0; i < 3; ++i) q.push(make_req(q, i, decode, i * 100000));
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   ASSERT_EQ(rep.records.size(), 3u);
   EXPECT_LT(rep.records[1].compute_cycles(), rep.records[0].compute_cycles());
   EXPECT_EQ(rep.records[1].compute_cycles(), rep.records[2].compute_cycles());
@@ -178,7 +185,7 @@ TEST(FleetTest, WeightAffinityEmergesFromLeastCostRouting) {
   cfg.batching = {1, 0};
   RequestQueue q;
   for (i64 i = 0; i < 5; ++i) q.push(make_req(q, i, {1, 256, 256}, i * 100000));
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   for (const auto& r : rep.records) EXPECT_EQ(r.accelerator, 0);
   EXPECT_EQ(rep.per_accelerator[0].weight_hits, 4);
   EXPECT_EQ(rep.per_accelerator[0].weight_misses, 1);
@@ -195,7 +202,7 @@ TEST(FleetTest, PerAcceleratorStatsSumToFleetTotals) {
       {"t_a", {4, 8, 8}}, {"t_b", {8, 8, 8}}, {"t_c", {1, 64, 64}}};
   Rng rng(7);
   const ServeReport rep =
-      AcceleratorPool(cfg).serve(generate_trace(mix, {48, 120.0}, rng));
+      serve_queue(cfg, generate_trace(mix, {48, 120.0}, rng));
   ASSERT_EQ(rep.per_accelerator.size(), 3u);
   EXPECT_EQ(rep.per_accelerator[0].name, "acc0");
   EXPECT_EQ(rep.per_accelerator[2].name, "acc2");
@@ -238,9 +245,9 @@ TEST(FleetTest, MixedFleetDeterministicAcrossThreadCounts) {
   cfg.batching = {4, 200};
   cfg.batching.continuous_admission = true;
   cfg.num_threads = 1;
-  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  const ServeReport a = serve_queue(cfg, trace());
   cfg.num_threads = 8;
-  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  const ServeReport b = serve_queue(cfg, trace());
   expect_same_simulated_results(a, b);
   EXPECT_DOUBLE_EQ(a.slo_attainment(), b.slo_attainment());
   // The fleet actually spread work (routing is not degenerate).
@@ -262,9 +269,9 @@ TEST(FleetTest, CycleAccurateHeterogeneousDeterministic) {
     return generate_trace(mix, {16, 200.0}, rng);
   };
   cfg.num_threads = 1;
-  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  const ServeReport a = serve_queue(cfg, trace());
   cfg.num_threads = 4;
-  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  const ServeReport b = serve_queue(cfg, trace());
   expect_same_simulated_results(a, b);
 }
 

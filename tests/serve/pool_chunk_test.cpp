@@ -14,6 +14,13 @@
 namespace axon::serve {
 namespace {
 
+// The canonical serve entry takes a TraceSource lvalue; tests that build
+// throwaway queues name them here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
 PoolConfig chunk_config(ChunkPolicy chunking, int accelerators = 1) {
   PoolConfig cfg;
   cfg.accelerator = {.arch = ArchType::kAxon, .array = {32, 32}};
@@ -49,9 +56,9 @@ TEST(ChunkPolicyTest, OneTileBatchChunkingIsANoOp) {
     return q;
   };
   const ServeReport whole =
-      AcceleratorPool(chunk_config(ChunkPolicy::kNone)).serve(trace());
+      serve_queue(chunk_config(ChunkPolicy::kNone), trace());
   const ServeReport chunked =
-      AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles)).serve(trace());
+      serve_queue(chunk_config(ChunkPolicy::kFixedTiles), trace());
   EXPECT_EQ(chunked.total_chunks, chunked.total_batches);
   EXPECT_EQ(chunked.preemptions, 0);
   EXPECT_EQ(chunked.makespan_cycles, whole.makespan_cycles);
@@ -90,7 +97,7 @@ TEST(ChunkPolicyTest, WeightCacheHitAccountingAcrossChunks) {
                        .weight_cache_bytes = 16 << 20});
   RequestQueue q;
   q.push(make_request(0, {256, 512, 512}, 0));
-  const ServeReport r = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport r = serve_queue(cfg, std::move(q));
   EXPECT_EQ(r.total_batches, 1);
   EXPECT_EQ(r.total_chunks, 4);
   ASSERT_EQ(r.records.size(), 1u);
@@ -102,7 +109,7 @@ TEST(ChunkPolicyTest, WeightCacheHitAccountingAcrossChunks) {
   PoolConfig cold = chunk_config(ChunkPolicy::kFixedTiles);
   RequestQueue q2;
   q2.push(make_request(0, {256, 512, 512}, 0));
-  const ServeReport rc = AcceleratorPool(cold).serve(std::move(q2));
+  const ServeReport rc = serve_queue(cold, std::move(q2));
   EXPECT_EQ(rc.total_chunks, 4);
   EXPECT_EQ(rc.per_accelerator[0].weight_hits, 0);
 }
@@ -120,9 +127,9 @@ TEST(ChunkPolicyTest, UrgentArrivalPreemptsAnInFlightPrefill) {
     return q;
   };
   const ServeReport whole =
-      AcceleratorPool(chunk_config(ChunkPolicy::kNone)).serve(trace());
+      serve_queue(chunk_config(ChunkPolicy::kNone), trace());
   const ServeReport chunked =
-      AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles)).serve(trace());
+      serve_queue(chunk_config(ChunkPolicy::kFixedTiles), trace());
   const auto decode_rec = [](const ServeReport& r) {
     for (const auto& rec : r.records) {
       if (rec.id == 1) return rec;
@@ -160,8 +167,8 @@ TEST(ChunkPolicyTest, DeadlineAwareRunsWholeOnlyInTheNoSlackWindow) {
   const auto serve_with_deadline = [&](i64 deadline) {
     RequestQueue q;
     q.push(make_request(0, prefill, 0, deadline));
-    return AcceleratorPool(chunk_config(ChunkPolicy::kDeadlineAware))
-        .serve(std::move(q));
+    return serve_queue(chunk_config(ChunkPolicy::kDeadlineAware),
+                       std::move(q));
   };
   // Slack just covers the remaining work: too tight to risk preemption.
   EXPECT_EQ(serve_with_deadline(whole_cost + 10).total_chunks, 1);
@@ -172,8 +179,7 @@ TEST(ChunkPolicyTest, DeadlineAwareRunsWholeOnlyInTheNoSlackWindow) {
   // kFixedTiles ignores the window and always splits.
   RequestQueue q;
   q.push(make_request(0, prefill, 0, whole_cost + 10));
-  EXPECT_GT(AcceleratorPool(chunk_config(ChunkPolicy::kFixedTiles))
-                .serve(std::move(q))
+  EXPECT_GT(serve_queue(chunk_config(ChunkPolicy::kFixedTiles), std::move(q))
                 .total_chunks,
             1);
 }
@@ -185,7 +191,7 @@ TEST(ChunkPolicyTest, ChunkedPrefillScenarioDeterministicAcrossThreads) {
   const auto serve_chunked = [](int threads) {
     PoolConfig cfg = chunked_prefill_pool_config(ChunkPolicy::kDeadlineAware);
     cfg.num_threads = threads;
-    return AcceleratorPool(cfg).serve(chunked_prefill_trace());
+    return serve_queue(cfg, chunked_prefill_trace());
   };
   const ServeReport one = serve_chunked(1);
   const ServeReport eight = serve_chunked(8);
@@ -206,7 +212,7 @@ TEST(ChunkPolicyTest, ChunkedPrefillScenarioDeterministicAcrossThreads) {
   // and strictly improves decode SLO attainment over whole-batch dispatch.
   PoolConfig whole_cfg = chunked_prefill_pool_config(ChunkPolicy::kNone);
   const ServeReport whole =
-      AcceleratorPool(whole_cfg).serve(chunked_prefill_trace());
+      serve_queue(whole_cfg, chunked_prefill_trace());
   EXPECT_GT(one.preemptions, 0);
   EXPECT_GT(one.slo_attainment(), whole.slo_attainment());
 }

@@ -30,6 +30,13 @@ PoolConfig base_config() {
   return cfg;
 }
 
+// The canonical serve entry takes a TraceSource lvalue; tests that build
+// throwaway queues name them here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
 void expect_same_simulated_results(const ServeReport& a,
                                    const ServeReport& b) {
   ASSERT_EQ(a.records.size(), b.records.size());
@@ -60,8 +67,8 @@ TEST(AcceleratorPoolTest, SimulatedCyclesDeterministicAcrossThreadCounts) {
   PoolConfig eight = base_config();
   eight.num_threads = 8;
   const auto trace = [] { return make_trace(48, 120.0, 99, tiny_mix()); };
-  const ServeReport a = AcceleratorPool(one).serve(trace());
-  const ServeReport b = AcceleratorPool(eight).serve(trace());
+  const ServeReport a = serve_queue(one, trace());
+  const ServeReport b = serve_queue(eight, trace());
   expect_same_simulated_results(a, b);
 }
 
@@ -72,8 +79,8 @@ TEST(AcceleratorPoolTest, CycleAccurateModeAlsoDeterministic) {
   PoolConfig four = one;
   four.num_threads = 4;
   const auto trace = [] { return make_trace(16, 200.0, 5, tiny_mix()); };
-  const ServeReport a = AcceleratorPool(one).serve(trace());
-  const ServeReport b = AcceleratorPool(four).serve(trace());
+  const ServeReport a = serve_queue(one, trace());
+  const ServeReport b = serve_queue(four, trace());
   expect_same_simulated_results(a, b);
 }
 
@@ -81,7 +88,7 @@ TEST(AcceleratorPoolTest, EveryRequestServedExactlyOnce) {
   PoolConfig cfg = base_config();
   const int n = 40;
   const ServeReport rep =
-      AcceleratorPool(cfg).serve(make_trace(n, 80.0, 11, tiny_mix()));
+      serve_queue(cfg, make_trace(n, 80.0, 11, tiny_mix()));
   ASSERT_EQ(rep.records.size(), static_cast<std::size_t>(n));
   std::set<i64> ids;
   for (const auto& r : rep.records) {
@@ -108,8 +115,8 @@ TEST(AcceleratorPoolTest, BatchingShortensMakespanUnderHeavyLoad) {
   PoolConfig batched = unbatched;
   batched.batching = {8, 500};
   const auto trace = [&] { return make_trace(64, 10.0, 21, mix); };
-  const ServeReport u = AcceleratorPool(unbatched).serve(trace());
-  const ServeReport b = AcceleratorPool(batched).serve(trace());
+  const ServeReport u = serve_queue(unbatched, trace());
+  const ServeReport b = serve_queue(batched, trace());
   EXPECT_LT(b.makespan_cycles, u.makespan_cycles);
   EXPECT_GT(b.mean_batch_size(), 1.5);
   EXPECT_EQ(u.total_batches, 64);
@@ -121,8 +128,8 @@ TEST(AcceleratorPoolTest, MoreAcceleratorsShortenMakespan) {
   PoolConfig big = base_config();
   big.num_accelerators = 4;
   const auto trace = [] { return make_trace(48, 20.0, 31, tiny_mix()); };
-  const ServeReport s = AcceleratorPool(small).serve(trace());
-  const ServeReport l = AcceleratorPool(big).serve(trace());
+  const ServeReport s = serve_queue(small, trace());
+  const ServeReport l = serve_queue(big, trace());
   EXPECT_LT(l.makespan_cycles, s.makespan_cycles);
 }
 
@@ -153,9 +160,9 @@ TEST(AcceleratorPoolTest, SjfBeatsFifoMeanLatencyOnBimodalBurst) {
   cfg.num_accelerators = 1;
   cfg.batching = {1, 0};
   cfg.policy = SchedulePolicy::kFifo;
-  const ServeReport fifo = AcceleratorPool(cfg).serve(std::move(fifo_q));
+  const ServeReport fifo = serve_queue(cfg, std::move(fifo_q));
   cfg.policy = SchedulePolicy::kShortestJobFirst;
-  const ServeReport sjf = AcceleratorPool(cfg).serve(std::move(sjf_q));
+  const ServeReport sjf = serve_queue(cfg, std::move(sjf_q));
   const Histogram sjf_lat = sjf.latency();
   const Histogram fifo_lat = fifo.latency();
   EXPECT_LT(sjf_lat.mean(), fifo_lat.mean());
@@ -190,7 +197,7 @@ TEST(AcceleratorPoolTest, EdfMeetsTightDeadlineFifoMisses) {
 
   RequestQueue alone;
   alone.push(make_req(alone, 0, tiny, 0));
-  const ServeReport solo = AcceleratorPool(cfg).serve(std::move(alone));
+  const ServeReport solo = serve_queue(cfg, std::move(alone));
   const i64 budget = 2 * solo.records[0].latency_cycles();
 
   const auto trace = [&] {
@@ -200,9 +207,9 @@ TEST(AcceleratorPoolTest, EdfMeetsTightDeadlineFifoMisses) {
     return q;
   };
   cfg.policy = SchedulePolicy::kFifo;
-  const ServeReport fifo = AcceleratorPool(cfg).serve(trace());
+  const ServeReport fifo = serve_queue(cfg, trace());
   cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
-  const ServeReport edf = AcceleratorPool(cfg).serve(trace());
+  const ServeReport edf = serve_queue(cfg, trace());
 
   EXPECT_LT(fifo.slo_attainment(), 1.0);
   EXPECT_DOUBLE_EQ(edf.slo_attainment(), 1.0);
@@ -225,7 +232,7 @@ TEST(AcceleratorPoolTest, PriorityClassesOrderStrictlyUnderEveryPolicy) {
     RequestQueue q;
     q.push(make_req(q, 0, {4, 8, 8}, 0, -1, /*priority=*/1));
     q.push(make_req(q, 1, {4, 8, 8}, 0, -1, /*priority=*/0));
-    const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+    const ServeReport rep = serve_queue(cfg, std::move(q));
     ASSERT_EQ(rep.records.size(), 2u);
     EXPECT_LT(rep.records[1].dispatch_cycle, rep.records[0].dispatch_cycle)
         << to_string(policy);
@@ -246,7 +253,7 @@ TEST(AcceleratorPoolTest, TiedBatchesDispatchByFirstIdUnderEveryPolicy) {
       cfg.policy = policy;
       RequestQueue q;
       for (i64 i = 0; i < 3; ++i) q.push(make_req(q, i, {4, 8, 8}, 0, 100000));
-      return AcceleratorPool(cfg).serve(std::move(q));
+      return serve_queue(cfg, std::move(q));
     };
     const ServeReport a = run();
     ASSERT_EQ(a.records.size(), 3u);
@@ -270,11 +277,11 @@ TEST(AcceleratorPoolTest, ContinuousAdmissionDispatchesWithoutMaxWait) {
   cfg.num_accelerators = 1;
   cfg.batching = {/*max_batch=*/8, /*max_wait_cycles=*/10000};
 
-  const ServeReport waiting = AcceleratorPool(cfg).serve(trace());
+  const ServeReport waiting = serve_queue(cfg, trace());
   EXPECT_EQ(waiting.records[0].dispatch_cycle, 10000);
 
   cfg.batching.continuous_admission = true;
-  const ServeReport eager = AcceleratorPool(cfg).serve(trace());
+  const ServeReport eager = serve_queue(cfg, trace());
   EXPECT_EQ(eager.records[0].dispatch_cycle, 0);
   EXPECT_EQ(eager.records[1].dispatch_cycle, 50000);
 }
@@ -291,7 +298,7 @@ TEST(AcceleratorPoolTest, LateArrivalJoinsUndispatchedReadyBatch) {
   q.push(make_req(q, 0, {512, 64, 64}, 0));   // long-running head of line
   q.push(make_req(q, 1, {4, 32, 32}, 10));
   q.push(make_req(q, 2, {4, 32, 32}, 500));   // after r1's group closed at 110
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   ASSERT_EQ(rep.records.size(), 3u);
   // r0 must still be busy when r2 arrives, or the scenario is vacuous.
   ASSERT_GT(rep.records[0].completion_cycle, 500);
@@ -317,7 +324,7 @@ TEST(AcceleratorPoolTest, EagerCloseOfOpenGroupsHonoursPriority) {
   // batcher through the eager-close path rather than the end-of-trace
   // flush.
   q.push(make_req(q, 3, {4, 8, 8}, 5000000));
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   ASSERT_EQ(rep.records.size(), 4u);
   EXPECT_LT(rep.records[2].dispatch_cycle, rep.records[1].dispatch_cycle);
 }
@@ -338,7 +345,7 @@ TEST(AcceleratorPoolTest, UrgentOpenGroupBeatsLaxReadyBatch) {
   q.push(make_req(q, 2, {4, 16, 16}, 6, -1, /*priority=*/1));
   q.push(make_req(q, 3, {4, 8, 8}, 10, -1, /*priority=*/0));   // open, urgent
   q.push(make_req(q, 4, {4, 8, 8}, 5000000));  // keeps the trace open
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   ASSERT_EQ(rep.records.size(), 5u);
   EXPECT_LT(rep.records[3].dispatch_cycle, rep.records[1].dispatch_cycle);
 }
@@ -362,9 +369,9 @@ TEST(AcceleratorPoolTest, SloScenarioDeterministicAcrossThreadCounts) {
   cfg.policy = SchedulePolicy::kEarliestDeadlineFirst;
   cfg.batching.continuous_admission = true;
   cfg.num_threads = 1;
-  const ServeReport a = AcceleratorPool(cfg).serve(trace());
+  const ServeReport a = serve_queue(cfg, trace());
   cfg.num_threads = 8;
-  const ServeReport b = AcceleratorPool(cfg).serve(trace());
+  const ServeReport b = serve_queue(cfg, trace());
   expect_same_simulated_results(a, b);
   EXPECT_DOUBLE_EQ(a.slo_attainment(), b.slo_attainment());
 }
@@ -384,7 +391,7 @@ TEST(AcceleratorPoolTest, CycleAccurateAgreesWithAccelerator) {
   r.gemm = {8, 8, 8};
   r.arrival_cycle = 0;
   q.push(r);
-  const ServeReport rep = AcceleratorPool(cfg).serve(std::move(q));
+  const ServeReport rep = serve_queue(cfg, std::move(q));
   ASSERT_EQ(rep.records.size(), 1u);
 
   Rng rng(cfg.data_seed ^ (0x9E3779B97F4A7C15ull * 1));

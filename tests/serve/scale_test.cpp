@@ -21,8 +21,9 @@ namespace {
 constexpr int kTestRequests = 3000;
 
 ServeReport serve_scale(ReadyQueueImpl impl, int threads) {
-  return AcceleratorPool(serve_scale_pool_config(impl, threads))
-      .serve(serve_scale_trace(kTestRequests));
+  AcceleratorPool pool(serve_scale_pool_config(impl, threads));
+  RequestQueue q = serve_scale_trace(kTestRequests);
+  return pool.serve(q);
 }
 
 void expect_identical_records(const ServeReport& a, const ServeReport& b) {

@@ -1,0 +1,94 @@
+// The named-scenario registry (serve/scenarios): the canonical name list
+// the bench artifact is keyed by, loud failure on unknown names, and the
+// no-drift guarantee — a spec resolved by name serves record-identically
+// to the same scenario assembled from its building-block functions, so
+// BENCH_serve.json rows, the example's sections, and the tests can never
+// quietly diverge.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+TEST(ScenarioRegistryTest, NamesAreCanonicalOrderedAndUnique) {
+  const std::vector<std::string> expected = {
+      "resnet50_pool4_batch8",
+      "decode_pool4_batch8",
+      "fleet_round_robin",
+      "fleet_least_cost",
+      "chunked_prefill_whole",
+      "chunked_prefill_deadline_aware",
+      "fleet_contention_blind",
+      "fleet_contention_aware",
+      "disagg_prefill_decode_unified",
+      "disagg_prefill_decode_split",
+      "serve_scale_200k",
+      "closed_loop_estimate",
+      "closed_loop_feedback",
+      "serve_scale_10m",
+  };
+  EXPECT_EQ(scenario_names(), expected);
+  const std::set<std::string> unique(scenario_names().begin(),
+                                     scenario_names().end());
+  EXPECT_EQ(unique.size(), scenario_names().size());
+}
+
+TEST(ScenarioRegistryTest, UnknownNameFailsLoudly) {
+  EXPECT_THROW(scenario("no_such_scenario"), CheckError);
+  EXPECT_THROW(scenario(""), CheckError);
+}
+
+TEST(ScenarioRegistryTest, EverySpecIsSelfConsistent) {
+  for (const std::string& name : scenario_names()) {
+    const ScenarioSpec& spec = scenario(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.summary.empty()) << name;
+    ASSERT_TRUE(spec.make_trace != nullptr) << name;
+    EXPECT_NO_THROW(spec.config.validate()) << name;
+  }
+}
+
+void expect_identical_records(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i], b.records[i]) << "record " << i;
+  }
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_batches, b.total_batches);
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+ServeReport serve_spec(const ScenarioSpec& spec) {
+  AcceleratorPool pool(spec.config);
+  const std::unique_ptr<TraceSource> source = spec.make_trace();
+  return pool.serve(*source);
+}
+
+// A by-name lookup and a hand-assembled run of the same scenario are the
+// same simulation — single-stage...
+TEST(ScenarioRegistryTest, SpecMatchesDirectConstructionSingleStage) {
+  AcceleratorPool pool(mixed_fleet_pool_config(RoutePolicy::kLeastCost));
+  RequestQueue q = mixed_fleet_trace();
+  expect_identical_records(serve_spec(scenario("fleet_least_cost")),
+                           pool.serve(q));
+}
+
+// ...and multi-stage, through the whole re-admission path.
+TEST(ScenarioRegistryTest, SpecMatchesDirectConstructionMultiStage) {
+  AcceleratorPool pool(disagg_pool_config(StageAffinity::kStrict));
+  RequestQueue q = disagg_trace();
+  expect_identical_records(serve_spec(scenario("disagg_prefill_decode_split")),
+                           pool.serve(q));
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -69,7 +69,7 @@ TEST(SchedIndexTest, LazyInvalidationSurvivesAClassMove) {
                  /*track_joins=*/true);
   idx.push(make_batch(0, {1, 16, 32}, 0, /*deadline=*/-1, /*priority=*/2), 50);
   idx.push(make_batch(1, {1, 16, 48}, 0, /*deadline=*/-1, /*priority=*/1), 50);
-  const i64 slot = idx.find_joinable(16, 32);
+  const i64 slot = idx.find_joinable(16, 32, StageClass::kGeneral);
   ASSERT_GE(slot, 0);
   // The absorbed request carries priority 0 and a deadline: the batch now
   // outranks everything.
@@ -86,16 +86,16 @@ TEST(SchedIndexTest, JoinRegistryRetiresFullAndPartialBatches) {
                  /*max_batch=*/2, /*track_joins=*/true);
   // A partially executed batch is never joinable.
   idx.push(make_batch(0, {8, 16, 32}, 0, -1, 0, /*m_executed=*/4), 10);
-  EXPECT_LT(idx.find_joinable(16, 32), 0);
+  EXPECT_LT(idx.find_joinable(16, 32, StageClass::kGeneral), 0);
   EXPECT_TRUE(idx.has_partial());
   // A fresh batch is joinable until it reaches max_batch.
   idx.push(make_batch(1, {1, 16, 32}, 5), 10);
-  const i64 slot = idx.find_joinable(16, 32);
+  const i64 slot = idx.find_joinable(16, 32, StageClass::kGeneral);
   ASSERT_GE(slot, 0);
   EXPECT_EQ(idx.batch(slot).members.front().id, 1);
   idx.batch(slot).absorb(make_request(2, {1, 16, 32}, 10));
   idx.joined(slot, 20);  // size hit max_batch=2: no longer joinable
-  EXPECT_LT(idx.find_joinable(16, 32), 0);
+  EXPECT_LT(idx.find_joinable(16, 32, StageClass::kGeneral), 0);
   idx.pop_best();
   idx.pop_best();
   EXPECT_FALSE(idx.has_partial());
@@ -113,7 +113,7 @@ TEST(SchedIndexTest, JoinFindsTheEarliestPushedMatch) {
     idx.push(make_batch(0, {1, 16, 32}, 0), /*estimate=*/900);
     idx.push(make_batch(1, {1, 16, 32}, 1), /*estimate=*/5);
     idx.push(make_batch(2, {1, 16, 32}, 2), /*estimate=*/1);
-    const i64 slot = idx.find_joinable(16, 32);
+    const i64 slot = idx.find_joinable(16, 32, StageClass::kGeneral);
     ASSERT_GE(slot, 0);
     EXPECT_EQ(idx.batch(slot).members.front().id, 0) << to_string(impl);
   }
@@ -170,8 +170,8 @@ void fuzz_against_reference(SchedulePolicy policy, std::uint64_t seed) {
     } else if (action < 90) {
       const auto [K, N] = shapes[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<int>(shapes.size()) - 1))];
-      const i64 sx = indexed.find_joinable(K, N);
-      const i64 sy = scan.find_joinable(K, N);
+      const i64 sx = indexed.find_joinable(K, N, StageClass::kGeneral);
+      const i64 sy = scan.find_joinable(K, N, StageClass::kGeneral);
       ASSERT_EQ(sx >= 0, sy >= 0) << "join hit/miss diverged at op " << op;
       if (sx >= 0) {
         ASSERT_EQ(indexed.batch(sx).members.front().id,

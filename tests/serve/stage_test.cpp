@@ -1,0 +1,216 @@
+// Multi-stage (StageChain) serving: chain interning semantics, the
+// re-admission pipeline end to end on a hand-built two-stage trace, the
+// extended latency-breakdown identity (latency == batch_wait + queue_wait
+// + service + preempt_blocked + handoff, summed across stages) with a
+// genuinely nonzero fabric handoff on the disagg scenario, per-stage table
+// consistency against the request records, and the 1-vs-8-thread record
+// diff of the disaggregated scenario — the multi-stage determinism check
+// CI's TSan serve_ filter watches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+// The canonical serve entry takes a TraceSource lvalue; tests that build
+// throwaway queues name them here before serving.
+ServeReport serve_queue(const PoolConfig& cfg, RequestQueue q) {
+  AcceleratorPool pool(cfg);
+  return pool.serve(q);
+}
+
+TEST(ChainInterningTest, PlainInternIsALengthOneGeneralChain) {
+  WorkloadRegistry reg;
+  const GemmShape shape{8, 64, 64};
+  const WorkloadId id = reg.intern("decode", shape);
+  ASSERT_EQ(reg.num_stages(id), 1u);
+  EXPECT_EQ(reg.chain(id).front().gemm, shape);
+  EXPECT_EQ(reg.chain(id).front().cls, StageClass::kGeneral);
+  EXPECT_FALSE(reg.multi_stage());
+}
+
+TEST(ChainInterningTest, InternChainRegistersStagesAndFlagsMultiStage) {
+  WorkloadRegistry reg;
+  const StageChain chain = {{{64, 256, 512}, StageClass::kPrefill},
+                            {{1, 512, 256}, StageClass::kDecode}};
+  const WorkloadId id = reg.intern_chain("gen", chain);
+  ASSERT_EQ(reg.num_stages(id), 2u);
+  // The workload's canonical shape is stage 0's GEMM — what trace
+  // generators stamp on arriving requests.
+  EXPECT_EQ(reg.shape(id), chain.front().gemm);
+  EXPECT_EQ(reg.chain(id)[1].gemm, chain[1].gemm);
+  EXPECT_EQ(reg.chain(id)[1].cls, StageClass::kDecode);
+  EXPECT_TRUE(reg.multi_stage());
+}
+
+TEST(ChainInterningTest, FirstRegistrationWinsAndEmptyChainFails) {
+  WorkloadRegistry reg;
+  const StageChain chain = {{{64, 256, 512}, StageClass::kPrefill},
+                            {{1, 512, 256}, StageClass::kDecode}};
+  const WorkloadId id = reg.intern_chain("gen", chain);
+  // Repeat interns (chain or plain) return the original id and keep the
+  // original chain — mixes may legitimately repeat a name.
+  EXPECT_EQ(reg.intern_chain("gen", {{{9, 9, 9}, StageClass::kGeneral}}), id);
+  EXPECT_EQ(reg.intern("gen", {9, 9, 9}), id);
+  EXPECT_EQ(reg.num_stages(id), 2u);
+  EXPECT_EQ(reg.shape(id), chain.front().gemm);
+  EXPECT_THROW(reg.intern_chain("empty", {}), CheckError);
+}
+
+// A two-stage chain on a plain homogeneous pool (no topology): stage 1
+// must re-enter through the normal admission path and finish after stage 0,
+// with the per-stage table recording both hops and a zero fabric handoff.
+TEST(MultiStagePipelineTest, TwoStageChainCompletesThroughReadmission) {
+  constexpr int kRequests = 12;
+  const StageChain chain = {{{32, 256, 256}, StageClass::kGeneral},
+                            {{1, 256, 128}, StageClass::kGeneral}};
+  RequestQueue q;
+  const WorkloadId gen = q.intern_chain("gen", chain);
+  for (int i = 0; i < kRequests; ++i) {
+    Request r;
+    r.id = i;
+    r.workload = gen;
+    r.gemm = chain.front().gemm;
+    r.arrival_cycle = static_cast<i64>(i) * 1000;
+    r.stage_class = chain.front().cls;
+    q.push(r);
+  }
+
+  PoolConfig cfg;
+  cfg.num_accelerators = 2;
+  cfg.accelerator.array = {32, 32};
+  cfg.batching.max_batch = 4;
+  cfg.batching.max_wait_cycles = 2000;
+  const ServeReport r = serve_queue(cfg, std::move(q));
+
+  ASSERT_EQ(r.records.size(), static_cast<std::size_t>(kRequests));
+  // Every request retires exactly one per-stage row per stage.
+  EXPECT_EQ(r.records.num_stage_rows(),
+            static_cast<std::size_t>(2 * kRequests));
+  for (const RequestRecord& rec : r.records) {
+    EXPECT_EQ(rec.stage_count, 2);
+    EXPECT_EQ(rec.handoff_cycles, 0);  // no topology: handoffs are free
+    EXPECT_GT(rec.completion_cycle, rec.arrival_cycle);
+    EXPECT_EQ(rec.latency_cycles(),
+              rec.batch_wait_cycles() + rec.queue_wait_cycles() +
+                  rec.total_service_cycles() + rec.preempt_blocked_cycles() +
+                  rec.handoff_cycles);
+  }
+}
+
+TEST(MultiStagePipelineTest, SingleStageTrafficCarriesNoStageRows) {
+  const ServeReport r =
+      serve_queue(mixed_fleet_pool_config(RoutePolicy::kLeastCost),
+                  mixed_fleet_trace());
+  EXPECT_EQ(r.records.num_stage_rows(), 0u);
+  for (const RequestRecord& rec : r.records) {
+    EXPECT_EQ(rec.stage_count, 1);
+    EXPECT_EQ(rec.handoff_cycles, 0);
+  }
+}
+
+// The disagg scenario crosses a real fabric (prefill farm on node 0,
+// ingress on the decode node), so "gen" records carry nonzero handoffs —
+// the identity must still hold exactly, per record, and the per-stage
+// table must reconcile with the request-level aggregates.
+TEST(MultiStageLatencyIdentityTest, IdentityHoldsWithNonzeroHandoffs) {
+  const ServeReport r = serve_queue(
+      disagg_pool_config(StageAffinity::kStrict), disagg_trace());
+  ASSERT_GT(r.records.size(), 0u);
+  ASSERT_GT(r.records.num_stage_rows(), 0u);
+
+  int chained = 0;
+  int with_handoff = 0;
+  for (const RequestRecord& rec : r.records) {
+    EXPECT_EQ(rec.latency_cycles(),
+              rec.batch_wait_cycles() + rec.queue_wait_cycles() +
+                  rec.total_service_cycles() + rec.preempt_blocked_cycles() +
+                  rec.handoff_cycles)
+        << "request " << rec.id;
+    if (rec.stage_count > 1) ++chained;
+    if (rec.handoff_cycles > 0) ++with_handoff;
+  }
+  EXPECT_GT(chained, 0);
+  // Every handoff into the decode pool crosses the node-0 -> node-1 hop.
+  EXPECT_GT(with_handoff, 0);
+
+  // Per-stage table vs. the request records: each chained request owns
+  // stage_count rows; stage 0 starts at the request's arrival, the last
+  // stage ends at its completion, and the per-stage service and handoff
+  // columns sum to the record's aggregates.
+  struct Folded {
+    int rows = 0;
+    i64 service = 0;
+    i64 handoff = 0;
+    i64 first_arrival = -1;
+    i64 last_completion = -1;
+    int max_stage = -1;
+  };
+  std::map<i64, Folded> by_id;
+  for (std::size_t i = 0; i < r.records.num_stage_rows(); ++i) {
+    const RecordStore::StageRecord s = r.records.stage_row(i);
+    Folded& f = by_id[s.id];
+    ++f.rows;
+    f.service += s.service_cycles;
+    f.handoff += s.handoff_cycles;
+    if (s.stage == 0) f.first_arrival = s.arrival_cycle;
+    if (s.stage > f.max_stage) {
+      f.max_stage = s.stage;
+      f.last_completion = s.completion_cycle;
+    }
+    EXPECT_GE(s.completion_cycle, s.dispatch_cycle);
+    EXPECT_GE(s.dispatch_cycle, s.arrival_cycle);
+  }
+  for (const RequestRecord& rec : r.records) {
+    if (rec.stage_count <= 1) {
+      EXPECT_EQ(by_id.count(rec.id), 0u);
+      continue;
+    }
+    const auto it = by_id.find(rec.id);
+    ASSERT_NE(it, by_id.end()) << "request " << rec.id;
+    const Folded& f = it->second;
+    EXPECT_EQ(f.rows, rec.stage_count);
+    EXPECT_EQ(f.max_stage, rec.stage_count - 1);
+    EXPECT_EQ(f.first_arrival, rec.arrival_cycle);
+    EXPECT_EQ(f.last_completion, rec.completion_cycle);
+    EXPECT_EQ(f.service, rec.total_service_cycles());
+    EXPECT_EQ(f.handoff, rec.handoff_cycles);
+  }
+}
+
+void expect_identical_records(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i], b.records[i]) << "record " << i;
+  }
+  ASSERT_EQ(a.records.num_stage_rows(), b.records.num_stage_rows());
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.total_batches, b.total_batches);
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+// 1 vs 8 worker threads through multi-stage re-admission: the simulated
+// timeline — including every successor-stage handoff — is a pure function
+// of the trace. TSan watches this one in CI (serve_ filter).
+TEST(DisaggScaleTest, ThreadCountInvariantThroughStageReadmission) {
+  const ScenarioSpec& spec = scenario("disagg_prefill_decode_split");
+  auto run = [&spec](int threads) {
+    PoolConfig cfg = spec.config;
+    cfg.num_threads = threads;
+    AcceleratorPool pool(cfg);
+    const std::unique_ptr<TraceSource> source = spec.make_trace();
+    return pool.serve(*source);
+  };
+  expect_identical_records(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace axon::serve

@@ -39,7 +39,8 @@ TracedRun run_traced(int threads) {
   obs::TraceSink sink;
   pool.add_probe(&sink);
   TracedRun out;
-  out.report = pool.serve(serve_scale_trace(kTestRequests));
+  RequestQueue q = serve_scale_trace(kTestRequests);
+  out.report = pool.serve(q);
   out.json = sink.to_json();
   out.span_cycles = sink.device_span_cycles();
   out.preemption_events = sink.preemption_events();
@@ -78,9 +79,9 @@ TEST(ServeTraceTest, SpansReconcileWithTheReport) {
 
 TEST(ServeTraceTest, AttachingProbesChangesNoRecord) {
   const TracedRun traced = run_traced(1);
-  const ServeReport bare =
-      AcceleratorPool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1))
-          .serve(serve_scale_trace(kTestRequests));
+  AcceleratorPool bare_pool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1));
+  RequestQueue bare_q = serve_scale_trace(kTestRequests);
+  const ServeReport bare = bare_pool.serve(bare_q);
   ASSERT_EQ(traced.report.records.size(), bare.records.size());
   for (std::size_t i = 0; i < bare.records.size(); ++i) {
     ASSERT_EQ(traced.report.records[i], bare.records[i]) << "record " << i;
@@ -89,10 +90,28 @@ TEST(ServeTraceTest, AttachingProbesChangesNoRecord) {
   EXPECT_EQ(traced.report.preemptions, bare.preemptions);
 }
 
+TEST(ServeTraceTest, MultiStageRunsAnnotateSuccessorStageSpans) {
+  // Single-stage traces omit the "stage" key entirely (their bytes are
+  // part of the pre-chain determinism contract)...
+  const TracedRun single = run_traced(1);
+  EXPECT_EQ(single.json.find("\"stage\":"), std::string::npos);
+  // ...while a chained run marks every successor-stage exec span, so a
+  // re-admitted stage's chunk 0 never collides with stage 0's chunk 0
+  // under the validator's duplicate-span identity (both share the batch
+  // id — the request id).
+  AcceleratorPool pool(disagg_pool_config(StageAffinity::kStrict));
+  obs::TraceSink sink;
+  pool.add_probe(&sink);
+  RequestQueue q = disagg_trace();
+  const ServeReport r = pool.serve(q);
+  EXPECT_GT(r.records.num_stage_rows(), 0u);
+  EXPECT_NE(sink.to_json().find(",\"stage\":1,"), std::string::npos);
+}
+
 TEST(ServeTraceTest, LatencyBreakdownSumsExactlyPerRecord) {
-  const ServeReport r =
-      AcceleratorPool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1))
-          .serve(serve_scale_trace(kTestRequests));
+  AcceleratorPool pool(serve_scale_pool_config(ReadyQueueImpl::kIndexed, 1));
+  RequestQueue q = serve_scale_trace(kTestRequests);
+  const ServeReport r = pool.serve(q);
   ASSERT_EQ(r.records.size(), static_cast<std::size_t>(kTestRequests));
   i64 preempt_blocked_total = 0;
   for (const RequestRecord& rec : r.records) {

@@ -1,0 +1,117 @@
+// PoolConfig::validate() fail-fast semantics: one directed case per
+// rejected knob combination — a long simulation must never start with a
+// configuration that silently skews it — plus the positive controls (the
+// default config and every canonical scenario config pass) and the
+// serve()-path check (serve validates first, so a bad config fails before
+// the first event, not after).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "serve/pool.hpp"
+#include "serve/scenarios.hpp"
+
+namespace axon::serve {
+namespace {
+
+PoolConfig base_config() {
+  PoolConfig cfg;
+  cfg.num_accelerators = 2;
+  cfg.accelerator.array = {32, 32};
+  return cfg;
+}
+
+TEST(PoolConfigValidateTest, DefaultAndScenarioConfigsPass) {
+  EXPECT_NO_THROW(PoolConfig{}.validate());
+  EXPECT_NO_THROW(base_config().validate());
+  for (const std::string& name : scenario_names()) {
+    EXPECT_NO_THROW(scenario(name).config.validate()) << name;
+  }
+}
+
+TEST(PoolConfigValidateTest, RejectsDegenerateThreadCount) {
+  PoolConfig cfg = base_config();
+  cfg.num_threads = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.num_threads = -4;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(PoolConfigValidateTest, RejectsEmptyPool) {
+  PoolConfig cfg = base_config();
+  cfg.num_accelerators = 0;  // homogeneous shorthand with no members
+  EXPECT_THROW(cfg.validate(), CheckError);
+  // A non-empty heterogeneous fleet makes num_accelerators irrelevant.
+  cfg.fleet = mixed_demo_fleet();
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PoolConfigValidateTest, RejectsDegenerateBatching) {
+  PoolConfig cfg = base_config();
+  cfg.batching.max_batch = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = base_config();
+  cfg.batching.max_wait_cycles = -1;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(PoolConfigValidateTest, RejectsChunkingWithoutAQuantum) {
+  for (const ChunkPolicy policy :
+       {ChunkPolicy::kFixedTiles, ChunkPolicy::kDeadlineAware}) {
+    PoolConfig cfg = base_config();
+    cfg.chunking = policy;
+    cfg.chunk_tiles = 0;
+    EXPECT_THROW(cfg.validate(), CheckError);
+    cfg.chunk_tiles = -2;
+    EXPECT_THROW(cfg.validate(), CheckError);
+    cfg.chunk_tiles = 4;
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+TEST(PoolConfigValidateTest, RejectsCongestionAwareWithoutATopology) {
+  PoolConfig cfg = base_config();
+  cfg.congestion_aware = true;  // no topology: no node demand to read
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = fleet_contention_pool_config(true);  // topology: legal
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PoolConfigValidateTest, RejectsTopologyFleetSizeMismatch) {
+  PoolConfig cfg = base_config();  // 2 members
+  cfg.topology.device_node = {0, 0, 1};
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.topology.device_node = {0, 1};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PoolConfigValidateTest, RejectsStageAffinityOnAnUntypedFleet) {
+  // Homogeneous shorthand (no fleet at all) and an all-general fleet both
+  // fail: the knob would silently do nothing.
+  for (const StageAffinity affinity :
+       {StageAffinity::kPreferred, StageAffinity::kStrict}) {
+    PoolConfig cfg = base_config();
+    cfg.stage_affinity = affinity;
+    EXPECT_THROW(cfg.validate(), CheckError);
+    cfg.fleet = chunked_prefill_fleet();  // all members serve kGeneral
+    EXPECT_THROW(cfg.validate(), CheckError);
+    cfg.fleet = disagg_fleet();  // typed prefill/decode members
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+TEST(PoolConfigValidateTest, ServeValidatesBeforeTheFirstEvent) {
+  // A combination only validate() rejects (construction succeeds): the
+  // failure must surface at serve() entry, before the first event.
+  PoolConfig cfg = base_config();
+  cfg.congestion_aware = true;
+  AcceleratorPool pool(cfg);
+  RequestQueue q;
+  Request r;
+  r.workload = q.intern("w", {8, 64, 64});
+  r.gemm = {8, 64, 64};
+  q.push(r);
+  EXPECT_THROW(pool.serve(q), CheckError);
+}
+
+}  // namespace
+}  // namespace axon::serve
